@@ -1,0 +1,61 @@
+//! Criterion bench: raw consensus-ADMM solve times on synthetic HL-MRFs of
+//! controlled size — isolates the inference engine from grounding.
+
+use cms_psl::{AdmmConfig, AdmmSolver, GroundConstraint, GroundPotential, LinExpr};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A chain-structured HL-MRF: n variables, upward pressure at one end,
+/// soft implications along the chain, a few hard caps.
+fn chain_problem(n: usize) -> (Vec<GroundPotential>, Vec<GroundConstraint>) {
+    let mut potentials = Vec::new();
+    let mut constraints = Vec::new();
+    let lin = |terms: &[(usize, f64)], constant: f64| {
+        let mut e = LinExpr::constant(constant);
+        for &(v, coef) in terms {
+            e.add_term(v, coef);
+        }
+        e.normalize();
+        e
+    };
+    potentials.push(GroundPotential {
+        expr: lin(&[(0, -1.0)], 1.0),
+        weight: 2.0,
+        squared: false,
+        origin: String::new(),
+    });
+    for v in 0..n - 1 {
+        potentials.push(GroundPotential {
+            expr: lin(&[(v, 1.0), (v + 1, -1.0)], 0.0),
+            weight: 1.0,
+            squared: false,
+            origin: String::new(),
+        });
+    }
+    for v in (0..n).step_by(16) {
+        constraints.push(GroundConstraint {
+            expr: lin(&[(v, 1.0)], -0.9),
+            kind: cms_psl::ConstraintKind::LeqZero,
+            origin: String::new(),
+        });
+    }
+    (potentials, constraints)
+}
+
+fn bench_admm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admm");
+    group.sample_size(20);
+    for n in [128usize, 512, 2048] {
+        let (potentials, constraints) = chain_problem(n);
+        let solver = AdmmSolver::new(&potentials, &constraints, n);
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            b.iter(|| solver.solve(&AdmmConfig { threads: 1, ..AdmmConfig::default() }));
+        });
+        group.bench_with_input(BenchmarkId::new("threads4", n), &n, |b, _| {
+            b.iter(|| solver.solve(&AdmmConfig { threads: 4, ..AdmmConfig::default() }));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_admm);
+criterion_main!(benches);

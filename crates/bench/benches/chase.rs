@@ -1,0 +1,34 @@
+//! Criterion bench: chase throughput (canonical universal solutions).
+//!
+//! Feeds EX6's cost model: the per-candidate chase dominates coverage-model
+//! construction, which in turn dominates everything but ADMM at scale.
+
+use cms_ibench::{generate, ScenarioConfig};
+use cms_tgd::chase;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase");
+    group.sample_size(20);
+    for invocations in [1usize, 2, 4] {
+        let config = ScenarioConfig {
+            rows_per_relation: 50,
+            seed: 3,
+            ..ScenarioConfig::all_primitives(invocations)
+        };
+        let scenario = generate(&config);
+        let gold: Vec<_> = scenario.gold_tgds().into_iter().cloned().collect();
+        group.throughput(Throughput::Elements(scenario.source.total_len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("gold-mapping", 7 * invocations),
+            &invocations,
+            |b, _| {
+                b.iter(|| chase(std::hint::black_box(&scenario.source), std::hint::black_box(&gold)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chase);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: coverage-model construction + PSL program grounding —
+//! the two "compilation" stages between a scenario and MAP inference.
+
+use cms_ibench::{generate, NoiseConfig, ScenarioConfig};
+use cms_select::{CoverageModel, ObjectiveWeights, PslCollective};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_grounding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grounding");
+    group.sample_size(20);
+    for invocations in [1usize, 2, 4] {
+        let config = ScenarioConfig {
+            rows_per_relation: 20,
+            noise: NoiseConfig::uniform(25.0),
+            seed: 3,
+            ..ScenarioConfig::all_primitives(invocations)
+        };
+        let scenario = generate(&config);
+        group.bench_with_input(
+            BenchmarkId::new("coverage-model", scenario.candidates.len()),
+            &invocations,
+            |b, _| {
+                b.iter(|| {
+                    CoverageModel::build(
+                        std::hint::black_box(&scenario.source),
+                        std::hint::black_box(&scenario.target),
+                        std::hint::black_box(&scenario.candidates),
+                    )
+                });
+            },
+        );
+        let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
+        let psl = PslCollective::default();
+        group.bench_with_input(
+            BenchmarkId::new("program+admm", scenario.candidates.len()),
+            &invocations,
+            |b, _| {
+                b.iter(|| psl.infer(std::hint::black_box(&model), &ObjectiveWeights::unweighted()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grounding);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! `cms-bench` — experiment harness shared by the `experiments` binary and
+//! the criterion benches: markdown table rendering and standard workloads.
+
+pub mod tables;
+pub mod workloads;
+
+pub use tables::{f1, f3, Table};
+pub use workloads::{average_outcomes, seeded_scenarios, standard_selectors, AveragedRow};

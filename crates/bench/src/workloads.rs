@@ -1,0 +1,146 @@
+//! Standard workloads and aggregation used across experiments.
+
+use cms_ibench::{generate, Scenario, ScenarioConfig};
+use cms_select::{
+    evaluate_scenario, FixedSelection, Greedy, IndependentBaseline, LocalSearch, ObjectiveWeights,
+    PslCollective, Selector,
+};
+use std::time::Duration;
+
+/// The standard selector line-up of the experiment tables (gold oracle and
+/// all-candidates rows are added per scenario since they need its shape).
+pub fn standard_selectors() -> Vec<Box<dyn Selector>> {
+    vec![
+        Box::new(IndependentBaseline),
+        Box::new(Greedy),
+        Box::new(LocalSearch::default()),
+        Box::new(PslCollective::default()),
+    ]
+}
+
+/// Metrics averaged over seeds for one (config point, selector) pair.
+#[derive(Clone, Debug)]
+pub struct AveragedRow {
+    /// Selector name.
+    pub selector: String,
+    /// Mean mapping-level precision.
+    pub map_p: f64,
+    /// Mean mapping-level recall.
+    pub map_r: f64,
+    /// Mean mapping-level F1.
+    pub map_f1: f64,
+    /// Mean data-level F1.
+    pub data_f1: f64,
+    /// Mean objective value of the selection.
+    pub objective: f64,
+    /// Mean objective of the gold mapping (reference).
+    pub gold_objective: f64,
+    /// Mean wall time (model build + selection).
+    pub wall: Duration,
+    /// Mean size of the selected mapping.
+    pub selected: f64,
+}
+
+/// Run each selector over the scenarios and average the metrics. Also
+/// appends `gold-oracle` and `all-candidates` reference rows when
+/// `with_references` is set.
+pub fn average_outcomes(
+    scenarios: &[Scenario],
+    selectors: &[Box<dyn Selector>],
+    weights: &ObjectiveWeights,
+    with_references: bool,
+) -> Vec<AveragedRow> {
+    let mut rows: Vec<AveragedRow> = Vec::new();
+    let run = |selector_for: &dyn Fn(&Scenario) -> Box<dyn Selector>| {
+        let n = scenarios.len() as f64;
+        let mut acc = AveragedRow {
+            selector: String::new(),
+            map_p: 0.0,
+            map_r: 0.0,
+            map_f1: 0.0,
+            data_f1: 0.0,
+            objective: 0.0,
+            gold_objective: 0.0,
+            wall: Duration::ZERO,
+            selected: 0.0,
+        };
+        for s in scenarios {
+            let selector = selector_for(s);
+            let o = evaluate_scenario(s, selector.as_ref(), weights);
+            acc.selector = o.selector.clone();
+            acc.map_p += o.mapping.precision / n;
+            acc.map_r += o.mapping.recall / n;
+            acc.map_f1 += o.mapping.f1 / n;
+            acc.data_f1 += o.data.f1 / n;
+            acc.objective += o.selection.objective / n;
+            acc.gold_objective += o.gold_objective / n;
+            acc.wall += o.wall / scenarios.len() as u32;
+            acc.selected += o.selection.selected.len() as f64 / n;
+        }
+        acc
+    };
+
+    if with_references {
+        rows.push(run(&|s: &Scenario| {
+            Box::new(FixedSelection::new("gold-oracle", s.gold.clone()))
+        }));
+        rows.push(run(&|s: &Scenario| Box::new(FixedSelection::all(s.candidates.len()))));
+    }
+    for selector in selectors {
+        // Rebuild per scenario is unnecessary for stateless selectors; we
+        // close over the shared reference instead.
+        let boxed: &dyn Selector = selector.as_ref();
+        rows.push(run(&|_s: &Scenario| clone_selector(boxed)));
+    }
+    rows
+}
+
+/// Clone a standard selector by name (selectors are cheap value types; the
+/// trait itself is not `Clone`-able behind `dyn`).
+fn clone_selector(s: &dyn Selector) -> Box<dyn Selector> {
+    match s.name() {
+        "independent" => Box::new(IndependentBaseline),
+        "greedy" => Box::new(Greedy),
+        "local-search" => Box::new(LocalSearch::default()),
+        "psl-collective" => Box::new(PslCollective::default()),
+        other => panic!("unknown selector {other:?} in standard line-up"),
+    }
+}
+
+/// Generate `seeds` scenarios from a base config, varying only the seed.
+pub fn seeded_scenarios(base: &ScenarioConfig, seeds: &[u64]) -> Vec<Scenario> {
+    seeds
+        .iter()
+        .map(|&seed| generate(&ScenarioConfig { seed, ..base.clone() }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cms_ibench::NoiseConfig;
+
+    #[test]
+    fn averaging_runs_the_standard_lineup() {
+        let base = ScenarioConfig {
+            rows_per_relation: 8,
+            noise: NoiseConfig::uniform(25.0),
+            ..ScenarioConfig::all_primitives(1)
+        };
+        let scenarios = seeded_scenarios(&base, &[1, 2]);
+        let rows = average_outcomes(
+            &scenarios,
+            &standard_selectors(),
+            &ObjectiveWeights::unweighted(),
+            true,
+        );
+        assert_eq!(rows.len(), 6); // 2 references + 4 selectors
+        let gold = &rows[0];
+        assert_eq!(gold.selector, "gold-oracle");
+        assert!((gold.map_f1 - 1.0).abs() < 1e-12);
+        for r in &rows {
+            assert!(r.map_f1 >= 0.0 && r.map_f1 <= 1.0);
+            assert!(r.data_f1 >= 0.0 && r.data_f1 <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Attribute correspondences (schema matches).
+//!
+//! A correspondence asserts that a source attribute "means the same" as a
+//! target attribute — the metadata evidence the paper's candidate
+//! generation starts from (produced upstream by a schema matcher; perturbed
+//! in experiments by the πCorresp noise knob).
+
+use cms_data::{AttrRef, Schema};
+use std::fmt;
+
+/// A directed attribute correspondence `source attr → target attr`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Correspondence {
+    /// The source-side attribute.
+    pub source: AttrRef,
+    /// The target-side attribute.
+    pub target: AttrRef,
+}
+
+impl Correspondence {
+    /// Construct a correspondence.
+    pub fn new(source: AttrRef, target: AttrRef) -> Correspondence {
+        Correspondence { source, target }
+    }
+
+    /// Render as `src.attr -> tgt.attr` against the schema pair.
+    pub fn display(&self, src: &Schema, tgt: &Schema) -> String {
+        format!("{} -> {}", src.attr_name(self.source), tgt.attr_name(self.target))
+    }
+}
+
+/// Build a correspondence from relation/attribute names; panics on unknown
+/// names (test/example convenience).
+pub fn corr(
+    src: &Schema,
+    src_rel: &str,
+    src_attr: &str,
+    tgt: &Schema,
+    tgt_rel: &str,
+    tgt_attr: &str,
+) -> Correspondence {
+    let resolve = |schema: &Schema, rel: &str, attr: &str| -> AttrRef {
+        let rel_id = schema
+            .rel_id(rel)
+            .unwrap_or_else(|| panic!("unknown relation {rel:?}"));
+        let col = schema
+            .relation(rel_id)
+            .col_of(cms_data::Sym::new(attr))
+            .unwrap_or_else(|| panic!("unknown attribute {rel}.{attr}"));
+        AttrRef::new(rel_id, col)
+    };
+    Correspondence::new(resolve(src, src_rel, src_attr), resolve(tgt, tgt_rel, tgt_attr))
+}
+
+impl fmt::Display for Correspondence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "r{}.{} -> r{}.{}",
+            self.source.rel.0, self.source.col, self.target.rel.0, self.target.col
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corr_resolves_names() {
+        let mut src = Schema::new("s");
+        src.add_relation("proj", &["name", "code"]);
+        let mut tgt = Schema::new("t");
+        tgt.add_relation("task", &["pname", "emp"]);
+        let c = corr(&src, "proj", "name", &tgt, "task", "pname");
+        assert_eq!(c.source.col, 0);
+        assert_eq!(c.target.col, 0);
+        assert_eq!(c.display(&src, &tgt), "proj.name -> task.pname");
+        assert_eq!(c.to_string(), "r0.0 -> r0.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown attribute")]
+    fn corr_panics_on_bad_attr() {
+        let mut src = Schema::new("s");
+        src.add_relation("proj", &["name"]);
+        let mut tgt = Schema::new("t");
+        tgt.add_relation("task", &["pname"]);
+        corr(&src, "proj", "nope", &tgt, "task", "pname");
+    }
+}

@@ -1,0 +1,228 @@
+//! Clio-style logical relations: relations closed under foreign-key joins.
+//!
+//! Clio's mapping generation first "chases" each relation with the schema's
+//! referential constraints, producing *logical relations* — join trees that
+//! gather semantically connected tuples. A logical relation rooted at `R`
+//! contains `R`'s atom plus, transitively, an atom for every relation
+//! reachable through outgoing foreign keys, with the FK columns unified.
+//!
+//! Example: `team(pcode, emp)` with `team.pcode → proj.code` yields the
+//! logical relation `team(v0, v1) ⋈ proj(v2, v0, v3)` (joined on `v0`).
+
+use cms_data::{AttrRef, RelId, Schema};
+use std::fmt;
+
+/// One atom of a logical relation: a relation and its column variables
+/// (variables are indices local to the logical relation).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LrAtom {
+    /// The relation.
+    pub rel: RelId,
+    /// Per-column variable indices.
+    pub vars: Vec<usize>,
+}
+
+/// A join tree of atoms rooted at [`LogicalRelation::root`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LogicalRelation {
+    /// The root relation the expansion started from.
+    pub root: RelId,
+    /// Atoms, root first, then FK-joined relations in expansion order.
+    pub atoms: Vec<LrAtom>,
+    /// Number of distinct variables.
+    pub num_vars: usize,
+}
+
+impl LogicalRelation {
+    /// Variable carrying attribute `attr`, if the attribute's relation
+    /// occurs in this logical relation (first occurrence wins when a
+    /// relation appears more than once).
+    pub fn var_of(&self, attr: AttrRef) -> Option<usize> {
+        self.atoms
+            .iter()
+            .find(|a| a.rel == attr.rel)
+            .map(|a| a.vars[attr.col])
+    }
+
+    /// All attributes covered, as `(AttrRef, var)` pairs (first occurrence
+    /// per relation).
+    pub fn covered_attrs(&self) -> Vec<(AttrRef, usize)> {
+        let mut seen: Vec<RelId> = Vec::new();
+        let mut out = Vec::new();
+        for atom in &self.atoms {
+            if seen.contains(&atom.rel) {
+                continue;
+            }
+            seen.push(atom.rel);
+            for (col, &var) in atom.vars.iter().enumerate() {
+                out.push((AttrRef::new(atom.rel, col), var));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for LogicalRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ⋈ ")?;
+            }
+            write!(f, "r{}(", a.rel.0)?;
+            for (j, v) in a.vars.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "v{v}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compute the logical relation rooted at `root`, expanding outgoing
+/// foreign keys breadth-first. Each relation is joined in at most once
+/// (cycle guard); expansion depth is bounded by `max_atoms`.
+pub fn expand(schema: &Schema, root: RelId, max_atoms: usize) -> LogicalRelation {
+    let mut atoms: Vec<LrAtom> = Vec::new();
+    let mut num_vars = 0usize;
+    let mut present: Vec<RelId> = Vec::new();
+
+    let fresh_atom = |rel: RelId, num_vars: &mut usize| -> LrAtom {
+        let arity = schema.relation(rel).arity();
+        let vars: Vec<usize> = (*num_vars..*num_vars + arity).collect();
+        *num_vars += arity;
+        LrAtom { rel, vars }
+    };
+
+    atoms.push(fresh_atom(root, &mut num_vars));
+    present.push(root);
+
+    let mut frontier = 0usize;
+    while frontier < atoms.len() && atoms.len() < max_atoms {
+        let current = atoms[frontier].clone();
+        for fk in &schema.relation(current.rel).fks {
+            if present.contains(&fk.target) || atoms.len() >= max_atoms {
+                continue; // cycle / self-reference guard
+            }
+            let mut joined = fresh_atom(fk.target, &mut num_vars);
+            // Unify: referenced columns take the referencing columns' vars.
+            for (&from_col, &to_col) in fk.cols.iter().zip(fk.target_cols.iter()) {
+                joined.vars[to_col] = current.vars[from_col];
+            }
+            present.push(fk.target);
+            atoms.push(joined);
+        }
+        frontier += 1;
+    }
+
+    LogicalRelation { root, atoms, num_vars }
+}
+
+/// All logical relations of a schema (one per root relation).
+pub fn logical_relations(schema: &Schema, max_atoms: usize) -> Vec<LogicalRelation> {
+    schema.rel_ids().map(|r| expand(schema, r, max_atoms)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cms_data::ForeignKey;
+
+    /// proj(name, code, leader) key code; team(pcode, emp) fk pcode→code.
+    fn schema() -> Schema {
+        let mut s = Schema::new("src");
+        let proj = s.add_relation_full("proj", &["name", "code", "leader"], &[1], Vec::new());
+        s.add_relation_full(
+            "team",
+            &["pcode", "emp"],
+            &[],
+            vec![ForeignKey { cols: vec![0], target: proj, target_cols: vec![1] }],
+        );
+        s
+    }
+
+    #[test]
+    fn leaf_relation_expands_to_itself() {
+        let s = schema();
+        let proj = s.rel_id("proj").unwrap();
+        let lr = expand(&s, proj, 8);
+        assert_eq!(lr.atoms.len(), 1);
+        assert_eq!(lr.num_vars, 3);
+    }
+
+    #[test]
+    fn fk_joins_in_referenced_relation() {
+        let s = schema();
+        let team = s.rel_id("team").unwrap();
+        let proj = s.rel_id("proj").unwrap();
+        let lr = expand(&s, team, 8);
+        assert_eq!(lr.atoms.len(), 2);
+        assert_eq!(lr.atoms[0].rel, team);
+        assert_eq!(lr.atoms[1].rel, proj);
+        // team.pcode and proj.code share a variable.
+        assert_eq!(lr.atoms[0].vars[0], lr.atoms[1].vars[1]);
+        // Other proj vars are fresh.
+        assert_ne!(lr.atoms[1].vars[0], lr.atoms[0].vars[0]);
+        assert_eq!(lr.var_of(AttrRef::new(proj, 1)), Some(lr.atoms[0].vars[0]));
+    }
+
+    #[test]
+    fn covered_attrs_lists_all_columns_once() {
+        let s = schema();
+        let team = s.rel_id("team").unwrap();
+        let lr = expand(&s, team, 8);
+        assert_eq!(lr.covered_attrs().len(), 5); // 2 + 3 columns
+    }
+
+    #[test]
+    fn cycles_do_not_loop() {
+        let mut s = Schema::new("cyclic");
+        let a = s.add_relation("a", &["x", "y"]);
+        let b = s.add_relation_full(
+            "b",
+            &["p", "q"],
+            &[],
+            vec![ForeignKey { cols: vec![0], target: a, target_cols: vec![0] }],
+        );
+        s.add_fk(a, ForeignKey { cols: vec![1], target: b, target_cols: vec![1] });
+        let lr = expand(&s, a, 8);
+        assert_eq!(lr.atoms.len(), 2);
+        let lr_b = expand(&s, b, 8);
+        assert_eq!(lr_b.atoms.len(), 2);
+    }
+
+    #[test]
+    fn max_atoms_bounds_expansion() {
+        let mut s = Schema::new("chain");
+        let mut prev = s.add_relation("r0", &["k"]);
+        for i in 1..6 {
+            let cur = s.add_relation_full(
+                &format!("r{i}"),
+                &["k", "fk"],
+                &[],
+                vec![ForeignKey { cols: vec![1], target: prev, target_cols: vec![0] }],
+            );
+            prev = cur;
+        }
+        let lr = expand(&s, prev, 3);
+        assert_eq!(lr.atoms.len(), 3);
+    }
+
+    #[test]
+    fn all_logical_relations() {
+        let s = schema();
+        let lrs = logical_relations(&s, 8);
+        assert_eq!(lrs.len(), 2);
+    }
+
+    #[test]
+    fn display_renders_join() {
+        let s = schema();
+        let team = s.rel_id("team").unwrap();
+        let lr = expand(&s, team, 8);
+        let text = lr.to_string();
+        assert!(text.contains("⋈"), "{text}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for candidate generation.
+
+use cms_candgen::{expand, generate_candidates, CandGenConfig, Correspondence};
+use cms_data::{AttrRef, ForeignKey, RelId, Schema};
+use proptest::prelude::*;
+
+/// A random schema: `n` relations of arity 2–4, each (except the first)
+/// optionally carrying a foreign key to an earlier relation.
+fn arb_schema(prefix: &'static str) -> impl Strategy<Value = Schema> {
+    (
+        2usize..=4,
+        prop::collection::vec((2usize..=4, prop::option::of(0usize..3)), 1..4),
+    )
+        .prop_map(move |(_, rels)| {
+            let mut schema = Schema::new(prefix);
+            for (i, (arity, fk_to)) in rels.iter().enumerate() {
+                let attrs: Vec<String> =
+                    (0..*arity).map(|a| format!("{prefix}{i}_a{a}")).collect();
+                let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                let fks = match fk_to {
+                    Some(t) if *t < i => vec![ForeignKey {
+                        cols: vec![0],
+                        target: RelId(*t as u32),
+                        target_cols: vec![0],
+                    }],
+                    _ => Vec::new(),
+                };
+                schema.add_relation_full(&format!("{prefix}{i}"), &attr_refs, &[0], fks);
+            }
+            schema
+        })
+}
+
+/// Random correspondences between two schemas, by index.
+fn arb_corrs() -> impl Strategy<Value = Vec<(usize, usize, usize, usize)>> {
+    prop::collection::vec((0usize..4, 0usize..4, 0usize..4, 0usize..4), 0..8)
+}
+
+fn resolve(
+    raw: &[(usize, usize, usize, usize)],
+    src: &Schema,
+    tgt: &Schema,
+) -> Vec<Correspondence> {
+    raw.iter()
+        .filter_map(|&(sr, sc, tr, tc)| {
+            if sr >= src.len() || tr >= tgt.len() {
+                return None;
+            }
+            let s_rel = RelId(sr as u32);
+            let t_rel = RelId(tr as u32);
+            if sc >= src.relation(s_rel).arity() || tc >= tgt.relation(t_rel).arity() {
+                return None;
+            }
+            Some(Correspondence::new(AttrRef::new(s_rel, sc), AttrRef::new(t_rel, tc)))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated candidate validates, is structurally unique, and
+    /// exports at least one source variable.
+    #[test]
+    fn candidates_are_wellformed(src in arb_schema("s"), tgt in arb_schema("t"), raw in arb_corrs()) {
+        let corrs = resolve(&raw, &src, &tgt);
+        let cands = generate_candidates(&src, &tgt, &corrs, &CandGenConfig::default());
+        let mut keys: Vec<String> = cands.iter().map(cms_tgd::canonical_key).collect();
+        let n = keys.len();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), n, "structural duplicates emitted");
+        for c in &cands {
+            prop_assert!(c.validate(&src, &tgt).is_ok());
+            // At least one head variable is universal (a correspondence
+            // fired), otherwise the pair shouldn't have been emitted.
+            let exist = c.existential_vars();
+            let head_vars: usize = c.head.iter().flat_map(|a| a.vars()).count();
+            prop_assert!(head_vars > exist.len() || head_vars == 0 ||
+                c.head.iter().flat_map(|a| a.vars()).any(|v| !exist.contains(&v)),
+                "candidate exports nothing");
+        }
+        // No correspondences ⇒ no candidates.
+        if corrs.is_empty() {
+            prop_assert!(cands.is_empty());
+        }
+    }
+
+    /// Raising the alternatives cap never *removes* candidates.
+    #[test]
+    fn alternatives_monotone_in_cap(src in arb_schema("s"), tgt in arb_schema("t"), raw in arb_corrs()) {
+        let corrs = resolve(&raw, &src, &tgt);
+        let lo = generate_candidates(&src, &tgt, &corrs,
+            &CandGenConfig { max_alternatives_per_pair: 1, ..CandGenConfig::default() });
+        let hi = generate_candidates(&src, &tgt, &corrs,
+            &CandGenConfig { max_alternatives_per_pair: 16, ..CandGenConfig::default() });
+        prop_assert!(hi.len() >= lo.len());
+        let hi_keys: Vec<String> = hi.iter().map(cms_tgd::canonical_key).collect();
+        for c in &lo {
+            prop_assert!(hi_keys.contains(&cms_tgd::canonical_key(c)));
+        }
+    }
+
+    /// Logical-relation expansion: FK-unified variables really are shared,
+    /// and the number of atoms respects the cap.
+    #[test]
+    fn expansion_respects_fks(schema in arb_schema("s"), cap in 1usize..5) {
+        for root in schema.rel_ids() {
+            let lr = expand(&schema, root, cap);
+            prop_assert!(lr.atoms.len() <= cap);
+            prop_assert_eq!(lr.atoms[0].rel, root);
+            // All variable indices are < num_vars.
+            for atom in &lr.atoms {
+                for &v in &atom.vars {
+                    prop_assert!(v < lr.num_vars);
+                }
+            }
+        }
+    }
+}

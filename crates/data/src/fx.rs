@@ -1,0 +1,117 @@
+//! A small, fast, non-cryptographic hasher in the style of rustc's FxHash.
+//!
+//! The algorithm (multiply + rotate word mixing) is the well-known public
+//! domain "Fx" scheme used throughout rustc. We re-implement it here because
+//! `rustc-hash` is not part of this project's allowed dependency set, and the
+//! default SipHash is measurably slow for the short integer-heavy keys
+//! (interned symbols, relation ids, value vectors) this workspace hashes in
+//! hot loops (chase, grounding, coverage computation).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant (from FxHash / Firefox's hash combiner).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, DoS-unsafe hasher for internal data structures.
+///
+/// Never expose hash tables keyed by untrusted external input with this
+/// hasher; everything in this workspace hashes data we generated ourselves.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume 8 bytes at a time, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        let mut hasher = FxHasher::default();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&vec![1u32, 2, 3]), hash_of(&vec![1u32, 2, 3]));
+    }
+
+    #[test]
+    fn different_values_usually_differ() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&"abc"), hash_of(&"abd"));
+    }
+
+    #[test]
+    fn byte_tail_is_hashed() {
+        // Regression guard: remainder bytes must contribute to the hash.
+        assert_ne!(hash_of(&b"123456789".as_slice()), hash_of(&b"123456780".as_slice()));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut map: FxHashMap<String, i32> = FxHashMap::default();
+        for i in 0..1000 {
+            map.insert(format!("key{i}"), i);
+        }
+        for i in 0..1000 {
+            assert_eq!(map.get(&format!("key{i}")), Some(&i));
+        }
+    }
+}

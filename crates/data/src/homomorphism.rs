@@ -1,0 +1,263 @@
+//! Homomorphisms between null-containing instances.
+//!
+//! Two notions are needed by the paper's machinery:
+//!
+//! 1. **Per-tuple matching** ([`tuple_match`]): tuple `k` (with nulls)
+//!    *matches* ground tuple `t` iff every constant position agrees; the
+//!    match induces an assignment of `k`'s nulls to `t`'s constants (which
+//!    must be internally consistent when a null occurs twice in `k`). This
+//!    is the building block of the graded `covers`/`creates` semantics of
+//!    objective Eq. (9).
+//!
+//! 2. **Instance-level homomorphisms** ([`find_homomorphism`]): a map `h`
+//!    from nulls of `K` to constants such that `h(K) ⊆ J`. Used to decide
+//!    whether a universal solution embeds into the target instance, and in
+//!    tests validating the chase.
+
+use crate::fx::FxHashMap;
+use crate::instance::Instance;
+use crate::value::{NullId, Value};
+
+/// The null assignment induced by matching one tuple against a ground tuple.
+pub type NullAssignment = FxHashMap<NullId, Value>;
+
+/// Try to match `k` (may contain nulls) against ground tuple `t`.
+///
+/// Returns the induced null assignment if every constant position of `k`
+/// equals `t` and repeated nulls in `k` map consistently; `None` otherwise.
+/// `t` must be ground (all constants); a null in `t` fails the match.
+pub fn tuple_match(k: &[Value], t: &[Value]) -> Option<NullAssignment> {
+    if k.len() != t.len() {
+        return None;
+    }
+    let mut assignment = NullAssignment::default();
+    for (kv, tv) in k.iter().zip(t.iter()) {
+        match (kv, tv) {
+            (Value::Const(a), Value::Const(b)) => {
+                if a != b {
+                    return None;
+                }
+            }
+            (Value::Null(n), Value::Const(_)) => {
+                if let Some(prev) = assignment.insert(*n, *tv) {
+                    if prev != *tv {
+                        return None;
+                    }
+                }
+            }
+            // The right-hand side must be ground.
+            (_, Value::Null(_)) => return None,
+        }
+    }
+    Some(assignment)
+}
+
+/// Apply a (partial) null assignment to a row, leaving unmapped nulls as-is.
+pub fn apply_assignment(row: &[Value], h: &NullAssignment) -> Vec<Value> {
+    row.iter()
+        .map(|v| match v {
+            Value::Null(n) => h.get(n).copied().unwrap_or(*v),
+            c => *c,
+        })
+        .collect()
+}
+
+/// Search for a homomorphism from `from` into `to`: a total map of `from`'s
+/// nulls to values such that the image of every tuple is in `to`.
+///
+/// `to` is typically ground, but null-to-null mappings are allowed (standard
+/// data-exchange homomorphisms are constant-preserving and may map nulls to
+/// nulls). Backtracking over tuples; exponential in the worst case but the
+/// instances compared here are small blocks.
+pub fn find_homomorphism(from: &Instance, to: &Instance) -> Option<FxHashMap<NullId, Value>> {
+    let tuples: Vec<_> = from.iter_all().collect();
+    let mut assignment: FxHashMap<NullId, Value> = FxHashMap::default();
+    if extend(&tuples, 0, to, &mut assignment) {
+        Some(assignment)
+    } else {
+        None
+    }
+}
+
+/// True iff a homomorphism `from → to` exists.
+pub fn homomorphic(from: &Instance, to: &Instance) -> bool {
+    find_homomorphism(from, to).is_some()
+}
+
+/// True iff `a` and `b` are homomorphically equivalent.
+pub fn hom_equivalent(a: &Instance, b: &Instance) -> bool {
+    homomorphic(a, b) && homomorphic(b, a)
+}
+
+fn extend(
+    tuples: &[(crate::schema::RelId, &[Value])],
+    idx: usize,
+    to: &Instance,
+    assignment: &mut FxHashMap<NullId, Value>,
+) -> bool {
+    let Some(&(rel, row)) = tuples.get(idx) else {
+        return true; // all tuples mapped
+    };
+    // Candidate images: every tuple of `to` over the same relation that is
+    // consistent with the current partial assignment.
+    for cand in to.rows(rel) {
+        let mut added: Vec<NullId> = Vec::new();
+        if unify(row, cand, assignment, &mut added) && extend(tuples, idx + 1, to, assignment) {
+            return true;
+        }
+        for n in added {
+            assignment.remove(&n);
+        }
+    }
+    false
+}
+
+/// Try to extend `assignment` so that the image of `row` equals `cand`.
+/// Records newly bound nulls in `added` for backtracking.
+fn unify(
+    row: &[Value],
+    cand: &[Value],
+    assignment: &mut FxHashMap<NullId, Value>,
+    added: &mut Vec<NullId>,
+) -> bool {
+    if row.len() != cand.len() {
+        return false;
+    }
+    for (v, c) in row.iter().zip(cand.iter()) {
+        match v {
+            Value::Const(_) => {
+                if v != c {
+                    return false;
+                }
+            }
+            Value::Null(n) => match assignment.get(n) {
+                Some(img) => {
+                    if img != c {
+                        return false;
+                    }
+                }
+                None => {
+                    assignment.insert(*n, *c);
+                    added.push(*n);
+                }
+            },
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelId;
+    use crate::tuple::Tuple;
+
+    fn c(s: &str) -> Value {
+        Value::constant(s)
+    }
+
+    fn n(id: u32) -> Value {
+        Value::Null(NullId(id))
+    }
+
+    #[test]
+    fn tuple_match_constants_must_agree() {
+        assert!(tuple_match(&[c("ML"), c("Alice"), n(2)], &[c("ML"), c("Alice"), c("111")]).is_some());
+        assert!(tuple_match(&[c("BigData"), c("Bob"), n(1)], &[c("ML"), c("Alice"), c("111")]).is_none());
+    }
+
+    #[test]
+    fn tuple_match_repeated_null_must_be_consistent() {
+        assert!(tuple_match(&[n(0), n(0)], &[c("a"), c("a")]).is_some());
+        assert!(tuple_match(&[n(0), n(0)], &[c("a"), c("b")]).is_none());
+    }
+
+    #[test]
+    fn tuple_match_induces_assignment() {
+        let h = tuple_match(&[c("ML"), n(4)], &[c("ML"), c("111")]).unwrap();
+        assert_eq!(h.get(&NullId(4)), Some(&c("111")));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn tuple_match_rejects_null_targets_and_arity_mismatch() {
+        assert!(tuple_match(&[c("a")], &[n(0)]).is_none());
+        assert!(tuple_match(&[c("a")], &[c("a"), c("b")]).is_none());
+    }
+
+    #[test]
+    fn apply_assignment_substitutes() {
+        let mut h = NullAssignment::default();
+        h.insert(NullId(1), c("x"));
+        assert_eq!(apply_assignment(&[n(1), n(2), c("y")], &h), vec![c("x"), n(2), c("y")]);
+    }
+
+    #[test]
+    fn homomorphism_basic() {
+        // K = {T(ML, N0), O(N0, SAP)}  J = {T(ML, 111), O(111, SAP)}
+        let rel_t = RelId(0);
+        let rel_o = RelId(1);
+        let mut k = Instance::new();
+        k.insert(Tuple::new(rel_t, vec![c("ML"), n(0)]));
+        k.insert(Tuple::new(rel_o, vec![n(0), c("SAP")]));
+        let mut j = Instance::new();
+        j.insert_ground(rel_t, &["ML", "111"]);
+        j.insert_ground(rel_o, &["111", "SAP"]);
+        let h = find_homomorphism(&k, &j).unwrap();
+        assert_eq!(h.get(&NullId(0)), Some(&c("111")));
+    }
+
+    #[test]
+    fn homomorphism_requires_joint_consistency() {
+        // N0 would need to be both 111 (for T) and 222 (for O): impossible.
+        let rel_t = RelId(0);
+        let rel_o = RelId(1);
+        let mut k = Instance::new();
+        k.insert(Tuple::new(rel_t, vec![c("ML"), n(0)]));
+        k.insert(Tuple::new(rel_o, vec![n(0), c("SAP")]));
+        let mut j = Instance::new();
+        j.insert_ground(rel_t, &["ML", "111"]);
+        j.insert_ground(rel_o, &["222", "SAP"]);
+        assert!(!homomorphic(&k, &j));
+    }
+
+    #[test]
+    fn homomorphism_backtracks_across_choices() {
+        // Two possible images for the first tuple; only the second works
+        // jointly with the second tuple.
+        let r = RelId(0);
+        let s = RelId(1);
+        let mut k = Instance::new();
+        k.insert(Tuple::new(r, vec![n(0)]));
+        k.insert(Tuple::new(s, vec![n(0), c("z")]));
+        let mut j = Instance::new();
+        j.insert_ground(r, &["a"]);
+        j.insert_ground(r, &["b"]);
+        j.insert_ground(s, &["b", "z"]);
+        let h = find_homomorphism(&k, &j).unwrap();
+        assert_eq!(h.get(&NullId(0)), Some(&c("b")));
+    }
+
+    #[test]
+    fn ground_subset_is_homomorphic() {
+        let r = RelId(0);
+        let mut k = Instance::new();
+        k.insert_ground(r, &["a"]);
+        let mut j = Instance::new();
+        j.insert_ground(r, &["a"]);
+        j.insert_ground(r, &["b"]);
+        assert!(homomorphic(&k, &j));
+        assert!(!homomorphic(&j, &k));
+        assert!(!hom_equivalent(&k, &j));
+    }
+
+    #[test]
+    fn hom_equivalence_up_to_null_renaming() {
+        let r = RelId(0);
+        let mut a = Instance::new();
+        a.insert(Tuple::new(r, vec![c("x"), n(0)]));
+        let mut b = Instance::new();
+        b.insert(Tuple::new(r, vec![c("x"), n(9)]));
+        assert!(hom_equivalent(&a, &b));
+    }
+}

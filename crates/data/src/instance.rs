@@ -1,0 +1,263 @@
+//! Instances: sets of tuples per relation, with order-preserving dedup.
+//!
+//! An [`Instance`] is a set-semantics database: inserting a duplicate tuple
+//! is a no-op. Iteration order is insertion order (deterministic given a
+//! deterministic producer — important for reproducible experiments).
+
+use crate::fx::FxHashMap;
+use crate::schema::RelId;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+
+/// Tuples of one relation: an insertion-ordered set.
+#[derive(Clone, Debug, Default)]
+pub struct RelationData {
+    rows: Vec<Vec<Value>>,
+    lookup: FxHashMap<Vec<Value>, usize>,
+}
+
+impl RelationData {
+    /// Insert a row; returns `true` if it was new.
+    pub fn insert(&mut self, row: Vec<Value>) -> bool {
+        if self.lookup.contains_key(&row) {
+            return false;
+        }
+        self.lookup.insert(row.clone(), self.rows.len());
+        self.rows.push(row);
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, row: &[Value]) -> bool {
+        self.lookup.contains_key(row)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rows in insertion order.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+}
+
+/// A database instance: relation id → set of rows.
+#[derive(Clone, Debug, Default)]
+pub struct Instance {
+    rels: FxHashMap<RelId, RelationData>,
+}
+
+impl Instance {
+    /// An empty instance.
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    /// Insert a tuple; returns `true` if it was new.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        self.rels.entry(t.rel).or_default().insert(t.args)
+    }
+
+    /// Insert a ground tuple built from string constants.
+    pub fn insert_ground(&mut self, rel: RelId, consts: &[&str]) -> bool {
+        self.insert(Tuple::ground(rel, consts))
+    }
+
+    /// Remove a tuple; returns `true` if it was present.
+    ///
+    /// O(n) in the relation size (rebuilds the positional index); removal is
+    /// rare (only the noise injector uses it).
+    pub fn remove(&mut self, rel: RelId, row: &[Value]) -> bool {
+        let Some(data) = self.rels.get_mut(&rel) else {
+            return false;
+        };
+        let Some(pos) = data.lookup.remove(row) else {
+            return false;
+        };
+        data.rows.remove(pos);
+        for (i, r) in data.rows.iter().enumerate().skip(pos) {
+            *data.lookup.get_mut(r).expect("index out of sync") = i;
+        }
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, rel: RelId, row: &[Value]) -> bool {
+        self.rels.get(&rel).is_some_and(|d| d.contains(row))
+    }
+
+    /// Membership test for a [`Tuple`].
+    pub fn contains_tuple(&self, t: &Tuple) -> bool {
+        self.contains(t.rel, &t.args)
+    }
+
+    /// Rows of one relation (empty slice if the relation has no rows).
+    pub fn rows(&self, rel: RelId) -> &[Vec<Value>] {
+        self.rels.get(&rel).map_or(&[], |d| d.rows())
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_len(&self) -> usize {
+        self.rels.values().map(RelationData::len).sum()
+    }
+
+    /// True iff the instance holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.total_len() == 0
+    }
+
+    /// Relation ids with at least one row, in unspecified order.
+    pub fn populated_rels(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.rels
+            .iter()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(&r, _)| r)
+    }
+
+    /// Iterate all tuples as `(RelId, &row)`, grouped by relation.
+    pub fn iter_all(&self) -> impl Iterator<Item = (RelId, &[Value])> + '_ {
+        let mut rels: Vec<_> = self.rels.iter().collect();
+        rels.sort_by_key(|(r, _)| **r);
+        rels.into_iter()
+            .flat_map(|(&r, d)| d.rows().iter().map(move |row| (r, row.as_slice())))
+    }
+
+    /// Collect all tuples into owned [`Tuple`]s (sorted by relation id, then
+    /// insertion order) — convenient for assertions in tests.
+    pub fn to_tuples(&self) -> Vec<Tuple> {
+        self.iter_all()
+            .map(|(r, row)| Tuple::new(r, row.to_vec()))
+            .collect()
+    }
+
+    /// Largest null id occurring in the instance plus one (0 if ground):
+    /// the safe starting point for a [`crate::value::NullFactory`] extending
+    /// this instance.
+    pub fn next_null_id(&self) -> u32 {
+        self.iter_all()
+            .flat_map(|(_, row)| row.iter())
+            .filter_map(|v| v.as_null())
+            .map(|n| n.0 + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Union: insert every tuple of `other` into `self`.
+    pub fn absorb(&mut self, other: &Instance) {
+        for (rel, row) in other.iter_all() {
+            self.insert(Tuple::new(rel, row.to_vec()));
+        }
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (rel, row) in self.iter_all() {
+            writeln!(f, "{}", Tuple::new(rel, row.to_vec()))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Tuple> for Instance {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Instance {
+        let mut inst = Instance::new();
+        for t in iter {
+            inst.insert(t);
+        }
+        inst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{NullId, Value};
+
+    #[test]
+    fn insert_dedups() {
+        let mut inst = Instance::new();
+        assert!(inst.insert_ground(RelId(0), &["a", "b"]));
+        assert!(!inst.insert_ground(RelId(0), &["a", "b"]));
+        assert!(inst.insert_ground(RelId(0), &["a", "c"]));
+        assert_eq!(inst.total_len(), 2);
+    }
+
+    #[test]
+    fn contains_and_rows() {
+        let mut inst = Instance::new();
+        inst.insert_ground(RelId(1), &["x"]);
+        assert!(inst.contains(RelId(1), &[Value::constant("x")]));
+        assert!(!inst.contains(RelId(1), &[Value::constant("y")]));
+        assert!(!inst.contains(RelId(9), &[Value::constant("x")]));
+        assert_eq!(inst.rows(RelId(1)).len(), 1);
+        assert!(inst.rows(RelId(9)).is_empty());
+    }
+
+    #[test]
+    fn remove_keeps_index_consistent() {
+        let mut inst = Instance::new();
+        inst.insert_ground(RelId(0), &["a"]);
+        inst.insert_ground(RelId(0), &["b"]);
+        inst.insert_ground(RelId(0), &["c"]);
+        assert!(inst.remove(RelId(0), &[Value::constant("b")]));
+        assert!(!inst.remove(RelId(0), &[Value::constant("b")]));
+        assert!(inst.contains(RelId(0), &[Value::constant("c")]));
+        assert!(inst.contains(RelId(0), &[Value::constant("a")]));
+        assert_eq!(inst.total_len(), 2);
+        // Re-insert after remove must work (index rebuilt correctly).
+        assert!(inst.insert_ground(RelId(0), &["b"]));
+        assert_eq!(inst.total_len(), 3);
+    }
+
+    #[test]
+    fn next_null_id_tracks_maximum() {
+        let mut inst = Instance::new();
+        assert_eq!(inst.next_null_id(), 0);
+        inst.insert(Tuple::new(
+            RelId(0),
+            vec![Value::constant("a"), Value::Null(NullId(4))],
+        ));
+        assert_eq!(inst.next_null_id(), 5);
+    }
+
+    #[test]
+    fn absorb_unions() {
+        let mut a = Instance::new();
+        a.insert_ground(RelId(0), &["x"]);
+        let mut b = Instance::new();
+        b.insert_ground(RelId(0), &["x"]);
+        b.insert_ground(RelId(1), &["y"]);
+        a.absorb(&b);
+        assert_eq!(a.total_len(), 2);
+    }
+
+    #[test]
+    fn iter_all_sorted_by_relation() {
+        let mut inst = Instance::new();
+        inst.insert_ground(RelId(3), &["z"]);
+        inst.insert_ground(RelId(1), &["a"]);
+        let rels: Vec<RelId> = inst.iter_all().map(|(r, _)| r).collect();
+        assert_eq!(rels, vec![RelId(1), RelId(3)]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let inst: Instance = vec![
+            Tuple::ground(RelId(0), &["a"]),
+            Tuple::ground(RelId(0), &["a"]),
+            Tuple::ground(RelId(1), &["b"]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(inst.total_len(), 2);
+    }
+}

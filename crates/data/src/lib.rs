@@ -1,0 +1,34 @@
+//! `cms-data` — the relational substrate for collective schema-mapping
+//! selection.
+//!
+//! This crate provides the data-exchange vocabulary everything else builds
+//! on: interned symbols, values with labeled nulls, tuples, schemas with
+//! keys and foreign keys, set-semantics instances, per-tuple null-pattern
+//! canonicalization, and homomorphism machinery.
+//!
+//! It corresponds to the "database" layer the paper assumes: the source
+//! instance `I`, target instance `J`, and the canonical universal solutions
+//! `K_M` produced by chasing `I` are all [`Instance`]s over [`Schema`]s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fx;
+pub mod homomorphism;
+pub mod instance;
+pub mod pattern;
+pub mod schema;
+pub mod symbols;
+pub mod tuple;
+pub mod value;
+
+pub use fx::{FxHashMap, FxHashSet};
+pub use homomorphism::{
+    apply_assignment, find_homomorphism, hom_equivalent, homomorphic, tuple_match, NullAssignment,
+};
+pub use instance::{Instance, RelationData};
+pub use pattern::{multiset_overlap, pattern_multiset, PatVal, TuplePattern};
+pub use schema::{AttrRef, ForeignKey, RelId, Relation, Schema};
+pub use symbols::Sym;
+pub use tuple::Tuple;
+pub use value::{NullFactory, NullId, Value};

@@ -1,0 +1,176 @@
+//! Per-tuple null-pattern canonicalization.
+//!
+//! Tuples produced by different chase runs use different labeled nulls even
+//! when they are "the same" tuple up to null renaming. A [`TuplePattern`]
+//! replaces each null by its first-occurrence index *within the tuple*,
+//! giving a canonical form under per-tuple null renaming:
+//!
+//! `T(a, _N7, _N7, _N9)` and `T(a, _N2, _N2, _N5)` share the pattern
+//! `T(a, #0, #0, #1)`.
+//!
+//! This is the equivalence used (a) to recognize the gold mapping's output
+//! inside the candidate set's output when classifying noise tuples
+//! (appendix §II "we take into account homomorphisms when determining which
+//! of these cases applies"), and (b) for data-level precision/recall. It
+//! deliberately ignores *cross*-tuple null sharing: two instances with equal
+//! pattern multisets may still differ in how nulls join across tuples. For
+//! joint-null comparisons use [`crate::homomorphism`], which is exact.
+
+use crate::fx::FxHashMap;
+use crate::schema::RelId;
+use crate::symbols::Sym;
+use crate::value::{NullId, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A canonicalized value: constant, or null index by first occurrence.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum PatVal {
+    /// A ground constant.
+    Const(Sym),
+    /// The i-th distinct null within the tuple (0-based).
+    Null(usize),
+}
+
+/// Canonical form of a tuple under per-tuple null renaming.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TuplePattern {
+    /// Relation the tuple belongs to.
+    pub rel: RelId,
+    /// Canonicalized values.
+    pub vals: Vec<PatVal>,
+}
+
+impl TuplePattern {
+    /// Canonicalize a row of `rel`.
+    pub fn of(rel: RelId, row: &[Value]) -> TuplePattern {
+        let mut seen: FxHashMap<NullId, usize> = FxHashMap::default();
+        let vals = row
+            .iter()
+            .map(|v| match v {
+                Value::Const(s) => PatVal::Const(*s),
+                Value::Null(n) => {
+                    let next = seen.len();
+                    PatVal::Null(*seen.entry(*n).or_insert(next))
+                }
+            })
+            .collect();
+        TuplePattern { rel, vals }
+    }
+
+    /// True iff the pattern contains no nulls.
+    pub fn is_ground(&self) -> bool {
+        self.vals.iter().all(|v| matches!(v, PatVal::Const(_)))
+    }
+}
+
+impl fmt::Display for TuplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}(", self.rel.0)?;
+        for (i, v) in self.vals.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match v {
+                PatVal::Const(s) => write!(f, "{s}")?,
+                PatVal::Null(k) => write!(f, "#{k}")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// Multiset of tuple patterns of an instance (pattern → multiplicity).
+///
+/// Because instances are sets of tuples but distinct null-tuples can share a
+/// pattern, multiplicities can exceed 1.
+pub fn pattern_multiset(
+    inst: &crate::instance::Instance,
+) -> BTreeMap<TuplePattern, usize> {
+    let mut out: BTreeMap<TuplePattern, usize> = BTreeMap::new();
+    for (rel, row) in inst.iter_all() {
+        *out.entry(TuplePattern::of(rel, row)).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Multiset intersection size of two pattern multisets — the numerator of
+/// pattern-level precision/recall.
+pub fn multiset_overlap(
+    a: &BTreeMap<TuplePattern, usize>,
+    b: &BTreeMap<TuplePattern, usize>,
+) -> usize {
+    a.iter()
+        .map(|(p, &na)| na.min(b.get(p).copied().unwrap_or(0)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use crate::tuple::Tuple;
+
+    fn n(id: u32) -> Value {
+        Value::Null(NullId(id))
+    }
+
+    fn c(s: &str) -> Value {
+        Value::constant(s)
+    }
+
+    #[test]
+    fn renaming_invariance() {
+        let p1 = TuplePattern::of(RelId(0), &[c("a"), n(7), n(7), n(9)]);
+        let p2 = TuplePattern::of(RelId(0), &[c("a"), n(2), n(2), n(5)]);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn null_identity_within_tuple_matters() {
+        let p1 = TuplePattern::of(RelId(0), &[n(1), n(1)]);
+        let p2 = TuplePattern::of(RelId(0), &[n(1), n(2)]);
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn relation_distinguishes_patterns() {
+        let p1 = TuplePattern::of(RelId(0), &[c("a")]);
+        let p2 = TuplePattern::of(RelId(1), &[c("a")]);
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn ground_detection_and_display() {
+        let p = TuplePattern::of(RelId(2), &[c("ML"), n(0)]);
+        assert!(!p.is_ground());
+        assert_eq!(p.to_string(), "r2(ML, #0)");
+        assert!(TuplePattern::of(RelId(2), &[c("x")]).is_ground());
+    }
+
+    #[test]
+    fn multiset_counts_pattern_duplicates() {
+        let mut inst = Instance::new();
+        // Distinct nulls, same pattern.
+        inst.insert(Tuple::new(RelId(0), vec![c("a"), n(0)]));
+        inst.insert(Tuple::new(RelId(0), vec![c("a"), n(1)]));
+        inst.insert(Tuple::new(RelId(0), vec![c("b"), n(2)]));
+        let ms = pattern_multiset(&inst);
+        assert_eq!(ms.len(), 2);
+        let pa = TuplePattern::of(RelId(0), &[c("a"), n(42)]);
+        assert_eq!(ms.get(&pa), Some(&2));
+    }
+
+    #[test]
+    fn overlap_is_min_of_multiplicities() {
+        let mut a = Instance::new();
+        a.insert(Tuple::new(RelId(0), vec![c("a"), n(0)]));
+        a.insert(Tuple::new(RelId(0), vec![c("a"), n(1)]));
+        let mut b = Instance::new();
+        b.insert(Tuple::new(RelId(0), vec![c("a"), n(5)]));
+        b.insert(Tuple::new(RelId(0), vec![c("z"), n(6)]));
+        let (ma, mb) = (pattern_multiset(&a), pattern_multiset(&b));
+        assert_eq!(multiset_overlap(&ma, &mb), 1);
+        assert_eq!(multiset_overlap(&mb, &ma), 1);
+    }
+}

@@ -1,0 +1,276 @@
+//! Schemas: relations, attributes, keys, and foreign keys.
+//!
+//! A [`Schema`] is an ordered list of [`Relation`]s addressed by dense
+//! [`RelId`]s. Foreign keys drive the Clio-style candidate generation
+//! (`cms-candgen` walks FK closures to form logical relations), and primary
+//! keys drive data generation (`cms-ibench` keeps key columns unique).
+
+use crate::fx::FxHashMap;
+use crate::symbols::Sym;
+use std::fmt;
+
+/// Dense index of a relation within one [`Schema`].
+///
+/// `RelId`s are only meaningful relative to the schema that produced them;
+/// source- and target-schema ids live in disjoint namespaces by convention
+/// (dependencies keep body/head atoms separate).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The id as a usable index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A reference to one attribute (column) of one relation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AttrRef {
+    /// Relation the attribute belongs to.
+    pub rel: RelId,
+    /// Zero-based column index.
+    pub col: usize,
+}
+
+impl AttrRef {
+    /// Construct an attribute reference.
+    pub fn new(rel: RelId, col: usize) -> AttrRef {
+        AttrRef { rel, col }
+    }
+}
+
+/// A foreign key: `cols` of the owning relation reference `target_cols` of
+/// relation `target` (positionally, same length).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ForeignKey {
+    /// Referencing columns in the owning relation.
+    pub cols: Vec<usize>,
+    /// Referenced relation.
+    pub target: RelId,
+    /// Referenced columns in `target` (usually its key).
+    pub target_cols: Vec<usize>,
+}
+
+/// A relation symbol: name, attribute names, optional key, foreign keys.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    /// Relation name (unique within the schema).
+    pub name: Sym,
+    /// Attribute names, in column order.
+    pub attrs: Vec<Sym>,
+    /// Primary-key column indices (empty = no declared key).
+    pub key: Vec<usize>,
+    /// Outgoing foreign keys.
+    pub fks: Vec<ForeignKey>,
+}
+
+impl Relation {
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Column index of the attribute named `attr`, if present.
+    pub fn col_of(&self, attr: Sym) -> Option<usize> {
+        self.attrs.iter().position(|&a| a == attr)
+    }
+}
+
+/// A named collection of relations.
+#[derive(Clone, Debug, Default)]
+pub struct Schema {
+    /// Schema name (e.g. "source", "target").
+    pub name: String,
+    relations: Vec<Relation>,
+    by_name: FxHashMap<Sym, RelId>,
+}
+
+impl Schema {
+    /// An empty schema with the given name.
+    pub fn new(name: impl Into<String>) -> Schema {
+        Schema {
+            name: name.into(),
+            relations: Vec::new(),
+            by_name: FxHashMap::default(),
+        }
+    }
+
+    /// Add a relation with the given name and attribute names; no key, no
+    /// foreign keys. Returns its id.
+    ///
+    /// # Panics
+    /// Panics if a relation with the same name already exists — schema
+    /// construction is programmatic and a duplicate is always a bug.
+    pub fn add_relation(&mut self, name: &str, attrs: &[&str]) -> RelId {
+        self.add_relation_full(
+            name,
+            attrs,
+            &[],
+            Vec::new(),
+        )
+    }
+
+    /// Add a relation with key columns and foreign keys.
+    pub fn add_relation_full(
+        &mut self,
+        name: &str,
+        attrs: &[&str],
+        key: &[usize],
+        fks: Vec<ForeignKey>,
+    ) -> RelId {
+        let name_sym = Sym::new(name);
+        assert!(
+            !self.by_name.contains_key(&name_sym),
+            "duplicate relation name {name:?} in schema {:?}",
+            self.name
+        );
+        for fk in &fks {
+            assert_eq!(fk.cols.len(), fk.target_cols.len(), "FK column count mismatch");
+        }
+        let id = RelId(u32::try_from(self.relations.len()).expect("too many relations"));
+        self.relations.push(Relation {
+            name: name_sym,
+            attrs: attrs.iter().map(|a| Sym::new(a)).collect(),
+            key: key.to_vec(),
+            fks,
+        });
+        self.by_name.insert(name_sym, id);
+        id
+    }
+
+    /// Append a foreign key to an existing relation.
+    pub fn add_fk(&mut self, rel: RelId, fk: ForeignKey) {
+        self.relations[rel.index()].fks.push(fk);
+    }
+
+    /// The relation with the given id.
+    pub fn relation(&self, id: RelId) -> &Relation {
+        &self.relations[id.index()]
+    }
+
+    /// Look up a relation id by name.
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(&Sym::new(name)).copied()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True iff the schema has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Iterate `(RelId, &Relation)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &Relation)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i as u32), r))
+    }
+
+    /// All relation ids.
+    pub fn rel_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.relations.len()).map(|i| RelId(i as u32))
+    }
+
+    /// Display name of a relation id (for error messages and tables).
+    pub fn rel_name(&self, id: RelId) -> Sym {
+        self.relations[id.index()].name
+    }
+
+    /// Resolve an attribute reference to `"rel.attr"` form.
+    pub fn attr_name(&self, a: AttrRef) -> String {
+        let rel = self.relation(a.rel);
+        format!("{}.{}", rel.name, rel.attrs[a.col])
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "schema {} {{", self.name)?;
+        for (_, r) in self.iter() {
+            let attrs: Vec<String> = r.attrs.iter().map(|a| a.to_string()).collect();
+            write!(f, "  {}({})", r.name, attrs.join(", "))?;
+            if !r.key.is_empty() {
+                write!(f, " key({:?})", r.key)?;
+            }
+            for fk in &r.fks {
+                write!(
+                    f,
+                    " fk({:?} -> {}{:?})",
+                    fk.cols,
+                    self.rel_name(fk.target),
+                    fk.target_cols
+                )?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        let mut s = Schema::new("source");
+        let proj = s.add_relation_full("proj", &["name", "code", "leader"], &[1], Vec::new());
+        let _team = s.add_relation_full(
+            "team",
+            &["pcode", "emp"],
+            &[],
+            vec![ForeignKey { cols: vec![0], target: proj, target_cols: vec![1] }],
+        );
+        s
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let s = sample();
+        assert_eq!(s.len(), 2);
+        let proj = s.rel_id("proj").unwrap();
+        assert_eq!(s.relation(proj).arity(), 3);
+        assert_eq!(s.relation(proj).col_of(Sym::new("code")), Some(1));
+        assert_eq!(s.relation(proj).col_of(Sym::new("nope")), None);
+        assert!(s.rel_id("missing").is_none());
+    }
+
+    #[test]
+    fn foreign_keys_recorded() {
+        let s = sample();
+        let team = s.rel_id("team").unwrap();
+        let proj = s.rel_id("proj").unwrap();
+        let fk = &s.relation(team).fks[0];
+        assert_eq!(fk.target, proj);
+        assert_eq!(fk.cols, vec![0]);
+        assert_eq!(fk.target_cols, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate relation")]
+    fn duplicate_relation_panics() {
+        let mut s = Schema::new("x");
+        s.add_relation("r", &["a"]);
+        s.add_relation("r", &["b"]);
+    }
+
+    #[test]
+    fn attr_name_rendering() {
+        let s = sample();
+        let proj = s.rel_id("proj").unwrap();
+        assert_eq!(s.attr_name(AttrRef::new(proj, 2)), "proj.leader");
+    }
+
+    #[test]
+    fn display_lists_relations() {
+        let text = sample().to_string();
+        assert!(text.contains("proj(name, code, leader)"));
+        assert!(text.contains("team(pcode, emp)"));
+        assert!(text.contains("fk"));
+    }
+}

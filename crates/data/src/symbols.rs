@@ -1,0 +1,131 @@
+//! Global string interning.
+//!
+//! All constants, relation names, and attribute names in the workspace are
+//! interned into [`Sym`]s — small `Copy` handles that compare and hash as a
+//! single `u32`. This keeps tuples compact (`Vec<Value>` where `Value` is 8
+//! bytes) and makes the chase / coverage inner loops allocation-free.
+//!
+//! The interner is a process-global append-only table. Interned strings are
+//! leaked intentionally: the set of distinct symbols in any scenario is small
+//! (schema names + the data value pool) and the handles must stay valid for
+//! the whole process, which is exactly the lifetime a leak provides.
+
+use crate::fx::FxHashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string handle.
+///
+/// Two `Sym`s are equal iff the strings they intern are equal. Ordering is
+/// by interning order (stable within a process, *not* lexicographic); use
+/// [`Sym::as_str`] when lexicographic order matters.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+struct Interner {
+    strings: Vec<&'static str>,
+    lookup: FxHashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            strings: Vec::new(),
+            lookup: FxHashMap::default(),
+        })
+    })
+}
+
+impl Sym {
+    /// Intern `s`, returning its handle. Idempotent.
+    pub fn new(s: &str) -> Sym {
+        let mut guard = interner().lock().expect("symbol interner poisoned");
+        if let Some(&id) = guard.lookup.get(s) {
+            return Sym(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(guard.strings.len()).expect("too many interned symbols");
+        guard.strings.push(leaked);
+        guard.lookup.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// The interned string. O(1); the reference is `'static`.
+    pub fn as_str(self) -> &'static str {
+        let guard = interner().lock().expect("symbol interner poisoned");
+        guard.strings[self.0 as usize]
+    }
+
+    /// Raw handle value, for compact serialization in tests.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::new(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Sym {
+        Sym::new(&s)
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Sym::new("hello");
+        let b = Sym::new("hello");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "hello");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        assert_ne!(Sym::new("alpha"), Sym::new("beta"));
+    }
+
+    #[test]
+    fn display_shows_the_string() {
+        let s = Sym::new("task");
+        assert_eq!(s.to_string(), "task");
+        assert_eq!(format!("{s:?}"), "Sym(\"task\")");
+    }
+
+    #[test]
+    fn from_impls() {
+        let a: Sym = "x".into();
+        let b: Sym = String::from("x").into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| (0..100).map(|i| Sym::new(&format!("c{i}"))).collect::<Vec<_>>()))
+            .collect();
+        let results: Vec<Vec<Sym>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Tuples: a relation id plus a vector of values.
+
+use crate::schema::RelId;
+use crate::value::Value;
+use std::fmt;
+
+/// A (possibly null-containing) tuple over some relation.
+///
+/// The schema is not stored; callers pair tuples with the schema that owns
+/// `rel` (instances enforce arity on insert).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Tuple {
+    /// Relation the tuple belongs to.
+    pub rel: RelId,
+    /// Column values.
+    pub args: Vec<Value>,
+}
+
+impl Tuple {
+    /// Construct a tuple.
+    pub fn new(rel: RelId, args: Vec<Value>) -> Tuple {
+        Tuple { rel, args }
+    }
+
+    /// Construct a ground tuple from string constants.
+    pub fn ground(rel: RelId, consts: &[&str]) -> Tuple {
+        Tuple {
+            rel,
+            args: consts.iter().map(|c| Value::constant(c)).collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// True iff the tuple contains no labeled nulls.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|v| v.is_const())
+    }
+
+    /// Iterator over the positions holding nulls.
+    pub fn null_positions(&self) -> impl Iterator<Item = usize> + '_ {
+        self.args
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_null())
+            .map(|(i, _)| i)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}(", self.rel.0)?;
+        for (i, v) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::NullId;
+
+    #[test]
+    fn ground_detection() {
+        let t = Tuple::ground(RelId(0), &["a", "b"]);
+        assert!(t.is_ground());
+        assert_eq!(t.arity(), 2);
+        let u = Tuple::new(RelId(0), vec![Value::constant("a"), Value::Null(NullId(0))]);
+        assert!(!u.is_ground());
+        assert_eq!(u.null_positions().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let t = Tuple::new(RelId(2), vec![Value::constant("ML"), Value::Null(NullId(4))]);
+        assert_eq!(t.to_string(), "r2(ML, _N4)");
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = Tuple::ground(RelId(1), &["x", "y"]);
+        let b = Tuple::ground(RelId(1), &["x", "y"]);
+        let c = Tuple::ground(RelId(2), &["x", "y"]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,162 @@
+//! Values: constants and labeled nulls.
+//!
+//! A data-exchange instance over a schema contains *ground* values
+//! (constants) and *labeled nulls* introduced by existential quantifiers
+//! during the chase. Nulls are identified by a [`NullId`]; two occurrences of
+//! the same `NullId` denote the same unknown value (this sharing is exactly
+//! what the paper's `covers` support rule exploits).
+
+use crate::symbols::Sym;
+use std::fmt;
+
+/// Identifier of a labeled null. Fresh ids are handed out by
+/// [`NullFactory`]; uniqueness is per factory (one factory per chase).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NullId(pub u32);
+
+/// A single value in a tuple: either an interned constant or a labeled null.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A ground constant (interned string).
+    Const(Sym),
+    /// A labeled null, as produced by chasing an existential variable.
+    Null(NullId),
+}
+
+impl Value {
+    /// Convenience constructor interning `s`.
+    pub fn constant(s: &str) -> Value {
+        Value::Const(Sym::new(s))
+    }
+
+    /// True iff this value is a labeled null.
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+
+    /// True iff this value is a ground constant.
+    pub fn is_const(self) -> bool {
+        matches!(self, Value::Const(_))
+    }
+
+    /// The constant symbol, if ground.
+    pub fn as_const(self) -> Option<Sym> {
+        match self {
+            Value::Const(s) => Some(s),
+            Value::Null(_) => None,
+        }
+    }
+
+    /// The null id, if a null.
+    pub fn as_null(self) -> Option<NullId> {
+        match self {
+            Value::Null(n) => Some(n),
+            Value::Const(_) => None,
+        }
+    }
+}
+
+impl From<Sym> for Value {
+    fn from(s: Sym) -> Value {
+        Value::Const(s)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::constant(s)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Constants print verbatim, nulls as `_Nn`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Const(s) => write!(f, "{s}"),
+            Value::Null(NullId(n)) => write!(f, "_N{n}"),
+        }
+    }
+}
+
+/// Hands out fresh labeled nulls.
+///
+/// A chase run owns one factory so that nulls produced for different tgd
+/// firings are globally distinct within the produced instance.
+#[derive(Debug, Default, Clone)]
+pub struct NullFactory {
+    next: u32,
+}
+
+impl NullFactory {
+    /// A factory starting at null id 0.
+    pub fn new() -> NullFactory {
+        NullFactory { next: 0 }
+    }
+
+    /// A factory whose first null id is `start` — used when extending an
+    /// instance that already contains nulls.
+    pub fn starting_at(start: u32) -> NullFactory {
+        NullFactory { next: start }
+    }
+
+    /// Produce a fresh null, never returned before by this factory.
+    pub fn fresh(&mut self) -> NullId {
+        let id = NullId(self.next);
+        self.next = self.next.checked_add(1).expect("null id overflow");
+        id
+    }
+
+    /// The id the next call to [`NullFactory::fresh`] will return.
+    pub fn peek_next(&self) -> u32 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_classification() {
+        let c = Value::constant("IBM");
+        let n = Value::Null(NullId(3));
+        assert!(c.is_const() && !c.is_null());
+        assert!(n.is_null() && !n.is_const());
+        assert_eq!(c.as_const(), Some(Sym::new("IBM")));
+        assert_eq!(n.as_null(), Some(NullId(3)));
+        assert_eq!(c.as_null(), None);
+        assert_eq!(n.as_const(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::constant("SAP").to_string(), "SAP");
+        assert_eq!(Value::Null(NullId(7)).to_string(), "_N7");
+    }
+
+    #[test]
+    fn null_factory_is_monotone_and_fresh() {
+        let mut f = NullFactory::new();
+        let a = f.fresh();
+        let b = f.fresh();
+        assert_ne!(a, b);
+        assert_eq!(a, NullId(0));
+        assert_eq!(b, NullId(1));
+        let mut g = NullFactory::starting_at(10);
+        assert_eq!(g.fresh(), NullId(10));
+        assert_eq!(g.peek_next(), 11);
+    }
+
+    #[test]
+    fn equality_follows_ids_not_provenance() {
+        assert_eq!(Value::Null(NullId(1)), Value::Null(NullId(1)));
+        assert_ne!(Value::Null(NullId(1)), Value::Null(NullId(2)));
+        assert_eq!(Value::constant("x"), Value::constant("x"));
+    }
+}

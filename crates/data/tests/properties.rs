@@ -1,0 +1,162 @@
+//! Property-based tests for the relational substrate.
+
+use cms_data::{
+    apply_assignment, find_homomorphism, homomorphic, pattern_multiset, tuple_match, Instance,
+    NullId, RelId, Tuple, TuplePattern, Value,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A random value: constant from a small pool or null from a small pool.
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0u32..6).prop_map(|c| Value::constant(&format!("c{c}"))),
+        (0u32..4).prop_map(|n| Value::Null(NullId(n))),
+    ]
+}
+
+fn arb_row(arity: usize) -> impl Strategy<Value = Vec<Value>> {
+    prop::collection::vec(arb_value(), arity)
+}
+
+fn arb_ground_row(arity: usize) -> impl Strategy<Value = Vec<Value>> {
+    prop::collection::vec((0u32..6).prop_map(|c| Value::constant(&format!("c{c}"))), arity)
+}
+
+proptest! {
+    /// Renaming nulls (injectively) never changes a tuple's pattern.
+    #[test]
+    fn pattern_invariant_under_null_renaming(row in arb_row(4), offset in 10u32..100) {
+        let renamed: Vec<Value> = row
+            .iter()
+            .map(|v| match v {
+                Value::Null(NullId(n)) => Value::Null(NullId(n + offset)),
+                c => *c,
+            })
+            .collect();
+        prop_assert_eq!(
+            TuplePattern::of(RelId(0), &row),
+            TuplePattern::of(RelId(0), &renamed)
+        );
+    }
+
+    /// Two rows share a pattern iff some injective null renaming maps one
+    /// to the other — checked in the forward direction: equal patterns ⇒
+    /// a consistent renaming exists.
+    #[test]
+    fn equal_patterns_imply_renaming(row in arb_row(4)) {
+        // Build a renamed twin and re-derive the mapping from scratch.
+        let twin: Vec<Value> = row
+            .iter()
+            .map(|v| match v {
+                Value::Null(NullId(n)) => Value::Null(NullId(n * 2 + 50)),
+                c => *c,
+            })
+            .collect();
+        prop_assert_eq!(TuplePattern::of(RelId(0), &row), TuplePattern::of(RelId(0), &twin));
+        // Derive the renaming left→right; it must be a function and injective.
+        let mut map: HashMap<NullId, NullId> = HashMap::new();
+        let mut image: HashMap<NullId, NullId> = HashMap::new();
+        for (a, b) in row.iter().zip(twin.iter()) {
+            match (a, b) {
+                (Value::Null(x), Value::Null(y)) => {
+                    prop_assert_eq!(*map.entry(*x).or_insert(*y), *y);
+                    prop_assert_eq!(*image.entry(*y).or_insert(*x), *x);
+                }
+                (a, b) => prop_assert_eq!(a, b),
+            }
+        }
+    }
+
+    /// If `tuple_match(k, t)` succeeds, applying the induced assignment to
+    /// `k` yields exactly `t`.
+    #[test]
+    fn match_assignment_reconstructs_target(k in arb_row(4), t in arb_ground_row(4)) {
+        if let Some(h) = tuple_match(&k, &t) {
+            prop_assert_eq!(apply_assignment(&k, &h), t);
+        }
+    }
+
+    /// A tuple always matches its own grounding (replace nulls by fresh
+    /// constants consistently).
+    #[test]
+    fn tuple_matches_its_grounding(k in arb_row(5)) {
+        let mut ground = Vec::with_capacity(k.len());
+        for v in &k {
+            ground.push(match v {
+                Value::Null(NullId(n)) => Value::constant(&format!("g{n}")),
+                c => *c,
+            });
+        }
+        let h = tuple_match(&k, &ground);
+        prop_assert!(h.is_some());
+    }
+
+    /// Every instance maps homomorphically into its grounding.
+    #[test]
+    fn instance_homomorphic_into_grounding(rows in prop::collection::vec(arb_row(3), 1..6)) {
+        let mut from = Instance::new();
+        let mut to = Instance::new();
+        for row in &rows {
+            from.insert(Tuple::new(RelId(0), row.clone()));
+            let ground: Vec<Value> = row
+                .iter()
+                .map(|v| match v {
+                    Value::Null(NullId(n)) => Value::constant(&format!("g{n}")),
+                    c => *c,
+                })
+                .collect();
+            to.insert(Tuple::new(RelId(0), ground));
+        }
+        prop_assert!(homomorphic(&from, &to));
+    }
+
+    /// find_homomorphism returns a *verified* witness: applying it maps
+    /// every tuple into the target.
+    #[test]
+    fn homomorphism_witness_is_sound(
+        from_rows in prop::collection::vec(arb_row(3), 1..5),
+        to_rows in prop::collection::vec(arb_ground_row(3), 1..8),
+    ) {
+        let from: Instance = from_rows.iter().map(|r| Tuple::new(RelId(0), r.clone())).collect();
+        let to: Instance = to_rows.iter().map(|r| Tuple::new(RelId(0), r.clone())).collect();
+        if let Some(h) = find_homomorphism(&from, &to) {
+            let h: cms_data::NullAssignment = h;
+            for (rel, row) in from.iter_all() {
+                let image = apply_assignment(row, &h);
+                prop_assert!(to.contains(rel, &image), "image {image:?} missing");
+            }
+        }
+    }
+
+    /// Pattern multisets are insertion-order independent.
+    #[test]
+    fn pattern_multiset_order_independent(rows in prop::collection::vec(arb_row(3), 0..8)) {
+        let fwd: Instance = rows.iter().map(|r| Tuple::new(RelId(0), r.clone())).collect();
+        let rev: Instance = rows.iter().rev().map(|r| Tuple::new(RelId(0), r.clone())).collect();
+        prop_assert_eq!(pattern_multiset(&fwd), pattern_multiset(&rev));
+    }
+
+    /// Instance insert/remove round-trips: after inserting rows and
+    /// removing a subset, membership is exactly set difference.
+    #[test]
+    fn insert_remove_membership(
+        rows in prop::collection::vec(arb_ground_row(2), 1..10),
+        remove_mask in prop::collection::vec(any::<bool>(), 1..10),
+    ) {
+        let mut inst = Instance::new();
+        for r in &rows {
+            inst.insert(Tuple::new(RelId(0), r.clone()));
+        }
+        let mut removed = Vec::new();
+        for (r, &m) in rows.iter().zip(remove_mask.iter()) {
+            if m && inst.remove(RelId(0), r) {
+                removed.push(r.clone());
+            }
+        }
+        for r in &rows {
+            let should_be_in = !removed.contains(r);
+            prop_assert_eq!(inst.contains(RelId(0), r), should_be_in);
+        }
+    }
+}

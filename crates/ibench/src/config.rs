@@ -1,0 +1,107 @@
+//! Scenario-generation configuration (the paper's Table I knobs).
+
+use crate::primitive::Primitive;
+use cms_candgen::CandGenConfig;
+
+/// Noise knobs, as percentages in `[0, 100]` (appendix §II).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NoiseConfig {
+    /// πCorresp: % of target relations that receive random (spurious)
+    /// correspondences to an unrelated source relation.
+    pub pi_corresp: f64,
+    /// πErrors: % of potential non-certain error tuples deleted from `J`.
+    pub pi_errors: f64,
+    /// πUnexplained: % of potential non-certain unexplained tuples added
+    /// to `J`.
+    pub pi_unexplained: f64,
+}
+
+impl NoiseConfig {
+    /// No noise.
+    pub fn clean() -> NoiseConfig {
+        NoiseConfig::default()
+    }
+
+    /// A uniform preset: the same percentage for all three knobs.
+    pub fn uniform(pct: f64) -> NoiseConfig {
+        NoiseConfig { pi_corresp: pct, pi_errors: pct, pi_unexplained: pct }
+    }
+}
+
+/// Full scenario-generation configuration.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// Which primitives to invoke and how many times each.
+    pub invocations: Vec<(Primitive, usize)>,
+    /// Rows generated per source relation.
+    pub rows_per_relation: usize,
+    /// Inclusive range of source-relation arities.
+    pub source_arity: (usize, usize),
+    /// Inclusive range for the number of attributes ADD/DL/ADL add or
+    /// remove — the paper sets this to (2, 4).
+    pub attr_change_range: (usize, usize),
+    /// Distinct values per non-key column (smaller pools ⇒ more joins).
+    pub value_pool: usize,
+    /// RNG seed; identical configs are fully reproducible.
+    pub seed: u64,
+    /// Noise knobs.
+    pub noise: NoiseConfig,
+    /// Candidate-generation knobs.
+    pub candgen: CandGenConfig,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> ScenarioConfig {
+        ScenarioConfig {
+            invocations: Primitive::ALL.iter().map(|&p| (p, 1)).collect(),
+            rows_per_relation: 25,
+            source_arity: (3, 5),
+            attr_change_range: (2, 4),
+            value_pool: 8,
+            seed: 7,
+            noise: NoiseConfig::clean(),
+            candgen: CandGenConfig::default(),
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// Every primitive invoked `n` times each.
+    pub fn all_primitives(n: usize) -> ScenarioConfig {
+        ScenarioConfig {
+            invocations: Primitive::ALL.iter().map(|&p| (p, n)).collect(),
+            ..ScenarioConfig::default()
+        }
+    }
+
+    /// A single primitive invoked `n` times.
+    pub fn single_primitive(p: Primitive, n: usize) -> ScenarioConfig {
+        ScenarioConfig { invocations: vec![(p, n)], ..ScenarioConfig::default() }
+    }
+
+    /// Total number of primitive invocations.
+    pub fn total_invocations(&self) -> usize {
+        self.invocations.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_ranges() {
+        let c = ScenarioConfig::default();
+        assert_eq!(c.attr_change_range, (2, 4));
+        assert_eq!(c.invocations.len(), 7);
+        assert_eq!(c.total_invocations(), 7);
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(ScenarioConfig::all_primitives(3).total_invocations(), 21);
+        let s = ScenarioConfig::single_primitive(Primitive::Me, 4);
+        assert_eq!(s.invocations, vec![(Primitive::Me, 4)]);
+        assert_eq!(NoiseConfig::uniform(25.0).pi_errors, 25.0);
+    }
+}

@@ -1,0 +1,417 @@
+//! The seven iBench mapping primitives used by the paper (appendix §II).
+//!
+//! Each invocation of a primitive contributes fresh source and target
+//! relations, the gold st tgd(s) relating them, and the true attribute
+//! correspondences a perfect schema matcher would produce.
+//!
+//! | Primitive | Effect |
+//! |-----------|--------|
+//! | CP   | copy a source relation under a new name |
+//! | ADD  | copy + add 2–4 new (existential) attributes |
+//! | DL   | copy + remove 2–4 attributes |
+//! | ADL  | copy + add and remove attributes |
+//! | ME   | join two source relations into one target relation |
+//! | VP   | vertically partition one source relation into two joined target relations |
+//! | VNM  | like VP but with an N-to-M join relation in between |
+
+use crate::config::ScenarioConfig;
+use cms_candgen::Correspondence;
+use cms_data::{AttrRef, ForeignKey, RelId, Schema};
+use cms_tgd::{var, StTgd, TgdBuilder};
+use rand::Rng;
+use std::fmt;
+
+/// The primitive kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Primitive {
+    /// Copy.
+    Cp,
+    /// Copy and add attributes.
+    Add,
+    /// Copy and delete attributes.
+    Dl,
+    /// Copy, add, and delete attributes.
+    Adl,
+    /// Merge (join) two source relations.
+    Me,
+    /// Vertical partitioning into two target relations.
+    Vp,
+    /// Vertical partitioning with an N-to-M bridge relation.
+    Vnm,
+}
+
+impl Primitive {
+    /// All seven primitives, in the appendix's order.
+    pub const ALL: [Primitive; 7] = [
+        Primitive::Cp,
+        Primitive::Add,
+        Primitive::Dl,
+        Primitive::Adl,
+        Primitive::Me,
+        Primitive::Vp,
+        Primitive::Vnm,
+    ];
+
+    /// Short lowercase name (used in generated relation names).
+    pub fn name(self) -> &'static str {
+        match self {
+            Primitive::Cp => "cp",
+            Primitive::Add => "add",
+            Primitive::Dl => "dl",
+            Primitive::Adl => "adl",
+            Primitive::Me => "me",
+            Primitive::Vp => "vp",
+            Primitive::Vnm => "vnm",
+        }
+    }
+
+    /// One-line description (documentation / experiment tables).
+    pub fn description(self) -> &'static str {
+        match self {
+            Primitive::Cp => "copies a source relation to the target, changing its name",
+            Primitive::Add => "copies a source relation and adds attributes",
+            Primitive::Dl => "copies a source relation and removes attributes",
+            Primitive::Adl => "adds and removes attributes on the same relation",
+            Primitive::Me => "copies two relations, after joining them, to form a target relation",
+            Primitive::Vp => "copies a source relation to form two, joined, target relations",
+            Primitive::Vnm => "like VP with an extra relation forming an N-to-M relationship",
+        }
+    }
+}
+
+impl fmt::Display for Primitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Primitive::Cp => "CP",
+            Primitive::Add => "ADD",
+            Primitive::Dl => "DL",
+            Primitive::Adl => "ADL",
+            Primitive::Me => "ME",
+            Primitive::Vp => "VP",
+            Primitive::Vnm => "VNM",
+        })
+    }
+}
+
+/// Everything one primitive invocation contributed to the scenario.
+#[derive(Clone, Debug)]
+pub struct Invocation {
+    /// The primitive kind.
+    pub primitive: Primitive,
+    /// Unique label, e.g. `me3`.
+    pub label: String,
+    /// Source relations created.
+    pub source_rels: Vec<RelId>,
+    /// Target relations created.
+    pub target_rels: Vec<RelId>,
+    /// The gold st tgds of this invocation.
+    pub gold: Vec<StTgd>,
+    /// The true correspondences of this invocation.
+    pub correspondences: Vec<Correspondence>,
+}
+
+/// Instantiate `primitive` as invocation number `idx`, extending both
+/// schemas. Arities and add/remove counts are drawn from the config ranges.
+pub fn instantiate(
+    primitive: Primitive,
+    idx: usize,
+    src: &mut Schema,
+    tgt: &mut Schema,
+    rng: &mut impl Rng,
+    cfg: &ScenarioConfig,
+) -> Invocation {
+    let label = format!("{}{}", primitive.name(), idx);
+    let arity = rng.gen_range(cfg.source_arity.0..=cfg.source_arity.1).max(2);
+    let change = rng.gen_range(cfg.attr_change_range.0..=cfg.attr_change_range.1);
+    match primitive {
+        Primitive::Cp => copy_family(&label, arity, 0, arity, src, tgt),
+        Primitive::Add => copy_family(&label, arity, change, arity, src, tgt),
+        Primitive::Dl => {
+            let keep = arity.saturating_sub(change).max(1);
+            copy_family(&label, arity, 0, keep, src, tgt)
+        }
+        Primitive::Adl => {
+            let keep = arity.saturating_sub(change).max(1);
+            copy_family(&label, arity, change, keep, src, tgt)
+        }
+        Primitive::Me => merge(&label, arity, rng.gen_range(2..=arity.max(2)), src, tgt),
+        Primitive::Vp => partition(&label, arity, src, tgt, false),
+        Primitive::Vnm => partition(&label, arity, src, tgt, true),
+    }
+}
+
+fn attr_names(prefix: &str, kind: char, n: usize) -> Vec<String> {
+    (0..n).map(|j| format!("{prefix}_{kind}{j}")).collect()
+}
+
+fn as_str_refs(names: &[String]) -> Vec<&str> {
+    names.iter().map(String::as_str).collect()
+}
+
+/// CP / ADD / DL / ADL: one source relation of arity `n`; the target keeps
+/// the first `keep` attributes and appends `added` fresh (existential)
+/// attributes.
+fn copy_family(
+    label: &str,
+    n: usize,
+    added: usize,
+    keep: usize,
+    src: &mut Schema,
+    tgt: &mut Schema,
+) -> Invocation {
+    let primitive = match (added > 0, keep < n) {
+        (false, false) => Primitive::Cp,
+        (true, false) => Primitive::Add,
+        (false, true) => Primitive::Dl,
+        (true, true) => Primitive::Adl,
+    };
+    let s_attrs = attr_names(label, 'a', n);
+    let s = src.add_relation(&format!("{label}_s"), &as_str_refs(&s_attrs));
+    let mut t_attrs = attr_names(label, 'b', keep);
+    t_attrs.extend(attr_names(label, 'x', added));
+    let t = tgt.add_relation(&format!("{label}_t"), &as_str_refs(&t_attrs));
+
+    let mut builder = TgdBuilder::new();
+    let body_args: Vec<_> = (0..n).map(|j| var(format!("x{j}"))).collect();
+    builder = builder.body(s, &body_args);
+    let mut head_args: Vec<_> = (0..keep).map(|j| var(format!("x{j}"))).collect();
+    head_args.extend((0..added).map(|j| var(format!("e{j}"))));
+    builder = builder.head(t, &head_args);
+    let gold = builder.build();
+
+    let correspondences = (0..keep)
+        .map(|j| Correspondence::new(AttrRef::new(s, j), AttrRef::new(t, j)))
+        .collect();
+    Invocation {
+        primitive,
+        label: label.to_owned(),
+        source_rels: vec![s],
+        target_rels: vec![t],
+        gold: vec![gold],
+        correspondences,
+    }
+}
+
+/// ME: `s1(k, a...) ⋈ s2(k→s1.k, b...) → t(k, a..., b...)`.
+fn merge(label: &str, n1: usize, n2: usize, src: &mut Schema, tgt: &mut Schema) -> Invocation {
+    let s1_attrs = attr_names(label, 'a', n1);
+    let s1 = src.add_relation_full(&format!("{label}_s1"), &as_str_refs(&s1_attrs), &[0], Vec::new());
+    let s2_attrs = attr_names(label, 'c', n2);
+    let s2 = src.add_relation_full(
+        &format!("{label}_s2"),
+        &as_str_refs(&s2_attrs),
+        &[],
+        vec![ForeignKey { cols: vec![0], target: s1, target_cols: vec![0] }],
+    );
+    let mut t_attrs = attr_names(label, 'b', n1);
+    t_attrs.extend(attr_names(label, 'd', n2 - 1));
+    let t = tgt.add_relation(&format!("{label}_t"), &as_str_refs(&t_attrs));
+
+    let mut builder = TgdBuilder::new();
+    let s1_args: Vec<_> = (0..n1).map(|j| var(format!("x{j}"))).collect();
+    let mut s2_args = vec![var("x0")];
+    s2_args.extend((1..n2).map(|j| var(format!("y{j}"))));
+    let mut head_args: Vec<_> = (0..n1).map(|j| var(format!("x{j}"))).collect();
+    head_args.extend((1..n2).map(|j| var(format!("y{j}"))));
+    builder = builder.body(s1, &s1_args).body(s2, &s2_args).head(t, &head_args);
+
+    let mut correspondences: Vec<Correspondence> = (0..n1)
+        .map(|j| Correspondence::new(AttrRef::new(s1, j), AttrRef::new(t, j)))
+        .collect();
+    correspondences.extend(
+        (1..n2).map(|j| Correspondence::new(AttrRef::new(s2, j), AttrRef::new(t, n1 + j - 1))),
+    );
+    Invocation {
+        primitive: Primitive::Me,
+        label: label.to_owned(),
+        source_rels: vec![s1, s2],
+        target_rels: vec![t],
+        gold: vec![builder.build()],
+        correspondences,
+    }
+}
+
+/// VP / VNM: split `s(a0..an-1)` into `t1(k, first half)` and
+/// `t2(k, second half)` joined on an invented key; VNM adds a bridge
+/// relation `m(k1, k2)` instead of a direct foreign key.
+fn partition(label: &str, n: usize, src: &mut Schema, tgt: &mut Schema, nm: bool) -> Invocation {
+    let h = (n / 2).max(1);
+    let s_attrs = attr_names(label, 'a', n);
+    let s = src.add_relation(&format!("{label}_s"), &as_str_refs(&s_attrs));
+
+    let mut t1_attrs = vec![format!("{label}_k1")];
+    t1_attrs.extend(attr_names(label, 'b', h));
+    let t1 = tgt.add_relation_full(&format!("{label}_t1"), &as_str_refs(&t1_attrs), &[0], Vec::new());
+
+    let mut t2_attrs = vec![format!("{label}_k2")];
+    t2_attrs.extend(attr_names(label, 'd', n - h));
+    let (t2, bridge) = if nm {
+        let t2 = tgt.add_relation_full(&format!("{label}_t2"), &as_str_refs(&t2_attrs), &[0], Vec::new());
+        let m = tgt.add_relation_full(
+            &format!("{label}_m"),
+            &[&format!("{label}_mk1"), &format!("{label}_mk2")],
+            &[],
+            vec![
+                ForeignKey { cols: vec![0], target: t1, target_cols: vec![0] },
+                ForeignKey { cols: vec![1], target: t2, target_cols: vec![0] },
+            ],
+        );
+        (t2, Some(m))
+    } else {
+        let t2 = tgt.add_relation_full(
+            &format!("{label}_t2"),
+            &as_str_refs(&t2_attrs),
+            &[],
+            vec![ForeignKey { cols: vec![0], target: t1, target_cols: vec![0] }],
+        );
+        (t2, None)
+    };
+
+    let mut builder = TgdBuilder::new();
+    let body_args: Vec<_> = (0..n).map(|j| var(format!("x{j}"))).collect();
+    builder = builder.body(s, &body_args);
+    let mut t1_args = vec![var("k1")];
+    t1_args.extend((0..h).map(|j| var(format!("x{j}"))));
+    builder = builder.head(t1, &t1_args);
+    let mut t2_args = vec![var(if nm { "k2" } else { "k1" })];
+    t2_args.extend((h..n).map(|j| var(format!("x{j}"))));
+    if let Some(m) = bridge {
+        builder = builder.head(m, &[var("k1"), var("k2")]);
+    }
+    builder = builder.head(t2, &t2_args);
+
+    let mut correspondences: Vec<Correspondence> = (0..h)
+        .map(|j| Correspondence::new(AttrRef::new(s, j), AttrRef::new(t1, j + 1)))
+        .collect();
+    correspondences.extend(
+        (h..n).map(|j| Correspondence::new(AttrRef::new(s, j), AttrRef::new(t2, j - h + 1))),
+    );
+    let mut target_rels = vec![t1, t2];
+    if let Some(m) = bridge {
+        target_rels.push(m);
+    }
+    Invocation {
+        primitive: if nm { Primitive::Vnm } else { Primitive::Vp },
+        label: label.to_owned(),
+        source_rels: vec![s],
+        target_rels,
+        gold: vec![builder.build()],
+        correspondences,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(p: Primitive) -> (Schema, Schema, Invocation) {
+        let mut src = Schema::new("source");
+        let mut tgt = Schema::new("target");
+        let mut rng = StdRng::seed_from_u64(42);
+        let cfg = ScenarioConfig::default();
+        let inv = instantiate(p, 0, &mut src, &mut tgt, &mut rng, &cfg);
+        (src, tgt, inv)
+    }
+
+    #[test]
+    fn cp_copies_all_attributes() {
+        let (src, tgt, inv) = run(Primitive::Cp);
+        assert_eq!(inv.gold.len(), 1);
+        let g = &inv.gold[0];
+        assert!(g.is_full());
+        assert!(g.validate(&src, &tgt).is_ok());
+        let n = src.relation(inv.source_rels[0]).arity();
+        assert_eq!(tgt.relation(inv.target_rels[0]).arity(), n);
+        assert_eq!(inv.correspondences.len(), n);
+    }
+
+    #[test]
+    fn add_appends_existentials() {
+        let (src, tgt, inv) = run(Primitive::Add);
+        let g = &inv.gold[0];
+        assert!(!g.is_full());
+        assert!(g.validate(&src, &tgt).is_ok());
+        let n = src.relation(inv.source_rels[0]).arity();
+        let extra = tgt.relation(inv.target_rels[0]).arity() - n;
+        assert!((2..=4).contains(&extra));
+        assert_eq!(g.existential_vars().len(), extra);
+    }
+
+    #[test]
+    fn dl_projects_attributes() {
+        let (src, tgt, inv) = run(Primitive::Dl);
+        let g = &inv.gold[0];
+        assert!(g.is_full());
+        assert!(g.validate(&src, &tgt).is_ok());
+        assert!(tgt.relation(inv.target_rels[0]).arity() < src.relation(inv.source_rels[0]).arity());
+    }
+
+    #[test]
+    fn adl_adds_and_removes() {
+        let (src, tgt, inv) = run(Primitive::Adl);
+        let g = &inv.gold[0];
+        assert!(!g.is_full());
+        assert!(g.validate(&src, &tgt).is_ok());
+    }
+
+    #[test]
+    fn me_joins_two_sources() {
+        let (src, tgt, inv) = run(Primitive::Me);
+        assert_eq!(inv.source_rels.len(), 2);
+        let g = &inv.gold[0];
+        assert_eq!(g.body.len(), 2);
+        assert_eq!(g.head.len(), 1);
+        assert!(g.is_full());
+        assert!(g.validate(&src, &tgt).is_ok());
+        // FK from s2 to s1 was declared.
+        assert_eq!(src.relation(inv.source_rels[1]).fks.len(), 1);
+    }
+
+    #[test]
+    fn vp_splits_with_shared_existential_key() {
+        let (src, tgt, inv) = run(Primitive::Vp);
+        let g = &inv.gold[0];
+        assert_eq!(g.head.len(), 2);
+        assert_eq!(g.existential_vars().len(), 1, "one shared invented key");
+        assert!(g.validate(&src, &tgt).is_ok());
+        // T2 has an FK to T1.
+        assert_eq!(tgt.relation(inv.target_rels[1]).fks.len(), 1);
+    }
+
+    #[test]
+    fn vnm_adds_bridge_relation() {
+        let (src, tgt, inv) = run(Primitive::Vnm);
+        let g = &inv.gold[0];
+        assert_eq!(g.head.len(), 3);
+        assert_eq!(g.existential_vars().len(), 2, "two invented keys");
+        assert_eq!(inv.target_rels.len(), 3);
+        assert!(g.validate(&src, &tgt).is_ok());
+        let bridge = inv.target_rels[2];
+        assert_eq!(tgt.relation(bridge).fks.len(), 2);
+    }
+
+    #[test]
+    fn labels_are_unique_per_invocation() {
+        let mut src = Schema::new("source");
+        let mut tgt = Schema::new("target");
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = ScenarioConfig::default();
+        let a = instantiate(Primitive::Cp, 0, &mut src, &mut tgt, &mut rng, &cfg);
+        let b = instantiate(Primitive::Cp, 1, &mut src, &mut tgt, &mut rng, &cfg);
+        assert_ne!(a.label, b.label);
+        assert_eq!(src.len(), 2);
+        assert_eq!(tgt.len(), 2);
+    }
+
+    #[test]
+    fn display_and_metadata() {
+        assert_eq!(Primitive::Vnm.to_string(), "VNM");
+        assert_eq!(Primitive::ALL.len(), 7);
+        for p in Primitive::ALL {
+            assert!(!p.description().is_empty());
+            assert!(!p.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Scenario assembly: the full metadata + data generation pipeline.
+//!
+//! A scenario bundles everything a mapping-selection experiment needs:
+//!
+//! 1. instantiate the configured primitive invocations, building the source
+//!    and target schemas, the gold mapping `MG`, and the true
+//!    correspondences;
+//! 2. generate the source instance `I`;
+//! 3. exchange: `J` = ground(chase(I, MG)) — existential nulls become fresh
+//!    Skolem constants (iBench ships ground target data; grounding also
+//!    gives the covers/support machinery real constants to corroborate);
+//! 4. add πCorresp metadata noise;
+//! 5. run Clio-style candidate generation over all correspondences and
+//!    locate `MG` inside `C` (scenario construction guarantees `MG ⊆ C`);
+//! 6. apply πErrors / πUnexplained data noise to `J`.
+
+use crate::config::ScenarioConfig;
+use crate::data_gen::populate_source;
+use crate::noise::{apply_data_noise, ground_instance, noise_correspondences, DataNoiseReport};
+use crate::primitive::{instantiate, Invocation};
+use cms_candgen::{generate_candidates, Correspondence};
+use cms_data::{Instance, Schema};
+use cms_tgd::{canonical_key, chase, StTgd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Summary statistics of a generated scenario.
+#[derive(Clone, Debug, Default)]
+pub struct ScenarioStats {
+    /// Primitive invocations.
+    pub invocations: usize,
+    /// Source relations.
+    pub source_rels: usize,
+    /// Target relations.
+    pub target_rels: usize,
+    /// True correspondences.
+    pub true_corrs: usize,
+    /// Noise correspondences added by πCorresp.
+    pub noise_corrs: usize,
+    /// Candidate st tgds in `C`.
+    pub candidates: usize,
+    /// Gold st tgds in `MG`.
+    pub gold_size: usize,
+    /// Gold tgds the candidate generator failed to produce (appended
+    /// manually; should be 0 — tested).
+    pub gold_missing_from_candgen: usize,
+    /// Tuples in `I`.
+    pub source_tuples: usize,
+    /// Tuples in `J` after noise.
+    pub target_tuples: usize,
+    /// Data-noise report.
+    pub data_noise: DataNoiseReport,
+}
+
+/// A complete mapping-selection scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The generating configuration.
+    pub config: ScenarioConfig,
+    /// Source schema **S**.
+    pub source_schema: Schema,
+    /// Target schema **T**.
+    pub target_schema: Schema,
+    /// Source instance `I`.
+    pub source: Instance,
+    /// Target instance `J` (after data noise).
+    pub target: Instance,
+    /// Candidate set `C`.
+    pub candidates: Vec<StTgd>,
+    /// Indices of the gold mapping `MG` within `candidates`.
+    pub gold: Vec<usize>,
+    /// All correspondences (true + noise).
+    pub correspondences: Vec<Correspondence>,
+    /// Per-invocation records.
+    pub invocations: Vec<Invocation>,
+    /// Summary statistics.
+    pub stats: ScenarioStats,
+}
+
+impl Scenario {
+    /// The gold tgds themselves.
+    pub fn gold_tgds(&self) -> Vec<&StTgd> {
+        self.gold.iter().map(|&i| &self.candidates[i]).collect()
+    }
+
+    /// True iff candidate `idx` is part of the gold mapping.
+    pub fn is_gold(&self, idx: usize) -> bool {
+        self.gold.contains(&idx)
+    }
+}
+
+/// Generate a scenario from a configuration (fully deterministic given the
+/// seed).
+pub fn generate(config: &ScenarioConfig) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut source_schema = Schema::new("source");
+    let mut target_schema = Schema::new("target");
+
+    // 1. primitives → schemas, gold, true correspondences
+    let mut invocations: Vec<Invocation> = Vec::new();
+    let mut idx = 0usize;
+    for &(primitive, count) in &config.invocations {
+        for _ in 0..count {
+            invocations.push(instantiate(
+                primitive,
+                idx,
+                &mut source_schema,
+                &mut target_schema,
+                &mut rng,
+                config,
+            ));
+            idx += 1;
+        }
+    }
+    let gold_tgds: Vec<StTgd> = invocations.iter().flat_map(|inv| inv.gold.clone()).collect();
+    let true_corrs: Vec<Correspondence> = invocations
+        .iter()
+        .flat_map(|inv| inv.correspondences.clone())
+        .collect();
+
+    // 2. source data
+    let source = populate_source(&source_schema, config.rows_per_relation, config.value_pool, &mut rng);
+
+    // 3. exchange and ground
+    let k_mg = chase(&source, &gold_tgds);
+    let mut ground_counter: u64 = 0;
+    let mut target = ground_instance(&k_mg, "sk", &mut ground_counter);
+
+    // 4. metadata noise
+    let noise_corrs = noise_correspondences(
+        &source_schema,
+        &target_schema,
+        &invocations,
+        config.noise.pi_corresp,
+        &mut rng,
+    );
+    let mut correspondences = true_corrs.clone();
+    correspondences.extend(noise_corrs.iter().copied());
+
+    // 5. candidates; locate MG within C
+    let mut candidates =
+        generate_candidates(&source_schema, &target_schema, &correspondences, &config.candgen);
+    let keys: Vec<String> = candidates.iter().map(canonical_key).collect();
+    let mut gold = Vec::with_capacity(gold_tgds.len());
+    let mut gold_missing = 0usize;
+    for g in &gold_tgds {
+        let key = canonical_key(g);
+        match keys.iter().position(|k| *k == key) {
+            Some(i) => gold.push(i),
+            None => {
+                gold_missing += 1;
+                gold.push(candidates.len());
+                candidates.push(g.clone());
+            }
+        }
+    }
+
+    // 6. data noise
+    let data_noise = apply_data_noise(
+        &mut target,
+        &source,
+        &candidates,
+        &gold,
+        config.noise.pi_errors,
+        config.noise.pi_unexplained,
+        &mut rng,
+        &mut ground_counter,
+    );
+
+    let stats = ScenarioStats {
+        invocations: invocations.len(),
+        source_rels: source_schema.len(),
+        target_rels: target_schema.len(),
+        true_corrs: true_corrs.len(),
+        noise_corrs: noise_corrs.len(),
+        candidates: candidates.len(),
+        gold_size: gold.len(),
+        gold_missing_from_candgen: gold_missing,
+        source_tuples: source.total_len(),
+        target_tuples: target.total_len(),
+        data_noise,
+    };
+
+    Scenario {
+        config: config.clone(),
+        source_schema,
+        target_schema,
+        source,
+        target,
+        candidates,
+        gold,
+        correspondences,
+        invocations,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NoiseConfig;
+    use crate::primitive::Primitive;
+
+    #[test]
+    fn clean_scenario_contains_gold_in_candidates() {
+        let config = ScenarioConfig::default();
+        let s = generate(&config);
+        assert_eq!(s.stats.gold_missing_from_candgen, 0, "candgen must regenerate MG");
+        assert_eq!(s.gold.len(), 7);
+        assert!(s.stats.candidates >= s.gold.len());
+        assert!(s.stats.source_tuples > 0);
+        assert!(s.stats.target_tuples > 0);
+        for c in &s.candidates {
+            assert!(c.validate(&s.source_schema, &s.target_schema).is_ok());
+        }
+    }
+
+    #[test]
+    fn every_single_primitive_round_trips() {
+        for p in Primitive::ALL {
+            let config = ScenarioConfig::single_primitive(p, 2);
+            let s = generate(&config);
+            assert_eq!(
+                s.stats.gold_missing_from_candgen, 0,
+                "candgen missed gold for {p}"
+            );
+            assert!(s.stats.target_tuples > 0, "no target data for {p}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let config = ScenarioConfig { seed: 99, ..ScenarioConfig::default() };
+        let a = generate(&config);
+        let b = generate(&config);
+        assert_eq!(a.target.to_tuples(), b.target.to_tuples());
+        assert_eq!(a.stats.candidates, b.stats.candidates);
+        assert_eq!(a.gold, b.gold);
+    }
+
+    #[test]
+    fn corresp_noise_grows_candidate_set() {
+        let clean = generate(&ScenarioConfig::default());
+        let noisy = generate(&ScenarioConfig {
+            noise: NoiseConfig { pi_corresp: 100.0, ..NoiseConfig::clean() },
+            ..ScenarioConfig::default()
+        });
+        assert!(noisy.stats.noise_corrs > 0);
+        assert!(
+            noisy.stats.candidates > clean.stats.candidates,
+            "noise correspondences must produce extra candidates ({} vs {})",
+            noisy.stats.candidates,
+            clean.stats.candidates
+        );
+        // Gold is still found.
+        assert_eq!(noisy.stats.gold_missing_from_candgen, 0);
+    }
+
+    #[test]
+    fn data_noise_modifies_target() {
+        let base = ScenarioConfig::default();
+        let clean = generate(&base);
+        let noisy = generate(&ScenarioConfig {
+            noise: NoiseConfig { pi_errors: 50.0, pi_unexplained: 50.0, pi_corresp: 50.0 },
+            ..base
+        });
+        assert!(noisy.stats.data_noise.deleted > 0, "expected deletions");
+        assert!(noisy.stats.data_noise.added > 0, "expected additions");
+        assert_ne!(clean.stats.target_tuples, noisy.stats.target_tuples);
+    }
+
+    #[test]
+    fn gold_accessors() {
+        let s = generate(&ScenarioConfig::single_primitive(Primitive::Cp, 1));
+        assert_eq!(s.gold_tgds().len(), 1);
+        assert!(s.is_gold(s.gold[0]));
+    }
+}

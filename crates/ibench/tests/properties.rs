@@ -1,0 +1,96 @@
+//! Property-based tests for the scenario generator: pipeline invariants
+//! that must hold for *every* configuration.
+
+use cms_data::homomorphic;
+use cms_ibench::{generate, NoiseConfig, Primitive, ScenarioConfig};
+use cms_tgd::{chase, StTgd};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = ScenarioConfig> {
+    let primitive = prop::sample::select(Primitive::ALL.to_vec());
+    (
+        prop::collection::vec((primitive, 1usize..=2), 1..4),
+        2usize..=12,   // rows
+        0u64..1000,    // seed
+        0.0f64..=100.0, // pi_corresp
+        0.0f64..=100.0, // pi_errors
+        0.0f64..=100.0, // pi_unexplained
+    )
+        .prop_map(|(invocations, rows, seed, pc, pe, pu)| ScenarioConfig {
+            invocations,
+            rows_per_relation: rows,
+            seed,
+            noise: NoiseConfig { pi_corresp: pc, pi_errors: pe, pi_unexplained: pu },
+            ..ScenarioConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Structural invariants of every generated scenario.
+    #[test]
+    fn scenario_invariants(config in arb_config()) {
+        let s = generate(&config);
+        // Gold is inside the candidate set, all indices valid & distinct.
+        let mut gold = s.gold.clone();
+        gold.sort_unstable();
+        gold.dedup();
+        prop_assert_eq!(gold.len(), s.gold.len());
+        for &g in &s.gold {
+            prop_assert!(g < s.candidates.len());
+        }
+        // Candidate generation never misses the gold mapping (with the
+        // default join depth).
+        prop_assert_eq!(s.stats.gold_missing_from_candgen, 0);
+        // Every candidate validates against the schema pair.
+        for c in &s.candidates {
+            prop_assert!(c.validate(&s.source_schema, &s.target_schema).is_ok());
+        }
+        // J is ground (noise additions are grounded too).
+        for (_, row) in s.target.iter_all() {
+            prop_assert!(row.iter().all(|v| v.is_const()));
+        }
+        // Stats agree with the data.
+        prop_assert_eq!(s.stats.source_tuples, s.source.total_len());
+        prop_assert_eq!(s.stats.target_tuples, s.target.total_len());
+        prop_assert_eq!(s.stats.candidates, s.candidates.len());
+    }
+
+    /// Without data noise, J is exactly the grounding of chase(I, MG):
+    /// K_MG maps homomorphically into J and the sizes agree.
+    #[test]
+    fn clean_target_is_gold_exchange(config in arb_config()) {
+        let clean = ScenarioConfig {
+            noise: NoiseConfig { pi_corresp: config.noise.pi_corresp, ..NoiseConfig::clean() },
+            ..config
+        };
+        let s = generate(&clean);
+        let gold_tgds: Vec<StTgd> = s.gold_tgds().into_iter().cloned().collect();
+        let k_mg = chase(&s.source, &gold_tgds);
+        prop_assert!(homomorphic(&k_mg, &s.target), "K_MG must embed into J");
+        prop_assert_eq!(k_mg.total_len(), s.target.total_len());
+    }
+
+    /// Determinism: the same config generates byte-identical scenarios.
+    #[test]
+    fn generation_is_deterministic(config in arb_config()) {
+        let a = generate(&config);
+        let b = generate(&config);
+        prop_assert_eq!(a.target.to_tuples(), b.target.to_tuples());
+        prop_assert_eq!(a.source.to_tuples(), b.source.to_tuples());
+        prop_assert_eq!(a.gold, b.gold);
+        prop_assert_eq!(a.stats.candidates, b.stats.candidates);
+    }
+
+    /// Noise bookkeeping: deletions/additions never exceed their pools,
+    /// and the pools are disjoint responsibilities (deleted ≤ error pool,
+    /// added ≤ unexplained pool).
+    #[test]
+    fn noise_bookkeeping(config in arb_config()) {
+        let s = generate(&config);
+        let r = s.stats.data_noise;
+        prop_assert!(r.deleted <= r.error_pool);
+        prop_assert!(r.added <= r.unexplained_pool);
+    }
+}

@@ -1,0 +1,57 @@
+//! Ground atoms: a predicate applied to constant arguments.
+
+use crate::predicate::PredId;
+use cms_data::Sym;
+use std::fmt;
+
+/// A ground atom `p(c1, ..., cn)`. Arguments are interned symbols.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct GroundAtom {
+    /// The predicate.
+    pub pred: PredId,
+    /// Constant arguments.
+    pub args: Vec<Sym>,
+}
+
+impl GroundAtom {
+    /// Construct a ground atom.
+    pub fn new(pred: PredId, args: Vec<Sym>) -> GroundAtom {
+        GroundAtom { pred, args }
+    }
+
+    /// Construct from string arguments (interning them).
+    pub fn from_strs(pred: PredId, args: &[&str]) -> GroundAtom {
+        GroundAtom {
+            pred,
+            args: args.iter().map(|a| Sym::new(a)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for GroundAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}(", self.pred.0)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_and_display() {
+        let a = GroundAtom::from_strs(PredId(0), &["t1"]);
+        let b = GroundAtom::from_strs(PredId(0), &["t1"]);
+        let c = GroundAtom::from_strs(PredId(0), &["t2"]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.to_string(), "p0(t1)");
+    }
+}

@@ -1,0 +1,201 @@
+//! The database of a PSL program: observed atom truths and target atoms.
+
+use crate::atom::GroundAtom;
+use crate::predicate::{PredId, Vocabulary};
+use cms_data::{FxHashMap, FxHashSet};
+
+/// Observed truths in `[0,1]` plus the set of atoms to infer.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    observations: FxHashMap<GroundAtom, f64>,
+    targets: FxHashSet<GroundAtom>,
+    /// Observed atoms grouped per predicate, for grounding joins.
+    by_pred: FxHashMap<PredId, Vec<GroundAtom>>,
+}
+
+/// How an atom resolves during grounding.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Resolved {
+    /// Observed (or closed-world default) truth value.
+    Observed(f64),
+    /// A target atom: inferred by MAP; identified later by variable index.
+    Target,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Record an observation. Values are clamped to `[0,1]`.
+    ///
+    /// # Panics
+    /// Panics if the atom was declared a target.
+    pub fn observe(&mut self, atom: GroundAtom, value: f64) {
+        assert!(
+            !self.targets.contains(&atom),
+            "atom {atom} is already a target"
+        );
+        let clamped = value.clamp(0.0, 1.0);
+        if self.observations.insert(atom.clone(), clamped).is_none() {
+            self.by_pred.entry(atom.pred).or_default().push(atom);
+        }
+    }
+
+    /// Declare an atom as a MAP target (a free variable of inference).
+    ///
+    /// # Panics
+    /// Panics if the atom was observed.
+    pub fn target(&mut self, atom: GroundAtom) {
+        assert!(
+            !self.observations.contains_key(&atom),
+            "atom {atom} is already observed"
+        );
+        if self.targets.insert(atom.clone()) {
+            self.by_pred.entry(atom.pred).or_default().push(atom);
+        }
+    }
+
+    /// Resolve an atom: target, observed value, or closed-world default 0.
+    ///
+    /// Unobserved atoms of *open* predicates that were never declared
+    /// targets also resolve to 0 — the same pragmatic default PSL's lazy
+    /// grounding applies.
+    pub fn resolve(&self, atom: &GroundAtom) -> Resolved {
+        if self.targets.contains(atom) {
+            Resolved::Target
+        } else {
+            Resolved::Observed(self.observations.get(atom).copied().unwrap_or(0.0))
+        }
+    }
+
+    /// Observed truth of an atom (None if target or unknown).
+    pub fn observed_value(&self, atom: &GroundAtom) -> Option<f64> {
+        self.observations.get(atom).copied()
+    }
+
+    /// All known atoms (observed or target) of a predicate, in insertion
+    /// order. This is the candidate pool the grounder joins over.
+    pub fn atoms_of(&self, pred: PredId) -> &[GroundAtom] {
+        self.by_pred.get(&pred).map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterate all target atoms (order unspecified).
+    pub fn targets(&self) -> impl Iterator<Item = &GroundAtom> {
+        self.targets.iter()
+    }
+
+    /// Number of observations.
+    pub fn num_observations(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Number of target atoms.
+    pub fn num_targets(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Sanity-check all atoms against a vocabulary (arity agreement).
+    pub fn validate(&self, vocab: &Vocabulary) -> Result<(), String> {
+        for atom in self.observations.keys().chain(self.targets.iter()) {
+            let pred = vocab.predicate(atom.pred);
+            if pred.arity != atom.args.len() {
+                return Err(format!(
+                    "atom {atom} has {} args but {} expects {}",
+                    atom.args.len(),
+                    pred.name,
+                    pred.arity
+                ));
+            }
+            if pred.closed && self.targets.contains(atom) {
+                return Err(format!(
+                    "target atom {atom} belongs to closed predicate {}",
+                    pred.name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_and_resolve() {
+        let mut db = Database::new();
+        let a = GroundAtom::from_strs(PredId(0), &["x"]);
+        db.observe(a.clone(), 0.7);
+        assert_eq!(db.resolve(&a), Resolved::Observed(0.7));
+        assert_eq!(db.observed_value(&a), Some(0.7));
+        let unknown = GroundAtom::from_strs(PredId(0), &["y"]);
+        assert_eq!(db.resolve(&unknown), Resolved::Observed(0.0));
+    }
+
+    #[test]
+    fn observation_clamps() {
+        let mut db = Database::new();
+        let a = GroundAtom::from_strs(PredId(0), &["x"]);
+        db.observe(a.clone(), 1.5);
+        assert_eq!(db.observed_value(&a), Some(1.0));
+    }
+
+    #[test]
+    fn re_observation_overwrites_without_duplicating_pool() {
+        let mut db = Database::new();
+        let a = GroundAtom::from_strs(PredId(0), &["x"]);
+        db.observe(a.clone(), 0.3);
+        db.observe(a.clone(), 0.9);
+        assert_eq!(db.observed_value(&a), Some(0.9));
+        assert_eq!(db.atoms_of(PredId(0)).len(), 1);
+    }
+
+    #[test]
+    fn targets_resolve_as_targets() {
+        let mut db = Database::new();
+        let a = GroundAtom::from_strs(PredId(1), &["m"]);
+        db.target(a.clone());
+        assert_eq!(db.resolve(&a), Resolved::Target);
+        assert_eq!(db.num_targets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already observed")]
+    fn target_after_observe_panics() {
+        let mut db = Database::new();
+        let a = GroundAtom::from_strs(PredId(0), &["x"]);
+        db.observe(a.clone(), 0.5);
+        db.target(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "already a target")]
+    fn observe_after_target_panics() {
+        let mut db = Database::new();
+        let a = GroundAtom::from_strs(PredId(0), &["x"]);
+        db.target(a.clone());
+        db.observe(a, 0.5);
+    }
+
+    #[test]
+    fn validate_checks_arity_and_closedness() {
+        let mut vocab = Vocabulary::new();
+        let covers = vocab.closed("covers", 2);
+        let in_map = vocab.open("inMap", 1);
+
+        let mut db = Database::new();
+        db.observe(GroundAtom::from_strs(covers, &["a", "b"]), 1.0);
+        db.target(GroundAtom::from_strs(in_map, &["a"]));
+        assert!(db.validate(&vocab).is_ok());
+
+        let mut bad_arity = db.clone();
+        bad_arity.observe(GroundAtom::from_strs(covers, &["only-one"]), 1.0);
+        assert!(bad_arity.validate(&vocab).is_err());
+
+        let mut bad_closed = db;
+        bad_closed.target(GroundAtom::from_strs(covers, &["x", "y"]));
+        assert!(bad_closed.validate(&vocab).is_err());
+    }
+}

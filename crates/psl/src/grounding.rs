@@ -1,0 +1,530 @@
+//! Grounding: instantiate rule templates over the database.
+//!
+//! Substitutions are enumerated by joining the rule's *positive body
+//! literals* against the database's known-atom pools (observed ∪ target
+//! atoms per predicate) — the same lazy strategy PSL uses: an unobserved
+//! closed atom has truth 0, so a grounding whose positive body mentions one
+//! can never have positive distance-to-satisfaction *unless* the atom is
+//! negated or in the head, which resolution handles via the closed-world
+//! default.
+//!
+//! Each grounding compiles to a [`LinExpr`] for the distance to
+//! satisfaction; groundings that are trivially satisfied for every value of
+//! the target variables (`max over the [0,1] box ≤ 0`) are pruned.
+
+use crate::atom::GroundAtom;
+use crate::database::{Database, Resolved};
+use crate::hinge::{ConstraintKind, GroundConstraint, GroundPotential};
+use crate::linear::LinExpr;
+use crate::rule::{Literal, LogicalRule, RAtom, RTerm};
+use cms_data::{FxHashMap, Sym};
+
+/// Maps target atoms to dense variable indices; owns the variable order.
+#[derive(Clone, Debug, Default)]
+pub struct VarRegistry {
+    atoms: Vec<GroundAtom>,
+    index: FxHashMap<GroundAtom, usize>,
+}
+
+impl VarRegistry {
+    /// Empty registry.
+    pub fn new() -> VarRegistry {
+        VarRegistry::default()
+    }
+
+    /// Index of `atom`, registering it if new.
+    pub fn intern(&mut self, atom: &GroundAtom) -> usize {
+        if let Some(&i) = self.index.get(atom) {
+            return i;
+        }
+        let i = self.atoms.len();
+        self.atoms.push(atom.clone());
+        self.index.insert(atom.clone(), i);
+        i
+    }
+
+    /// Index of `atom` if registered.
+    pub fn lookup(&self, atom: &GroundAtom) -> Option<usize> {
+        self.index.get(atom).copied()
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True iff no variables registered.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The atom of variable `i`.
+    pub fn atom(&self, i: usize) -> &GroundAtom {
+        &self.atoms[i]
+    }
+
+    /// All atoms in variable order.
+    pub fn atoms(&self) -> &[GroundAtom] {
+        &self.atoms
+    }
+}
+
+/// Failures during grounding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GroundingError {
+    /// A rule has a variable not bound by any positive body literal.
+    UnsafeRule {
+        /// The rule's diagnostic name.
+        rule: String,
+    },
+    /// A rule atom's argument count disagrees with its predicate.
+    ArityMismatch {
+        /// The rule's diagnostic name.
+        rule: String,
+    },
+    /// An arithmetic rule failed to ground.
+    Arith(crate::arith::ArithError),
+}
+
+impl std::fmt::Display for GroundingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroundingError::UnsafeRule { rule } => write!(f, "rule {rule:?} is unsafe"),
+            GroundingError::ArityMismatch { rule } => {
+                write!(f, "rule {rule:?} has an atom with wrong arity")
+            }
+            GroundingError::Arith(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GroundingError {}
+
+/// Per-rule grounding statistics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GroundStats {
+    /// Substitutions enumerated.
+    pub substitutions: usize,
+    /// Potentials emitted (weighted rules).
+    pub potentials: usize,
+    /// Constraints emitted (hard rules).
+    pub constraints: usize,
+    /// Groundings pruned as trivially satisfied.
+    pub pruned: usize,
+    /// Objective contribution of groundings whose distance is a positive
+    /// constant (no free variables) — charged regardless of inference.
+    pub constant_loss: f64,
+}
+
+/// Output sink for [`ground_rule`].
+#[derive(Debug, Default)]
+pub struct GroundSink {
+    /// Collected potentials.
+    pub potentials: Vec<GroundPotential>,
+    /// Collected constraints.
+    pub constraints: Vec<GroundConstraint>,
+}
+
+/// Ground one rule into `sink`, registering target atoms in `registry`.
+pub fn ground_rule(
+    rule: &LogicalRule,
+    db: &Database,
+    registry: &mut VarRegistry,
+    sink: &mut GroundSink,
+) -> Result<GroundStats, GroundingError> {
+    if !rule.is_safe() {
+        return Err(GroundingError::UnsafeRule { rule: rule.name.clone() });
+    }
+    let mut stats = GroundStats::default();
+    let positives: Vec<&Literal> = rule.body.iter().filter(|l| !l.negated).collect();
+    let mut substitution: FxHashMap<String, Sym> = FxHashMap::default();
+    join(
+        rule,
+        &positives,
+        0,
+        db,
+        &mut substitution,
+        registry,
+        sink,
+        &mut stats,
+    )?;
+    Ok(stats)
+}
+
+/// Recursive join over the positive body literals.
+#[allow(clippy::too_many_arguments)]
+fn join(
+    rule: &LogicalRule,
+    positives: &[&Literal],
+    idx: usize,
+    db: &Database,
+    substitution: &mut FxHashMap<String, Sym>,
+    registry: &mut VarRegistry,
+    sink: &mut GroundSink,
+    stats: &mut GroundStats,
+) -> Result<(), GroundingError> {
+    let Some(lit) = positives.get(idx) else {
+        stats.substitutions += 1;
+        emit(rule, db, substitution, registry, sink, stats)?;
+        return Ok(());
+    };
+    for cand in db.atoms_of(lit.atom.pred) {
+        if cand.args.len() != lit.atom.args.len() {
+            return Err(GroundingError::ArityMismatch { rule: rule.name.clone() });
+        }
+        let mut bound: Vec<String> = Vec::new();
+        if unify(&lit.atom, cand, substitution, &mut bound) {
+            join(rule, positives, idx + 1, db, substitution, registry, sink, stats)?;
+        }
+        for name in bound {
+            substitution.remove(&name);
+        }
+    }
+    Ok(())
+}
+
+fn unify(
+    pattern: &RAtom,
+    cand: &GroundAtom,
+    substitution: &mut FxHashMap<String, Sym>,
+    bound: &mut Vec<String>,
+) -> bool {
+    for (t, &c) in pattern.args.iter().zip(cand.args.iter()) {
+        match t {
+            RTerm::Const(k) => {
+                if *k != c {
+                    return false;
+                }
+            }
+            RTerm::Var(name) => match substitution.get(name) {
+                Some(&v) => {
+                    if v != c {
+                        return false;
+                    }
+                }
+                None => {
+                    substitution.insert(name.clone(), c);
+                    bound.push(name.clone());
+                }
+            },
+        }
+    }
+    true
+}
+
+/// Instantiate one grounding: build its distance-to-satisfaction LinExpr.
+fn emit(
+    rule: &LogicalRule,
+    db: &Database,
+    substitution: &FxHashMap<String, Sym>,
+    registry: &mut VarRegistry,
+    sink: &mut GroundSink,
+    stats: &mut GroundStats,
+) -> Result<(), GroundingError> {
+    // distance = max(0, 1 − Σ_body (1 − t(B)) − Σ_head t(H))
+    let mut expr = LinExpr::constant(1.0);
+    let mut add_literal = |lit: &Literal, in_body: bool, expr: &mut LinExpr| {
+        let atom = instantiate(&lit.atom, substitution);
+        // The clause contribution of this literal is:
+        //   body:  1 − t(lit)   head:  t(lit)
+        // and t(lit) = v(atom) for positive, 1 − v(atom) for negated. The
+        // contribution is subtracted from the expression. Work out the
+        // affine form contribution = base + sign·v(atom):
+        let (base, sign) = match (in_body, lit.negated) {
+            (true, false) => (1.0, -1.0), // 1 − v
+            (true, true) => (0.0, 1.0),   // v
+            (false, false) => (0.0, 1.0), // v
+            (false, true) => (1.0, -1.0), // 1 − v
+        };
+        expr.add_constant(-base);
+        match db.resolve(&atom) {
+            Resolved::Observed(v) => {
+                expr.add_constant(-sign * v);
+            }
+            Resolved::Target => {
+                let var = registry.intern(&atom);
+                expr.add_term(var, -sign);
+            }
+        }
+    };
+    for lit in &rule.body {
+        add_literal(lit, true, &mut expr);
+    }
+    for lit in &rule.head {
+        add_literal(lit, false, &mut expr);
+    }
+    expr.normalize();
+
+    // Prune if the hinge can never activate: max over the [0,1] box.
+    let max_value: f64 = expr.constant + expr.terms.iter().map(|&(_, c)| c.max(0.0)).sum::<f64>();
+    if max_value <= 1e-12 {
+        stats.pruned += 1;
+        return Ok(());
+    }
+    if expr.is_constant() {
+        // Positive constant distance: nothing to infer.
+        match rule.weight {
+            Some(w) => {
+                let d = expr.constant.max(0.0);
+                stats.constant_loss += if rule.squared { w * d * d } else { w * d };
+                stats.pruned += 1;
+            }
+            None => {
+                // A hard rule violated by observations alone: keep it as a
+                // constraint so the solver reports infeasibility instead of
+                // silently dropping it.
+                sink.constraints.push(GroundConstraint {
+                    expr,
+                    kind: ConstraintKind::LeqZero,
+                    origin: rule.name.clone(),
+                });
+                stats.constraints += 1;
+            }
+        }
+        return Ok(());
+    }
+
+    match rule.weight {
+        Some(w) => {
+            sink.potentials.push(GroundPotential {
+                expr,
+                weight: w,
+                squared: rule.squared,
+                origin: rule.name.clone(),
+            });
+            stats.potentials += 1;
+        }
+        None => {
+            sink.constraints.push(GroundConstraint {
+                expr,
+                kind: ConstraintKind::LeqZero,
+                origin: rule.name.clone(),
+            });
+            stats.constraints += 1;
+        }
+    }
+    Ok(())
+}
+
+fn instantiate(pattern: &RAtom, substitution: &FxHashMap<String, Sym>) -> GroundAtom {
+    GroundAtom::new(
+        pattern.pred,
+        pattern
+            .args
+            .iter()
+            .map(|t| match t {
+                RTerm::Const(c) => *c,
+                RTerm::Var(name) => *substitution
+                    .get(name)
+                    .expect("grounding produced unbound variable despite safety check"),
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Vocabulary;
+    use crate::rule::{rvar, RuleBuilder};
+
+    /// covers(C,T) closed; inMap(C), explained(T) open.
+    fn setup() -> (Vocabulary, Database) {
+        let mut vocab = Vocabulary::new();
+        let covers = vocab.closed("covers", 2);
+        let in_map = vocab.open("inMap", 1);
+        let explained = vocab.open("explained", 1);
+        let mut db = Database::new();
+        db.observe(GroundAtom::from_strs(covers, &["c1", "t1"]), 1.0);
+        db.observe(GroundAtom::from_strs(covers, &["c1", "t2"]), 0.5);
+        db.observe(GroundAtom::from_strs(covers, &["c2", "t2"]), 1.0);
+        db.target(GroundAtom::from_strs(in_map, &["c1"]));
+        db.target(GroundAtom::from_strs(in_map, &["c2"]));
+        db.target(GroundAtom::from_strs(explained, &["t1"]));
+        db.target(GroundAtom::from_strs(explained, &["t2"]));
+        (vocab, db)
+    }
+
+    #[test]
+    fn grounds_one_potential_per_matching_substitution() {
+        let (vocab, db) = setup();
+        let covers = vocab.id_of("covers").unwrap();
+        let in_map = vocab.id_of("inMap").unwrap();
+        let explained = vocab.id_of("explained").unwrap();
+        let rule = RuleBuilder::new("r1")
+            .body(covers, vec![rvar("C"), rvar("T")])
+            .body(in_map, vec![rvar("C")])
+            .head(explained, vec![rvar("T")])
+            .weight(1.0)
+            .build();
+        let mut registry = VarRegistry::new();
+        let mut sink = GroundSink::default();
+        let stats = ground_rule(&rule, &db, &mut registry, &mut sink).unwrap();
+        assert_eq!(stats.substitutions, 3);
+        assert_eq!(stats.potentials, 3);
+        assert_eq!(sink.potentials.len(), 3);
+        // Each potential references two variables (inMap(C), explained(T)).
+        for p in &sink.potentials {
+            assert_eq!(p.expr.terms.len(), 2);
+        }
+    }
+
+    #[test]
+    fn observed_truths_fold_into_constant() {
+        let (vocab, db) = setup();
+        let covers = vocab.id_of("covers").unwrap();
+        let in_map = vocab.id_of("inMap").unwrap();
+        let explained = vocab.id_of("explained").unwrap();
+        // covers(C,T) & inMap(C) -> explained(T)
+        // distance = max(0, 1 − (1−cov) − (1−inMap) − explained)
+        //          = max(0, cov − 1 + inMap − explained + ... )
+        // For cov = 0.5: expr = inMap − explained − 0.5.
+        let rule = RuleBuilder::new("r1")
+            .body(covers, vec![rvar("C"), rvar("T")])
+            .body(in_map, vec![rvar("C")])
+            .head(explained, vec![rvar("T")])
+            .weight(1.0)
+            .build();
+        let mut registry = VarRegistry::new();
+        let mut sink = GroundSink::default();
+        ground_rule(&rule, &db, &mut registry, &mut sink).unwrap();
+        let half = sink
+            .potentials
+            .iter()
+            .find(|p| (p.expr.constant + 0.5).abs() < 1e-12)
+            .expect("grounding for covers=0.5 present");
+        // Setting inMap=1, explained=0 gives distance 0.5.
+        let mut y = vec![0.0; registry.len()];
+        for &(v, _) in &half.expr.terms {
+            let atom = registry.atom(v);
+            if atom.pred == in_map {
+                y[v] = 1.0;
+            }
+        }
+        assert!((half.expr.eval(&y) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivially_satisfied_groundings_are_pruned() {
+        let mut vocab = Vocabulary::new();
+        let obs = vocab.closed("obs", 1);
+        let out = vocab.open("out", 1);
+        let mut db = Database::new();
+        db.observe(GroundAtom::from_strs(obs, &["a"]), 0.0); // body truth 0
+        db.target(GroundAtom::from_strs(out, &["a"]));
+        let rule = RuleBuilder::new("r")
+            .body(obs, vec![rvar("X")])
+            .head(out, vec![rvar("X")])
+            .weight(1.0)
+            .build();
+        let mut registry = VarRegistry::new();
+        let mut sink = GroundSink::default();
+        let stats = ground_rule(&rule, &db, &mut registry, &mut sink).unwrap();
+        // 1 − (1−0) − out = −out ≤ 0 always: pruned.
+        assert_eq!(stats.pruned, 1);
+        assert!(sink.potentials.is_empty());
+    }
+
+    #[test]
+    fn constant_violation_accumulates_loss() {
+        let mut vocab = Vocabulary::new();
+        let obs = vocab.closed("obs", 1);
+        let mut db = Database::new();
+        db.observe(GroundAtom::from_strs(obs, &["a"]), 0.8);
+        // Penalize obs(X): distance = max(0, 1 − (1−0.8)) = 0.8, constant.
+        let rule = RuleBuilder::new("pen")
+            .body(obs, vec![rvar("X")])
+            .weight(2.0)
+            .build();
+        let mut registry = VarRegistry::new();
+        let mut sink = GroundSink::default();
+        let stats = ground_rule(&rule, &db, &mut registry, &mut sink).unwrap();
+        assert!((stats.constant_loss - 1.6).abs() < 1e-12);
+        assert!(sink.potentials.is_empty());
+    }
+
+    #[test]
+    fn hard_rules_become_constraints() {
+        let (vocab, db) = setup();
+        let covers = vocab.id_of("covers").unwrap();
+        let in_map = vocab.id_of("inMap").unwrap();
+        let rule = RuleBuilder::new("hard")
+            .body(covers, vec![rvar("C"), rvar("T")])
+            .head(in_map, vec![rvar("C")])
+            .build();
+        let mut registry = VarRegistry::new();
+        let mut sink = GroundSink::default();
+        let stats = ground_rule(&rule, &db, &mut registry, &mut sink).unwrap();
+        assert_eq!(stats.constraints, 3);
+        assert!(stats.potentials == 0);
+    }
+
+    #[test]
+    fn constants_restrict_substitutions() {
+        let (vocab, db) = setup();
+        let covers = vocab.id_of("covers").unwrap();
+        let explained = vocab.id_of("explained").unwrap();
+        let rule = RuleBuilder::new("only-c2")
+            .body(covers, vec![rconst_local("c2"), rvar("T")])
+            .head(explained, vec![rvar("T")])
+            .weight(1.0)
+            .build();
+        let mut registry = VarRegistry::new();
+        let mut sink = GroundSink::default();
+        let stats = ground_rule(&rule, &db, &mut registry, &mut sink).unwrap();
+        assert_eq!(stats.substitutions, 1);
+    }
+
+    fn rconst_local(s: &str) -> RTerm {
+        crate::rule::rconst(s)
+    }
+
+    #[test]
+    fn repeated_variables_join() {
+        let mut vocab = Vocabulary::new();
+        let edge = vocab.closed("edge", 2);
+        let flag = vocab.open("flag", 1);
+        let mut db = Database::new();
+        db.observe(GroundAtom::from_strs(edge, &["a", "a"]), 1.0);
+        db.observe(GroundAtom::from_strs(edge, &["a", "b"]), 1.0);
+        db.target(GroundAtom::from_strs(flag, &["a"]));
+        db.target(GroundAtom::from_strs(flag, &["b"]));
+        let rule = RuleBuilder::new("self")
+            .body(edge, vec![rvar("X"), rvar("X")])
+            .head(flag, vec![rvar("X")])
+            .weight(1.0)
+            .build();
+        let mut registry = VarRegistry::new();
+        let mut sink = GroundSink::default();
+        let stats = ground_rule(&rule, &db, &mut registry, &mut sink).unwrap();
+        assert_eq!(stats.substitutions, 1);
+    }
+
+    #[test]
+    fn negated_body_literal_resolves() {
+        let mut vocab = Vocabulary::new();
+        let scope = vocab.closed("scope", 1);
+        let bad = vocab.closed("bad", 1);
+        let out = vocab.open("out", 1);
+        let mut db = Database::new();
+        db.observe(GroundAtom::from_strs(scope, &["a"]), 1.0);
+        db.observe(GroundAtom::from_strs(scope, &["b"]), 1.0);
+        db.observe(GroundAtom::from_strs(bad, &["b"]), 1.0);
+        db.target(GroundAtom::from_strs(out, &["a"]));
+        db.target(GroundAtom::from_strs(out, &["b"]));
+        // scope(X) & !bad(X) -> out(X): for b the body truth is 0 → pruned;
+        // for a (bad unobserved = 0 by CWA) the potential 1 − out(a) remains.
+        let rule = RuleBuilder::new("neg")
+            .body(scope, vec![rvar("X")])
+            .body_neg(bad, vec![rvar("X")])
+            .head(out, vec![rvar("X")])
+            .weight(1.0)
+            .build();
+        let mut registry = VarRegistry::new();
+        let mut sink = GroundSink::default();
+        let stats = ground_rule(&rule, &db, &mut registry, &mut sink).unwrap();
+        assert_eq!(stats.substitutions, 2);
+        assert_eq!(stats.potentials, 1);
+        assert_eq!(stats.pruned, 1);
+    }
+}

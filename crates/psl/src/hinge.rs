@@ -1,0 +1,103 @@
+//! Ground potentials and constraints of a hinge-loss MRF.
+//!
+//! A hinge-loss MRF's MAP state minimizes
+//!
+//! ```text
+//!   Σ_j  w_j · max(0, ℓ_j(y))^{p_j}      (p_j ∈ {1, 2})
+//! ```
+//!
+//! over `y ∈ [0,1]^n` subject to linear constraints `ℓ(y) ≤ 0` / `= 0`.
+//! This is the exact MAP problem of PSL (Bach et al., JMLR 2017).
+
+use crate::linear::LinExpr;
+
+/// A weighted hinge-loss potential `w · max(0, expr)^p`.
+#[derive(Clone, Debug)]
+pub struct GroundPotential {
+    /// The linear inner expression ℓ(y).
+    pub expr: LinExpr,
+    /// Non-negative weight.
+    pub weight: f64,
+    /// True for squared hinge (p = 2), false for linear (p = 1).
+    pub squared: bool,
+    /// Originating rule name (diagnostics).
+    pub origin: String,
+}
+
+impl GroundPotential {
+    /// Potential value under an assignment.
+    pub fn value(&self, y: &[f64]) -> f64 {
+        let v = self.expr.eval(y).max(0.0);
+        if self.squared {
+            self.weight * v * v
+        } else {
+            self.weight * v
+        }
+    }
+}
+
+/// The relation a hard constraint imposes on its expression.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConstraintKind {
+    /// `expr ≤ 0`.
+    LeqZero,
+    /// `expr = 0`.
+    EqZero,
+}
+
+/// A hard linear constraint.
+#[derive(Clone, Debug)]
+pub struct GroundConstraint {
+    /// The linear expression.
+    pub expr: LinExpr,
+    /// Inequality or equality.
+    pub kind: ConstraintKind,
+    /// Originating rule name (diagnostics).
+    pub origin: String,
+}
+
+impl GroundConstraint {
+    /// Amount by which the constraint is violated under `y` (0 if
+    /// satisfied).
+    pub fn violation(&self, y: &[f64]) -> f64 {
+        let v = self.expr.eval(y);
+        match self.kind {
+            ConstraintKind::LeqZero => v.max(0.0),
+            ConstraintKind::EqZero => v.abs(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr() -> LinExpr {
+        let mut e = LinExpr::constant(-0.5);
+        e.add_term(0, 1.0);
+        e
+    }
+
+    #[test]
+    fn linear_potential_value() {
+        let p = GroundPotential { expr: expr(), weight: 2.0, squared: false, origin: String::new() };
+        assert_eq!(p.value(&[0.25]), 0.0); // inactive hinge
+        assert_eq!(p.value(&[1.0]), 1.0); // 2 * 0.5
+    }
+
+    #[test]
+    fn squared_potential_value() {
+        let p = GroundPotential { expr: expr(), weight: 2.0, squared: true, origin: String::new() };
+        assert_eq!(p.value(&[1.0]), 0.5); // 2 * 0.25
+    }
+
+    #[test]
+    fn constraint_violations() {
+        let c = GroundConstraint { expr: expr(), kind: ConstraintKind::LeqZero, origin: String::new() };
+        assert_eq!(c.violation(&[0.2]), 0.0);
+        assert!((c.violation(&[1.0]) - 0.5).abs() < 1e-12);
+        let e = GroundConstraint { expr: expr(), kind: ConstraintKind::EqZero, origin: String::new() };
+        assert!((e.violation(&[0.2]) - 0.3).abs() < 1e-12);
+        assert_eq!(e.violation(&[0.5]), 0.0);
+    }
+}

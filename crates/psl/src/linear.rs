@@ -1,0 +1,92 @@
+//! Linear expressions over MAP variables.
+
+/// `constant + Σ coef_i · y_{var_i}` over the ground program's variables.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LinExpr {
+    /// `(variable index, coefficient)` pairs; normalized form has unique,
+    /// sorted variable indices and no zero coefficients.
+    pub terms: Vec<(usize, f64)>,
+    /// The constant offset.
+    pub constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn new() -> LinExpr {
+        LinExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(c: f64) -> LinExpr {
+        LinExpr { terms: Vec::new(), constant: c }
+    }
+
+    /// Add `coef · y_var`.
+    pub fn add_term(&mut self, var: usize, coef: f64) -> &mut LinExpr {
+        self.terms.push((var, coef));
+        self
+    }
+
+    /// Add a constant.
+    pub fn add_constant(&mut self, c: f64) -> &mut LinExpr {
+        self.constant += c;
+        self
+    }
+
+    /// Merge duplicate variables, drop zero coefficients, sort by variable.
+    pub fn normalize(&mut self) {
+        self.terms.sort_by_key(|&(v, _)| v);
+        let mut out: Vec<(usize, f64)> = Vec::with_capacity(self.terms.len());
+        for &(v, c) in &self.terms {
+            match out.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => out.push((v, c)),
+            }
+        }
+        out.retain(|&(_, c)| c != 0.0);
+        self.terms = out;
+    }
+
+    /// Evaluate under an assignment (indexing into `values`).
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|&(v, c)| c * values[v])
+                .sum::<f64>()
+    }
+
+    /// Squared L2 norm of the coefficient vector.
+    pub fn coef_norm_sq(&self) -> f64 {
+        self.terms.iter().map(|&(_, c)| c * c).sum()
+    }
+
+    /// True iff the expression involves no variables.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_norm() {
+        let mut e = LinExpr::constant(1.0);
+        e.add_term(0, 2.0).add_term(2, -1.0);
+        assert_eq!(e.eval(&[0.5, 9.0, 1.0]), 1.0 + 1.0 - 1.0);
+        assert_eq!(e.coef_norm_sq(), 5.0);
+        assert!(!e.is_constant());
+        assert!(LinExpr::constant(3.0).is_constant());
+    }
+
+    #[test]
+    fn normalize_merges_and_drops_zeros() {
+        let mut e = LinExpr::new();
+        e.add_term(3, 1.0).add_term(1, 2.0).add_term(3, -1.0).add_term(1, 0.5);
+        e.normalize();
+        assert_eq!(e.terms, vec![(1, 2.5)]);
+    }
+}

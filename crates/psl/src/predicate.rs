@@ -1,0 +1,146 @@
+//! Predicates and the vocabulary of a PSL program.
+
+use cms_data::FxHashMap;
+use std::fmt;
+
+/// Dense predicate identifier within one [`Vocabulary`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PredId(pub u32);
+
+impl PredId {
+    /// The id as a usable index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A predicate: name, arity, and openness.
+///
+/// **Closed** predicates are fully observed: any ground atom not in the
+/// database has truth value 0 (closed-world assumption). **Open**
+/// predicates may have target (inferred) atoms.
+#[derive(Clone, Debug)]
+pub struct Predicate {
+    /// Predicate name, unique within the vocabulary.
+    pub name: String,
+    /// Number of arguments.
+    pub arity: usize,
+    /// True iff the predicate is fully observed (closed-world).
+    pub closed: bool,
+}
+
+/// The set of predicates of a program.
+#[derive(Clone, Debug, Default)]
+pub struct Vocabulary {
+    predicates: Vec<Predicate>,
+    by_name: FxHashMap<String, PredId>,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Vocabulary {
+        Vocabulary::default()
+    }
+
+    /// Declare a predicate; returns its id.
+    ///
+    /// # Panics
+    /// Panics on duplicate names — programs are built programmatically and
+    /// a duplicate is a bug.
+    pub fn declare(&mut self, name: &str, arity: usize, closed: bool) -> PredId {
+        assert!(
+            !self.by_name.contains_key(name),
+            "duplicate predicate {name:?}"
+        );
+        let id = PredId(u32::try_from(self.predicates.len()).expect("too many predicates"));
+        self.predicates.push(Predicate {
+            name: name.to_owned(),
+            arity,
+            closed,
+        });
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Declare a closed (fully observed) predicate.
+    pub fn closed(&mut self, name: &str, arity: usize) -> PredId {
+        self.declare(name, arity, true)
+    }
+
+    /// Declare an open predicate (may have inferred atoms).
+    pub fn open(&mut self, name: &str, arity: usize) -> PredId {
+        self.declare(name, arity, false)
+    }
+
+    /// Look up a predicate by name.
+    pub fn id_of(&self, name: &str) -> Option<PredId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The predicate with the given id.
+    pub fn predicate(&self, id: PredId) -> &Predicate {
+        &self.predicates[id.index()]
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// True iff no predicates are declared.
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+}
+
+impl fmt::Display for Vocabulary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.predicates {
+            writeln!(
+                f,
+                "{}/{} [{}]",
+                p.name,
+                p.arity,
+                if p.closed { "closed" } else { "open" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut v = Vocabulary::new();
+        let a = v.closed("covers", 2);
+        let b = v.open("inMap", 1);
+        assert_eq!(v.id_of("covers"), Some(a));
+        assert_eq!(v.id_of("inMap"), Some(b));
+        assert_eq!(v.id_of("missing"), None);
+        assert!(v.predicate(a).closed);
+        assert!(!v.predicate(b).closed);
+        assert_eq!(v.predicate(b).arity, 1);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate predicate")]
+    fn duplicate_panics() {
+        let mut v = Vocabulary::new();
+        v.closed("p", 1);
+        v.open("p", 2);
+    }
+
+    #[test]
+    fn display() {
+        let mut v = Vocabulary::new();
+        v.closed("covers", 2);
+        v.open("inMap", 1);
+        let s = v.to_string();
+        assert!(s.contains("covers/2 [closed]"));
+        assert!(s.contains("inMap/1 [open]"));
+    }
+}

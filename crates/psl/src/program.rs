@@ -1,0 +1,360 @@
+//! Programs: vocabulary + database + rules, grounded into a solvable form.
+//!
+//! Besides logical rules, programs support **raw linear terms** over ground
+//! atoms. The CMS encoding needs one construct PSL expresses as an
+//! arithmetic rule: the explanation cap
+//! `explained(T) ≤ Σ_C covers(C,T) · inMap(C)`, whose coefficients come from
+//! observed atoms. [`Program::add_raw_constraint`] and
+//! [`Program::add_raw_potential`] cover that: observed atoms in the linear
+//! combination fold into the constant, target atoms become variables.
+
+use crate::admm::{AdmmConfig, AdmmSolution, AdmmSolver};
+use crate::arith::{ground_arith_rule, ArithRule};
+use crate::atom::GroundAtom;
+use crate::database::{Database, Resolved};
+use crate::grounding::{ground_rule, GroundSink, GroundStats, GroundingError, VarRegistry};
+use crate::hinge::{ConstraintKind, GroundConstraint, GroundPotential};
+use crate::linear::LinExpr;
+use crate::predicate::Vocabulary;
+use crate::rule::LogicalRule;
+use cms_data::FxHashMap;
+
+/// A linear combination of ground atoms plus a constant.
+#[derive(Clone, Debug, Default)]
+pub struct AtomLin {
+    /// `(atom, coefficient)` pairs.
+    pub terms: Vec<(GroundAtom, f64)>,
+    /// Constant offset.
+    pub constant: f64,
+}
+
+impl AtomLin {
+    /// Empty combination.
+    pub fn new() -> AtomLin {
+        AtomLin::default()
+    }
+
+    /// Add `coef · atom`.
+    pub fn add(&mut self, atom: GroundAtom, coef: f64) -> &mut AtomLin {
+        self.terms.push((atom, coef));
+        self
+    }
+
+    /// Add a constant.
+    pub fn add_constant(&mut self, c: f64) -> &mut AtomLin {
+        self.constant += c;
+        self
+    }
+}
+
+enum RawKind {
+    Potential { weight: f64, squared: bool },
+    Constraint { kind: ConstraintKind },
+}
+
+struct RawTerm {
+    lin: AtomLin,
+    kind: RawKind,
+    origin: String,
+}
+
+/// A PSL program: declarations, data, rules, raw terms.
+pub struct Program {
+    /// The predicate vocabulary.
+    pub vocab: Vocabulary,
+    /// Observations and targets.
+    pub db: Database,
+    rules: Vec<LogicalRule>,
+    arith_rules: Vec<ArithRule>,
+    raw: Vec<RawTerm>,
+}
+
+impl Program {
+    /// A program over the given vocabulary with an empty database.
+    pub fn new(vocab: Vocabulary) -> Program {
+        Program { vocab, db: Database::new(), rules: Vec::new(), arith_rules: Vec::new(), raw: Vec::new() }
+    }
+
+    /// Add a logical rule.
+    pub fn add_rule(&mut self, rule: LogicalRule) {
+        self.rules.push(rule);
+    }
+
+    /// Add an arithmetic rule (see [`crate::arith`]).
+    pub fn add_arith_rule(&mut self, rule: ArithRule) {
+        self.arith_rules.push(rule);
+    }
+
+    /// Add a hard linear constraint `lin ≤ 0` or `lin = 0` over atoms.
+    pub fn add_raw_constraint(&mut self, lin: AtomLin, kind: ConstraintKind, origin: &str) {
+        self.raw.push(RawTerm { lin, kind: RawKind::Constraint { kind }, origin: origin.to_owned() });
+    }
+
+    /// Add a weighted potential `w · max(0, lin)^p` over atoms.
+    pub fn add_raw_potential(&mut self, lin: AtomLin, weight: f64, squared: bool, origin: &str) {
+        self.raw.push(RawTerm {
+            lin,
+            kind: RawKind::Potential { weight, squared },
+            origin: origin.to_owned(),
+        });
+    }
+
+    /// Ground all rules and raw terms.
+    pub fn ground(&self) -> Result<GroundProgram, GroundingError> {
+        let mut registry = VarRegistry::new();
+        let mut sink = GroundSink::default();
+        let mut stats: FxHashMap<String, GroundStats> = FxHashMap::default();
+        let mut constant_loss = 0.0;
+        for rule in &self.rules {
+            let s = ground_rule(rule, &self.db, &mut registry, &mut sink)?;
+            constant_loss += s.constant_loss;
+            let entry = stats.entry(rule.name.clone()).or_default();
+            entry.substitutions += s.substitutions;
+            entry.potentials += s.potentials;
+            entry.constraints += s.constraints;
+            entry.pruned += s.pruned;
+            entry.constant_loss += s.constant_loss;
+        }
+        for rule in &self.arith_rules {
+            ground_arith_rule(rule, &self.db, &mut registry, &mut sink.potentials, &mut sink.constraints)
+                .map_err(GroundingError::Arith)?;
+        }
+        for raw in &self.raw {
+            let mut expr = LinExpr::constant(raw.lin.constant);
+            for (atom, coef) in &raw.lin.terms {
+                match self.db.resolve(atom) {
+                    Resolved::Observed(v) => {
+                        expr.add_constant(coef * v);
+                    }
+                    Resolved::Target => {
+                        let var = registry.intern(atom);
+                        expr.add_term(var, *coef);
+                    }
+                }
+            }
+            expr.normalize();
+            match raw.kind {
+                RawKind::Potential { weight, squared } => {
+                    if expr.is_constant() {
+                        let d = expr.constant.max(0.0);
+                        constant_loss += if squared { weight * d * d } else { weight * d };
+                    } else {
+                        sink.potentials.push(GroundPotential {
+                            expr,
+                            weight,
+                            squared,
+                            origin: raw.origin.clone(),
+                        });
+                    }
+                }
+                RawKind::Constraint { kind } => {
+                    sink.constraints.push(GroundConstraint { expr, kind, origin: raw.origin.clone() });
+                }
+            }
+        }
+        Ok(GroundProgram {
+            registry,
+            potentials: sink.potentials,
+            constraints: sink.constraints,
+            constant_loss,
+            rule_stats: stats,
+        })
+    }
+}
+
+/// A fully grounded program, ready for MAP inference.
+pub struct GroundProgram {
+    registry: VarRegistry,
+    /// Ground weighted potentials.
+    pub potentials: Vec<GroundPotential>,
+    /// Ground hard constraints.
+    pub constraints: Vec<GroundConstraint>,
+    /// Objective contribution fixed by observations alone.
+    pub constant_loss: f64,
+    /// Per-rule grounding statistics keyed by rule name.
+    pub rule_stats: FxHashMap<String, GroundStats>,
+}
+
+impl GroundProgram {
+    /// Number of MAP variables.
+    pub fn num_vars(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Variable index of a target atom, if it appears in any ground term.
+    pub fn var_of(&self, atom: &GroundAtom) -> Option<usize> {
+        self.registry.lookup(atom)
+    }
+
+    /// The atom of a variable index.
+    pub fn atom_of(&self, var: usize) -> &GroundAtom {
+        self.registry.atom(var)
+    }
+
+    /// Run MAP inference.
+    pub fn solve(&self, config: &AdmmConfig) -> MapSolution {
+        let solver = AdmmSolver::new(&self.potentials, &self.constraints, self.num_vars());
+        let sol = solver.solve(config);
+        MapSolution { admm: sol, constant_loss: self.constant_loss }
+    }
+
+    /// Evaluate the soft objective (weighted potentials + constant loss)
+    /// under an arbitrary assignment.
+    pub fn objective(&self, values: &[f64]) -> f64 {
+        self.constant_loss + self.potentials.iter().map(|p| p.value(values)).sum::<f64>()
+    }
+
+    /// Largest hard-constraint violation under an assignment.
+    pub fn max_violation(&self, values: &[f64]) -> f64 {
+        self.constraints
+            .iter()
+            .map(|c| c.violation(values))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A MAP state: ADMM output plus the grounding-time constant loss.
+#[derive(Clone, Debug)]
+pub struct MapSolution {
+    /// Raw solver result.
+    pub admm: AdmmSolution,
+    /// Constant loss from grounding (added to the reported objective).
+    pub constant_loss: f64,
+}
+
+impl MapSolution {
+    /// Truth value of a target atom (None if the atom never appeared in a
+    /// ground term — its value is unconstrained).
+    pub fn value(&self, program: &GroundProgram, atom: &GroundAtom) -> Option<f64> {
+        program.var_of(atom).map(|v| self.admm.values[v])
+    }
+
+    /// Total soft objective: solver objective + constant loss.
+    pub fn total_objective(&self) -> f64 {
+        self.admm.objective + self.constant_loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{rvar, RuleBuilder};
+
+    /// The canonical toy program:
+    ///   w=1 : scope(T) → explained(T)
+    ///   hard: explained(T) ≤ Σ_C covers(C,T)·inMap(C)   (raw)
+    ///   w=0.4 : cand(C) → ¬inMap(C)
+    /// With a single candidate covering t1 fully, MAP should select it.
+    fn build() -> (Program, GroundAtom, GroundAtom) {
+        let mut vocab = Vocabulary::new();
+        let scope = vocab.closed("scope", 1);
+        let cand = vocab.closed("cand", 1);
+        let covers = vocab.closed("covers", 2);
+        let in_map = vocab.open("inMap", 1);
+        let explained = vocab.open("explained", 1);
+
+        let mut program = Program::new(vocab);
+        program.db.observe(GroundAtom::from_strs(scope, &["t1"]), 1.0);
+        program.db.observe(GroundAtom::from_strs(cand, &["c1"]), 1.0);
+        program.db.observe(GroundAtom::from_strs(covers, &["c1", "t1"]), 1.0);
+        let in_map_c1 = GroundAtom::from_strs(in_map, &["c1"]);
+        let explained_t1 = GroundAtom::from_strs(explained, &["t1"]);
+        program.db.target(in_map_c1.clone());
+        program.db.target(explained_t1.clone());
+
+        program.add_rule(
+            RuleBuilder::new("explain-reward")
+                .body(scope, vec![rvar("T")])
+                .head(explained, vec![rvar("T")])
+                .weight(1.0)
+                .build(),
+        );
+        program.add_rule(
+            RuleBuilder::new("size-prior")
+                .body(cand, vec![rvar("C")])
+                .head_neg(in_map, vec![rvar("C")])
+                .weight(0.4)
+                .build(),
+        );
+        let mut cap = AtomLin::new();
+        cap.add(explained_t1.clone(), 1.0);
+        cap.add(in_map_c1.clone(), -1.0); // covers(c1,t1) = 1
+        program.add_raw_constraint(cap, ConstraintKind::LeqZero, "cap");
+        (program, in_map_c1, explained_t1)
+    }
+
+    #[test]
+    fn end_to_end_map_selects_covering_candidate() {
+        let (program, in_map_c1, explained_t1) = build();
+        let ground = program.ground().unwrap();
+        assert_eq!(ground.num_vars(), 2);
+        let sol = ground.solve(&AdmmConfig::default());
+        assert!(sol.admm.converged);
+        let m = sol.value(&ground, &in_map_c1).unwrap();
+        let e = sol.value(&ground, &explained_t1).unwrap();
+        // Explaining pays 1.0, the size prior costs 0.4 ⇒ select.
+        assert!(m > 0.9, "inMap = {m}");
+        assert!(e > 0.9, "explained = {e}");
+        assert!(sol.total_objective() < 0.45 + 1e-2);
+        assert!(sol.admm.max_violation < 1e-3);
+    }
+
+    #[test]
+    fn heavier_prior_flips_the_decision() {
+        let (mut program, in_map_c1, _) = build();
+        // Add four more copies of the size prior via raw potentials.
+        for i in 0..4 {
+            let mut lin = AtomLin::new();
+            lin.add(in_map_c1.clone(), 1.0);
+            program.add_raw_potential(lin, 0.4, false, &format!("extra-prior-{i}"));
+        }
+        let ground = program.ground().unwrap();
+        let sol = ground.solve(&AdmmConfig::default());
+        let m = sol.value(&ground, &in_map_c1).unwrap();
+        // Total down-pressure 2.0 > up-pressure 1.0 ⇒ deselect.
+        assert!(m < 0.1, "inMap = {m}");
+    }
+
+    #[test]
+    fn raw_constant_potential_folds_into_loss() {
+        let mut vocab = Vocabulary::new();
+        let obs = vocab.closed("obs", 1);
+        let mut program = Program::new(vocab);
+        program.db.observe(GroundAtom::from_strs(obs, &["a"]), 0.75);
+        let mut lin = AtomLin::new();
+        lin.add(GroundAtom::from_strs(obs, &["a"]), 1.0);
+        program.add_raw_potential(lin, 2.0, false, "const");
+        let ground = program.ground().unwrap();
+        assert_eq!(ground.num_vars(), 0);
+        assert!((ground.constant_loss - 1.5).abs() < 1e-12);
+        let sol = ground.solve(&AdmmConfig::default());
+        assert!((sol.total_objective() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rule_stats_are_collected() {
+        let (program, _, _) = build();
+        let ground = program.ground().unwrap();
+        let s = &ground.rule_stats["explain-reward"];
+        assert_eq!(s.substitutions, 1);
+        assert_eq!(s.potentials, 1);
+    }
+
+    #[test]
+    fn objective_and_violation_eval() {
+        let (program, in_map_c1, explained_t1) = build();
+        let ground = program.ground().unwrap();
+        let mi = ground.var_of(&in_map_c1).unwrap();
+        let ei = ground.var_of(&explained_t1).unwrap();
+        let mut y = vec![0.0; 2];
+        // Nothing selected: unexplained loss 1.0.
+        assert!((ground.objective(&y) - 1.0).abs() < 1e-12);
+        assert_eq!(ground.max_violation(&y), 0.0);
+        // explained=1 without selecting violates the cap by 1.
+        y[ei] = 1.0;
+        assert!((ground.max_violation(&y) - 1.0).abs() < 1e-12);
+        y[mi] = 1.0;
+        assert_eq!(ground.max_violation(&y), 0.0);
+        assert!((ground.objective(&y) - 0.4).abs() < 1e-12);
+    }
+}

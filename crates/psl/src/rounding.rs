@@ -1,0 +1,97 @@
+//! Rounding relaxed MAP states to discrete decisions.
+//!
+//! MAP inference in an HL-MRF is a *relaxation* of the discrete selection
+//! problem: the optimum may be fractional. The standard recipe (and the
+//! paper's) is to round the soft truth values of the decision predicate and
+//! evaluate candidates under the true discrete objective. This module
+//! provides the generic pieces; the selector in `cms-select` supplies the
+//! discrete objective.
+
+/// All distinct thresholds worth trying for a value vector: midpoints
+/// between consecutive distinct values, plus 0 and 1 guards. Thresholding a
+/// vector at any other point yields the same discrete set as one of these.
+pub fn candidate_thresholds(values: &[f64]) -> Vec<f64> {
+    let mut distinct: Vec<f64> = values.to_vec();
+    distinct.sort_by(|a, b| a.partial_cmp(b).expect("NaN truth value"));
+    distinct.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    let mut thresholds = vec![0.0];
+    for w in distinct.windows(2) {
+        thresholds.push((w[0] + w[1]) / 2.0);
+    }
+    // A threshold above the maximum selects nothing.
+    thresholds.push(1.0 + 1e-9);
+    thresholds
+}
+
+/// Indices whose value is ≥ `threshold` (the rounded "selected" set).
+pub fn threshold_select(values: &[f64], threshold: f64) -> Vec<usize> {
+    values
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v >= threshold)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Exhaustive threshold rounding: evaluate every candidate threshold under
+/// a discrete objective (smaller is better) and return the best selection.
+pub fn best_threshold_rounding<F>(values: &[f64], mut objective: F) -> (Vec<usize>, f64)
+where
+    F: FnMut(&[usize]) -> f64,
+{
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    for threshold in candidate_thresholds(values) {
+        let selection = threshold_select(values, threshold);
+        let score = objective(&selection);
+        if best.as_ref().is_none_or(|(_, s)| score < *s) {
+            best = Some((selection, score));
+        }
+    }
+    best.expect("at least one threshold is always generated")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_cover_all_distinct_cuts() {
+        let values = [0.1, 0.9, 0.5, 0.9];
+        let ts = candidate_thresholds(&values);
+        // Cuts: everything, {0.5,0.9s}, {0.9s}, nothing.
+        let selections: Vec<Vec<usize>> = ts.iter().map(|&t| threshold_select(&values, t)).collect();
+        assert!(selections.contains(&vec![0, 1, 2, 3]));
+        assert!(selections.contains(&vec![1, 2, 3]));
+        assert!(selections.contains(&vec![1, 3]));
+        assert!(selections.contains(&vec![]));
+    }
+
+    #[test]
+    fn best_rounding_minimizes_objective() {
+        let values = [0.2, 0.8, 0.6];
+        // Objective: want exactly indices {1, 2} selected.
+        let (sel, score) = best_threshold_rounding(&values, |s| {
+            let want = [1usize, 2usize];
+            let missing = want.iter().filter(|i| !s.contains(i)).count();
+            let extra = s.iter().filter(|i| !want.contains(i)).count();
+            (missing + extra) as f64
+        });
+        assert_eq!(sel, vec![1, 2]);
+        assert_eq!(score, 0.0);
+    }
+
+    #[test]
+    fn empty_values_round_to_empty() {
+        let (sel, _) = best_threshold_rounding(&[], |s| s.len() as f64);
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn ties_handled() {
+        let values = [0.5, 0.5];
+        let ts = candidate_thresholds(&values);
+        let sels: Vec<Vec<usize>> = ts.iter().map(|&t| threshold_select(&values, t)).collect();
+        assert!(sels.contains(&vec![0, 1]));
+        assert!(sels.contains(&vec![]));
+    }
+}

@@ -1,0 +1,317 @@
+//! The logical rule language.
+//!
+//! A PSL logical rule has the form
+//!
+//! ```text
+//! w : B1 ∧ ... ∧ Bn  →  H1 ∨ ... ∨ Hm     (optionally squared)
+//! ```
+//!
+//! where each literal is a possibly-negated atom with variables or
+//! constants. Under the Łukasiewicz relaxation, the rule's *distance to
+//! satisfaction* for a grounding is
+//!
+//! ```text
+//! d = max(0, 1 − Σ_i (1 − t(Bi)) − Σ_j t(Hj))
+//! ```
+//!
+//! with `t(¬a) = 1 − t(a)`. Weighted rules contribute `w · d^p` potentials;
+//! unweighted (hard) rules contribute the constraint `d = 0`, i.e. the
+//! linear constraint `1 − Σ(1−t(Bi)) − Σ t(Hj) ≤ 0`.
+//!
+//! **Safety**: every variable must occur in at least one *positive body*
+//! literal; grounding joins over those. An empty head is allowed (the rule
+//! then penalizes the body conjunction); an empty body is not.
+
+use crate::predicate::PredId;
+use cms_data::Sym;
+use std::fmt;
+
+/// A term in a rule atom: named variable or constant.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum RTerm {
+    /// A named variable, bound during grounding.
+    Var(String),
+    /// A constant.
+    Const(Sym),
+}
+
+/// Shorthand for a rule variable.
+pub fn rvar(name: &str) -> RTerm {
+    RTerm::Var(name.to_owned())
+}
+
+/// Shorthand for a rule constant.
+pub fn rconst(value: &str) -> RTerm {
+    RTerm::Const(Sym::new(value))
+}
+
+/// An atom with (possibly) variables.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RAtom {
+    /// The predicate.
+    pub pred: PredId,
+    /// Argument terms.
+    pub args: Vec<RTerm>,
+}
+
+/// A possibly negated atom.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Literal {
+    /// The atom.
+    pub atom: RAtom,
+    /// True iff the literal is `¬atom`.
+    pub negated: bool,
+}
+
+/// A logical rule (weighted potential template or hard constraint).
+#[derive(Clone, Debug)]
+pub struct LogicalRule {
+    /// Name for diagnostics and grounding statistics.
+    pub name: String,
+    /// Conjunctive body.
+    pub body: Vec<Literal>,
+    /// Disjunctive head (may be empty: rule penalizes its body).
+    pub head: Vec<Literal>,
+    /// `Some(w)` for a weighted rule, `None` for a hard rule.
+    pub weight: Option<f64>,
+    /// True to square the hinge (only meaningful for weighted rules).
+    pub squared: bool,
+}
+
+impl LogicalRule {
+    /// All variable names in the rule, in first-occurrence order.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut seen: Vec<&str> = Vec::new();
+        for lit in self.body.iter().chain(self.head.iter()) {
+            for t in &lit.atom.args {
+                if let RTerm::Var(name) = t {
+                    if !seen.contains(&name.as_str()) {
+                        seen.push(name);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Variables bound by positive body literals.
+    pub fn anchored_variables(&self) -> Vec<&str> {
+        let mut seen: Vec<&str> = Vec::new();
+        for lit in self.body.iter().filter(|l| !l.negated) {
+            for t in &lit.atom.args {
+                if let RTerm::Var(name) = t {
+                    if !seen.contains(&name.as_str()) {
+                        seen.push(name);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// True iff every variable is anchored (safe to ground).
+    pub fn is_safe(&self) -> bool {
+        let anchored = self.anchored_variables();
+        self.variables().iter().all(|v| anchored.contains(v))
+    }
+}
+
+/// Fluent builder for [`LogicalRule`].
+#[derive(Debug)]
+pub struct RuleBuilder {
+    rule: LogicalRule,
+}
+
+impl RuleBuilder {
+    /// Start a rule with the given diagnostic name.
+    pub fn new(name: &str) -> RuleBuilder {
+        RuleBuilder {
+            rule: LogicalRule {
+                name: name.to_owned(),
+                body: Vec::new(),
+                head: Vec::new(),
+                weight: None,
+                squared: false,
+            },
+        }
+    }
+
+    /// Add a positive body literal.
+    pub fn body(mut self, pred: PredId, args: Vec<RTerm>) -> RuleBuilder {
+        self.rule.body.push(Literal { atom: RAtom { pred, args }, negated: false });
+        self
+    }
+
+    /// Add a negated body literal.
+    pub fn body_neg(mut self, pred: PredId, args: Vec<RTerm>) -> RuleBuilder {
+        self.rule.body.push(Literal { atom: RAtom { pred, args }, negated: true });
+        self
+    }
+
+    /// Add a positive head literal.
+    pub fn head(mut self, pred: PredId, args: Vec<RTerm>) -> RuleBuilder {
+        self.rule.head.push(Literal { atom: RAtom { pred, args }, negated: false });
+        self
+    }
+
+    /// Add a negated head literal.
+    pub fn head_neg(mut self, pred: PredId, args: Vec<RTerm>) -> RuleBuilder {
+        self.rule.head.push(Literal { atom: RAtom { pred, args }, negated: true });
+        self
+    }
+
+    /// Make the rule weighted with a linear hinge.
+    pub fn weight(mut self, w: f64) -> RuleBuilder {
+        assert!(w >= 0.0, "rule weight must be non-negative");
+        self.rule.weight = Some(w);
+        self
+    }
+
+    /// Square the hinge (call after [`RuleBuilder::weight`]).
+    pub fn squared(mut self) -> RuleBuilder {
+        self.rule.squared = true;
+        self
+    }
+
+    /// Finish. Hard rule if no weight was set.
+    ///
+    /// # Panics
+    /// Panics if the rule has an empty body or is unsafe.
+    pub fn build(self) -> LogicalRule {
+        assert!(!self.rule.body.is_empty(), "rule {:?} has an empty body", self.rule.name);
+        assert!(
+            self.rule.is_safe(),
+            "rule {:?} is unsafe: some variable is not bound by a positive body literal",
+            self.rule.name
+        );
+        self.rule
+    }
+}
+
+impl fmt::Display for LogicalRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.weight {
+            Some(w) => write!(f, "{w} : ")?,
+            None => write!(f, "hard : ")?,
+        }
+        let lit = |f: &mut fmt::Formatter<'_>, l: &Literal| -> fmt::Result {
+            if l.negated {
+                write!(f, "!")?;
+            }
+            write!(f, "p{}(", l.atom.pred.0)?;
+            for (i, t) in l.atom.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                match t {
+                    RTerm::Var(v) => write!(f, "{v}")?,
+                    RTerm::Const(c) => write!(f, "'{c}'")?,
+                }
+            }
+            write!(f, ")")
+        };
+        for (i, l) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            lit(f, l)?;
+        }
+        write!(f, " -> ")?;
+        if self.head.is_empty() {
+            write!(f, "false")?;
+        }
+        for (i, l) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            lit(f, l)?;
+        }
+        if self.squared {
+            write!(f, " ^2")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_display() {
+        let covers = PredId(0);
+        let in_map = PredId(1);
+        let explained = PredId(2);
+        let r = RuleBuilder::new("r1")
+            .body(covers, vec![rvar("C"), rvar("T")])
+            .body(in_map, vec![rvar("C")])
+            .head(explained, vec![rvar("T")])
+            .weight(2.0)
+            .build();
+        assert_eq!(r.to_string(), "2 : p0(C,T) & p1(C) -> p2(T)");
+        assert_eq!(r.variables(), vec!["C", "T"]);
+        assert!(r.is_safe());
+    }
+
+    #[test]
+    fn empty_head_rule_displays_false() {
+        let r = RuleBuilder::new("penalty")
+            .body(PredId(0), vec![rvar("X")])
+            .weight(1.0)
+            .build();
+        assert_eq!(r.to_string(), "1 : p0(X) -> false");
+    }
+
+    #[test]
+    fn unsafe_rule_detected() {
+        // Variable Y appears only in the head.
+        let r = LogicalRule {
+            name: "bad".into(),
+            body: vec![Literal {
+                atom: RAtom { pred: PredId(0), args: vec![rvar("X")] },
+                negated: false,
+            }],
+            head: vec![Literal {
+                atom: RAtom { pred: PredId(1), args: vec![rvar("Y")] },
+                negated: false,
+            }],
+            weight: Some(1.0),
+            squared: false,
+        };
+        assert!(!r.is_safe());
+    }
+
+    #[test]
+    fn negated_body_does_not_anchor() {
+        let r = LogicalRule {
+            name: "neg".into(),
+            body: vec![Literal {
+                atom: RAtom { pred: PredId(0), args: vec![rvar("X")] },
+                negated: true,
+            }],
+            head: vec![],
+            weight: Some(1.0),
+            squared: false,
+        };
+        assert!(!r.is_safe());
+    }
+
+    #[test]
+    #[should_panic(expected = "unsafe")]
+    fn builder_rejects_unsafe() {
+        RuleBuilder::new("bad")
+            .body(PredId(0), vec![rvar("X")])
+            .head(PredId(1), vec![rvar("Y")])
+            .weight(1.0)
+            .build();
+    }
+
+    #[test]
+    fn constants_in_rules() {
+        let r = RuleBuilder::new("c")
+            .body(PredId(0), vec![rvar("X"), rconst("fixed")])
+            .head(PredId(1), vec![rvar("X")])
+            .build();
+        assert_eq!(r.to_string(), "hard : p0(X,'fixed') -> p1(X)");
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the PSL engine: grounding semantics and the
+//! convexity/feasibility contracts of ADMM MAP inference.
+
+use cms_psl::{
+    ground_rule, AdmmConfig, AdmmSolver, ConstraintKind, Database, GroundAtom, GroundConstraint,
+    GroundPotential, GroundSink, LinExpr, RuleBuilder, VarRegistry, Vocabulary,
+};
+use proptest::prelude::*;
+
+/// Random linear hinge potentials over `n` variables.
+fn arb_potentials(n: usize) -> impl Strategy<Value = Vec<GroundPotential>> {
+    let term = (0..n, -2i32..=2).prop_map(|(v, c)| (v, c as f64));
+    let potential = (
+        prop::collection::vec(term, 1..4),
+        -2i32..=2,
+        1u32..4,
+        any::<bool>(),
+    )
+        .prop_map(|(terms, constant, w, squared)| {
+            let mut expr = LinExpr::constant(constant as f64 * 0.5);
+            for (v, c) in terms {
+                if c != 0.0 {
+                    expr.add_term(v, c);
+                }
+            }
+            expr.normalize();
+            GroundPotential { expr, weight: w as f64, squared, origin: String::new() }
+        });
+    prop::collection::vec(potential, 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ADMM's solution is a global minimum of the (convex) objective up to
+    /// tolerance: no sampled point in the box does meaningfully better.
+    #[test]
+    fn admm_beats_random_points(potentials in arb_potentials(5), probes in prop::collection::vec(prop::collection::vec(0.0f64..=1.0, 5), 20)) {
+        let solver = AdmmSolver::new(&potentials, &[], 5);
+        let sol = solver.solve(&AdmmConfig::default());
+        for probe in &probes {
+            let probe_obj = solver.objective(probe);
+            prop_assert!(
+                sol.objective <= probe_obj + 1e-3,
+                "ADMM {} worse than probe {}",
+                sol.objective,
+                probe_obj
+            );
+        }
+    }
+
+    /// With hard box-interior constraints, the solution satisfies them
+    /// within tolerance.
+    #[test]
+    fn admm_respects_constraints(potentials in arb_potentials(4), cap in 0.1f64..0.9) {
+        // Constrain y0 ≤ cap and y1 = cap.
+        let mut le = LinExpr::constant(-cap);
+        le.add_term(0, 1.0);
+        let mut eq = LinExpr::constant(-cap);
+        eq.add_term(1, 1.0);
+        let constraints = vec![
+            GroundConstraint { expr: le, kind: ConstraintKind::LeqZero, origin: String::new() },
+            GroundConstraint { expr: eq, kind: ConstraintKind::EqZero, origin: String::new() },
+        ];
+        let solver = AdmmSolver::new(&potentials, &constraints, 4);
+        let sol = solver.solve(&AdmmConfig::default());
+        prop_assert!(sol.values[0] <= cap + 5e-3, "y0 = {} > cap {}", sol.values[0], cap);
+        prop_assert!((sol.values[1] - cap).abs() < 5e-3, "y1 = {} != {}", sol.values[1], cap);
+    }
+
+    /// Solutions always stay in the [0,1] box and the reported objective
+    /// matches re-evaluation.
+    #[test]
+    fn admm_box_and_objective_consistency(potentials in arb_potentials(6)) {
+        let solver = AdmmSolver::new(&potentials, &[], 6);
+        let sol = solver.solve(&AdmmConfig::default());
+        for &v in &sol.values {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        let re = solver.objective(&sol.values);
+        prop_assert!((re - sol.objective).abs() < 1e-9);
+    }
+}
+
+/// Grounding semantics: the compiled hinge equals the Łukasiewicz distance
+/// to satisfaction computed directly, over a grid of truth assignments.
+#[test]
+fn grounding_matches_lukasiewicz_semantics() {
+    let mut vocab = Vocabulary::new();
+    let a = vocab.closed("a", 1);
+    let b = vocab.open("b", 1);
+    let c = vocab.open("c", 1);
+    for &av in &[0.0, 0.3, 0.7, 1.0] {
+        let mut db = Database::new();
+        db.observe(GroundAtom::from_strs(a, &["x"]), av);
+        db.target(GroundAtom::from_strs(b, &["x"]));
+        db.target(GroundAtom::from_strs(c, &["x"]));
+        // a(X) & b(X) -> c(X), weight 1.
+        let rule = RuleBuilder::new("r")
+            .body(a, vec![cms_psl::rvar("X")])
+            .body(b, vec![cms_psl::rvar("X")])
+            .head(c, vec![cms_psl::rvar("X")])
+            .weight(1.0)
+            .build();
+        let mut registry = VarRegistry::new();
+        let mut sink = GroundSink::default();
+        ground_rule(&rule, &db, &mut registry, &mut sink).unwrap();
+
+        for bv in [0.0, 0.25, 0.5, 1.0] {
+            for cv in [0.0, 0.5, 1.0] {
+                // Direct Łukasiewicz: I(body) = max(0, av + bv − 1);
+                // distance = max(0, I(body) − cv).
+                let body_truth = (av + bv - 1.0).max(0.0);
+                let expected = (body_truth - cv).max(0.0);
+                let mut y = vec![0.0; registry.len()];
+                if let Some(i) = registry.lookup(&GroundAtom::from_strs(b, &["x"])) {
+                    y[i] = bv;
+                }
+                if let Some(i) = registry.lookup(&GroundAtom::from_strs(c, &["x"])) {
+                    y[i] = cv;
+                }
+                let total: f64 = sink.potentials.iter().map(|p| p.value(&y)).sum();
+                assert!(
+                    (total - expected).abs() < 1e-9,
+                    "a={av} b={bv} c={cv}: got {total}, want {expected}"
+                );
+            }
+        }
+    }
+}
+
+/// Hard rules ground to constraints whose satisfaction coincides with the
+/// Łukasiewicz satisfaction of the clause.
+#[test]
+fn hard_rule_constraint_semantics() {
+    let mut vocab = Vocabulary::new();
+    let p = vocab.closed("p", 1);
+    let q = vocab.open("q", 1);
+    let mut db = Database::new();
+    db.observe(GroundAtom::from_strs(p, &["x"]), 1.0);
+    db.target(GroundAtom::from_strs(q, &["x"]));
+    let rule = RuleBuilder::new("hard")
+        .body(p, vec![cms_psl::rvar("X")])
+        .head(q, vec![cms_psl::rvar("X")])
+        .build();
+    let mut registry = VarRegistry::new();
+    let mut sink = GroundSink::default();
+    ground_rule(&rule, &db, &mut registry, &mut sink).unwrap();
+    assert_eq!(sink.constraints.len(), 1);
+    let qi = registry.lookup(&GroundAtom::from_strs(q, &["x"])).unwrap();
+    let mut y = vec![0.0; registry.len()];
+    // q = 0 violates p → q by 1.
+    assert!((sink.constraints[0].violation(&y) - 1.0).abs() < 1e-9);
+    y[qi] = 1.0;
+    assert_eq!(sink.constraints[0].violation(&y), 0.0);
+}

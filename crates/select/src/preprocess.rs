@@ -1,0 +1,136 @@
+//! §III-C preprocessing: remove what optimization cannot change.
+//!
+//! * **Certain unexplained** target tuples — covered by no candidate — add
+//!   the constant `w1 · count` to `F(M)` for *every* `M`; they are removed
+//!   from the model and reported.
+//! * **Useless candidates** — with no positive cover — can only add errors
+//!   and size; no optimal selection contains them. They stay in the model
+//!   (so candidate indices remain stable) but are reported; all selectors
+//!   skip them.
+
+use crate::coverage::{CoverageModel, ErrorGroup};
+
+/// What preprocessing removed or flagged.
+#[derive(Clone, Debug, Default)]
+pub struct PreprocessReport {
+    /// Target tuples no candidate covers (removed; each contributes a
+    /// constant `w1` to the objective of every selection).
+    pub certain_unexplained: usize,
+    /// Candidates with no positive cover (flagged, never selected).
+    pub useless_candidates: Vec<usize>,
+}
+
+/// Reduce a coverage model. Candidate indices are preserved; target
+/// indices are compacted.
+pub fn preprocess(model: &CoverageModel) -> (CoverageModel, PreprocessReport) {
+    let dead_targets = model.certainly_unexplained();
+    let useless = model.useless_candidates();
+
+    // Compact target indexing.
+    let mut keep = vec![true; model.num_targets()];
+    for &t in &dead_targets {
+        keep[t] = false;
+    }
+    let mut new_index = vec![usize::MAX; model.num_targets()];
+    let mut next = 0usize;
+    for (t, &k) in keep.iter().enumerate() {
+        if k {
+            new_index[t] = next;
+            next += 1;
+        }
+    }
+
+    let targets = model
+        .targets
+        .iter()
+        .enumerate()
+        .filter(|(t, _)| keep[*t])
+        .map(|(_, tuple)| tuple.clone())
+        .collect();
+    let covers = model
+        .covers
+        .iter()
+        .map(|list| {
+            list.iter()
+                .filter(|&&(t, _)| keep[t])
+                .map(|&(t, d)| (new_index[t], d))
+                .collect()
+        })
+        .collect();
+
+    let reduced = CoverageModel {
+        num_candidates: model.num_candidates,
+        targets,
+        sizes: model.sizes.clone(),
+        covers,
+        errors: model
+            .errors
+            .iter()
+            .map(|g| ErrorGroup { creators: g.creators.clone(), example: g.example.clone() })
+            .collect(),
+        error_counts: model.error_counts.clone(),
+    };
+    let report = PreprocessReport {
+        certain_unexplained: dead_targets.len(),
+        useless_candidates: useless,
+    };
+    (reduced, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::tests::running_example;
+    use crate::objective::{Objective, ObjectiveWeights};
+
+    #[test]
+    fn removes_junk_targets_and_reports_constant() {
+        let (_, _, i, j, cands) = running_example();
+        let model = CoverageModel::build(&i, &j, &cands);
+        let (reduced, report) = preprocess(&model);
+        assert_eq!(report.certain_unexplained, 2);
+        assert_eq!(reduced.num_targets(), 2);
+        assert_eq!(reduced.num_candidates, 2);
+
+        // F_reduced(M) + w1 · certain = F_full(M) for every selection.
+        let f_full = Objective::new(&model, ObjectiveWeights::unweighted());
+        let f_red = Objective::new(&reduced, ObjectiveWeights::unweighted());
+        for sel in [vec![], vec![0], vec![1], vec![0, 1]] {
+            let full = f_full.value(&sel);
+            let red = f_red.value(&sel) + report.certain_unexplained as f64;
+            assert!((full - red).abs() < 1e-9, "selection {sel:?}: {full} vs {red}");
+        }
+    }
+
+    #[test]
+    fn flags_useless_candidates() {
+        let (src, tgt, i, j, mut cands) = running_example();
+        cands.push(cms_tgd::parse_tgd("team(c, e) -> org(e, c)", &src, &tgt).unwrap());
+        let model = CoverageModel::build(&i, &j, &cands);
+        let (_, report) = preprocess(&model);
+        assert_eq!(report.useless_candidates, vec![2]);
+    }
+
+    #[test]
+    fn clean_model_passes_through() {
+        let (_, _, i, j, cands) = running_example();
+        let mut j2 = j.clone();
+        // Remove the junk tuples so everything is coverable.
+        let tuples = j.to_tuples();
+        for t in &tuples {
+            let covered = t.args.iter().any(|v| {
+                *v == cms_data::Value::constant("ML")
+                    || *v == cms_data::Value::constant("111")
+                    || *v == cms_data::Value::constant("SAP")
+                    || *v == cms_data::Value::constant("Alice")
+            });
+            if !covered {
+                j2.remove(t.rel, &t.args);
+            }
+        }
+        let model = CoverageModel::build(&i, &j2, &cands);
+        let (reduced, report) = preprocess(&model);
+        assert_eq!(report.certain_unexplained, 0);
+        assert_eq!(reduced.num_targets(), model.num_targets());
+    }
+}

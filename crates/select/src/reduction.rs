@@ -1,0 +1,198 @@
+//! The SET COVER ⇒ mapping-selection reduction (appendix §III).
+//!
+//! Given `U`, a collection `R = {R_i ⊆ U}`, and a bound `n`, the appendix
+//! constructs (with `m = 2n`, auxiliary domain `D = {1, …, m+1}`):
+//!
+//! ```text
+//! S = {R_i/2},  T = {U/2},  C = {R_i(X,Y) → U(X,Y)}
+//! I = ⋃ R_i × D,  J = U × D
+//! ```
+//!
+//! Each candidate is full, size 2, makes no errors, and explains
+//! `(m+1)·|R_i|` target tuples; hence
+//! `F(M) = (m+1)·(|U| − |⋃_{θ∈M} R_i|) + 2·|M|` and a selection with
+//! `F(M) ≤ 2n` exists iff a set cover of size ≤ n exists.
+//!
+//! The reduction doubles as a correctness test (the formula must agree
+//! with the generic objective machinery) and as the EX7 experiment (where
+//! PSL-relaxation quality is measured against exact search on instances
+//! with known structure).
+
+use crate::coverage::CoverageModel;
+use crate::objective::{Objective, ObjectiveWeights};
+use cms_data::{Instance, Schema};
+use cms_tgd::{Atom, StTgd, Term, VarId};
+
+/// A SET COVER instance.
+#[derive(Clone, Debug)]
+pub struct SetCoverInstance {
+    /// Universe size; elements are `0..universe`.
+    pub universe: usize,
+    /// The collection of subsets.
+    pub sets: Vec<Vec<usize>>,
+    /// The cover-size bound `n` of the decision problem.
+    pub bound: usize,
+}
+
+/// The constructed mapping-selection instance.
+#[derive(Clone, Debug)]
+pub struct Reduction {
+    /// Source schema (one binary relation per set).
+    pub source_schema: Schema,
+    /// Target schema (one binary relation `u`).
+    pub target_schema: Schema,
+    /// Source instance `I`.
+    pub source: Instance,
+    /// Target instance `J`.
+    pub target: Instance,
+    /// Candidate tgds, one per set, in set order.
+    pub candidates: Vec<StTgd>,
+    /// The decision threshold `m = 2n`.
+    pub threshold: f64,
+    /// `|D| = m + 1`.
+    pub domain_size: usize,
+}
+
+/// Build the reduction for a SET COVER instance.
+pub fn build_reduction(sc: &SetCoverInstance) -> Reduction {
+    let m = 2 * sc.bound;
+    let domain_size = m + 1;
+
+    let mut source_schema = Schema::new("source");
+    let mut target_schema = Schema::new("target");
+    let u_rel = target_schema.add_relation("u", &["x", "y"]);
+
+    let mut source = Instance::new();
+    let mut target = Instance::new();
+    let mut candidates = Vec::with_capacity(sc.sets.len());
+
+    for (i, set) in sc.sets.iter().enumerate() {
+        let r = source_schema.add_relation(&format!("r{i}"), &["x", "y"]);
+        for &elem in set {
+            for d in 1..=domain_size {
+                source.insert_ground(r, &[&format!("e{elem}"), &format!("d{d}")]);
+            }
+        }
+        // R_i(X, Y) → U(X, Y)
+        candidates.push(StTgd::new(
+            vec![Atom::new(r, vec![Term::Var(VarId(0)), Term::Var(VarId(1))])],
+            vec![Atom::new(u_rel, vec![Term::Var(VarId(0)), Term::Var(VarId(1))])],
+            vec!["X".into(), "Y".into()],
+        ));
+    }
+    for elem in 0..sc.universe {
+        for d in 1..=domain_size {
+            target.insert_ground(u_rel, &[&format!("e{elem}"), &format!("d{d}")]);
+        }
+    }
+
+    Reduction {
+        source_schema,
+        target_schema,
+        source,
+        target,
+        candidates,
+        threshold: m as f64,
+        domain_size,
+    }
+}
+
+/// The closed-form objective of the appendix:
+/// `F(M) = (m+1)·(|U| − |⋃ R_i|) + 2·|M|`.
+pub fn closed_form_objective(sc: &SetCoverInstance, selection: &[usize]) -> f64 {
+    let mut covered = vec![false; sc.universe];
+    for &i in selection {
+        for &e in &sc.sets[i] {
+            covered[e] = true;
+        }
+    }
+    let uncovered = covered.iter().filter(|&&c| !c).count();
+    let m = 2 * sc.bound;
+    ((m + 1) * uncovered) as f64 + 2.0 * selection.len() as f64
+}
+
+/// True iff `selection` covers the universe within the bound — i.e.
+/// witnesses a YES answer to the SET COVER instance.
+pub fn is_cover_within_bound(sc: &SetCoverInstance, selection: &[usize]) -> bool {
+    if selection.len() > sc.bound {
+        return false;
+    }
+    let mut covered = vec![false; sc.universe];
+    for &i in selection {
+        for &e in &sc.sets[i] {
+            covered[e] = true;
+        }
+    }
+    covered.iter().all(|&c| c)
+}
+
+/// Evaluate the generic objective machinery on the reduction (sanity
+/// bridge used by tests and EX7).
+pub fn generic_objective(red: &Reduction, selection: &[usize]) -> f64 {
+    let model = CoverageModel::build(&red.source, &red.target, &red.candidates);
+    Objective::new(&model, ObjectiveWeights::unweighted()).value(selection)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetCoverInstance {
+        // U = {0,1,2,3}; R0={0,1}, R1={1,2}, R2={2,3}, R3={0,3}.
+        // Optimal covers: {R0,R2} or {R1,R3}, size 2.
+        SetCoverInstance {
+            universe: 4,
+            sets: vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]],
+            bound: 2,
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_generic_objective() {
+        let sc = small();
+        let red = build_reduction(&sc);
+        for sel in [vec![], vec![0], vec![0, 2], vec![1, 3], vec![0, 1, 2, 3]] {
+            let closed = closed_form_objective(&sc, &sel);
+            let generic = generic_objective(&red, &sel);
+            assert!(
+                (closed - generic).abs() < 1e-9,
+                "selection {sel:?}: closed {closed} vs generic {generic}"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_characterizes_covers() {
+        let sc = small();
+        // F(M) ≤ 2n exactly for covering selections of size ≤ n.
+        for sel in [vec![0usize, 2], vec![1, 3]] {
+            assert!(is_cover_within_bound(&sc, &sel));
+            assert!(closed_form_objective(&sc, &sel) <= 2.0 * sc.bound as f64);
+        }
+        for sel in [vec![], vec![0], vec![0, 1]] {
+            assert!(!is_cover_within_bound(&sc, &sel));
+            assert!(closed_form_objective(&sc, &sel) > 2.0 * sc.bound as f64);
+        }
+    }
+
+    #[test]
+    fn candidates_make_no_errors() {
+        let sc = small();
+        let red = build_reduction(&sc);
+        let model = CoverageModel::build(&red.source, &red.target, &red.candidates);
+        assert!(model.errors.is_empty());
+        assert!(model.sizes.iter().all(|&s| s == 2));
+    }
+
+    #[test]
+    fn instance_sizes_match_construction() {
+        let sc = small();
+        let red = build_reduction(&sc);
+        // |J| = |U| · (m+1); m = 4.
+        assert_eq!(red.target.total_len(), 4 * 5);
+        // |I| = Σ|R_i| · (m+1) = 8 · 5.
+        assert_eq!(red.source.total_len(), 8 * 5);
+        assert_eq!(red.candidates.len(), 4);
+        assert_eq!(red.threshold, 4.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Reference and baseline selectors.
+
+use super::{Selection, Selector};
+use crate::coverage::CoverageModel;
+use crate::objective::{Objective, ObjectiveWeights};
+
+/// A fixed selection evaluated under the objective — used for the gold
+/// oracle, the empty mapping, and the "select everything" reference rows.
+#[derive(Clone, Debug)]
+pub struct FixedSelection {
+    /// Display name.
+    pub label: String,
+    /// The fixed candidate indices.
+    pub indices: Vec<usize>,
+}
+
+impl FixedSelection {
+    /// A fixed selection with a label.
+    pub fn new(label: impl Into<String>, indices: Vec<usize>) -> FixedSelection {
+        FixedSelection { label: label.into(), indices }
+    }
+
+    /// The empty mapping.
+    pub fn empty() -> FixedSelection {
+        FixedSelection::new("empty", Vec::new())
+    }
+
+    /// All candidates.
+    pub fn all(n: usize) -> FixedSelection {
+        FixedSelection::new("all-candidates", (0..n).collect())
+    }
+}
+
+impl Selector for FixedSelection {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn select(&self, model: &CoverageModel, weights: &ObjectiveWeights) -> Selection {
+        let objective = Objective::new(model, *weights);
+        let value = objective.value(&self.indices);
+        Selection::new(self.indices.clone(), value, 1)
+    }
+}
+
+/// The **non-collective** baseline (EX9): decide each candidate in
+/// isolation by its standalone marginal value
+///
+/// ```text
+/// include θ  ⇔  w1 · Σ_t covers(θ, t)  >  w2 · errors(θ) + w3 · size(θ)
+/// ```
+///
+/// This ignores all interaction: overlapping covers are double counted and
+/// shared error tuples are charged per candidate. It is the natural
+/// "score each mapping independently" strawman the collective formulation
+/// improves on.
+#[derive(Clone, Debug, Default)]
+pub struct IndependentBaseline;
+
+impl Selector for IndependentBaseline {
+    fn name(&self) -> &str {
+        "independent"
+    }
+
+    fn select(&self, model: &CoverageModel, weights: &ObjectiveWeights) -> Selection {
+        let selected: Vec<usize> = (0..model.num_candidates)
+            .filter(|&c| {
+                let gain: f64 = model.covers[c].iter().map(|&(_, d)| d).sum();
+                let cost = weights.w_error * model.error_counts[c] as f64
+                    + weights.w_size * model.sizes[c] as f64;
+                weights.w_explain * gain > cost
+            })
+            .collect();
+        let objective = Objective::new(model, *weights);
+        let value = objective.value(&selected);
+        Selection::new(selected, value, model.num_candidates + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{appendix_model, known_optimum_model};
+    use super::*;
+
+    #[test]
+    fn fixed_selection_evaluates_given_set() {
+        let model = appendix_model();
+        let w = ObjectiveWeights::unweighted();
+        let empty = FixedSelection::empty().select(&model, &w);
+        assert!((empty.objective - 4.0).abs() < 1e-9);
+        let all = FixedSelection::all(2).select(&model, &w);
+        assert!((all.objective - 12.0).abs() < 1e-9);
+        let gold_selector = FixedSelection::new("gold", vec![1]);
+        assert_eq!(gold_selector.name(), "gold");
+        let gold = gold_selector.select(&model, &w);
+        assert!((gold.objective - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_overselects_on_overlap() {
+        // Set-cover instance: every set has positive standalone value, so
+        // the independent baseline takes all four — paying size for the
+        // redundant two the exact optimum avoids.
+        let (model, best) = known_optimum_model();
+        let w = ObjectiveWeights::unweighted();
+        let sel = IndependentBaseline.select(&model, &w);
+        assert_eq!(sel.selected, vec![0, 1, 2, 3]);
+        assert!(sel.objective > best, "independent must be suboptimal here");
+    }
+
+    #[test]
+    fn independent_rejects_pure_error_candidates() {
+        let model = appendix_model();
+        let w = ObjectiveWeights::unweighted();
+        let sel = IndependentBaseline.select(&model, &w);
+        // θ1: gain 2/3 < 1 error + 3 size ⇒ excluded.
+        // θ3: gain 2 < 2 errors + 4 size ⇒ excluded.
+        assert!(sel.selected.is_empty(), "{:?}", sel.selected);
+    }
+}

@@ -1,0 +1,234 @@
+//! Exact branch-and-bound search.
+//!
+//! Depth-first over candidates (ordered by descending cover mass) deciding
+//! include/exclude. At each node the **lower bound** combines what can only
+//! grow with what can only shrink:
+//!
+//! ```text
+//! bound = w1 · Σ_t (1 − bestcov_optimistic(t))   // all undecided included for free
+//!       + w2 · errors(included so far)            // errors only grow
+//!       + w3 · size(included so far)              // size only grows
+//! ```
+//!
+//! The bound is admissible: any completion of the node has objective ≥
+//! bound, so pruning at `bound ≥ best` preserves exactness. Mapping
+//! selection is NP-hard (appendix §III), so worst-case time remains
+//! exponential — but the bound collapses most of the search space on the
+//! scenario families we generate.
+
+use super::{useful_candidates, Selection, Selector};
+use crate::coverage::CoverageModel;
+use crate::objective::{Objective, ObjectiveWeights};
+
+/// Exact branch-and-bound selector.
+#[derive(Clone, Debug, Default)]
+pub struct BranchBound {
+    /// Optional node budget; `None` = unbounded (exact). When the budget
+    /// is exhausted the best solution so far is returned (then the result
+    /// is only a heuristic — the note says so).
+    pub node_budget: Option<usize>,
+}
+
+struct Search<'a> {
+    model: &'a CoverageModel,
+    weights: ObjectiveWeights,
+    order: Vec<usize>,
+    /// suffix_cover[i][t] = max cover of t over order[i..].
+    suffix_cover: Vec<Vec<f64>>,
+    best_value: f64,
+    best_set: Vec<usize>,
+    nodes: usize,
+    budget: usize,
+    truncated: bool,
+}
+
+impl Search<'_> {
+    /// DFS at position `i` with `included` the chosen candidates so far,
+    /// `cur_cover[t]` their best covers, `cur_errors`/`cur_size` their
+    /// error-group count and total size.
+    fn dfs(&mut self, i: usize, included: &mut Vec<usize>, cur_cover: &mut Vec<f64>, cur_size: f64) {
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            self.truncated = true;
+            return;
+        }
+        // Errors only depend on the included set; recompute sparsely.
+        let cur_errors = self
+            .model
+            .errors
+            .iter()
+            .filter(|g| g.creators.iter().any(|c| included.contains(c)))
+            .count() as f64;
+
+        // Leaf: exact objective.
+        if i == self.order.len() {
+            let unexplained: f64 = cur_cover.iter().map(|d| 1.0 - d).sum();
+            let value = self.weights.w_explain * unexplained
+                + self.weights.w_error * cur_errors
+                + self.weights.w_size * cur_size;
+            if value < self.best_value {
+                self.best_value = value;
+                self.best_set = included.clone();
+            }
+            return;
+        }
+
+        // Lower bound with all remaining candidates included for free.
+        let optimistic: f64 = cur_cover
+            .iter()
+            .zip(self.suffix_cover[i].iter())
+            .map(|(&cur, &suf)| 1.0 - cur.max(suf))
+            .sum();
+        let bound = self.weights.w_explain * optimistic
+            + self.weights.w_error * cur_errors
+            + self.weights.w_size * cur_size;
+        if bound >= self.best_value - 1e-12 {
+            return;
+        }
+
+        let cand = self.order[i];
+        // Branch 1: include.
+        let mut touched: Vec<(usize, f64)> = Vec::new();
+        for &(t, d) in &self.model.covers[cand] {
+            if d > cur_cover[t] {
+                touched.push((t, cur_cover[t]));
+                cur_cover[t] = d;
+            }
+        }
+        included.push(cand);
+        self.dfs(i + 1, included, cur_cover, cur_size + self.model.sizes[cand] as f64);
+        included.pop();
+        for (t, old) in touched {
+            cur_cover[t] = old;
+        }
+        // Branch 2: exclude.
+        self.dfs(i + 1, included, cur_cover, cur_size);
+    }
+}
+
+impl Selector for BranchBound {
+    fn name(&self) -> &str {
+        "branch-bound"
+    }
+
+    fn select(&self, model: &CoverageModel, weights: &ObjectiveWeights) -> Selection {
+        let mut order = useful_candidates(model);
+        // Heaviest covers first: good incumbents early ⇒ tighter pruning.
+        order.sort_by(|&a, &b| {
+            let mass = |c: usize| -> f64 { model.covers[c].iter().map(|&(_, d)| d).sum() };
+            mass(b).partial_cmp(&mass(a)).expect("cover mass is finite")
+        });
+        // Suffix max-cover table.
+        let n = order.len();
+        let nt = model.num_targets();
+        let mut suffix_cover = vec![vec![0.0f64; nt]; n + 1];
+        for i in (0..n).rev() {
+            let mut row = suffix_cover[i + 1].clone();
+            for &(t, d) in &model.covers[order[i]] {
+                if d > row[t] {
+                    row[t] = d;
+                }
+            }
+            suffix_cover[i] = row;
+        }
+
+        let objective = Objective::new(model, *weights);
+        let empty_value = objective.value(&[]);
+        let mut search = Search {
+            model,
+            weights: *weights,
+            order,
+            suffix_cover,
+            best_value: empty_value,
+            best_set: Vec::new(),
+            nodes: 0,
+            budget: self.node_budget.unwrap_or(usize::MAX),
+            truncated: false,
+        };
+        let mut cover = vec![0.0f64; nt];
+        let mut included = Vec::new();
+        search.dfs(0, &mut included, &mut cover, 0.0);
+
+        let mut sel = Selection::new(search.best_set, search.best_value, search.nodes);
+        if search.truncated {
+            sel.note = format!("node budget {} exhausted; heuristic result", search.budget);
+        }
+        sel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{appendix_model, known_optimum_model};
+    use super::super::Exhaustive;
+    use super::*;
+    use crate::reduction::{build_reduction, SetCoverInstance};
+
+    #[test]
+    fn matches_exhaustive_on_known_instances() {
+        let (model, best) = known_optimum_model();
+        let sel = BranchBound::default().select(&model, &ObjectiveWeights::unweighted());
+        assert!((sel.objective - best).abs() < 1e-9);
+
+        let model = appendix_model();
+        let sel = BranchBound::default().select(&model, &ObjectiveWeights::unweighted());
+        assert!(sel.selected.is_empty());
+        assert!((sel.objective - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_on_random_set_covers() {
+        // Deterministic pseudo-random family.
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..10 {
+            let universe = 5 + (next() % 4) as usize;
+            let n_sets = 4 + (next() % 5) as usize;
+            let sets: Vec<Vec<usize>> = (0..n_sets)
+                .map(|_| {
+                    let mut s: Vec<usize> =
+                        (0..universe).filter(|_| next() % 3 == 0).collect();
+                    if s.is_empty() {
+                        s.push((next() % universe as u64) as usize);
+                    }
+                    s
+                })
+                .collect();
+            let sc = SetCoverInstance { universe, sets, bound: 2 };
+            let red = build_reduction(&sc);
+            let model = CoverageModel::build(&red.source, &red.target, &red.candidates);
+            let w = ObjectiveWeights::unweighted();
+            let exact = Exhaustive::default().select(&model, &w);
+            let bb = BranchBound::default().select(&model, &w);
+            assert!(
+                (exact.objective - bb.objective).abs() < 1e-9,
+                "trial {trial}: exhaustive {} vs B&B {}",
+                exact.objective,
+                bb.objective
+            );
+        }
+    }
+
+    #[test]
+    fn prunes_relative_to_exhaustive() {
+        let (model, _) = known_optimum_model();
+        let bb = BranchBound::default().select(&model, &ObjectiveWeights::unweighted());
+        // Full tree would be 2^5 - 1 internal+leaf nodes per root... just
+        // assert the node count is bounded by the full enumeration count.
+        assert!(bb.evaluations <= 31, "nodes = {}", bb.evaluations);
+    }
+
+    #[test]
+    fn node_budget_truncates_gracefully() {
+        let (model, _) = known_optimum_model();
+        let sel = BranchBound { node_budget: Some(3) }.select(&model, &ObjectiveWeights::unweighted());
+        assert!(sel.note.contains("budget"));
+        // Still returns something coherent (the empty incumbent or better).
+        assert!(sel.objective <= 20.0 + 1e-9);
+    }
+}

@@ -1,0 +1,93 @@
+//! Mapping selectors: algorithms that pick `M ⊆ C`.
+//!
+//! | Selector | Kind | Notes |
+//! |----------|------|-------|
+//! | [`Exhaustive`] | exact | enumerates all subsets; ≤ 25 useful candidates |
+//! | [`BranchBound`] | exact | DFS with an optimistic-explains lower bound |
+//! | [`Greedy`] | heuristic | best-improvement add passes + removal pass |
+//! | [`LocalSearch`] | heuristic | greedy + flip hill-climbing with restarts |
+//! | [`PslCollective`] | the paper's approach | HL-MRF MAP + rounding |
+//! | [`IndependentBaseline`] | baseline | per-candidate marginal test (non-collective) |
+//! | [`FixedSelection`] | reference | a fixed set (gold oracle, empty, all) |
+
+mod baselines;
+mod branch_bound;
+mod exhaustive;
+mod greedy;
+mod local_search;
+mod psl_collective;
+
+pub use baselines::{FixedSelection, IndependentBaseline};
+pub use branch_bound::BranchBound;
+pub use exhaustive::Exhaustive;
+pub use greedy::Greedy;
+pub use local_search::LocalSearch;
+pub use psl_collective::PslCollective;
+
+use crate::coverage::CoverageModel;
+use crate::objective::ObjectiveWeights;
+
+/// The result of running a selector.
+#[derive(Clone, Debug)]
+pub struct Selection {
+    /// Selected candidate indices, sorted ascending.
+    pub selected: Vec<usize>,
+    /// Discrete objective value `F` of the selection on the given model.
+    pub objective: f64,
+    /// Number of discrete objective evaluations (search effort proxy).
+    pub evaluations: usize,
+    /// Selector-specific diagnostics (e.g. ADMM iterations).
+    pub note: String,
+}
+
+impl Selection {
+    pub(crate) fn new(mut selected: Vec<usize>, objective: f64, evaluations: usize) -> Selection {
+        selected.sort_unstable();
+        selected.dedup();
+        Selection { selected, objective, evaluations, note: String::new() }
+    }
+}
+
+/// A mapping-selection algorithm.
+pub trait Selector {
+    /// Human-readable name for tables.
+    fn name(&self) -> &str;
+    /// Choose a selection minimizing (approximately) the objective.
+    fn select(&self, model: &CoverageModel, weights: &ObjectiveWeights) -> Selection;
+}
+
+/// Candidates worth considering: everything except provably useless ones.
+pub(crate) fn useful_candidates(model: &CoverageModel) -> Vec<usize> {
+    let useless = model.useless_candidates();
+    (0..model.num_candidates)
+        .filter(|c| !useless.contains(c))
+        .collect()
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use crate::coverage::CoverageModel;
+    use crate::objective::{Objective, ObjectiveWeights};
+    use crate::reduction::{build_reduction, SetCoverInstance};
+
+    /// A model where the optimum is known by construction: the set-cover
+    /// reduction of a small instance (optimal covers {0,2} / {1,3}, F = 4).
+    pub fn known_optimum_model() -> (CoverageModel, f64) {
+        let sc = SetCoverInstance {
+            universe: 4,
+            sets: vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]],
+            bound: 2,
+        };
+        let red = build_reduction(&sc);
+        let model = CoverageModel::build(&red.source, &red.target, &red.candidates);
+        let f = Objective::new(&model, ObjectiveWeights::unweighted());
+        let best = f.value(&[0, 2]);
+        (model, best)
+    }
+
+    /// The appendix running-example model (optimum = empty mapping, F=4).
+    pub fn appendix_model() -> CoverageModel {
+        let (_, _, i, j, cands) = crate::coverage::tests::running_example();
+        CoverageModel::build(&i, &j, &cands)
+    }
+}

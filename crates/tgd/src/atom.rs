@@ -1,0 +1,67 @@
+//! Atoms: a relation applied to a vector of terms.
+
+use crate::term::{Term, VarId};
+use cms_data::RelId;
+use std::fmt;
+
+/// A relational atom `R(t1, ..., tn)` over either the source schema (body
+/// position) or the target schema (head position).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Atom {
+    /// The relation (interpreted against the schema the atom's position
+    /// implies: body → source, head → target).
+    pub rel: RelId,
+    /// The argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Construct an atom.
+    pub fn new(rel: RelId, terms: Vec<Term>) -> Atom {
+        Atom { rel, terms }
+    }
+
+    /// Number of arguments.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Variables occurring in this atom, with duplicates, in position order.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.terms.iter().filter_map(|t| t.as_var())
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}(", self.rel.0)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vars_in_order_with_duplicates() {
+        let a = Atom::new(
+            RelId(0),
+            vec![Term::Var(VarId(1)), Term::constant("c"), Term::Var(VarId(1)), Term::Var(VarId(0))],
+        );
+        assert_eq!(a.vars().collect::<Vec<_>>(), vec![VarId(1), VarId(1), VarId(0)]);
+        assert_eq!(a.arity(), 4);
+    }
+
+    #[test]
+    fn display() {
+        let a = Atom::new(RelId(2), vec![Term::Var(VarId(0)), Term::constant("x")]);
+        assert_eq!(a.to_string(), "r2(?0,'x')");
+    }
+}

@@ -1,0 +1,132 @@
+//! A programmatic builder for st tgds, used by the candidate and scenario
+//! generators (which construct tgds from schema structure, not text).
+//!
+//! Variables are referenced by name; the builder assigns dense [`VarId`]s in
+//! first-use order and records the names for pretty-printing.
+
+use crate::atom::Atom;
+use crate::dependency::StTgd;
+use crate::term::{Term, VarId};
+use cms_data::{FxHashMap, RelId};
+
+/// Fluent builder: add body and head atoms with named variables.
+#[derive(Default, Debug)]
+pub struct TgdBuilder {
+    body: Vec<Atom>,
+    head: Vec<Atom>,
+    vars: FxHashMap<String, VarId>,
+    var_names: Vec<String>,
+}
+
+/// One argument in a builder atom: variable (by name) or constant.
+#[derive(Clone, Debug)]
+pub enum Arg {
+    /// A named variable.
+    Var(String),
+    /// A string constant.
+    Const(String),
+}
+
+/// Shorthand for [`Arg::Var`].
+pub fn var(name: impl Into<String>) -> Arg {
+    Arg::Var(name.into())
+}
+
+/// Shorthand for [`Arg::Const`].
+pub fn cst(value: impl Into<String>) -> Arg {
+    Arg::Const(value.into())
+}
+
+impl TgdBuilder {
+    /// A fresh builder.
+    pub fn new() -> TgdBuilder {
+        TgdBuilder::default()
+    }
+
+    fn term(&mut self, arg: &Arg) -> Term {
+        match arg {
+            Arg::Const(c) => Term::constant(c),
+            Arg::Var(name) => {
+                let id = *self.vars.entry(name.clone()).or_insert_with(|| {
+                    let id = VarId(self.var_names.len() as u32);
+                    self.var_names.push(name.clone());
+                    id
+                });
+                Term::Var(id)
+            }
+        }
+    }
+
+    fn atom(&mut self, rel: RelId, args: &[Arg]) -> Atom {
+        let terms = args.iter().map(|a| self.term(a)).collect();
+        Atom::new(rel, terms)
+    }
+
+    /// Add a body atom (source schema).
+    pub fn body(mut self, rel: RelId, args: &[Arg]) -> TgdBuilder {
+        let atom = self.atom(rel, args);
+        self.body.push(atom);
+        self
+    }
+
+    /// Add a head atom (target schema).
+    pub fn head(mut self, rel: RelId, args: &[Arg]) -> TgdBuilder {
+        let atom = self.atom(rel, args);
+        self.head.push(atom);
+        self
+    }
+
+    /// Finish, producing the tgd.
+    ///
+    /// # Panics
+    /// Panics if body or head is empty — builder misuse is a programming
+    /// error in the generators.
+    pub fn build(self) -> StTgd {
+        assert!(!self.body.is_empty(), "tgd builder: empty body");
+        assert!(!self.head.is_empty(), "tgd builder: empty head");
+        StTgd::new(self.body, self.head, self.var_names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_theta1() {
+        let t = TgdBuilder::new()
+            .body(RelId(0), &[var("x"), var("n"), var("c")])
+            .body(RelId(1), &[var("c"), var("e")])
+            .head(RelId(0), &[var("x"), var("e"), var("o")])
+            .build();
+        assert_eq!(t.body.len(), 2);
+        assert_eq!(t.head.len(), 1);
+        assert_eq!(t.existential_vars(), vec![VarId(4)]);
+        assert_eq!(t.var_names, vec!["x", "n", "c", "e", "o"]);
+    }
+
+    #[test]
+    fn shared_names_share_ids() {
+        let t = TgdBuilder::new()
+            .body(RelId(0), &[var("a"), var("b")])
+            .head(RelId(1), &[var("b"), var("a")])
+            .build();
+        assert!(t.is_full());
+        assert_eq!(t.body[0].terms[0], t.head[0].terms[1]);
+    }
+
+    #[test]
+    fn constants_pass_through() {
+        let t = TgdBuilder::new()
+            .body(RelId(0), &[var("a")])
+            .head(RelId(1), &[var("a"), cst("ACME")])
+            .build();
+        assert_eq!(t.head[0].terms[1], Term::constant("ACME"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty head")]
+    fn empty_head_panics() {
+        TgdBuilder::new().body(RelId(0), &[var("a")]).build();
+    }
+}

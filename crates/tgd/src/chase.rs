@@ -1,0 +1,226 @@
+//! The oblivious chase: materialize canonical universal solutions.
+//!
+//! Chasing a source instance `I` with a set `M` of st tgds produces the
+//! canonical universal solution `K_M`: for every tgd and every binding of
+//! its body over `I`, the head is instantiated with the binding, assigning a
+//! *fresh labeled null* to each existential variable (fresh per firing).
+//!
+//! Because st tgds only ever read the source and write the target, a single
+//! pass terminates — no fixpoint is needed. Firings are deduplicated at the
+//! tuple level by the set semantics of [`Instance`].
+
+use crate::dependency::StTgd;
+use crate::matcher::{match_conjunction, Binding};
+use crate::term::Term;
+use cms_data::{FxHashMap, Instance, NullFactory, Tuple, Value};
+
+/// Chase `source` with a single tgd, appending produced tuples to `target`
+/// and drawing nulls from `nulls`. Returns the number of *new* tuples.
+pub fn chase_into(
+    source: &Instance,
+    tgd: &StTgd,
+    target: &mut Instance,
+    nulls: &mut NullFactory,
+) -> usize {
+    let num_vars = tgd.num_vars();
+    let existentials = tgd.existential_vars();
+    let bindings = match_conjunction(&tgd.body, source, num_vars);
+    let mut added = 0;
+    for binding in bindings {
+        added += fire(tgd, &binding, &existentials, target, nulls);
+    }
+    added
+}
+
+/// Instantiate the head of `tgd` for one body `binding`.
+fn fire(
+    tgd: &StTgd,
+    binding: &Binding,
+    existentials: &[crate::term::VarId],
+    target: &mut Instance,
+    nulls: &mut NullFactory,
+) -> usize {
+    // Fresh nulls for this firing's existential variables.
+    let mut ext: FxHashMap<u32, Value> = FxHashMap::default();
+    for v in existentials {
+        ext.insert(v.0, Value::Null(nulls.fresh()));
+    }
+    let mut added = 0;
+    for atom in &tgd.head {
+        let args: Vec<Value> = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => Value::Const(*c),
+                Term::Var(v) => match binding[v.index()] {
+                    Some(val) => val,
+                    None => *ext.get(&v.0).expect("head var neither bound nor existential"),
+                },
+            })
+            .collect();
+        if target.insert(Tuple::new(atom.rel, args)) {
+            added += 1;
+        }
+    }
+    added
+}
+
+/// Chase `source` with every tgd in `tgds`, returning the canonical
+/// universal solution. Nulls start at id 0.
+pub fn chase(source: &Instance, tgds: &[StTgd]) -> Instance {
+    let mut nulls = NullFactory::new();
+    let mut target = Instance::new();
+    for tgd in tgds {
+        chase_into(source, tgd, &mut target, &mut nulls);
+    }
+    target
+}
+
+/// Chase with a single tgd (fresh null namespace).
+pub fn chase_one(source: &Instance, tgd: &StTgd) -> Instance {
+    chase(source, std::slice::from_ref(tgd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::term::{Term, VarId};
+    use cms_data::RelId;
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    /// Source: proj(name, code) r0, team(code, emp) r1.
+    /// Target: task(pname, emp, oid) r0, org(oid, firm) r1.
+    fn source() -> Instance {
+        let mut inst = Instance::new();
+        inst.insert_ground(RelId(0), &["BigData", "7"]);
+        inst.insert_ground(RelId(0), &["ML", "9"]);
+        inst.insert_ground(RelId(1), &["7", "Bob"]);
+        inst.insert_ground(RelId(1), &["9", "Alice"]);
+        inst
+    }
+
+    /// θ1: proj(X,C) & team(C,E) -> task(X,E,O)   (O existential)
+    fn theta1() -> StTgd {
+        StTgd::new(
+            vec![
+                Atom::new(RelId(0), vec![v(0), v(1)]),
+                Atom::new(RelId(1), vec![v(1), v(2)]),
+            ],
+            vec![Atom::new(RelId(0), vec![v(0), v(2), v(3)])],
+            vec![],
+        )
+    }
+
+    /// θ3: proj(X,C) & team(C,E) -> task(X,E,O) & org(O,F)   (O,F existential)
+    fn theta3() -> StTgd {
+        StTgd::new(
+            vec![
+                Atom::new(RelId(0), vec![v(0), v(1)]),
+                Atom::new(RelId(1), vec![v(1), v(2)]),
+            ],
+            vec![
+                Atom::new(RelId(0), vec![v(0), v(2), v(3)]),
+                Atom::new(RelId(1), vec![v(3), v(4)]),
+            ],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn single_tgd_produces_one_tuple_per_binding() {
+        let k = chase_one(&source(), &theta1());
+        assert_eq!(k.total_len(), 2);
+        // Every produced tuple has a null in the third position and the
+        // nulls of distinct firings are distinct.
+        let rows = k.rows(RelId(0));
+        assert_eq!(rows.len(), 2);
+        let n0 = rows[0][2].as_null().unwrap();
+        let n1 = rows[1][2].as_null().unwrap();
+        assert_ne!(n0, n1);
+    }
+
+    #[test]
+    fn existential_joins_share_nulls_within_firing() {
+        let k = chase_one(&source(), &theta3());
+        assert_eq!(k.rows(RelId(0)).len(), 2);
+        assert_eq!(k.rows(RelId(1)).len(), 2);
+        // For each task tuple, the org tuple produced by the same firing
+        // shares its null.
+        for task in k.rows(RelId(0)) {
+            let o = task[2];
+            assert!(o.is_null());
+            assert!(k.rows(RelId(1)).iter().any(|org| org[0] == o));
+        }
+    }
+
+    #[test]
+    fn full_tgd_produces_ground_tuples_and_dedups() {
+        // Full tgd: team(C,E) -> task(C,E,E); chase twice into the same
+        // target must not duplicate.
+        let full = StTgd::new(
+            vec![Atom::new(RelId(1), vec![v(0), v(1)])],
+            vec![Atom::new(RelId(0), vec![v(0), v(1), v(1)])],
+            vec![],
+        );
+        let src = source();
+        let mut target = Instance::new();
+        let mut nulls = NullFactory::new();
+        let added = chase_into(&src, &full, &mut target, &mut nulls);
+        assert_eq!(added, 2);
+        let added_again = chase_into(&src, &full, &mut target, &mut nulls);
+        assert_eq!(added_again, 0);
+        assert!(target.to_tuples().iter().all(Tuple::is_ground));
+    }
+
+    #[test]
+    fn chase_set_unions_candidates_with_distinct_nulls() {
+        let k = chase(&source(), &[theta1(), theta3()]);
+        // θ1 contributes 2 task tuples, θ3 contributes 2 task + 2 org.
+        assert_eq!(k.rows(RelId(0)).len(), 4);
+        assert_eq!(k.rows(RelId(1)).len(), 2);
+        // All nulls distinct across candidates.
+        let mut nulls: Vec<_> = k
+            .iter_all()
+            .flat_map(|(_, row)| row.iter().filter_map(|x| x.as_null()))
+            .collect();
+        let total = nulls.len();
+        nulls.sort();
+        nulls.dedup();
+        // θ1 firings: 1 null each (2); θ3 firings: 2 nulls each (4); org
+        // tuples reuse the task nulls.
+        assert_eq!(nulls.len(), 6);
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn constants_in_head_are_emitted() {
+        let with_const = StTgd::new(
+            vec![Atom::new(RelId(0), vec![v(0), v(1)])],
+            vec![Atom::new(RelId(1), vec![v(0), Term::constant("ACME")])],
+            vec![],
+        );
+        let k = chase_one(&source(), &with_const);
+        assert!(k.contains(RelId(1), &[Value::constant("BigData"), Value::constant("ACME")]));
+    }
+
+    #[test]
+    fn empty_source_chases_to_empty() {
+        let k = chase_one(&Instance::new(), &theta1());
+        assert!(k.is_empty());
+    }
+
+    #[test]
+    fn universal_solution_homomorphic_into_manual_solution() {
+        // Sanity: K_θ1 must map homomorphically into any solution of θ1,
+        // e.g. the ground instance where the null is 111/222.
+        let k = chase_one(&source(), &theta1());
+        let mut j = Instance::new();
+        j.insert_ground(RelId(0), &["BigData", "Bob", "111"]);
+        j.insert_ground(RelId(0), &["ML", "Alice", "222"]);
+        assert!(cms_data::homomorphic(&k, &j));
+    }
+}

@@ -1,0 +1,185 @@
+//! Cores of universal solutions.
+//!
+//! The canonical universal solution `K_M` produced by the oblivious chase
+//! is generally *not minimal*: different firings can produce tuples that
+//! are homomorphically redundant (e.g. `T(a, N1)` and `T(a, N2)` where one
+//! retracts onto the other). The **core** is the smallest subinstance that
+//! `K_M` maps into homomorphically — the canonical minimal universal
+//! solution of data exchange (Fagin, Kolaitis, Popa).
+//!
+//! Cores matter for selection: redundant null-tuples inflate the error
+//! term of objective Eq. (9) without adding explanatory power, so
+//! evaluating `creates` on the core is a natural ablation (the default
+//! pipeline follows the paper and uses the canonical solution as-is).
+//!
+//! The computation here is the classic greedy retraction: repeatedly try
+//! to drop one null-containing tuple and check that the full instance
+//! still maps into the remainder (constants fixed). Exponential in the
+//! worst case like all core computations, but the *blocks* (groups of
+//! tuples connected by shared nulls) of chase outputs are tiny — one tgd
+//! firing each — so the homomorphism checks stay local in practice.
+
+use cms_data::{find_homomorphism, Instance, Tuple};
+
+/// Compute the core of a (null-containing) instance.
+///
+/// Ground tuples are always in the core (homomorphisms fix constants).
+/// Returns an instance that is homomorphically equivalent to the input and
+/// minimal under tuple removal.
+pub fn core_of(instance: &Instance) -> Instance {
+    let mut current: Vec<Tuple> = instance
+        .iter_all()
+        .map(|(rel, row)| Tuple::new(rel, row.to_vec()))
+        .collect();
+
+    // Try dropping null-containing tuples, largest-null-count first (those
+    // are the most likely to be redundant padding).
+    loop {
+        let mut progress = false;
+        let mut order: Vec<usize> = (0..current.len())
+            .filter(|&i| !current[i].is_ground())
+            .collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(current[i].null_positions().count()));
+
+        for &drop in &order {
+            let candidate: Instance = current
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != drop)
+                .map(|(_, t)| t.clone())
+                .collect();
+            // A retraction exists iff the full instance maps into the
+            // candidate subinstance.
+            let full: Instance = current.iter().cloned().collect();
+            if find_homomorphism(&full, &candidate).is_some() {
+                current.remove(drop);
+                progress = true;
+                break; // indices shifted; restart the scan
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+    current.into_iter().collect()
+}
+
+/// True iff `instance` equals its own core (no proper retraction exists).
+pub fn is_core(instance: &Instance) -> bool {
+    core_of(instance).total_len() == instance.total_len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cms_data::{hom_equivalent, NullId, RelId, Value};
+
+    fn c(s: &str) -> Value {
+        Value::constant(s)
+    }
+
+    fn n(id: u32) -> Value {
+        Value::Null(NullId(id))
+    }
+
+    #[test]
+    fn ground_instances_are_cores() {
+        let mut inst = Instance::new();
+        inst.insert_ground(RelId(0), &["a", "b"]);
+        inst.insert_ground(RelId(0), &["c", "d"]);
+        let core = core_of(&inst);
+        assert_eq!(core.total_len(), 2);
+        assert!(is_core(&inst));
+    }
+
+    #[test]
+    fn redundant_null_tuple_is_dropped() {
+        // T(a, N0) is subsumed by T(a, b): map N0 ↦ b.
+        let mut inst = Instance::new();
+        inst.insert(Tuple::new(RelId(0), vec![c("a"), c("b")]));
+        inst.insert(Tuple::new(RelId(0), vec![c("a"), n(0)]));
+        let core = core_of(&inst);
+        assert_eq!(core.total_len(), 1);
+        assert!(core.contains(RelId(0), &[c("a"), c("b")]));
+        assert!(hom_equivalent(&core, &inst));
+    }
+
+    #[test]
+    fn duplicate_patterns_collapse() {
+        // Two firings producing T(a, N0) and T(a, N1): core keeps one.
+        let mut inst = Instance::new();
+        inst.insert(Tuple::new(RelId(0), vec![c("a"), n(0)]));
+        inst.insert(Tuple::new(RelId(0), vec![c("a"), n(1)]));
+        let core = core_of(&inst);
+        assert_eq!(core.total_len(), 1);
+        assert!(hom_equivalent(&core, &inst));
+    }
+
+    #[test]
+    fn linked_blocks_are_kept_together() {
+        // T(a, N0), U(N0, b): N0 is corroborated — neither tuple drops.
+        let mut inst = Instance::new();
+        inst.insert(Tuple::new(RelId(0), vec![c("a"), n(0)]));
+        inst.insert(Tuple::new(RelId(1), vec![n(0), c("b")]));
+        let core = core_of(&inst);
+        assert_eq!(core.total_len(), 2);
+        assert!(is_core(&inst));
+    }
+
+    #[test]
+    fn block_subsumed_by_ground_block_drops_entirely() {
+        // {T(a, N0), U(N0, b)} retracts onto {T(a, k), U(k, b)}.
+        let mut inst = Instance::new();
+        inst.insert(Tuple::new(RelId(0), vec![c("a"), n(0)]));
+        inst.insert(Tuple::new(RelId(1), vec![n(0), c("b")]));
+        inst.insert(Tuple::new(RelId(0), vec![c("a"), c("k")]));
+        inst.insert(Tuple::new(RelId(1), vec![c("k"), c("b")]));
+        let core = core_of(&inst);
+        assert_eq!(core.total_len(), 2);
+        assert!(core.contains(RelId(0), &[c("a"), c("k")]));
+        assert!(core.contains(RelId(1), &[c("k"), c("b")]));
+    }
+
+    #[test]
+    fn partially_subsumed_block_keeps_the_general_tuple() {
+        // T(N0, N1) retracts onto T(a, N2)? No — T(a, N2) is *more*
+        // specific in position 0; but T(N0, N1) maps onto it (N0↦a).
+        let mut inst = Instance::new();
+        inst.insert(Tuple::new(RelId(0), vec![n(0), n(1)]));
+        inst.insert(Tuple::new(RelId(0), vec![c("a"), n(2)]));
+        let core = core_of(&inst);
+        // The fully-null tuple folds into the more specific one.
+        assert_eq!(core.total_len(), 1);
+        assert!(hom_equivalent(&core, &inst));
+    }
+
+    #[test]
+    fn chase_output_core_on_running_example() {
+        // θ1 fired twice with distinct data: no redundancy, chase output
+        // is already a core.
+        use crate::atom::Atom;
+        use crate::term::{Term, VarId};
+        use crate::StTgd;
+        let v = |i: u32| Term::Var(VarId(i));
+        let theta1 = StTgd::new(
+            vec![Atom::new(RelId(0), vec![v(0), v(1)])],
+            vec![Atom::new(RelId(1), vec![v(0), v(2)])],
+            vec![],
+        );
+        let mut i = Instance::new();
+        i.insert_ground(RelId(0), &["BigData", "7"]);
+        i.insert_ground(RelId(0), &["ML", "9"]);
+        let k = crate::chase_one(&i, &theta1);
+        assert!(is_core(&k));
+
+        // But firing a *duplicating* tgd creates redundancy the core
+        // removes: body matched twice on the same first column.
+        let mut i2 = Instance::new();
+        i2.insert_ground(RelId(0), &["ML", "9"]);
+        i2.insert_ground(RelId(0), &["ML", "8"]);
+        let k2 = crate::chase_one(&i2, &theta1);
+        assert_eq!(k2.total_len(), 2, "two firings, two null tuples");
+        let core = core_of(&k2);
+        assert_eq!(core.total_len(), 1, "they collapse in the core");
+    }
+}

@@ -1,0 +1,267 @@
+//! Source-to-target tuple-generating dependencies (st tgds).
+//!
+//! An st tgd `∀x̄ φ(x̄) → ∃ȳ ψ(x̄, ȳ)` has a conjunctive body `φ` over the
+//! source schema and a conjunctive head `ψ` over the target schema.
+//! Variables occurring in the head but not the body are existential; a tgd
+//! with no existential variables is **full**.
+//!
+//! `size(θ)` — the complexity term of the selection objective — is the
+//! total number of atoms (body + head), matching the appendix's worked
+//! example (`size(θ1) = 3`, `size(θ3) = 4` for the running example).
+
+use crate::atom::Atom;
+use crate::term::{Term, VarId};
+use cms_data::{FxHashSet, Schema};
+use std::fmt;
+
+/// A source-to-target tuple-generating dependency.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct StTgd {
+    /// Conjunctive body over the source schema. Must be non-empty.
+    pub body: Vec<Atom>,
+    /// Conjunctive head over the target schema. Must be non-empty.
+    pub head: Vec<Atom>,
+    /// Human-readable variable names, indexed by [`VarId`]. Purely
+    /// cosmetic; may be empty (variables then print as `?n`).
+    pub var_names: Vec<String>,
+}
+
+/// Validation failures for a tgd against a schema pair.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TgdError {
+    /// Body or head is empty.
+    EmptySide,
+    /// An atom's arity does not match its relation's arity.
+    ArityMismatch {
+        /// True if the offending atom is in the body.
+        in_body: bool,
+        /// Index of the offending atom within its side.
+        atom: usize,
+    },
+    /// An atom references a relation id outside its schema.
+    UnknownRelation {
+        /// True if the offending atom is in the body.
+        in_body: bool,
+        /// Index of the offending atom within its side.
+        atom: usize,
+    },
+}
+
+impl fmt::Display for TgdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TgdError::EmptySide => write!(f, "tgd has an empty body or head"),
+            TgdError::ArityMismatch { in_body, atom } => write!(
+                f,
+                "arity mismatch at {} atom {atom}",
+                if *in_body { "body" } else { "head" }
+            ),
+            TgdError::UnknownRelation { in_body, atom } => write!(
+                f,
+                "unknown relation at {} atom {atom}",
+                if *in_body { "body" } else { "head" }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TgdError {}
+
+impl StTgd {
+    /// Construct a tgd; no validation (see [`StTgd::validate`]).
+    pub fn new(body: Vec<Atom>, head: Vec<Atom>, var_names: Vec<String>) -> StTgd {
+        StTgd { body, head, var_names }
+    }
+
+    /// Total number of distinct variables (max id + 1 across both sides).
+    pub fn num_vars(&self) -> usize {
+        self.body
+            .iter()
+            .chain(self.head.iter())
+            .flat_map(|a| a.vars())
+            .map(|v| v.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The set of variables occurring in the body (universal variables).
+    pub fn body_vars(&self) -> FxHashSet<VarId> {
+        self.body.iter().flat_map(|a| a.vars()).collect()
+    }
+
+    /// Existential variables: occur in the head but not the body, in first
+    /// head-occurrence order.
+    pub fn existential_vars(&self) -> Vec<VarId> {
+        let universal = self.body_vars();
+        let mut seen = FxHashSet::default();
+        let mut out = Vec::new();
+        for v in self.head.iter().flat_map(|a| a.vars()) {
+            if !universal.contains(&v) && seen.insert(v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// True iff the tgd has no existential variables.
+    pub fn is_full(&self) -> bool {
+        self.existential_vars().is_empty()
+    }
+
+    /// The objective's size term: number of atoms in body + head.
+    pub fn size(&self) -> usize {
+        self.body.len() + self.head.len()
+    }
+
+    /// Check structural well-formedness against a schema pair.
+    pub fn validate(&self, source: &Schema, target: &Schema) -> Result<(), TgdError> {
+        if self.body.is_empty() || self.head.is_empty() {
+            return Err(TgdError::EmptySide);
+        }
+        for (in_body, atoms, schema) in [(true, &self.body, source), (false, &self.head, target)] {
+            for (i, atom) in atoms.iter().enumerate() {
+                if atom.rel.index() >= schema.len() {
+                    return Err(TgdError::UnknownRelation { in_body, atom: i });
+                }
+                if schema.relation(atom.rel).arity() != atom.arity() {
+                    return Err(TgdError::ArityMismatch { in_body, atom: i });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Render with relation names resolved against the schema pair and
+    /// variable names where available.
+    pub fn display<'a>(&'a self, source: &'a Schema, target: &'a Schema) -> TgdDisplay<'a> {
+        TgdDisplay { tgd: self, source, target }
+    }
+
+    fn term_name(&self, t: Term) -> String {
+        match t {
+            Term::Const(s) => format!("'{s}'"),
+            Term::Var(v) => self
+                .var_names
+                .get(v.index())
+                .filter(|n| !n.is_empty())
+                .cloned()
+                .unwrap_or_else(|| format!("?{}", v.0)),
+        }
+    }
+}
+
+/// Pretty-printer returned by [`StTgd::display`].
+pub struct TgdDisplay<'a> {
+    tgd: &'a StTgd,
+    source: &'a Schema,
+    target: &'a Schema,
+}
+
+impl fmt::Display for TgdDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let side = |f: &mut fmt::Formatter<'_>, atoms: &[Atom], schema: &Schema| -> fmt::Result {
+            for (i, a) in atoms.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " & ")?;
+                }
+                write!(f, "{}(", schema.rel_name(a.rel))?;
+                for (j, t) in a.terms.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", self.tgd.term_name(*t))?;
+                }
+                write!(f, ")")?;
+            }
+            Ok(())
+        };
+        side(f, &self.tgd.body, self.source)?;
+        write!(f, " -> ")?;
+        side(f, &self.tgd.head, self.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cms_data::RelId;
+
+    /// θ3-like tgd: proj(X,N,C) & team(C,E) -> task(X,E,O) & org(O,F)
+    /// with O, F existential.
+    fn theta3() -> StTgd {
+        let v = |i: u32| Term::Var(VarId(i));
+        StTgd::new(
+            vec![
+                Atom::new(RelId(0), vec![v(0), v(1), v(2)]),
+                Atom::new(RelId(1), vec![v(2), v(3)]),
+            ],
+            vec![
+                Atom::new(RelId(0), vec![v(0), v(3), v(4)]),
+                Atom::new(RelId(1), vec![v(4), v(5)]),
+            ],
+            vec!["X", "N", "C", "E", "O", "F"].into_iter().map(String::from).collect(),
+        )
+    }
+
+    #[test]
+    fn existentials_and_fullness() {
+        let t = theta3();
+        assert_eq!(t.existential_vars(), vec![VarId(4), VarId(5)]);
+        assert!(!t.is_full());
+        assert_eq!(t.size(), 4);
+        assert_eq!(t.num_vars(), 6);
+
+        let full = StTgd::new(
+            vec![Atom::new(RelId(0), vec![Term::Var(VarId(0))])],
+            vec![Atom::new(RelId(0), vec![Term::Var(VarId(0))])],
+            vec![],
+        );
+        assert!(full.is_full());
+        assert_eq!(full.size(), 2);
+    }
+
+    #[test]
+    fn validate_catches_arity_and_unknown_relation() {
+        let mut src = Schema::new("s");
+        src.add_relation("proj", &["name", "code", "leader"]);
+        src.add_relation("team", &["pcode", "emp"]);
+        let mut tgt = Schema::new("t");
+        tgt.add_relation("task", &["pname", "emp", "org"]);
+        tgt.add_relation("org", &["oid", "firm"]);
+
+        let t = theta3();
+        assert_eq!(t.validate(&src, &tgt), Ok(()));
+
+        let mut bad = theta3();
+        bad.head[0].terms.pop();
+        assert_eq!(
+            bad.validate(&src, &tgt),
+            Err(TgdError::ArityMismatch { in_body: false, atom: 0 })
+        );
+
+        let mut unk = theta3();
+        unk.body[1].rel = RelId(9);
+        assert_eq!(
+            unk.validate(&src, &tgt),
+            Err(TgdError::UnknownRelation { in_body: true, atom: 1 })
+        );
+
+        let empty = StTgd::new(vec![], theta3().head, vec![]);
+        assert_eq!(empty.validate(&src, &tgt), Err(TgdError::EmptySide));
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let mut src = Schema::new("s");
+        src.add_relation("proj", &["name", "code", "leader"]);
+        src.add_relation("team", &["pcode", "emp"]);
+        let mut tgt = Schema::new("t");
+        tgt.add_relation("task", &["pname", "emp", "org"]);
+        tgt.add_relation("org", &["oid", "firm"]);
+        let text = theta3().display(&src, &tgt).to_string();
+        assert_eq!(
+            text,
+            "proj(X, N, C) & team(C, E) -> task(X, E, O) & org(O, F)"
+        );
+    }
+}

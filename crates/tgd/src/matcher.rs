@@ -1,0 +1,237 @@
+//! Conjunctive-query matching: enumerate all bindings of a tgd body (or any
+//! atom conjunction) against an instance.
+//!
+//! The matcher performs a left-to-right nested-loop join with early
+//! unification failure, plus a greedy dynamic atom-ordering heuristic
+//! (most-bound-variables-first) that keeps join intermediate sizes small on
+//! the FK-shaped bodies the candidate generator produces.
+
+use crate::atom::Atom;
+use crate::term::Term;
+use cms_data::{Instance, Value};
+
+/// A total or partial assignment of variables to values, indexed by
+/// [`crate::term::VarId`].
+pub type Binding = Vec<Option<Value>>;
+
+/// Enumerate all bindings of `atoms` (a conjunction) over `inst`.
+///
+/// `num_vars` is the variable-namespace size (see [`crate::StTgd::num_vars`]);
+/// returned bindings bind at least every variable occurring in `atoms`.
+/// Bindings are produced in a deterministic order given deterministic
+/// instance iteration.
+pub fn match_conjunction(atoms: &[Atom], inst: &Instance, num_vars: usize) -> Vec<Binding> {
+    let mut results = Vec::new();
+    let mut binding: Binding = vec![None; num_vars];
+    let mut remaining: Vec<&Atom> = atoms.iter().collect();
+    search(&mut remaining, inst, &mut binding, &mut results);
+    results
+}
+
+/// True iff the conjunction has at least one match (early exit).
+pub fn has_match(atoms: &[Atom], inst: &Instance, num_vars: usize) -> bool {
+    // Reuse the full search but stop after the first result; for the small
+    // bodies we handle, the allocation difference is negligible.
+    let mut results = Vec::new();
+    let mut binding: Binding = vec![None; num_vars];
+    let mut remaining: Vec<&Atom> = atoms.iter().collect();
+    search_limited(&mut remaining, inst, &mut binding, &mut results, 1);
+    !results.is_empty()
+}
+
+fn search(remaining: &mut Vec<&Atom>, inst: &Instance, binding: &mut Binding, out: &mut Vec<Binding>) {
+    search_limited(remaining, inst, binding, out, usize::MAX);
+}
+
+fn search_limited(
+    remaining: &mut Vec<&Atom>,
+    inst: &Instance,
+    binding: &mut Binding,
+    out: &mut Vec<Binding>,
+    limit: usize,
+) {
+    if out.len() >= limit {
+        return;
+    }
+    if remaining.is_empty() {
+        out.push(binding.clone());
+        return;
+    }
+    // Pick the atom with the most bound terms (constants count as bound):
+    // cheap selectivity heuristic.
+    let pick = remaining
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, a)| {
+            a.terms
+                .iter()
+                .filter(|t| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => binding[v.index()].is_some(),
+                })
+                .count()
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty remaining");
+    let atom = remaining.swap_remove(pick);
+
+    for row in inst.rows(atom.rel) {
+        let mut bound_here: Vec<usize> = Vec::new();
+        if unify_atom(atom, row, binding, &mut bound_here) {
+            search_limited(remaining, inst, binding, out, limit);
+        }
+        for v in bound_here {
+            binding[v] = None;
+        }
+        if out.len() >= limit {
+            break;
+        }
+    }
+
+    // Restore `remaining` exactly (swap_remove moved the last element into
+    // `pick`; undo by reinserting).
+    remaining.push(atom);
+    let last = remaining.len() - 1;
+    remaining.swap(pick, last);
+}
+
+/// Try to unify one atom against one row under the current binding,
+/// recording newly bound variable indices for backtracking.
+fn unify_atom(atom: &Atom, row: &[Value], binding: &mut Binding, bound_here: &mut Vec<usize>) -> bool {
+    debug_assert_eq!(atom.arity(), row.len(), "schema/instance arity mismatch");
+    for (t, v) in atom.terms.iter().zip(row.iter()) {
+        match t {
+            Term::Const(c) => {
+                if Value::Const(*c) != *v {
+                    return false;
+                }
+            }
+            Term::Var(var) => match binding[var.index()] {
+                Some(bound) => {
+                    if bound != *v {
+                        return false;
+                    }
+                }
+                None => {
+                    binding[var.index()] = Some(*v);
+                    bound_here.push(var.index());
+                }
+            },
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::VarId;
+    use cms_data::RelId;
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    fn setup() -> Instance {
+        let mut inst = Instance::new();
+        // proj(name, code): r0; team(code, emp): r1
+        inst.insert_ground(RelId(0), &["BigData", "7"]);
+        inst.insert_ground(RelId(0), &["ML", "9"]);
+        inst.insert_ground(RelId(1), &["7", "Bob"]);
+        inst.insert_ground(RelId(1), &["9", "Alice"]);
+        inst.insert_ground(RelId(1), &["9", "Carol"]);
+        inst
+    }
+
+    #[test]
+    fn single_atom_matches_all_rows() {
+        let inst = setup();
+        let atoms = vec![Atom::new(RelId(0), vec![v(0), v(1)])];
+        let res = match_conjunction(&atoms, &inst, 2);
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn join_on_shared_variable() {
+        let inst = setup();
+        // proj(X, C) & team(C, E)
+        let atoms = vec![
+            Atom::new(RelId(0), vec![v(0), v(1)]),
+            Atom::new(RelId(1), vec![v(1), v(2)]),
+        ];
+        let mut res = match_conjunction(&atoms, &inst, 3);
+        assert_eq!(res.len(), 3);
+        res.sort();
+        let names: Vec<String> = res
+            .iter()
+            .map(|b| format!("{}/{}", b[0].unwrap(), b[2].unwrap()))
+            .collect();
+        assert!(names.contains(&"BigData/Bob".to_string()));
+        assert!(names.contains(&"ML/Alice".to_string()));
+        assert!(names.contains(&"ML/Carol".to_string()));
+    }
+
+    #[test]
+    fn constants_filter() {
+        let inst = setup();
+        let atoms = vec![Atom::new(RelId(1), vec![v(0), Term::constant("Alice")])];
+        let res = match_conjunction(&atoms, &inst, 1);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0][0], Some(Value::constant("9")));
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        let mut inst = Instance::new();
+        inst.insert_ground(RelId(0), &["a", "a"]);
+        inst.insert_ground(RelId(0), &["a", "b"]);
+        let atoms = vec![Atom::new(RelId(0), vec![v(0), v(0)])];
+        let res = match_conjunction(&atoms, &inst, 1);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0][0], Some(Value::constant("a")));
+    }
+
+    #[test]
+    fn empty_relation_yields_no_matches() {
+        let inst = setup();
+        let atoms = vec![Atom::new(RelId(5), vec![v(0)])];
+        assert!(match_conjunction(&atoms, &inst, 1).is_empty());
+        assert!(!has_match(&atoms, &inst, 1));
+    }
+
+    #[test]
+    fn has_match_finds_first() {
+        let inst = setup();
+        let atoms = vec![
+            Atom::new(RelId(0), vec![v(0), v(1)]),
+            Atom::new(RelId(1), vec![v(1), v(2)]),
+        ];
+        assert!(has_match(&atoms, &inst, 3));
+    }
+
+    #[test]
+    fn cartesian_product_when_no_shared_vars() {
+        let inst = setup();
+        let atoms = vec![
+            Atom::new(RelId(0), vec![v(0), v(1)]),
+            Atom::new(RelId(1), vec![v(2), v(3)]),
+        ];
+        assert_eq!(match_conjunction(&atoms, &inst, 4).len(), 6);
+    }
+
+    #[test]
+    fn binding_restored_across_branches() {
+        // Regression: backtracking must fully unbind variables bound deeper
+        // in the search, or later branches see stale bindings.
+        let mut inst = Instance::new();
+        inst.insert_ground(RelId(0), &["x"]);
+        inst.insert_ground(RelId(0), &["y"]);
+        inst.insert_ground(RelId(1), &["x"]);
+        inst.insert_ground(RelId(1), &["y"]);
+        let atoms = vec![
+            Atom::new(RelId(0), vec![v(0)]),
+            Atom::new(RelId(1), vec![v(1)]),
+        ];
+        assert_eq!(match_conjunction(&atoms, &inst, 2).len(), 4);
+    }
+}

@@ -1,0 +1,315 @@
+//! Structural normalization and equivalence of tgds.
+//!
+//! The scenario pipeline needs to recognize the gold mapping `MG` inside the
+//! candidate set `C` (the paper's scenarios guarantee `MG ⊆ C`). Candidates
+//! and gold tgds are built by different code paths, so variable ids and atom
+//! orders differ; equality must be *modulo variable renaming and atom
+//! reordering*.
+//!
+//! [`canonical_key`] computes a canonical string: atoms are sorted by a
+//! renaming-invariant key, then variables are renumbered by first
+//! occurrence. When several atoms share a sort key, all orderings of the
+//! ambiguous group are tried and the lexicographically smallest rendering
+//! wins — exact for the tiny tgds we handle (≤ 8 atoms, ambiguity groups of
+//! ≤ 3). [`equivalent`] is a convenience comparing canonical keys.
+
+use crate::atom::Atom;
+use crate::dependency::StTgd;
+use crate::term::{Term, VarId};
+use cms_data::FxHashMap;
+
+/// A renaming-invariant per-atom sort key: relation id, arity, constant
+/// positions/values, and the intra-atom variable-equality pattern.
+fn atom_sort_key(atom: &Atom) -> (u32, usize, Vec<(usize, String)>, Vec<usize>) {
+    let consts: Vec<(usize, String)> = atom
+        .terms
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| match t {
+            Term::Const(c) => Some((i, c.as_str().to_owned())),
+            Term::Var(_) => None,
+        })
+        .collect();
+    // Intra-atom variable pattern: index of first occurrence of each var.
+    let mut first: FxHashMap<VarId, usize> = FxHashMap::default();
+    let mut pattern = Vec::new();
+    for t in &atom.terms {
+        if let Term::Var(v) = t {
+            let next = first.len();
+            pattern.push(*first.entry(*v).or_insert(next));
+        }
+    }
+    (atom.rel.0, atom.arity(), consts, pattern)
+}
+
+/// Render atoms under sequential variable renaming starting from `next`.
+fn render(atoms: &[&Atom], map: &mut FxHashMap<VarId, usize>, out: &mut String) {
+    for atom in atoms {
+        out.push('|');
+        out.push_str(&atom.rel.0.to_string());
+        out.push('(');
+        for (i, t) in atom.terms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match t {
+                Term::Const(c) => {
+                    out.push('\'');
+                    out.push_str(c.as_str());
+                    out.push('\'');
+                }
+                Term::Var(v) => {
+                    let next = map.len();
+                    let id = *map.entry(*v).or_insert(next);
+                    out.push('v');
+                    out.push_str(&id.to_string());
+                }
+            }
+        }
+        out.push(')');
+    }
+}
+
+/// All permutations of a small slice of atom references.
+fn permutations<'a>(items: &[&'a Atom]) -> Vec<Vec<&'a Atom>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for i in 0..items.len() {
+        let mut rest: Vec<&Atom> = items.to_vec();
+        let head = rest.remove(i);
+        for mut tail in permutations(&rest) {
+            let mut perm = Vec::with_capacity(items.len());
+            perm.push(head);
+            perm.append(&mut tail);
+            out.push(perm);
+        }
+    }
+    out
+}
+
+/// Orderings of `atoms` that respect the sort-key grouping: atoms are sorted
+/// by their renaming-invariant key and only atoms sharing a key permute.
+/// Groups larger than 4 atoms fall back to the sorted order (never happens
+/// for generated candidates; keeps the worst case bounded).
+fn grouped_orders(atoms: &[Atom]) -> Vec<Vec<&Atom>> {
+    let mut sorted: Vec<&Atom> = atoms.iter().collect();
+    sorted.sort_by_key(|a| atom_sort_key(a));
+    let mut orders: Vec<Vec<&Atom>> = vec![Vec::new()];
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i + 1;
+        while j < sorted.len() && atom_sort_key(sorted[j]) == atom_sort_key(sorted[i]) {
+            j += 1;
+        }
+        let group = &sorted[i..j];
+        let group_orders = if group.len() > 4 {
+            vec![group.to_vec()]
+        } else {
+            permutations(group)
+        };
+        let mut next = Vec::with_capacity(orders.len() * group_orders.len());
+        for prefix in &orders {
+            for g in &group_orders {
+                let mut combined = prefix.clone();
+                combined.extend_from_slice(g);
+                next.push(combined);
+            }
+        }
+        orders = next;
+        i = j;
+    }
+    orders
+}
+
+/// Canonical string of a tgd, invariant under variable renaming and atom
+/// reordering.
+pub fn canonical_key(tgd: &StTgd) -> String {
+    let mut best: Option<String> = None;
+    for body_order in grouped_orders(&tgd.body) {
+        for head_order in grouped_orders(&tgd.head) {
+            let mut map = FxHashMap::default();
+            let mut s = String::with_capacity(64);
+            s.push('B');
+            render(&body_order, &mut map, &mut s);
+            s.push_str("=>H");
+            render(&head_order, &mut map, &mut s);
+            if best.as_ref().is_none_or(|b| s < *b) {
+                best = Some(s);
+            }
+        }
+    }
+    best.expect("tgd has at least one ordering")
+}
+
+/// True iff two tgds are structurally equivalent (same canonical key).
+pub fn equivalent(a: &StTgd, b: &StTgd) -> bool {
+    canonical_key(a) == canonical_key(b)
+}
+
+/// Deduplicate a candidate list, keeping first occurrences; returns the
+/// deduped list and, for each input index, the output index it mapped to.
+pub fn dedup_tgds(tgds: Vec<StTgd>) -> (Vec<StTgd>, Vec<usize>) {
+    let mut keys: FxHashMap<String, usize> = FxHashMap::default();
+    let mut out: Vec<StTgd> = Vec::new();
+    let mut mapping = Vec::with_capacity(tgds.len());
+    for tgd in tgds {
+        let key = canonical_key(&tgd);
+        match keys.get(&key) {
+            Some(&idx) => mapping.push(idx),
+            None => {
+                let idx = out.len();
+                keys.insert(key, idx);
+                out.push(tgd);
+                mapping.push(idx);
+            }
+        }
+    }
+    (out, mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cms_data::RelId;
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    #[test]
+    fn renaming_invariance() {
+        let a = StTgd::new(
+            vec![Atom::new(RelId(0), vec![v(0), v(1)])],
+            vec![Atom::new(RelId(1), vec![v(1), v(2)])],
+            vec![],
+        );
+        let b = StTgd::new(
+            vec![Atom::new(RelId(0), vec![v(5), v(3)])],
+            vec![Atom::new(RelId(1), vec![v(3), v(9)])],
+            vec![],
+        );
+        assert!(equivalent(&a, &b));
+    }
+
+    #[test]
+    fn atom_order_invariance() {
+        let a = StTgd::new(
+            vec![
+                Atom::new(RelId(0), vec![v(0)]),
+                Atom::new(RelId(1), vec![v(0), v(1)]),
+            ],
+            vec![Atom::new(RelId(2), vec![v(1)])],
+            vec![],
+        );
+        let b = StTgd::new(
+            vec![
+                Atom::new(RelId(1), vec![v(7), v(8)]),
+                Atom::new(RelId(0), vec![v(7)]),
+            ],
+            vec![Atom::new(RelId(2), vec![v(8)])],
+            vec![],
+        );
+        assert!(equivalent(&a, &b));
+    }
+
+    #[test]
+    fn different_join_structure_distinguished() {
+        // R(x) & S(x,y) -> T(y)  vs  R(x) & S(y,x) -> T(y)
+        let a = StTgd::new(
+            vec![
+                Atom::new(RelId(0), vec![v(0)]),
+                Atom::new(RelId(1), vec![v(0), v(1)]),
+            ],
+            vec![Atom::new(RelId(2), vec![v(1)])],
+            vec![],
+        );
+        let b = StTgd::new(
+            vec![
+                Atom::new(RelId(0), vec![v(0)]),
+                Atom::new(RelId(1), vec![v(1), v(0)]),
+            ],
+            vec![Atom::new(RelId(2), vec![v(1)])],
+            vec![],
+        );
+        assert!(!equivalent(&a, &b));
+    }
+
+    #[test]
+    fn ambiguous_groups_are_resolved_exactly() {
+        // Two body atoms over the same relation, symmetric up to swap:
+        // R(x,y) & R(y,z) -> T(x,z) must equal R(a,b) & R(b,c) -> T(a,c)
+        // regardless of atom listing order.
+        let a = StTgd::new(
+            vec![
+                Atom::new(RelId(0), vec![v(0), v(1)]),
+                Atom::new(RelId(0), vec![v(1), v(2)]),
+            ],
+            vec![Atom::new(RelId(2), vec![v(0), v(2)])],
+            vec![],
+        );
+        let b = StTgd::new(
+            vec![
+                Atom::new(RelId(0), vec![v(1), v(2)]),
+                Atom::new(RelId(0), vec![v(0), v(1)]),
+            ],
+            vec![Atom::new(RelId(2), vec![v(0), v(2)])],
+            vec![],
+        );
+        assert!(equivalent(&a, &b));
+    }
+
+    #[test]
+    fn constants_distinguish() {
+        let a = StTgd::new(
+            vec![Atom::new(RelId(0), vec![v(0)])],
+            vec![Atom::new(RelId(1), vec![v(0), Term::constant("x")])],
+            vec![],
+        );
+        let b = StTgd::new(
+            vec![Atom::new(RelId(0), vec![v(0)])],
+            vec![Atom::new(RelId(1), vec![v(0), Term::constant("y")])],
+            vec![],
+        );
+        assert!(!equivalent(&a, &b));
+    }
+
+    #[test]
+    fn existential_vs_universal_distinguished() {
+        // R(x,y) -> T(x,y)   vs   R(x,y) -> T(x,z): different dependencies.
+        let full = StTgd::new(
+            vec![Atom::new(RelId(0), vec![v(0), v(1)])],
+            vec![Atom::new(RelId(1), vec![v(0), v(1)])],
+            vec![],
+        );
+        let exist = StTgd::new(
+            vec![Atom::new(RelId(0), vec![v(0), v(1)])],
+            vec![Atom::new(RelId(1), vec![v(0), v(2)])],
+            vec![],
+        );
+        assert!(!equivalent(&full, &exist));
+    }
+
+    #[test]
+    fn dedup_keeps_first_and_maps_indices() {
+        let a = StTgd::new(
+            vec![Atom::new(RelId(0), vec![v(0)])],
+            vec![Atom::new(RelId(1), vec![v(0)])],
+            vec![],
+        );
+        let b = StTgd::new(
+            vec![Atom::new(RelId(0), vec![v(4)])],
+            vec![Atom::new(RelId(1), vec![v(4)])],
+            vec![],
+        );
+        let c = StTgd::new(
+            vec![Atom::new(RelId(0), vec![v(0)])],
+            vec![Atom::new(RelId(2), vec![v(0)])],
+            vec![],
+        );
+        let (out, mapping) = dedup_tgds(vec![a, b, c]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(mapping, vec![0, 0, 1]);
+    }
+}

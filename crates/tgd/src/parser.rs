@@ -1,0 +1,258 @@
+//! A small text syntax for st tgds, used by examples and tests.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! tgd  := conj "->" conj
+//! conj := atom ("&" atom)*
+//! atom := ident "(" term ("," term)* ")"
+//! term := ident            (a variable)
+//!       | "'" chars "'"    (a constant)
+//! ```
+//!
+//! Body relation names resolve against the source schema, head names
+//! against the target schema. Variables are shared by name across the whole
+//! tgd; head variables not occurring in the body become existential.
+//!
+//! Example: `proj(x, n, c) & team(c, e) -> task(x, e, o) & org(o, f)`.
+
+use crate::atom::Atom;
+use crate::dependency::StTgd;
+use crate::term::{Term, VarId};
+use cms_data::{FxHashMap, Schema};
+use std::fmt;
+
+/// Errors produced by [`parse_tgd`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseError {
+    /// The `->` separator is missing or duplicated.
+    BadArrow,
+    /// General syntax problem, with a human-readable description.
+    Syntax(String),
+    /// A relation name was not found in the expected schema.
+    UnknownRelation {
+        /// The unresolved name.
+        name: String,
+        /// True if it appeared in the body (source side).
+        in_body: bool,
+    },
+    /// An atom's argument count differs from the relation's arity.
+    Arity {
+        /// The relation name.
+        name: String,
+        /// Arguments written.
+        got: usize,
+        /// Arity expected by the schema.
+        want: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadArrow => write!(f, "expected exactly one '->'"),
+            ParseError::Syntax(msg) => write!(f, "syntax error: {msg}"),
+            ParseError::UnknownRelation { name, in_body } => write!(
+                f,
+                "unknown {} relation {name:?}",
+                if *in_body { "source" } else { "target" }
+            ),
+            ParseError::Arity { name, got, want } => {
+                write!(f, "relation {name:?} expects {want} arguments, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a tgd from text against a schema pair.
+pub fn parse_tgd(text: &str, source: &Schema, target: &Schema) -> Result<StTgd, ParseError> {
+    let parts: Vec<&str> = text.split("->").collect();
+    if parts.len() != 2 {
+        return Err(ParseError::BadArrow);
+    }
+    let mut vars: FxHashMap<String, VarId> = FxHashMap::default();
+    let mut var_names: Vec<String> = Vec::new();
+    let body = parse_conj(parts[0], source, true, &mut vars, &mut var_names)?;
+    let head = parse_conj(parts[1], target, false, &mut vars, &mut var_names)?;
+    if body.is_empty() || head.is_empty() {
+        return Err(ParseError::Syntax("empty body or head".into()));
+    }
+    Ok(StTgd::new(body, head, var_names))
+}
+
+fn parse_conj(
+    text: &str,
+    schema: &Schema,
+    in_body: bool,
+    vars: &mut FxHashMap<String, VarId>,
+    var_names: &mut Vec<String>,
+) -> Result<Vec<Atom>, ParseError> {
+    let mut atoms = Vec::new();
+    for raw in split_atoms(text)? {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let open = raw
+            .find('(')
+            .ok_or_else(|| ParseError::Syntax(format!("missing '(' in {raw:?}")))?;
+        if !raw.ends_with(')') {
+            return Err(ParseError::Syntax(format!("missing ')' in {raw:?}")));
+        }
+        let name = raw[..open].trim();
+        let rel = schema
+            .rel_id(name)
+            .ok_or_else(|| ParseError::UnknownRelation { name: name.into(), in_body })?;
+        let args_text = &raw[open + 1..raw.len() - 1];
+        let mut terms = Vec::new();
+        for arg in args_text.split(',') {
+            let arg = arg.trim();
+            if arg.is_empty() {
+                return Err(ParseError::Syntax(format!("empty argument in {raw:?}")));
+            }
+            if let Some(stripped) = arg.strip_prefix('\'') {
+                let inner = stripped
+                    .strip_suffix('\'')
+                    .ok_or_else(|| ParseError::Syntax(format!("unterminated constant {arg:?}")))?;
+                terms.push(Term::constant(inner));
+            } else {
+                let id = *vars.entry(arg.to_owned()).or_insert_with(|| {
+                    let id = VarId(var_names.len() as u32);
+                    var_names.push(arg.to_owned());
+                    id
+                });
+                terms.push(Term::Var(id));
+            }
+        }
+        let want = schema.relation(rel).arity();
+        if terms.len() != want {
+            return Err(ParseError::Arity { name: name.into(), got: terms.len(), want });
+        }
+        atoms.push(Atom::new(rel, terms));
+    }
+    Ok(atoms)
+}
+
+/// Split a conjunction on `&` at depth 0 (constants may contain `&`).
+fn split_atoms(text: &str) -> Result<Vec<String>, ParseError> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0usize;
+    let mut in_quote = false;
+    for ch in text.chars() {
+        match ch {
+            '\'' => {
+                in_quote = !in_quote;
+                cur.push(ch);
+            }
+            '(' if !in_quote => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ')' if !in_quote => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| ParseError::Syntax("unbalanced ')'".into()))?;
+                cur.push(ch);
+            }
+            '&' if !in_quote && depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if in_quote {
+        return Err(ParseError::Syntax("unterminated quote".into()));
+    }
+    if depth != 0 {
+        return Err(ParseError::Syntax("unbalanced '('".into()));
+    }
+    out.push(cur);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schemas() -> (Schema, Schema) {
+        let mut src = Schema::new("s");
+        src.add_relation("proj", &["name", "code", "leader"]);
+        src.add_relation("team", &["pcode", "emp"]);
+        let mut tgt = Schema::new("t");
+        tgt.add_relation("task", &["pname", "emp", "org"]);
+        tgt.add_relation("org", &["oid", "firm"]);
+        (src, tgt)
+    }
+
+    #[test]
+    fn parses_running_example() {
+        let (src, tgt) = schemas();
+        let t = parse_tgd(
+            "proj(x, n, c) & team(c, e) -> task(x, e, o) & org(o, f)",
+            &src,
+            &tgt,
+        )
+        .unwrap();
+        assert_eq!(t.body.len(), 2);
+        assert_eq!(t.head.len(), 2);
+        assert_eq!(t.existential_vars().len(), 2);
+        assert_eq!(t.size(), 4);
+        // Round-trips through the pretty-printer.
+        assert_eq!(
+            t.display(&src, &tgt).to_string(),
+            "proj(x, n, c) & team(c, e) -> task(x, e, o) & org(o, f)"
+        );
+    }
+
+    #[test]
+    fn constants_are_quoted() {
+        let (src, tgt) = schemas();
+        let t = parse_tgd("team(c, e) -> org(c, 'IBM')", &src, &tgt).unwrap();
+        assert!(t.is_full());
+        assert_eq!(t.head[0].terms[1], Term::constant("IBM"));
+    }
+
+    #[test]
+    fn variables_shared_by_name() {
+        let (src, tgt) = schemas();
+        let t = parse_tgd("team(c, e) -> task(c, e, e)", &src, &tgt).unwrap();
+        assert!(t.is_full());
+        assert_eq!(t.head[0].terms[1], t.head[0].terms[2]);
+    }
+
+    #[test]
+    fn error_cases() {
+        let (src, tgt) = schemas();
+        assert_eq!(parse_tgd("proj(x,y,z)", &src, &tgt), Err(ParseError::BadArrow));
+        assert!(matches!(
+            parse_tgd("nope(x) -> task(x, x, x)", &src, &tgt),
+            Err(ParseError::UnknownRelation { in_body: true, .. })
+        ));
+        assert!(matches!(
+            parse_tgd("team(a, b) -> nope(a)", &src, &tgt),
+            Err(ParseError::UnknownRelation { in_body: false, .. })
+        ));
+        assert!(matches!(
+            parse_tgd("team(a) -> task(a, a, a)", &src, &tgt),
+            Err(ParseError::Arity { got: 1, want: 2, .. })
+        ));
+        assert!(matches!(
+            parse_tgd("team(a, b -> task(a, b, b)", &src, &tgt),
+            Err(ParseError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse_tgd("team(a, 'b) -> task(a, a, a)", &src, &tgt),
+            Err(ParseError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn parse_then_validate() {
+        let (src, tgt) = schemas();
+        let t = parse_tgd("proj(x, n, c) -> task(x, n, c)", &src, &tgt).unwrap();
+        assert!(t.validate(&src, &tgt).is_ok());
+    }
+}

@@ -1,0 +1,91 @@
+//! Terms of dependencies: variables and constants.
+
+use cms_data::{Sym, Value};
+use std::fmt;
+
+/// Dense variable index within one dependency (body and head share one
+/// namespace; variables occurring only in the head are existential).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The id as a usable index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A term in an atom: a variable or an interned constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// A variable.
+    Var(VarId),
+    /// A constant.
+    Const(Sym),
+}
+
+impl Term {
+    /// Convenience: constant term from a string.
+    pub fn constant(s: &str) -> Term {
+        Term::Const(Sym::new(s))
+    }
+
+    /// The variable id, if a variable.
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Ground this term under a binding (variables looked up by index).
+    ///
+    /// # Panics
+    /// Panics if the term is an unbound variable — callers only ground
+    /// fully-bound body matches or head terms after existential assignment.
+    pub fn ground(self, binding: &[Option<Value>]) -> Value {
+        match self {
+            Term::Const(s) => Value::Const(s),
+            Term::Var(v) => binding[v.index()].expect("grounding unbound variable"),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "?{}", v.0),
+            Term::Const(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_var() {
+        assert_eq!(Term::Var(VarId(3)).as_var(), Some(VarId(3)));
+        assert_eq!(Term::constant("a").as_var(), None);
+    }
+
+    #[test]
+    fn ground_constant_and_variable() {
+        let binding = vec![Some(Value::constant("x"))];
+        assert_eq!(Term::constant("c").ground(&binding), Value::constant("c"));
+        assert_eq!(Term::Var(VarId(0)).ground(&binding), Value::constant("x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound")]
+    fn ground_unbound_panics() {
+        Term::Var(VarId(0)).ground(&[None]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Term::Var(VarId(1)).to_string(), "?1");
+        assert_eq!(Term::constant("IBM").to_string(), "'IBM'");
+    }
+}

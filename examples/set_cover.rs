@@ -1,0 +1,72 @@
+//! The NP-hardness construction as a runnable artifact (appendix §III).
+//!
+//! Builds the SET COVER → mapping-selection reduction, verifies the
+//! closed-form objective `F(M) = (m+1)·(|U| − |⋃ R_i|) + 2·|M|` against
+//! the generic machinery, and shows that both exact search and the PSL
+//! relaxation recover minimum covers.
+//!
+//! Run with: `cargo run --example set_cover`
+
+use cms::prelude::*;
+use cms_select::reduction::{closed_form_objective, is_cover_within_bound};
+
+fn main() {
+    // U = {0..5}; six subsets, optimal cover size 3: {0,1}, {2,3}, {4,5}.
+    let sc = SetCoverInstance {
+        universe: 6,
+        sets: vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![2, 3],
+            vec![3, 4],
+            vec![4, 5],
+            vec![5, 0],
+        ],
+        bound: 3,
+    };
+    println!("SET COVER: |U| = {}, {} sets, bound n = {}", sc.universe, sc.sets.len(), sc.bound);
+
+    let red = build_reduction(&sc);
+    println!(
+        "reduction: |I| = {}, |J| = {}, |C| = {}, decision threshold m = {}",
+        red.source.total_len(),
+        red.target.total_len(),
+        red.candidates.len(),
+        red.threshold
+    );
+    for (n, c) in red.candidates.iter().enumerate() {
+        println!("  θ{n}: {}", c.display(&red.source_schema, &red.target_schema));
+    }
+
+    // The appendix's equivalence, spot-checked on a few selections.
+    let model = CoverageModel::build(&red.source, &red.target, &red.candidates);
+    let objective = Objective::new(&model, ObjectiveWeights::unweighted());
+    println!("\nclosed-form vs generic objective:");
+    for sel in [vec![], vec![0, 2, 4], vec![0, 1, 2, 3, 4, 5]] {
+        let closed = closed_form_objective(&sc, &sel);
+        let generic = objective.value(&sel);
+        assert!((closed - generic).abs() < 1e-9);
+        println!("  F({sel:?}) = {closed} (both)");
+    }
+
+    // Exact search finds a minimum cover...
+    let weights = ObjectiveWeights::unweighted();
+    let exact = BranchBound::default().select(&model, &weights);
+    println!(
+        "\nbranch-and-bound: {:?}, F = {} (≤ 2n = {} ⟺ YES instance)",
+        exact.selected, exact.objective, red.threshold
+    );
+    assert!(is_cover_within_bound(&sc, &exact.selected));
+    assert!(exact.objective <= red.threshold);
+
+    // ...and so does the PSL relaxation after rounding.
+    let psl = PslCollective::default().select(&model, &weights);
+    println!("psl-collective:   {:?}, F = {}", psl.selected, psl.objective);
+    assert!(is_cover_within_bound(&sc, &psl.selected));
+
+    // Greedy also covers, but may pay for an extra set on adversarial
+    // families; report rather than assert.
+    let greedy = Greedy.select(&model, &weights);
+    println!("greedy:           {:?}, F = {}", greedy.selected, greedy.objective);
+    println!("\nmapping selection is NP-hard: this construction is the appendix §III proof.");
+}

@@ -1,0 +1,120 @@
+//! Integration test: the appendix §I worked example, verified end-to-end
+//! through the public `cms` facade. These are the *published numbers* of
+//! the paper — any regression here means the semantics drifted.
+
+use cms::prelude::*;
+
+fn running_example() -> (Schema, Schema, Instance, Instance, Vec<StTgd>) {
+    let mut src = Schema::new("s");
+    src.add_relation("proj", &["name", "code", "firm"]);
+    src.add_relation("team", &["pcode", "emp"]);
+    let mut tgt = Schema::new("t");
+    tgt.add_relation("task", &["pname", "emp", "oid"]);
+    tgt.add_relation("org", &["oid", "firm"]);
+
+    let mut i = Instance::new();
+    i.insert_ground(src.rel_id("proj").unwrap(), &["BigData", "7", "IBM"]);
+    i.insert_ground(src.rel_id("proj").unwrap(), &["ML", "9", "SAP"]);
+    i.insert_ground(src.rel_id("team").unwrap(), &["7", "Bob"]);
+    i.insert_ground(src.rel_id("team").unwrap(), &["9", "Alice"]);
+
+    let mut j = Instance::new();
+    j.insert_ground(tgt.rel_id("task").unwrap(), &["ML", "Alice", "111"]);
+    j.insert_ground(tgt.rel_id("org").unwrap(), &["111", "SAP"]);
+    j.insert_ground(tgt.rel_id("task").unwrap(), &["Web", "Carol", "333"]);
+    j.insert_ground(tgt.rel_id("org").unwrap(), &["444", "Oracle"]);
+
+    let theta1 = parse_tgd("proj(x,c,f) & team(c,e) -> task(x,e,o)", &src, &tgt).unwrap();
+    let theta3 =
+        parse_tgd("proj(x,c,f) & team(c,e) -> task(x,e,o) & org(o,f)", &src, &tgt).unwrap();
+    (src, tgt, i, j, vec![theta1, theta3])
+}
+
+/// The published objective table:
+///   {}: 4 | {θ1}: 7 1/3 | {θ3}: 8 | {θ1,θ3}: 12.
+#[test]
+fn published_objective_table() {
+    let (_, _, i, j, cands) = running_example();
+    let model = CoverageModel::build(&i, &j, &cands);
+    let f = Objective::new(&model, ObjectiveWeights::unweighted());
+    let eps = 1e-9;
+    assert!((f.value(&[]) - 4.0).abs() < eps);
+    assert!((f.value(&[0]) - (22.0 / 3.0)).abs() < eps);
+    assert!((f.value(&[1]) - 8.0).abs() < eps);
+    assert!((f.value(&[0, 1]) - 12.0).abs() < eps);
+}
+
+/// Published component columns for {θ1}: 3 1/3 unexplained, 1 error, 3 size
+/// and for {θ3}: 2, 2, 4.
+#[test]
+fn published_component_columns() {
+    let (_, _, i, j, cands) = running_example();
+    let model = CoverageModel::build(&i, &j, &cands);
+    let f = Objective::new(&model, ObjectiveWeights::unweighted());
+    let eps = 1e-9;
+    let (u, e, s) = f.components(&[0]);
+    assert!((u - 10.0 / 3.0).abs() < eps && (e - 1.0).abs() < eps && (s - 3.0).abs() < eps);
+    let (u, e, s) = f.components(&[1]);
+    assert!((u - 2.0).abs() < eps && (e - 2.0).abs() < eps && (s - 4.0).abs() < eps);
+    let (u, e, s) = f.components(&[0, 1]);
+    assert!((u - 2.0).abs() < eps && (e - 3.0).abs() < eps && (s - 7.0).abs() < eps);
+}
+
+/// "θ1 is preferred over θ3, which in turn is preferred over {θ1, θ3}",
+/// and the empty mapping wins on this tiny example.
+#[test]
+fn published_preference_order() {
+    let (_, _, i, j, cands) = running_example();
+    let model = CoverageModel::build(&i, &j, &cands);
+    let f = Objective::new(&model, ObjectiveWeights::unweighted());
+    assert!(f.value(&[]) < f.value(&[0]));
+    assert!(f.value(&[0]) < f.value(&[1]));
+    assert!(f.value(&[1]) < f.value(&[0, 1]));
+}
+
+/// "If we add at least five more projects X of the same kind as the ML
+/// one … the preferred mapping is {θ3}."
+#[test]
+fn published_flip_with_more_data() {
+    let (src, tgt, mut i, mut j, cands) = running_example();
+    for n in 0..5 {
+        let name = format!("X{n}");
+        i.insert_ground(src.rel_id("proj").unwrap(), &[&name, "9", "SAP"]);
+        j.insert_ground(tgt.rel_id("task").unwrap(), &[&name, "Alice", "111"]);
+    }
+    let model = CoverageModel::build(&i, &j, &cands);
+    let weights = ObjectiveWeights::unweighted();
+    // Every selector — exact and collective — must now pick exactly {θ3}.
+    let selectors: Vec<Box<dyn Selector>> = vec![
+        Box::new(Exhaustive::default()),
+        Box::new(BranchBound::default()),
+        Box::new(PslCollective::default()),
+    ];
+    for s in selectors {
+        let sel = s.select(&model, &weights);
+        assert_eq!(sel.selected, vec![1], "{} picked {:?}", s.name(), sel.selected);
+    }
+}
+
+/// The universal-solution structure behind the example: θ3's chase output
+/// maps homomorphically into the (relevant fragment of) J, θ1's does not
+/// create the org tuples at all.
+#[test]
+fn chase_structure_of_the_example() {
+    let (src, tgt, i, _, cands) = running_example();
+    let k1 = chase_one(&i, &cands[0]);
+    let k3 = chase_one(&i, &cands[1]);
+    let task = tgt.rel_id("task").unwrap();
+    let org = tgt.rel_id("org").unwrap();
+    assert_eq!(k1.rows(task).len(), 2);
+    assert!(k1.rows(org).is_empty());
+    assert_eq!(k3.rows(task).len(), 2);
+    assert_eq!(k3.rows(org).len(), 2);
+    // Each θ3 task tuple shares its null with an org tuple.
+    for row in k3.rows(task) {
+        let o = row[2];
+        assert!(o.is_null());
+        assert!(k3.rows(org).iter().any(|r| r[0] == o));
+    }
+    let _ = src;
+}

@@ -1,0 +1,130 @@
+//! Integration test: the full scenario pipeline — generation, candidate
+//! generation, selection, metrics — across primitives and noise settings.
+
+use cms::prelude::*;
+
+#[test]
+fn clean_scenarios_recover_gold_per_primitive() {
+    // On noise-free scenarios the gold mapping is (one of) the optimal
+    // selections; selection must reproduce its exchanged data exactly.
+    for p in Primitive::ALL {
+        let config = ScenarioConfig {
+            rows_per_relation: 12,
+            seed: 100 + p as u64,
+            ..ScenarioConfig::single_primitive(p, 2)
+        };
+        let scenario = generate(&config);
+        let outcome =
+            evaluate_scenario(&scenario, &PslCollective::default(), &ObjectiveWeights::unweighted());
+        assert!(
+            outcome.data.f1 > 0.999,
+            "{p}: data F1 = {:?} (selected {:?}, gold {:?})",
+            outcome.data,
+            outcome.selection.selected,
+            scenario.gold
+        );
+        assert!(
+            outcome.selection.objective <= outcome.gold_objective + 1e-9,
+            "{p}: selection must be at least as good as gold"
+        );
+    }
+}
+
+#[test]
+fn all_primitives_mixed_scenario_under_noise() {
+    let config = ScenarioConfig {
+        noise: NoiseConfig { pi_corresp: 50.0, pi_errors: 20.0, pi_unexplained: 20.0 },
+        seed: 4242,
+        ..ScenarioConfig::all_primitives(1)
+    };
+    let scenario = generate(&config);
+    assert!(scenario.stats.noise_corrs > 0);
+    assert!(scenario.stats.data_noise.deleted > 0);
+    assert!(scenario.stats.data_noise.added > 0);
+
+    let w = ObjectiveWeights::unweighted();
+    let psl = evaluate_scenario(&scenario, &PslCollective::default(), &w);
+    let all = evaluate_scenario(
+        &scenario,
+        &FixedSelection::all(scenario.candidates.len()),
+        &w,
+    );
+    // The collective selection must clearly beat "take everything" on both
+    // the objective and mapping quality.
+    assert!(psl.selection.objective < all.selection.objective);
+    assert!(psl.mapping.f1 > all.mapping.f1);
+    assert!(psl.mapping.f1 > 0.6, "mapping F1 = {:?}", psl.mapping);
+}
+
+#[test]
+fn heuristics_never_beat_exact_and_psl_matches_on_small_scenarios() {
+    let config = ScenarioConfig {
+        rows_per_relation: 10,
+        noise: NoiseConfig::uniform(25.0),
+        seed: 7,
+        ..ScenarioConfig::all_primitives(1)
+    };
+    let scenario = generate(&config);
+    let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
+    let (reduced, _) = cms::select::preprocess(&model);
+    let w = ObjectiveWeights::unweighted();
+
+    let exact = BranchBound::default().select(&reduced, &w);
+    for selector in [
+        Box::new(Greedy) as Box<dyn Selector>,
+        Box::new(LocalSearch::default()),
+        Box::new(PslCollective::default()),
+        Box::new(IndependentBaseline),
+    ] {
+        let sel = selector.select(&reduced, &w);
+        assert!(
+            sel.objective >= exact.objective - 1e-9,
+            "{} beat the exact optimum?!",
+            selector.name()
+        );
+    }
+    let psl = PslCollective::default().select(&reduced, &w);
+    assert!(
+        (psl.objective - exact.objective).abs() < 1e-6,
+        "PSL should match exact on this scenario: {} vs {}",
+        psl.objective,
+        exact.objective
+    );
+}
+
+#[test]
+fn selection_outcome_reports_are_consistent() {
+    let scenario = generate(&ScenarioConfig {
+        noise: NoiseConfig::uniform(10.0),
+        seed: 99,
+        ..ScenarioConfig::all_primitives(1)
+    });
+    let outcome =
+        evaluate_scenario(&scenario, &Greedy, &ObjectiveWeights::unweighted());
+    assert_eq!(outcome.selector, "greedy");
+    assert!(outcome.wall >= outcome.select_wall);
+    assert!(outcome.mapping.precision >= 0.0 && outcome.mapping.precision <= 1.0);
+    assert!(outcome.selection.evaluations > 0);
+    // Selected indices are valid and deduplicated.
+    let mut seen = std::collections::HashSet::new();
+    for &c in &outcome.selection.selected {
+        assert!(c < scenario.candidates.len());
+        assert!(seen.insert(c));
+    }
+}
+
+#[test]
+fn determinism_across_runs() {
+    let config = ScenarioConfig {
+        noise: NoiseConfig::uniform(25.0),
+        seed: 555,
+        ..ScenarioConfig::all_primitives(1)
+    };
+    let s1 = generate(&config);
+    let s2 = generate(&config);
+    let w = ObjectiveWeights::unweighted();
+    let o1 = evaluate_scenario(&s1, &PslCollective::default(), &w);
+    let o2 = evaluate_scenario(&s2, &PslCollective::default(), &w);
+    assert_eq!(o1.selection.selected, o2.selection.selected);
+    assert_eq!(o1.mapping.f1, o2.mapping.f1);
+}

@@ -1,0 +1,114 @@
+//! Integration test: the appendix §II noise machinery, end to end.
+
+use cms::prelude::*;
+
+#[test]
+fn pi_corresp_inflates_candidates_monotonically_in_expectation() {
+    // Averaged over seeds, more metadata noise ⇒ more candidates.
+    let avg_candidates = |pi: f64| -> f64 {
+        let mut total = 0usize;
+        for seed in [1u64, 2, 3, 4] {
+            let s = generate(&ScenarioConfig {
+                noise: NoiseConfig { pi_corresp: pi, ..NoiseConfig::clean() },
+                seed,
+                ..ScenarioConfig::all_primitives(1)
+            });
+            total += s.stats.candidates;
+        }
+        total as f64 / 4.0
+    };
+    let c0 = avg_candidates(0.0);
+    let c50 = avg_candidates(50.0);
+    let c100 = avg_candidates(100.0);
+    assert!(c0 < c50, "{c0} !< {c50}");
+    assert!(c50 < c100, "{c50} !< {c100}");
+}
+
+#[test]
+fn pi_errors_only_deletes_and_pi_unexplained_only_adds() {
+    let base = ScenarioConfig { seed: 31, ..ScenarioConfig::all_primitives(1) };
+    let clean = generate(&base);
+
+    let del = generate(&ScenarioConfig {
+        noise: NoiseConfig { pi_errors: 50.0, ..NoiseConfig::clean() },
+        ..base.clone()
+    });
+    assert!(del.stats.data_noise.deleted > 0);
+    assert_eq!(del.stats.data_noise.added, 0);
+    assert!(del.stats.target_tuples < clean.stats.target_tuples);
+
+    let add = generate(&ScenarioConfig {
+        noise: NoiseConfig { pi_unexplained: 50.0, ..NoiseConfig::clean() },
+        ..base.clone()
+    });
+    assert!(add.stats.data_noise.added > 0);
+    assert_eq!(add.stats.data_noise.deleted, 0);
+    assert!(add.stats.target_tuples > clean.stats.target_tuples);
+}
+
+#[test]
+fn hundred_percent_noise_exhausts_the_pools() {
+    let s = generate(&ScenarioConfig {
+        noise: NoiseConfig { pi_errors: 100.0, pi_unexplained: 100.0, pi_corresp: 0.0 },
+        seed: 13,
+        ..ScenarioConfig::all_primitives(1)
+    });
+    let r = s.stats.data_noise;
+    assert_eq!(r.deleted, r.error_pool, "100% must delete the whole pool");
+    assert_eq!(r.added, r.unexplained_pool, "100% must add the whole pool");
+}
+
+#[test]
+fn data_noise_hurts_even_the_gold_mapping() {
+    // Under data noise the gold mapping's objective must be strictly worse
+    // than on the clean scenario — the premise of the robustness
+    // experiments (EX3/EX4).
+    let base = ScenarioConfig { seed: 77, ..ScenarioConfig::all_primitives(1) };
+    let w = ObjectiveWeights::unweighted();
+    let clean = generate(&base);
+    let noisy = generate(&ScenarioConfig {
+        noise: NoiseConfig { pi_errors: 40.0, pi_unexplained: 40.0, pi_corresp: 0.0 },
+        ..base
+    });
+    let gold_f = |s: &Scenario| -> f64 {
+        let outcome = evaluate_scenario(s, &FixedSelection::new("gold", s.gold.clone()), &w);
+        outcome.selection.objective
+    };
+    // Normalize by |J| (the two scenarios have different target sizes).
+    let clean_rate = gold_f(&clean) / clean.stats.target_tuples as f64;
+    let noisy_rate = gold_f(&noisy) / noisy.stats.target_tuples as f64;
+    assert!(
+        noisy_rate > clean_rate,
+        "noise must raise the gold objective rate ({clean_rate} vs {noisy_rate})"
+    );
+}
+
+#[test]
+fn unexplained_additions_are_truly_unexplainable_by_gold() {
+    // Tuples added by πUnexplained come from C−MG outputs: the gold
+    // mapping must not fully explain them.
+    let clean = generate(&ScenarioConfig {
+        noise: NoiseConfig { pi_corresp: 100.0, ..NoiseConfig::clean() },
+        seed: 3,
+        ..ScenarioConfig::all_primitives(1)
+    });
+    let noisy = generate(&ScenarioConfig {
+        noise: NoiseConfig { pi_corresp: 100.0, pi_unexplained: 100.0, pi_errors: 0.0 },
+        seed: 3,
+        ..ScenarioConfig::all_primitives(1)
+    });
+    // Same seed ⇒ same schemas/candidates; only J differs.
+    assert_eq!(clean.stats.candidates, noisy.stats.candidates);
+    let w = ObjectiveWeights::unweighted();
+    let gold_clean = evaluate_scenario(&clean, &FixedSelection::new("g", clean.gold.clone()), &w);
+    let gold_noisy = evaluate_scenario(&noisy, &FixedSelection::new("g", noisy.gold.clone()), &w);
+    let added = noisy.stats.data_noise.added as f64;
+    assert!(added > 0.0);
+    // Each added tuple contributes some unexplained mass for the gold.
+    assert!(
+        gold_noisy.selection.objective >= gold_clean.selection.objective + added * 0.2,
+        "gold objective must grow with additions: {} vs {} (+{added} tuples)",
+        gold_noisy.selection.objective,
+        gold_clean.selection.objective
+    );
+}

@@ -1,0 +1,141 @@
+//! Integration test: the SET COVER reduction of appendix §III.
+//!
+//! Verifies — on concrete families — every claim the proof makes: the
+//! construction sizes, the closed-form objective, the decision-threshold
+//! equivalence, and the weighted generalization.
+
+use cms::prelude::*;
+use cms::select::reduction::{closed_form_objective, generic_objective, is_cover_within_bound};
+
+fn instance() -> SetCoverInstance {
+    SetCoverInstance {
+        universe: 5,
+        sets: vec![vec![0, 1, 2], vec![2, 3], vec![3, 4], vec![0, 4], vec![1]],
+        bound: 2,
+    }
+}
+
+#[test]
+fn construction_is_polynomial_sized() {
+    let sc = instance();
+    let red = build_reduction(&sc);
+    let m = 2 * sc.bound;
+    assert_eq!(red.domain_size, m + 1);
+    assert_eq!(red.target.total_len(), sc.universe * (m + 1));
+    let total_set_elems: usize = sc.sets.iter().map(Vec::len).sum();
+    assert_eq!(red.source.total_len(), total_set_elems * (m + 1));
+    assert_eq!(red.candidates.len(), sc.sets.len());
+    for c in &red.candidates {
+        assert!(c.is_full(), "reduction uses full st tgds only");
+        assert_eq!(c.size(), 2);
+        assert!(c.validate(&red.source_schema, &red.target_schema).is_ok());
+    }
+}
+
+#[test]
+fn closed_form_equals_generic_on_all_subsets() {
+    let sc = instance();
+    let red = build_reduction(&sc);
+    let n = sc.sets.len();
+    for subset in 0u32..(1 << n) {
+        let sel: Vec<usize> = (0..n).filter(|&b| subset & (1 << b) != 0).collect();
+        let closed = closed_form_objective(&sc, &sel);
+        let generic = generic_objective(&red, &sel);
+        assert!(
+            (closed - generic).abs() < 1e-9,
+            "subset {sel:?}: closed {closed}, generic {generic}"
+        );
+    }
+}
+
+#[test]
+fn decision_threshold_equivalence() {
+    // F(M) ≤ 2n  ⟺  M is a cover of size ≤ n, over all subsets.
+    let sc = instance();
+    let n = sc.sets.len();
+    let threshold = 2.0 * sc.bound as f64;
+    for subset in 0u32..(1 << n) {
+        let sel: Vec<usize> = (0..n).filter(|&b| subset & (1 << b) != 0).collect();
+        let f = closed_form_objective(&sc, &sel);
+        assert_eq!(
+            f <= threshold,
+            is_cover_within_bound(&sc, &sel),
+            "subset {sel:?} (F = {f})"
+        );
+    }
+}
+
+#[test]
+fn exact_solvers_answer_the_decision_problem() {
+    // YES instance: {0, 2} covers {0,1,2} ∪ {3,4}.
+    let sc = instance();
+    let red = build_reduction(&sc);
+    let model = CoverageModel::build(&red.source, &red.target, &red.candidates);
+    let w = ObjectiveWeights::unweighted();
+    for selector in [
+        Box::new(Exhaustive::default()) as Box<dyn Selector>,
+        Box::new(BranchBound::default()),
+    ] {
+        let sel = selector.select(&model, &w);
+        assert!(
+            sel.objective <= red.threshold,
+            "{} must answer YES (F = {})",
+            selector.name(),
+            sel.objective
+        );
+        assert!(is_cover_within_bound(&sc, &sel.selected));
+    }
+
+    // NO instance: same sets with bound 1.
+    let no = SetCoverInstance { bound: 1, ..instance() };
+    let red = build_reduction(&no);
+    let model = CoverageModel::build(&red.source, &red.target, &red.candidates);
+    let sel = BranchBound::default().select(&model, &w);
+    assert!(sel.objective > red.threshold, "bound-1 instance is a NO (F = {})", sel.objective);
+}
+
+#[test]
+fn weighted_generalization_preserves_hardness_structure() {
+    // The appendix: with weights (w1, w2, w3) and threshold
+    // size(θ)·w3·n the same equivalence holds. Check that scaling w3
+    // rescales the size term exactly.
+    let sc = instance();
+    let red = build_reduction(&sc);
+    let model = CoverageModel::build(&red.source, &red.target, &red.candidates);
+    let w = ObjectiveWeights { w_explain: 1.0, w_error: 1.0, w_size: 3.0 };
+    let f = Objective::new(&model, w);
+    let unit = Objective::new(&model, ObjectiveWeights::unweighted());
+    for sel in [vec![0usize], vec![0, 2], vec![1, 3, 4]] {
+        let (u, e, s) = unit.components(&sel);
+        assert!((f.value(&sel) - (u + e + 3.0 * s)).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn psl_relaxation_recovers_minimum_covers_on_families() {
+    // PSL is a relaxation + rounding: not guaranteed optimal, but on these
+    // small families it must return covers and be competitive with exact.
+    let families = vec![
+        instance(),
+        SetCoverInstance {
+            universe: 6,
+            sets: vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5], vec![5, 0]],
+            bound: 3,
+        },
+    ];
+    let w = ObjectiveWeights::unweighted();
+    for sc in families {
+        let red = build_reduction(&sc);
+        let model = CoverageModel::build(&red.source, &red.target, &red.candidates);
+        let exact = BranchBound::default().select(&model, &w);
+        let psl = PslCollective::default().select(&model, &w);
+        assert!(psl.objective >= exact.objective - 1e-9, "relaxation can't beat exact");
+        assert!(
+            psl.objective <= exact.objective + 2.0 + 1e-9,
+            "PSL must stay within one extra set of optimal: {} vs {}",
+            psl.objective,
+            exact.objective
+        );
+        assert!(is_cover_within_bound(&sc, &psl.selected), "PSL selection must cover");
+    }
+}

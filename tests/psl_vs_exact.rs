@@ -1,0 +1,108 @@
+//! Integration test: the PSL relaxation against exact search on scenario
+//! batches — the internal consistency the paper's approach rests on.
+
+use cms::prelude::*;
+
+fn small_scenarios() -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for seed in [1u64, 5, 9, 13] {
+        out.push(generate(&ScenarioConfig {
+            rows_per_relation: 8,
+            noise: NoiseConfig::uniform(25.0),
+            seed,
+            ..ScenarioConfig::all_primitives(1)
+        }));
+    }
+    out
+}
+
+#[test]
+fn exhaustive_and_branch_bound_always_agree() {
+    let w = ObjectiveWeights::unweighted();
+    for scenario in small_scenarios() {
+        let model =
+            CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
+        let (reduced, _) = cms::select::preprocess(&model);
+        let useful = reduced.useless_candidates().len();
+        if reduced.num_candidates - useful > 20 {
+            continue; // keep exhaustive tractable
+        }
+        let ex = Exhaustive { max_candidates: Some(20) }.select(&reduced, &w);
+        let bb = BranchBound::default().select(&reduced, &w);
+        assert!(
+            (ex.objective - bb.objective).abs() < 1e-9,
+            "seed mismatch: exhaustive {} vs B&B {}",
+            ex.objective,
+            bb.objective
+        );
+    }
+}
+
+#[test]
+fn psl_stays_near_exact_across_batch() {
+    let w = ObjectiveWeights::unweighted();
+    let mut gaps = Vec::new();
+    for scenario in small_scenarios() {
+        let model =
+            CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
+        let (reduced, _) = cms::select::preprocess(&model);
+        let exact = BranchBound::default().select(&reduced, &w);
+        let psl = PslCollective::default().select(&reduced, &w);
+        assert!(psl.objective >= exact.objective - 1e-9);
+        let gap = (psl.objective - exact.objective) / exact.objective.max(1.0);
+        gaps.push(gap);
+    }
+    let mean_gap: f64 = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    assert!(
+        mean_gap < 0.02,
+        "mean relative optimality gap of PSL too large: {mean_gap} ({gaps:?})"
+    );
+}
+
+#[test]
+fn relaxed_truths_are_informative() {
+    // The relaxation should separate gold from junk candidates: mean
+    // relaxed inMap of gold candidates above mean of non-gold.
+    let w = ObjectiveWeights::unweighted();
+    let scenario = generate(&ScenarioConfig {
+        noise: NoiseConfig { pi_corresp: 100.0, pi_errors: 10.0, pi_unexplained: 10.0 },
+        seed: 21,
+        ..ScenarioConfig::all_primitives(1)
+    });
+    let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
+    let (reduced, _) = cms::select::preprocess(&model);
+    let run = PslCollective::default().infer(&reduced, &w);
+    assert!(run.converged, "ADMM must converge on this size");
+    let (mut gold_sum, mut other_sum, mut other_n) = (0.0, 0.0, 0usize);
+    for (c, &v) in run.relaxed.iter().enumerate() {
+        if scenario.gold.contains(&c) {
+            gold_sum += v;
+        } else {
+            other_sum += v;
+            other_n += 1;
+        }
+    }
+    let gold_mean = gold_sum / scenario.gold.len() as f64;
+    let other_mean = if other_n == 0 { 0.0 } else { other_sum / other_n as f64 };
+    assert!(
+        gold_mean > other_mean + 0.2,
+        "relaxation separates gold ({gold_mean:.3}) from junk ({other_mean:.3})"
+    );
+}
+
+#[test]
+fn admm_convergence_within_budget_on_scenario_scale() {
+    let w = ObjectiveWeights::unweighted();
+    let scenario = generate(&ScenarioConfig {
+        noise: NoiseConfig::uniform(50.0),
+        seed: 2,
+        rows_per_relation: 20,
+        ..ScenarioConfig::all_primitives(2)
+    });
+    let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
+    let run = PslCollective::default().infer(&model, &w);
+    assert!(run.converged, "did not converge in {} iterations", run.iterations);
+    for &v in &run.relaxed {
+        assert!((0.0..=1.0).contains(&v));
+    }
+}
