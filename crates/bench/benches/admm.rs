@@ -48,10 +48,20 @@ fn bench_admm(c: &mut Criterion) {
         let (potentials, constraints) = chain_problem(n);
         let solver = AdmmSolver::new(&potentials, &constraints, n);
         group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
-            b.iter(|| solver.solve(&AdmmConfig { threads: 1, ..AdmmConfig::default() }));
+            b.iter(|| {
+                solver.solve(&AdmmConfig {
+                    threads: 1,
+                    ..AdmmConfig::default()
+                })
+            });
         });
         group.bench_with_input(BenchmarkId::new("threads4", n), &n, |b, _| {
-            b.iter(|| solver.solve(&AdmmConfig { threads: 4, ..AdmmConfig::default() }));
+            b.iter(|| {
+                solver.solve(&AdmmConfig {
+                    threads: 4,
+                    ..AdmmConfig::default()
+                })
+            });
         });
     }
     group.finish();

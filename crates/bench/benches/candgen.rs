@@ -11,7 +11,10 @@ fn bench_candgen(c: &mut Criterion) {
     for invocations in [1usize, 4, 8] {
         let config = ScenarioConfig {
             rows_per_relation: 5, // data size is irrelevant here
-            noise: NoiseConfig { pi_corresp: 100.0, ..NoiseConfig::clean() },
+            noise: NoiseConfig {
+                pi_corresp: 100.0,
+                ..NoiseConfig::clean()
+            },
             seed: 3,
             ..ScenarioConfig::all_primitives(invocations)
         };

@@ -23,7 +23,12 @@ fn bench_chase(c: &mut Criterion) {
             BenchmarkId::new("gold-mapping", 7 * invocations),
             &invocations,
             |b, _| {
-                b.iter(|| chase(std::hint::black_box(&scenario.source), std::hint::black_box(&gold)));
+                b.iter(|| {
+                    chase(
+                        std::hint::black_box(&scenario.source),
+                        std::hint::black_box(&gold),
+                    )
+                });
             },
         );
     }

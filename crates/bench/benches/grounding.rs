@@ -1,5 +1,13 @@
 //! Criterion bench: coverage-model construction + PSL program grounding —
 //! the two "compilation" stages between a scenario and MAP inference.
+//!
+//! Besides the end-to-end `coverage-model` and `program+admm` benches,
+//! this file times the grounding engines head-to-head on the declarative
+//! program (whose `error-link` rule is a genuine two-literal join):
+//! `ground-plan/N` runs the plan-compiled, index-probing engine
+//! (`Program::ground`) and `ground-naive/N` the retained nested-loop
+//! reference (`Program::ground_naive`). The committed
+//! `BENCH_grounding_baseline.json` snapshot records both and their ratio.
 
 use cms_ibench::{generate, NoiseConfig, ScenarioConfig};
 use cms_select::{CoverageModel, ObjectiveWeights, PslCollective};
@@ -35,7 +43,32 @@ fn bench_grounding(c: &mut Criterion) {
             BenchmarkId::new("program+admm", scenario.candidates.len()),
             &invocations,
             |b, _| {
-                b.iter(|| psl.infer(std::hint::black_box(&model), &ObjectiveWeights::unweighted()));
+                b.iter(|| {
+                    psl.infer(
+                        std::hint::black_box(&model),
+                        &ObjectiveWeights::unweighted(),
+                    )
+                });
+            },
+        );
+        // Grounding engines head-to-head on the declarative rule program.
+        let (program, _) = psl.build_declarative_program(&model, &ObjectiveWeights::unweighted());
+        group.bench_with_input(
+            BenchmarkId::new("ground-plan", invocations),
+            &invocations,
+            |b, _| {
+                b.iter(|| std::hint::black_box(&program).ground().expect("grounds"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ground-naive", invocations),
+            &invocations,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(&program)
+                        .ground_naive()
+                        .expect("grounds")
+                });
             },
         );
     }

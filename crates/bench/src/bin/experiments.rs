@@ -35,18 +35,7 @@ fn main() {
         "ex8" => ex8(),
         "ex9" => ex9(),
         "all" => {
-            for f in [
-                ex0 as fn(),
-                ex1,
-                ex2,
-                ex3,
-                ex4,
-                ex5,
-                ex6,
-                ex7,
-                ex8,
-                ex9,
-            ] {
+            for f in [ex0 as fn(), ex1, ex2, ex3, ex4, ex5, ex6, ex7, ex8, ex9] {
                 f();
                 println!();
             }
@@ -100,8 +89,12 @@ fn ex0() {
     tgt.add_relation("task", &["pname", "emp", "oid"]);
     tgt.add_relation("org", &["oid", "firm"]);
     let theta1 = parse_tgd("proj(x,c,f) & team(c,e) -> task(x,e,o)", &src, &tgt).unwrap();
-    let theta3 =
-        parse_tgd("proj(x,c,f) & team(c,e) -> task(x,e,o) & org(o,f)", &src, &tgt).unwrap();
+    let theta3 = parse_tgd(
+        "proj(x,c,f) & team(c,e) -> task(x,e,o) & org(o,f)",
+        &src,
+        &tgt,
+    )
+    .unwrap();
     let mut i = Instance::new();
     i.insert_ground(src.rel_id("proj").unwrap(), &["BigData", "7", "IBM"]);
     i.insert_ground(src.rel_id("proj").unwrap(), &["ML", "9", "SAP"]);
@@ -139,20 +132,48 @@ fn ex1() {
     println!("## EX1 — Table I: scenario generation parameters\n");
     let config = ScenarioConfig::all_primitives(1);
     let mut params = Table::new(&["parameter", "value"]);
-    params.row(vec!["primitives".into(), "CP, ADD, DL, ADL, ME, VP, VNM (×1 each)".into()]);
-    params.row(vec!["add/remove range".into(), format!("{:?}", config.attr_change_range)]);
-    params.row(vec!["source arity range".into(), format!("{:?}", config.source_arity)]);
-    params.row(vec!["rows per relation".into(), config.rows_per_relation.to_string()]);
-    params.row(vec!["value pool per column".into(), config.value_pool.to_string()]);
-    params.row(vec!["πCorresp / πErrors / πUnexplained".into(), "sweep knobs (EX2–EX4)".into()]);
+    params.row(vec![
+        "primitives".into(),
+        "CP, ADD, DL, ADL, ME, VP, VNM (×1 each)".into(),
+    ]);
+    params.row(vec![
+        "add/remove range".into(),
+        format!("{:?}", config.attr_change_range),
+    ]);
+    params.row(vec![
+        "source arity range".into(),
+        format!("{:?}", config.source_arity),
+    ]);
+    params.row(vec![
+        "rows per relation".into(),
+        config.rows_per_relation.to_string(),
+    ]);
+    params.row(vec![
+        "value pool per column".into(),
+        config.value_pool.to_string(),
+    ]);
+    params.row(vec![
+        "πCorresp / πErrors / πUnexplained".into(),
+        "sweep knobs (EX2–EX4)".into(),
+    ]);
     params.print();
 
     let mut sizes = Table::new(&[
-        "πCorresp", "src rels", "tgt rels", "corrs(true+noise)", "|C|", "|MG|", "|I|", "|J|",
+        "πCorresp",
+        "src rels",
+        "tgt rels",
+        "corrs(true+noise)",
+        "|C|",
+        "|MG|",
+        "|I|",
+        "|J|",
     ]);
     for pi in [0.0, 50.0, 100.0] {
         let s = generate(&ScenarioConfig {
-            noise: NoiseConfig { pi_corresp: pi, ..NoiseConfig::clean() },
+            noise: NoiseConfig {
+                pi_corresp: pi,
+                ..NoiseConfig::clean()
+            },
             ..config.clone()
         })
         .stats;
@@ -179,7 +200,11 @@ fn ex2() {
             (
                 format!("πCorresp={pi:.0}%"),
                 ScenarioConfig {
-                    noise: NoiseConfig { pi_corresp: pi, pi_errors: 10.0, pi_unexplained: 10.0 },
+                    noise: NoiseConfig {
+                        pi_corresp: pi,
+                        pi_errors: 10.0,
+                        pi_unexplained: 10.0,
+                    },
                     ..ScenarioConfig::all_primitives(1)
                 },
             )
@@ -196,7 +221,11 @@ fn ex3() {
             (
                 format!("πErrors={pi:.0}%"),
                 ScenarioConfig {
-                    noise: NoiseConfig { pi_corresp: 25.0, pi_errors: pi, pi_unexplained: 10.0 },
+                    noise: NoiseConfig {
+                        pi_corresp: 25.0,
+                        pi_errors: pi,
+                        pi_unexplained: 10.0,
+                    },
                     ..ScenarioConfig::all_primitives(1)
                 },
             )
@@ -213,7 +242,11 @@ fn ex4() {
             (
                 format!("πUnexpl={pi:.0}%"),
                 ScenarioConfig {
-                    noise: NoiseConfig { pi_corresp: 25.0, pi_errors: 10.0, pi_unexplained: pi },
+                    noise: NoiseConfig {
+                        pi_corresp: 25.0,
+                        pi_errors: 10.0,
+                        pi_unexplained: pi,
+                    },
                     ..ScenarioConfig::all_primitives(1)
                 },
             )
@@ -236,26 +269,39 @@ fn ex5() {
             )
         })
         .collect();
-    quality_table("EX5 — per-primitive quality breakdown (uniform 25% noise)", points);
+    quality_table(
+        "EX5 — per-primitive quality breakdown (uniform 25% noise)",
+        points,
+    );
 }
 
 /// EX6 — scalability: runtime vs scenario size.
 fn ex6() {
     println!("## EX6 — scalability (runtime vs #invocations)\n");
     let mut table = Table::new(&[
-        "invocations", "|C|", "|J|", "ground terms", "admm iters", "psl ms", "greedy ms", "b&b ms",
+        "invocations",
+        "|C|",
+        "|J|",
+        "ground terms",
+        "admm iters",
+        "psl ms",
+        "greedy ms",
+        "b&b ms",
         "b&b note",
     ]);
     for n in [1usize, 2, 4, 8] {
         let config = ScenarioConfig {
-            noise: NoiseConfig { pi_corresp: 50.0, pi_errors: 10.0, pi_unexplained: 10.0 },
+            noise: NoiseConfig {
+                pi_corresp: 50.0,
+                pi_errors: 10.0,
+                pi_unexplained: 10.0,
+            },
             rows_per_relation: 15,
             seed: 5,
             ..ScenarioConfig::all_primitives(n)
         };
         let scenario = generate(&config);
-        let model =
-            CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
+        let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
         let weights = ObjectiveWeights::unweighted();
 
         let psl = PslCollective::default();
@@ -269,7 +315,9 @@ fn ex6() {
         let _ = Greedy.select(&model, &weights);
         let greedy_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-        let bb = BranchBound { node_budget: Some(2_000_000) };
+        let bb = BranchBound {
+            node_budget: Some(2_000_000),
+        };
         let t0 = Instant::now();
         let bb_sel = bb.select(&model, &weights);
         let bb_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -283,7 +331,11 @@ fn ex6() {
             format!("{psl_ms:.0}"),
             format!("{greedy_ms:.0}"),
             format!("{bb_ms:.0}"),
-            if bb_sel.note.is_empty() { "exact".into() } else { "budget hit".into() },
+            if bb_sel.note.is_empty() {
+                "exact".into()
+            } else {
+                "budget hit".into()
+            },
         ]);
     }
     table.print();
@@ -293,14 +345,32 @@ fn ex6() {
 fn ex7() {
     println!("## EX7 — NP-hardness construction (appendix §III)\n");
     let mut table = Table::new(&[
-        "|U|", "sets", "n", "F(exact)", "F(psl)", "F(greedy)", "threshold 2n", "exact covers",
+        "|U|",
+        "sets",
+        "n",
+        "F(exact)",
+        "F(psl)",
+        "F(greedy)",
+        "threshold 2n",
+        "exact covers",
         "psl covers",
     ]);
     let families: Vec<SetCoverInstance> = vec![
-        SetCoverInstance { universe: 4, sets: vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]], bound: 2 },
+        SetCoverInstance {
+            universe: 4,
+            sets: vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]],
+            bound: 2,
+        },
         SetCoverInstance {
             universe: 6,
-            sets: vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5], vec![5, 0]],
+            sets: vec![
+                vec![0, 1],
+                vec![1, 2],
+                vec![2, 3],
+                vec![3, 4],
+                vec![4, 5],
+                vec![5, 0],
+            ],
             bound: 3,
         },
         // Greedy-adversarial family: a big set that is optimal plus decoys.
@@ -363,26 +433,66 @@ fn ex8() {
             fo += o.selection.objective / n;
             fg += o.gold_objective / n;
         }
-        table.row(vec![label.into(), f3(f1m), f3(f1d), tables_f1(fo), tables_f1(fg)]);
+        table.row(vec![
+            label.into(),
+            f3(f1m),
+            f3(f1d),
+            tables_f1(fo),
+            tables_f1(fg),
+        ]);
     };
 
     let unit = ObjectiveWeights::unweighted();
     run("w=(1,1,1) linear+repair", &PslCollective::default(), unit);
     run(
         "w=(1,1,1) linear, no repair",
-        &PslCollective { greedy_repair: false, ..PslCollective::default() },
+        &PslCollective {
+            greedy_repair: false,
+            ..PslCollective::default()
+        },
         unit,
     );
     run(
         "w=(1,1,1) squared hinges",
-        &PslCollective { squared: true, ..PslCollective::default() },
+        &PslCollective {
+            squared: true,
+            ..PslCollective::default()
+        },
         unit,
     );
     for (label, w) in [
-        ("w1=2 (favour coverage)", ObjectiveWeights { w_explain: 2.0, w_error: 1.0, w_size: 1.0 }),
-        ("w2=2 (punish errors)", ObjectiveWeights { w_explain: 1.0, w_error: 2.0, w_size: 1.0 }),
-        ("w3=2 (punish size)", ObjectiveWeights { w_explain: 1.0, w_error: 1.0, w_size: 2.0 }),
-        ("w3=0.25 (cheap mappings)", ObjectiveWeights { w_explain: 1.0, w_error: 1.0, w_size: 0.25 }),
+        (
+            "w1=2 (favour coverage)",
+            ObjectiveWeights {
+                w_explain: 2.0,
+                w_error: 1.0,
+                w_size: 1.0,
+            },
+        ),
+        (
+            "w2=2 (punish errors)",
+            ObjectiveWeights {
+                w_explain: 1.0,
+                w_error: 2.0,
+                w_size: 1.0,
+            },
+        ),
+        (
+            "w3=2 (punish size)",
+            ObjectiveWeights {
+                w_explain: 1.0,
+                w_error: 1.0,
+                w_size: 2.0,
+            },
+        ),
+        (
+            "w3=0.25 (cheap mappings)",
+            ObjectiveWeights {
+                w_explain: 1.0,
+                w_error: 1.0,
+                w_size: 0.25,
+            },
+        ),
     ] {
         run(label, &PslCollective::default(), w);
     }
@@ -396,8 +506,14 @@ fn tables_f1(x: f64) -> String {
 /// EX9 — collective vs non-collective selection across a noise grid.
 fn ex9() {
     println!("## EX9 — collective (PSL) vs independent per-candidate selection\n");
-    let mut table =
-        Table::new(&["uniform noise", "independent map-F1", "psl map-F1", "Δ", "independent data-F1", "psl data-F1"]);
+    let mut table = Table::new(&[
+        "uniform noise",
+        "independent map-F1",
+        "psl map-F1",
+        "Δ",
+        "independent data-F1",
+        "psl data-F1",
+    ]);
     for pct in [0.0, 10.0, 25.0, 50.0] {
         let base = ScenarioConfig {
             noise: NoiseConfig::uniform(pct),

@@ -11,7 +11,10 @@ pub struct Table {
 impl Table {
     /// Start a table with headers.
     pub fn new(headers: &[&str]) -> Table {
-        Table { headers: headers.iter().map(|h| h.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header count).

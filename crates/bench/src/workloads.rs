@@ -84,7 +84,9 @@ pub fn average_outcomes(
         rows.push(run(&|s: &Scenario| {
             Box::new(FixedSelection::new("gold-oracle", s.gold.clone()))
         }));
-        rows.push(run(&|s: &Scenario| Box::new(FixedSelection::all(s.candidates.len()))));
+        rows.push(run(&|s: &Scenario| {
+            Box::new(FixedSelection::all(s.candidates.len()))
+        }));
     }
     for selector in selectors {
         // Rebuild per scenario is unnecessary for stateless selectors; we
@@ -111,7 +113,12 @@ fn clone_selector(s: &dyn Selector) -> Box<dyn Selector> {
 pub fn seeded_scenarios(base: &ScenarioConfig, seeds: &[u64]) -> Vec<Scenario> {
     seeds
         .iter()
-        .map(|&seed| generate(&ScenarioConfig { seed, ..base.clone() }))
+        .map(|&seed| {
+            generate(&ScenarioConfig {
+                seed,
+                ..base.clone()
+            })
+        })
         .collect()
 }
 

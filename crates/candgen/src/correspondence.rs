@@ -25,7 +25,11 @@ impl Correspondence {
 
     /// Render as `src.attr -> tgt.attr` against the schema pair.
     pub fn display(&self, src: &Schema, tgt: &Schema) -> String {
-        format!("{} -> {}", src.attr_name(self.source), tgt.attr_name(self.target))
+        format!(
+            "{} -> {}",
+            src.attr_name(self.source),
+            tgt.attr_name(self.target)
+        )
     }
 }
 
@@ -49,7 +53,10 @@ pub fn corr(
             .unwrap_or_else(|| panic!("unknown attribute {rel}.{attr}"));
         AttrRef::new(rel_id, col)
     };
-    Correspondence::new(resolve(src, src_rel, src_attr), resolve(tgt, tgt_rel, tgt_attr))
+    Correspondence::new(
+        resolve(src, src_rel, src_attr),
+        resolve(tgt, tgt_rel, tgt_attr),
+    )
 }
 
 impl fmt::Display for Correspondence {

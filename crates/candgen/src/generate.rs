@@ -40,7 +40,10 @@ pub struct CandGenConfig {
 
 impl Default for CandGenConfig {
     fn default() -> CandGenConfig {
-        CandGenConfig { max_join_atoms: 6, max_alternatives_per_pair: 8 }
+        CandGenConfig {
+            max_join_atoms: 6,
+            max_alternatives_per_pair: 8,
+        }
     }
 }
 
@@ -129,7 +132,12 @@ fn build_tgd(
     let body: Vec<Atom> = src_lr
         .atoms
         .iter()
-        .map(|a| Atom::new(a.rel, a.vars.iter().map(|&v| Term::Var(VarId(v as u32))).collect()))
+        .map(|a| {
+            Atom::new(
+                a.rel,
+                a.vars.iter().map(|&v| Term::Var(VarId(v as u32))).collect(),
+            )
+        })
         .collect();
 
     let head: Vec<Atom> = tgt_lr
@@ -176,7 +184,11 @@ mod tests {
             "team",
             &["pcode", "emp"],
             &[],
-            vec![ForeignKey { cols: vec![0], target: proj, target_cols: vec![1] }],
+            vec![ForeignKey {
+                cols: vec![0],
+                target: proj,
+                target_cols: vec![1],
+            }],
         );
         let mut tgt = Schema::new("t");
         let org = tgt.add_relation_full("org", &["oid", "firm"], &[0], Vec::new());
@@ -184,7 +196,11 @@ mod tests {
             "task",
             &["pname", "emp", "oid"],
             &[],
-            vec![ForeignKey { cols: vec![2], target: org, target_cols: vec![0] }],
+            vec![ForeignKey {
+                cols: vec![2],
+                target: org,
+                target_cols: vec![0],
+            }],
         );
         (src, tgt)
     }
@@ -209,9 +225,14 @@ mod tests {
         )
         .unwrap();
         assert!(
-            cands.iter().any(|c| canonical_key(c) == canonical_key(&theta3)),
+            cands
+                .iter()
+                .any(|c| canonical_key(c) == canonical_key(&theta3)),
             "θ3-style candidate missing: {:?}",
-            cands.iter().map(|c| c.display(&src, &tgt).to_string()).collect::<Vec<_>>()
+            cands
+                .iter()
+                .map(|c| c.display(&src, &tgt).to_string())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -250,11 +271,19 @@ mod tests {
         let cands = generate_candidates(&src, &tgt, &corrs, &CandGenConfig::default());
         // Each connected pair now yields two alternatives (name vs leader
         // exported to pname); dedup keeps them distinct.
-        let name_variant = parse_tgd("proj(x, c, l) -> task(x, e, o) & org(o, f)", &src, &tgt).unwrap();
-        let leader_variant = parse_tgd("proj(x, c, l) -> task(l, e, o) & org(o, f)", &src, &tgt).unwrap();
+        let name_variant =
+            parse_tgd("proj(x, c, l) -> task(x, e, o) & org(o, f)", &src, &tgt).unwrap();
+        let leader_variant =
+            parse_tgd("proj(x, c, l) -> task(l, e, o) & org(o, f)", &src, &tgt).unwrap();
         let keys: Vec<String> = cands.iter().map(canonical_key).collect();
-        assert!(keys.contains(&canonical_key(&name_variant)), "name variant missing");
-        assert!(keys.contains(&canonical_key(&leader_variant)), "leader variant missing");
+        assert!(
+            keys.contains(&canonical_key(&name_variant)),
+            "name variant missing"
+        );
+        assert!(
+            keys.contains(&canonical_key(&leader_variant)),
+            "leader variant missing"
+        );
         for c in &cands {
             assert!(c.validate(&src, &tgt).is_ok());
         }
@@ -276,10 +305,18 @@ mod tests {
             &src,
             &tgt,
             &corrs,
-            &CandGenConfig { max_alternatives_per_pair: 2, ..CandGenConfig::default() },
+            &CandGenConfig {
+                max_alternatives_per_pair: 2,
+                ..CandGenConfig::default()
+            },
         );
         let full = generate_candidates(&src, &tgt, &corrs, &CandGenConfig::default());
-        assert!(capped.len() < full.len(), "{} !< {}", capped.len(), full.len());
+        assert!(
+            capped.len() < full.len(),
+            "{} !< {}",
+            capped.len(),
+            full.len()
+        );
     }
 
     #[test]
@@ -295,12 +332,21 @@ mod tests {
             &src,
             &tgt,
             &corrs,
-            &CandGenConfig { max_alternatives_per_pair: 1, ..CandGenConfig::default() },
+            &CandGenConfig {
+                max_alternatives_per_pair: 1,
+                ..CandGenConfig::default()
+            },
         );
-        let name_variant = parse_tgd("proj(x, c, l) -> task(x, e, o) & org(o, f)", &src, &tgt).unwrap();
-        assert!(cands.iter().any(|c| canonical_key(c) == canonical_key(&name_variant)));
-        let leader_variant = parse_tgd("proj(x, c, l) -> task(l, e, o) & org(o, f)", &src, &tgt).unwrap();
-        assert!(!cands.iter().any(|c| canonical_key(c) == canonical_key(&leader_variant)));
+        let name_variant =
+            parse_tgd("proj(x, c, l) -> task(x, e, o) & org(o, f)", &src, &tgt).unwrap();
+        assert!(cands
+            .iter()
+            .any(|c| canonical_key(c) == canonical_key(&name_variant)));
+        let leader_variant =
+            parse_tgd("proj(x, c, l) -> task(l, e, o) & org(o, f)", &src, &tgt).unwrap();
+        assert!(!cands
+            .iter()
+            .any(|c| canonical_key(c) == canonical_key(&leader_variant)));
     }
 
     #[test]

@@ -117,12 +117,19 @@ pub fn expand(schema: &Schema, root: RelId, max_atoms: usize) -> LogicalRelation
         frontier += 1;
     }
 
-    LogicalRelation { root, atoms, num_vars }
+    LogicalRelation {
+        root,
+        atoms,
+        num_vars,
+    }
 }
 
 /// All logical relations of a schema (one per root relation).
 pub fn logical_relations(schema: &Schema, max_atoms: usize) -> Vec<LogicalRelation> {
-    schema.rel_ids().map(|r| expand(schema, r, max_atoms)).collect()
+    schema
+        .rel_ids()
+        .map(|r| expand(schema, r, max_atoms))
+        .collect()
 }
 
 #[cfg(test)]
@@ -138,7 +145,11 @@ mod tests {
             "team",
             &["pcode", "emp"],
             &[],
-            vec![ForeignKey { cols: vec![0], target: proj, target_cols: vec![1] }],
+            vec![ForeignKey {
+                cols: vec![0],
+                target: proj,
+                target_cols: vec![1],
+            }],
         );
         s
     }
@@ -184,9 +195,20 @@ mod tests {
             "b",
             &["p", "q"],
             &[],
-            vec![ForeignKey { cols: vec![0], target: a, target_cols: vec![0] }],
+            vec![ForeignKey {
+                cols: vec![0],
+                target: a,
+                target_cols: vec![0],
+            }],
         );
-        s.add_fk(a, ForeignKey { cols: vec![1], target: b, target_cols: vec![1] });
+        s.add_fk(
+            a,
+            ForeignKey {
+                cols: vec![1],
+                target: b,
+                target_cols: vec![1],
+            },
+        );
         let lr = expand(&s, a, 8);
         assert_eq!(lr.atoms.len(), 2);
         let lr_b = expand(&s, b, 8);
@@ -202,7 +224,11 @@ mod tests {
                 &format!("r{i}"),
                 &["k", "fk"],
                 &[],
-                vec![ForeignKey { cols: vec![1], target: prev, target_cols: vec![0] }],
+                vec![ForeignKey {
+                    cols: vec![1],
+                    target: prev,
+                    target_cols: vec![0],
+                }],
             );
             prev = cur;
         }

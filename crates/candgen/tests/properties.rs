@@ -14,8 +14,7 @@ fn arb_schema(prefix: &'static str) -> impl Strategy<Value = Schema> {
         .prop_map(move |(_, rels)| {
             let mut schema = Schema::new(prefix);
             for (i, (arity, fk_to)) in rels.iter().enumerate() {
-                let attrs: Vec<String> =
-                    (0..*arity).map(|a| format!("{prefix}{i}_a{a}")).collect();
+                let attrs: Vec<String> = (0..*arity).map(|a| format!("{prefix}{i}_a{a}")).collect();
                 let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
                 let fks = match fk_to {
                     Some(t) if *t < i => vec![ForeignKey {
@@ -51,7 +50,10 @@ fn resolve(
             if sc >= src.relation(s_rel).arity() || tc >= tgt.relation(t_rel).arity() {
                 return None;
             }
-            Some(Correspondence::new(AttrRef::new(s_rel, sc), AttrRef::new(t_rel, tc)))
+            Some(Correspondence::new(
+                AttrRef::new(s_rel, sc),
+                AttrRef::new(t_rel, tc),
+            ))
         })
         .collect()
 }

@@ -1,0 +1,228 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! Provides [`Criterion`], benchmark groups with `sample_size` /
+//! `throughput` / `bench_function` / `bench_with_input`, [`Bencher::iter`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: per benchmark, a short warm-up sizes the number of
+//! iterations per sample so one sample takes ≥ ~5 ms, then `sample_size`
+//! samples are timed and the mean/min ns-per-iteration are reported on
+//! stdout as `bench: <group>/<id> ... <mean> ns/iter (min <min>)` together
+//! with a machine-readable JSON line (`{"bench": ..., "mean_ns": ...}`).
+//!
+//! Running with `--test` in the arguments (what `cargo test` passes to
+//! bench targets, and what CI smoke runs use) executes each benchmark body
+//! exactly once without timing.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test" || a == "--quick");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            sample_size: 10,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Units processed per iteration (reported, not used for scaling).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    sample_size: usize,
+    // Tie the lifetime to the Criterion borrow like upstream does.
+    #[allow(dead_code)]
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+// Separate impl block so the struct literal above stays simple.
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Record the per-iteration throughput (informational).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark with no explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.test_mode, self.sample_size);
+        f(&mut b);
+        b.report(&self.name, &id.id);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.test_mode, self.sample_size);
+        f(&mut b, input);
+        b.report(&self.name, &id.id);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    mean_ns: f64,
+    min_ns: f64,
+    ran: bool,
+}
+
+impl Bencher {
+    fn new(test_mode: bool, sample_size: usize) -> Bencher {
+        Bencher {
+            test_mode,
+            sample_size,
+            mean_ns: 0.0,
+            min_ns: 0.0,
+            ran: false,
+        }
+    }
+
+    /// Measure the closure. The return value is black-boxed and dropped.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.ran = true;
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm-up: find iterations-per-sample so one sample ≥ ~5 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut total_ns = 0.0;
+        let mut min_ns = f64::INFINITY;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+            total_ns += per_iter;
+            min_ns = min_ns.min(per_iter);
+        }
+        self.mean_ns = total_ns / self.sample_size as f64;
+        self.min_ns = min_ns;
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if !self.ran {
+            return;
+        }
+        if self.test_mode {
+            println!("bench: {group}/{id} ... ok (test mode)");
+            return;
+        }
+        println!(
+            "bench: {group}/{id} ... {:.0} ns/iter (min {:.0})",
+            self.mean_ns, self.min_ns
+        );
+        println!(
+            "{{\"bench\":\"{group}/{id}\",\"mean_ns\":{:.1},\"min_ns\":{:.1}}}",
+            self.mean_ns, self.min_ns
+        );
+    }
+}
+
+/// Bundle benchmark functions, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,167 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! The build environment cannot fetch crates.io, so this crate provides the
+//! pieces the workspace's property tests need: the [`Strategy`] trait with
+//! `prop_map` / `prop_flat_map`, range and tuple strategies,
+//! `prop::collection::vec`, `prop::option::of`, `prop::sample::select`,
+//! `any::<bool>()`, `prop_oneof!`, and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Semantics: each test function runs `Config::cases` random cases drawn
+//! from a generator seeded by the test's module path and name, so failures
+//! reproduce deterministically across runs. There is **no shrinking** — a
+//! failing case panics with the bound values via the assertion message.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub use arbitrary::any;
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// The `prop::` module tree (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::{collection, option, sample};
+    }
+}
+
+/// Run `cases` property-test cases: the engine behind [`proptest!`].
+pub fn run_cases<F: FnMut(&mut test_runner::TestRng)>(
+    config: &test_runner::Config,
+    test_path: &str,
+    mut case: F,
+) {
+    let mut rng = test_runner::rng_for(test_path);
+    for _ in 0..config.cases {
+        case(&mut rng);
+    }
+}
+
+/// Declare property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0usize..10, ys in prop::collection::vec(0u32..5, 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                $crate::run_cases(
+                    &__config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__rng| {
+                        let ($($pat,)+) = (
+                            $($crate::strategy::Strategy::sample(&($strat), __rng),)+
+                        );
+                        $body
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Assert inside a property test (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_compose() {
+        let strat = (0usize..5, prop::option::of(1u32..=3)).prop_map(|(a, b)| (a, b.unwrap_or(0)));
+        let mut rng = crate::test_runner::rng_for("compose");
+        for _ in 0..100 {
+            let (a, b) = strat.sample(&mut rng);
+            assert!(a < 5);
+            assert!(b <= 3);
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let strat = prop::collection::vec(0u32..10, 2..5);
+        let mut rng = crate::test_runner::rng_for("vec");
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_and_flat_map_sample_all_arms() {
+        let strat = (1usize..4).prop_flat_map(|n| prop::collection::vec(0usize..n, n..=n));
+        let mut rng = crate::test_runner::rng_for("flat");
+        let mut saw_union = [false; 2];
+        let union = prop_oneof![Just(0usize), 1usize..2];
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!(!v.is_empty() && v.len() < 4);
+            saw_union[union.sample(&mut rng)] = true;
+        }
+        assert!(saw_union[0] && saw_union[1]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_binds_patterns(x in 0usize..10, (a, b) in (0u32..3, any::<bool>())) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(a < 3, true);
+            let _ = b;
+        }
+    }
+}

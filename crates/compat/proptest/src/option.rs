@@ -1,0 +1,27 @@
+//! `prop::option` — optional values.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// `Some` of the inner strategy three times out of four, `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_bool(0.25) {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Test configuration and the deterministic per-test generator.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The generator property tests draw from.
+pub type TestRng = StdRng;
+
+/// Mirror of `proptest::test_runner::Config` (the `cases` knob only).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 64 }
+    }
+}
+
+/// Deterministic generator derived from the test's path, so each test sees
+/// the same case stream on every run (failures reproduce without replay
+/// files).
+pub fn rng_for(test_path: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}

@@ -101,7 +101,10 @@ mod tests {
     #[test]
     fn byte_tail_is_hashed() {
         // Regression guard: remainder bytes must contribute to the hash.
-        assert_ne!(hash_of(&b"123456789".as_slice()), hash_of(&b"123456780".as_slice()));
+        assert_ne!(
+            hash_of(&b"123456789".as_slice()),
+            hash_of(&b"123456780".as_slice())
+        );
     }
 
     #[test]

@@ -162,8 +162,16 @@ mod tests {
 
     #[test]
     fn tuple_match_constants_must_agree() {
-        assert!(tuple_match(&[c("ML"), c("Alice"), n(2)], &[c("ML"), c("Alice"), c("111")]).is_some());
-        assert!(tuple_match(&[c("BigData"), c("Bob"), n(1)], &[c("ML"), c("Alice"), c("111")]).is_none());
+        assert!(tuple_match(
+            &[c("ML"), c("Alice"), n(2)],
+            &[c("ML"), c("Alice"), c("111")]
+        )
+        .is_some());
+        assert!(tuple_match(
+            &[c("BigData"), c("Bob"), n(1)],
+            &[c("ML"), c("Alice"), c("111")]
+        )
+        .is_none());
     }
 
     #[test]
@@ -189,7 +197,10 @@ mod tests {
     fn apply_assignment_substitutes() {
         let mut h = NullAssignment::default();
         h.insert(NullId(1), c("x"));
-        assert_eq!(apply_assignment(&[n(1), n(2), c("y")], &h), vec![c("x"), n(2), c("y")]);
+        assert_eq!(
+            apply_assignment(&[n(1), n(2), c("y")], &h),
+            vec![c("x"), n(2), c("y")]
+        );
     }
 
     #[test]

@@ -3,18 +3,84 @@
 //! An [`Instance`] is a set-semantics database: inserting a duplicate tuple
 //! is a no-op. Iteration order is insertion order (deterministic given a
 //! deterministic producer — important for reproducible experiments).
+//!
+//! Each relation additionally carries a lazy **column index**
+//! `(column, value) → row positions`, built on first probe and invalidated
+//! by inserts/removes. The tgd matcher probes it instead of scanning whole
+//! relations once a conjunct has a bound argument; reads go through an
+//! `RwLock` so concurrent readers can share one instance.
 
 use crate::fx::FxHashMap;
 use crate::schema::RelId;
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::fmt;
+use std::sync::{RwLock, RwLockReadGuard};
+
+/// Per-column posting lists of one relation.
+#[derive(Debug, Default)]
+pub struct ColumnIndex {
+    /// `by_col[c][v]` = positions (in row order) of rows with `row[c] == v`.
+    by_col: Vec<FxHashMap<Value, Vec<u32>>>,
+    empty: Vec<u32>,
+}
+
+impl ColumnIndex {
+    /// Row positions whose column `col` equals `v`, in row order.
+    pub fn postings(&self, col: usize, v: &Value) -> &[u32] {
+        self.by_col
+            .get(col)
+            .and_then(|m| m.get(v))
+            .unwrap_or(&self.empty)
+    }
+
+    /// Number of distinct values in column `col`.
+    pub fn distinct(&self, col: usize) -> usize {
+        self.by_col.get(col).map_or(0, FxHashMap::len)
+    }
+}
+
+/// Shared read access to a relation's column index.
+pub struct ColIndexRef<'a> {
+    guard: RwLockReadGuard<'a, Option<ColumnIndex>>,
+}
+
+impl ColIndexRef<'_> {
+    /// Row positions whose column `col` equals `v`, in row order.
+    pub fn postings(&self, col: usize, v: &Value) -> &[u32] {
+        self.guard
+            .as_ref()
+            .expect("column index ensured")
+            .postings(col, v)
+    }
+
+    /// Number of distinct values in column `col`.
+    pub fn distinct(&self, col: usize) -> usize {
+        self.guard
+            .as_ref()
+            .expect("column index ensured")
+            .distinct(col)
+    }
+}
 
 /// Tuples of one relation: an insertion-ordered set.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct RelationData {
     rows: Vec<Vec<Value>>,
     lookup: FxHashMap<Vec<Value>, usize>,
+    /// Lazy column index; `None` after any mutation.
+    cols: RwLock<Option<ColumnIndex>>,
+}
+
+impl Clone for RelationData {
+    fn clone(&self) -> RelationData {
+        RelationData {
+            rows: self.rows.clone(),
+            lookup: self.lookup.clone(),
+            // The clone rebuilds its index on first probe.
+            cols: RwLock::new(None),
+        }
+    }
 }
 
 impl RelationData {
@@ -25,6 +91,7 @@ impl RelationData {
         }
         self.lookup.insert(row.clone(), self.rows.len());
         self.rows.push(row);
+        self.invalidate();
         true
     }
 
@@ -46,6 +113,42 @@ impl RelationData {
     /// Rows in insertion order.
     pub fn rows(&self) -> &[Vec<Value>] {
         &self.rows
+    }
+
+    /// Drop the column index (called on every mutation).
+    fn invalidate(&mut self) {
+        *self.cols.get_mut().expect("column index lock poisoned") = None;
+    }
+
+    /// Build the column index if absent.
+    fn ensure_col_index(&self) {
+        let mut guard = self.cols.write().expect("column index lock poisoned");
+        if guard.is_none() {
+            let arity = self.rows.iter().map(Vec::len).max().unwrap_or(0);
+            let mut by_col: Vec<FxHashMap<Value, Vec<u32>>> =
+                (0..arity).map(|_| FxHashMap::default()).collect();
+            for (i, row) in self.rows.iter().enumerate() {
+                for (c, v) in row.iter().enumerate() {
+                    by_col[c].entry(*v).or_default().push(i as u32);
+                }
+            }
+            *guard = Some(ColumnIndex {
+                by_col,
+                empty: Vec::new(),
+            });
+        }
+    }
+
+    /// Read access to the column index, building it if needed.
+    pub fn col_index(&self) -> ColIndexRef<'_> {
+        loop {
+            let guard = self.cols.read().expect("column index lock poisoned");
+            if guard.is_some() {
+                return ColIndexRef { guard };
+            }
+            drop(guard);
+            self.ensure_col_index();
+        }
     }
 }
 
@@ -86,7 +189,14 @@ impl Instance {
         for (i, r) in data.rows.iter().enumerate().skip(pos) {
             *data.lookup.get_mut(r).expect("index out of sync") = i;
         }
+        data.invalidate();
         true
+    }
+
+    /// Read access to one relation's column index (`None` when the relation
+    /// has no rows). Built lazily, invalidated by inserts and removes.
+    pub fn col_index(&self, rel: RelId) -> Option<ColIndexRef<'_>> {
+        self.rels.get(&rel).map(RelationData::col_index)
     }
 
     /// Membership test.
@@ -216,6 +326,73 @@ mod tests {
         // Re-insert after remove must work (index rebuilt correctly).
         assert!(inst.insert_ground(RelId(0), &["b"]));
         assert_eq!(inst.total_len(), 3);
+    }
+
+    #[test]
+    fn col_index_postings_track_rows() {
+        let mut inst = Instance::new();
+        inst.insert_ground(RelId(0), &["a", "x"]);
+        inst.insert_ground(RelId(0), &["a", "y"]);
+        inst.insert_ground(RelId(0), &["b", "x"]);
+        let idx = inst.col_index(RelId(0)).unwrap();
+        assert_eq!(idx.postings(0, &Value::constant("a")), &[0, 1]);
+        assert_eq!(idx.postings(1, &Value::constant("x")), &[0, 2]);
+        assert_eq!(idx.postings(0, &Value::constant("zzz")), &[] as &[u32]);
+        assert_eq!(idx.distinct(0), 2);
+        assert!(inst.col_index(RelId(7)).is_none());
+    }
+
+    #[test]
+    fn col_index_invalidated_by_insert_and_remove() {
+        let mut inst = Instance::new();
+        inst.insert_ground(RelId(0), &["a"]);
+        assert_eq!(
+            inst.col_index(RelId(0))
+                .unwrap()
+                .postings(0, &Value::constant("a"))
+                .len(),
+            1
+        );
+        // Insert after the index was built: it must rebuild.
+        inst.insert_ground(RelId(0), &["a", "pad"]); // distinct row, same first col
+        assert_eq!(
+            inst.col_index(RelId(0))
+                .unwrap()
+                .postings(0, &Value::constant("a"))
+                .len(),
+            2
+        );
+        // Remove shifts row positions: postings must follow.
+        inst.insert_ground(RelId(0), &["b"]);
+        assert!(inst.remove(RelId(0), &[Value::constant("a")]));
+        let idx = inst.col_index(RelId(0)).unwrap();
+        assert_eq!(idx.postings(0, &Value::constant("a")).len(), 1);
+        assert_eq!(idx.postings(0, &Value::constant("b")).len(), 1);
+        let b_pos = idx.postings(0, &Value::constant("b"))[0] as usize;
+        assert_eq!(inst.rows(RelId(0))[b_pos][0], Value::constant("b"));
+    }
+
+    #[test]
+    fn cloned_instance_rebuilds_its_own_col_index() {
+        let mut inst = Instance::new();
+        inst.insert_ground(RelId(0), &["a"]);
+        let _ = inst.col_index(RelId(0));
+        let mut copy = inst.clone();
+        copy.insert_ground(RelId(0), &["b"]);
+        assert_eq!(
+            copy.col_index(RelId(0))
+                .unwrap()
+                .postings(0, &Value::constant("b"))
+                .len(),
+            1
+        );
+        assert_eq!(
+            inst.col_index(RelId(0))
+                .unwrap()
+                .postings(0, &Value::constant("b"))
+                .len(),
+            0
+        );
     }
 
     #[test]

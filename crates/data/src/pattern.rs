@@ -84,9 +84,7 @@ impl fmt::Display for TuplePattern {
 ///
 /// Because instances are sets of tuples but distinct null-tuples can share a
 /// pattern, multiplicities can exceed 1.
-pub fn pattern_multiset(
-    inst: &crate::instance::Instance,
-) -> BTreeMap<TuplePattern, usize> {
+pub fn pattern_multiset(inst: &crate::instance::Instance) -> BTreeMap<TuplePattern, usize> {
     let mut out: BTreeMap<TuplePattern, usize> = BTreeMap::new();
     for (rel, row) in inst.iter_all() {
         *out.entry(TuplePattern::of(rel, row)).or_insert(0) += 1;

@@ -103,12 +103,7 @@ impl Schema {
     /// Panics if a relation with the same name already exists — schema
     /// construction is programmatic and a duplicate is always a bug.
     pub fn add_relation(&mut self, name: &str, attrs: &[&str]) -> RelId {
-        self.add_relation_full(
-            name,
-            attrs,
-            &[],
-            Vec::new(),
-        )
+        self.add_relation_full(name, attrs, &[], Vec::new())
     }
 
     /// Add a relation with key columns and foreign keys.
@@ -126,7 +121,11 @@ impl Schema {
             self.name
         );
         for fk in &fks {
-            assert_eq!(fk.cols.len(), fk.target_cols.len(), "FK column count mismatch");
+            assert_eq!(
+                fk.cols.len(),
+                fk.target_cols.len(),
+                "FK column count mismatch"
+            );
         }
         let id = RelId(u32::try_from(self.relations.len()).expect("too many relations"));
         self.relations.push(Relation {
@@ -224,7 +223,11 @@ mod tests {
             "team",
             &["pcode", "emp"],
             &[],
-            vec![ForeignKey { cols: vec![0], target: proj, target_cols: vec![1] }],
+            vec![ForeignKey {
+                cols: vec![0],
+                target: proj,
+                target_cols: vec![1],
+            }],
         );
         s
     }

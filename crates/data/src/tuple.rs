@@ -80,7 +80,10 @@ mod tests {
 
     #[test]
     fn display_is_compact() {
-        let t = Tuple::new(RelId(2), vec![Value::constant("ML"), Value::Null(NullId(4))]);
+        let t = Tuple::new(
+            RelId(2),
+            vec![Value::constant("ML"), Value::Null(NullId(4))],
+        );
         assert_eq!(t.to_string(), "r2(ML, _N4)");
     }
 

@@ -20,7 +20,10 @@ fn arb_row(arity: usize) -> impl Strategy<Value = Vec<Value>> {
 }
 
 fn arb_ground_row(arity: usize) -> impl Strategy<Value = Vec<Value>> {
-    prop::collection::vec((0u32..6).prop_map(|c| Value::constant(&format!("c{c}"))), arity)
+    prop::collection::vec(
+        (0u32..6).prop_map(|c| Value::constant(&format!("c{c}"))),
+        arity,
+    )
 }
 
 proptest! {

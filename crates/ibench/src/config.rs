@@ -24,7 +24,11 @@ impl NoiseConfig {
 
     /// A uniform preset: the same percentage for all three knobs.
     pub fn uniform(pct: f64) -> NoiseConfig {
-        NoiseConfig { pi_corresp: pct, pi_errors: pct, pi_unexplained: pct }
+        NoiseConfig {
+            pi_corresp: pct,
+            pi_errors: pct,
+            pi_unexplained: pct,
+        }
     }
 }
 
@@ -76,7 +80,10 @@ impl ScenarioConfig {
 
     /// A single primitive invoked `n` times.
     pub fn single_primitive(p: Primitive, n: usize) -> ScenarioConfig {
-        ScenarioConfig { invocations: vec![(p, n)], ..ScenarioConfig::default() }
+        ScenarioConfig {
+            invocations: vec![(p, n)],
+            ..ScenarioConfig::default()
+        }
     }
 
     /// Total number of primitive invocations.

@@ -49,7 +49,11 @@ pub fn populate_source(
                 } else if let Some((target, tcol)) = fk_source[col] {
                     let pool = &generated[target.index()][tcol];
                     if pool.is_empty() {
-                        Value::constant(&format!("v{}_{col}_{}", rel_id.0, rng.gen_range(0..value_pool.max(1))))
+                        Value::constant(&format!(
+                            "v{}_{col}_{}",
+                            rel_id.0,
+                            rng.gen_range(0..value_pool.max(1))
+                        ))
                     } else {
                         pool[rng.gen_range(0..pool.len())]
                     }
@@ -84,7 +88,11 @@ mod tests {
             "b",
             &["fk", "y"],
             &[],
-            vec![ForeignKey { cols: vec![0], target: a, target_cols: vec![0] }],
+            vec![ForeignKey {
+                cols: vec![0],
+                target: a,
+                target_cols: vec![0],
+            }],
         );
         s
     }

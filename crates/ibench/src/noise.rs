@@ -59,7 +59,10 @@ pub fn noise_correspondences(
         let s_arity = source.relation(s_rel).arity();
         for col in 0..target.relation(t_rel).arity() {
             let s_col = rng.gen_range(0..s_arity);
-            out.push(Correspondence::new(AttrRef::new(s_rel, s_col), AttrRef::new(t_rel, col)));
+            out.push(Correspondence::new(
+                AttrRef::new(s_rel, s_col),
+                AttrRef::new(t_rel, col),
+            ));
         }
     }
     out
@@ -174,8 +177,11 @@ fn abstract_skolems(rel: RelId, row: &[Value], prefix: &str) -> TuplePattern {
     let values: Vec<Value> = row
         .iter()
         .map(|v| match v {
-            Value::Const(s) if s.as_str().starts_with(prefix)
-                && s.as_str()[prefix.len()..].chars().all(|c| c.is_ascii_digit()) =>
+            Value::Const(s)
+                if s.as_str().starts_with(prefix)
+                    && s.as_str()[prefix.len()..]
+                        .chars()
+                        .all(|c| c.is_ascii_digit()) =>
             {
                 let next = mapping.len() as u32;
                 Value::Null(NullId(*mapping.entry(*v).or_insert(next)))
@@ -246,8 +252,14 @@ mod tests {
     #[test]
     fn ground_instance_replaces_nulls_consistently() {
         let mut k = Instance::new();
-        k.insert(Tuple::new(RelId(0), vec![Value::constant("a"), Value::Null(NullId(7))]));
-        k.insert(Tuple::new(RelId(1), vec![Value::Null(NullId(7)), Value::constant("b")]));
+        k.insert(Tuple::new(
+            RelId(0),
+            vec![Value::constant("a"), Value::Null(NullId(7))],
+        ));
+        k.insert(Tuple::new(
+            RelId(1),
+            vec![Value::Null(NullId(7)), Value::constant("b")],
+        ));
         let mut counter = 0;
         let g = ground_instance(&k, "sk", &mut counter);
         assert_eq!(counter, 1);
@@ -259,11 +271,19 @@ mod tests {
 
     #[test]
     fn abstract_skolems_recovers_pattern() {
-        let row = vec![Value::constant("a"), Value::constant("sk3"), Value::constant("sk3")];
+        let row = vec![
+            Value::constant("a"),
+            Value::constant("sk3"),
+            Value::constant("sk3"),
+        ];
         let p = abstract_skolems(RelId(0), &row, "sk");
         let expected = TuplePattern::of(
             RelId(0),
-            &[Value::constant("a"), Value::Null(NullId(0)), Value::Null(NullId(0))],
+            &[
+                Value::constant("a"),
+                Value::Null(NullId(0)),
+                Value::Null(NullId(0)),
+            ],
         );
         assert_eq!(p, expected);
         // Non-skolem constants like "skipped" are left alone.
@@ -292,8 +312,7 @@ mod tests {
             correspondences: vec![],
         };
         let mut rng = StdRng::seed_from_u64(5);
-        let noise =
-            noise_correspondences(&src, &tgt, &[inv0, inv1], 100.0, &mut rng);
+        let noise = noise_correspondences(&src, &tgt, &[inv0, inv1], 100.0, &mut rng);
         // Every target relation got one correspondence per attribute, and
         // never from its own invocation's source relation.
         assert_eq!(noise.len(), 4); // 2 rels × 2 attrs

@@ -121,7 +121,9 @@ pub fn instantiate(
     cfg: &ScenarioConfig,
 ) -> Invocation {
     let label = format!("{}{}", primitive.name(), idx);
-    let arity = rng.gen_range(cfg.source_arity.0..=cfg.source_arity.1).max(2);
+    let arity = rng
+        .gen_range(cfg.source_arity.0..=cfg.source_arity.1)
+        .max(2);
     let change = rng.gen_range(cfg.attr_change_range.0..=cfg.attr_change_range.1);
     match primitive {
         Primitive::Cp => copy_family(&label, arity, 0, arity, src, tgt),
@@ -195,13 +197,22 @@ fn copy_family(
 /// ME: `s1(k, a...) ⋈ s2(k→s1.k, b...) → t(k, a..., b...)`.
 fn merge(label: &str, n1: usize, n2: usize, src: &mut Schema, tgt: &mut Schema) -> Invocation {
     let s1_attrs = attr_names(label, 'a', n1);
-    let s1 = src.add_relation_full(&format!("{label}_s1"), &as_str_refs(&s1_attrs), &[0], Vec::new());
+    let s1 = src.add_relation_full(
+        &format!("{label}_s1"),
+        &as_str_refs(&s1_attrs),
+        &[0],
+        Vec::new(),
+    );
     let s2_attrs = attr_names(label, 'c', n2);
     let s2 = src.add_relation_full(
         &format!("{label}_s2"),
         &as_str_refs(&s2_attrs),
         &[],
-        vec![ForeignKey { cols: vec![0], target: s1, target_cols: vec![0] }],
+        vec![ForeignKey {
+            cols: vec![0],
+            target: s1,
+            target_cols: vec![0],
+        }],
     );
     let mut t_attrs = attr_names(label, 'b', n1);
     t_attrs.extend(attr_names(label, 'd', n2 - 1));
@@ -213,7 +224,10 @@ fn merge(label: &str, n1: usize, n2: usize, src: &mut Schema, tgt: &mut Schema) 
     s2_args.extend((1..n2).map(|j| var(format!("y{j}"))));
     let mut head_args: Vec<_> = (0..n1).map(|j| var(format!("x{j}"))).collect();
     head_args.extend((1..n2).map(|j| var(format!("y{j}"))));
-    builder = builder.body(s1, &s1_args).body(s2, &s2_args).head(t, &head_args);
+    builder = builder
+        .body(s1, &s1_args)
+        .body(s2, &s2_args)
+        .head(t, &head_args);
 
     let mut correspondences: Vec<Correspondence> = (0..n1)
         .map(|j| Correspondence::new(AttrRef::new(s1, j), AttrRef::new(t, j)))
@@ -241,19 +255,37 @@ fn partition(label: &str, n: usize, src: &mut Schema, tgt: &mut Schema, nm: bool
 
     let mut t1_attrs = vec![format!("{label}_k1")];
     t1_attrs.extend(attr_names(label, 'b', h));
-    let t1 = tgt.add_relation_full(&format!("{label}_t1"), &as_str_refs(&t1_attrs), &[0], Vec::new());
+    let t1 = tgt.add_relation_full(
+        &format!("{label}_t1"),
+        &as_str_refs(&t1_attrs),
+        &[0],
+        Vec::new(),
+    );
 
     let mut t2_attrs = vec![format!("{label}_k2")];
     t2_attrs.extend(attr_names(label, 'd', n - h));
     let (t2, bridge) = if nm {
-        let t2 = tgt.add_relation_full(&format!("{label}_t2"), &as_str_refs(&t2_attrs), &[0], Vec::new());
+        let t2 = tgt.add_relation_full(
+            &format!("{label}_t2"),
+            &as_str_refs(&t2_attrs),
+            &[0],
+            Vec::new(),
+        );
         let m = tgt.add_relation_full(
             &format!("{label}_m"),
             &[&format!("{label}_mk1"), &format!("{label}_mk2")],
             &[],
             vec![
-                ForeignKey { cols: vec![0], target: t1, target_cols: vec![0] },
-                ForeignKey { cols: vec![1], target: t2, target_cols: vec![0] },
+                ForeignKey {
+                    cols: vec![0],
+                    target: t1,
+                    target_cols: vec![0],
+                },
+                ForeignKey {
+                    cols: vec![1],
+                    target: t2,
+                    target_cols: vec![0],
+                },
             ],
         );
         (t2, Some(m))
@@ -262,7 +294,11 @@ fn partition(label: &str, n: usize, src: &mut Schema, tgt: &mut Schema, nm: bool
             &format!("{label}_t2"),
             &as_str_refs(&t2_attrs),
             &[],
-            vec![ForeignKey { cols: vec![0], target: t1, target_cols: vec![0] }],
+            vec![ForeignKey {
+                cols: vec![0],
+                target: t1,
+                target_cols: vec![0],
+            }],
         );
         (t2, None)
     };
@@ -345,7 +381,9 @@ mod tests {
         let g = &inv.gold[0];
         assert!(g.is_full());
         assert!(g.validate(&src, &tgt).is_ok());
-        assert!(tgt.relation(inv.target_rels[0]).arity() < src.relation(inv.source_rels[0]).arity());
+        assert!(
+            tgt.relation(inv.target_rels[0]).arity() < src.relation(inv.source_rels[0]).arity()
+        );
     }
 
     #[test]

@@ -112,14 +112,22 @@ pub fn generate(config: &ScenarioConfig) -> Scenario {
             idx += 1;
         }
     }
-    let gold_tgds: Vec<StTgd> = invocations.iter().flat_map(|inv| inv.gold.clone()).collect();
+    let gold_tgds: Vec<StTgd> = invocations
+        .iter()
+        .flat_map(|inv| inv.gold.clone())
+        .collect();
     let true_corrs: Vec<Correspondence> = invocations
         .iter()
         .flat_map(|inv| inv.correspondences.clone())
         .collect();
 
     // 2. source data
-    let source = populate_source(&source_schema, config.rows_per_relation, config.value_pool, &mut rng);
+    let source = populate_source(
+        &source_schema,
+        config.rows_per_relation,
+        config.value_pool,
+        &mut rng,
+    );
 
     // 3. exchange and ground
     let k_mg = chase(&source, &gold_tgds);
@@ -138,8 +146,12 @@ pub fn generate(config: &ScenarioConfig) -> Scenario {
     correspondences.extend(noise_corrs.iter().copied());
 
     // 5. candidates; locate MG within C
-    let mut candidates =
-        generate_candidates(&source_schema, &target_schema, &correspondences, &config.candgen);
+    let mut candidates = generate_candidates(
+        &source_schema,
+        &target_schema,
+        &correspondences,
+        &config.candgen,
+    );
     let keys: Vec<String> = candidates.iter().map(canonical_key).collect();
     let mut gold = Vec::with_capacity(gold_tgds.len());
     let mut gold_missing = 0usize;
@@ -205,7 +217,10 @@ mod tests {
     fn clean_scenario_contains_gold_in_candidates() {
         let config = ScenarioConfig::default();
         let s = generate(&config);
-        assert_eq!(s.stats.gold_missing_from_candgen, 0, "candgen must regenerate MG");
+        assert_eq!(
+            s.stats.gold_missing_from_candgen, 0,
+            "candgen must regenerate MG"
+        );
         assert_eq!(s.gold.len(), 7);
         assert!(s.stats.candidates >= s.gold.len());
         assert!(s.stats.source_tuples > 0);
@@ -230,7 +245,10 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let config = ScenarioConfig { seed: 99, ..ScenarioConfig::default() };
+        let config = ScenarioConfig {
+            seed: 99,
+            ..ScenarioConfig::default()
+        };
         let a = generate(&config);
         let b = generate(&config);
         assert_eq!(a.target.to_tuples(), b.target.to_tuples());
@@ -242,7 +260,10 @@ mod tests {
     fn corresp_noise_grows_candidate_set() {
         let clean = generate(&ScenarioConfig::default());
         let noisy = generate(&ScenarioConfig {
-            noise: NoiseConfig { pi_corresp: 100.0, ..NoiseConfig::clean() },
+            noise: NoiseConfig {
+                pi_corresp: 100.0,
+                ..NoiseConfig::clean()
+            },
             ..ScenarioConfig::default()
         });
         assert!(noisy.stats.noise_corrs > 0);
@@ -261,7 +282,11 @@ mod tests {
         let base = ScenarioConfig::default();
         let clean = generate(&base);
         let noisy = generate(&ScenarioConfig {
-            noise: NoiseConfig { pi_errors: 50.0, pi_unexplained: 50.0, pi_corresp: 50.0 },
+            noise: NoiseConfig {
+                pi_errors: 50.0,
+                pi_unexplained: 50.0,
+                pi_corresp: 50.0,
+            },
             ..base
         });
         assert!(noisy.stats.data_noise.deleted > 0, "expected deletions");

@@ -10,8 +10,8 @@ fn arb_config() -> impl Strategy<Value = ScenarioConfig> {
     let primitive = prop::sample::select(Primitive::ALL.to_vec());
     (
         prop::collection::vec((primitive, 1usize..=2), 1..4),
-        2usize..=12,   // rows
-        0u64..1000,    // seed
+        2usize..=12,    // rows
+        0u64..1000,     // seed
         0.0f64..=100.0, // pi_corresp
         0.0f64..=100.0, // pi_errors
         0.0f64..=100.0, // pi_unexplained
@@ -20,7 +20,11 @@ fn arb_config() -> impl Strategy<Value = ScenarioConfig> {
             invocations,
             rows_per_relation: rows,
             seed,
-            noise: NoiseConfig { pi_corresp: pc, pi_errors: pe, pi_unexplained: pu },
+            noise: NoiseConfig {
+                pi_corresp: pc,
+                pi_errors: pe,
+                pi_unexplained: pu,
+            },
             ..ScenarioConfig::default()
         })
 }

@@ -19,7 +19,7 @@
 //!   onto the hyperplane.
 
 use crate::hinge::{ConstraintKind, GroundConstraint, GroundPotential};
-use crossbeam::thread;
+use std::thread;
 
 /// Solver configuration.
 #[derive(Clone, Debug)]
@@ -107,19 +107,27 @@ impl<'a> AdmmSolver<'a> {
         constraints: &'a [GroundConstraint],
         num_vars: usize,
     ) -> AdmmSolver<'a> {
-        AdmmSolver { potentials, constraints, num_vars }
+        AdmmSolver {
+            potentials,
+            constraints,
+            num_vars,
+        }
     }
 
     /// Run ADMM to convergence (or the iteration cap).
     pub fn solve(&self, config: &AdmmConfig) -> AdmmSolution {
-        let mut terms: Vec<LocalTerm> = Vec::with_capacity(self.potentials.len() + self.constraints.len());
+        let mut terms: Vec<LocalTerm> =
+            Vec::with_capacity(self.potentials.len() + self.constraints.len());
         for p in self.potentials {
             terms.push(LocalTerm {
                 vars: p.expr.terms.iter().map(|&(v, _)| v).collect(),
                 coefs: p.expr.terms.iter().map(|&(_, c)| c).collect(),
                 constant: p.expr.constant,
                 coef_norm_sq: p.expr.coef_norm_sq(),
-                kind: TermKind::Potential { weight: p.weight, squared: p.squared },
+                kind: TermKind::Potential {
+                    weight: p.weight,
+                    squared: p.squared,
+                },
                 y: vec![config.initial_value; p.expr.terms.len()],
                 u: vec![0.0; p.expr.terms.len()],
             });
@@ -130,7 +138,9 @@ impl<'a> AdmmSolver<'a> {
                 coefs: c.expr.terms.iter().map(|&(_, c)| c).collect(),
                 constant: c.expr.constant,
                 coef_norm_sq: c.expr.coef_norm_sq(),
-                kind: TermKind::Constraint { equality: c.kind == ConstraintKind::EqZero },
+                kind: TermKind::Constraint {
+                    equality: c.kind == ConstraintKind::EqZero,
+                },
                 y: vec![config.initial_value; c.expr.terms.len()],
                 u: vec![0.0; c.expr.terms.len()],
             });
@@ -214,7 +224,8 @@ impl<'a> AdmmSolver<'a> {
             let m = total_copies as f64;
             let eps_pri =
                 config.eps_abs * m.sqrt() + config.eps_rel * y_norm_sq.sqrt().max(z_norm_sq.sqrt());
-            let eps_dual = config.eps_abs * m.sqrt() + config.eps_rel * rho * dual_sq.sqrt().max(1.0);
+            let eps_dual =
+                config.eps_abs * m.sqrt() + config.eps_rel * rho * dual_sq.sqrt().max(1.0);
             if primal_sq.sqrt() <= eps_pri && rho * dual_sq.sqrt() <= eps_dual {
                 converged = true;
                 break;
@@ -249,7 +260,13 @@ impl<'a> AdmmSolver<'a> {
             .iter()
             .map(|c| c.violation(&z))
             .fold(0.0, f64::max);
-        AdmmSolution { values: z, iterations, converged, objective, max_violation }
+        AdmmSolution {
+            values: z,
+            iterations,
+            converged,
+            objective,
+            max_violation,
+        }
     }
 
     /// Σ weighted potential values under `y`.
@@ -272,7 +289,12 @@ fn local_step(t: &mut LocalTerm, z: &[f64], rho: f64) {
         t.y[i] = z[v] - t.u[i];
     }
     let ell_at = |y: &[f64], t: &LocalTerm| -> f64 {
-        t.constant + t.coefs.iter().zip(y.iter()).map(|(c, v)| c * v).sum::<f64>()
+        t.constant
+            + t.coefs
+                .iter()
+                .zip(y.iter())
+                .map(|(c, v)| c * v)
+                .sum::<f64>()
     };
     let s = ell_at(&t.y, t);
     match t.kind {
@@ -318,19 +340,19 @@ fn project_hyperplane(t: &mut LocalTerm, s: f64) {
     }
 }
 
-/// Chunked parallel local step using scoped threads.
+/// Chunked parallel local step using `std::thread::scope` (panics in a
+/// worker propagate when the scope joins).
 fn parallel_local_step(terms: &mut [LocalTerm], z: &[f64], rho: f64, threads: usize) {
     let chunk = terms.len().div_ceil(threads);
     thread::scope(|scope| {
         for slice in terms.chunks_mut(chunk) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for t in slice {
                     local_step(t, z, rho);
                 }
             });
         }
-    })
-    .expect("ADMM worker thread panicked");
+    });
 }
 
 #[cfg(test)]
@@ -348,7 +370,12 @@ mod tests {
     }
 
     fn pot(terms: &[(usize, f64)], constant: f64, weight: f64) -> GroundPotential {
-        GroundPotential { expr: lin(terms, constant), weight, squared: false, origin: String::new() }
+        GroundPotential {
+            expr: lin(terms, constant),
+            weight,
+            squared: false,
+            origin: String::new(),
+        }
     }
 
     fn solve(
@@ -383,7 +410,11 @@ mod tests {
         let sol = solve(&p, &[], 1);
         assert!(sol.values[0] < 0.05, "got {}", sol.values[0]);
         // Objective = max(0,1−0)·1 = 1 at the optimum.
-        assert!((sol.objective - 1.0).abs() < 0.05, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 1.0).abs() < 0.05,
+            "objective {}",
+            sol.objective
+        );
     }
 
     #[test]
@@ -436,8 +467,18 @@ mod tests {
     fn squared_hinge_balances_opposing_pressures() {
         // minimize max(0,1−y)² + max(0,y)² → optimum y = 0.5 by symmetry.
         let p = vec![
-            GroundPotential { expr: lin(&[(0, -1.0)], 1.0), weight: 1.0, squared: true, origin: String::new() },
-            GroundPotential { expr: lin(&[(0, 1.0)], 0.0), weight: 1.0, squared: true, origin: String::new() },
+            GroundPotential {
+                expr: lin(&[(0, -1.0)], 1.0),
+                weight: 1.0,
+                squared: true,
+                origin: String::new(),
+            },
+            GroundPotential {
+                expr: lin(&[(0, 1.0)], 0.0),
+                weight: 1.0,
+                squared: true,
+                origin: String::new(),
+            },
         ];
         let sol = solve(&p, &[], 1);
         assert!((sol.values[0] - 0.5).abs() < 1e-2, "got {}", sol.values[0]);
@@ -473,11 +514,21 @@ mod tests {
             if a == b {
                 continue;
             }
-            potentials.push(pot(&[(a, 1.0), (b, -1.0)], ((i % 3) as f64 - 1.0) * 0.2, 1.0 + (i % 4) as f64));
+            potentials.push(pot(
+                &[(a, 1.0), (b, -1.0)],
+                ((i % 3) as f64 - 1.0) * 0.2,
+                1.0 + (i % 4) as f64,
+            ));
         }
         let solver = AdmmSolver::new(&potentials, &[], 50);
-        let serial = solver.solve(&AdmmConfig { threads: 1, ..AdmmConfig::default() });
-        let parallel = solver.solve(&AdmmConfig { threads: 4, ..AdmmConfig::default() });
+        let serial = solver.solve(&AdmmConfig {
+            threads: 1,
+            ..AdmmConfig::default()
+        });
+        let parallel = solver.solve(&AdmmConfig {
+            threads: 4,
+            ..AdmmConfig::default()
+        });
         assert!(
             (serial.objective - parallel.objective).abs() < 1e-3,
             "serial {} vs parallel {}",
@@ -496,7 +547,10 @@ mod tests {
         ];
         let solver = AdmmSolver::new(&p, &[], 2);
         let plain = solver.solve(&AdmmConfig::default());
-        let adaptive = solver.solve(&AdmmConfig { adaptive_rho: true, ..AdmmConfig::default() });
+        let adaptive = solver.solve(&AdmmConfig {
+            adaptive_rho: true,
+            ..AdmmConfig::default()
+        });
         assert!(adaptive.converged);
         assert!(
             (plain.objective - adaptive.objective).abs() < 1e-2,
@@ -523,14 +577,21 @@ mod tests {
             },
         ];
         let solver = AdmmSolver::new(&[], &c, 1);
-        let sol = solver.solve(&AdmmConfig { max_iterations: 2_000, ..AdmmConfig::default() });
+        let sol = solver.solve(&AdmmConfig {
+            max_iterations: 2_000,
+            ..AdmmConfig::default()
+        });
         assert!(
             sol.max_violation > 0.25,
             "violation must be visible: {}",
             sol.max_violation
         );
         // The compromise sits between the two infeasible caps.
-        assert!(sol.values[0] > 0.2 && sol.values[0] < 0.8, "y0 = {}", sol.values[0]);
+        assert!(
+            sol.values[0] > 0.2 && sol.values[0] < 0.8,
+            "y0 = {}",
+            sol.values[0]
+        );
     }
 
     #[test]

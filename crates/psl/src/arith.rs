@@ -87,10 +87,16 @@ impl std::fmt::Display for ArithError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ArithError::NonLinear { rule } => {
-                write!(f, "arithmetic rule {rule:?} has a term with two target atoms")
+                write!(
+                    f,
+                    "arithmetic rule {rule:?} has a term with two target atoms"
+                )
             }
             ArithError::Unanchored { rule, var } => {
-                write!(f, "arithmetic rule {rule:?}: variable {var:?} appears in no atom")
+                write!(
+                    f,
+                    "arithmetic rule {rule:?}: variable {var:?} appears in no atom"
+                )
             }
         }
     }
@@ -186,10 +192,39 @@ pub struct ArithGroundStats {
     pub constraints: usize,
 }
 
-/// Ground an arithmetic rule.
+/// Ground an arithmetic rule, probing the database's argument-position
+/// index to skip candidates that cannot unify (see [`crate::grounding`] for
+/// the strategy). Produces byte-identical output to
+/// [`ground_arith_rule_naive`] — probing only skips candidates the naive
+/// scan would have rejected, so the successful-binding order is unchanged.
 pub fn ground_arith_rule(
     rule: &ArithRule,
     db: &Database,
+    registry: &mut VarRegistry,
+    potentials: &mut Vec<GroundPotential>,
+    constraints: &mut Vec<GroundConstraint>,
+) -> Result<ArithGroundStats, ArithError> {
+    let guard = db.index();
+    let index = guard.as_ref().expect("database index ensured");
+    ground_arith_impl(rule, db, Some(index), registry, potentials, constraints)
+}
+
+/// Ground an arithmetic rule with pure pool scans — the reference
+/// implementation backing [`crate::Program::ground_naive`].
+pub fn ground_arith_rule_naive(
+    rule: &ArithRule,
+    db: &Database,
+    registry: &mut VarRegistry,
+    potentials: &mut Vec<GroundPotential>,
+    constraints: &mut Vec<GroundConstraint>,
+) -> Result<ArithGroundStats, ArithError> {
+    ground_arith_impl(rule, db, None, registry, potentials, constraints)
+}
+
+fn ground_arith_impl(
+    rule: &ArithRule,
+    db: &Database,
+    index: Option<&crate::database::AtomIndex>,
     registry: &mut VarRegistry,
     potentials: &mut Vec<GroundPotential>,
     constraints: &mut Vec<GroundConstraint>,
@@ -210,11 +245,16 @@ pub fn ground_arith_rule(
     }
     // Every free variable must be anchorable by some atom.
     for v in &free_vars {
-        let anchored = rule.terms.iter().flat_map(|t| &t.atoms).any(|a| {
-            a.args.iter().any(|t| matches!(t, RTerm::Var(x) if x == v))
-        });
+        let anchored = rule
+            .terms
+            .iter()
+            .flat_map(|t| &t.atoms)
+            .any(|a| a.args.iter().any(|t| matches!(t, RTerm::Var(x) if x == v)));
         if !anchored {
-            return Err(ArithError::Unanchored { rule: rule.name.clone(), var: v.clone() });
+            return Err(ArithError::Unanchored {
+                rule: rule.name.clone(),
+                var: v.clone(),
+            });
         }
     }
 
@@ -223,14 +263,21 @@ pub fn ground_arith_rule(
     let all_atoms: Vec<&RAtom> = rule.terms.iter().flat_map(|t| &t.atoms).collect();
     let mut free_subs: Vec<FxHashMap<String, Sym>> = Vec::new();
     let mut seen: FxHashSet<Vec<Sym>> = FxHashSet::default();
-    enumerate(&all_atoms, 0, db, &mut FxHashMap::default(), &mut |sub| {
-        let key: Vec<Sym> = free_vars.iter().map(|v| sub[v]).collect();
-        if seen.insert(key) {
-            let projected: FxHashMap<String, Sym> =
-                free_vars.iter().map(|v| (v.clone(), sub[v])).collect();
-            free_subs.push(projected);
-        }
-    });
+    enumerate(
+        &all_atoms,
+        0,
+        db,
+        index,
+        &mut FxHashMap::default(),
+        &mut |sub| {
+            let key: Vec<Sym> = free_vars.iter().map(|v| sub[v]).collect();
+            if seen.insert(key) {
+                let projected: FxHashMap<String, Sym> =
+                    free_vars.iter().map(|v| (v.clone(), sub[v])).collect();
+                free_subs.push(projected);
+            }
+        },
+    );
 
     let mut stats = ArithGroundStats::default();
     for sub in &free_subs {
@@ -240,7 +287,7 @@ pub fn ground_arith_rule(
             // Expand the term's own summation bindings.
             let term_atoms: Vec<&RAtom> = term.atoms.iter().collect();
             let mut base = sub.clone();
-            enumerate(&term_atoms, 0, db, &mut base, &mut |full| {
+            enumerate(&term_atoms, 0, db, index, &mut base, &mut |full| {
                 let mut coef = term.coef;
                 let mut target: Option<GroundAtom> = None;
                 for atom in &term.atoms {
@@ -269,7 +316,9 @@ pub fn ground_arith_rule(
             });
         }
         if nonlinear {
-            return Err(ArithError::NonLinear { rule: rule.name.clone() });
+            return Err(ArithError::NonLinear {
+                rule: rule.name.clone(),
+            });
         }
         expr.normalize();
         stats.groundings += 1;
@@ -341,10 +390,17 @@ fn instantiate(pattern: &RAtom, sub: &FxHashMap<String, Sym>) -> GroundAtom {
 /// the ground atom is known... no — unknown atoms resolve to 0 later, so we
 /// only require *pool membership* to bind unbound variables; fully bound
 /// atoms pass through (their truth is applied during resolution).
+///
+/// With `index` present, the candidate walk probes the shortest posting
+/// list among the atom's bound argument positions instead of scanning the
+/// whole pool. Probing only skips candidates that fail unification at a
+/// bound position, so the successful-binding order matches the scan
+/// exactly.
 fn enumerate(
     atoms: &[&RAtom],
     idx: usize,
     db: &Database,
+    index: Option<&crate::database::AtomIndex>,
     sub: &mut FxHashMap<String, Sym>,
     f: &mut dyn FnMut(&FxHashMap<String, Sym>),
 ) {
@@ -362,12 +418,32 @@ fn enumerate(
         })
         .collect();
     if unbound.is_empty() {
-        enumerate(atoms, idx + 1, db, sub, f);
+        enumerate(atoms, idx + 1, db, index, sub, f);
         return;
     }
-    for cand in db.atoms_of(atom.pred) {
+    let pool = db.atoms_of(atom.pred);
+    let postings: Option<&[u32]> = index.and_then(|ix| {
+        let mut best: Option<&[u32]> = None;
+        for (pos, t) in atom.args.iter().enumerate() {
+            let sym = match t {
+                RTerm::Const(k) => Some(*k),
+                RTerm::Var(v) => sub.get(v).copied(),
+            };
+            if let Some(sym) = sym {
+                let p = ix.postings(atom.pred, pos, sym);
+                if best.is_none_or(|b: &[u32]| p.len() < b.len()) {
+                    best = Some(p);
+                    if p.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+        best
+    });
+    let mut visit = |cand: &crate::atom::GroundAtom| {
         if cand.args.len() != atom.args.len() {
-            continue;
+            return;
         }
         let mut bound: Vec<String> = Vec::new();
         let mut ok = true;
@@ -394,10 +470,22 @@ fn enumerate(
             }
         }
         if ok {
-            enumerate(atoms, idx + 1, db, sub, f);
+            enumerate(atoms, idx + 1, db, index, sub, f);
         }
         for v in bound {
             sub.remove(&v);
+        }
+    };
+    match postings {
+        Some(postings) => {
+            for &i in postings {
+                visit(&pool[i as usize]);
+            }
+        }
+        None => {
+            for cand in pool {
+                visit(cand);
+            }
         }
     }
 }
@@ -409,7 +497,10 @@ mod tests {
     use crate::rule::rvar;
 
     fn ratom(pred: crate::predicate::PredId, args: &[&str]) -> RAtom {
-        RAtom { pred, args: args.iter().map(|a| rvar(a)).collect() }
+        RAtom {
+            pred,
+            args: args.iter().map(|a| rvar(a)).collect(),
+        }
     }
 
     /// covers closed, inMap/explained open; 2 candidates × 2 targets.
@@ -438,7 +529,10 @@ mod tests {
         // explained(T) − Σ_C covers(C,T)·inMap(C) ≤ 0
         let rule = ArithRuleBuilder::new("cap")
             .term(1.0, vec![ratom(explained, &["T"])])
-            .term(-1.0, vec![ratom(covers, &["C", "T"]), ratom(in_map, &["C"])])
+            .term(
+                -1.0,
+                vec![ratom(covers, &["C", "T"]), ratom(in_map, &["C"])],
+            )
             .sum_over("C")
             .build();
         let mut registry = VarRegistry::new();
@@ -452,13 +546,24 @@ mod tests {
         let e_t1 = registry
             .lookup(&GroundAtom::from_strs(explained, &["t1"]))
             .unwrap();
-        let m_c1 = registry.lookup(&GroundAtom::from_strs(in_map, &["c1"])).unwrap();
-        let m_c2 = registry.lookup(&GroundAtom::from_strs(in_map, &["c2"])).unwrap();
+        let m_c1 = registry
+            .lookup(&GroundAtom::from_strs(in_map, &["c1"]))
+            .unwrap();
+        let m_c2 = registry
+            .lookup(&GroundAtom::from_strs(in_map, &["c2"]))
+            .unwrap();
         let t1_con = cons
             .iter()
             .find(|c| c.expr.terms.iter().any(|&(v, _)| v == e_t1))
             .unwrap();
-        let coef = |v: usize| t1_con.expr.terms.iter().find(|&&(x, _)| x == v).map(|&(_, c)| c);
+        let coef = |v: usize| {
+            t1_con
+                .expr
+                .terms
+                .iter()
+                .find(|&&(x, _)| x == v)
+                .map(|&(_, c)| c)
+        };
         assert_eq!(coef(e_t1), Some(1.0));
         assert_eq!(coef(m_c1), Some(-1.0));
         assert_eq!(coef(m_c2), Some(-0.5));
@@ -544,7 +649,10 @@ mod tests {
         // Unobserved covers atoms have truth 0 and must drop out: sum over
         // *all* C for target t2 touches covers(c1,t2) = 0.
         let rule = ArithRuleBuilder::new("cap")
-            .term(-1.0, vec![ratom(covers, &["C", "T"]), ratom(in_map, &["C"])])
+            .term(
+                -1.0,
+                vec![ratom(covers, &["C", "T"]), ratom(in_map, &["C"])],
+            )
             .constant(0.25)
             .sum_over("C")
             .build();

@@ -1,16 +1,65 @@
 //! The database of a PSL program: observed atom truths and target atoms.
+//!
+//! Besides the per-predicate candidate pools the grounder joins over, the
+//! database maintains a lazy **argument-position index**
+//! `(pred, arg position, symbol) → positions in the pool`. The join-plan
+//! executor ([`crate::grounding`]) probes it instead of scanning whole
+//! pools once a literal has at least one bound argument. The index is built
+//! on first use and invalidated by [`Database::observe`] /
+//! [`Database::target`]; reads go through an `RwLock` so parallel grounding
+//! workers can share it.
 
 use crate::atom::GroundAtom;
 use crate::predicate::{PredId, Vocabulary};
-use cms_data::{FxHashMap, FxHashSet};
+use cms_data::{FxHashMap, FxHashSet, Sym};
+use std::sync::{RwLock, RwLockReadGuard};
+
+/// Posting lists of the argument-position index.
+#[derive(Debug, Default)]
+pub(crate) struct AtomIndex {
+    posting: FxHashMap<(PredId, u32, Sym), Vec<u32>>,
+    /// Distinct symbols per `(pred, arg position)` — the planner's
+    /// average-selectivity estimate for joins on not-yet-known symbols.
+    distinct: FxHashMap<(PredId, u32), usize>,
+    empty: Vec<u32>,
+}
+
+impl AtomIndex {
+    /// Pool positions (into [`Database::atoms_of`]) of atoms of `pred`
+    /// whose argument `pos` is `sym`, in pool order.
+    pub(crate) fn postings(&self, pred: PredId, pos: usize, sym: Sym) -> &[u32] {
+        self.posting
+            .get(&(pred, pos as u32, sym))
+            .unwrap_or(&self.empty)
+    }
+
+    /// Number of distinct symbols occurring at `(pred, pos)`.
+    pub(crate) fn distinct(&self, pred: PredId, pos: usize) -> usize {
+        self.distinct.get(&(pred, pos as u32)).copied().unwrap_or(0)
+    }
+}
 
 /// Observed truths in `[0,1]` plus the set of atoms to infer.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct Database {
     observations: FxHashMap<GroundAtom, f64>,
     targets: FxHashSet<GroundAtom>,
     /// Observed atoms grouped per predicate, for grounding joins.
     by_pred: FxHashMap<PredId, Vec<GroundAtom>>,
+    /// Lazy argument-position index; `None` after any mutation.
+    index: RwLock<Option<AtomIndex>>,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Database {
+        Database {
+            observations: self.observations.clone(),
+            targets: self.targets.clone(),
+            by_pred: self.by_pred.clone(),
+            // The clone rebuilds its index on first use.
+            index: RwLock::new(None),
+        }
+    }
 }
 
 /// How an atom resolves during grounding.
@@ -40,6 +89,7 @@ impl Database {
         let clamped = value.clamp(0.0, 1.0);
         if self.observations.insert(atom.clone(), clamped).is_none() {
             self.by_pred.entry(atom.pred).or_default().push(atom);
+            self.invalidate_index();
         }
     }
 
@@ -54,7 +104,57 @@ impl Database {
         );
         if self.targets.insert(atom.clone()) {
             self.by_pred.entry(atom.pred).or_default().push(atom);
+            self.invalidate_index();
         }
+    }
+
+    /// Drop the argument-position index (called on every pool mutation).
+    fn invalidate_index(&mut self) {
+        *self.index.get_mut().expect("database index lock poisoned") = None;
+    }
+
+    /// Build the argument-position index if absent.
+    pub fn ensure_index(&self) {
+        let mut guard = self.index.write().expect("database index lock poisoned");
+        if guard.is_none() {
+            let mut idx = AtomIndex::default();
+            for (&pred, pool) in &self.by_pred {
+                for (i, atom) in pool.iter().enumerate() {
+                    for (pos, &sym) in atom.args.iter().enumerate() {
+                        let posting = idx.posting.entry((pred, pos as u32, sym)).or_default();
+                        if posting.is_empty() {
+                            *idx.distinct.entry((pred, pos as u32)).or_default() += 1;
+                        }
+                        posting.push(i as u32);
+                    }
+                }
+            }
+            *guard = Some(idx);
+        }
+    }
+
+    /// Read access to the argument-position index, building it if needed.
+    /// The guard must be dropped before any `&mut self` call.
+    pub(crate) fn index(&self) -> RwLockReadGuard<'_, Option<AtomIndex>> {
+        loop {
+            let guard = self.index.read().expect("database index lock poisoned");
+            if guard.is_some() {
+                return guard;
+            }
+            drop(guard);
+            self.ensure_index();
+        }
+    }
+
+    /// Number of known atoms of `pred` whose argument `pos` equals `sym` —
+    /// the index cardinality the join planner consults. Builds the index on
+    /// first use; exposed for observability and invalidation tests.
+    pub fn count_matching(&self, pred: PredId, pos: usize, sym: Sym) -> usize {
+        self.index()
+            .as_ref()
+            .expect("index just ensured")
+            .postings(pred, pos, sym)
+            .len()
     }
 
     /// Resolve an atom: target, observed value, or closed-world default 0.
@@ -177,6 +277,44 @@ mod tests {
         let a = GroundAtom::from_strs(PredId(0), &["x"]);
         db.target(a.clone());
         db.observe(a, 0.5);
+    }
+
+    #[test]
+    fn index_postings_match_pools() {
+        let mut db = Database::new();
+        db.observe(GroundAtom::from_strs(PredId(0), &["a", "x"]), 1.0);
+        db.observe(GroundAtom::from_strs(PredId(0), &["a", "y"]), 1.0);
+        db.observe(GroundAtom::from_strs(PredId(0), &["b", "x"]), 1.0);
+        assert_eq!(db.count_matching(PredId(0), 0, Sym::new("a")), 2);
+        assert_eq!(db.count_matching(PredId(0), 1, Sym::new("x")), 2);
+        assert_eq!(db.count_matching(PredId(0), 0, Sym::new("zzz")), 0);
+    }
+
+    #[test]
+    fn index_invalidated_by_observe_and_target() {
+        let mut db = Database::new();
+        db.observe(GroundAtom::from_strs(PredId(0), &["a"]), 1.0);
+        // Force the index to exist, then mutate through both entry points.
+        assert_eq!(db.count_matching(PredId(0), 0, Sym::new("a")), 1);
+        db.observe(GroundAtom::from_strs(PredId(0), &["a2"]), 0.5);
+        assert_eq!(db.count_matching(PredId(0), 0, Sym::new("a2")), 1);
+        db.target(GroundAtom::from_strs(PredId(1), &["a"]));
+        assert_eq!(db.count_matching(PredId(1), 0, Sym::new("a")), 1);
+        // Re-observing an existing atom only updates the value; the pool is
+        // unchanged either way, so counts stay put.
+        db.observe(GroundAtom::from_strs(PredId(0), &["a"]), 0.1);
+        assert_eq!(db.count_matching(PredId(0), 0, Sym::new("a")), 1);
+    }
+
+    #[test]
+    fn cloned_database_rebuilds_its_own_index() {
+        let mut db = Database::new();
+        db.observe(GroundAtom::from_strs(PredId(0), &["a"]), 1.0);
+        assert_eq!(db.count_matching(PredId(0), 0, Sym::new("a")), 1);
+        let mut copy = db.clone();
+        copy.observe(GroundAtom::from_strs(PredId(0), &["b"]), 1.0);
+        assert_eq!(copy.count_matching(PredId(0), 0, Sym::new("b")), 1);
+        assert_eq!(db.count_matching(PredId(0), 0, Sym::new("b")), 0);
     }
 
     #[test]

@@ -1,23 +1,46 @@
 //! Grounding: instantiate rule templates over the database.
 //!
-//! Substitutions are enumerated by joining the rule's *positive body
-//! literals* against the database's known-atom pools (observed ∪ target
-//! atoms per predicate) — the same lazy strategy PSL uses: an unobserved
-//! closed atom has truth 0, so a grounding whose positive body mentions one
-//! can never have positive distance-to-satisfaction *unless* the atom is
-//! negated or in the head, which resolution handles via the closed-world
-//! default.
+//! ## Strategy: compile once, probe indexes, execute a plan
 //!
-//! Each grounding compiles to a [`LinExpr`] for the distance to
+//! Each [`LogicalRule`] is compiled to a [`JoinPlan`](crate::plan::JoinPlan)
+//! before any candidate atom is touched:
+//!
+//! 1. **Slot interning** — rule variables become dense slot ids; the
+//!    substitution is a `Vec<Option<Sym>>`, so the innermost loop performs
+//!    no string hashing and no per-binding allocation.
+//! 2. **Selectivity ordering** — the positive body literals are reordered
+//!    most-selective-first using the cardinalities of the database's lazy
+//!    `(pred, arg position, symbol) → pool positions` index
+//!    (see [`Database::count_matching`]).
+//! 3. **Probe-vs-scan execution** — at each backtracking node the executor
+//!    probes the shortest posting list among the literal's bound argument
+//!    positions, falling back to a full pool scan only when nothing is
+//!    bound. [`GroundStats::candidates_probed`] /
+//!    [`GroundStats::candidates_scanned`] expose which mode did the work.
+//!
+//! Substitutions still join over the rule's *positive body literals*
+//! against the known-atom pools (observed ∪ target atoms per predicate) —
+//! the same lazy strategy PSL uses: an unobserved closed atom has truth 0,
+//! so a grounding whose positive body mentions one can never have positive
+//! distance-to-satisfaction *unless* the atom is negated or in the head,
+//! which resolution handles via the closed-world default.
+//!
+//! Each complete binding compiles to a [`LinExpr`] for the distance to
 //! satisfaction; groundings that are trivially satisfied for every value of
 //! the target variables (`max over the [0,1] box ≤ 0`) are pruned.
+//!
+//! The pre-index nested-loop implementation is retained verbatim in
+//! [`reference`]: equivalence property tests and the grounding benches run
+//! both engines on the same inputs and require identical ground programs.
 
 use crate::atom::GroundAtom;
 use crate::database::{Database, Resolved};
 use crate::hinge::{ConstraintKind, GroundConstraint, GroundPotential};
 use crate::linear::LinExpr;
-use crate::rule::{Literal, LogicalRule, RAtom, RTerm};
+use crate::plan::{EmitLiteral, JoinPlan, SlotTerm};
+use crate::rule::{Literal, LogicalRule};
 use cms_data::{FxHashMap, Sym};
+use std::time::{Duration, Instant};
 
 /// Maps target atoms to dense variable indices; owns the variable order.
 #[derive(Clone, Debug, Default)]
@@ -114,6 +137,28 @@ pub struct GroundStats {
     /// Objective contribution of groundings whose distance is a positive
     /// constant (no free variables) — charged regardless of inference.
     pub constant_loss: f64,
+    /// Candidate atoms reached through index probes (posting-list walks).
+    pub candidates_probed: usize,
+    /// Candidate atoms reached through full pool scans (no bound argument
+    /// at that backtracking node). The index "short-circuits" work exactly
+    /// when this stays near the root-literal pool size.
+    pub candidates_scanned: usize,
+    /// Wall time spent grounding this rule.
+    pub wall: Duration,
+}
+
+impl GroundStats {
+    /// Fold `other` into `self` (used when aggregating per-rule stats).
+    pub fn absorb(&mut self, other: &GroundStats) {
+        self.substitutions += other.substitutions;
+        self.potentials += other.potentials;
+        self.constraints += other.constraints;
+        self.pruned += other.pruned;
+        self.constant_loss += other.constant_loss;
+        self.candidates_probed += other.candidates_probed;
+        self.candidates_scanned += other.candidates_scanned;
+        self.wall += other.wall;
+    }
 }
 
 /// Output sink for [`ground_rule`].
@@ -126,140 +171,133 @@ pub struct GroundSink {
 }
 
 /// Ground one rule into `sink`, registering target atoms in `registry`.
+///
+/// Compiles the rule to a [`JoinPlan`] and executes it against the
+/// database's argument-position index. All candidate pools of the rule's
+/// positive body literals are arity-validated **before** enumeration
+/// starts, so an [`GroundingError::ArityMismatch`] can never leave the sink
+/// half-filled.
 pub fn ground_rule(
     rule: &LogicalRule,
     db: &Database,
     registry: &mut VarRegistry,
     sink: &mut GroundSink,
 ) -> Result<GroundStats, GroundingError> {
+    let start = Instant::now();
     if !rule.is_safe() {
-        return Err(GroundingError::UnsafeRule { rule: rule.name.clone() });
+        return Err(GroundingError::UnsafeRule {
+            rule: rule.name.clone(),
+        });
     }
+    validate_pool_arities(rule, db)?;
+    let plan = JoinPlan::compile(rule, db);
+    let guard = db.index();
+    let idx = guard.as_ref().expect("database index ensured");
     let mut stats = GroundStats::default();
-    let positives: Vec<&Literal> = rule.body.iter().filter(|l| !l.negated).collect();
-    let mut substitution: FxHashMap<String, Sym> = FxHashMap::default();
-    join(
-        rule,
-        &positives,
-        0,
-        db,
-        &mut substitution,
-        registry,
-        sink,
-        &mut stats,
-    )?;
+    plan.execute(db, idx, &mut stats, |binding, stats| {
+        emit(rule, &plan, db, binding, registry, sink, stats)
+    })?;
+    stats.wall = start.elapsed();
     Ok(stats)
 }
 
-/// Recursive join over the positive body literals.
-#[allow(clippy::too_many_arguments)]
-fn join(
-    rule: &LogicalRule,
-    positives: &[&Literal],
-    idx: usize,
-    db: &Database,
-    substitution: &mut FxHashMap<String, Sym>,
-    registry: &mut VarRegistry,
-    sink: &mut GroundSink,
-    stats: &mut GroundStats,
-) -> Result<(), GroundingError> {
-    let Some(lit) = positives.get(idx) else {
-        stats.substitutions += 1;
-        emit(rule, db, substitution, registry, sink, stats)?;
-        return Ok(());
-    };
-    for cand in db.atoms_of(lit.atom.pred) {
-        if cand.args.len() != lit.atom.args.len() {
-            return Err(GroundingError::ArityMismatch { rule: rule.name.clone() });
-        }
-        let mut bound: Vec<String> = Vec::new();
-        if unify(&lit.atom, cand, substitution, &mut bound) {
-            join(rule, positives, idx + 1, db, substitution, registry, sink, stats)?;
-        }
-        for name in bound {
-            substitution.remove(&name);
+/// Check every candidate pool the join will touch against the literal
+/// arities, up front.
+fn validate_pool_arities(rule: &LogicalRule, db: &Database) -> Result<(), GroundingError> {
+    for lit in rule.body.iter().filter(|l| !l.negated) {
+        let want = lit.atom.args.len();
+        if db
+            .atoms_of(lit.atom.pred)
+            .iter()
+            .any(|c| c.args.len() != want)
+        {
+            return Err(GroundingError::ArityMismatch {
+                rule: rule.name.clone(),
+            });
         }
     }
     Ok(())
 }
 
-fn unify(
-    pattern: &RAtom,
-    cand: &GroundAtom,
-    substitution: &mut FxHashMap<String, Sym>,
-    bound: &mut Vec<String>,
-) -> bool {
-    for (t, &c) in pattern.args.iter().zip(cand.args.iter()) {
-        match t {
-            RTerm::Const(k) => {
-                if *k != c {
-                    return false;
-                }
-            }
-            RTerm::Var(name) => match substitution.get(name) {
-                Some(&v) => {
-                    if v != c {
-                        return false;
-                    }
-                }
-                None => {
-                    substitution.insert(name.clone(), c);
-                    bound.push(name.clone());
-                }
-            },
-        }
-    }
-    true
-}
-
 /// Instantiate one grounding: build its distance-to-satisfaction LinExpr.
 fn emit(
     rule: &LogicalRule,
+    plan: &JoinPlan,
     db: &Database,
-    substitution: &FxHashMap<String, Sym>,
+    binding: &[Option<Sym>],
     registry: &mut VarRegistry,
     sink: &mut GroundSink,
     stats: &mut GroundStats,
 ) -> Result<(), GroundingError> {
     // distance = max(0, 1 − Σ_body (1 − t(B)) − Σ_head t(H))
     let mut expr = LinExpr::constant(1.0);
-    let mut add_literal = |lit: &Literal, in_body: bool, expr: &mut LinExpr| {
-        let atom = instantiate(&lit.atom, substitution);
-        // The clause contribution of this literal is:
-        //   body:  1 − t(lit)   head:  t(lit)
-        // and t(lit) = v(atom) for positive, 1 − v(atom) for negated. The
-        // contribution is subtracted from the expression. Work out the
-        // affine form contribution = base + sign·v(atom):
-        let (base, sign) = match (in_body, lit.negated) {
-            (true, false) => (1.0, -1.0), // 1 − v
-            (true, true) => (0.0, 1.0),   // v
-            (false, false) => (0.0, 1.0), // v
-            (false, true) => (1.0, -1.0), // 1 − v
-        };
-        expr.add_constant(-base);
-        match db.resolve(&atom) {
-            Resolved::Observed(v) => {
-                expr.add_constant(-sign * v);
-            }
-            Resolved::Target => {
-                let var = registry.intern(&atom);
-                expr.add_term(var, -sign);
-            }
-        }
-    };
-    for lit in &rule.body {
-        add_literal(lit, true, &mut expr);
-    }
-    for lit in &rule.head {
-        add_literal(lit, false, &mut expr);
+    for lit in &plan.emit {
+        add_literal(lit, db, binding, registry, &mut expr);
     }
     expr.normalize();
+    classify(rule, expr, sink, stats);
+    Ok(())
+}
 
+/// Add one literal's affine contribution to the distance expression.
+fn add_literal(
+    lit: &EmitLiteral,
+    db: &Database,
+    binding: &[Option<Sym>],
+    registry: &mut VarRegistry,
+    expr: &mut LinExpr,
+) {
+    let atom = instantiate(&lit.atom.pred, &lit.atom.terms, binding);
+    // The clause contribution of this literal is:
+    //   body:  1 − t(lit)   head:  t(lit)
+    // and t(lit) = v(atom) for positive, 1 − v(atom) for negated. The
+    // contribution is subtracted from the expression. Work out the
+    // affine form contribution = base + sign·v(atom):
+    let (base, sign) = match (lit.in_body, lit.negated) {
+        (true, false) => (1.0, -1.0), // 1 − v
+        (true, true) => (0.0, 1.0),   // v
+        (false, false) => (0.0, 1.0), // v
+        (false, true) => (1.0, -1.0), // 1 − v
+    };
+    expr.add_constant(-base);
+    match db.resolve(&atom) {
+        Resolved::Observed(v) => {
+            expr.add_constant(-sign * v);
+        }
+        Resolved::Target => {
+            let var = registry.intern(&atom);
+            expr.add_term(var, -sign);
+        }
+    }
+}
+
+fn instantiate(
+    pred: &crate::predicate::PredId,
+    terms: &[SlotTerm],
+    binding: &[Option<Sym>],
+) -> GroundAtom {
+    GroundAtom::new(
+        *pred,
+        terms
+            .iter()
+            .map(|t| match *t {
+                SlotTerm::Const(k) => k,
+                SlotTerm::Slot(s) => binding[s as usize]
+                    .expect("grounding produced unbound variable despite safety check"),
+            })
+            .collect(),
+    )
+}
+
+/// Route a normalized distance expression to the sink (shared by the plan
+/// executor and the naive reference grounder — the *semantics* of a
+/// grounding are identical in both).
+fn classify(rule: &LogicalRule, expr: LinExpr, sink: &mut GroundSink, stats: &mut GroundStats) {
     // Prune if the hinge can never activate: max over the [0,1] box.
     let max_value: f64 = expr.constant + expr.terms.iter().map(|&(_, c)| c.max(0.0)).sum::<f64>();
     if max_value <= 1e-12 {
         stats.pruned += 1;
-        return Ok(());
+        return;
     }
     if expr.is_constant() {
         // Positive constant distance: nothing to infer.
@@ -281,7 +319,7 @@ fn emit(
                 stats.constraints += 1;
             }
         }
-        return Ok(());
+        return;
     }
 
     match rule.weight {
@@ -303,30 +341,183 @@ fn emit(
             stats.constraints += 1;
         }
     }
-    Ok(())
 }
 
-fn instantiate(pattern: &RAtom, substitution: &FxHashMap<String, Sym>) -> GroundAtom {
-    GroundAtom::new(
-        pattern.pred,
-        pattern
-            .args
-            .iter()
-            .map(|t| match t {
-                RTerm::Const(c) => *c,
-                RTerm::Var(name) => *substitution
-                    .get(name)
-                    .expect("grounding produced unbound variable despite safety check"),
-            })
-            .collect(),
-    )
+/// The pre-index grounder, retained as an independent reference
+/// implementation.
+///
+/// This is the original left-to-right nested-loop join with string-keyed
+/// substitutions. It exists so equivalence tests and benches can check the
+/// plan-compiled engine against it on identical inputs; production code
+/// paths ([`crate::Program::ground`]) never call it.
+pub mod reference {
+    use super::*;
+    use crate::rule::{RAtom, RTerm};
+
+    /// Ground one rule with the naive nested-loop strategy.
+    pub fn ground_rule_naive(
+        rule: &LogicalRule,
+        db: &Database,
+        registry: &mut VarRegistry,
+        sink: &mut GroundSink,
+    ) -> Result<GroundStats, GroundingError> {
+        let start = Instant::now();
+        if !rule.is_safe() {
+            return Err(GroundingError::UnsafeRule {
+                rule: rule.name.clone(),
+            });
+        }
+        let mut stats = GroundStats::default();
+        let positives: Vec<&Literal> = rule.body.iter().filter(|l| !l.negated).collect();
+        let mut substitution: FxHashMap<String, Sym> = FxHashMap::default();
+        join(
+            rule,
+            &positives,
+            0,
+            db,
+            &mut substitution,
+            registry,
+            sink,
+            &mut stats,
+        )?;
+        stats.wall = start.elapsed();
+        Ok(stats)
+    }
+
+    /// Recursive join over the positive body literals.
+    #[allow(clippy::too_many_arguments)]
+    fn join(
+        rule: &LogicalRule,
+        positives: &[&Literal],
+        idx: usize,
+        db: &Database,
+        substitution: &mut FxHashMap<String, Sym>,
+        registry: &mut VarRegistry,
+        sink: &mut GroundSink,
+        stats: &mut GroundStats,
+    ) -> Result<(), GroundingError> {
+        let Some(lit) = positives.get(idx) else {
+            stats.substitutions += 1;
+            emit_naive(rule, db, substitution, registry, sink, stats);
+            return Ok(());
+        };
+        stats.candidates_scanned += db.atoms_of(lit.atom.pred).len();
+        for cand in db.atoms_of(lit.atom.pred) {
+            if cand.args.len() != lit.atom.args.len() {
+                return Err(GroundingError::ArityMismatch {
+                    rule: rule.name.clone(),
+                });
+            }
+            let mut bound: Vec<String> = Vec::new();
+            if unify(&lit.atom, cand, substitution, &mut bound) {
+                join(
+                    rule,
+                    positives,
+                    idx + 1,
+                    db,
+                    substitution,
+                    registry,
+                    sink,
+                    stats,
+                )?;
+            }
+            for name in bound {
+                substitution.remove(&name);
+            }
+        }
+        Ok(())
+    }
+
+    fn unify(
+        pattern: &RAtom,
+        cand: &GroundAtom,
+        substitution: &mut FxHashMap<String, Sym>,
+        bound: &mut Vec<String>,
+    ) -> bool {
+        for (t, &c) in pattern.args.iter().zip(cand.args.iter()) {
+            match t {
+                RTerm::Const(k) => {
+                    if *k != c {
+                        return false;
+                    }
+                }
+                RTerm::Var(name) => match substitution.get(name) {
+                    Some(&v) => {
+                        if v != c {
+                            return false;
+                        }
+                    }
+                    None => {
+                        substitution.insert(name.clone(), c);
+                        bound.push(name.clone());
+                    }
+                },
+            }
+        }
+        true
+    }
+
+    /// Instantiate one grounding (string-substitution flavor).
+    fn emit_naive(
+        rule: &LogicalRule,
+        db: &Database,
+        substitution: &FxHashMap<String, Sym>,
+        registry: &mut VarRegistry,
+        sink: &mut GroundSink,
+        stats: &mut GroundStats,
+    ) {
+        let mut expr = LinExpr::constant(1.0);
+        let mut add = |lit: &Literal, in_body: bool, expr: &mut LinExpr| {
+            let atom = instantiate_naive(&lit.atom, substitution);
+            let (base, sign) = match (in_body, lit.negated) {
+                (true, false) => (1.0, -1.0),
+                (true, true) => (0.0, 1.0),
+                (false, false) => (0.0, 1.0),
+                (false, true) => (1.0, -1.0),
+            };
+            expr.add_constant(-base);
+            match db.resolve(&atom) {
+                Resolved::Observed(v) => {
+                    expr.add_constant(-sign * v);
+                }
+                Resolved::Target => {
+                    let var = registry.intern(&atom);
+                    expr.add_term(var, -sign);
+                }
+            }
+        };
+        for lit in &rule.body {
+            add(lit, true, &mut expr);
+        }
+        for lit in &rule.head {
+            add(lit, false, &mut expr);
+        }
+        expr.normalize();
+        classify(rule, expr, sink, stats);
+    }
+
+    fn instantiate_naive(pattern: &RAtom, substitution: &FxHashMap<String, Sym>) -> GroundAtom {
+        GroundAtom::new(
+            pattern.pred,
+            pattern
+                .args
+                .iter()
+                .map(|t| match t {
+                    RTerm::Const(c) => *c,
+                    RTerm::Var(name) => *substitution
+                        .get(name)
+                        .expect("grounding produced unbound variable despite safety check"),
+                })
+                .collect(),
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::predicate::Vocabulary;
-    use crate::rule::{rvar, RuleBuilder};
+    use crate::rule::{rvar, RTerm, RuleBuilder};
 
     /// covers(C,T) closed; inMap(C), explained(T) open.
     fn setup() -> (Vocabulary, Database) {
@@ -367,6 +558,8 @@ mod tests {
         for p in &sink.potentials {
             assert_eq!(p.expr.terms.len(), 2);
         }
+        // The two-literal join runs on index probes after the root literal.
+        assert!(stats.candidates_probed > 0, "{stats:?}");
     }
 
     #[test]
@@ -377,7 +570,6 @@ mod tests {
         let explained = vocab.id_of("explained").unwrap();
         // covers(C,T) & inMap(C) -> explained(T)
         // distance = max(0, 1 − (1−cov) − (1−inMap) − explained)
-        //          = max(0, cov − 1 + inMap − explained + ... )
         // For cov = 0.5: expr = inMap − explained − 0.5.
         let rule = RuleBuilder::new("r1")
             .body(covers, vec![rvar("C"), rvar("T")])
@@ -473,6 +665,10 @@ mod tests {
         let mut sink = GroundSink::default();
         let stats = ground_rule(&rule, &db, &mut registry, &mut sink).unwrap();
         assert_eq!(stats.substitutions, 1);
+        // The constant argument turns the root literal into an index probe:
+        // only the single covers(c2,·) atom is ever touched.
+        assert_eq!(stats.candidates_probed, 1);
+        assert_eq!(stats.candidates_scanned, 0);
     }
 
     fn rconst_local(s: &str) -> RTerm {
@@ -526,5 +722,112 @@ mod tests {
         assert_eq!(stats.substitutions, 2);
         assert_eq!(stats.potentials, 1);
         assert_eq!(stats.pruned, 1);
+    }
+
+    #[test]
+    fn arity_mismatch_detected_before_any_emission() {
+        let mut vocab = Vocabulary::new();
+        let p = vocab.closed("p", 2);
+        let out = vocab.open("out", 1);
+        let mut db = Database::new();
+        // Pool atoms with arity 1 under a literal written with arity 2 —
+        // previously this aborted mid-enumeration; now it fails up front.
+        db.observe(GroundAtom::from_strs(p, &["a"]), 1.0);
+        db.target(GroundAtom::from_strs(out, &["a"]));
+        let rule = RuleBuilder::new("bad")
+            .body(p, vec![rvar("X"), rvar("Y")])
+            .head(out, vec![rvar("X")])
+            .weight(1.0)
+            .build();
+        let mut registry = VarRegistry::new();
+        let mut sink = GroundSink::default();
+        let err = ground_rule(&rule, &db, &mut registry, &mut sink).unwrap_err();
+        assert_eq!(err, GroundingError::ArityMismatch { rule: "bad".into() });
+        assert!(sink.potentials.is_empty() && sink.constraints.is_empty());
+        assert!(registry.is_empty());
+    }
+
+    /// Canonical form of a sink for cross-engine comparison: var indices
+    /// are replaced by atom strings so registry order does not matter.
+    fn canonical(sink: &GroundSink, registry: &VarRegistry) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for p in &sink.potentials {
+            let mut terms: Vec<String> = p
+                .expr
+                .terms
+                .iter()
+                .map(|&(v, c)| format!("{c:.9}*{}", registry.atom(v)))
+                .collect();
+            terms.sort();
+            out.push(format!(
+                "P {} w={:.9} sq={} c={:.9} {}",
+                p.origin,
+                p.weight,
+                p.squared,
+                p.expr.constant,
+                terms.join(" + ")
+            ));
+        }
+        for c in &sink.constraints {
+            let mut terms: Vec<String> = c
+                .expr
+                .terms
+                .iter()
+                .map(|&(v, k)| format!("{k:.9}*{}", registry.atom(v)))
+                .collect();
+            terms.sort();
+            out.push(format!(
+                "C {} {:?} c={:.9} {}",
+                c.origin,
+                c.kind,
+                c.expr.constant,
+                terms.join(" + ")
+            ));
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn plan_engine_matches_naive_reference_on_joins() {
+        let (vocab, db) = setup();
+        let covers = vocab.id_of("covers").unwrap();
+        let in_map = vocab.id_of("inMap").unwrap();
+        let explained = vocab.id_of("explained").unwrap();
+        for rule in [
+            RuleBuilder::new("soft")
+                .body(covers, vec![rvar("C"), rvar("T")])
+                .body(in_map, vec![rvar("C")])
+                .head(explained, vec![rvar("T")])
+                .weight(1.5)
+                .build(),
+            RuleBuilder::new("hard")
+                .body(covers, vec![rvar("C"), rvar("T")])
+                .head(in_map, vec![rvar("C")])
+                .build(),
+            RuleBuilder::new("const")
+                .body(covers, vec![rconst_local("c2"), rvar("T")])
+                .head(explained, vec![rvar("T")])
+                .weight(2.0)
+                .squared()
+                .build(),
+        ] {
+            let mut reg_a = VarRegistry::new();
+            let mut sink_a = GroundSink::default();
+            let sa = ground_rule(&rule, &db, &mut reg_a, &mut sink_a).unwrap();
+            let mut reg_b = VarRegistry::new();
+            let mut sink_b = GroundSink::default();
+            let sb = reference::ground_rule_naive(&rule, &db, &mut reg_b, &mut sink_b).unwrap();
+            assert_eq!(sa.substitutions, sb.substitutions, "{}", rule.name);
+            assert_eq!(sa.potentials, sb.potentials, "{}", rule.name);
+            assert_eq!(sa.constraints, sb.constraints, "{}", rule.name);
+            assert_eq!(sa.pruned, sb.pruned, "{}", rule.name);
+            assert_eq!(
+                canonical(&sink_a, &reg_a),
+                canonical(&sink_b, &reg_b),
+                "{}",
+                rule.name
+            );
+        }
     }
 }

@@ -80,23 +80,41 @@ mod tests {
 
     #[test]
     fn linear_potential_value() {
-        let p = GroundPotential { expr: expr(), weight: 2.0, squared: false, origin: String::new() };
+        let p = GroundPotential {
+            expr: expr(),
+            weight: 2.0,
+            squared: false,
+            origin: String::new(),
+        };
         assert_eq!(p.value(&[0.25]), 0.0); // inactive hinge
         assert_eq!(p.value(&[1.0]), 1.0); // 2 * 0.5
     }
 
     #[test]
     fn squared_potential_value() {
-        let p = GroundPotential { expr: expr(), weight: 2.0, squared: true, origin: String::new() };
+        let p = GroundPotential {
+            expr: expr(),
+            weight: 2.0,
+            squared: true,
+            origin: String::new(),
+        };
         assert_eq!(p.value(&[1.0]), 0.5); // 2 * 0.25
     }
 
     #[test]
     fn constraint_violations() {
-        let c = GroundConstraint { expr: expr(), kind: ConstraintKind::LeqZero, origin: String::new() };
+        let c = GroundConstraint {
+            expr: expr(),
+            kind: ConstraintKind::LeqZero,
+            origin: String::new(),
+        };
         assert_eq!(c.violation(&[0.2]), 0.0);
         assert!((c.violation(&[1.0]) - 0.5).abs() < 1e-12);
-        let e = GroundConstraint { expr: expr(), kind: ConstraintKind::EqZero, origin: String::new() };
+        let e = GroundConstraint {
+            expr: expr(),
+            kind: ConstraintKind::EqZero,
+            origin: String::new(),
+        };
         assert!((e.violation(&[0.2]) - 0.3).abs() < 1e-12);
         assert_eq!(e.violation(&[0.5]), 0.0);
     }

@@ -46,18 +46,25 @@ pub mod database;
 pub mod grounding;
 pub mod hinge;
 pub mod linear;
+pub mod plan;
 pub mod predicate;
 pub mod program;
 pub mod rounding;
 pub mod rule;
 
 pub use admm::{AdmmConfig, AdmmSolution, AdmmSolver};
-pub use arith::{ground_arith_rule, ArithError, ArithRule, ArithRuleBuilder, ArithTerm, Comparison};
+pub use arith::{
+    ground_arith_rule, ground_arith_rule_naive, ArithError, ArithRule, ArithRuleBuilder, ArithTerm,
+    Comparison,
+};
 pub use atom::GroundAtom;
 pub use database::{Database, Resolved};
-pub use grounding::{ground_rule, GroundSink, GroundStats, GroundingError, VarRegistry};
+pub use grounding::{
+    ground_rule, reference::ground_rule_naive, GroundSink, GroundStats, GroundingError, VarRegistry,
+};
 pub use hinge::{ConstraintKind, GroundConstraint, GroundPotential};
 pub use linear::LinExpr;
+pub use plan::JoinPlan;
 pub use predicate::{PredId, Predicate, Vocabulary};
 pub use program::{AtomLin, GroundProgram, MapSolution, Program};
 pub use rounding::{best_threshold_rounding, candidate_thresholds, threshold_select};

@@ -18,7 +18,10 @@ impl LinExpr {
 
     /// A constant expression.
     pub fn constant(c: f64) -> LinExpr {
-        LinExpr { terms: Vec::new(), constant: c }
+        LinExpr {
+            terms: Vec::new(),
+            constant: c,
+        }
     }
 
     /// Add `coef · y_var`.
@@ -49,12 +52,7 @@ impl LinExpr {
 
     /// Evaluate under an assignment (indexing into `values`).
     pub fn eval(&self, values: &[f64]) -> f64 {
-        self.constant
-            + self
-                .terms
-                .iter()
-                .map(|&(v, c)| c * values[v])
-                .sum::<f64>()
+        self.constant + self.terms.iter().map(|&(v, c)| c * values[v]).sum::<f64>()
     }
 
     /// Squared L2 norm of the coefficient vector.
@@ -85,7 +83,10 @@ mod tests {
     #[test]
     fn normalize_merges_and_drops_zeros() {
         let mut e = LinExpr::new();
-        e.add_term(3, 1.0).add_term(1, 2.0).add_term(3, -1.0).add_term(1, 0.5);
+        e.add_term(3, 1.0)
+            .add_term(1, 2.0)
+            .add_term(3, -1.0)
+            .add_term(1, 0.5);
         e.normalize();
         assert_eq!(e.terms, vec![(1, 2.5)]);
     }

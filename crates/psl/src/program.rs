@@ -9,15 +9,18 @@
 //! combination fold into the constant, target atoms become variables.
 
 use crate::admm::{AdmmConfig, AdmmSolution, AdmmSolver};
-use crate::arith::{ground_arith_rule, ArithRule};
+use crate::arith::{ground_arith_rule, ground_arith_rule_naive, ArithRule};
 use crate::atom::GroundAtom;
 use crate::database::{Database, Resolved};
-use crate::grounding::{ground_rule, GroundSink, GroundStats, GroundingError, VarRegistry};
+use crate::grounding::{
+    ground_rule, reference::ground_rule_naive, GroundSink, GroundStats, GroundingError, VarRegistry,
+};
 use crate::hinge::{ConstraintKind, GroundConstraint, GroundPotential};
 use crate::linear::LinExpr;
 use crate::predicate::Vocabulary;
 use crate::rule::LogicalRule;
 use cms_data::FxHashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A linear combination of ground atoms plus a constant.
 #[derive(Clone, Debug, Default)]
@@ -72,7 +75,13 @@ pub struct Program {
 impl Program {
     /// A program over the given vocabulary with an empty database.
     pub fn new(vocab: Vocabulary) -> Program {
-        Program { vocab, db: Database::new(), rules: Vec::new(), arith_rules: Vec::new(), raw: Vec::new() }
+        Program {
+            vocab,
+            db: Database::new(),
+            rules: Vec::new(),
+            arith_rules: Vec::new(),
+            raw: Vec::new(),
+        }
     }
 
     /// Add a logical rule.
@@ -87,7 +96,11 @@ impl Program {
 
     /// Add a hard linear constraint `lin ≤ 0` or `lin = 0` over atoms.
     pub fn add_raw_constraint(&mut self, lin: AtomLin, kind: ConstraintKind, origin: &str) {
-        self.raw.push(RawTerm { lin, kind: RawKind::Constraint { kind }, origin: origin.to_owned() });
+        self.raw.push(RawTerm {
+            lin,
+            kind: RawKind::Constraint { kind },
+            origin: origin.to_owned(),
+        });
     }
 
     /// Add a weighted potential `w · max(0, lin)^p` over atoms.
@@ -100,24 +113,172 @@ impl Program {
     }
 
     /// Ground all rules and raw terms.
+    ///
+    /// Logical rules are grounded with the plan-compiled index-probing
+    /// engine ([`crate::grounding`]), in parallel across rules when the
+    /// machine has more than one core. The result is deterministic and
+    /// independent of the thread count — see [`Program::ground_with`].
     pub fn ground(&self) -> Result<GroundProgram, GroundingError> {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.ground_with(threads)
+    }
+
+    /// Ground with an explicit worker-thread budget for the logical rules.
+    ///
+    /// Every rule is grounded into its own [`GroundSink`] with its own
+    /// local [`VarRegistry`]; the per-rule results are then merged **in
+    /// rule declaration order**, interning each local registry's atoms into
+    /// the global one and remapping variable ids. Because the merge order
+    /// is fixed, the returned program — variable order included — is
+    /// identical for every `threads` value.
+    pub fn ground_with(&self, threads: usize) -> Result<GroundProgram, GroundingError> {
+        self.validate_rule_arities()?;
+        let per_rule = self.ground_rules_locally(threads);
+
+        let mut registry = VarRegistry::new();
+        let mut sink = GroundSink::default();
+        let mut stats: FxHashMap<String, GroundStats> = FxHashMap::default();
+        let mut constant_loss = 0.0;
+        for (rule, result) in self.rules.iter().zip(per_rule) {
+            let rg = result?;
+            // Two-phase interning: local var id → global var id, in the
+            // local first-occurrence order, which a sequential shared
+            // registry would also have produced.
+            let map: Vec<usize> = rg
+                .registry
+                .atoms()
+                .iter()
+                .map(|a| registry.intern(a))
+                .collect();
+            for mut p in rg.sink.potentials {
+                remap_expr(&mut p.expr, &map);
+                sink.potentials.push(p);
+            }
+            for mut c in rg.sink.constraints {
+                remap_expr(&mut c.expr, &map);
+                sink.constraints.push(c);
+            }
+            constant_loss += rg.stats.constant_loss;
+            stats
+                .entry(rule.name.clone())
+                .or_default()
+                .absorb(&rg.stats);
+        }
+        self.finish_ground(registry, sink, stats, constant_loss, false)
+    }
+
+    /// Ground every logical rule into a local registry/sink, possibly in
+    /// parallel. Results are positionally aligned with `self.rules`.
+    fn ground_rules_locally(&self, threads: usize) -> Vec<Result<RuleGrounding, GroundingError>> {
+        let n = self.rules.len();
+        let workers = threads.min(n).max(1);
+        let ground_one = |rule: &LogicalRule| {
+            let mut registry = VarRegistry::new();
+            let mut sink = GroundSink::default();
+            ground_rule(rule, &self.db, &mut registry, &mut sink).map(|stats| RuleGrounding {
+                registry,
+                sink,
+                stats,
+            })
+        };
+        if workers == 1 || n <= 1 {
+            return self.rules.iter().map(ground_one).collect();
+        }
+        // Build the shared index before fanning out so workers only take
+        // read locks.
+        self.db.ensure_index();
+        let mut results: Vec<Option<Result<RuleGrounding, GroundingError>>> =
+            (0..n).map(|_| None).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out: Vec<(usize, Result<RuleGrounding, GroundingError>)> =
+                            Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            out.push((i, ground_one(&self.rules[i])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("grounding worker panicked") {
+                    results[i] = Some(r);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every rule claimed by exactly one worker"))
+            .collect()
+    }
+
+    /// Ground with the retained naive reference grounder (sequential,
+    /// string-keyed nested loops). Exists for equivalence tests and the
+    /// grounding benches; production callers use [`Program::ground`].
+    pub fn ground_naive(&self) -> Result<GroundProgram, GroundingError> {
+        self.validate_rule_arities()?;
         let mut registry = VarRegistry::new();
         let mut sink = GroundSink::default();
         let mut stats: FxHashMap<String, GroundStats> = FxHashMap::default();
         let mut constant_loss = 0.0;
         for rule in &self.rules {
-            let s = ground_rule(rule, &self.db, &mut registry, &mut sink)?;
+            let s = ground_rule_naive(rule, &self.db, &mut registry, &mut sink)?;
             constant_loss += s.constant_loss;
-            let entry = stats.entry(rule.name.clone()).or_default();
-            entry.substitutions += s.substitutions;
-            entry.potentials += s.potentials;
-            entry.constraints += s.constraints;
-            entry.pruned += s.pruned;
-            entry.constant_loss += s.constant_loss;
+            stats.entry(rule.name.clone()).or_default().absorb(&s);
         }
+        self.finish_ground(registry, sink, stats, constant_loss, true)
+    }
+
+    /// Validate every logical-rule atom against the vocabulary (arity
+    /// agreement) before grounding starts, so no engine can abort
+    /// mid-enumeration over a malformed rule.
+    fn validate_rule_arities(&self) -> Result<(), GroundingError> {
+        for rule in &self.rules {
+            for lit in rule.body.iter().chain(rule.head.iter()) {
+                if lit.atom.pred.index() < self.vocab.len()
+                    && self.vocab.predicate(lit.atom.pred).arity != lit.atom.args.len()
+                {
+                    return Err(GroundingError::ArityMismatch {
+                        rule: rule.name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Shared tail of all grounding paths: arithmetic rules, raw terms,
+    /// assembly of the [`GroundProgram`]. `naive_arith` selects the
+    /// reference (scan-only) arithmetic grounder for [`Program::ground_naive`].
+    fn finish_ground(
+        &self,
+        mut registry: VarRegistry,
+        mut sink: GroundSink,
+        stats: FxHashMap<String, GroundStats>,
+        mut constant_loss: f64,
+        naive_arith: bool,
+    ) -> Result<GroundProgram, GroundingError> {
+        let ground_arith = if naive_arith {
+            ground_arith_rule_naive
+        } else {
+            ground_arith_rule
+        };
         for rule in &self.arith_rules {
-            ground_arith_rule(rule, &self.db, &mut registry, &mut sink.potentials, &mut sink.constraints)
-                .map_err(GroundingError::Arith)?;
+            ground_arith(
+                rule,
+                &self.db,
+                &mut registry,
+                &mut sink.potentials,
+                &mut sink.constraints,
+            )
+            .map_err(GroundingError::Arith)?;
         }
         for raw in &self.raw {
             let mut expr = LinExpr::constant(raw.lin.constant);
@@ -148,7 +309,11 @@ impl Program {
                     }
                 }
                 RawKind::Constraint { kind } => {
-                    sink.constraints.push(GroundConstraint { expr, kind, origin: raw.origin.clone() });
+                    sink.constraints.push(GroundConstraint {
+                        expr,
+                        kind,
+                        origin: raw.origin.clone(),
+                    });
                 }
             }
         }
@@ -162,7 +327,24 @@ impl Program {
     }
 }
 
+/// One rule's grounding into rule-local structures, pre-merge.
+struct RuleGrounding {
+    registry: VarRegistry,
+    sink: GroundSink,
+    stats: GroundStats,
+}
+
+/// Rewrite a ground expression's local variable ids through `map` and
+/// restore the sorted-normalized term order.
+fn remap_expr(expr: &mut LinExpr, map: &[usize]) {
+    for t in &mut expr.terms {
+        t.0 = map[t.0];
+    }
+    expr.terms.sort_unstable_by_key(|&(v, _)| v);
+}
+
 /// A fully grounded program, ready for MAP inference.
+#[derive(Debug)]
 pub struct GroundProgram {
     registry: VarRegistry,
     /// Ground weighted potentials.
@@ -181,6 +363,52 @@ impl GroundProgram {
         self.registry.len()
     }
 
+    /// Aggregate grounding statistics over all rules — the quick way for
+    /// benches and callers to check how much work the index short-circuited
+    /// (`candidates_probed` vs `candidates_scanned`) and where wall time
+    /// went.
+    pub fn total_stats(&self) -> GroundStats {
+        let mut total = GroundStats::default();
+        for s in self.rule_stats.values() {
+            total.absorb(s);
+        }
+        total
+    }
+
+    /// A sorted, engine-independent description of every ground term:
+    /// variable ids are resolved to atom strings, term lists are sorted,
+    /// coefficients printed to 9 decimals. Two ground programs describe the
+    /// same HL-MRF iff their canonical terms are equal — regardless of
+    /// variable order or term enumeration order. Used by the equivalence
+    /// tests between the plan-compiled and naive grounding engines.
+    pub fn canonical_terms(&self) -> Vec<String> {
+        let desc = |expr: &LinExpr| {
+            let mut terms: Vec<String> = expr
+                .terms
+                .iter()
+                .map(|&(v, c)| format!("{c:.9}*{}", self.registry.atom(v)))
+                .collect();
+            terms.sort();
+            format!("c={:.9} {}", expr.constant, terms.join(" + "))
+        };
+        let mut out: Vec<String> =
+            Vec::with_capacity(self.potentials.len() + self.constraints.len());
+        for p in &self.potentials {
+            out.push(format!(
+                "P {} w={:.9} sq={} {}",
+                p.origin,
+                p.weight,
+                p.squared,
+                desc(&p.expr)
+            ));
+        }
+        for c in &self.constraints {
+            out.push(format!("C {} {:?} {}", c.origin, c.kind, desc(&c.expr)));
+        }
+        out.sort();
+        out
+    }
+
     /// Variable index of a target atom, if it appears in any ground term.
     pub fn var_of(&self, atom: &GroundAtom) -> Option<usize> {
         self.registry.lookup(atom)
@@ -195,7 +423,10 @@ impl GroundProgram {
     pub fn solve(&self, config: &AdmmConfig) -> MapSolution {
         let solver = AdmmSolver::new(&self.potentials, &self.constraints, self.num_vars());
         let sol = solver.solve(config);
-        MapSolution { admm: sol, constant_loss: self.constant_loss }
+        MapSolution {
+            admm: sol,
+            constant_loss: self.constant_loss,
+        }
     }
 
     /// Evaluate the soft objective (weighted potentials + constant loss)
@@ -254,9 +485,15 @@ mod tests {
         let explained = vocab.open("explained", 1);
 
         let mut program = Program::new(vocab);
-        program.db.observe(GroundAtom::from_strs(scope, &["t1"]), 1.0);
-        program.db.observe(GroundAtom::from_strs(cand, &["c1"]), 1.0);
-        program.db.observe(GroundAtom::from_strs(covers, &["c1", "t1"]), 1.0);
+        program
+            .db
+            .observe(GroundAtom::from_strs(scope, &["t1"]), 1.0);
+        program
+            .db
+            .observe(GroundAtom::from_strs(cand, &["c1"]), 1.0);
+        program
+            .db
+            .observe(GroundAtom::from_strs(covers, &["c1", "t1"]), 1.0);
         let in_map_c1 = GroundAtom::from_strs(in_map, &["c1"]);
         let explained_t1 = GroundAtom::from_strs(explained, &["t1"]);
         program.db.target(in_map_c1.clone());
@@ -338,6 +575,162 @@ mod tests {
         let s = &ground.rule_stats["explain-reward"];
         assert_eq!(s.substitutions, 1);
         assert_eq!(s.potentials, 1);
+        let total = ground.total_stats();
+        assert!(total.substitutions >= 2);
+        assert!(total.candidates_probed + total.candidates_scanned > 0);
+    }
+
+    /// Multi-rule program exercising the parallel merge path.
+    fn multi_rule_program() -> Program {
+        let mut vocab = Vocabulary::new();
+        let edge = vocab.closed("edge", 2);
+        let hub = vocab.open("hub", 1);
+        let linked = vocab.open("linked", 2);
+        let mut program = Program::new(vocab);
+        for i in 0..12 {
+            for j in 0..12 {
+                if (i + j) % 3 == 0 {
+                    program.db.observe(
+                        GroundAtom::from_strs(edge, &[&format!("n{i}"), &format!("n{j}")]),
+                        1.0,
+                    );
+                }
+            }
+            program
+                .db
+                .target(GroundAtom::from_strs(hub, &[&format!("n{i}")]));
+            for j in 0..12 {
+                program.db.target(GroundAtom::from_strs(
+                    linked,
+                    &[&format!("n{i}"), &format!("n{j}")],
+                ));
+            }
+        }
+        program.add_rule(
+            RuleBuilder::new("hubby")
+                .body(edge, vec![rvar("X"), rvar("Y")])
+                .head(hub, vec![rvar("X")])
+                .weight(1.0)
+                .build(),
+        );
+        program.add_rule(
+            RuleBuilder::new("link")
+                .body(edge, vec![rvar("X"), rvar("Y")])
+                .body(edge, vec![rvar("Y"), rvar("Z")])
+                .head(linked, vec![rvar("X"), rvar("Z")])
+                .weight(0.5)
+                .build(),
+        );
+        program.add_rule(
+            RuleBuilder::new("hub-link")
+                .body(edge, vec![rvar("X"), rvar("Y")])
+                .body(hub, vec![rvar("X")])
+                .head(linked, vec![rvar("X"), rvar("Y")])
+                .weight(0.25)
+                .build(),
+        );
+        program
+    }
+
+    /// One potential's exact shape: term count, constant, raw terms.
+    type PotentialShape = (usize, f64, Vec<(usize, f64)>);
+
+    /// Snapshot of a ground program for exact comparison.
+    fn fingerprint(g: &GroundProgram) -> (Vec<String>, Vec<PotentialShape>) {
+        let atoms: Vec<String> = (0..g.num_vars())
+            .map(|v| g.atom_of(v).to_string())
+            .collect();
+        let pots: Vec<PotentialShape> = g
+            .potentials
+            .iter()
+            .map(|p| (p.expr.terms.len(), p.expr.constant, p.expr.terms.clone()))
+            .collect();
+        (atoms, pots)
+    }
+
+    #[test]
+    fn parallel_merge_is_deterministic_across_thread_counts() {
+        let program = multi_rule_program();
+        let sequential = program.ground_with(1).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = program.ground_with(threads).unwrap();
+            assert_eq!(sequential.num_vars(), parallel.num_vars());
+            assert_eq!(
+                fingerprint(&sequential),
+                fingerprint(&parallel),
+                "threads={threads}"
+            );
+            assert_eq!(sequential.constraints.len(), parallel.constraints.len());
+            assert!((sequential.constant_loss - parallel.constant_loss).abs() < 1e-12);
+        }
+        // Repeat runs are stable too (no map-iteration leakage).
+        let again = program.ground().unwrap();
+        assert_eq!(fingerprint(&sequential), fingerprint(&again));
+    }
+
+    #[test]
+    fn vocab_arity_mismatch_rejected_up_front() {
+        let mut vocab = Vocabulary::new();
+        let p = vocab.closed("p", 2);
+        let q = vocab.open("q", 1);
+        let mut program = Program::new(vocab);
+        program
+            .db
+            .observe(GroundAtom::from_strs(p, &["a", "b"]), 1.0);
+        program.db.target(GroundAtom::from_strs(q, &["a"]));
+        // Literal written with the wrong arity for p.
+        program.add_rule(
+            RuleBuilder::new("malformed")
+                .body(p, vec![rvar("X")])
+                .head(q, vec![rvar("X")])
+                .weight(1.0)
+                .build(),
+        );
+        let err = program.ground().unwrap_err();
+        assert_eq!(
+            err,
+            GroundingError::ArityMismatch {
+                rule: "malformed".into()
+            }
+        );
+    }
+
+    #[test]
+    fn naive_grounding_matches_plan_grounding() {
+        let program = multi_rule_program();
+        let plan = program.ground().unwrap();
+        let naive = program.ground_naive().unwrap();
+        assert_eq!(plan.num_vars(), naive.num_vars());
+        assert_eq!(plan.potentials.len(), naive.potentials.len());
+        assert_eq!(plan.constraints.len(), naive.constraints.len());
+        assert!((plan.constant_loss - naive.constant_loss).abs() < 1e-12);
+        // Canonicalize each potential by resolving vars to atom strings
+        // (enumeration order differs between the engines).
+        let canon = |g: &GroundProgram| {
+            let mut v: Vec<String> = g
+                .potentials
+                .iter()
+                .map(|p| {
+                    let mut terms: Vec<String> = p
+                        .expr
+                        .terms
+                        .iter()
+                        .map(|&(var, c)| format!("{c:.9}*{}", g.atom_of(var)))
+                        .collect();
+                    terms.sort();
+                    format!(
+                        "{} w={:.9} c={:.9} {}",
+                        p.origin,
+                        p.weight,
+                        p.expr.constant,
+                        terms.join("+")
+                    )
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(canon(&plan), canon(&naive));
     }
 
     #[test]

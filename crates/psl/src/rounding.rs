@@ -59,7 +59,8 @@ mod tests {
         let values = [0.1, 0.9, 0.5, 0.9];
         let ts = candidate_thresholds(&values);
         // Cuts: everything, {0.5,0.9s}, {0.9s}, nothing.
-        let selections: Vec<Vec<usize>> = ts.iter().map(|&t| threshold_select(&values, t)).collect();
+        let selections: Vec<Vec<usize>> =
+            ts.iter().map(|&t| threshold_select(&values, t)).collect();
         assert!(selections.contains(&vec![0, 1, 2, 3]));
         assert!(selections.contains(&vec![1, 2, 3]));
         assert!(selections.contains(&vec![1, 3]));

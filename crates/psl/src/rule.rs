@@ -138,25 +138,37 @@ impl RuleBuilder {
 
     /// Add a positive body literal.
     pub fn body(mut self, pred: PredId, args: Vec<RTerm>) -> RuleBuilder {
-        self.rule.body.push(Literal { atom: RAtom { pred, args }, negated: false });
+        self.rule.body.push(Literal {
+            atom: RAtom { pred, args },
+            negated: false,
+        });
         self
     }
 
     /// Add a negated body literal.
     pub fn body_neg(mut self, pred: PredId, args: Vec<RTerm>) -> RuleBuilder {
-        self.rule.body.push(Literal { atom: RAtom { pred, args }, negated: true });
+        self.rule.body.push(Literal {
+            atom: RAtom { pred, args },
+            negated: true,
+        });
         self
     }
 
     /// Add a positive head literal.
     pub fn head(mut self, pred: PredId, args: Vec<RTerm>) -> RuleBuilder {
-        self.rule.head.push(Literal { atom: RAtom { pred, args }, negated: false });
+        self.rule.head.push(Literal {
+            atom: RAtom { pred, args },
+            negated: false,
+        });
         self
     }
 
     /// Add a negated head literal.
     pub fn head_neg(mut self, pred: PredId, args: Vec<RTerm>) -> RuleBuilder {
-        self.rule.head.push(Literal { atom: RAtom { pred, args }, negated: true });
+        self.rule.head.push(Literal {
+            atom: RAtom { pred, args },
+            negated: true,
+        });
         self
     }
 
@@ -178,7 +190,11 @@ impl RuleBuilder {
     /// # Panics
     /// Panics if the rule has an empty body or is unsafe.
     pub fn build(self) -> LogicalRule {
-        assert!(!self.rule.body.is_empty(), "rule {:?} has an empty body", self.rule.name);
+        assert!(
+            !self.rule.body.is_empty(),
+            "rule {:?} has an empty body",
+            self.rule.name
+        );
         assert!(
             self.rule.is_safe(),
             "rule {:?} is unsafe: some variable is not bound by a positive body literal",
@@ -268,11 +284,17 @@ mod tests {
         let r = LogicalRule {
             name: "bad".into(),
             body: vec![Literal {
-                atom: RAtom { pred: PredId(0), args: vec![rvar("X")] },
+                atom: RAtom {
+                    pred: PredId(0),
+                    args: vec![rvar("X")],
+                },
                 negated: false,
             }],
             head: vec![Literal {
-                atom: RAtom { pred: PredId(1), args: vec![rvar("Y")] },
+                atom: RAtom {
+                    pred: PredId(1),
+                    args: vec![rvar("Y")],
+                },
                 negated: false,
             }],
             weight: Some(1.0),
@@ -286,7 +308,10 @@ mod tests {
         let r = LogicalRule {
             name: "neg".into(),
             body: vec![Literal {
-                atom: RAtom { pred: PredId(0), args: vec![rvar("X")] },
+                atom: RAtom {
+                    pred: PredId(0),
+                    args: vec![rvar("X")],
+                },
                 negated: true,
             }],
             head: vec![],

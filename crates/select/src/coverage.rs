@@ -179,7 +179,10 @@ impl CoverageModel {
                     if kt.is_ground() {
                         ground_errors.entry(kt.clone()).or_default().push(cand_idx);
                     } else {
-                        null_errors.push(ErrorGroup { creators: vec![cand_idx], example: kt.clone() });
+                        null_errors.push(ErrorGroup {
+                            creators: vec![cand_idx],
+                            example: kt.clone(),
+                        });
                     }
                 }
             }
@@ -331,8 +334,14 @@ pub(crate) mod tests {
             .iter()
             .position(|t| t.rel == org && t.args[0] == Value::constant("111"))
             .unwrap();
-        assert!((model.cover(1, ml_idx) - 1.0).abs() < 1e-12, "3/3 via supported null");
-        assert!((model.cover(1, org_idx) - 1.0).abs() < 1e-12, "2/2 via supported null");
+        assert!(
+            (model.cover(1, ml_idx) - 1.0).abs() < 1e-12,
+            "3/3 via supported null"
+        );
+        assert!(
+            (model.cover(1, org_idx) - 1.0).abs() < 1e-12,
+            "2/2 via supported null"
+        );
     }
 
     #[test]

@@ -85,7 +85,11 @@ pub fn explain_selection(
                     .count(),
                 errors: model.error_counts[c],
                 size: model.sizes[c],
-                flip_delta: if selected { inc.delta_remove(c) } else { inc.delta_add(c) },
+                flip_delta: if selected {
+                    inc.delta_remove(c)
+                } else {
+                    inc.delta_add(c)
+                },
             }
         })
         .collect();
@@ -185,7 +189,10 @@ mod tests {
         // {θ1, θ3} (F = 12) improves by dropping either candidate.
         let report = explain_selection(&model, &w, &[0, 1]);
         assert!(!report.is_flip_optimal());
-        assert!(report.candidates.iter().any(|c| c.selected && c.flip_delta < 0.0));
+        assert!(report
+            .candidates
+            .iter()
+            .any(|c| c.selected && c.flip_delta < 0.0));
     }
 
     #[test]

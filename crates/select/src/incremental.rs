@@ -81,7 +81,9 @@ impl<'a> IncrementalObjective<'a> {
 
     /// The current selection as sorted indices.
     pub fn selection(&self) -> Vec<usize> {
-        (0..self.selected.len()).filter(|&c| self.selected[c]).collect()
+        (0..self.selected.len())
+            .filter(|&c| self.selected[c])
+            .collect()
     }
 
     /// Apply: add candidate `c`. No-op if already selected.

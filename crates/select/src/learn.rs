@@ -35,7 +35,10 @@ pub struct WeightGrid {
 impl Default for WeightGrid {
     fn default() -> WeightGrid {
         let axis = vec![0.25, 0.5, 1.0, 2.0, 4.0];
-        WeightGrid { w_error: axis.clone(), w_size: axis }
+        WeightGrid {
+            w_error: axis.clone(),
+            w_size: axis,
+        }
     }
 }
 
@@ -45,7 +48,11 @@ impl WeightGrid {
         let mut out = Vec::with_capacity(self.w_error.len() * self.w_size.len());
         for &w2 in &self.w_error {
             for &w3 in &self.w_size {
-                out.push(ObjectiveWeights { w_explain: 1.0, w_error: w2, w_size: w3 });
+                out.push(ObjectiveWeights {
+                    w_explain: 1.0,
+                    w_error: w2,
+                    w_size: w3,
+                });
             }
         }
         out
@@ -75,7 +82,10 @@ pub fn learn_weights(
     grid: &WeightGrid,
     metric: LearnMetric,
 ) -> LearnedWeights {
-    assert!(!scenarios.is_empty(), "weight learning needs at least one scenario");
+    assert!(
+        !scenarios.is_empty(),
+        "weight learning needs at least one scenario"
+    );
     let score_of = |weights: &ObjectiveWeights| -> f64 {
         let mut total = 0.0;
         for s in scenarios {
@@ -102,7 +112,12 @@ pub fn learn_weights(
             best = (weights, score);
         }
     }
-    LearnedWeights { weights: best.0, train_score: best.1, default_score, evaluated }
+    LearnedWeights {
+        weights: best.0,
+        train_score: best.1,
+        default_score,
+        evaluated,
+    }
 }
 
 #[cfg(test)]
@@ -141,8 +156,18 @@ mod tests {
     #[test]
     fn deterministic() {
         let scenarios = training_batch();
-        let a = learn_weights(&scenarios, &Greedy, &WeightGrid::default(), LearnMetric::DataF1);
-        let b = learn_weights(&scenarios, &Greedy, &WeightGrid::default(), LearnMetric::DataF1);
+        let a = learn_weights(
+            &scenarios,
+            &Greedy,
+            &WeightGrid::default(),
+            LearnMetric::DataF1,
+        );
+        let b = learn_weights(
+            &scenarios,
+            &Greedy,
+            &WeightGrid::default(),
+            LearnMetric::DataF1,
+        );
         assert_eq!(a.weights, b.weights);
         assert_eq!(a.train_score, b.train_score);
     }
@@ -150,7 +175,10 @@ mod tests {
     #[test]
     fn degenerate_grid_returns_default() {
         let scenarios = training_batch();
-        let grid = WeightGrid { w_error: vec![1.0], w_size: vec![1.0] };
+        let grid = WeightGrid {
+            w_error: vec![1.0],
+            w_size: vec![1.0],
+        };
         let learned = learn_weights(&scenarios, &Greedy, &grid, LearnMetric::MappingF1);
         assert_eq!(learned.weights, ObjectiveWeights::unweighted());
         assert_eq!(learned.evaluated, 1);
@@ -164,7 +192,10 @@ mod tests {
 
     #[test]
     fn grid_combinations_cover_product() {
-        let grid = WeightGrid { w_error: vec![1.0, 2.0], w_size: vec![0.5, 1.0, 2.0] };
+        let grid = WeightGrid {
+            w_error: vec![1.0, 2.0],
+            w_size: vec![0.5, 1.0, 2.0],
+        };
         assert_eq!(grid.combinations().len(), 6);
     }
 }

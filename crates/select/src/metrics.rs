@@ -28,16 +28,32 @@ impl Prf {
     /// made no mistake); empty-vs-nonempty as zero.
     pub fn from_counts(true_pos: usize, selected: usize, gold: usize) -> Prf {
         if selected == 0 && gold == 0 {
-            return Prf { precision: 1.0, recall: 1.0, f1: 1.0 };
+            return Prf {
+                precision: 1.0,
+                recall: 1.0,
+                f1: 1.0,
+            };
         }
-        let precision = if selected == 0 { 0.0 } else { true_pos as f64 / selected as f64 };
-        let recall = if gold == 0 { 0.0 } else { true_pos as f64 / gold as f64 };
+        let precision = if selected == 0 {
+            0.0
+        } else {
+            true_pos as f64 / selected as f64
+        };
+        let recall = if gold == 0 {
+            0.0
+        } else {
+            true_pos as f64 / gold as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        Prf { precision, recall, f1 }
+        Prf {
+            precision,
+            recall,
+            f1,
+        }
     }
 }
 
@@ -54,9 +70,8 @@ pub fn data_prf(
     selected: &[usize],
     gold: &[usize],
 ) -> Prf {
-    let pick = |idxs: &[usize]| -> Vec<StTgd> {
-        idxs.iter().map(|&i| candidates[i].clone()).collect()
-    };
+    let pick =
+        |idxs: &[usize]| -> Vec<StTgd> { idxs.iter().map(|&i| candidates[i].clone()).collect() };
     let k_sel = chase(source, &pick(selected));
     let k_gold = chase(source, &pick(gold));
     let (ms, mg) = (pattern_multiset(&k_sel), pattern_multiset(&k_gold));

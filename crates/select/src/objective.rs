@@ -25,7 +25,11 @@ pub struct ObjectiveWeights {
 
 impl Default for ObjectiveWeights {
     fn default() -> ObjectiveWeights {
-        ObjectiveWeights { w_explain: 1.0, w_error: 1.0, w_size: 1.0 }
+        ObjectiveWeights {
+            w_explain: 1.0,
+            w_error: 1.0,
+            w_size: 1.0,
+        }
     }
 }
 
@@ -55,7 +59,11 @@ impl<'a> Objective<'a> {
     /// # Panics
     /// Panics if the mask length differs from the candidate count.
     pub fn value_mask(&self, selected: &[bool]) -> f64 {
-        assert_eq!(selected.len(), self.model.num_candidates, "selection mask size");
+        assert_eq!(
+            selected.len(),
+            self.model.num_candidates,
+            "selection mask size"
+        );
         // explains(M, t) = max over selected candidates.
         let mut best = vec![0.0f64; self.model.num_targets()];
         let mut size = 0usize;
@@ -185,7 +193,11 @@ mod tests {
     fn weights_scale_components() {
         let (_, _, i, j, cands) = running_example();
         let model = CoverageModel::build(&i, &j, &cands);
-        let w = ObjectiveWeights { w_explain: 2.0, w_error: 0.5, w_size: 0.0 };
+        let w = ObjectiveWeights {
+            w_explain: 2.0,
+            w_error: 0.5,
+            w_size: 0.0,
+        };
         let f = Objective::new(&model, w);
         // {θ1}: 2·(10/3) + 0.5·1 + 0 = 43/6.
         assert!((f.value(&[0]) - (2.0 * (10.0 / 3.0) + 0.5)).abs() < 1e-9);

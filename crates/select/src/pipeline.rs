@@ -49,7 +49,12 @@ pub fn evaluate_scenario(
 
     let gold_objective = Objective::new(&reduced, *weights).value(&scenario.gold) + constant;
     let mapping = mapping_prf(&selection.selected, &scenario.gold);
-    let data = data_prf(&scenario.source, &scenario.candidates, &selection.selected, &scenario.gold);
+    let data = data_prf(
+        &scenario.source,
+        &scenario.candidates,
+        &selection.selected,
+        &scenario.gold,
+    );
     SelectionOutcome {
         selector: selector.name().to_owned(),
         selection,
@@ -71,9 +76,12 @@ mod tests {
     #[test]
     fn clean_cp_scenario_recovers_gold_exactly() {
         let scenario = generate(&ScenarioConfig::single_primitive(Primitive::Cp, 2));
-        let outcome =
-            evaluate_scenario(&scenario, &Greedy, &ObjectiveWeights::unweighted());
-        assert_eq!(outcome.mapping.f1, 1.0, "selected {:?}", outcome.selection.selected);
+        let outcome = evaluate_scenario(&scenario, &Greedy, &ObjectiveWeights::unweighted());
+        assert_eq!(
+            outcome.mapping.f1, 1.0,
+            "selected {:?}",
+            outcome.selection.selected
+        );
         assert_eq!(outcome.data.f1, 1.0);
         assert!(outcome.selection.objective <= outcome.gold_objective + 1e-9);
     }
@@ -81,8 +89,11 @@ mod tests {
     #[test]
     fn clean_default_scenario_psl_matches_gold_data() {
         let scenario = generate(&ScenarioConfig::default());
-        let outcome =
-            evaluate_scenario(&scenario, &PslCollective::default(), &ObjectiveWeights::unweighted());
+        let outcome = evaluate_scenario(
+            &scenario,
+            &PslCollective::default(),
+            &ObjectiveWeights::unweighted(),
+        );
         // On a clean scenario the gold mapping explains everything with
         // zero errors, so any objective-optimal selection reproduces the
         // gold data exactly.

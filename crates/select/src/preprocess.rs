@@ -66,7 +66,10 @@ pub fn preprocess(model: &CoverageModel) -> (CoverageModel, PreprocessReport) {
         errors: model
             .errors
             .iter()
-            .map(|g| ErrorGroup { creators: g.creators.clone(), example: g.example.clone() })
+            .map(|g| ErrorGroup {
+                creators: g.creators.clone(),
+                example: g.example.clone(),
+            })
             .collect(),
         error_counts: model.error_counts.clone(),
     };
@@ -98,7 +101,10 @@ mod tests {
         for sel in [vec![], vec![0], vec![1], vec![0, 1]] {
             let full = f_full.value(&sel);
             let red = f_red.value(&sel) + report.certain_unexplained as f64;
-            assert!((full - red).abs() < 1e-9, "selection {sel:?}: {full} vs {red}");
+            assert!(
+                (full - red).abs() < 1e-9,
+                "selection {sel:?}: {full} vs {red}"
+            );
         }
     }
 

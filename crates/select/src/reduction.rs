@@ -76,7 +76,10 @@ pub fn build_reduction(sc: &SetCoverInstance) -> Reduction {
         // R_i(X, Y) → U(X, Y)
         candidates.push(StTgd::new(
             vec![Atom::new(r, vec![Term::Var(VarId(0)), Term::Var(VarId(1))])],
-            vec![Atom::new(u_rel, vec![Term::Var(VarId(0)), Term::Var(VarId(1))])],
+            vec![Atom::new(
+                u_rel,
+                vec![Term::Var(VarId(0)), Term::Var(VarId(1))],
+            )],
             vec!["X".into(), "Y".into()],
         ));
     }

@@ -17,7 +17,10 @@ pub struct FixedSelection {
 impl FixedSelection {
     /// A fixed selection with a label.
     pub fn new(label: impl Into<String>, indices: Vec<usize>) -> FixedSelection {
-        FixedSelection { label: label.into(), indices }
+        FixedSelection {
+            label: label.into(),
+            indices,
+        }
     }
 
     /// The empty mapping.

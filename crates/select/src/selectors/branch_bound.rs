@@ -46,7 +46,13 @@ impl Search<'_> {
     /// DFS at position `i` with `included` the chosen candidates so far,
     /// `cur_cover[t]` their best covers, `cur_errors`/`cur_size` their
     /// error-group count and total size.
-    fn dfs(&mut self, i: usize, included: &mut Vec<usize>, cur_cover: &mut Vec<f64>, cur_size: f64) {
+    fn dfs(
+        &mut self,
+        i: usize,
+        included: &mut Vec<usize>,
+        cur_cover: &mut Vec<f64>,
+        cur_size: f64,
+    ) {
         self.nodes += 1;
         if self.nodes > self.budget {
             self.truncated = true;
@@ -96,7 +102,12 @@ impl Search<'_> {
             }
         }
         included.push(cand);
-        self.dfs(i + 1, included, cur_cover, cur_size + self.model.sizes[cand] as f64);
+        self.dfs(
+            i + 1,
+            included,
+            cur_cover,
+            cur_size + self.model.sizes[cand] as f64,
+        );
         included.pop();
         for (t, old) in touched {
             cur_cover[t] = old;
@@ -191,15 +202,18 @@ mod tests {
             let n_sets = 4 + (next() % 5) as usize;
             let sets: Vec<Vec<usize>> = (0..n_sets)
                 .map(|_| {
-                    let mut s: Vec<usize> =
-                        (0..universe).filter(|_| next() % 3 == 0).collect();
+                    let mut s: Vec<usize> = (0..universe).filter(|_| next() % 3 == 0).collect();
                     if s.is_empty() {
                         s.push((next() % universe as u64) as usize);
                     }
                     s
                 })
                 .collect();
-            let sc = SetCoverInstance { universe, sets, bound: 2 };
+            let sc = SetCoverInstance {
+                universe,
+                sets,
+                bound: 2,
+            };
             let red = build_reduction(&sc);
             let model = CoverageModel::build(&red.source, &red.target, &red.candidates);
             let w = ObjectiveWeights::unweighted();
@@ -226,7 +240,10 @@ mod tests {
     #[test]
     fn node_budget_truncates_gracefully() {
         let (model, _) = known_optimum_model();
-        let sel = BranchBound { node_budget: Some(3) }.select(&model, &ObjectiveWeights::unweighted());
+        let sel = BranchBound {
+            node_budget: Some(3),
+        }
+        .select(&model, &ObjectiveWeights::unweighted());
         assert!(sel.note.contains("budget"));
         // Still returns something coherent (the empty incumbent or better).
         assert!(sel.objective <= 20.0 + 1e-9);

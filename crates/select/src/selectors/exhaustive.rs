@@ -60,7 +60,11 @@ mod tests {
         let (model, best) = known_optimum_model();
         let sel = Exhaustive::default().select(&model, &ObjectiveWeights::unweighted());
         assert!((sel.objective - best).abs() < 1e-9);
-        assert!(sel.selected == vec![0, 2] || sel.selected == vec![1, 3], "{:?}", sel.selected);
+        assert!(
+            sel.selected == vec![0, 2] || sel.selected == vec![1, 3],
+            "{:?}",
+            sel.selected
+        );
         assert_eq!(sel.evaluations, 16);
     }
 
@@ -76,6 +80,9 @@ mod tests {
     #[should_panic(expected = "use BranchBound")]
     fn refuses_oversized_inputs() {
         let (model, _) = known_optimum_model();
-        Exhaustive { max_candidates: Some(2) }.select(&model, &ObjectiveWeights::unweighted());
+        Exhaustive {
+            max_candidates: Some(2),
+        }
+        .select(&model, &ObjectiveWeights::unweighted());
     }
 }

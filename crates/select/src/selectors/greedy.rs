@@ -107,7 +107,11 @@ mod tests {
         let (model, best) = known_optimum_model();
         let sel = Greedy.select(&model, &ObjectiveWeights::unweighted());
         // Greedy is optimal here: each set covers disjoint gains.
-        assert!((sel.objective - best).abs() < 1e-9, "greedy got {}", sel.objective);
+        assert!(
+            (sel.objective - best).abs() < 1e-9,
+            "greedy got {}",
+            sel.objective
+        );
     }
 
     #[test]
@@ -121,8 +125,9 @@ mod tests {
     fn removal_pass_drops_redundant_choice() {
         use crate::coverage::ErrorGroup;
         use cms_data::{RelId, Tuple};
-        let targets: Vec<Tuple> =
-            (0..6).map(|i| Tuple::ground(RelId(0), &[&format!("t{i}")])).collect();
+        let targets: Vec<Tuple> = (0..6)
+            .map(|i| Tuple::ground(RelId(0), &[&format!("t{i}")]))
+            .collect();
         let model = CoverageModel {
             num_candidates: 2,
             targets,

@@ -22,7 +22,10 @@ pub struct LocalSearch {
 
 impl Default for LocalSearch {
     fn default() -> LocalSearch {
-        LocalSearch { restarts: 4, seed: 17 }
+        LocalSearch {
+            restarts: 4,
+            seed: 17,
+        }
     }
 }
 
@@ -39,7 +42,11 @@ fn hill_climb(
         let mut best_delta = -1e-12;
         let mut best_flip = None;
         for &c in &useful {
-            let delta = if inc.is_selected(c) { inc.delta_remove(c) } else { inc.delta_add(c) };
+            let delta = if inc.is_selected(c) {
+                inc.delta_remove(c)
+            } else {
+                inc.delta_add(c)
+            };
             *evaluations += 1;
             if delta < best_delta {
                 best_delta = delta;
@@ -72,13 +79,18 @@ impl Selector for LocalSearch {
         // Start 1: greedy.
         let (greedy_sel, _, ev) = greedy_from(model, weights, Vec::new());
         evaluations += ev;
-        let (mut best_sel, mut best_val) = hill_climb(model, weights, &greedy_sel, &mut evaluations);
+        let (mut best_sel, mut best_val) =
+            hill_climb(model, weights, &greedy_sel, &mut evaluations);
 
         // Random restarts.
         let useful = useful_candidates(model);
         let mut rng = StdRng::seed_from_u64(self.seed);
         for _ in 0..self.restarts {
-            let start: Vec<usize> = useful.iter().copied().filter(|_| rng.gen_bool(0.3)).collect();
+            let start: Vec<usize> = useful
+                .iter()
+                .copied()
+                .filter(|_| rng.gen_bool(0.3))
+                .collect();
             let (sel, val) = hill_climb(model, weights, &start, &mut evaluations);
             if val < best_val - 1e-12 {
                 best_val = val;
@@ -115,8 +127,16 @@ mod tests {
     fn deterministic_given_seed() {
         let (model, _) = known_optimum_model();
         let w = ObjectiveWeights::unweighted();
-        let a = LocalSearch { restarts: 3, seed: 5 }.select(&model, &w);
-        let b = LocalSearch { restarts: 3, seed: 5 }.select(&model, &w);
+        let a = LocalSearch {
+            restarts: 3,
+            seed: 5,
+        }
+        .select(&model, &w);
+        let b = LocalSearch {
+            restarts: 3,
+            seed: 5,
+        }
+        .select(&model, &w);
         assert_eq!(a.selected, b.selected);
         assert_eq!(a.objective, b.objective);
     }

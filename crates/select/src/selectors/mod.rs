@@ -44,7 +44,12 @@ impl Selection {
     pub(crate) fn new(mut selected: Vec<usize>, objective: f64, evaluations: usize) -> Selection {
         selected.sort_unstable();
         selected.dedup();
-        Selection { selected, objective, evaluations, note: String::new() }
+        Selection {
+            selected,
+            objective,
+            evaluations,
+            note: String::new(),
+        }
     }
 }
 

@@ -43,7 +43,11 @@ pub struct PslCollective {
 
 impl Default for PslCollective {
     fn default() -> PslCollective {
-        PslCollective { admm: AdmmConfig::default(), greedy_repair: true, squared: false }
+        PslCollective {
+            admm: AdmmConfig::default(),
+            greedy_repair: true,
+            squared: false,
+        }
     }
 }
 
@@ -67,6 +71,37 @@ pub struct PslRun {
 impl PslCollective {
     /// Build the program, run MAP inference, and return the relaxed state.
     pub fn infer(&self, model: &CoverageModel, weights: &ObjectiveWeights) -> PslRun {
+        let (program, in_map_p) = self.build_program(model, weights);
+        let ground = program.ground().expect("CMS program grounds cleanly");
+        let solution = ground.solve(&self.admm);
+        let relaxed: Vec<f64> = (0..model.num_candidates)
+            .map(|c| {
+                solution
+                    .value(
+                        &ground,
+                        &GroundAtom::from_strs(in_map_p, &[&format!("c{c}")]),
+                    )
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        PslRun {
+            relaxed,
+            iterations: solution.admm.iterations,
+            converged: solution.admm.converged,
+            soft_objective: solution.total_objective(),
+            ground_terms: ground.potentials.len() + ground.constraints.len(),
+        }
+    }
+
+    /// Build the hand-compiled ("raw") PSL program for a coverage model.
+    /// Returns the program plus the `inMap` predicate id needed to read the
+    /// relaxed truths back out. Exposed so benches and equivalence tests
+    /// can ground the exact production program without running ADMM.
+    pub fn build_program(
+        &self,
+        model: &CoverageModel,
+        weights: &ObjectiveWeights,
+    ) -> (Program, cms_psl::PredId) {
         let mut vocab = Vocabulary::new();
         let tuple_p = vocab.closed("tuple", 1);
         let cand_p = vocab.closed("cand", 1);
@@ -133,18 +168,7 @@ impl PslCollective {
             program.add_raw_potential(lin, weights.w_error, self.squared, "error-penalty");
         }
 
-        let ground = program.ground().expect("CMS program grounds cleanly");
-        let solution = ground.solve(&self.admm);
-        let relaxed: Vec<f64> = (0..model.num_candidates)
-            .map(|c| solution.value(&ground, &in_map(c)).unwrap_or(0.0))
-            .collect();
-        PslRun {
-            relaxed,
-            iterations: solution.admm.iterations,
-            converged: solution.admm.converged,
-            soft_objective: solution.total_objective(),
-            ground_terms: ground.potentials.len() + ground.constraints.len(),
-        }
+        (program, in_map_p)
     }
 }
 
@@ -163,6 +187,40 @@ impl PslCollective {
     /// (R5)  w3·maxSize : sizeFrac(C)·inMap(C) ≤ 0        (weighted hinge)
     /// ```
     pub fn infer_declarative(&self, model: &CoverageModel, weights: &ObjectiveWeights) -> PslRun {
+        let (program, in_map_p) = self.build_declarative_program(model, weights);
+        let ground = program
+            .ground()
+            .expect("declarative CMS program grounds cleanly");
+        let solution = ground.solve(&self.admm);
+        let relaxed: Vec<f64> = (0..model.num_candidates)
+            .map(|c| {
+                solution
+                    .value(
+                        &ground,
+                        &GroundAtom::from_strs(in_map_p, &[&format!("c{c}")]),
+                    )
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        PslRun {
+            relaxed,
+            iterations: solution.admm.iterations,
+            converged: solution.admm.converged,
+            soft_objective: solution.total_objective(),
+            ground_terms: ground.potentials.len() + ground.constraints.len(),
+        }
+    }
+
+    /// Build the declarative-rule variant of the program (logical +
+    /// arithmetic rules only). Returns the program plus the `inMap`
+    /// predicate id. This is the program whose grounding exercises the
+    /// rule-join engine hardest (the `error-link` rule is a genuine
+    /// two-literal join), so the grounding benches use it.
+    pub fn build_declarative_program(
+        &self,
+        model: &CoverageModel,
+        weights: &ObjectiveWeights,
+    ) -> (Program, cms_psl::PredId) {
         use cms_psl::ArithRuleBuilder;
         use cms_psl::{RAtom, RTerm};
 
@@ -184,24 +242,38 @@ impl PslCollective {
 
         let max_size = model.sizes.iter().copied().max().unwrap_or(1).max(1) as f64;
         for t in 0..model.num_targets() {
-            program.db.observe(GroundAtom::from_strs(tuple_p, &[&t_name(t)]), 1.0);
-            program.db.target(GroundAtom::from_strs(explained_p, &[&t_name(t)]));
-        }
-        for c in 0..model.num_candidates {
-            program.db.observe(GroundAtom::from_strs(cand_p, &[&c_name(c)]), 1.0);
             program
                 .db
-                .observe(GroundAtom::from_strs(size_frac_p, &[&c_name(c)]), model.sizes[c] as f64 / max_size);
-            program.db.target(GroundAtom::from_strs(in_map_p, &[&c_name(c)]));
+                .observe(GroundAtom::from_strs(tuple_p, &[&t_name(t)]), 1.0);
+            program
+                .db
+                .target(GroundAtom::from_strs(explained_p, &[&t_name(t)]));
+        }
+        for c in 0..model.num_candidates {
+            program
+                .db
+                .observe(GroundAtom::from_strs(cand_p, &[&c_name(c)]), 1.0);
+            program.db.observe(
+                GroundAtom::from_strs(size_frac_p, &[&c_name(c)]),
+                model.sizes[c] as f64 / max_size,
+            );
+            program
+                .db
+                .target(GroundAtom::from_strs(in_map_p, &[&c_name(c)]));
             for &(t, d) in &model.covers[c] {
-                program
-                    .db
-                    .observe(GroundAtom::from_strs(covers_p, &[&c_name(c), &t_name(t)]), d);
+                program.db.observe(
+                    GroundAtom::from_strs(covers_p, &[&c_name(c), &t_name(t)]),
+                    d,
+                );
             }
         }
         for (g, group) in model.errors.iter().enumerate() {
-            program.db.observe(GroundAtom::from_strs(err_scope_p, &[&g_name(g)]), 1.0);
-            program.db.target(GroundAtom::from_strs(err_p, &[&g_name(g)]));
+            program
+                .db
+                .observe(GroundAtom::from_strs(err_scope_p, &[&g_name(g)]), 1.0);
+            program
+                .db
+                .target(GroundAtom::from_strs(err_p, &[&g_name(g)]));
             for &creator in &group.creators {
                 program.db.observe(
                     GroundAtom::from_strs(creates_p, &[&c_name(creator), &g_name(g)]),
@@ -226,7 +298,10 @@ impl PslCollective {
         program.add_arith_rule(
             ArithRuleBuilder::new("explain-cap")
                 .term(1.0, vec![ratom(explained_p, &["T"])])
-                .term(-1.0, vec![ratom(covers_p, &["C", "T"]), ratom(in_map_p, &["C"])])
+                .term(
+                    -1.0,
+                    vec![ratom(covers_p, &["C", "T"]), ratom(in_map_p, &["C"])],
+                )
                 .sum_over("C")
                 .build(),
         );
@@ -249,27 +324,15 @@ impl PslCollective {
         // (R5)
         program.add_arith_rule(
             ArithRuleBuilder::new("size-prior")
-                .term(1.0, vec![ratom(size_frac_p, &["C"]), ratom(in_map_p, &["C"])])
+                .term(
+                    1.0,
+                    vec![ratom(size_frac_p, &["C"]), ratom(in_map_p, &["C"])],
+                )
                 .weight(weights.w_size * max_size)
                 .build(),
         );
 
-        let ground = program.ground().expect("declarative CMS program grounds cleanly");
-        let solution = ground.solve(&self.admm);
-        let relaxed: Vec<f64> = (0..model.num_candidates)
-            .map(|c| {
-                solution
-                    .value(&ground, &GroundAtom::from_strs(in_map_p, &[&c_name(c)]))
-                    .unwrap_or(0.0)
-            })
-            .collect();
-        PslRun {
-            relaxed,
-            iterations: solution.admm.iterations,
-            converged: solution.admm.converged,
-            soft_objective: solution.total_objective(),
-            ground_terms: ground.potentials.len() + ground.constraints.len(),
-        }
+        (program, in_map_p)
     }
 }
 
@@ -359,8 +422,11 @@ mod tests {
     #[test]
     fn without_repair_still_reasonable() {
         let (model, best) = known_optimum_model();
-        let sel = PslCollective { greedy_repair: false, ..PslCollective::default() }
-            .select(&model, &ObjectiveWeights::unweighted());
+        let sel = PslCollective {
+            greedy_repair: false,
+            ..PslCollective::default()
+        }
+        .select(&model, &ObjectiveWeights::unweighted());
         // Pure rounding may be slightly worse but must beat "select all".
         let all = Objective::new(&model, ObjectiveWeights::unweighted()).value(&[0, 1, 2, 3]);
         assert!(sel.objective <= all + 1e-9);
@@ -379,7 +445,12 @@ mod tests {
         let raw = selector.infer(&model, &w);
         let declarative = selector.infer_declarative(&model, &w);
         assert!(raw.converged && declarative.converged);
-        for (c, (a, b)) in raw.relaxed.iter().zip(declarative.relaxed.iter()).enumerate() {
+        for (c, (a, b)) in raw
+            .relaxed
+            .iter()
+            .zip(declarative.relaxed.iter())
+            .enumerate()
+        {
             assert!(
                 (a - b).abs() < 5e-3,
                 "candidate {c}: raw {a} vs declarative {b}"
@@ -389,7 +460,12 @@ mod tests {
         let model = appendix_model();
         let raw = selector.infer(&model, &w);
         let declarative = selector.infer_declarative(&model, &w);
-        for (c, (a, b)) in raw.relaxed.iter().zip(declarative.relaxed.iter()).enumerate() {
+        for (c, (a, b)) in raw
+            .relaxed
+            .iter()
+            .zip(declarative.relaxed.iter())
+            .enumerate()
+        {
             assert!(
                 (a - b).abs() < 5e-3,
                 "appendix candidate {c}: raw {a} vs declarative {b}"
@@ -400,8 +476,11 @@ mod tests {
     #[test]
     fn squared_variant_runs() {
         let (model, _) = known_optimum_model();
-        let sel = PslCollective { squared: true, ..PslCollective::default() }
-            .select(&model, &ObjectiveWeights::unweighted());
+        let sel = PslCollective {
+            squared: true,
+            ..PslCollective::default()
+        }
+        .select(&model, &ObjectiveWeights::unweighted());
         assert!(!sel.note.is_empty());
     }
 }

@@ -15,15 +15,10 @@ fn arb_model() -> impl Strategy<Value = CoverageModel> {
     let n_cand = 1usize..=7;
     let n_tgt = 1usize..=8;
     (n_cand, n_tgt).prop_flat_map(|(nc, nt)| {
-        let covers = prop::collection::vec(
-            prop::collection::vec((0..nt, 1u32..=4), 0..nt),
-            nc..=nc,
-        );
+        let covers =
+            prop::collection::vec(prop::collection::vec((0..nt, 1u32..=4), 0..nt), nc..=nc);
         let sizes = prop::collection::vec(2usize..=6, nc..=nc);
-        let errors = prop::collection::vec(
-            prop::collection::vec(0..nc, 1..=nc.min(3)),
-            0..4,
-        );
+        let errors = prop::collection::vec(prop::collection::vec(0..nc, 1..=nc.min(3)), 0..4);
         (covers, sizes, errors).prop_map(move |(covers, sizes, errors)| {
             let covers: Vec<Vec<(usize, f64)>> = covers
                 .into_iter()
@@ -58,7 +53,9 @@ fn arb_model() -> impl Strategy<Value = CoverageModel> {
             }
             CoverageModel {
                 num_candidates: nc,
-                targets: (0..nt).map(|t| Tuple::ground(RelId(0), &[&format!("t{t}")])).collect(),
+                targets: (0..nt)
+                    .map(|t| Tuple::ground(RelId(0), &[&format!("t{t}")]))
+                    .collect(),
                 sizes,
                 covers,
                 errors,

@@ -53,9 +53,17 @@ mod tests {
     fn vars_in_order_with_duplicates() {
         let a = Atom::new(
             RelId(0),
-            vec![Term::Var(VarId(1)), Term::constant("c"), Term::Var(VarId(1)), Term::Var(VarId(0))],
+            vec![
+                Term::Var(VarId(1)),
+                Term::constant("c"),
+                Term::Var(VarId(1)),
+                Term::Var(VarId(0)),
+            ],
         );
-        assert_eq!(a.vars().collect::<Vec<_>>(), vec![VarId(1), VarId(1), VarId(0)]);
+        assert_eq!(
+            a.vars().collect::<Vec<_>>(),
+            vec![VarId(1), VarId(1), VarId(0)]
+        );
         assert_eq!(a.arity(), 4);
     }
 

@@ -54,7 +54,9 @@ fn fire(
                 Term::Const(c) => Value::Const(*c),
                 Term::Var(v) => match binding[v.index()] {
                     Some(val) => val,
-                    None => *ext.get(&v.0).expect("head var neither bound nor existential"),
+                    None => *ext
+                        .get(&v.0)
+                        .expect("head var neither bound nor existential"),
                 },
             })
             .collect();
@@ -204,7 +206,10 @@ mod tests {
             vec![],
         );
         let k = chase_one(&source(), &with_const);
-        assert!(k.contains(RelId(1), &[Value::constant("BigData"), Value::constant("ACME")]));
+        assert!(k.contains(
+            RelId(1),
+            &[Value::constant("BigData"), Value::constant("ACME")]
+        ));
     }
 
     #[test]

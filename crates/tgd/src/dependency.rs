@@ -70,7 +70,11 @@ impl std::error::Error for TgdError {}
 impl StTgd {
     /// Construct a tgd; no validation (see [`StTgd::validate`]).
     pub fn new(body: Vec<Atom>, head: Vec<Atom>, var_names: Vec<String>) -> StTgd {
-        StTgd { body, head, var_names }
+        StTgd {
+            body,
+            head,
+            var_names,
+        }
     }
 
     /// Total number of distinct variables (max id + 1 across both sides).
@@ -134,7 +138,11 @@ impl StTgd {
     /// Render with relation names resolved against the schema pair and
     /// variable names where available.
     pub fn display<'a>(&'a self, source: &'a Schema, target: &'a Schema) -> TgdDisplay<'a> {
-        TgdDisplay { tgd: self, source, target }
+        TgdDisplay {
+            tgd: self,
+            source,
+            target,
+        }
     }
 
     fn term_name(&self, t: Term) -> String {
@@ -199,7 +207,10 @@ mod tests {
                 Atom::new(RelId(0), vec![v(0), v(3), v(4)]),
                 Atom::new(RelId(1), vec![v(4), v(5)]),
             ],
-            vec!["X", "N", "C", "E", "O", "F"].into_iter().map(String::from).collect(),
+            vec!["X", "N", "C", "E", "O", "F"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
         )
     }
 
@@ -236,14 +247,20 @@ mod tests {
         bad.head[0].terms.pop();
         assert_eq!(
             bad.validate(&src, &tgt),
-            Err(TgdError::ArityMismatch { in_body: false, atom: 0 })
+            Err(TgdError::ArityMismatch {
+                in_body: false,
+                atom: 0
+            })
         );
 
         let mut unk = theta3();
         unk.body[1].rel = RelId(9);
         assert_eq!(
             unk.validate(&src, &tgt),
-            Err(TgdError::UnknownRelation { in_body: true, atom: 1 })
+            Err(TgdError::UnknownRelation {
+                in_body: true,
+                atom: 1
+            })
         );
 
         let empty = StTgd::new(vec![], theta3().head, vec![]);

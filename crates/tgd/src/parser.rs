@@ -104,7 +104,10 @@ fn parse_conj(
         let name = raw[..open].trim();
         let rel = schema
             .rel_id(name)
-            .ok_or_else(|| ParseError::UnknownRelation { name: name.into(), in_body })?;
+            .ok_or_else(|| ParseError::UnknownRelation {
+                name: name.into(),
+                in_body,
+            })?;
         let args_text = &raw[open + 1..raw.len() - 1];
         let mut terms = Vec::new();
         for arg in args_text.split(',') {
@@ -128,7 +131,11 @@ fn parse_conj(
         }
         let want = schema.relation(rel).arity();
         if terms.len() != want {
-            return Err(ParseError::Arity { name: name.into(), got: terms.len(), want });
+            return Err(ParseError::Arity {
+                name: name.into(),
+                got: terms.len(),
+                want,
+            });
         }
         atoms.push(Atom::new(rel, terms));
     }
@@ -226,7 +233,10 @@ mod tests {
     #[test]
     fn error_cases() {
         let (src, tgt) = schemas();
-        assert_eq!(parse_tgd("proj(x,y,z)", &src, &tgt), Err(ParseError::BadArrow));
+        assert_eq!(
+            parse_tgd("proj(x,y,z)", &src, &tgt),
+            Err(ParseError::BadArrow)
+        );
         assert!(matches!(
             parse_tgd("nope(x) -> task(x, x, x)", &src, &tgt),
             Err(ParseError::UnknownRelation { in_body: true, .. })
@@ -237,7 +247,11 @@ mod tests {
         ));
         assert!(matches!(
             parse_tgd("team(a) -> task(a, a, a)", &src, &tgt),
-            Err(ParseError::Arity { got: 1, want: 2, .. })
+            Err(ParseError::Arity {
+                got: 1,
+                want: 2,
+                ..
+            })
         ));
         assert!(matches!(
             parse_tgd("team(a, b -> task(a, b, b)", &src, &tgt),

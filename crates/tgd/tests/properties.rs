@@ -1,9 +1,7 @@
 //! Property-based tests for dependencies, matching, and the chase.
 
 use cms_data::{Instance, RelId, Schema, Value};
-use cms_tgd::{
-    canonical_key, chase, chase_one, match_conjunction, Atom, StTgd, Term, VarId,
-};
+use cms_tgd::{canonical_key, chase, chase_one, match_conjunction, Atom, StTgd, Term, VarId};
 use proptest::prelude::*;
 
 /// A random source instance over two relations r0/2 and r1/2 with a small

@@ -12,25 +12,39 @@ use cms::prelude::*;
 
 fn main() {
     let config = ScenarioConfig {
-        noise: NoiseConfig { pi_corresp: 50.0, pi_errors: 25.0, pi_unexplained: 25.0 },
+        noise: NoiseConfig {
+            pi_corresp: 50.0,
+            pi_errors: 25.0,
+            pi_unexplained: 25.0,
+        },
         seed: 20170419,
         ..ScenarioConfig::all_primitives(1)
     };
     let scenario = generate(&config);
     let s = &scenario.stats;
-    println!("scenario: {} invocations over all 7 iBench primitives", s.invocations);
+    println!(
+        "scenario: {} invocations over all 7 iBench primitives",
+        s.invocations
+    );
     println!(
         "  schemas: {} source rels, {} target rels | correspondences: {} true + {} noise",
         s.source_rels, s.target_rels, s.true_corrs, s.noise_corrs
     );
     println!(
         "  candidates: {} (gold = {}) | data: |I| = {}, |J| = {} ({} deleted, {} added)",
-        s.candidates, s.gold_size, s.source_tuples, s.target_tuples,
-        s.data_noise.deleted, s.data_noise.added
+        s.candidates,
+        s.gold_size,
+        s.source_tuples,
+        s.target_tuples,
+        s.data_noise.deleted,
+        s.data_noise.added
     );
     println!("\ngold mapping:");
     for g in scenario.gold_tgds() {
-        println!("  {}", g.display(&scenario.source_schema, &scenario.target_schema));
+        println!(
+            "  {}",
+            g.display(&scenario.source_schema, &scenario.target_schema)
+        );
     }
 
     let weights = ObjectiveWeights::unweighted();

@@ -19,7 +19,11 @@ fn main() {
         "employee",
         &["eid", "ename", "dept"],
         &[0],
-        vec![ForeignKey { cols: vec![2], target: dept, target_cols: vec![0] }],
+        vec![ForeignKey {
+            cols: vec![2],
+            target: dept,
+            target_cols: vec![0],
+        }],
     );
     let project = src.add_relation_full("project", &["pid", "pname", "budget"], &[0], Vec::new());
     let _assignment = src.add_relation_full(
@@ -27,8 +31,16 @@ fn main() {
         &["proj", "emp", "role"],
         &[],
         vec![
-            ForeignKey { cols: vec![0], target: project, target_cols: vec![0] },
-            ForeignKey { cols: vec![1], target: employee, target_cols: vec![0] },
+            ForeignKey {
+                cols: vec![0],
+                target: project,
+                target_cols: vec![0],
+            },
+            ForeignKey {
+                cols: vec![1],
+                target: employee,
+                target_cols: vec![0],
+            },
         ],
     );
 
@@ -39,7 +51,11 @@ fn main() {
         "ticket",
         &["tid", "summary", "assignee", "ws"],
         &[0],
-        vec![ForeignKey { cols: vec![3], target: workspace, target_cols: vec![0] }],
+        vec![ForeignKey {
+            cols: vec![3],
+            target: workspace,
+            target_cols: vec![0],
+        }],
     );
     println!("{src}\n\n{tgt}\n");
 
@@ -51,11 +67,21 @@ fn main() {
     ];
     // Spurious: a matcher confusing department names with workspace titles
     // and project budgets with ticket summaries.
-    matches.push(corr(&src, "department", "dname", &tgt, "workspace", "title"));
+    matches.push(corr(
+        &src,
+        "department",
+        "dname",
+        &tgt,
+        "workspace",
+        "title",
+    ));
     matches.push(corr(&src, "project", "budget", &tgt, "ticket", "summary"));
 
     let candidates = generate_candidates(&src, &tgt, &matches, &CandGenConfig::default());
-    println!("Clio-style generation produced {} candidates:", candidates.len());
+    println!(
+        "Clio-style generation produced {} candidates:",
+        candidates.len()
+    );
     for (n, c) in candidates.iter().enumerate() {
         println!("  θ{n}: {}", c.display(&src, &tgt));
     }
@@ -103,20 +129,31 @@ fn main() {
     .unwrap();
     let mut counter = 0u64;
     let j = ground_instance(&chase(&i, std::slice::from_ref(&gold)), "sk", &mut counter);
-    println!("\n|I| = {} tuples, |J| = {} tuples", i.total_len(), j.total_len());
+    println!(
+        "\n|I| = {} tuples, |J| = {} tuples",
+        i.total_len(),
+        j.total_len()
+    );
 
     // --- collective selection ---------------------------------------------
     let model = CoverageModel::build(&i, &j, &candidates);
     let weights = ObjectiveWeights::unweighted();
     let outcome = PslCollective::default().select(&model, &weights);
-    println!("\npsl-collective selected {:?} with F = {:.3}:", outcome.selected, outcome.objective);
+    println!(
+        "\npsl-collective selected {:?} with F = {:.3}:",
+        outcome.selected, outcome.objective
+    );
     for &idx in &outcome.selected {
         println!("  θ{idx}: {}", candidates[idx].display(&src, &tgt));
     }
 
     // The selected mapping must reproduce the gold mapping's exchange
     // output (compared as null-canonicalized patterns).
-    let chosen: Vec<StTgd> = outcome.selected.iter().map(|&n| candidates[n].clone()).collect();
+    let chosen: Vec<StTgd> = outcome
+        .selected
+        .iter()
+        .map(|&n| candidates[n].clone())
+        .collect();
     let k = chase(&i, &chosen);
     let k_gold = chase(&i, std::slice::from_ref(&gold));
     let (kp, gp) = (pattern_multiset(&k), pattern_multiset(&k_gold));
@@ -126,11 +163,18 @@ fn main() {
         kp.values().sum::<usize>(),
         gp.values().sum::<usize>()
     );
-    assert_eq!(overlap, gp.values().sum::<usize>(), "selected mapping reproduces the gold exchange");
+    assert_eq!(
+        overlap,
+        gp.values().sum::<usize>(),
+        "selected mapping reproduces the gold exchange"
+    );
     let exact = BranchBound::default().select(&model, &weights);
     assert!(
         (outcome.objective - exact.objective).abs() < 1e-9,
         "PSL must match the exact optimum here"
     );
-    println!("branch-and-bound confirms the optimum (F = {:.3})", exact.objective);
+    println!(
+        "branch-and-bound confirms the optimum (F = {:.3})",
+        exact.objective
+    );
 }

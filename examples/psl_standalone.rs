@@ -31,11 +31,19 @@ fn main() {
         ("anna", "carol"),
     ];
     for (a, b) in friendships {
-        program.db.observe(GroundAtom::from_strs(friend, &[a, b]), 1.0);
-        program.db.observe(GroundAtom::from_strs(friend, &[b, a]), 1.0);
+        program
+            .db
+            .observe(GroundAtom::from_strs(friend, &[a, b]), 1.0);
+        program
+            .db
+            .observe(GroundAtom::from_strs(friend, &[b, a]), 1.0);
     }
-    program.db.observe(GroundAtom::from_strs(stress, &["anna"]), 1.0);
-    program.db.observe(GroundAtom::from_strs(stress, &["erin"]), 0.6);
+    program
+        .db
+        .observe(GroundAtom::from_strs(stress, &["anna"]), 1.0);
+    program
+        .db
+        .observe(GroundAtom::from_strs(stress, &["erin"]), 0.6);
     for p in people {
         program.db.target(GroundAtom::from_strs(smokes, &[p]));
         program.db.target(GroundAtom::from_strs(cancer_risk, &[p]));
@@ -77,7 +85,10 @@ fn main() {
     }
     // Arithmetic rule: risk is bounded by smoking level (hard):
     //   cancerRisk(P) − smokes(P) ≤ 0.
-    let ratom = |pred, v: &str| RAtom { pred, args: vec![RTerm::Var(v.to_owned())] };
+    let ratom = |pred, v: &str| RAtom {
+        pred,
+        args: vec![RTerm::Var(v.to_owned())],
+    };
     program.add_arith_rule(
         ArithRuleBuilder::new("risk-cap")
             .term(1.0, vec![ratom(cancer_risk, "P")])
@@ -117,7 +128,14 @@ fn main() {
             .value(&ground, &GroundAtom::from_strs(smokes, &[p]))
             .unwrap()
     };
-    assert!(val("anna") >= val("dave") - 1e-6, "influence decays with distance");
-    assert!(val("anna") > 0.5, "stressed anna should smoke: {}", val("anna"));
+    assert!(
+        val("anna") >= val("dave") - 1e-6,
+        "influence decays with distance"
+    );
+    assert!(
+        val("anna") > 0.5,
+        "stressed anna should smoke: {}",
+        val("anna")
+    );
     println!("\n(risk ≤ smoking everywhere: the hard arithmetic rule held.)");
 }

@@ -21,8 +21,12 @@ fn main() {
 
     // --- candidate mappings -----------------------------------------
     let theta1 = parse_tgd("proj(x,c,f) & team(c,e) -> task(x,e,o)", &src, &tgt).unwrap();
-    let theta3 =
-        parse_tgd("proj(x,c,f) & team(c,e) -> task(x,e,o) & org(o,f)", &src, &tgt).unwrap();
+    let theta3 = parse_tgd(
+        "proj(x,c,f) & team(c,e) -> task(x,e,o) & org(o,f)",
+        &src,
+        &tgt,
+    )
+    .unwrap();
     println!("θ1: {}", theta1.display(&src, &tgt));
     println!("θ3: {}\n", theta3.display(&src, &tgt));
 
@@ -50,7 +54,10 @@ fn main() {
 
     // --- the appendix's objective table --------------------------------
     println!("Objective Eq. (9), per selection (appendix §I table):");
-    println!("{:<12} {:>14} {:>9} {:>6} {:>9}", "M", "Σ 1−explains", "Σ error", "size", "Eq.(9)");
+    println!(
+        "{:<12} {:>14} {:>9} {:>6} {:>9}",
+        "M", "Σ 1−explains", "Σ error", "size", "Eq.(9)"
+    );
     for (label, sel) in [
         ("{}", vec![]),
         ("{θ1}", vec![0]),
@@ -90,7 +97,10 @@ fn main() {
         println!("  F({label}) = {:.3}", objective.value(&sel));
     }
     let psl = PslCollective::default().select(&model, &weights);
-    println!("psl-collective now selects {:?} (θ3), F = {:.3}", psl.selected, psl.objective);
+    println!(
+        "psl-collective now selects {:?} (θ3), F = {:.3}",
+        psl.selected, psl.objective
+    );
     assert_eq!(psl.selected, vec![1]);
 }
 

@@ -24,7 +24,12 @@ fn main() {
         ],
         bound: 3,
     };
-    println!("SET COVER: |U| = {}, {} sets, bound n = {}", sc.universe, sc.sets.len(), sc.bound);
+    println!(
+        "SET COVER: |U| = {}, {} sets, bound n = {}",
+        sc.universe,
+        sc.sets.len(),
+        sc.bound
+    );
 
     let red = build_reduction(&sc);
     println!(
@@ -35,7 +40,10 @@ fn main() {
         red.threshold
     );
     for (n, c) in red.candidates.iter().enumerate() {
-        println!("  θ{n}: {}", c.display(&red.source_schema, &red.target_schema));
+        println!(
+            "  θ{n}: {}",
+            c.display(&red.source_schema, &red.target_schema)
+        );
     }
 
     // The appendix's equivalence, spot-checked on a few selections.
@@ -61,12 +69,18 @@ fn main() {
 
     // ...and so does the PSL relaxation after rounding.
     let psl = PslCollective::default().select(&model, &weights);
-    println!("psl-collective:   {:?}, F = {}", psl.selected, psl.objective);
+    println!(
+        "psl-collective:   {:?}, F = {}",
+        psl.selected, psl.objective
+    );
     assert!(is_cover_within_bound(&sc, &psl.selected));
 
     // Greedy also covers, but may pay for an extra set on adversarial
     // families; report rather than assert.
     let greedy = Greedy.select(&model, &weights);
-    println!("greedy:           {:?}, F = {}", greedy.selected, greedy.objective);
+    println!(
+        "greedy:           {:?}, F = {}",
+        greedy.selected, greedy.objective
+    );
     println!("\nmapping selection is NP-hard: this construction is the appendix §III proof.");
 }

@@ -20,7 +20,11 @@ fn batch(seeds: &[u64]) -> Vec<Scenario> {
                 rows_per_relation: 12,
                 // Asymmetric noise: many spurious candidates, some missing
                 // target data — exactly when leaning on w2/w3 pays off.
-                noise: NoiseConfig { pi_corresp: 75.0, pi_errors: 30.0, pi_unexplained: 5.0 },
+                noise: NoiseConfig {
+                    pi_corresp: 75.0,
+                    pi_errors: 30.0,
+                    pi_unexplained: 5.0,
+                },
                 seed,
                 ..ScenarioConfig::all_primitives(1)
             })
@@ -54,10 +58,7 @@ fn main() {
         &WeightGrid::default(),
         LearnMetric::MappingF1,
     );
-    println!(
-        "grid search over {} weight settings:",
-        learned.evaluated
-    );
+    println!("grid search over {} weight settings:", learned.evaluated);
     println!(
         "  default  w = (1.00, 1.00, 1.00)  train mapping-F1 = {:.3}",
         learned.default_score

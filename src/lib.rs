@@ -80,7 +80,7 @@ pub mod prelude {
     pub use cms_select::{
         build_reduction, data_prf, evaluate_scenario, mapping_prf, preprocess, BranchBound,
         CoverageModel, Exhaustive, FixedSelection, Greedy, IndependentBaseline, LocalSearch,
-        Objective, ObjectiveWeights, PslCollective, Prf, Selection, SelectionOutcome, Selector,
+        Objective, ObjectiveWeights, Prf, PslCollective, Selection, SelectionOutcome, Selector,
         SetCoverInstance,
     };
     pub use cms_tgd::{chase, chase_one, parse_tgd, var, StTgd, TgdBuilder};

@@ -25,8 +25,12 @@ fn running_example() -> (Schema, Schema, Instance, Instance, Vec<StTgd>) {
     j.insert_ground(tgt.rel_id("org").unwrap(), &["444", "Oracle"]);
 
     let theta1 = parse_tgd("proj(x,c,f) & team(c,e) -> task(x,e,o)", &src, &tgt).unwrap();
-    let theta3 =
-        parse_tgd("proj(x,c,f) & team(c,e) -> task(x,e,o) & org(o,f)", &src, &tgt).unwrap();
+    let theta3 = parse_tgd(
+        "proj(x,c,f) & team(c,e) -> task(x,e,o) & org(o,f)",
+        &src,
+        &tgt,
+    )
+    .unwrap();
     (src, tgt, i, j, vec![theta1, theta3])
 }
 
@@ -92,7 +96,13 @@ fn published_flip_with_more_data() {
     ];
     for s in selectors {
         let sel = s.select(&model, &weights);
-        assert_eq!(sel.selected, vec![1], "{} picked {:?}", s.name(), sel.selected);
+        assert_eq!(
+            sel.selected,
+            vec![1],
+            "{} picked {:?}",
+            s.name(),
+            sel.selected
+        );
     }
 }
 

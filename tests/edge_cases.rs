@@ -22,7 +22,12 @@ fn no_candidates_means_empty_selection() {
     for selector in all_selectors() {
         let sel = selector.select(&model, &w);
         assert!(sel.selected.is_empty(), "{}", selector.name());
-        assert!((sel.objective - 1.0).abs() < 1e-9, "{}: F = {}", selector.name(), sel.objective);
+        assert!(
+            (sel.objective - 1.0).abs() < 1e-9,
+            "{}: F = {}",
+            selector.name(),
+            sel.objective
+        );
     }
 }
 
@@ -36,7 +41,12 @@ fn empty_target_instance_selects_nothing() {
     let w = ObjectiveWeights::unweighted();
     for selector in all_selectors() {
         let sel = selector.select(&model, &w);
-        assert!(sel.selected.is_empty(), "{} selected {:?}", selector.name(), sel.selected);
+        assert!(
+            sel.selected.is_empty(),
+            "{} selected {:?}",
+            selector.name(),
+            sel.selected
+        );
         assert_eq!(sel.objective, 0.0, "{}", selector.name());
     }
 }
@@ -66,8 +76,7 @@ fn single_row_scenario_pipeline_survives() {
     };
     let scenario = generate(&config);
     assert!(scenario.stats.source_tuples >= 1);
-    let outcome =
-        evaluate_scenario(&scenario, &Greedy, &ObjectiveWeights::unweighted());
+    let outcome = evaluate_scenario(&scenario, &Greedy, &ObjectiveWeights::unweighted());
     // With one row per relation the empty mapping often wins — that is the
     // paper's overfitting guard, not a failure. Just require coherence.
     assert!(outcome.selection.objective.is_finite());
@@ -80,7 +89,10 @@ fn join_free_candidate_generation_still_covers_copy_primitives() {
     // produced by candgen (multi-atom heads), so the scenario generator
     // must append them and report it.
     let config = ScenarioConfig {
-        candgen: cms::candgen::CandGenConfig { max_join_atoms: 1, max_alternatives_per_pair: 8 },
+        candgen: cms::candgen::CandGenConfig {
+            max_join_atoms: 1,
+            max_alternatives_per_pair: 8,
+        },
         seed: 12,
         ..ScenarioConfig::all_primitives(1)
     };
@@ -108,12 +120,20 @@ fn zero_weight_axes_behave() {
     j.insert_ground(tgt.rel_id("t").unwrap(), &["p", "q"]);
     let model = CoverageModel::build(&i, &j, &[tgd]);
     // w_size = 0: free mappings — selecting is always at least as good.
-    let w = ObjectiveWeights { w_explain: 1.0, w_error: 1.0, w_size: 0.0 };
+    let w = ObjectiveWeights {
+        w_explain: 1.0,
+        w_error: 1.0,
+        w_size: 0.0,
+    };
     let sel = BranchBound::default().select(&model, &w);
     assert_eq!(sel.selected, vec![0]);
     assert_eq!(sel.objective, 0.0);
     // w_explain = 0: nothing to gain — empty wins.
-    let w = ObjectiveWeights { w_explain: 0.0, w_error: 1.0, w_size: 1.0 };
+    let w = ObjectiveWeights {
+        w_explain: 0.0,
+        w_error: 1.0,
+        w_size: 1.0,
+    };
     let sel = BranchBound::default().select(&model, &w);
     assert!(sel.selected.is_empty());
 }

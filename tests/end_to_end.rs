@@ -14,8 +14,11 @@ fn clean_scenarios_recover_gold_per_primitive() {
             ..ScenarioConfig::single_primitive(p, 2)
         };
         let scenario = generate(&config);
-        let outcome =
-            evaluate_scenario(&scenario, &PslCollective::default(), &ObjectiveWeights::unweighted());
+        let outcome = evaluate_scenario(
+            &scenario,
+            &PslCollective::default(),
+            &ObjectiveWeights::unweighted(),
+        );
         assert!(
             outcome.data.f1 > 0.999,
             "{p}: data F1 = {:?} (selected {:?}, gold {:?})",
@@ -33,7 +36,11 @@ fn clean_scenarios_recover_gold_per_primitive() {
 #[test]
 fn all_primitives_mixed_scenario_under_noise() {
     let config = ScenarioConfig {
-        noise: NoiseConfig { pi_corresp: 50.0, pi_errors: 20.0, pi_unexplained: 20.0 },
+        noise: NoiseConfig {
+            pi_corresp: 50.0,
+            pi_errors: 20.0,
+            pi_unexplained: 20.0,
+        },
         seed: 4242,
         ..ScenarioConfig::all_primitives(1)
     };
@@ -99,8 +106,7 @@ fn selection_outcome_reports_are_consistent() {
         seed: 99,
         ..ScenarioConfig::all_primitives(1)
     });
-    let outcome =
-        evaluate_scenario(&scenario, &Greedy, &ObjectiveWeights::unweighted());
+    let outcome = evaluate_scenario(&scenario, &Greedy, &ObjectiveWeights::unweighted());
     assert_eq!(outcome.selector, "greedy");
     assert!(outcome.wall >= outcome.select_wall);
     assert!(outcome.mapping.precision >= 0.0 && outcome.mapping.precision <= 1.0);

@@ -9,7 +9,10 @@ fn pi_corresp_inflates_candidates_monotonically_in_expectation() {
         let mut total = 0usize;
         for seed in [1u64, 2, 3, 4] {
             let s = generate(&ScenarioConfig {
-                noise: NoiseConfig { pi_corresp: pi, ..NoiseConfig::clean() },
+                noise: NoiseConfig {
+                    pi_corresp: pi,
+                    ..NoiseConfig::clean()
+                },
                 seed,
                 ..ScenarioConfig::all_primitives(1)
             });
@@ -26,11 +29,17 @@ fn pi_corresp_inflates_candidates_monotonically_in_expectation() {
 
 #[test]
 fn pi_errors_only_deletes_and_pi_unexplained_only_adds() {
-    let base = ScenarioConfig { seed: 31, ..ScenarioConfig::all_primitives(1) };
+    let base = ScenarioConfig {
+        seed: 31,
+        ..ScenarioConfig::all_primitives(1)
+    };
     let clean = generate(&base);
 
     let del = generate(&ScenarioConfig {
-        noise: NoiseConfig { pi_errors: 50.0, ..NoiseConfig::clean() },
+        noise: NoiseConfig {
+            pi_errors: 50.0,
+            ..NoiseConfig::clean()
+        },
         ..base.clone()
     });
     assert!(del.stats.data_noise.deleted > 0);
@@ -38,7 +47,10 @@ fn pi_errors_only_deletes_and_pi_unexplained_only_adds() {
     assert!(del.stats.target_tuples < clean.stats.target_tuples);
 
     let add = generate(&ScenarioConfig {
-        noise: NoiseConfig { pi_unexplained: 50.0, ..NoiseConfig::clean() },
+        noise: NoiseConfig {
+            pi_unexplained: 50.0,
+            ..NoiseConfig::clean()
+        },
         ..base.clone()
     });
     assert!(add.stats.data_noise.added > 0);
@@ -49,7 +61,11 @@ fn pi_errors_only_deletes_and_pi_unexplained_only_adds() {
 #[test]
 fn hundred_percent_noise_exhausts_the_pools() {
     let s = generate(&ScenarioConfig {
-        noise: NoiseConfig { pi_errors: 100.0, pi_unexplained: 100.0, pi_corresp: 0.0 },
+        noise: NoiseConfig {
+            pi_errors: 100.0,
+            pi_unexplained: 100.0,
+            pi_corresp: 0.0,
+        },
         seed: 13,
         ..ScenarioConfig::all_primitives(1)
     });
@@ -63,11 +79,18 @@ fn data_noise_hurts_even_the_gold_mapping() {
     // Under data noise the gold mapping's objective must be strictly worse
     // than on the clean scenario — the premise of the robustness
     // experiments (EX3/EX4).
-    let base = ScenarioConfig { seed: 77, ..ScenarioConfig::all_primitives(1) };
+    let base = ScenarioConfig {
+        seed: 77,
+        ..ScenarioConfig::all_primitives(1)
+    };
     let w = ObjectiveWeights::unweighted();
     let clean = generate(&base);
     let noisy = generate(&ScenarioConfig {
-        noise: NoiseConfig { pi_errors: 40.0, pi_unexplained: 40.0, pi_corresp: 0.0 },
+        noise: NoiseConfig {
+            pi_errors: 40.0,
+            pi_unexplained: 40.0,
+            pi_corresp: 0.0,
+        },
         ..base
     });
     let gold_f = |s: &Scenario| -> f64 {
@@ -88,12 +111,19 @@ fn unexplained_additions_are_truly_unexplainable_by_gold() {
     // Tuples added by πUnexplained come from C−MG outputs: the gold
     // mapping must not fully explain them.
     let clean = generate(&ScenarioConfig {
-        noise: NoiseConfig { pi_corresp: 100.0, ..NoiseConfig::clean() },
+        noise: NoiseConfig {
+            pi_corresp: 100.0,
+            ..NoiseConfig::clean()
+        },
         seed: 3,
         ..ScenarioConfig::all_primitives(1)
     });
     let noisy = generate(&ScenarioConfig {
-        noise: NoiseConfig { pi_corresp: 100.0, pi_unexplained: 100.0, pi_errors: 0.0 },
+        noise: NoiseConfig {
+            pi_corresp: 100.0,
+            pi_unexplained: 100.0,
+            pi_errors: 0.0,
+        },
         seed: 3,
         ..ScenarioConfig::all_primitives(1)
     });

@@ -87,11 +87,18 @@ fn exact_solvers_answer_the_decision_problem() {
     }
 
     // NO instance: same sets with bound 1.
-    let no = SetCoverInstance { bound: 1, ..instance() };
+    let no = SetCoverInstance {
+        bound: 1,
+        ..instance()
+    };
     let red = build_reduction(&no);
     let model = CoverageModel::build(&red.source, &red.target, &red.candidates);
     let sel = BranchBound::default().select(&model, &w);
-    assert!(sel.objective > red.threshold, "bound-1 instance is a NO (F = {})", sel.objective);
+    assert!(
+        sel.objective > red.threshold,
+        "bound-1 instance is a NO (F = {})",
+        sel.objective
+    );
 }
 
 #[test]
@@ -102,7 +109,11 @@ fn weighted_generalization_preserves_hardness_structure() {
     let sc = instance();
     let red = build_reduction(&sc);
     let model = CoverageModel::build(&red.source, &red.target, &red.candidates);
-    let w = ObjectiveWeights { w_explain: 1.0, w_error: 1.0, w_size: 3.0 };
+    let w = ObjectiveWeights {
+        w_explain: 1.0,
+        w_error: 1.0,
+        w_size: 3.0,
+    };
     let f = Objective::new(&model, w);
     let unit = Objective::new(&model, ObjectiveWeights::unweighted());
     for sel in [vec![0usize], vec![0, 2], vec![1, 3, 4]] {
@@ -119,7 +130,14 @@ fn psl_relaxation_recovers_minimum_covers_on_families() {
         instance(),
         SetCoverInstance {
             universe: 6,
-            sets: vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5], vec![5, 0]],
+            sets: vec![
+                vec![0, 1],
+                vec![1, 2],
+                vec![2, 3],
+                vec![3, 4],
+                vec![4, 5],
+                vec![5, 0],
+            ],
             bound: 3,
         },
     ];
@@ -129,13 +147,19 @@ fn psl_relaxation_recovers_minimum_covers_on_families() {
         let model = CoverageModel::build(&red.source, &red.target, &red.candidates);
         let exact = BranchBound::default().select(&model, &w);
         let psl = PslCollective::default().select(&model, &w);
-        assert!(psl.objective >= exact.objective - 1e-9, "relaxation can't beat exact");
+        assert!(
+            psl.objective >= exact.objective - 1e-9,
+            "relaxation can't beat exact"
+        );
         assert!(
             psl.objective <= exact.objective + 2.0 + 1e-9,
             "PSL must stay within one extra set of optimal: {} vs {}",
             psl.objective,
             exact.objective
         );
-        assert!(is_cover_within_bound(&sc, &psl.selected), "PSL selection must cover");
+        assert!(
+            is_cover_within_bound(&sc, &psl.selected),
+            "PSL selection must cover"
+        );
     }
 }

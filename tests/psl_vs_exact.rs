@@ -20,14 +20,16 @@ fn small_scenarios() -> Vec<Scenario> {
 fn exhaustive_and_branch_bound_always_agree() {
     let w = ObjectiveWeights::unweighted();
     for scenario in small_scenarios() {
-        let model =
-            CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
+        let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
         let (reduced, _) = cms::select::preprocess(&model);
         let useful = reduced.useless_candidates().len();
         if reduced.num_candidates - useful > 20 {
             continue; // keep exhaustive tractable
         }
-        let ex = Exhaustive { max_candidates: Some(20) }.select(&reduced, &w);
+        let ex = Exhaustive {
+            max_candidates: Some(20),
+        }
+        .select(&reduced, &w);
         let bb = BranchBound::default().select(&reduced, &w);
         assert!(
             (ex.objective - bb.objective).abs() < 1e-9,
@@ -43,8 +45,7 @@ fn psl_stays_near_exact_across_batch() {
     let w = ObjectiveWeights::unweighted();
     let mut gaps = Vec::new();
     for scenario in small_scenarios() {
-        let model =
-            CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
+        let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
         let (reduced, _) = cms::select::preprocess(&model);
         let exact = BranchBound::default().select(&reduced, &w);
         let psl = PslCollective::default().select(&reduced, &w);
@@ -65,7 +66,11 @@ fn relaxed_truths_are_informative() {
     // relaxed inMap of gold candidates above mean of non-gold.
     let w = ObjectiveWeights::unweighted();
     let scenario = generate(&ScenarioConfig {
-        noise: NoiseConfig { pi_corresp: 100.0, pi_errors: 10.0, pi_unexplained: 10.0 },
+        noise: NoiseConfig {
+            pi_corresp: 100.0,
+            pi_errors: 10.0,
+            pi_unexplained: 10.0,
+        },
         seed: 21,
         ..ScenarioConfig::all_primitives(1)
     });
@@ -83,7 +88,11 @@ fn relaxed_truths_are_informative() {
         }
     }
     let gold_mean = gold_sum / scenario.gold.len() as f64;
-    let other_mean = if other_n == 0 { 0.0 } else { other_sum / other_n as f64 };
+    let other_mean = if other_n == 0 {
+        0.0
+    } else {
+        other_sum / other_n as f64
+    };
     assert!(
         gold_mean > other_mean + 0.2,
         "relaxation separates gold ({gold_mean:.3}) from junk ({other_mean:.3})"
@@ -101,7 +110,11 @@ fn admm_convergence_within_budget_on_scenario_scale() {
     });
     let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
     let run = PslCollective::default().infer(&model, &w);
-    assert!(run.converged, "did not converge in {} iterations", run.iterations);
+    assert!(
+        run.converged,
+        "did not converge in {} iterations",
+        run.iterations
+    );
     for &v in &run.relaxed {
         assert!((0.0..=1.0).contains(&v));
     }
