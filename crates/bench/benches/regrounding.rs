@@ -1,0 +1,135 @@
+//! Criterion bench: per-flip re-grounding cost — full `Program::ground`
+//! versus the delta subsystem (`Database::take_delta` +
+//! `Program::reground_owned`) on the selection-evaluation program of
+//! seeded iBench scenarios (same configs as the grounding bench).
+//!
+//! Each iteration flips one `inMap` observation (the local-search move):
+//! `full-per-flip/N` pays a fresh grounding, `delta-per-flip/N` pays the
+//! splice. The committed `BENCH_regrounding_baseline.json` snapshot
+//! records both and their ratio; the acceptance bar is a ≥5× speedup on
+//! `all_primitives(4)`. `full+cold-admm` vs `delta+warm-admm` additionally
+//! time the end-to-end move evaluation including the MAP solve.
+
+use cms_ibench::{generate, NoiseConfig, ScenarioConfig};
+use cms_select::{build_eval_program, CoverageModel, ObjectiveWeights};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::cell::RefCell;
+
+fn scenario_model(invocations: usize) -> CoverageModel {
+    let config = ScenarioConfig {
+        rows_per_relation: 20,
+        noise: NoiseConfig::uniform(25.0),
+        seed: 3,
+        ..ScenarioConfig::all_primitives(invocations)
+    };
+    let scenario = generate(&config);
+    CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates)
+}
+
+fn bench_regrounding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regrounding");
+    group.sample_size(20);
+    let weights = ObjectiveWeights::unweighted();
+    for invocations in [1usize, 2, 4] {
+        let model = scenario_model(invocations);
+        let flip_atom = |preds: &cms_select::EvalPreds, c: usize| {
+            cms_psl::GroundAtom::from_strs(preds.in_map, &[&format!("c{c}")])
+        };
+
+        // Full re-ground per flip (the pre-delta behavior).
+        {
+            let (mut program, preds) = build_eval_program(&model, &weights, &[]);
+            let mut on = false;
+            group.bench_with_input(
+                BenchmarkId::new("full-per-flip", invocations),
+                &invocations,
+                |b, _| {
+                    b.iter(|| {
+                        on = !on;
+                        program
+                            .db
+                            .observe(flip_atom(&preds, 0), f64::from(u8::from(on)));
+                        let _ = program.db.take_delta();
+                        std::hint::black_box(program.ground().expect("grounds"))
+                    });
+                },
+            );
+        }
+
+        // Delta re-ground per flip.
+        {
+            let (mut program, preds) = build_eval_program(&model, &weights, &[]);
+            let prior = RefCell::new(program.ground().expect("grounds"));
+            let _ = program.db.take_delta();
+            let mut on = false;
+            group.bench_with_input(
+                BenchmarkId::new("delta-per-flip", invocations),
+                &invocations,
+                |b, _| {
+                    b.iter(|| {
+                        on = !on;
+                        program
+                            .db
+                            .observe(flip_atom(&preds, 0), f64::from(u8::from(on)));
+                        let delta = program.db.take_delta();
+                        let next = program
+                            .reground_owned(prior.take(), &delta)
+                            .expect("regrounds");
+                        let reused = next.total_stats().terms_reused;
+                        *prior.borrow_mut() = next;
+                        std::hint::black_box(reused)
+                    });
+                },
+            );
+        }
+    }
+
+    // End-to-end move evaluation (ground + ADMM) on the smallest scenario:
+    // cold full pipeline vs delta + warm-started solve.
+    let model = scenario_model(1);
+    let admm = cms_psl::AdmmConfig::default();
+    {
+        let (mut program, preds) = build_eval_program(&model, &weights, &[]);
+        let mut on = false;
+        group.bench_with_input(BenchmarkId::new("full+cold-admm", 1), &1, |b, _| {
+            b.iter(|| {
+                on = !on;
+                program.db.observe(
+                    cms_psl::GroundAtom::from_strs(preds.in_map, &["c0"]),
+                    f64::from(u8::from(on)),
+                );
+                let _ = program.db.take_delta();
+                let ground = program.ground().expect("grounds");
+                std::hint::black_box(ground.solve(&admm).total_objective())
+            });
+        });
+    }
+    {
+        let (mut program, preds) = build_eval_program(&model, &weights, &[]);
+        let prior = RefCell::new(program.ground().expect("grounds"));
+        let values = RefCell::new(prior.borrow().solve(&admm).admm.values.clone());
+        let _ = program.db.take_delta();
+        let mut on = false;
+        group.bench_with_input(BenchmarkId::new("delta+warm-admm", 1), &1, |b, _| {
+            b.iter(|| {
+                on = !on;
+                program.db.observe(
+                    cms_psl::GroundAtom::from_strs(preds.in_map, &["c0"]),
+                    f64::from(u8::from(on)),
+                );
+                let delta = program.db.take_delta();
+                let next = program
+                    .reground_owned(prior.take(), &delta)
+                    .expect("regrounds");
+                let sol = next.solve_warm(&admm, &values.borrow());
+                values.borrow_mut().clone_from(&sol.admm.values);
+                *prior.borrow_mut() = next;
+                std::hint::black_box(sol.total_objective())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_regrounding);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Bench regression gate: compare criterion-shim JSON output against
+//! checked-in baseline snapshots and fail on regressions.
+//!
+//! The criterion shim prints one machine-readable line per benchmark:
+//!
+//! ```text
+//! {"bench":"grounding/ground-plan/4","mean_ns":2540216.0,"min_ns":2324052.0}
+//! ```
+//!
+//! and the committed `BENCH_*_baseline.json` files record the same keys
+//! under `"benches"`, one per line. This gate parses both (no JSON crate
+//! needed for our own fixed format), matches benchmarks by name, and fails
+//! when the current **min** ns/iter exceeds `factor ×` the baseline
+//! **mean** — min-vs-mean absorbs shared-runner noise while a genuine
+//! `factor`-sized regression still trips.
+//!
+//! ```text
+//! bench_gate --baseline BENCH_grounding_baseline.json --log grounding.log \
+//!            --baseline BENCH_regrounding_baseline.json --log regrounding.log \
+//!            [--factor 2.0]
+//! ```
+//!
+//! Exit code 1 on any regression or on a baseline bench missing from the
+//! logs (bit-rotted bench names should fail CI too).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Pull `"field":<number>` out of a JSON-ish line (our own fixed format).
+fn field(line: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\":");
+    let start = line.find(&key)? + key.len();
+    let rest = line[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Pull the quoted value after `"bench":` or a line-leading quoted key.
+fn bench_name(line: &str) -> Option<String> {
+    let start = if let Some(p) = line.find("\"bench\":\"") {
+        p + "\"bench\":\"".len()
+    } else {
+        let t = line.trim_start();
+        if !t.starts_with('"') {
+            return None;
+        }
+        line.find('"')? + 1
+    };
+    let end = line[start..].find('"')? + start;
+    let name = &line[start..end];
+    // Baseline keys and log names both look like "group/id[/param]".
+    name.contains('/').then(|| name.to_owned())
+}
+
+/// Parse `name -> (mean_ns, min_ns)` from either a bench log or a
+/// baseline snapshot (both carry one bench per line).
+fn parse(path: &str) -> BTreeMap<String, (f64, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_gate: cannot read {path}: {e}"));
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let (Some(name), Some(mean)) = (bench_name(line), field(line, "mean_ns")) else {
+            continue;
+        };
+        let min = field(line, "min_ns").unwrap_or(mean);
+        out.insert(name, (mean, min));
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let mut baselines: Vec<String> = Vec::new();
+    let mut logs: Vec<String> = Vec::new();
+    let mut factor = 2.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baselines.push(args.next().expect("--baseline needs a path")),
+            "--log" => logs.push(args.next().expect("--log needs a path")),
+            "--factor" => {
+                factor = args
+                    .next()
+                    .expect("--factor needs a value")
+                    .parse()
+                    .expect("--factor must be a number");
+            }
+            other => panic!("bench_gate: unknown argument {other:?}"),
+        }
+    }
+    assert!(
+        !baselines.is_empty() && !logs.is_empty(),
+        "usage: bench_gate --baseline <json>... --log <bench output>... [--factor 2.0]"
+    );
+
+    let mut current: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+    for log in &logs {
+        current.extend(parse(log));
+    }
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    for baseline_file in &baselines {
+        for (name, (base_mean, _)) in parse(baseline_file) {
+            let Some(&(cur_mean, cur_min)) = current.get(&name) else {
+                println!("FAIL {name}: present in {baseline_file} but missing from bench logs");
+                failures += 1;
+                continue;
+            };
+            checked += 1;
+            let ratio = cur_min / base_mean;
+            let verdict = if cur_min > factor * base_mean {
+                failures += 1;
+                "FAIL"
+            } else {
+                "ok"
+            };
+            println!(
+                "{verdict:4} {name}: baseline mean {base_mean:.0} ns, current mean {cur_mean:.0} / min {cur_min:.0} ns (min/baseline = {ratio:.2}x, limit {factor:.1}x)"
+            );
+        }
+    }
+    println!("bench_gate: {checked} benchmarks checked, {failures} regression(s)");
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

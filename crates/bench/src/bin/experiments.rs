@@ -306,20 +306,20 @@ fn ex6() {
 
         let psl = PslCollective::default();
         let t0 = Instant::now();
-        let run = psl.infer(&model, &weights);
-        let sel = psl.select(&model, &weights);
+        let run = psl.infer(&model, &weights).expect("psl infers");
+        let sel = psl.select(&model, &weights).expect("psl selects");
         let psl_ms = t0.elapsed().as_secs_f64() * 1e3;
         let _ = sel;
 
         let t0 = Instant::now();
-        let _ = Greedy.select(&model, &weights);
+        let _ = Greedy.select(&model, &weights).expect("greedy selects");
         let greedy_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         let bb = BranchBound {
             node_budget: Some(2_000_000),
         };
         let t0 = Instant::now();
-        let bb_sel = bb.select(&model, &weights);
+        let bb_sel = bb.select(&model, &weights).expect("bb selects");
         let bb_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         table.row(vec![
@@ -391,9 +391,13 @@ fn ex7() {
         let red = build_reduction(sc);
         let model = CoverageModel::build(&red.source, &red.target, &red.candidates);
         let w = ObjectiveWeights::unweighted();
-        let exact = BranchBound::default().select(&model, &w);
-        let psl = PslCollective::default().select(&model, &w);
-        let greedy = Greedy.select(&model, &w);
+        let exact = BranchBound::default()
+            .select(&model, &w)
+            .expect("bb selects");
+        let psl = PslCollective::default()
+            .select(&model, &w)
+            .expect("psl selects");
+        let greedy = Greedy.select(&model, &w).expect("greedy selects");
         // Cross-check closed form.
         assert!((closed_form_objective(sc, &exact.selected) - exact.objective).abs() < 1e-9);
         table.row(vec![
@@ -427,7 +431,7 @@ fn ex8() {
         let n = scenarios.len() as f64;
         let (mut f1m, mut f1d, mut fo, mut fg) = (0.0, 0.0, 0.0, 0.0);
         for s in &scenarios {
-            let o = cms_select::evaluate_scenario(s, selector, &weights);
+            let o = cms_select::evaluate_scenario(s, selector, &weights).expect("selector runs");
             f1m += o.mapping.f1 / n;
             f1d += o.data.f1 / n;
             fo += o.selection.objective / n;
@@ -524,8 +528,10 @@ fn ex9() {
         let n = scenarios.len() as f64;
         let (mut ind_m, mut psl_m, mut ind_d, mut psl_d) = (0.0, 0.0, 0.0, 0.0);
         for s in &scenarios {
-            let oi = cms_select::evaluate_scenario(s, &cms_select::IndependentBaseline, &w);
-            let op = cms_select::evaluate_scenario(s, &PslCollective::default(), &w);
+            let oi = cms_select::evaluate_scenario(s, &cms_select::IndependentBaseline, &w)
+                .expect("baseline runs");
+            let op =
+                cms_select::evaluate_scenario(s, &PslCollective::default(), &w).expect("psl runs");
             ind_m += oi.mapping.f1 / n;
             psl_m += op.mapping.f1 / n;
             ind_d += oi.data.f1 / n;

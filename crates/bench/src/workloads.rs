@@ -66,7 +66,8 @@ pub fn average_outcomes(
         };
         for s in scenarios {
             let selector = selector_for(s);
-            let o = evaluate_scenario(s, selector.as_ref(), weights);
+            let o = evaluate_scenario(s, selector.as_ref(), weights)
+                .expect("experiment selector failed");
             acc.selector = o.selector.clone();
             acc.map_p += o.mapping.precision / n;
             acc.map_r += o.mapping.recall / n;

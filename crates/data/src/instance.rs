@@ -5,10 +5,17 @@
 //! deterministic producer — important for reproducible experiments).
 //!
 //! Each relation additionally carries a lazy **column index**
-//! `(column, value) → row positions`, built on first probe and invalidated
-//! by inserts/removes. The tgd matcher probes it instead of scanning whole
-//! relations once a conjunct has a bound argument; reads go through an
-//! `RwLock` so concurrent readers can share one instance.
+//! `(column, value) → row positions`, built on first probe. The tgd
+//! matcher probes it instead of scanning whole relations once a conjunct
+//! has a bound argument; reads go through an `RwLock` so concurrent
+//! readers can share one instance.
+//!
+//! Index maintenance is **generation-stamped and incremental**: every
+//! mutation bumps the relation's generation; appends patch the posting
+//! lists in place and re-stamp the index, while removes — which shift row
+//! positions — invalidate it for a lazy rebuild. `built_at`/`stamp`
+//! generations are exposed via [`Instance::index_stamp`] so callers (and
+//! tests) can verify an index survived a batch of appends.
 
 use crate::fx::FxHashMap;
 use crate::schema::RelId;
@@ -22,6 +29,10 @@ use std::sync::{RwLock, RwLockReadGuard};
 pub struct ColumnIndex {
     /// `by_col[c][v]` = positions (in row order) of rows with `row[c] == v`.
     by_col: Vec<FxHashMap<Value, Vec<u32>>>,
+    /// Relation generation at which the index was built from scratch.
+    built_at: u64,
+    /// Relation generation the index is current for (patched in place).
+    stamp: u64,
     empty: Vec<u32>,
 }
 
@@ -37,6 +48,18 @@ impl ColumnIndex {
     /// Number of distinct values in column `col`.
     pub fn distinct(&self, col: usize) -> usize {
         self.by_col.get(col).map_or(0, FxHashMap::len)
+    }
+
+    /// Patch the posting lists for a row appended at position `pos`
+    /// (mirrors one step of the from-scratch build loop; widens the
+    /// column vector if this row has higher arity than any before it).
+    fn append(&mut self, row: &[Value], pos: u32) {
+        if row.len() > self.by_col.len() {
+            self.by_col.resize_with(row.len(), FxHashMap::default);
+        }
+        for (c, v) in row.iter().enumerate() {
+            self.by_col[c].entry(*v).or_default().push(pos);
+        }
     }
 }
 
@@ -68,7 +91,10 @@ impl ColIndexRef<'_> {
 pub struct RelationData {
     rows: Vec<Vec<Value>>,
     lookup: FxHashMap<Vec<Value>, usize>,
-    /// Lazy column index; `None` after any mutation.
+    /// Bumped on every mutation (insert or remove).
+    generation: u64,
+    /// Lazy column index; `None` until first probe or after a remove.
+    /// Appends patch it in place (generation-stamped).
     cols: RwLock<Option<ColumnIndex>>,
 }
 
@@ -77,6 +103,7 @@ impl Clone for RelationData {
         RelationData {
             rows: self.rows.clone(),
             lookup: self.lookup.clone(),
+            generation: self.generation,
             // The clone rebuilds its index on first probe.
             cols: RwLock::new(None),
         }
@@ -84,14 +111,25 @@ impl Clone for RelationData {
 }
 
 impl RelationData {
-    /// Insert a row; returns `true` if it was new.
+    /// Insert a row; returns `true` if it was new. Appends patch the
+    /// column index in place (no rebuild) when it is already built.
     pub fn insert(&mut self, row: Vec<Value>) -> bool {
         if self.lookup.contains_key(&row) {
             return false;
         }
-        self.lookup.insert(row.clone(), self.rows.len());
+        let pos = self.rows.len();
+        self.lookup.insert(row.clone(), pos);
+        self.generation += 1;
+        if let Some(idx) = self
+            .cols
+            .get_mut()
+            .expect("column index lock poisoned")
+            .as_mut()
+        {
+            idx.append(&row, pos as u32);
+            idx.stamp = self.generation;
+        }
         self.rows.push(row);
-        self.invalidate();
         true
     }
 
@@ -115,7 +153,23 @@ impl RelationData {
         &self.rows
     }
 
-    /// Drop the column index (called on every mutation).
+    /// Current mutation generation (bumped on every insert/remove).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// `(built_at, stamp)` generations of the column index, or `None` if
+    /// it is not currently built. `built_at < stamp` means the index was
+    /// patched in place since its last from-scratch build.
+    pub fn index_stamp(&self) -> Option<(u64, u64)> {
+        self.cols
+            .read()
+            .expect("column index lock poisoned")
+            .as_ref()
+            .map(|idx| (idx.built_at, idx.stamp))
+    }
+
+    /// Drop the column index (only removes need this: row positions shift).
     fn invalidate(&mut self) {
         *self.cols.get_mut().expect("column index lock poisoned") = None;
     }
@@ -124,18 +178,15 @@ impl RelationData {
     fn ensure_col_index(&self) {
         let mut guard = self.cols.write().expect("column index lock poisoned");
         if guard.is_none() {
-            let arity = self.rows.iter().map(Vec::len).max().unwrap_or(0);
-            let mut by_col: Vec<FxHashMap<Value, Vec<u32>>> =
-                (0..arity).map(|_| FxHashMap::default()).collect();
+            let mut idx = ColumnIndex {
+                built_at: self.generation,
+                stamp: self.generation,
+                ..ColumnIndex::default()
+            };
             for (i, row) in self.rows.iter().enumerate() {
-                for (c, v) in row.iter().enumerate() {
-                    by_col[c].entry(*v).or_default().push(i as u32);
-                }
+                idx.append(row, i as u32);
             }
-            *guard = Some(ColumnIndex {
-                by_col,
-                empty: Vec::new(),
-            });
+            *guard = Some(idx);
         }
     }
 
@@ -189,14 +240,23 @@ impl Instance {
         for (i, r) in data.rows.iter().enumerate().skip(pos) {
             *data.lookup.get_mut(r).expect("index out of sync") = i;
         }
+        data.generation += 1;
         data.invalidate();
         true
     }
 
     /// Read access to one relation's column index (`None` when the relation
-    /// has no rows). Built lazily, invalidated by inserts and removes.
+    /// has no rows). Built lazily; appends patch it in place, removes
+    /// invalidate it.
     pub fn col_index(&self, rel: RelId) -> Option<ColIndexRef<'_>> {
         self.rels.get(&rel).map(RelationData::col_index)
+    }
+
+    /// `(built_at, stamp)` generations of one relation's column index (see
+    /// [`RelationData::index_stamp`]); `None` if the relation is unknown
+    /// or its index is not built.
+    pub fn index_stamp(&self, rel: RelId) -> Option<(u64, u64)> {
+        self.rels.get(&rel).and_then(RelationData::index_stamp)
     }
 
     /// Membership test.
@@ -343,7 +403,7 @@ mod tests {
     }
 
     #[test]
-    fn col_index_invalidated_by_insert_and_remove() {
+    fn col_index_patched_by_insert_invalidated_by_remove() {
         let mut inst = Instance::new();
         inst.insert_ground(RelId(0), &["a"]);
         assert_eq!(
@@ -353,7 +413,9 @@ mod tests {
                 .len(),
             1
         );
-        // Insert after the index was built: it must rebuild.
+        let (built_at, _) = inst.index_stamp(RelId(0)).unwrap();
+        // Insert after the index was built: patched in place, no rebuild —
+        // even when the new row widens the relation's arity.
         inst.insert_ground(RelId(0), &["a", "pad"]); // distinct row, same first col
         assert_eq!(
             inst.col_index(RelId(0))
@@ -362,9 +424,17 @@ mod tests {
                 .len(),
             2
         );
-        // Remove shifts row positions: postings must follow.
+        let (built_after, stamp) = inst.index_stamp(RelId(0)).unwrap();
+        assert_eq!(built_at, built_after, "insert must not rebuild the index");
+        assert!(stamp > built_at, "patched index is re-stamped");
+        // Remove shifts row positions: the index is dropped and rebuilt,
+        // and the rebuilt postings must follow the shifted rows.
         inst.insert_ground(RelId(0), &["b"]);
         assert!(inst.remove(RelId(0), &[Value::constant("a")]));
+        assert!(
+            inst.index_stamp(RelId(0)).is_none(),
+            "remove invalidates the index"
+        );
         let idx = inst.col_index(RelId(0)).unwrap();
         assert_eq!(idx.postings(0, &Value::constant("a")).len(), 1);
         assert_eq!(idx.postings(0, &Value::constant("b")).len(), 1);

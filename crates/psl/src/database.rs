@@ -4,12 +4,25 @@
 //! database maintains a lazy **argument-position index**
 //! `(pred, arg position, symbol) → positions in the pool`. The join-plan
 //! executor ([`crate::grounding`]) probes it instead of scanning whole
-//! pools once a literal has at least one bound argument. The index is built
-//! on first use and invalidated by [`Database::observe`] /
-//! [`Database::target`]; reads go through an `RwLock` so parallel grounding
-//! workers can share it.
+//! pools once a literal has at least one bound argument; reads go through
+//! an `RwLock` so parallel grounding workers can share it.
+//!
+//! ## Generation stamps and incremental maintenance
+//!
+//! Every pool mutation bumps the database **generation**. The index is
+//! generation-stamped: appends (new observations, new targets) patch its
+//! posting lists in place and re-stamp it instead of discarding it;
+//! only [`Database::retract`] — which shifts pool positions — invalidates
+//! it wholesale. Value-only re-observations leave both pools and index
+//! untouched, and re-observing an *unchanged* value is completely free
+//! (no generation bump, no delta entry).
+//!
+//! Mutations are additionally logged as [`DeltaEntry`]s; callers drain the
+//! log with [`Database::take_delta`] and hand the resulting [`DbDelta`] to
+//! [`crate::Program::reground`] (see [`crate::delta`]).
 
 use crate::atom::GroundAtom;
+use crate::delta::{DbDelta, DeltaEntry, DeltaKind};
 use crate::predicate::{PredId, Vocabulary};
 use cms_data::{FxHashMap, FxHashSet, Sym};
 use std::sync::{RwLock, RwLockReadGuard};
@@ -21,6 +34,10 @@ pub(crate) struct AtomIndex {
     /// Distinct symbols per `(pred, arg position)` — the planner's
     /// average-selectivity estimate for joins on not-yet-known symbols.
     distinct: FxHashMap<(PredId, u32), usize>,
+    /// Database generation at which the index was built from scratch.
+    built_at: u64,
+    /// Database generation the index is current for (patched in place).
+    stamp: u64,
     empty: Vec<u32>,
 }
 
@@ -37,6 +54,18 @@ impl AtomIndex {
     pub(crate) fn distinct(&self, pred: PredId, pos: usize) -> usize {
         self.distinct.get(&(pred, pos as u32)).copied().unwrap_or(0)
     }
+
+    /// Patch the posting lists for an atom appended at pool position `pos`
+    /// (mirrors one step of the from-scratch build loop).
+    fn append(&mut self, atom: &GroundAtom, pos: u32) {
+        for (i, &sym) in atom.args.iter().enumerate() {
+            let posting = self.posting.entry((atom.pred, i as u32, sym)).or_default();
+            if posting.is_empty() {
+                *self.distinct.entry((atom.pred, i as u32)).or_default() += 1;
+            }
+            posting.push(pos);
+        }
+    }
 }
 
 /// Observed truths in `[0,1]` plus the set of atoms to infer.
@@ -46,8 +75,13 @@ pub struct Database {
     targets: FxHashSet<GroundAtom>,
     /// Observed atoms grouped per predicate, for grounding joins.
     by_pred: FxHashMap<PredId, Vec<GroundAtom>>,
-    /// Lazy argument-position index; `None` after any mutation.
+    /// Lazy argument-position index; `None` until first use or after a
+    /// retraction. Appends patch it in place (generation-stamped).
     index: RwLock<Option<AtomIndex>>,
+    /// Bumped on every pool or value mutation.
+    generation: u64,
+    /// Mutations since the last [`Database::take_delta`].
+    pending: Vec<DeltaEntry>,
 }
 
 impl Clone for Database {
@@ -58,6 +92,8 @@ impl Clone for Database {
             by_pred: self.by_pred.clone(),
             // The clone rebuilds its index on first use.
             index: RwLock::new(None),
+            generation: self.generation,
+            pending: self.pending.clone(),
         }
     }
 }
@@ -79,6 +115,12 @@ impl Database {
 
     /// Record an observation. Values are clamped to `[0,1]`.
     ///
+    /// Re-observing an atom with an **unchanged** value is a complete
+    /// no-op: no generation bump, no index work, no delta entry. A changed
+    /// value logs a [`DeltaKind::Changed`] entry but leaves pools and index
+    /// untouched; a brand-new atom logs [`DeltaKind::Added`] and patches
+    /// the index in place.
+    ///
     /// # Panics
     /// Panics if the atom was declared a target.
     pub fn observe(&mut self, atom: GroundAtom, value: f64) {
@@ -87,13 +129,25 @@ impl Database {
             "atom {atom} is already a target"
         );
         let clamped = value.clamp(0.0, 1.0);
-        if self.observations.insert(atom.clone(), clamped).is_none() {
-            self.by_pred.entry(atom.pred).or_default().push(atom);
-            self.invalidate_index();
+        match self.observations.get(&atom) {
+            Some(&old) if old == clamped => {} // free no-op write
+            Some(&old) => {
+                self.observations.insert(atom.clone(), clamped);
+                self.generation += 1;
+                self.pending.push(DeltaEntry {
+                    atom,
+                    kind: DeltaKind::Changed { old, new: clamped },
+                });
+            }
+            None => {
+                self.observations.insert(atom.clone(), clamped);
+                self.append_to_pool(atom);
+            }
         }
     }
 
     /// Declare an atom as a MAP target (a free variable of inference).
+    /// Re-declaring an existing target is a free no-op.
     ///
     /// # Panics
     /// Panics if the atom was observed.
@@ -103,12 +157,86 @@ impl Database {
             "atom {atom} is already observed"
         );
         if self.targets.insert(atom.clone()) {
-            self.by_pred.entry(atom.pred).or_default().push(atom);
-            self.invalidate_index();
+            self.append_to_pool(atom);
         }
     }
 
-    /// Drop the argument-position index (called on every pool mutation).
+    /// Remove an atom (observation or target) from the database entirely.
+    /// Returns `true` if the atom was present. Pool positions shift, so
+    /// this is the one mutation that still invalidates the index.
+    pub fn retract(&mut self, atom: &GroundAtom) -> bool {
+        let was_observed = self.observations.remove(atom).is_some();
+        if was_observed || self.targets.remove(atom) {
+            let pool = self
+                .by_pred
+                .get_mut(&atom.pred)
+                .expect("pooled atom has a pool");
+            let pos = pool
+                .iter()
+                .position(|a| a == atom)
+                .expect("pooled atom is in its pool");
+            pool.remove(pos);
+            self.generation += 1;
+            self.invalidate_index();
+            self.pending.push(DeltaEntry {
+                atom: atom.clone(),
+                kind: DeltaKind::Removed,
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Append a new atom to its predicate pool: bump the generation, patch
+    /// the index in place (if built), and log the delta entry.
+    fn append_to_pool(&mut self, atom: GroundAtom) {
+        let pool = self.by_pred.entry(atom.pred).or_default();
+        pool.push(atom.clone());
+        let pos = (pool.len() - 1) as u32;
+        self.generation += 1;
+        if let Some(idx) = self
+            .index
+            .get_mut()
+            .expect("database index lock poisoned")
+            .as_mut()
+        {
+            idx.append(&atom, pos);
+            idx.stamp = self.generation;
+        }
+        self.pending.push(DeltaEntry {
+            atom,
+            kind: DeltaKind::Added,
+        });
+    }
+
+    /// Drain the mutation log accumulated since the previous call (or since
+    /// creation). The returned [`DbDelta`] describes exactly the mutations
+    /// between two grounding snapshots — feed it to
+    /// [`crate::Program::reground`].
+    pub fn take_delta(&mut self) -> DbDelta {
+        DbDelta::new(std::mem::take(&mut self.pending))
+    }
+
+    /// Current mutation generation (bumped on every effective write).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// `(built_at, stamp)` generations of the argument-position index, or
+    /// `None` if the index is not currently built. `stamp == generation()`
+    /// means the index is current; `built_at < stamp` means it was patched
+    /// in place since its last from-scratch build. Exposed for maintenance
+    /// tests and observability.
+    pub fn index_stamp(&self) -> Option<(u64, u64)> {
+        self.index
+            .read()
+            .expect("database index lock poisoned")
+            .as_ref()
+            .map(|idx| (idx.built_at, idx.stamp))
+    }
+
+    /// Drop the argument-position index (only retractions need this).
     fn invalidate_index(&mut self) {
         *self.index.get_mut().expect("database index lock poisoned") = None;
     }
@@ -117,16 +245,14 @@ impl Database {
     pub fn ensure_index(&self) {
         let mut guard = self.index.write().expect("database index lock poisoned");
         if guard.is_none() {
-            let mut idx = AtomIndex::default();
-            for (&pred, pool) in &self.by_pred {
+            let mut idx = AtomIndex {
+                built_at: self.generation,
+                stamp: self.generation,
+                ..AtomIndex::default()
+            };
+            for pool in self.by_pred.values() {
                 for (i, atom) in pool.iter().enumerate() {
-                    for (pos, &sym) in atom.args.iter().enumerate() {
-                        let posting = idx.posting.entry((pred, pos as u32, sym)).or_default();
-                        if posting.is_empty() {
-                            *idx.distinct.entry((pred, pos as u32)).or_default() += 1;
-                        }
-                        posting.push(i as u32);
-                    }
+                    idx.append(atom, i as u32);
                 }
             }
             *guard = Some(idx);
@@ -291,19 +417,91 @@ mod tests {
     }
 
     #[test]
-    fn index_invalidated_by_observe_and_target() {
+    fn index_patched_in_place_by_observe_and_target() {
         let mut db = Database::new();
         db.observe(GroundAtom::from_strs(PredId(0), &["a"]), 1.0);
         // Force the index to exist, then mutate through both entry points.
         assert_eq!(db.count_matching(PredId(0), 0, Sym::new("a")), 1);
+        let (built_at, _) = db.index_stamp().unwrap();
         db.observe(GroundAtom::from_strs(PredId(0), &["a2"]), 0.5);
         assert_eq!(db.count_matching(PredId(0), 0, Sym::new("a2")), 1);
         db.target(GroundAtom::from_strs(PredId(1), &["a"]));
         assert_eq!(db.count_matching(PredId(1), 0, Sym::new("a")), 1);
+        let pool_gen = db.generation();
         // Re-observing an existing atom only updates the value; the pool is
-        // unchanged either way, so counts stay put.
+        // unchanged either way, so counts stay put and the index is not
+        // even re-stamped (it describes pools, not values).
         db.observe(GroundAtom::from_strs(PredId(0), &["a"]), 0.1);
         assert_eq!(db.count_matching(PredId(0), 0, Sym::new("a")), 1);
+        // All of the above patched the original index build in place.
+        let (built_after, stamp) = db.index_stamp().unwrap();
+        assert_eq!(built_at, built_after, "index must not have been rebuilt");
+        assert_eq!(stamp, pool_gen, "index is current for the last pool write");
+    }
+
+    #[test]
+    fn unchanged_write_is_free() {
+        let mut db = Database::new();
+        let a = GroundAtom::from_strs(PredId(0), &["x"]);
+        db.observe(a.clone(), 0.5);
+        db.target(GroundAtom::from_strs(PredId(1), &["t"]));
+        let gen = db.generation();
+        let _ = db.take_delta();
+        // Same value, already-registered target: nothing may happen.
+        db.observe(a.clone(), 0.5);
+        db.target(GroundAtom::from_strs(PredId(1), &["t"]));
+        assert_eq!(db.generation(), gen);
+        assert!(db.take_delta().is_empty());
+        // A genuinely changed value bumps the generation and logs a delta.
+        db.observe(a.clone(), 0.75);
+        assert_eq!(db.generation(), gen + 1);
+        let delta = db.take_delta();
+        assert_eq!(delta.len(), 1);
+        assert!(matches!(
+            delta.entries()[0].kind,
+            crate::delta::DeltaKind::Changed { old, new }
+                if (old - 0.5).abs() < 1e-12 && (new - 0.75).abs() < 1e-12
+        ));
+    }
+
+    #[test]
+    fn take_delta_logs_adds_changes_and_removes() {
+        use crate::delta::DeltaKind;
+        let mut db = Database::new();
+        let a = GroundAtom::from_strs(PredId(0), &["a"]);
+        let t = GroundAtom::from_strs(PredId(1), &["t"]);
+        db.observe(a.clone(), 0.2);
+        db.target(t.clone());
+        db.observe(a.clone(), 0.9);
+        assert!(db.retract(&a));
+        assert!(!db.retract(&a));
+        let kinds: Vec<_> = db
+            .take_delta()
+            .entries()
+            .iter()
+            .map(|e| std::mem::discriminant(&e.kind))
+            .collect();
+        assert_eq!(kinds.len(), 4);
+        assert_eq!(kinds[0], std::mem::discriminant(&DeltaKind::Added));
+        assert_eq!(kinds[3], std::mem::discriminant(&DeltaKind::Removed));
+        assert!(db.observed_value(&a).is_none());
+        assert!(db.atoms_of(PredId(0)).is_empty());
+        assert_eq!(db.resolve(&t), Resolved::Target);
+    }
+
+    #[test]
+    fn retract_invalidates_index_and_rebuild_is_consistent() {
+        let mut db = Database::new();
+        db.observe(GroundAtom::from_strs(PredId(0), &["a"]), 1.0);
+        db.observe(GroundAtom::from_strs(PredId(0), &["b"]), 1.0);
+        db.observe(GroundAtom::from_strs(PredId(0), &["c"]), 1.0);
+        assert_eq!(db.count_matching(PredId(0), 0, Sym::new("b")), 1);
+        assert!(db.retract(&GroundAtom::from_strs(PredId(0), &["a"])));
+        assert!(db.index_stamp().is_none(), "retraction drops the index");
+        // Rebuilt postings must track the shifted pool positions.
+        assert_eq!(db.count_matching(PredId(0), 0, Sym::new("a")), 0);
+        assert_eq!(db.count_matching(PredId(0), 0, Sym::new("c")), 1);
+        assert_eq!(db.atoms_of(PredId(0)).len(), 2);
     }
 
     #[test]

@@ -1,0 +1,864 @@
+//! Delta grounding: incremental re-grounding of PSL programs.
+//!
+//! Flip-based search (local search over `inMap` selections, MM-style
+//! iterative schemes) evaluates long chains of *nearly identical*
+//! databases: each step changes one observed truth value, or adds/retracts
+//! a handful of atoms. Paying a full [`crate::Program::ground`] per step
+//! re-derives thousands of ground terms that did not change. This module
+//! makes the grounder reuse them.
+//!
+//! ## Design
+//!
+//! **Generation-stamped mutations.** [`crate::Database`] bumps a
+//! generation counter on every effective write and logs each mutation as a
+//! [`DeltaEntry`] (`Added` / `Removed` / `Changed {old, new}`). Appends
+//! patch the argument-position index's posting lists in place (the index
+//! carries `built_at`/`stamp` generations); only retractions — which shift
+//! pool positions — invalidate it. [`crate::Database::take_delta`] drains
+//! the log into a [`DbDelta`], the exact difference between two grounding
+//! snapshots.
+//!
+//! **Splice support.** Every plan-compiled grounding
+//! ([`crate::Program::ground`] / `ground_with`) records, per source
+//! (logical rule, arithmetic rule, raw term), how many potentials and
+//! constraints it emitted — the term pool is segmented in canonical
+//! source order — plus, for logical rules, a *binding table* mapping each
+//! complete join binding to the artifact it produced (potential index,
+//! constraint index, constant-loss contribution, or pruned). The table is
+//! what lets a later reground patch single groundings without re-running
+//! the join.
+//!
+//! **Dependency map.** The compiled [`JoinPlan`]s know every predicate a
+//! rule's literals touch (body, negated body, and head — closed-world
+//! resolution means a rule's ground terms depend on *only* those pools and
+//! values). [`DependencyMap`] inverts that into predicate → dependent rule
+//! indices; a source whose predicates are disjoint from the delta's is
+//! spliced into the new ground program untouched.
+//!
+//! **Re-grounding granularity.** [`crate::Program::reground`] recomputes,
+//! per dirty source:
+//!
+//! * *Value-only deltas* (`Changed` entries only — pool membership is
+//!   untouched, so the substitution set of every join is provably
+//!   unchanged): for each mutated atom, the plan is executed **seeded**
+//!   with the atom's bindings at every literal that can instantiate it,
+//!   enumerating exactly the groundings that touch the atom. Their old
+//!   artifacts are looked up in the binding table and removed (including
+//!   constant-loss contributions), and the groundings are re-emitted
+//!   against the new values — pruned ↔ potential ↔ constraint transitions
+//!   included.
+//! * *Pool deltas* (`Added`/`Removed` present): dirty logical and
+//!   arithmetic rules are re-grounded from scratch; clean ones are still
+//!   spliced.
+//! * *Raw terms* are ground atoms, so their dirtiness test is exact atom
+//!   equality against the delta; dirty raw terms are recomputed (they are
+//!   single linear expressions — no joins).
+//!
+//! The spliced program shares the prior [`crate::VarRegistry`]: variable
+//! indices of surviving atoms are stable, which is what makes warm-started
+//! ADMM ([`crate::GroundProgram::solve_warm`]) a drop-in — the previous
+//! consensus vector indexes the new program directly. (The registry may
+//! retain atoms that no longer occur in any term; they simply stay
+//! unconstrained.)
+//!
+//! `reground(delta)` is equivalent to a fresh `ground()` up to term and
+//! variable order — property tests over random rules and mutation
+//! sequences enforce it, and [`crate::GroundStats::terms_reused`] /
+//! [`crate::GroundStats::terms_recomputed`] report how much work the
+//! splice saved.
+
+use crate::arith::ground_arith_rule;
+use crate::atom::GroundAtom;
+use crate::grounding::{emit, ground_rule, GroundSink, GroundStats, GroundingError};
+use crate::hinge::{GroundConstraint, GroundPotential};
+use crate::plan::JoinPlan;
+use crate::predicate::PredId;
+use crate::program::{GroundProgram, Program, RawArtifact};
+use cms_data::{FxHashMap, FxHashSet, Sym};
+use std::time::Instant;
+
+/// What happened to one atom.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum DeltaKind {
+    /// The atom entered its predicate pool (new observation or target).
+    Added,
+    /// The atom left the database ([`crate::Database::retract`]).
+    Removed,
+    /// An observed truth value changed; pools are untouched.
+    Changed {
+        /// Value before the write.
+        old: f64,
+        /// Value after the write (clamped to `[0,1]`).
+        new: f64,
+    },
+}
+
+/// One logged mutation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DeltaEntry {
+    /// The mutated atom.
+    pub atom: GroundAtom,
+    /// What happened to it.
+    pub kind: DeltaKind,
+}
+
+/// An ordered batch of database mutations between two grounding snapshots.
+#[derive(Clone, Default, Debug)]
+pub struct DbDelta {
+    entries: Vec<DeltaEntry>,
+}
+
+impl DbDelta {
+    pub(crate) fn new(entries: Vec<DeltaEntry>) -> DbDelta {
+        DbDelta { entries }
+    }
+
+    /// True iff no mutations were logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of logged mutations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The logged mutations, in write order.
+    pub fn entries(&self) -> &[DeltaEntry] {
+        &self.entries
+    }
+
+    /// True iff any mutation changed pool *membership* (added/removed an
+    /// atom) rather than just an observed value. Value-only deltas keep
+    /// every join's substitution set intact, enabling the seeded fast
+    /// path of [`crate::Program::reground`].
+    pub fn pools_changed(&self) -> bool {
+        self.entries
+            .iter()
+            .any(|e| !matches!(e.kind, DeltaKind::Changed { .. }))
+    }
+
+    /// The set of predicates with at least one mutated atom.
+    pub(crate) fn preds(&self) -> FxHashSet<PredId> {
+        self.entries.iter().map(|e| e.atom.pred).collect()
+    }
+
+    /// The set of mutated atoms (for exact-atom dirtiness tests).
+    pub(crate) fn atom_set(&self) -> FxHashSet<GroundAtom> {
+        self.entries.iter().map(|e| e.atom.clone()).collect()
+    }
+}
+
+/// Predicate → dependent rule indices, derived from compiled join plans.
+///
+/// A rule depends on every predicate any of its literals mentions — body,
+/// negated body, or head — because closed-world resolution folds those
+/// pools and values into its ground terms.
+#[derive(Clone, Default, Debug)]
+pub struct DependencyMap {
+    by_pred: FxHashMap<PredId, Vec<usize>>,
+}
+
+impl DependencyMap {
+    /// Build the map from one compiled plan per rule (plan order = rule
+    /// declaration order).
+    pub(crate) fn from_plans(plans: &[JoinPlan]) -> DependencyMap {
+        let mut by_pred: FxHashMap<PredId, Vec<usize>> = FxHashMap::default();
+        for (i, plan) in plans.iter().enumerate() {
+            for pred in plan.emit_preds() {
+                let deps = by_pred.entry(pred).or_default();
+                if deps.last() != Some(&i) {
+                    deps.push(i);
+                }
+            }
+        }
+        DependencyMap { by_pred }
+    }
+
+    /// Rule indices that must be reconsidered when `pred` mutates.
+    pub fn dependents(&self, pred: PredId) -> &[usize] {
+        self.by_pred.get(&pred).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// The artifact one grounding (complete join binding) produced, with
+/// indices relative to its rule's segment of the term pool.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum TermSlot {
+    /// Weighted potential at the given segment-relative index.
+    Potential(u32),
+    /// Hard constraint at the given segment-relative index.
+    Constraint(u32),
+    /// Constant objective contribution (no free variables).
+    ConstLoss(f64),
+    /// Trivially satisfied; nothing was emitted.
+    Pruned,
+}
+
+/// One logical rule's contiguous slice of the term pool plus its binding
+/// table and grounding statistics.
+#[derive(Clone, Debug)]
+pub(crate) struct RuleSegment {
+    /// Potentials this rule contributed (contiguous, in source order).
+    pub(crate) pots: usize,
+    /// Constraints this rule contributed.
+    pub(crate) cons: usize,
+    /// Complete binding → artifact (segment-relative indices).
+    pub(crate) slots: FxHashMap<Vec<Sym>, TermSlot>,
+    /// The rule's grounding statistics.
+    pub(crate) stats: GroundStats,
+}
+
+/// An arithmetic rule's contiguous slice of the term pool.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SegRange {
+    /// Potentials contributed.
+    pub(crate) pots: usize,
+    /// Constraints contributed.
+    pub(crate) cons: usize,
+}
+
+/// What one raw term contributed to the ground program.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum RawSlot {
+    /// One weighted potential.
+    Potential,
+    /// One hard constraint.
+    Constraint,
+    /// A constant objective contribution.
+    ConstLoss(f64),
+}
+
+/// Per-source segmentation of a ground program — everything
+/// [`Program::reground`] needs to splice unchanged terms and patch dirty
+/// ones. Recorded by the plan-compiled grounding paths; absent from
+/// [`Program::ground_naive`] output.
+#[derive(Clone, Default, Debug)]
+pub(crate) struct SpliceSupport {
+    /// One segment per logical rule, in declaration order.
+    pub(crate) rules: Vec<RuleSegment>,
+    /// One range per arithmetic rule, in declaration order.
+    pub(crate) arith: Vec<SegRange>,
+    /// One slot per raw term, in declaration order.
+    pub(crate) raw: Vec<RawSlot>,
+}
+
+/// Drop `dead` elements from `items`, returning the old → new index map
+/// (entries for dropped elements are `u32::MAX`).
+fn compact<T>(items: &mut Vec<T>, dead: &[bool]) -> Vec<u32> {
+    let mut map = vec![u32::MAX; items.len()];
+    let mut kept = 0u32;
+    let mut i = 0usize;
+    items.retain(|_| {
+        let keep = !dead[i];
+        if keep {
+            map[i] = kept;
+            kept += 1;
+        }
+        i += 1;
+        keep
+    });
+    map
+}
+
+impl Program {
+    /// Incrementally re-ground after the database mutations described by
+    /// `delta`, splicing unchanged ground terms out of `prior` (see the
+    /// [module docs](crate::delta) for the strategy).
+    ///
+    /// `prior` must be the grounding of this program against the database
+    /// state *immediately before* the delta's mutations (i.e. the delta
+    /// returned by [`crate::Database::take_delta`] spans exactly the
+    /// writes since `prior` was produced). The result is equivalent to a
+    /// fresh [`Program::ground`] up to term and variable order; if `prior`
+    /// carries no splice support (naive grounding, or the program's rule
+    /// list changed), a full grounding runs instead.
+    pub fn reground(
+        &self,
+        prior: &GroundProgram,
+        delta: &DbDelta,
+    ) -> Result<GroundProgram, GroundingError> {
+        self.reground_owned(prior.clone(), delta)
+    }
+
+    /// Consuming variant of [`Program::reground`]: unchanged segments are
+    /// *moved* out of `prior` instead of cloned. This is the hot-path API
+    /// for flip loops (no per-term allocation for reused terms).
+    pub fn reground_owned(
+        &self,
+        mut prior: GroundProgram,
+        delta: &DbDelta,
+    ) -> Result<GroundProgram, GroundingError> {
+        if delta.is_empty() {
+            return Ok(prior);
+        }
+        let support = match prior.splice.take() {
+            Some(s)
+                if s.rules.len() == self.rules.len()
+                    && s.arith.len() == self.arith_rules.len()
+                    && s.raw.len() == self.raw_terms().len() =>
+            {
+                s
+            }
+            _ => return self.ground(),
+        };
+        self.validate_rule_arities()?;
+        self.db.ensure_index();
+
+        let delta_preds = delta.preds();
+        let delta_atoms = delta.atom_set();
+        let pools_changed = delta.pools_changed();
+
+        // Compile plans once: they provide both the dependency sets and
+        // the seeded executor for the value-only fast path.
+        let plans: Vec<JoinPlan> = self
+            .rules
+            .iter()
+            .map(|r| JoinPlan::compile(r, &self.db))
+            .collect();
+        let deps = DependencyMap::from_plans(&plans);
+        let mut dirty_rules = vec![false; self.rules.len()];
+        for pred in &delta_preds {
+            for &i in deps.dependents(*pred) {
+                dirty_rules[i] = true;
+            }
+        }
+
+        let mut registry = std::mem::take(&mut prior.registry);
+        let mut pot_iter = prior.potentials.into_iter();
+        let mut con_iter = prior.constraints.into_iter();
+
+        let mut potentials: Vec<GroundPotential> = Vec::new();
+        let mut constraints: Vec<GroundConstraint> = Vec::new();
+        let mut rule_stats: FxHashMap<String, GroundStats> = FxHashMap::default();
+        let mut constant_loss = 0.0;
+        let mut new_support = SpliceSupport::default();
+
+        for (i, (rule, seg)) in self.rules.iter().zip(support.rules).enumerate() {
+            if !dirty_rules[i] {
+                // Clean: splice the whole segment unchanged.
+                potentials.extend(pot_iter.by_ref().take(seg.pots));
+                constraints.extend(con_iter.by_ref().take(seg.cons));
+                let mut stats = seg.stats.clone();
+                stats.terms_reused = seg.pots + seg.cons;
+                stats.terms_recomputed = 0;
+                constant_loss += stats.constant_loss;
+                rule_stats
+                    .entry(rule.name.clone())
+                    .or_default()
+                    .absorb(&stats);
+                new_support.rules.push(RuleSegment { stats, ..seg });
+                continue;
+            }
+            if pools_changed {
+                // Coarse path: pool membership moved under this rule —
+                // discard its prior terms and re-ground it from scratch.
+                pot_iter.by_ref().take(seg.pots).for_each(drop);
+                con_iter.by_ref().take(seg.cons).for_each(drop);
+                let mut sink = GroundSink::default();
+                let mut stats = ground_rule(rule, &self.db, &mut registry, &mut sink)?;
+                stats.terms_recomputed = sink.potentials.len() + sink.constraints.len();
+                constant_loss += stats.constant_loss;
+                rule_stats
+                    .entry(rule.name.clone())
+                    .or_default()
+                    .absorb(&stats);
+                new_support.rules.push(RuleSegment {
+                    pots: sink.potentials.len(),
+                    cons: sink.constraints.len(),
+                    slots: sink.slots,
+                    stats,
+                });
+                potentials.extend(sink.potentials);
+                constraints.extend(sink.constraints);
+                continue;
+            }
+            // Value-only fast path: the substitution set is unchanged, so
+            // recompute exactly the groundings that instantiate a mutated
+            // atom, found by seeded plan execution.
+            let start = Instant::now();
+            let plan = &plans[i];
+            let mut seg_pots: Vec<GroundPotential> = pot_iter.by_ref().take(seg.pots).collect();
+            let mut seg_cons: Vec<GroundConstraint> = con_iter.by_ref().take(seg.cons).collect();
+            let mut slots = seg.slots;
+            let mut stats = seg.stats;
+
+            let mut affected: FxHashSet<Vec<Sym>> = FxHashSet::default();
+            {
+                let guard = self.db.index();
+                let idx = guard.as_ref().expect("database index ensured");
+                let mut scratch = GroundStats::default();
+                for entry in delta.entries() {
+                    for lit_idx in 0..plan.num_emit_literals() {
+                        let Some(seed) = plan.seed_binding(lit_idx, &entry.atom) else {
+                            continue;
+                        };
+                        plan.execute_seeded(&self.db, idx, &seed, &mut scratch, |binding, _| {
+                            affected.insert(
+                                binding
+                                    .iter()
+                                    .map(|s| s.expect("complete binding has no holes"))
+                                    .collect(),
+                            );
+                            Ok(())
+                        })?;
+                    }
+                }
+                // Work counters report *this* reground's probes, not a
+                // running total across the flip chain (structure counters
+                // — potentials/constraints/pruned/substitutions — keep
+                // describing the current segment contents instead).
+                stats.candidates_probed = scratch.candidates_probed;
+                stats.candidates_scanned = scratch.candidates_scanned;
+            }
+
+            // Remove the affected groundings' prior artifacts.
+            let mut dead_pot = vec![false; seg_pots.len()];
+            let mut dead_con = vec![false; seg_cons.len()];
+            for key in &affected {
+                match slots.get(key) {
+                    Some(TermSlot::Potential(p)) => {
+                        dead_pot[*p as usize] = true;
+                        stats.potentials = stats.potentials.saturating_sub(1);
+                    }
+                    Some(TermSlot::Constraint(c)) => {
+                        dead_con[*c as usize] = true;
+                        stats.constraints = stats.constraints.saturating_sub(1);
+                    }
+                    Some(TermSlot::ConstLoss(d)) => {
+                        stats.constant_loss -= d;
+                        stats.pruned = stats.pruned.saturating_sub(1);
+                    }
+                    Some(TermSlot::Pruned) => {
+                        stats.pruned = stats.pruned.saturating_sub(1);
+                    }
+                    // Unreachable when `prior` matches the pre-delta
+                    // database; tolerate and emit fresh below.
+                    None => {}
+                }
+            }
+            let pot_map = compact(&mut seg_pots, &dead_pot);
+            let con_map = compact(&mut seg_cons, &dead_con);
+            for slot in slots.values_mut() {
+                match slot {
+                    TermSlot::Potential(p) if !dead_pot[*p as usize] => *p = pot_map[*p as usize],
+                    TermSlot::Constraint(c) if !dead_con[*c as usize] => *c = con_map[*c as usize],
+                    // Dead entries belong to affected bindings and are
+                    // overwritten by the re-emission right below.
+                    _ => {}
+                }
+            }
+
+            // Re-emit the affected groundings against the current values.
+            let mut mini = GroundSink::default();
+            let mut mini_stats = GroundStats::default();
+            for key in &affected {
+                let binding: Vec<Option<Sym>> = key.iter().map(|&s| Some(s)).collect();
+                emit(
+                    rule,
+                    plan,
+                    &self.db,
+                    &binding,
+                    &mut registry,
+                    &mut mini,
+                    &mut mini_stats,
+                )?;
+            }
+            let pot_off = seg_pots.len() as u32;
+            let con_off = seg_cons.len() as u32;
+            for (key, slot) in mini.slots {
+                let shifted = match slot {
+                    TermSlot::Potential(p) => TermSlot::Potential(p + pot_off),
+                    TermSlot::Constraint(c) => TermSlot::Constraint(c + con_off),
+                    other => other,
+                };
+                slots.insert(key, shifted);
+            }
+            stats.terms_reused = seg_pots.len() + seg_cons.len();
+            stats.terms_recomputed = affected.len();
+            stats.potentials += mini_stats.potentials;
+            stats.constraints += mini_stats.constraints;
+            stats.pruned += mini_stats.pruned;
+            stats.constant_loss += mini_stats.constant_loss;
+            stats.wall = start.elapsed();
+            seg_pots.extend(mini.potentials);
+            seg_cons.extend(mini.constraints);
+
+            constant_loss += stats.constant_loss;
+            rule_stats
+                .entry(rule.name.clone())
+                .or_default()
+                .absorb(&stats);
+            new_support.rules.push(RuleSegment {
+                pots: seg_pots.len(),
+                cons: seg_cons.len(),
+                slots,
+                stats,
+            });
+            potentials.extend(seg_pots);
+            constraints.extend(seg_cons);
+        }
+
+        // Arithmetic rules: per-rule granularity (their grounding folds
+        // summations, so there is no per-binding splice table).
+        for (rule, seg) in self.arith_rules.iter().zip(support.arith) {
+            let dirty = rule
+                .terms
+                .iter()
+                .flat_map(|t| &t.atoms)
+                .any(|a| delta_preds.contains(&a.pred));
+            let mut stats = GroundStats::default();
+            if dirty {
+                pot_iter.by_ref().take(seg.pots).for_each(drop);
+                con_iter.by_ref().take(seg.cons).for_each(drop);
+                let p0 = potentials.len();
+                let c0 = constraints.len();
+                ground_arith_rule(
+                    rule,
+                    &self.db,
+                    &mut registry,
+                    &mut potentials,
+                    &mut constraints,
+                )
+                .map_err(GroundingError::Arith)?;
+                let range = SegRange {
+                    pots: potentials.len() - p0,
+                    cons: constraints.len() - c0,
+                };
+                stats.potentials = range.pots;
+                stats.constraints = range.cons;
+                stats.terms_recomputed = range.pots + range.cons;
+                new_support.arith.push(range);
+            } else {
+                potentials.extend(pot_iter.by_ref().take(seg.pots));
+                constraints.extend(con_iter.by_ref().take(seg.cons));
+                stats.potentials = seg.pots;
+                stats.constraints = seg.cons;
+                stats.terms_reused = seg.pots + seg.cons;
+                new_support.arith.push(seg);
+            }
+            rule_stats
+                .entry(rule.name.clone())
+                .or_default()
+                .absorb(&stats);
+        }
+
+        // Raw terms are ground: dirtiness is exact atom equality.
+        for (raw, slot) in self.raw_terms().iter().zip(support.raw) {
+            let mut stats = GroundStats::default();
+            let dirty = raw.atoms().any(|a| delta_atoms.contains(a));
+            if dirty {
+                match slot {
+                    RawSlot::Potential => drop(pot_iter.next()),
+                    RawSlot::Constraint => drop(con_iter.next()),
+                    RawSlot::ConstLoss(_) => {}
+                }
+                stats.terms_recomputed = 1;
+                match self.raw_artifact(raw, &mut registry) {
+                    RawArtifact::Potential(p) => {
+                        stats.potentials += 1;
+                        potentials.push(p);
+                        new_support.raw.push(RawSlot::Potential);
+                    }
+                    RawArtifact::Constraint(c) => {
+                        stats.constraints += 1;
+                        constraints.push(c);
+                        new_support.raw.push(RawSlot::Constraint);
+                    }
+                    RawArtifact::ConstLoss(d) => {
+                        stats.constant_loss += d;
+                        stats.pruned += 1;
+                        constant_loss += d;
+                        new_support.raw.push(RawSlot::ConstLoss(d));
+                    }
+                }
+            } else {
+                stats.terms_reused = 1;
+                match slot {
+                    RawSlot::Potential => {
+                        stats.potentials += 1;
+                        potentials.push(pot_iter.next().expect("reused raw potential present"));
+                    }
+                    RawSlot::Constraint => {
+                        stats.constraints += 1;
+                        constraints.push(con_iter.next().expect("reused raw constraint present"));
+                    }
+                    RawSlot::ConstLoss(d) => {
+                        stats.constant_loss += d;
+                        constant_loss += d;
+                    }
+                }
+                new_support.raw.push(slot);
+            }
+            rule_stats
+                .entry(raw.origin().to_owned())
+                .or_default()
+                .absorb(&stats);
+        }
+
+        debug_assert!(pot_iter.next().is_none(), "prior potentials fully consumed");
+        debug_assert!(
+            con_iter.next().is_none(),
+            "prior constraints fully consumed"
+        );
+
+        Ok(GroundProgram {
+            registry,
+            potentials,
+            constraints,
+            constant_loss,
+            rule_stats,
+            splice: Some(new_support),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::ArithRuleBuilder;
+    use crate::hinge::ConstraintKind;
+    use crate::predicate::Vocabulary;
+    use crate::program::AtomLin;
+    use crate::rule::{rvar, RAtom, RTerm, RuleBuilder};
+    use crate::AdmmConfig;
+
+    /// A program exercising every source kind: a two-literal join rule, a
+    /// single-literal rule, an arithmetic cap, and raw terms — all over a
+    /// `covers`/`inMap`(observed)/`explained` shape.
+    fn eval_program() -> Program {
+        let mut vocab = Vocabulary::new();
+        let covers = vocab.closed("covers", 2);
+        let in_map = vocab.closed("inMap", 1);
+        let scope = vocab.closed("scope", 1);
+        let explained = vocab.open("explained", 1);
+        let mut program = Program::new(vocab);
+        for t in 0..4 {
+            let tn = format!("t{t}");
+            program
+                .db
+                .observe(GroundAtom::from_strs(scope, &[&tn]), 1.0);
+            program.db.target(GroundAtom::from_strs(explained, &[&tn]));
+        }
+        for c in 0..3 {
+            let cn = format!("c{c}");
+            program
+                .db
+                .observe(GroundAtom::from_strs(in_map, &[&cn]), 0.0);
+            for t in 0..4 {
+                if (c + t) % 2 == 0 {
+                    program.db.observe(
+                        GroundAtom::from_strs(covers, &[&cn, &format!("t{t}")]),
+                        0.5 + 0.1 * t as f64,
+                    );
+                }
+            }
+            // Raw size prior on the observed inMap atom (folds to a
+            // constant loss that must track flips).
+            let mut lin = AtomLin::new();
+            lin.add(GroundAtom::from_strs(in_map, &[&cn]), 1.0);
+            program.add_raw_potential(lin, 0.25, false, "size-prior");
+        }
+        program.add_rule(
+            RuleBuilder::new("explain-reward")
+                .body(scope, vec![rvar("T")])
+                .head(explained, vec![rvar("T")])
+                .weight(1.0)
+                .build(),
+        );
+        // Hard join rule: covers(C,T) ∧ inMap(C) → explained(T). Flipping
+        // one inMap value moves its groundings between pruned and live.
+        program.add_rule(
+            RuleBuilder::new("cover-implies")
+                .body(covers, vec![rvar("C"), rvar("T")])
+                .body(in_map, vec![rvar("C")])
+                .head(explained, vec![rvar("T")])
+                .build(),
+        );
+        // Arithmetic cap with a summation over the join.
+        program.add_arith_rule(
+            ArithRuleBuilder::new("explain-cap")
+                .term(
+                    1.0,
+                    vec![RAtom {
+                        pred: explained,
+                        args: vec![RTerm::Var("T".into())],
+                    }],
+                )
+                .term(
+                    -1.0,
+                    vec![
+                        RAtom {
+                            pred: covers,
+                            args: vec![RTerm::Var("C".into()), RTerm::Var("T".into())],
+                        },
+                        RAtom {
+                            pred: in_map,
+                            args: vec![RTerm::Var("C".into())],
+                        },
+                    ],
+                )
+                .sum_over("C")
+                .build(),
+        );
+        // A raw constraint that never touches inMap (must always splice).
+        let mut lin = AtomLin::new();
+        lin.add(GroundAtom::from_strs(explained, &["t0"]), 1.0);
+        lin.add_constant(-1.0);
+        program.add_raw_constraint(lin, ConstraintKind::LeqZero, "cap-t0");
+        program
+    }
+
+    fn assert_equivalent(label: &str, incremental: &GroundProgram, fresh: &GroundProgram) {
+        assert_eq!(
+            incremental.canonical_terms(),
+            fresh.canonical_terms(),
+            "{label}: ground terms diverged"
+        );
+        assert!(
+            (incremental.constant_loss - fresh.constant_loss).abs() < 1e-9,
+            "{label}: constant loss {} vs {}",
+            incremental.constant_loss,
+            fresh.constant_loss
+        );
+    }
+
+    #[test]
+    fn value_flip_fast_path_matches_fresh_ground() {
+        let mut program = eval_program();
+        let prior = program.ground().unwrap();
+        let _ = program.db.take_delta();
+        let in_map = program.vocab.id_of("inMap").unwrap();
+
+        // Flip c1 into the selection.
+        program
+            .db
+            .observe(GroundAtom::from_strs(in_map, &["c1"]), 1.0);
+        let delta = program.db.take_delta();
+        assert!(!delta.pools_changed());
+        let incremental = program.reground(&prior, &delta).unwrap();
+        let fresh = program.ground().unwrap();
+        assert_equivalent("flip c1 on", &incremental, &fresh);
+
+        let total = incremental.total_stats();
+        assert!(total.terms_reused > 0, "{total:?}");
+        assert!(total.terms_recomputed > 0, "{total:?}");
+        // The untouched single-literal rule must be spliced wholesale.
+        assert_eq!(
+            incremental.rule_stats["explain-reward"].terms_recomputed, 0,
+            "clean rule was recomputed"
+        );
+
+        // Flip it back off: the chain of regrounds stays equivalent.
+        program
+            .db
+            .observe(GroundAtom::from_strs(in_map, &["c1"]), 0.0);
+        let delta = program.db.take_delta();
+        let back = program.reground_owned(incremental, &delta).unwrap();
+        let fresh = program.ground().unwrap();
+        assert_equivalent("flip c1 back off", &back, &fresh);
+    }
+
+    #[test]
+    fn unchanged_write_regrounds_to_identity() {
+        let mut program = eval_program();
+        let prior = program.ground().unwrap();
+        let _ = program.db.take_delta();
+        let in_map = program.vocab.id_of("inMap").unwrap();
+        program
+            .db
+            .observe(GroundAtom::from_strs(in_map, &["c0"]), 0.0); // same value
+        let delta = program.db.take_delta();
+        assert!(delta.is_empty(), "no-op writes must not emit deltas");
+        let same = program.reground(&prior, &delta).unwrap();
+        assert_eq!(same.canonical_terms(), prior.canonical_terms());
+    }
+
+    #[test]
+    fn added_and_retracted_atoms_take_the_coarse_path() {
+        let mut program = eval_program();
+        let prior = program.ground().unwrap();
+        let _ = program.db.take_delta();
+        let covers = program.vocab.id_of("covers").unwrap();
+
+        // Add a brand-new covers atom (new join candidate).
+        program
+            .db
+            .observe(GroundAtom::from_strs(covers, &["c2", "t1"]), 0.9);
+        let delta = program.db.take_delta();
+        assert!(delta.pools_changed());
+        let incremental = program.reground(&prior, &delta).unwrap();
+        let fresh = program.ground().unwrap();
+        assert_equivalent("added covers atom", &incremental, &fresh);
+
+        // Retract one again.
+        assert!(program
+            .db
+            .retract(&GroundAtom::from_strs(covers, &["c0", "t0"])));
+        let delta = program.db.take_delta();
+        let incremental = program.reground_owned(incremental, &delta).unwrap();
+        let fresh = program.ground().unwrap();
+        assert_equivalent("retracted covers atom", &incremental, &fresh);
+    }
+
+    #[test]
+    fn warm_solve_matches_cold_solve_after_flip() {
+        let mut program = eval_program();
+        let prior = program.ground().unwrap();
+        let cold0 = prior.solve(&AdmmConfig::default());
+        let _ = program.db.take_delta();
+        let in_map = program.vocab.id_of("inMap").unwrap();
+        program
+            .db
+            .observe(GroundAtom::from_strs(in_map, &["c0"]), 1.0);
+        let delta = program.db.take_delta();
+        let ground = program.reground(&prior, &delta).unwrap();
+        let warm = ground.solve_warm(&AdmmConfig::default(), &cold0.admm.values);
+        let cold = ground.solve(&AdmmConfig::default());
+        assert!(warm.admm.converged);
+        assert!(
+            (warm.total_objective() - cold.total_objective()).abs() < 1e-3,
+            "warm {} vs cold {}",
+            warm.total_objective(),
+            cold.total_objective()
+        );
+        assert!(warm.admm.max_violation < 1e-3);
+    }
+
+    #[test]
+    fn naive_prior_falls_back_to_full_ground() {
+        let mut program = eval_program();
+        let prior = program.ground_naive().unwrap();
+        let _ = program.db.take_delta();
+        let in_map = program.vocab.id_of("inMap").unwrap();
+        program
+            .db
+            .observe(GroundAtom::from_strs(in_map, &["c0"]), 1.0);
+        let delta = program.db.take_delta();
+        let incremental = program.reground(&prior, &delta).unwrap();
+        let fresh = program.ground().unwrap();
+        assert_equivalent("naive fallback", &incremental, &fresh);
+    }
+
+    #[test]
+    fn dependency_map_inverts_plan_predicates() {
+        let program = eval_program();
+        program.db.ensure_index();
+        let plans: Vec<JoinPlan> = program
+            .rules
+            .iter()
+            .map(|r| JoinPlan::compile(r, &program.db))
+            .collect();
+        let deps = DependencyMap::from_plans(&plans);
+        let in_map = program.vocab.id_of("inMap").unwrap();
+        let scope = program.vocab.id_of("scope").unwrap();
+        let explained = program.vocab.id_of("explained").unwrap();
+        assert_eq!(deps.dependents(in_map), &[1], "only the join rule");
+        assert_eq!(deps.dependents(scope), &[0]);
+        assert_eq!(
+            deps.dependents(explained),
+            &[0, 1],
+            "head occurrences count"
+        );
+    }
+}

@@ -35,6 +35,7 @@
 
 use crate::atom::GroundAtom;
 use crate::database::{Database, Resolved};
+use crate::delta::TermSlot;
 use crate::hinge::{ConstraintKind, GroundConstraint, GroundPotential};
 use crate::linear::LinExpr;
 use crate::plan::{EmitLiteral, JoinPlan, SlotTerm};
@@ -143,6 +144,12 @@ pub struct GroundStats {
     /// at that backtracking node). The index "short-circuits" work exactly
     /// when this stays near the root-literal pool size.
     pub candidates_scanned: usize,
+    /// Ground terms spliced unchanged from a prior ground program by
+    /// [`crate::Program::reground`] (always 0 for a full grounding).
+    pub terms_reused: usize,
+    /// Groundings recomputed by [`crate::Program::reground`] because a
+    /// mutated atom touched them (always 0 for a full grounding).
+    pub terms_recomputed: usize,
     /// Wall time spent grounding this rule.
     pub wall: Duration,
 }
@@ -157,6 +164,8 @@ impl GroundStats {
         self.constant_loss += other.constant_loss;
         self.candidates_probed += other.candidates_probed;
         self.candidates_scanned += other.candidates_scanned;
+        self.terms_reused += other.terms_reused;
+        self.terms_recomputed += other.terms_recomputed;
         self.wall += other.wall;
     }
 }
@@ -168,6 +177,12 @@ pub struct GroundSink {
     pub potentials: Vec<GroundPotential>,
     /// Collected constraints.
     pub constraints: Vec<GroundConstraint>,
+    /// Complete-binding → emitted-artifact map recorded by the plan
+    /// engine (`ground_rule`), keyed by the slot binding of each
+    /// substitution; indices are relative to this sink. This is the splice
+    /// table [`crate::Program::reground`] uses to patch single groundings
+    /// in place. The naive reference grounder leaves it empty.
+    pub(crate) slots: FxHashMap<Vec<Sym>, TermSlot>,
 }
 
 /// Ground one rule into `sink`, registering target atoms in `registry`.
@@ -219,8 +234,9 @@ fn validate_pool_arities(rule: &LogicalRule, db: &Database) -> Result<(), Ground
     Ok(())
 }
 
-/// Instantiate one grounding: build its distance-to-satisfaction LinExpr.
-fn emit(
+/// Instantiate one grounding: build its distance-to-satisfaction LinExpr
+/// and record the binding → artifact slot for later delta splicing.
+pub(crate) fn emit(
     rule: &LogicalRule,
     plan: &JoinPlan,
     db: &Database,
@@ -235,7 +251,12 @@ fn emit(
         add_literal(lit, db, binding, registry, &mut expr);
     }
     expr.normalize();
-    classify(rule, expr, sink, stats);
+    let slot = classify(rule, expr, sink, stats);
+    let key: Vec<Sym> = binding
+        .iter()
+        .map(|s| s.expect("complete binding has no holes"))
+        .collect();
+    sink.slots.insert(key, slot);
     Ok(())
 }
 
@@ -291,21 +312,29 @@ fn instantiate(
 
 /// Route a normalized distance expression to the sink (shared by the plan
 /// executor and the naive reference grounder — the *semantics* of a
-/// grounding are identical in both).
-fn classify(rule: &LogicalRule, expr: LinExpr, sink: &mut GroundSink, stats: &mut GroundStats) {
+/// grounding are identical in both). Returns which artifact the grounding
+/// produced, with indices relative to `sink`.
+fn classify(
+    rule: &LogicalRule,
+    expr: LinExpr,
+    sink: &mut GroundSink,
+    stats: &mut GroundStats,
+) -> TermSlot {
     // Prune if the hinge can never activate: max over the [0,1] box.
     let max_value: f64 = expr.constant + expr.terms.iter().map(|&(_, c)| c.max(0.0)).sum::<f64>();
     if max_value <= 1e-12 {
         stats.pruned += 1;
-        return;
+        return TermSlot::Pruned;
     }
     if expr.is_constant() {
         // Positive constant distance: nothing to infer.
         match rule.weight {
             Some(w) => {
                 let d = expr.constant.max(0.0);
-                stats.constant_loss += if rule.squared { w * d * d } else { w * d };
+                let loss = if rule.squared { w * d * d } else { w * d };
+                stats.constant_loss += loss;
                 stats.pruned += 1;
+                return TermSlot::ConstLoss(loss);
             }
             None => {
                 // A hard rule violated by observations alone: keep it as a
@@ -317,9 +346,9 @@ fn classify(rule: &LogicalRule, expr: LinExpr, sink: &mut GroundSink, stats: &mu
                     origin: rule.name.clone(),
                 });
                 stats.constraints += 1;
+                return TermSlot::Constraint((sink.constraints.len() - 1) as u32);
             }
         }
-        return;
     }
 
     match rule.weight {
@@ -331,6 +360,7 @@ fn classify(rule: &LogicalRule, expr: LinExpr, sink: &mut GroundSink, stats: &mu
                 origin: rule.name.clone(),
             });
             stats.potentials += 1;
+            TermSlot::Potential((sink.potentials.len() - 1) as u32)
         }
         None => {
             sink.constraints.push(GroundConstraint {
@@ -339,6 +369,7 @@ fn classify(rule: &LogicalRule, expr: LinExpr, sink: &mut GroundSink, stats: &mu
                 origin: rule.name.clone(),
             });
             stats.constraints += 1;
+            TermSlot::Constraint((sink.constraints.len() - 1) as u32)
         }
     }
 }

@@ -43,6 +43,7 @@ pub mod admm;
 pub mod arith;
 pub mod atom;
 pub mod database;
+pub mod delta;
 pub mod grounding;
 pub mod hinge;
 pub mod linear;
@@ -59,6 +60,7 @@ pub use arith::{
 };
 pub use atom::GroundAtom;
 pub use database::{Database, Resolved};
+pub use delta::{DbDelta, DeltaEntry, DeltaKind, DependencyMap};
 pub use grounding::{
     ground_rule, reference::ground_rule_naive, GroundSink, GroundStats, GroundingError, VarRegistry,
 };

@@ -12,6 +12,7 @@ use crate::admm::{AdmmConfig, AdmmSolution, AdmmSolver};
 use crate::arith::{ground_arith_rule, ground_arith_rule_naive, ArithRule};
 use crate::atom::GroundAtom;
 use crate::database::{Database, Resolved};
+use crate::delta::{RawSlot, RuleSegment, SegRange, SpliceSupport};
 use crate::grounding::{
     ground_rule, reference::ground_rule_naive, GroundSink, GroundStats, GroundingError, VarRegistry,
 };
@@ -50,15 +51,37 @@ impl AtomLin {
     }
 }
 
-enum RawKind {
+pub(crate) enum RawKind {
     Potential { weight: f64, squared: bool },
     Constraint { kind: ConstraintKind },
 }
 
-struct RawTerm {
+pub(crate) struct RawTerm {
     lin: AtomLin,
     kind: RawKind,
     origin: String,
+}
+
+impl RawTerm {
+    /// The ground atoms this raw term references.
+    pub(crate) fn atoms(&self) -> impl Iterator<Item = &GroundAtom> {
+        self.lin.terms.iter().map(|(a, _)| a)
+    }
+
+    /// Diagnostic origin label.
+    pub(crate) fn origin(&self) -> &str {
+        &self.origin
+    }
+}
+
+/// What grounding one raw term yields (see [`Program::raw_artifact`]).
+pub(crate) enum RawArtifact {
+    /// A weighted potential over at least one free variable.
+    Potential(GroundPotential),
+    /// A hard constraint.
+    Constraint(GroundConstraint),
+    /// A constant objective contribution (fully observed potential).
+    ConstLoss(f64),
 }
 
 /// A PSL program: declarations, data, rules, raw terms.
@@ -67,8 +90,8 @@ pub struct Program {
     pub vocab: Vocabulary,
     /// Observations and targets.
     pub db: Database,
-    rules: Vec<LogicalRule>,
-    arith_rules: Vec<ArithRule>,
+    pub(crate) rules: Vec<LogicalRule>,
+    pub(crate) arith_rules: Vec<ArithRule>,
     raw: Vec<RawTerm>,
 }
 
@@ -138,6 +161,7 @@ impl Program {
         let mut registry = VarRegistry::new();
         let mut sink = GroundSink::default();
         let mut stats: FxHashMap<String, GroundStats> = FxHashMap::default();
+        let mut segments: Vec<RuleSegment> = Vec::with_capacity(self.rules.len());
         let mut constant_loss = 0.0;
         for (rule, result) in self.rules.iter().zip(per_rule) {
             let rg = result?;
@@ -150,6 +174,12 @@ impl Program {
                 .iter()
                 .map(|a| registry.intern(a))
                 .collect();
+            segments.push(RuleSegment {
+                pots: rg.sink.potentials.len(),
+                cons: rg.sink.constraints.len(),
+                slots: rg.sink.slots,
+                stats: rg.stats.clone(),
+            });
             for mut p in rg.sink.potentials {
                 remap_expr(&mut p.expr, &map);
                 sink.potentials.push(p);
@@ -164,7 +194,7 @@ impl Program {
                 .or_default()
                 .absorb(&rg.stats);
         }
-        self.finish_ground(registry, sink, stats, constant_loss, false)
+        self.finish_ground(registry, sink, stats, constant_loss, false, Some(segments))
     }
 
     /// Ground every logical rule into a local registry/sink, possibly in
@@ -233,13 +263,13 @@ impl Program {
             constant_loss += s.constant_loss;
             stats.entry(rule.name.clone()).or_default().absorb(&s);
         }
-        self.finish_ground(registry, sink, stats, constant_loss, true)
+        self.finish_ground(registry, sink, stats, constant_loss, true, None)
     }
 
     /// Validate every logical-rule atom against the vocabulary (arity
     /// agreement) before grounding starts, so no engine can abort
     /// mid-enumeration over a malformed rule.
-    fn validate_rule_arities(&self) -> Result<(), GroundingError> {
+    pub(crate) fn validate_rule_arities(&self) -> Result<(), GroundingError> {
         for rule in &self.rules {
             for lit in rule.body.iter().chain(rule.head.iter()) {
                 if lit.atom.pred.index() < self.vocab.len()
@@ -256,7 +286,10 @@ impl Program {
 
     /// Shared tail of all grounding paths: arithmetic rules, raw terms,
     /// assembly of the [`GroundProgram`]. `naive_arith` selects the
-    /// reference (scan-only) arithmetic grounder for [`Program::ground_naive`].
+    /// reference (scan-only) arithmetic grounder for
+    /// [`Program::ground_naive`]; `rule_segments` carries the per-rule
+    /// splice segmentation of the plan-compiled paths (`None` disables
+    /// splice support on the result).
     fn finish_ground(
         &self,
         mut registry: VarRegistry,
@@ -264,13 +297,17 @@ impl Program {
         stats: FxHashMap<String, GroundStats>,
         mut constant_loss: f64,
         naive_arith: bool,
+        rule_segments: Option<Vec<RuleSegment>>,
     ) -> Result<GroundProgram, GroundingError> {
         let ground_arith = if naive_arith {
             ground_arith_rule_naive
         } else {
             ground_arith_rule
         };
+        let mut arith_ranges: Vec<SegRange> = Vec::with_capacity(self.arith_rules.len());
         for rule in &self.arith_rules {
+            let p0 = sink.potentials.len();
+            let c0 = sink.constraints.len();
             ground_arith(
                 rule,
                 &self.db,
@@ -279,41 +316,25 @@ impl Program {
                 &mut sink.constraints,
             )
             .map_err(GroundingError::Arith)?;
+            arith_ranges.push(SegRange {
+                pots: sink.potentials.len() - p0,
+                cons: sink.constraints.len() - c0,
+            });
         }
+        let mut raw_slots: Vec<RawSlot> = Vec::with_capacity(self.raw.len());
         for raw in &self.raw {
-            let mut expr = LinExpr::constant(raw.lin.constant);
-            for (atom, coef) in &raw.lin.terms {
-                match self.db.resolve(atom) {
-                    Resolved::Observed(v) => {
-                        expr.add_constant(coef * v);
-                    }
-                    Resolved::Target => {
-                        let var = registry.intern(atom);
-                        expr.add_term(var, *coef);
-                    }
+            match self.raw_artifact(raw, &mut registry) {
+                RawArtifact::Potential(p) => {
+                    sink.potentials.push(p);
+                    raw_slots.push(RawSlot::Potential);
                 }
-            }
-            expr.normalize();
-            match raw.kind {
-                RawKind::Potential { weight, squared } => {
-                    if expr.is_constant() {
-                        let d = expr.constant.max(0.0);
-                        constant_loss += if squared { weight * d * d } else { weight * d };
-                    } else {
-                        sink.potentials.push(GroundPotential {
-                            expr,
-                            weight,
-                            squared,
-                            origin: raw.origin.clone(),
-                        });
-                    }
+                RawArtifact::Constraint(c) => {
+                    sink.constraints.push(c);
+                    raw_slots.push(RawSlot::Constraint);
                 }
-                RawKind::Constraint { kind } => {
-                    sink.constraints.push(GroundConstraint {
-                        expr,
-                        kind,
-                        origin: raw.origin.clone(),
-                    });
+                RawArtifact::ConstLoss(d) => {
+                    constant_loss += d;
+                    raw_slots.push(RawSlot::ConstLoss(d));
                 }
             }
         }
@@ -323,7 +344,56 @@ impl Program {
             constraints: sink.constraints,
             constant_loss,
             rule_stats: stats,
+            splice: rule_segments.map(|rules| SpliceSupport {
+                rules,
+                arith: arith_ranges,
+                raw: raw_slots,
+            }),
         })
+    }
+
+    /// Ground one raw term against the current database: observed atoms
+    /// fold into the constant, target atoms become variables. Shared by
+    /// [`Program::ground`] and the delta regrounder.
+    pub(crate) fn raw_artifact(&self, raw: &RawTerm, registry: &mut VarRegistry) -> RawArtifact {
+        let mut expr = LinExpr::constant(raw.lin.constant);
+        for (atom, coef) in &raw.lin.terms {
+            match self.db.resolve(atom) {
+                Resolved::Observed(v) => {
+                    expr.add_constant(coef * v);
+                }
+                Resolved::Target => {
+                    let var = registry.intern(atom);
+                    expr.add_term(var, *coef);
+                }
+            }
+        }
+        expr.normalize();
+        match raw.kind {
+            RawKind::Potential { weight, squared } => {
+                if expr.is_constant() {
+                    let d = expr.constant.max(0.0);
+                    RawArtifact::ConstLoss(if squared { weight * d * d } else { weight * d })
+                } else {
+                    RawArtifact::Potential(GroundPotential {
+                        expr,
+                        weight,
+                        squared,
+                        origin: raw.origin.clone(),
+                    })
+                }
+            }
+            RawKind::Constraint { kind } => RawArtifact::Constraint(GroundConstraint {
+                expr,
+                kind,
+                origin: raw.origin.clone(),
+            }),
+        }
+    }
+
+    /// The raw terms, in declaration order (for the delta regrounder).
+    pub(crate) fn raw_terms(&self) -> &[RawTerm] {
+        &self.raw
     }
 }
 
@@ -344,9 +414,9 @@ fn remap_expr(expr: &mut LinExpr, map: &[usize]) {
 }
 
 /// A fully grounded program, ready for MAP inference.
-#[derive(Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct GroundProgram {
-    registry: VarRegistry,
+    pub(crate) registry: VarRegistry,
     /// Ground weighted potentials.
     pub potentials: Vec<GroundPotential>,
     /// Ground hard constraints.
@@ -355,6 +425,10 @@ pub struct GroundProgram {
     pub constant_loss: f64,
     /// Per-rule grounding statistics keyed by rule name.
     pub rule_stats: FxHashMap<String, GroundStats>,
+    /// Per-source segmentation for delta regrounding (`None` when produced
+    /// by the naive reference engine — [`crate::Program::reground`] then
+    /// falls back to a full grounding).
+    pub(crate) splice: Option<SpliceSupport>,
 }
 
 impl GroundProgram {
@@ -423,6 +497,20 @@ impl GroundProgram {
     pub fn solve(&self, config: &AdmmConfig) -> MapSolution {
         let solver = AdmmSolver::new(&self.potentials, &self.constraints, self.num_vars());
         let sol = solver.solve(config);
+        MapSolution {
+            admm: sol,
+            constant_loss: self.constant_loss,
+        }
+    }
+
+    /// Run MAP inference **warm-started** from a previous consensus vector
+    /// (typically [`AdmmSolution::values`] of the solve before a delta
+    /// reground — variable indices are stable across regrounds, so the
+    /// vector indexes this program directly). Missing trailing variables
+    /// start at the config's initial value; values are clamped to `[0,1]`.
+    pub fn solve_warm(&self, config: &AdmmConfig, warm: &[f64]) -> MapSolution {
+        let solver = AdmmSolver::new(&self.potentials, &self.constraints, self.num_vars());
+        let sol = solver.solve_from(config, Some(warm));
         MapSolution {
             admm: sol,
             constant_loss: self.constant_loss,

@@ -347,4 +347,111 @@ mod grounding_equivalence {
             }
         }
     }
+
+    // -----------------------------------------------------------------
+    // Delta regrounding vs full grounding over random mutation sequences.
+    // -----------------------------------------------------------------
+
+    /// One random database mutation (see `apply_op`): kind, predicate
+    /// coin, two symbol picks, one value pick.
+    type MutOp = (u8, bool, u32, u32, u32);
+
+    fn arb_ops() -> impl Strategy<Value = Vec<MutOp>> {
+        prop::collection::vec((0u8..5, any::<bool>(), 0u32..6, 0u32..6, 0u32..=10), 1..16)
+    }
+
+    /// Apply one mutation to the program's database: (re-)observations of
+    /// the closed preds 0/1 (adds, value changes, and exact no-ops), new
+    /// targets on the open preds 2/3, and retractions of pooled atoms.
+    fn apply_op(program: &mut cms_psl::Program, op: MutOp) {
+        let (kind, wide, a, b, v) = op;
+        let value = f64::from(v) / 10.0;
+        match kind {
+            0 => {
+                // Observe (new, changed, or unchanged) on pred 0 or 1.
+                let atom = if wide {
+                    GroundAtom::from_strs(PredId(1), &[&sym_pool(a), &sym_pool(b)])
+                } else {
+                    GroundAtom::from_strs(PredId(0), &[&sym_pool(a)])
+                };
+                program.db.observe(atom, value);
+            }
+            1 => {
+                // Re-observe an existing pooled atom (forces Changed/no-op
+                // entries on atoms the prior grounding actually used).
+                let pred = PredId(u32::from(wide));
+                let pool = program.db.atoms_of(pred).to_vec();
+                if !pool.is_empty() {
+                    let atom = pool[a as usize % pool.len()].clone();
+                    program.db.observe(atom, value);
+                }
+            }
+            2 => {
+                let atom = if wide {
+                    GroundAtom::from_strs(PredId(3), &[&sym_pool(a), &sym_pool(b)])
+                } else {
+                    GroundAtom::from_strs(PredId(2), &[&sym_pool(a)])
+                };
+                program.db.target(atom);
+            }
+            3 => {
+                // Retract a pooled observed atom, if any.
+                let pred = PredId(u32::from(wide));
+                let pool = program.db.atoms_of(pred).to_vec();
+                if !pool.is_empty() {
+                    let atom = pool[a as usize % pool.len()].clone();
+                    program.db.retract(&atom);
+                }
+            }
+            _ => {
+                // Retract a pooled target atom, if any.
+                let pred = PredId(2 + u32::from(wide));
+                let pool = program.db.atoms_of(pred).to_vec();
+                if !pool.is_empty() {
+                    let atom = pool[a as usize % pool.len()].clone();
+                    program.db.retract(&atom);
+                }
+            }
+        }
+    }
+
+    fn vocab_for_arities() -> cms_psl::Vocabulary {
+        let mut vocab = Vocabulary::new();
+        vocab.closed("p0", ARITIES[0]);
+        vocab.closed("p1", ARITIES[1]);
+        vocab.open("q2", ARITIES[2]);
+        vocab.open("q3", ARITIES[3]);
+        vocab
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// `reground(delta)` after any mutation sequence describes exactly
+        /// the HL-MRF a fresh `ground()` builds — chained: each step
+        /// regrounds the *previous* increment, never a fresh baseline.
+        #[test]
+        fn reground_equals_full_ground_over_mutation_sequences(
+            db in arb_db(),
+            rules in prop::collection::vec(arb_rule(), 1..4),
+            ops in arb_ops(),
+        ) {
+            let mut program = cms_psl::Program::new(vocab_for_arities());
+            program.db = db;
+            for rule in rules {
+                program.add_rule(rule);
+            }
+            let mut prior = program.ground().unwrap();
+            let _ = program.db.take_delta();
+            for op in ops {
+                apply_op(&mut program, op);
+                let delta = program.db.take_delta();
+                prior = program.reground_owned(prior, &delta).unwrap();
+                let fresh = program.ground().unwrap();
+                prop_assert_eq!(prior.canonical_terms(), fresh.canonical_terms());
+                prop_assert!((prior.constant_loss - fresh.constant_loss).abs() < 1e-9,
+                    "constant loss {} vs {}", prior.constant_loss, fresh.constant_loss);
+            }
+        }
+    }
 }

@@ -176,7 +176,7 @@ mod tests {
         let (_, _, i, j, cands) = running_example();
         let model = CoverageModel::build(&i, &j, &cands);
         let w = ObjectiveWeights::unweighted();
-        let best = BranchBound::default().select(&model, &w);
+        let best = BranchBound::default().select(&model, &w).unwrap();
         let report = explain_selection(&model, &w, &best.selected);
         assert!(report.is_flip_optimal(), "{:?}", report.candidates);
     }

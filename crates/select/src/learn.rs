@@ -10,7 +10,7 @@
 
 use crate::objective::ObjectiveWeights;
 use crate::pipeline::evaluate_scenario;
-use crate::selectors::Selector;
+use crate::selectors::{SelectError, Selector};
 use cms_ibench::Scenario;
 
 /// Which evaluation metric to maximize during learning.
@@ -81,43 +81,43 @@ pub fn learn_weights(
     selector: &dyn Selector,
     grid: &WeightGrid,
     metric: LearnMetric,
-) -> LearnedWeights {
+) -> Result<LearnedWeights, SelectError> {
     assert!(
         !scenarios.is_empty(),
         "weight learning needs at least one scenario"
     );
-    let score_of = |weights: &ObjectiveWeights| -> f64 {
+    let score_of = |weights: &ObjectiveWeights| -> Result<f64, SelectError> {
         let mut total = 0.0;
         for s in scenarios {
-            let outcome = evaluate_scenario(s, selector, weights);
+            let outcome = evaluate_scenario(s, selector, weights)?;
             total += match metric {
                 LearnMetric::MappingF1 => outcome.mapping.f1,
                 LearnMetric::DataF1 => outcome.data.f1,
             };
         }
-        total / scenarios.len() as f64
+        Ok(total / scenarios.len() as f64)
     };
 
     let default = ObjectiveWeights::unweighted();
-    let default_score = score_of(&default);
+    let default_score = score_of(&default)?;
     let mut best = (default, default_score);
     let mut evaluated = 1usize;
     for weights in grid.combinations() {
         if weights == default {
             continue; // already scored
         }
-        let score = score_of(&weights);
+        let score = score_of(&weights)?;
         evaluated += 1;
         if score > best.1 + 1e-12 {
             best = (weights, score);
         }
     }
-    LearnedWeights {
+    Ok(LearnedWeights {
         weights: best.0,
         train_score: best.1,
         default_score,
         evaluated,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -148,7 +148,8 @@ mod tests {
             &Greedy,
             &WeightGrid::default(),
             LearnMetric::MappingF1,
-        );
+        )
+        .unwrap();
         assert!(learned.train_score >= learned.default_score - 1e-12);
         assert!(learned.evaluated >= 2);
     }
@@ -161,13 +162,15 @@ mod tests {
             &Greedy,
             &WeightGrid::default(),
             LearnMetric::DataF1,
-        );
+        )
+        .unwrap();
         let b = learn_weights(
             &scenarios,
             &Greedy,
             &WeightGrid::default(),
             LearnMetric::DataF1,
-        );
+        )
+        .unwrap();
         assert_eq!(a.weights, b.weights);
         assert_eq!(a.train_score, b.train_score);
     }
@@ -179,7 +182,7 @@ mod tests {
             w_error: vec![1.0],
             w_size: vec![1.0],
         };
-        let learned = learn_weights(&scenarios, &Greedy, &grid, LearnMetric::MappingF1);
+        let learned = learn_weights(&scenarios, &Greedy, &grid, LearnMetric::MappingF1).unwrap();
         assert_eq!(learned.weights, ObjectiveWeights::unweighted());
         assert_eq!(learned.evaluated, 1);
     }
@@ -187,7 +190,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one scenario")]
     fn empty_training_panics() {
-        learn_weights(&[], &Greedy, &WeightGrid::default(), LearnMetric::MappingF1);
+        let _ = learn_weights(&[], &Greedy, &WeightGrid::default(), LearnMetric::MappingF1);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod objective;
 pub mod pipeline;
 pub mod preprocess;
 pub mod reduction;
+pub mod relaxation;
 pub mod selectors;
 
 pub use coverage::{CoverageModel, CoverageOptions, ErrorGroup};
@@ -38,7 +39,8 @@ pub use objective::{Objective, ObjectiveWeights};
 pub use pipeline::{evaluate_scenario, SelectionOutcome};
 pub use preprocess::{preprocess, PreprocessReport};
 pub use reduction::{build_reduction, SetCoverInstance};
+pub use relaxation::{build_eval_program, EvalPreds, WarmRelaxation};
 pub use selectors::{
     BranchBound, Exhaustive, FixedSelection, Greedy, IndependentBaseline, LocalSearch,
-    PslCollective, Selection, Selector,
+    PslCollective, SelectError, Selection, Selector,
 };

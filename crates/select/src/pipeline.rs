@@ -4,7 +4,7 @@ use crate::coverage::CoverageModel;
 use crate::metrics::{data_prf, mapping_prf, Prf};
 use crate::objective::{Objective, ObjectiveWeights};
 use crate::preprocess::{preprocess, PreprocessReport};
-use crate::selectors::{Selection, Selector};
+use crate::selectors::{SelectError, Selection, Selector};
 use cms_ibench::Scenario;
 use std::time::{Duration, Instant};
 
@@ -31,19 +31,20 @@ pub struct SelectionOutcome {
     pub select_wall: Duration,
 }
 
-/// Run one selector on one scenario.
+/// Run one selector on one scenario. Selector failures (e.g. grounding
+/// errors in the PSL selector) propagate instead of aborting.
 pub fn evaluate_scenario(
     scenario: &Scenario,
     selector: &dyn Selector,
     weights: &ObjectiveWeights,
-) -> SelectionOutcome {
+) -> Result<SelectionOutcome, SelectError> {
     let start = Instant::now();
     let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
     let (reduced, report) = preprocess(&model);
     let constant = weights.w_explain * report.certain_unexplained as f64;
 
     let select_start = Instant::now();
-    let mut selection = selector.select(&reduced, weights);
+    let mut selection = selector.select(&reduced, weights)?;
     let select_wall = select_start.elapsed();
     selection.objective += constant;
 
@@ -55,7 +56,7 @@ pub fn evaluate_scenario(
         &selection.selected,
         &scenario.gold,
     );
-    SelectionOutcome {
+    Ok(SelectionOutcome {
         selector: selector.name().to_owned(),
         selection,
         mapping,
@@ -64,7 +65,7 @@ pub fn evaluate_scenario(
         preprocess: report,
         wall: start.elapsed(),
         select_wall,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -76,7 +77,8 @@ mod tests {
     #[test]
     fn clean_cp_scenario_recovers_gold_exactly() {
         let scenario = generate(&ScenarioConfig::single_primitive(Primitive::Cp, 2));
-        let outcome = evaluate_scenario(&scenario, &Greedy, &ObjectiveWeights::unweighted());
+        let outcome =
+            evaluate_scenario(&scenario, &Greedy, &ObjectiveWeights::unweighted()).unwrap();
         assert_eq!(
             outcome.mapping.f1, 1.0,
             "selected {:?}",
@@ -93,7 +95,8 @@ mod tests {
             &scenario,
             &PslCollective::default(),
             &ObjectiveWeights::unweighted(),
-        );
+        )
+        .unwrap();
         // On a clean scenario the gold mapping explains everything with
         // zero errors, so any objective-optimal selection reproduces the
         // gold data exactly.

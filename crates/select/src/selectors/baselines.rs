@@ -1,6 +1,6 @@
 //! Reference and baseline selectors.
 
-use super::{Selection, Selector};
+use super::{SelectError, Selection, Selector};
 use crate::coverage::CoverageModel;
 use crate::objective::{Objective, ObjectiveWeights};
 
@@ -39,10 +39,14 @@ impl Selector for FixedSelection {
         &self.label
     }
 
-    fn select(&self, model: &CoverageModel, weights: &ObjectiveWeights) -> Selection {
+    fn select(
+        &self,
+        model: &CoverageModel,
+        weights: &ObjectiveWeights,
+    ) -> Result<Selection, SelectError> {
         let objective = Objective::new(model, *weights);
         let value = objective.value(&self.indices);
-        Selection::new(self.indices.clone(), value, 1)
+        Ok(Selection::new(self.indices.clone(), value, 1))
     }
 }
 
@@ -65,7 +69,11 @@ impl Selector for IndependentBaseline {
         "independent"
     }
 
-    fn select(&self, model: &CoverageModel, weights: &ObjectiveWeights) -> Selection {
+    fn select(
+        &self,
+        model: &CoverageModel,
+        weights: &ObjectiveWeights,
+    ) -> Result<Selection, SelectError> {
         let selected: Vec<usize> = (0..model.num_candidates)
             .filter(|&c| {
                 let gain: f64 = model.covers[c].iter().map(|&(_, d)| d).sum();
@@ -76,7 +84,7 @@ impl Selector for IndependentBaseline {
             .collect();
         let objective = Objective::new(model, *weights);
         let value = objective.value(&selected);
-        Selection::new(selected, value, model.num_candidates + 1)
+        Ok(Selection::new(selected, value, model.num_candidates + 1))
     }
 }
 
@@ -89,13 +97,13 @@ mod tests {
     fn fixed_selection_evaluates_given_set() {
         let model = appendix_model();
         let w = ObjectiveWeights::unweighted();
-        let empty = FixedSelection::empty().select(&model, &w);
+        let empty = FixedSelection::empty().select(&model, &w).unwrap();
         assert!((empty.objective - 4.0).abs() < 1e-9);
-        let all = FixedSelection::all(2).select(&model, &w);
+        let all = FixedSelection::all(2).select(&model, &w).unwrap();
         assert!((all.objective - 12.0).abs() < 1e-9);
         let gold_selector = FixedSelection::new("gold", vec![1]);
         assert_eq!(gold_selector.name(), "gold");
-        let gold = gold_selector.select(&model, &w);
+        let gold = gold_selector.select(&model, &w).unwrap();
         assert!((gold.objective - 8.0).abs() < 1e-9);
     }
 
@@ -106,7 +114,7 @@ mod tests {
         // redundant two the exact optimum avoids.
         let (model, best) = known_optimum_model();
         let w = ObjectiveWeights::unweighted();
-        let sel = IndependentBaseline.select(&model, &w);
+        let sel = IndependentBaseline.select(&model, &w).unwrap();
         assert_eq!(sel.selected, vec![0, 1, 2, 3]);
         assert!(sel.objective > best, "independent must be suboptimal here");
     }
@@ -115,7 +123,7 @@ mod tests {
     fn independent_rejects_pure_error_candidates() {
         let model = appendix_model();
         let w = ObjectiveWeights::unweighted();
-        let sel = IndependentBaseline.select(&model, &w);
+        let sel = IndependentBaseline.select(&model, &w).unwrap();
         // θ1: gain 2/3 < 1 error + 3 size ⇒ excluded.
         // θ3: gain 2 < 2 errors + 4 size ⇒ excluded.
         assert!(sel.selected.is_empty(), "{:?}", sel.selected);

@@ -16,7 +16,7 @@
 //! exponential — but the bound collapses most of the search space on the
 //! scenario families we generate.
 
-use super::{useful_candidates, Selection, Selector};
+use super::{useful_candidates, SelectError, Selection, Selector};
 use crate::coverage::CoverageModel;
 use crate::objective::{Objective, ObjectiveWeights};
 
@@ -122,7 +122,11 @@ impl Selector for BranchBound {
         "branch-bound"
     }
 
-    fn select(&self, model: &CoverageModel, weights: &ObjectiveWeights) -> Selection {
+    fn select(
+        &self,
+        model: &CoverageModel,
+        weights: &ObjectiveWeights,
+    ) -> Result<Selection, SelectError> {
         let mut order = useful_candidates(model);
         // Heaviest covers first: good incumbents early ⇒ tighter pruning.
         order.sort_by(|&a, &b| {
@@ -164,7 +168,7 @@ impl Selector for BranchBound {
         if search.truncated {
             sel.note = format!("node budget {} exhausted; heuristic result", search.budget);
         }
-        sel
+        Ok(sel)
     }
 }
 
@@ -178,11 +182,15 @@ mod tests {
     #[test]
     fn matches_exhaustive_on_known_instances() {
         let (model, best) = known_optimum_model();
-        let sel = BranchBound::default().select(&model, &ObjectiveWeights::unweighted());
+        let sel = BranchBound::default()
+            .select(&model, &ObjectiveWeights::unweighted())
+            .unwrap();
         assert!((sel.objective - best).abs() < 1e-9);
 
         let model = appendix_model();
-        let sel = BranchBound::default().select(&model, &ObjectiveWeights::unweighted());
+        let sel = BranchBound::default()
+            .select(&model, &ObjectiveWeights::unweighted())
+            .unwrap();
         assert!(sel.selected.is_empty());
         assert!((sel.objective - 4.0).abs() < 1e-9);
     }
@@ -217,8 +225,8 @@ mod tests {
             let red = build_reduction(&sc);
             let model = CoverageModel::build(&red.source, &red.target, &red.candidates);
             let w = ObjectiveWeights::unweighted();
-            let exact = Exhaustive::default().select(&model, &w);
-            let bb = BranchBound::default().select(&model, &w);
+            let exact = Exhaustive::default().select(&model, &w).unwrap();
+            let bb = BranchBound::default().select(&model, &w).unwrap();
             assert!(
                 (exact.objective - bb.objective).abs() < 1e-9,
                 "trial {trial}: exhaustive {} vs B&B {}",
@@ -231,7 +239,9 @@ mod tests {
     #[test]
     fn prunes_relative_to_exhaustive() {
         let (model, _) = known_optimum_model();
-        let bb = BranchBound::default().select(&model, &ObjectiveWeights::unweighted());
+        let bb = BranchBound::default()
+            .select(&model, &ObjectiveWeights::unweighted())
+            .unwrap();
         // Full tree would be 2^5 - 1 internal+leaf nodes per root... just
         // assert the node count is bounded by the full enumeration count.
         assert!(bb.evaluations <= 31, "nodes = {}", bb.evaluations);
@@ -243,7 +253,8 @@ mod tests {
         let sel = BranchBound {
             node_budget: Some(3),
         }
-        .select(&model, &ObjectiveWeights::unweighted());
+        .select(&model, &ObjectiveWeights::unweighted())
+        .unwrap();
         assert!(sel.note.contains("budget"));
         // Still returns something coherent (the empty incumbent or better).
         assert!(sel.objective <= 20.0 + 1e-9);

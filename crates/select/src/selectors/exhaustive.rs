@@ -1,7 +1,7 @@
 //! Exhaustive enumeration — exact, exponential; the reference everything
 //! else is checked against.
 
-use super::{useful_candidates, Selection, Selector};
+use super::{useful_candidates, SelectError, Selection, Selector};
 use crate::coverage::CoverageModel;
 use crate::objective::{Objective, ObjectiveWeights};
 
@@ -17,7 +17,11 @@ impl Selector for Exhaustive {
         "exhaustive"
     }
 
-    fn select(&self, model: &CoverageModel, weights: &ObjectiveWeights) -> Selection {
+    fn select(
+        &self,
+        model: &CoverageModel,
+        weights: &ObjectiveWeights,
+    ) -> Result<Selection, SelectError> {
         let useful = useful_candidates(model);
         let cap = self.max_candidates.unwrap_or(25);
         assert!(
@@ -46,7 +50,7 @@ impl Selector for Exhaustive {
             .filter(|&b| best_subset & (1 << b) != 0)
             .map(|b| useful[b])
             .collect();
-        Selection::new(selected, best, evaluations)
+        Ok(Selection::new(selected, best, evaluations))
     }
 }
 
@@ -58,7 +62,9 @@ mod tests {
     #[test]
     fn finds_known_set_cover_optimum() {
         let (model, best) = known_optimum_model();
-        let sel = Exhaustive::default().select(&model, &ObjectiveWeights::unweighted());
+        let sel = Exhaustive::default()
+            .select(&model, &ObjectiveWeights::unweighted())
+            .unwrap();
         assert!((sel.objective - best).abs() < 1e-9);
         assert!(
             sel.selected == vec![0, 2] || sel.selected == vec![1, 3],
@@ -71,7 +77,9 @@ mod tests {
     #[test]
     fn appendix_example_prefers_empty_mapping() {
         let model = appendix_model();
-        let sel = Exhaustive::default().select(&model, &ObjectiveWeights::unweighted());
+        let sel = Exhaustive::default()
+            .select(&model, &ObjectiveWeights::unweighted())
+            .unwrap();
         assert!(sel.selected.is_empty());
         assert!((sel.objective - 4.0).abs() < 1e-9);
     }
@@ -83,6 +91,7 @@ mod tests {
         Exhaustive {
             max_candidates: Some(2),
         }
-        .select(&model, &ObjectiveWeights::unweighted());
+        .select(&model, &ObjectiveWeights::unweighted())
+        .unwrap();
     }
 }

@@ -10,7 +10,7 @@
 //! Probing uses [`IncrementalObjective`], so one full pass costs
 //! O(Σ touched cover lists) instead of O(candidates · model).
 
-use super::{useful_candidates, Selection, Selector};
+use super::{useful_candidates, SelectError, Selection, Selector};
 use crate::coverage::CoverageModel;
 use crate::incremental::IncrementalObjective;
 use crate::objective::{Objective, ObjectiveWeights};
@@ -91,9 +91,13 @@ impl Selector for Greedy {
         "greedy"
     }
 
-    fn select(&self, model: &CoverageModel, weights: &ObjectiveWeights) -> Selection {
+    fn select(
+        &self,
+        model: &CoverageModel,
+        weights: &ObjectiveWeights,
+    ) -> Result<Selection, SelectError> {
         let (selected, value, evaluations) = greedy_from(model, weights, Vec::new());
-        Selection::new(selected, value, evaluations)
+        Ok(Selection::new(selected, value, evaluations))
     }
 }
 
@@ -105,7 +109,9 @@ mod tests {
     #[test]
     fn solves_easy_instances_optimally() {
         let (model, best) = known_optimum_model();
-        let sel = Greedy.select(&model, &ObjectiveWeights::unweighted());
+        let sel = Greedy
+            .select(&model, &ObjectiveWeights::unweighted())
+            .unwrap();
         // Greedy is optimal here: each set covers disjoint gains.
         assert!(
             (sel.objective - best).abs() < 1e-9,
@@ -117,7 +123,9 @@ mod tests {
     #[test]
     fn appendix_example_keeps_empty_mapping() {
         let model = appendix_model();
-        let sel = Greedy.select(&model, &ObjectiveWeights::unweighted());
+        let sel = Greedy
+            .select(&model, &ObjectiveWeights::unweighted())
+            .unwrap();
         assert!(sel.selected.is_empty());
     }
 
@@ -143,7 +151,9 @@ mod tests {
             error_counts: vec![0, 1],
         };
         // Whatever the add order, the final answer must be {1} alone.
-        let sel = Greedy.select(&model, &ObjectiveWeights::unweighted());
+        let sel = Greedy
+            .select(&model, &ObjectiveWeights::unweighted())
+            .unwrap();
         assert_eq!(sel.selected, vec![1]);
     }
 

@@ -3,11 +3,23 @@
 //! Starts from the greedy solution, then hill-climbs over single-candidate
 //! flips (include ↔ exclude) to a local optimum; additional restarts begin
 //! from random subsets. Deterministic given the seed.
+//!
+//! Move selection is driven by the exact discrete objective (incremental
+//! probes, [`crate::incremental::IncrementalObjective`]). When
+//! `track_relaxation` is on (the default), the search additionally sits on
+//! the delta-grounding subsystem: every accepted flip (and every restart
+//! batch) is mirrored into a [`WarmRelaxation`] — one incremental
+//! [`cms_psl::Program::reground`] plus one warm-started ADMM solve per
+//! move instead of a full ground + cold solve — and the final selection
+//! reports the relaxation diagnostics (soft objective, terms
+//! reused/recomputed, warm iterations).
 
 use super::greedy::greedy_from;
-use super::{useful_candidates, Selection, Selector};
+use super::{useful_candidates, SelectError, Selection, Selector};
 use crate::coverage::CoverageModel;
 use crate::objective::{Objective, ObjectiveWeights};
+use crate::relaxation::WarmRelaxation;
+use cms_psl::AdmmConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -18,6 +30,10 @@ pub struct LocalSearch {
     pub restarts: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Mirror accepted flips through the warm PSL relaxation
+    /// (delta reground + warm-started ADMM). Diagnostics only: the
+    /// selected mapping is identical either way.
+    pub track_relaxation: bool,
 }
 
 impl Default for LocalSearch {
@@ -25,6 +41,7 @@ impl Default for LocalSearch {
         LocalSearch {
             restarts: 4,
             seed: 17,
+            track_relaxation: true,
         }
     }
 }
@@ -34,9 +51,13 @@ fn hill_climb(
     weights: &ObjectiveWeights,
     start: &[usize],
     evaluations: &mut usize,
-) -> (Vec<usize>, f64) {
+    mut relax: Option<&mut WarmRelaxation>,
+) -> Result<(Vec<usize>, f64), SelectError> {
     let useful = useful_candidates(model);
     let mut inc = crate::incremental::IncrementalObjective::with_selection(model, *weights, start);
+    if let Some(r) = relax.as_deref_mut() {
+        r.set_selection(start)?;
+    }
     *evaluations += 1;
     loop {
         let mut best_delta = -1e-12;
@@ -55,10 +76,14 @@ fn hill_climb(
         }
         match best_flip {
             Some(c) => {
-                if inc.is_selected(c) {
-                    inc.remove(c);
-                } else {
+                let now_selected = !inc.is_selected(c);
+                if now_selected {
                     inc.add(c);
+                } else {
+                    inc.remove(c);
+                }
+                if let Some(r) = relax.as_deref_mut() {
+                    r.set(c, now_selected)?;
                 }
             }
             None => break,
@@ -66,7 +91,7 @@ fn hill_climb(
     }
     let selected = inc.selection();
     let value = Objective::new(model, *weights).value(&selected);
-    (selected, value)
+    Ok((selected, value))
 }
 
 impl Selector for LocalSearch {
@@ -74,13 +99,27 @@ impl Selector for LocalSearch {
         "local-search"
     }
 
-    fn select(&self, model: &CoverageModel, weights: &ObjectiveWeights) -> Selection {
+    fn select(
+        &self,
+        model: &CoverageModel,
+        weights: &ObjectiveWeights,
+    ) -> Result<Selection, SelectError> {
         let mut evaluations = 0usize;
+        let mut relax = if self.track_relaxation {
+            Some(WarmRelaxation::new(model, weights, AdmmConfig::default())?)
+        } else {
+            None
+        };
         // Start 1: greedy.
         let (greedy_sel, _, ev) = greedy_from(model, weights, Vec::new());
         evaluations += ev;
-        let (mut best_sel, mut best_val) =
-            hill_climb(model, weights, &greedy_sel, &mut evaluations);
+        let (mut best_sel, mut best_val) = hill_climb(
+            model,
+            weights,
+            &greedy_sel,
+            &mut evaluations,
+            relax.as_mut(),
+        )?;
 
         // Random restarts.
         let useful = useful_candidates(model);
@@ -91,13 +130,22 @@ impl Selector for LocalSearch {
                 .copied()
                 .filter(|_| rng.gen_bool(0.3))
                 .collect();
-            let (sel, val) = hill_climb(model, weights, &start, &mut evaluations);
+            let (sel, val) = hill_climb(model, weights, &start, &mut evaluations, relax.as_mut())?;
             if val < best_val - 1e-12 {
                 best_val = val;
                 best_sel = sel;
             }
         }
-        Selection::new(best_sel, best_val, evaluations)
+        let mut selection = Selection::new(best_sel, best_val, evaluations);
+        if let Some(r) = relax.as_mut() {
+            // Park the relaxation at the winning selection for the report.
+            let soft = r.set_selection(&selection.selected)?;
+            selection.note = format!(
+                "relaxation: soft_obj={:.3} flips={} terms_reused={} terms_recomputed={} warm_iters={}",
+                soft, r.flips, r.terms_reused, r.terms_recomputed, r.admm_iterations
+            );
+        }
+        Ok(selection)
     }
 }
 
@@ -110,8 +158,8 @@ mod tests {
     fn at_least_as_good_as_greedy() {
         let (model, best) = known_optimum_model();
         let w = ObjectiveWeights::unweighted();
-        let ls = LocalSearch::default().select(&model, &w);
-        let greedy = super::super::Greedy.select(&model, &w);
+        let ls = LocalSearch::default().select(&model, &w).unwrap();
+        let greedy = super::super::Greedy.select(&model, &w).unwrap();
         assert!(ls.objective <= greedy.objective + 1e-9);
         assert!((ls.objective - best).abs() < 1e-9);
     }
@@ -119,7 +167,9 @@ mod tests {
     #[test]
     fn appendix_example_stays_empty() {
         let model = appendix_model();
-        let sel = LocalSearch::default().select(&model, &ObjectiveWeights::unweighted());
+        let sel = LocalSearch::default()
+            .select(&model, &ObjectiveWeights::unweighted())
+            .unwrap();
         assert!(sel.selected.is_empty());
     }
 
@@ -127,17 +177,55 @@ mod tests {
     fn deterministic_given_seed() {
         let (model, _) = known_optimum_model();
         let w = ObjectiveWeights::unweighted();
-        let a = LocalSearch {
+        let config = LocalSearch {
             restarts: 3,
             seed: 5,
-        }
-        .select(&model, &w);
-        let b = LocalSearch {
-            restarts: 3,
-            seed: 5,
-        }
-        .select(&model, &w);
+            ..LocalSearch::default()
+        };
+        let a = config.select(&model, &w).unwrap();
+        let b = config.select(&model, &w).unwrap();
         assert_eq!(a.selected, b.selected);
         assert_eq!(a.objective, b.objective);
+    }
+
+    #[test]
+    fn tracked_relaxation_lower_bounds_the_selected_objective() {
+        let (model, _) = known_optimum_model();
+        let w = ObjectiveWeights::unweighted();
+        let sel = LocalSearch::default().select(&model, &w).unwrap();
+        assert!(
+            sel.note.starts_with("relaxation: soft_obj="),
+            "note: {}",
+            sel.note
+        );
+        let soft: f64 = sel.note["relaxation: soft_obj=".len()..]
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(
+            soft <= sel.objective + 5e-3,
+            "soft {soft} vs discrete {}",
+            sel.objective
+        );
+        // The mirror must have gone through the incremental path.
+        assert!(sel.note.contains("terms_reused="));
+    }
+
+    #[test]
+    fn untracked_variant_matches_tracked_selection() {
+        let (model, _) = known_optimum_model();
+        let w = ObjectiveWeights::unweighted();
+        let tracked = LocalSearch::default().select(&model, &w).unwrap();
+        let untracked = LocalSearch {
+            track_relaxation: false,
+            ..LocalSearch::default()
+        }
+        .select(&model, &w)
+        .unwrap();
+        assert_eq!(tracked.selected, untracked.selected);
+        assert_eq!(tracked.objective, untracked.objective);
+        assert!(untracked.note.is_empty());
     }
 }

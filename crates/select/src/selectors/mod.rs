@@ -27,6 +27,39 @@ pub use psl_collective::PslCollective;
 use crate::coverage::CoverageModel;
 use crate::objective::ObjectiveWeights;
 
+/// Why a selector could not produce a selection.
+///
+/// The paper's collective selector compiles the coverage model into a PSL
+/// program; compilation or grounding failures surface here instead of
+/// aborting the process (selectors used to `.expect()` on them).
+#[derive(Clone, PartialEq, Debug)]
+pub enum SelectError {
+    /// The PSL program failed to ground.
+    Grounding(cms_psl::GroundingError),
+}
+
+impl std::fmt::Display for SelectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectError::Grounding(e) => write!(f, "selection failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SelectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SelectError::Grounding(e) => Some(e),
+        }
+    }
+}
+
+impl From<cms_psl::GroundingError> for SelectError {
+    fn from(e: cms_psl::GroundingError) -> SelectError {
+        SelectError::Grounding(e)
+    }
+}
+
 /// The result of running a selector.
 #[derive(Clone, Debug)]
 pub struct Selection {
@@ -58,7 +91,13 @@ pub trait Selector {
     /// Human-readable name for tables.
     fn name(&self) -> &str;
     /// Choose a selection minimizing (approximately) the objective.
-    fn select(&self, model: &CoverageModel, weights: &ObjectiveWeights) -> Selection;
+    /// Errors (e.g. a PSL grounding failure) propagate instead of
+    /// aborting — purely combinatorial selectors never fail.
+    fn select(
+        &self,
+        model: &CoverageModel,
+        weights: &ObjectiveWeights,
+    ) -> Result<Selection, SelectError>;
 }
 
 /// Candidates worth considering: everything except provably useless ones.

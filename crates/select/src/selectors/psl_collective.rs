@@ -21,13 +21,17 @@
 //! of covers rather than the max — the standard PSL relaxation.
 
 use super::greedy::greedy_from;
-use super::{Selection, Selector};
+use super::{SelectError, Selection, Selector};
 use crate::coverage::CoverageModel;
 use crate::objective::{Objective, ObjectiveWeights};
 use cms_psl::{
-    best_threshold_rounding, rvar, AdmmConfig, AtomLin, ConstraintKind, GroundAtom, Program,
-    RuleBuilder, Vocabulary,
+    best_threshold_rounding, rvar, AdmmConfig, AtomLin, ConstraintKind, GroundAtom, GroundProgram,
+    MapSolution, Program, RuleBuilder, Vocabulary,
 };
+
+/// Iteration budget of the coarse first ADMM pass; the refinement pass is
+/// warm-started from its consensus (see [`PslCollective::solve_two_stage`]).
+const COARSE_BURST: usize = 200;
 
 /// The collective PSL selector.
 #[derive(Clone, Debug)]
@@ -69,28 +73,67 @@ pub struct PslRun {
 }
 
 impl PslCollective {
-    /// Build the program, run MAP inference, and return the relaxed state.
-    pub fn infer(&self, model: &CoverageModel, weights: &ObjectiveWeights) -> PslRun {
-        let (program, in_map_p) = self.build_program(model, weights);
-        let ground = program.ground().expect("CMS program grounds cleanly");
-        let solution = ground.solve(&self.admm);
-        let relaxed: Vec<f64> = (0..model.num_candidates)
+    /// Coarse-then-refine MAP inference: a bounded first pass, then — if
+    /// it has not converged — a **warm-started** refinement pass
+    /// ([`GroundProgram::solve_warm`]) seeded with the coarse consensus
+    /// and capped at the *remaining* iteration budget, so the combined
+    /// iteration count never exceeds `self.admm.max_iterations`. Returns
+    /// the final solution and the total iterations across both passes.
+    fn solve_two_stage(&self, ground: &GroundProgram) -> (MapSolution, usize) {
+        let coarse_cfg = AdmmConfig {
+            max_iterations: self.admm.max_iterations.min(COARSE_BURST),
+            ..self.admm.clone()
+        };
+        let coarse = ground.solve(&coarse_cfg);
+        if coarse.admm.converged || self.admm.max_iterations <= COARSE_BURST {
+            let iterations = coarse.admm.iterations;
+            return (coarse, iterations);
+        }
+        let refine_cfg = AdmmConfig {
+            max_iterations: self.admm.max_iterations - coarse.admm.iterations,
+            ..self.admm.clone()
+        };
+        let refined = ground.solve_warm(&refine_cfg, &coarse.admm.values);
+        let iterations = coarse.admm.iterations + refined.admm.iterations;
+        (refined, iterations)
+    }
+
+    /// Read the relaxed `inMap` truths out of a solution.
+    fn read_relaxed(
+        model: &CoverageModel,
+        ground: &GroundProgram,
+        solution: &MapSolution,
+        in_map_p: cms_psl::PredId,
+    ) -> Vec<f64> {
+        (0..model.num_candidates)
             .map(|c| {
                 solution
                     .value(
-                        &ground,
+                        ground,
                         &GroundAtom::from_strs(in_map_p, &[&format!("c{c}")]),
                     )
                     .unwrap_or(0.0)
             })
-            .collect();
-        PslRun {
-            relaxed,
-            iterations: solution.admm.iterations,
+            .collect()
+    }
+
+    /// Build the program, run MAP inference, and return the relaxed state.
+    /// Grounding failures propagate instead of aborting.
+    pub fn infer(
+        &self,
+        model: &CoverageModel,
+        weights: &ObjectiveWeights,
+    ) -> Result<PslRun, SelectError> {
+        let (program, in_map_p) = self.build_program(model, weights);
+        let ground = program.ground()?;
+        let (solution, iterations) = self.solve_two_stage(&ground);
+        Ok(PslRun {
+            relaxed: Self::read_relaxed(model, &ground, &solution, in_map_p),
+            iterations,
             converged: solution.admm.converged,
             soft_objective: solution.total_objective(),
             ground_terms: ground.potentials.len() + ground.constraints.len(),
-        }
+        })
     }
 
     /// Build the hand-compiled ("raw") PSL program for a coverage model.
@@ -186,29 +229,21 @@ impl PslCollective {
     /// (R4)  w2  : errScope(G) → ¬err(G)
     /// (R5)  w3·maxSize : sizeFrac(C)·inMap(C) ≤ 0        (weighted hinge)
     /// ```
-    pub fn infer_declarative(&self, model: &CoverageModel, weights: &ObjectiveWeights) -> PslRun {
+    pub fn infer_declarative(
+        &self,
+        model: &CoverageModel,
+        weights: &ObjectiveWeights,
+    ) -> Result<PslRun, SelectError> {
         let (program, in_map_p) = self.build_declarative_program(model, weights);
-        let ground = program
-            .ground()
-            .expect("declarative CMS program grounds cleanly");
-        let solution = ground.solve(&self.admm);
-        let relaxed: Vec<f64> = (0..model.num_candidates)
-            .map(|c| {
-                solution
-                    .value(
-                        &ground,
-                        &GroundAtom::from_strs(in_map_p, &[&format!("c{c}")]),
-                    )
-                    .unwrap_or(0.0)
-            })
-            .collect();
-        PslRun {
-            relaxed,
-            iterations: solution.admm.iterations,
+        let ground = program.ground()?;
+        let (solution, iterations) = self.solve_two_stage(&ground);
+        Ok(PslRun {
+            relaxed: Self::read_relaxed(model, &ground, &solution, in_map_p),
+            iterations,
             converged: solution.admm.converged,
             soft_objective: solution.total_objective(),
             ground_terms: ground.potentials.len() + ground.constraints.len(),
-        }
+        })
     }
 
     /// Build the declarative-rule variant of the program (logical +
@@ -341,8 +376,12 @@ impl Selector for PslCollective {
         "psl-collective"
     }
 
-    fn select(&self, model: &CoverageModel, weights: &ObjectiveWeights) -> Selection {
-        let run = self.infer(model, weights);
+    fn select(
+        &self,
+        model: &CoverageModel,
+        weights: &ObjectiveWeights,
+    ) -> Result<Selection, SelectError> {
+        let run = self.infer(model, weights)?;
         let objective = Objective::new(model, *weights);
         let mut evaluations = 0usize;
 
@@ -378,7 +417,7 @@ impl Selector for PslCollective {
             "admm_iters={} converged={} ground_terms={} soft_obj={:.3}",
             run.iterations, run.converged, run.ground_terms, run.soft_objective
         );
-        sel
+        Ok(sel)
     }
 }
 
@@ -390,7 +429,9 @@ mod tests {
     #[test]
     fn solves_known_set_cover_optimally() {
         let (model, best) = known_optimum_model();
-        let sel = PslCollective::default().select(&model, &ObjectiveWeights::unweighted());
+        let sel = PslCollective::default()
+            .select(&model, &ObjectiveWeights::unweighted())
+            .unwrap();
         assert!(
             (sel.objective - best).abs() < 1e-9,
             "psl got {} expected {}",
@@ -402,7 +443,9 @@ mod tests {
     #[test]
     fn appendix_example_selects_empty() {
         let model = appendix_model();
-        let sel = PslCollective::default().select(&model, &ObjectiveWeights::unweighted());
+        let sel = PslCollective::default()
+            .select(&model, &ObjectiveWeights::unweighted())
+            .unwrap();
         assert!(sel.selected.is_empty(), "{:?}", sel.selected);
         assert!((sel.objective - 4.0).abs() < 1e-9);
     }
@@ -410,7 +453,9 @@ mod tests {
     #[test]
     fn relaxation_reports_are_sane() {
         let (model, _) = known_optimum_model();
-        let run = PslCollective::default().infer(&model, &ObjectiveWeights::unweighted());
+        let run = PslCollective::default()
+            .infer(&model, &ObjectiveWeights::unweighted())
+            .unwrap();
         assert!(run.converged);
         assert!(run.ground_terms > 0);
         assert_eq!(run.relaxed.len(), 4);
@@ -426,7 +471,8 @@ mod tests {
             greedy_repair: false,
             ..PslCollective::default()
         }
-        .select(&model, &ObjectiveWeights::unweighted());
+        .select(&model, &ObjectiveWeights::unweighted())
+        .unwrap();
         // Pure rounding may be slightly worse but must beat "select all".
         let all = Objective::new(&model, ObjectiveWeights::unweighted()).value(&[0, 1, 2, 3]);
         assert!(sel.objective <= all + 1e-9);
@@ -442,8 +488,8 @@ mod tests {
         let (model, _) = known_optimum_model();
         let w = ObjectiveWeights::unweighted();
         let selector = PslCollective::default();
-        let raw = selector.infer(&model, &w);
-        let declarative = selector.infer_declarative(&model, &w);
+        let raw = selector.infer(&model, &w).unwrap();
+        let declarative = selector.infer_declarative(&model, &w).unwrap();
         assert!(raw.converged && declarative.converged);
         for (c, (a, b)) in raw
             .relaxed
@@ -458,8 +504,8 @@ mod tests {
         }
 
         let model = appendix_model();
-        let raw = selector.infer(&model, &w);
-        let declarative = selector.infer_declarative(&model, &w);
+        let raw = selector.infer(&model, &w).unwrap();
+        let declarative = selector.infer_declarative(&model, &w).unwrap();
         for (c, (a, b)) in raw
             .relaxed
             .iter()
@@ -480,7 +526,8 @@ mod tests {
             squared: true,
             ..PslCollective::default()
         }
-        .select(&model, &ObjectiveWeights::unweighted());
+        .select(&model, &ObjectiveWeights::unweighted())
+        .unwrap();
         assert!(!sel.note.is_empty());
     }
 }

@@ -87,8 +87,8 @@ proptest! {
     #[test]
     fn exact_selectors_agree(model in arb_model()) {
         let w = ObjectiveWeights::unweighted();
-        let ex = Exhaustive::default().select(&model, &w);
-        let bb = BranchBound::default().select(&model, &w);
+        let ex = Exhaustive::default().select(&model, &w).unwrap();
+        let bb = BranchBound::default().select(&model, &w).unwrap();
         prop_assert!((ex.objective - bb.objective).abs() < 1e-9,
             "exhaustive {} vs bb {}", ex.objective, bb.objective);
     }
@@ -99,13 +99,13 @@ proptest! {
     fn heuristics_bounded_by_exact(model in arb_model()) {
         let w = ObjectiveWeights::unweighted();
         let f = Objective::new(&model, w);
-        let exact = Exhaustive::default().select(&model, &w);
+        let exact = Exhaustive::default().select(&model, &w).unwrap();
         for selector in [
             Box::new(Greedy) as Box<dyn Selector>,
-            Box::new(LocalSearch { restarts: 2, seed: 1 }),
+            Box::new(LocalSearch { restarts: 2, seed: 1, ..LocalSearch::default() }),
             Box::new(PslCollective::default()),
         ] {
-            let sel = selector.select(&model, &w);
+            let sel = selector.select(&model, &w).unwrap();
             prop_assert!(sel.objective >= exact.objective - 1e-9,
                 "{} below optimum", selector.name());
             prop_assert!((f.value(&sel.selected) - sel.objective).abs() < 1e-9,
@@ -117,8 +117,8 @@ proptest! {
     #[test]
     fn psl_repair_dominates_greedy(model in arb_model()) {
         let w = ObjectiveWeights::unweighted();
-        let greedy = Greedy.select(&model, &w);
-        let psl = PslCollective::default().select(&model, &w);
+        let greedy = Greedy.select(&model, &w).unwrap();
+        let psl = PslCollective::default().select(&model, &w).unwrap();
         prop_assert!(psl.objective <= greedy.objective + 1e-9,
             "psl {} vs greedy {}", psl.objective, greedy.objective);
     }

@@ -62,7 +62,8 @@ fn main() {
         "selector", "|M|", "F", "map-P", "map-R", "map-F1", "data-F1", "time"
     );
     for selector in selectors {
-        let outcome = evaluate_scenario(&scenario, selector.as_ref(), &weights);
+        let outcome =
+            evaluate_scenario(&scenario, selector.as_ref(), &weights).expect("selector runs");
         println!(
             "{:<16} {:>8} {:>7.1} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.1?}",
             outcome.selector,

@@ -138,7 +138,9 @@ fn main() {
     // --- collective selection ---------------------------------------------
     let model = CoverageModel::build(&i, &j, &candidates);
     let weights = ObjectiveWeights::unweighted();
-    let outcome = PslCollective::default().select(&model, &weights);
+    let outcome = PslCollective::default()
+        .select(&model, &weights)
+        .expect("selector runs");
     println!(
         "\npsl-collective selected {:?} with F = {:.3}:",
         outcome.selected, outcome.objective
@@ -168,7 +170,9 @@ fn main() {
         gp.values().sum::<usize>(),
         "selected mapping reproduces the gold exchange"
     );
-    let exact = BranchBound::default().select(&model, &weights);
+    let exact = BranchBound::default()
+        .select(&model, &weights)
+        .expect("selector runs");
     assert!(
         (outcome.objective - exact.objective).abs() < 1e-9,
         "PSL must match the exact optimum here"

@@ -74,7 +74,7 @@ fn main() {
     // --- selectors agree on the optimum --------------------------------
     let weights = ObjectiveWeights::unweighted();
     for selector in selectors() {
-        let sel = selector.select(&model, &weights);
+        let sel = selector.select(&model, &weights).expect("selector runs");
         println!(
             "{:<16} -> {:?}  F = {:.3}",
             selector.name(),
@@ -96,7 +96,9 @@ fn main() {
     for (label, sel) in [("{}", vec![]), ("{θ1}", vec![0]), ("{θ3}", vec![1])] {
         println!("  F({label}) = {:.3}", objective.value(&sel));
     }
-    let psl = PslCollective::default().select(&model, &weights);
+    let psl = PslCollective::default()
+        .select(&model, &weights)
+        .expect("selector runs");
     println!(
         "psl-collective now selects {:?} (θ3), F = {:.3}",
         psl.selected, psl.objective

@@ -59,7 +59,9 @@ fn main() {
 
     // Exact search finds a minimum cover...
     let weights = ObjectiveWeights::unweighted();
-    let exact = BranchBound::default().select(&model, &weights);
+    let exact = BranchBound::default()
+        .select(&model, &weights)
+        .expect("selector runs");
     println!(
         "\nbranch-and-bound: {:?}, F = {} (≤ 2n = {} ⟺ YES instance)",
         exact.selected, exact.objective, red.threshold
@@ -68,7 +70,9 @@ fn main() {
     assert!(exact.objective <= red.threshold);
 
     // ...and so does the PSL relaxation after rounding.
-    let psl = PslCollective::default().select(&model, &weights);
+    let psl = PslCollective::default()
+        .select(&model, &weights)
+        .expect("selector runs");
     println!(
         "psl-collective:   {:?}, F = {}",
         psl.selected, psl.objective
@@ -77,7 +81,7 @@ fn main() {
 
     // Greedy also covers, but may pay for an extra set on adversarial
     // families; report rather than assert.
-    let greedy = Greedy.select(&model, &weights);
+    let greedy = Greedy.select(&model, &weights).expect("selector runs");
     println!(
         "greedy:           {:?}, F = {}",
         greedy.selected, greedy.objective

@@ -36,7 +36,7 @@ fn mean_f1(scenarios: &[Scenario], weights: &ObjectiveWeights) -> (f64, f64) {
     let selector = PslCollective::default();
     let (mut map_f1, mut data_f1) = (0.0, 0.0);
     for s in scenarios {
-        let o = evaluate_scenario(s, &selector, weights);
+        let o = evaluate_scenario(s, &selector, weights).expect("selector runs");
         map_f1 += o.mapping.f1 / scenarios.len() as f64;
         data_f1 += o.data.f1 / scenarios.len() as f64;
     }
@@ -57,7 +57,8 @@ fn main() {
         &PslCollective::default(),
         &WeightGrid::default(),
         LearnMetric::MappingF1,
-    );
+    )
+    .expect("weight learning runs");
     println!("grid search over {} weight settings:", learned.evaluated);
     println!(
         "  default  w = (1.00, 1.00, 1.00)  train mapping-F1 = {:.3}",

@@ -52,7 +52,9 @@
 //!
 //! // Select collectively with PSL.
 //! let model = CoverageModel::build(&i, &j, &[theta1, theta3]);
-//! let selection = PslCollective::default().select(&model, &ObjectiveWeights::unweighted());
+//! let selection = PslCollective::default()
+//!     .select(&model, &ObjectiveWeights::unweighted())
+//!     .expect("the CMS program grounds cleanly");
 //! assert_eq!(selection.selected, vec![1], "θ3 explains the join evidence");
 //! ```
 

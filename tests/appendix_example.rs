@@ -95,7 +95,7 @@ fn published_flip_with_more_data() {
         Box::new(PslCollective::default()),
     ];
     for s in selectors {
-        let sel = s.select(&model, &weights);
+        let sel = s.select(&model, &weights).expect("selector runs");
         assert_eq!(
             sel.selected,
             vec![1],

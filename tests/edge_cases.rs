@@ -20,7 +20,7 @@ fn no_candidates_means_empty_selection() {
     let model = CoverageModel::build(&Instance::new(), &j, &[]);
     let w = ObjectiveWeights::unweighted();
     for selector in all_selectors() {
-        let sel = selector.select(&model, &w);
+        let sel = selector.select(&model, &w).expect("selector runs");
         assert!(sel.selected.is_empty(), "{}", selector.name());
         assert!(
             (sel.objective - 1.0).abs() < 1e-9,
@@ -40,7 +40,7 @@ fn empty_target_instance_selects_nothing() {
     let model = CoverageModel::build(&i, &Instance::new(), &[tgd]);
     let w = ObjectiveWeights::unweighted();
     for selector in all_selectors() {
-        let sel = selector.select(&model, &w);
+        let sel = selector.select(&model, &w).expect("selector runs");
         assert!(
             sel.selected.is_empty(),
             "{} selected {:?}",
@@ -62,7 +62,9 @@ fn empty_source_instance_makes_all_candidates_useless() {
     let (reduced, report) = cms::select::preprocess(&model);
     assert_eq!(report.certain_unexplained, 1);
     assert_eq!(reduced.num_targets(), 0);
-    let sel = PslCollective::default().select(&reduced, &ObjectiveWeights::unweighted());
+    let sel = PslCollective::default()
+        .select(&reduced, &ObjectiveWeights::unweighted())
+        .expect("selector runs");
     assert!(sel.selected.is_empty());
 }
 
@@ -76,7 +78,8 @@ fn single_row_scenario_pipeline_survives() {
     };
     let scenario = generate(&config);
     assert!(scenario.stats.source_tuples >= 1);
-    let outcome = evaluate_scenario(&scenario, &Greedy, &ObjectiveWeights::unweighted());
+    let outcome =
+        evaluate_scenario(&scenario, &Greedy, &ObjectiveWeights::unweighted()).expect("runs");
     // With one row per relation the empty mapping often wins — that is the
     // paper's overfitting guard, not a failure. Just require coherence.
     assert!(outcome.selection.objective.is_finite());
@@ -106,7 +109,8 @@ fn join_free_candidate_generation_still_covers_copy_primitives() {
         &scenario,
         &FixedSelection::new("gold", scenario.gold.clone()),
         &ObjectiveWeights::unweighted(),
-    );
+    )
+    .expect("runs");
     assert_eq!(outcome.mapping.f1, 1.0);
 }
 
@@ -125,7 +129,9 @@ fn zero_weight_axes_behave() {
         w_error: 1.0,
         w_size: 0.0,
     };
-    let sel = BranchBound::default().select(&model, &w);
+    let sel = BranchBound::default()
+        .select(&model, &w)
+        .expect("selector runs");
     assert_eq!(sel.selected, vec![0]);
     assert_eq!(sel.objective, 0.0);
     // w_explain = 0: nothing to gain — empty wins.
@@ -134,7 +140,9 @@ fn zero_weight_axes_behave() {
         w_error: 1.0,
         w_size: 1.0,
     };
-    let sel = BranchBound::default().select(&model, &w);
+    let sel = BranchBound::default()
+        .select(&model, &w)
+        .expect("selector runs");
     assert!(sel.selected.is_empty());
 }
 
@@ -165,11 +173,15 @@ fn selection_is_stable_under_candidate_reordering() {
     });
     let w = ObjectiveWeights::unweighted();
     let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
-    let fwd = BranchBound::default().select(&model, &w);
+    let fwd = BranchBound::default()
+        .select(&model, &w)
+        .expect("selector runs");
 
     let reversed: Vec<StTgd> = scenario.candidates.iter().rev().cloned().collect();
     let model_rev = CoverageModel::build(&scenario.source, &scenario.target, &reversed);
-    let rev = BranchBound::default().select(&model_rev, &w);
+    let rev = BranchBound::default()
+        .select(&model_rev, &w)
+        .expect("selector runs");
     assert!((fwd.objective - rev.objective).abs() < 1e-9);
     let n = scenario.candidates.len();
     let mut remapped: Vec<usize> = rev.selected.iter().map(|&i| n - 1 - i).collect();

@@ -18,7 +18,8 @@ fn clean_scenarios_recover_gold_per_primitive() {
             &scenario,
             &PslCollective::default(),
             &ObjectiveWeights::unweighted(),
-        );
+        )
+        .expect("runs");
         assert!(
             outcome.data.f1 > 0.999,
             "{p}: data F1 = {:?} (selected {:?}, gold {:?})",
@@ -50,12 +51,13 @@ fn all_primitives_mixed_scenario_under_noise() {
     assert!(scenario.stats.data_noise.added > 0);
 
     let w = ObjectiveWeights::unweighted();
-    let psl = evaluate_scenario(&scenario, &PslCollective::default(), &w);
+    let psl = evaluate_scenario(&scenario, &PslCollective::default(), &w).expect("runs");
     let all = evaluate_scenario(
         &scenario,
         &FixedSelection::all(scenario.candidates.len()),
         &w,
-    );
+    )
+    .expect("runs");
     // The collective selection must clearly beat "take everything" on both
     // the objective and mapping quality.
     assert!(psl.selection.objective < all.selection.objective);
@@ -76,21 +78,25 @@ fn heuristics_never_beat_exact_and_psl_matches_on_small_scenarios() {
     let (reduced, _) = cms::select::preprocess(&model);
     let w = ObjectiveWeights::unweighted();
 
-    let exact = BranchBound::default().select(&reduced, &w);
+    let exact = BranchBound::default()
+        .select(&reduced, &w)
+        .expect("selector runs");
     for selector in [
         Box::new(Greedy) as Box<dyn Selector>,
         Box::new(LocalSearch::default()),
         Box::new(PslCollective::default()),
         Box::new(IndependentBaseline),
     ] {
-        let sel = selector.select(&reduced, &w);
+        let sel = selector.select(&reduced, &w).expect("selector runs");
         assert!(
             sel.objective >= exact.objective - 1e-9,
             "{} beat the exact optimum?!",
             selector.name()
         );
     }
-    let psl = PslCollective::default().select(&reduced, &w);
+    let psl = PslCollective::default()
+        .select(&reduced, &w)
+        .expect("selector runs");
     assert!(
         (psl.objective - exact.objective).abs() < 1e-6,
         "PSL should match exact on this scenario: {} vs {}",
@@ -106,7 +112,8 @@ fn selection_outcome_reports_are_consistent() {
         seed: 99,
         ..ScenarioConfig::all_primitives(1)
     });
-    let outcome = evaluate_scenario(&scenario, &Greedy, &ObjectiveWeights::unweighted());
+    let outcome =
+        evaluate_scenario(&scenario, &Greedy, &ObjectiveWeights::unweighted()).expect("runs");
     assert_eq!(outcome.selector, "greedy");
     assert!(outcome.wall >= outcome.select_wall);
     assert!(outcome.mapping.precision >= 0.0 && outcome.mapping.precision <= 1.0);
@@ -129,8 +136,8 @@ fn determinism_across_runs() {
     let s1 = generate(&config);
     let s2 = generate(&config);
     let w = ObjectiveWeights::unweighted();
-    let o1 = evaluate_scenario(&s1, &PslCollective::default(), &w);
-    let o2 = evaluate_scenario(&s2, &PslCollective::default(), &w);
+    let o1 = evaluate_scenario(&s1, &PslCollective::default(), &w).expect("runs");
+    let o2 = evaluate_scenario(&s2, &PslCollective::default(), &w).expect("runs");
     assert_eq!(o1.selection.selected, o2.selection.selected);
     assert_eq!(o1.mapping.f1, o2.mapping.f1);
 }

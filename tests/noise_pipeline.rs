@@ -94,7 +94,8 @@ fn data_noise_hurts_even_the_gold_mapping() {
         ..base
     });
     let gold_f = |s: &Scenario| -> f64 {
-        let outcome = evaluate_scenario(s, &FixedSelection::new("gold", s.gold.clone()), &w);
+        let outcome =
+            evaluate_scenario(s, &FixedSelection::new("gold", s.gold.clone()), &w).expect("runs");
         outcome.selection.objective
     };
     // Normalize by |J| (the two scenarios have different target sizes).
@@ -130,8 +131,10 @@ fn unexplained_additions_are_truly_unexplainable_by_gold() {
     // Same seed ⇒ same schemas/candidates; only J differs.
     assert_eq!(clean.stats.candidates, noisy.stats.candidates);
     let w = ObjectiveWeights::unweighted();
-    let gold_clean = evaluate_scenario(&clean, &FixedSelection::new("g", clean.gold.clone()), &w);
-    let gold_noisy = evaluate_scenario(&noisy, &FixedSelection::new("g", noisy.gold.clone()), &w);
+    let gold_clean =
+        evaluate_scenario(&clean, &FixedSelection::new("g", clean.gold.clone()), &w).expect("runs");
+    let gold_noisy =
+        evaluate_scenario(&noisy, &FixedSelection::new("g", noisy.gold.clone()), &w).expect("runs");
     let added = noisy.stats.data_noise.added as f64;
     assert!(added > 0.0);
     // Each added tuple contributes some unexplained mass for the gold.

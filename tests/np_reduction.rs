@@ -76,7 +76,7 @@ fn exact_solvers_answer_the_decision_problem() {
         Box::new(Exhaustive::default()) as Box<dyn Selector>,
         Box::new(BranchBound::default()),
     ] {
-        let sel = selector.select(&model, &w);
+        let sel = selector.select(&model, &w).expect("selector runs");
         assert!(
             sel.objective <= red.threshold,
             "{} must answer YES (F = {})",
@@ -93,7 +93,9 @@ fn exact_solvers_answer_the_decision_problem() {
     };
     let red = build_reduction(&no);
     let model = CoverageModel::build(&red.source, &red.target, &red.candidates);
-    let sel = BranchBound::default().select(&model, &w);
+    let sel = BranchBound::default()
+        .select(&model, &w)
+        .expect("selector runs");
     assert!(
         sel.objective > red.threshold,
         "bound-1 instance is a NO (F = {})",
@@ -145,8 +147,12 @@ fn psl_relaxation_recovers_minimum_covers_on_families() {
     for sc in families {
         let red = build_reduction(&sc);
         let model = CoverageModel::build(&red.source, &red.target, &red.candidates);
-        let exact = BranchBound::default().select(&model, &w);
-        let psl = PslCollective::default().select(&model, &w);
+        let exact = BranchBound::default()
+            .select(&model, &w)
+            .expect("selector runs");
+        let psl = PslCollective::default()
+            .select(&model, &w)
+            .expect("selector runs");
         assert!(
             psl.objective >= exact.objective - 1e-9,
             "relaxation can't beat exact"

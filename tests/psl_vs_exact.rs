@@ -29,8 +29,11 @@ fn exhaustive_and_branch_bound_always_agree() {
         let ex = Exhaustive {
             max_candidates: Some(20),
         }
-        .select(&reduced, &w);
-        let bb = BranchBound::default().select(&reduced, &w);
+        .select(&reduced, &w)
+        .expect("selector runs");
+        let bb = BranchBound::default()
+            .select(&reduced, &w)
+            .expect("selector runs");
         assert!(
             (ex.objective - bb.objective).abs() < 1e-9,
             "seed mismatch: exhaustive {} vs B&B {}",
@@ -47,8 +50,12 @@ fn psl_stays_near_exact_across_batch() {
     for scenario in small_scenarios() {
         let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
         let (reduced, _) = cms::select::preprocess(&model);
-        let exact = BranchBound::default().select(&reduced, &w);
-        let psl = PslCollective::default().select(&reduced, &w);
+        let exact = BranchBound::default()
+            .select(&reduced, &w)
+            .expect("selector runs");
+        let psl = PslCollective::default()
+            .select(&reduced, &w)
+            .expect("selector runs");
         assert!(psl.objective >= exact.objective - 1e-9);
         let gap = (psl.objective - exact.objective) / exact.objective.max(1.0);
         gaps.push(gap);
@@ -76,7 +83,7 @@ fn relaxed_truths_are_informative() {
     });
     let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
     let (reduced, _) = cms::select::preprocess(&model);
-    let run = PslCollective::default().infer(&reduced, &w);
+    let run = PslCollective::default().infer(&reduced, &w).expect("runs");
     assert!(run.converged, "ADMM must converge on this size");
     let (mut gold_sum, mut other_sum, mut other_n) = (0.0, 0.0, 0usize);
     for (c, &v) in run.relaxed.iter().enumerate() {
@@ -109,7 +116,7 @@ fn admm_convergence_within_budget_on_scenario_scale() {
         ..ScenarioConfig::all_primitives(2)
     });
     let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
-    let run = PslCollective::default().infer(&model, &w);
+    let run = PslCollective::default().infer(&model, &w).expect("runs");
     assert!(
         run.converged,
         "did not converge in {} iterations",

@@ -1,0 +1,155 @@
+//! End-to-end equivalence of delta regrounding against full grounding on
+//! the real programs the pipeline produces for seeded iBench scenarios —
+//! the same harness as `tests/grounding_equivalence.rs`, but driving
+//! mutation sequences through `Program::reground` instead of comparing
+//! engines on a fixed database.
+//!
+//! Two program shapes are exercised:
+//!
+//! * the **selection-evaluation** program (`cms_select::relaxation`),
+//!   where `inMap` is observed and a local-search move is a single value
+//!   flip — the regrounder's seeded fast path;
+//! * the **declarative** collective program, where `covers`/`creates`
+//!   observations are re-weighted, added, and retracted — value and pool
+//!   deltas through logical *and* arithmetic rules.
+
+use cms::prelude::*;
+use cms_psl::GroundProgram;
+use cms_select::build_eval_program;
+
+fn assert_equivalent(label: &str, incremental: &GroundProgram, fresh: &GroundProgram) {
+    assert_eq!(
+        incremental.canonical_terms(),
+        fresh.canonical_terms(),
+        "{label}: reground diverged from full ground"
+    );
+    assert!(
+        (incremental.constant_loss - fresh.constant_loss).abs() < 1e-9,
+        "{label}: constant loss {} vs {}",
+        incremental.constant_loss,
+        fresh.constant_loss
+    );
+}
+
+/// Tiny deterministic generator (no external RNG needed here).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self, bound: usize) -> usize {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 33) as usize) % bound.max(1)
+    }
+}
+
+#[test]
+fn flip_sequences_on_eval_programs_match_full_grounding() {
+    for (invocations, seed) in [(1usize, 1u64), (2, 3)] {
+        let config = ScenarioConfig {
+            rows_per_relation: 10,
+            noise: NoiseConfig::uniform(25.0),
+            seed,
+            ..ScenarioConfig::all_primitives(invocations)
+        };
+        let scenario = generate(&config);
+        let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
+        let weights = ObjectiveWeights::unweighted();
+        let (mut program, preds) = build_eval_program(&model, &weights, &[]);
+        let mut prior = program.ground().expect("eval program grounds");
+        let _ = program.db.take_delta();
+
+        let mut rng = Lcg(seed ^ 0xC0FFEE);
+        let mut reused_total = 0usize;
+        for step in 0..12 {
+            let c = rng.next(model.num_candidates);
+            let on = step % 3 != 2;
+            program.db.observe(
+                cms_psl::GroundAtom::from_strs(preds.in_map, &[&format!("c{c}")]),
+                f64::from(u8::from(on)),
+            );
+            let delta = program.db.take_delta();
+            assert!(
+                !delta.pools_changed(),
+                "flips must be value-only deltas (fast path)"
+            );
+            prior = program
+                .reground_owned(prior, &delta)
+                .expect("reground succeeds");
+            let fresh = program.ground().expect("full ground succeeds");
+            assert_equivalent(
+                &format!("inv={invocations} seed={seed} step={step} flip c{c}={on}"),
+                &prior,
+                &fresh,
+            );
+            reused_total += prior.total_stats().terms_reused;
+        }
+        assert!(
+            reused_total > 0,
+            "inv={invocations} seed={seed}: flips never reused a term"
+        );
+    }
+}
+
+#[test]
+fn mutation_sequences_on_declarative_programs_match_full_grounding() {
+    let config = ScenarioConfig {
+        rows_per_relation: 10,
+        noise: NoiseConfig::uniform(25.0),
+        seed: 7,
+        ..ScenarioConfig::all_primitives(1)
+    };
+    let scenario = generate(&config);
+    let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
+    let selector = PslCollective::default();
+    let (mut program, _) =
+        selector.build_declarative_program(&model, &ObjectiveWeights::unweighted());
+    let covers = program.vocab.id_of("covers").expect("covers predicate");
+    let creates = program.vocab.id_of("creates").expect("creates predicate");
+
+    let mut prior = program.ground().expect("declarative program grounds");
+    let _ = program.db.take_delta();
+    let mut rng = Lcg(0xDECADE);
+    for step in 0..10 {
+        match step % 4 {
+            // Re-weight an existing covers observation (value-only delta
+            // through the arithmetic explain-cap rule).
+            0 | 1 => {
+                let pool = program.db.atoms_of(covers).to_vec();
+                if pool.is_empty() {
+                    continue;
+                }
+                let atom = pool[rng.next(pool.len())].clone();
+                let v = 0.1 * rng.next(11) as f64;
+                program.db.observe(atom, v);
+            }
+            // Add a brand-new creates edge (pool delta through the
+            // error-link join rule).
+            2 => {
+                let atom = cms_psl::GroundAtom::from_strs(
+                    creates,
+                    &[&format!("c{}", rng.next(model.num_candidates)), "g0"],
+                );
+                if program.db.observed_value(&atom).is_none() {
+                    program.db.observe(atom, 1.0);
+                }
+            }
+            // Retract a covers observation (pool delta).
+            _ => {
+                let pool = program.db.atoms_of(covers).to_vec();
+                if pool.is_empty() {
+                    continue;
+                }
+                let atom = pool[rng.next(pool.len())].clone();
+                program.db.retract(&atom);
+            }
+        }
+        let delta = program.db.take_delta();
+        prior = program
+            .reground_owned(prior, &delta)
+            .expect("reground succeeds");
+        let fresh = program.ground().expect("full ground succeeds");
+        assert_equivalent(&format!("declarative step={step}"), &prior, &fresh);
+    }
+}
