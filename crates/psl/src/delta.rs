@@ -61,6 +61,13 @@
 //! retain atoms that no longer occur in any term; they simply stay
 //! unconstrained.)
 //!
+//! **Term identity.** Every reground additionally records a [`DualReuse`]
+//! map — new term position → prior term position for spliced terms. It is
+//! what [`crate::GroundProgram::carry_duals`] uses to transplant the
+//! ADMM scaled duals of unchanged terms across a reground, so
+//! [`crate::GroundProgram::solve_warm_dual`] resumes from both the prior
+//! consensus *and* the prior dual state (recomputed terms start cold).
+//!
 //! `reground(delta)` is equivalent to a fresh `ground()` up to term and
 //! variable order — property tests over random rules and mutation
 //! sequences enforce it, and [`crate::GroundStats::terms_reused`] /
@@ -243,6 +250,34 @@ pub(crate) struct SpliceSupport {
     pub(crate) raw: Vec<RawSlot>,
 }
 
+/// Sentinel for "this term has no prior identity" in [`DualReuse`].
+pub(crate) const NO_PRIOR: u32 = u32::MAX;
+
+/// Term-identity map recorded by a reground: entry `i` holds the *prior*
+/// program's index of the term now at position `i` (`NO_PRIOR` for terms
+/// that were recomputed and therefore carry no prior identity). This is
+/// what lets [`crate::GroundProgram::carry_duals`] transplant the scaled
+/// duals of spliced-unchanged terms into the next warm solve.
+#[derive(Clone, Default, Debug)]
+pub(crate) struct DualReuse {
+    /// New potential index → prior potential index (or `NO_PRIOR`).
+    pub(crate) pots: Vec<u32>,
+    /// New constraint index → prior constraint index (or `NO_PRIOR`).
+    pub(crate) cons: Vec<u32>,
+}
+
+impl DualReuse {
+    /// Record `count` terms spliced unchanged starting at `old_start`.
+    fn splice(dst: &mut Vec<u32>, old_start: usize, count: usize) {
+        dst.extend((old_start..old_start + count).map(|i| i as u32));
+    }
+
+    /// Record `count` freshly recomputed terms.
+    fn fresh(dst: &mut Vec<u32>, count: usize) {
+        dst.extend(std::iter::repeat_n(NO_PRIOR, count));
+    }
+}
+
 /// Drop `dead` elements from `items`, returning the old → new index map
 /// (entries for dropped elements are `u32::MAX`).
 fn compact<T>(items: &mut Vec<T>, dead: &[bool]) -> Vec<u32> {
@@ -333,12 +368,22 @@ impl Program {
         let mut rule_stats: FxHashMap<String, GroundStats> = FxHashMap::default();
         let mut constant_loss = 0.0;
         let mut new_support = SpliceSupport::default();
+        // Term-identity bookkeeping: `old_pot`/`old_con` track how far into
+        // the prior term pool the iterators have been consumed, so every
+        // spliced term can record which prior index it came from.
+        let mut reuse = DualReuse::default();
+        let mut old_pot = 0usize;
+        let mut old_con = 0usize;
 
         for (i, (rule, seg)) in self.rules.iter().zip(support.rules).enumerate() {
             if !dirty_rules[i] {
                 // Clean: splice the whole segment unchanged.
                 potentials.extend(pot_iter.by_ref().take(seg.pots));
                 constraints.extend(con_iter.by_ref().take(seg.cons));
+                DualReuse::splice(&mut reuse.pots, old_pot, seg.pots);
+                DualReuse::splice(&mut reuse.cons, old_con, seg.cons);
+                old_pot += seg.pots;
+                old_con += seg.cons;
                 let mut stats = seg.stats.clone();
                 stats.terms_reused = seg.pots + seg.cons;
                 stats.terms_recomputed = 0;
@@ -355,8 +400,12 @@ impl Program {
                 // discard its prior terms and re-ground it from scratch.
                 pot_iter.by_ref().take(seg.pots).for_each(drop);
                 con_iter.by_ref().take(seg.cons).for_each(drop);
+                old_pot += seg.pots;
+                old_con += seg.cons;
                 let mut sink = GroundSink::default();
                 let mut stats = ground_rule(rule, &self.db, &mut registry, &mut sink)?;
+                DualReuse::fresh(&mut reuse.pots, sink.potentials.len());
+                DualReuse::fresh(&mut reuse.cons, sink.constraints.len());
                 stats.terms_recomputed = sink.potentials.len() + sink.constraints.len();
                 constant_loss += stats.constant_loss;
                 rule_stats
@@ -439,6 +488,23 @@ impl Program {
             }
             let pot_map = compact(&mut seg_pots, &dead_pot);
             let con_map = compact(&mut seg_cons, &dead_con);
+            // Prior identity of the surviving (spliced) terms, for dual
+            // carry-over: survivor at compacted position `new_rel` was the
+            // prior program's term `old_* + old_rel`.
+            let mut seg_pot_src = vec![NO_PRIOR; seg_pots.len()];
+            for (old_rel, &new_rel) in pot_map.iter().enumerate() {
+                if new_rel != u32::MAX {
+                    seg_pot_src[new_rel as usize] = (old_pot + old_rel) as u32;
+                }
+            }
+            let mut seg_con_src = vec![NO_PRIOR; seg_cons.len()];
+            for (old_rel, &new_rel) in con_map.iter().enumerate() {
+                if new_rel != u32::MAX {
+                    seg_con_src[new_rel as usize] = (old_con + old_rel) as u32;
+                }
+            }
+            old_pot += pot_map.len();
+            old_con += con_map.len();
             for slot in slots.values_mut() {
                 match slot {
                     TermSlot::Potential(p) if !dead_pot[*p as usize] => *p = pot_map[*p as usize],
@@ -481,6 +547,10 @@ impl Program {
             stats.pruned += mini_stats.pruned;
             stats.constant_loss += mini_stats.constant_loss;
             stats.wall = start.elapsed();
+            reuse.pots.extend_from_slice(&seg_pot_src);
+            DualReuse::fresh(&mut reuse.pots, mini.potentials.len());
+            reuse.cons.extend_from_slice(&seg_con_src);
+            DualReuse::fresh(&mut reuse.cons, mini.constraints.len());
             seg_pots.extend(mini.potentials);
             seg_cons.extend(mini.constraints);
 
@@ -511,6 +581,8 @@ impl Program {
             if dirty {
                 pot_iter.by_ref().take(seg.pots).for_each(drop);
                 con_iter.by_ref().take(seg.cons).for_each(drop);
+                old_pot += seg.pots;
+                old_con += seg.cons;
                 let p0 = potentials.len();
                 let c0 = constraints.len();
                 ground_arith_rule(
@@ -525,6 +597,8 @@ impl Program {
                     pots: potentials.len() - p0,
                     cons: constraints.len() - c0,
                 };
+                DualReuse::fresh(&mut reuse.pots, range.pots);
+                DualReuse::fresh(&mut reuse.cons, range.cons);
                 stats.potentials = range.pots;
                 stats.constraints = range.cons;
                 stats.terms_recomputed = range.pots + range.cons;
@@ -532,6 +606,10 @@ impl Program {
             } else {
                 potentials.extend(pot_iter.by_ref().take(seg.pots));
                 constraints.extend(con_iter.by_ref().take(seg.cons));
+                DualReuse::splice(&mut reuse.pots, old_pot, seg.pots);
+                DualReuse::splice(&mut reuse.cons, old_con, seg.cons);
+                old_pot += seg.pots;
+                old_con += seg.cons;
                 stats.potentials = seg.pots;
                 stats.constraints = seg.cons;
                 stats.terms_reused = seg.pots + seg.cons;
@@ -549,8 +627,14 @@ impl Program {
             let dirty = raw.atoms().any(|a| delta_atoms.contains(a));
             if dirty {
                 match slot {
-                    RawSlot::Potential => drop(pot_iter.next()),
-                    RawSlot::Constraint => drop(con_iter.next()),
+                    RawSlot::Potential => {
+                        drop(pot_iter.next());
+                        old_pot += 1;
+                    }
+                    RawSlot::Constraint => {
+                        drop(con_iter.next());
+                        old_con += 1;
+                    }
                     RawSlot::ConstLoss(_) => {}
                 }
                 stats.terms_recomputed = 1;
@@ -558,11 +642,13 @@ impl Program {
                     RawArtifact::Potential(p) => {
                         stats.potentials += 1;
                         potentials.push(p);
+                        reuse.pots.push(NO_PRIOR);
                         new_support.raw.push(RawSlot::Potential);
                     }
                     RawArtifact::Constraint(c) => {
                         stats.constraints += 1;
                         constraints.push(c);
+                        reuse.cons.push(NO_PRIOR);
                         new_support.raw.push(RawSlot::Constraint);
                     }
                     RawArtifact::ConstLoss(d) => {
@@ -578,10 +664,14 @@ impl Program {
                     RawSlot::Potential => {
                         stats.potentials += 1;
                         potentials.push(pot_iter.next().expect("reused raw potential present"));
+                        reuse.pots.push(old_pot as u32);
+                        old_pot += 1;
                     }
                     RawSlot::Constraint => {
                         stats.constraints += 1;
                         constraints.push(con_iter.next().expect("reused raw constraint present"));
+                        reuse.cons.push(old_con as u32);
+                        old_con += 1;
                     }
                     RawSlot::ConstLoss(d) => {
                         stats.constant_loss += d;
@@ -601,6 +691,8 @@ impl Program {
             con_iter.next().is_none(),
             "prior constraints fully consumed"
         );
+        debug_assert_eq!(reuse.pots.len(), potentials.len());
+        debug_assert_eq!(reuse.cons.len(), constraints.len());
 
         Ok(GroundProgram {
             registry,
@@ -609,6 +701,7 @@ impl Program {
             constant_loss,
             rule_stats,
             splice: Some(new_support),
+            dual_reuse: Some(reuse),
         })
     }
 }

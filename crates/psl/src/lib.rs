@@ -53,7 +53,7 @@ pub mod program;
 pub mod rounding;
 pub mod rule;
 
-pub use admm::{AdmmConfig, AdmmSolution, AdmmSolver};
+pub use admm::{AdmmConfig, AdmmSolution, AdmmSolver, DualState, WarmStart};
 pub use arith::{
     ground_arith_rule, ground_arith_rule_naive, ArithError, ArithRule, ArithRuleBuilder, ArithTerm,
     Comparison,

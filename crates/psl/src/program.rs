@@ -8,11 +8,11 @@
 //! [`Program::add_raw_potential`] cover that: observed atoms in the linear
 //! combination fold into the constant, target atoms become variables.
 
-use crate::admm::{AdmmConfig, AdmmSolution, AdmmSolver};
+use crate::admm::{AdmmConfig, AdmmSolution, AdmmSolver, DualState, WarmStart};
 use crate::arith::{ground_arith_rule, ground_arith_rule_naive, ArithRule};
 use crate::atom::GroundAtom;
 use crate::database::{Database, Resolved};
-use crate::delta::{RawSlot, RuleSegment, SegRange, SpliceSupport};
+use crate::delta::{DualReuse, RawSlot, RuleSegment, SegRange, SpliceSupport, NO_PRIOR};
 use crate::grounding::{
     ground_rule, reference::ground_rule_naive, GroundSink, GroundStats, GroundingError, VarRegistry,
 };
@@ -349,6 +349,7 @@ impl Program {
                 arith: arith_ranges,
                 raw: raw_slots,
             }),
+            dual_reuse: None,
         })
     }
 
@@ -429,6 +430,10 @@ pub struct GroundProgram {
     /// by the naive reference engine — [`crate::Program::reground`] then
     /// falls back to a full grounding).
     pub(crate) splice: Option<SpliceSupport>,
+    /// Term-identity map against the immediately prior ground program,
+    /// recorded by [`crate::Program::reground`] (`None` for a fresh
+    /// grounding). Consumed by [`GroundProgram::carry_duals`].
+    pub(crate) dual_reuse: Option<DualReuse>,
 }
 
 impl GroundProgram {
@@ -515,6 +520,63 @@ impl GroundProgram {
             admm: sol,
             constant_loss: self.constant_loss,
         }
+    }
+
+    /// Run MAP inference warm-started from a previous consensus vector
+    /// *and* (optionally) a previous [`DualState`], returning the solution
+    /// together with this solve's dual state for the next resume.
+    ///
+    /// `duals` must be aligned with **this** program's terms: either the
+    /// state returned by a previous solve of the same ground program, or a
+    /// prior program's state mapped through [`GroundProgram::carry_duals`]
+    /// after a delta reground. Terms with a missing entry start at zero,
+    /// so `None` degrades to the consensus-only warm start.
+    pub fn solve_warm_dual(
+        &self,
+        config: &AdmmConfig,
+        warm: &[f64],
+        duals: Option<&DualState>,
+    ) -> (MapSolution, DualState) {
+        let solver = AdmmSolver::new(&self.potentials, &self.constraints, self.num_vars());
+        let (sol, duals_out) = solver.solve_warm(
+            config,
+            WarmStart {
+                values: Some(warm),
+                duals,
+            },
+        );
+        (
+            MapSolution {
+                admm: sol,
+                constant_loss: self.constant_loss,
+            },
+            duals_out,
+        )
+    }
+
+    /// Map a [`DualState`] recorded against the program this one was
+    /// regrounded **from** onto this program's terms: spliced-unchanged
+    /// terms keep their scaled duals (term identity comes from the delta
+    /// subsystem's reuse map), recomputed terms start cold. Returns `None`
+    /// when this program carries no reuse map (fresh grounding, or the
+    /// reground fell back to one) — pass `None` to the solver then.
+    pub fn carry_duals(&self, prior: &DualState) -> Option<DualState> {
+        let reuse = self.dual_reuse.as_ref()?;
+        let map = |src: &[u32], pool: &[Vec<f64>]| -> Vec<Vec<f64>> {
+            src.iter()
+                .map(|&i| {
+                    if i == NO_PRIOR {
+                        Vec::new()
+                    } else {
+                        pool.get(i as usize).cloned().unwrap_or_default()
+                    }
+                })
+                .collect()
+        };
+        Some(DualState {
+            potentials: map(&reuse.pots, prior.potential_duals()),
+            constraints: map(&reuse.cons, prior.constraint_duals()),
+        })
     }
 
     /// Evaluate the soft objective (weighted potentials + constant loss)

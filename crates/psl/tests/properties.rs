@@ -424,6 +424,76 @@ mod grounding_equivalence {
         vocab
     }
 
+    // -----------------------------------------------------------------
+    // Sharded parallel ADMM vs the serial solve.
+    // -----------------------------------------------------------------
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The sharded, multi-threaded consensus step is **bit-identical**
+        /// to the single-threaded solve on random ground programs: same
+        /// iterates, same iteration count, same objective bits — for cold
+        /// solves and for warm solves resumed from consensus + duals. The
+        /// shard structure depends only on the problem (here forced to be
+        /// several shards via a tiny `shard_slots`), never on `threads`.
+        #[test]
+        fn sharded_solve_is_bit_identical_across_thread_counts(
+            db in arb_db(),
+            rules in prop::collection::vec(arb_rule(), 1..4),
+        ) {
+            let mut program = cms_psl::Program::new(vocab_for_arities());
+            program.db = db;
+            for rule in rules {
+                program.add_rule(rule);
+            }
+            let ground = program.ground().unwrap();
+            let cfg = AdmmConfig {
+                threads: 1,
+                parallel_threshold: 0, // engage the parallel path at any size
+                shard_slots: 4,        // force several consensus shards
+                max_iterations: 500,
+                ..AdmmConfig::default()
+            };
+            let (base, base_duals) = ground.solve_warm_dual(&cfg, &[], None);
+            let (base_resumed, _) =
+                ground.solve_warm_dual(&cfg, &base.admm.values, Some(&base_duals));
+            for threads in [2usize, 4, 7] {
+                let tcfg = AdmmConfig { threads, ..cfg.clone() };
+                let sol = ground.solve(&tcfg);
+                prop_assert_eq!(sol.admm.iterations, base.admm.iterations,
+                    "iteration count diverged at threads={}", threads);
+                prop_assert_eq!(sol.admm.objective.to_bits(), base.admm.objective.to_bits(),
+                    "objective bits diverged at threads={}", threads);
+                for (v, (a, b)) in base
+                    .admm
+                    .values
+                    .iter()
+                    .zip(sol.admm.values.iter())
+                    .enumerate()
+                {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(),
+                        "iterate bits diverged at threads={} var={}", threads, v);
+                }
+                // Warm resume (consensus + duals) must be identical too.
+                let (resumed, _) =
+                    ground.solve_warm_dual(&tcfg, &base.admm.values, Some(&base_duals));
+                prop_assert_eq!(resumed.admm.iterations, base_resumed.admm.iterations,
+                    "warm iteration count diverged at threads={}", threads);
+                for (v, (a, b)) in base_resumed
+                    .admm
+                    .values
+                    .iter()
+                    .zip(resumed.admm.values.iter())
+                    .enumerate()
+                {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(),
+                        "warm iterate bits diverged at threads={} var={}", threads, v);
+                }
+            }
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
 

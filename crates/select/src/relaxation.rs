@@ -12,9 +12,12 @@
 //!   recomputing only the terms that touch the flipped atom (the
 //!   `error-link` join rule takes the seeded fast path, the raw
 //!   cap/size/error terms are patched by exact-atom dirtiness);
-//! * [`cms_psl::GroundProgram::solve_warm`] seeds ADMM with the previous
-//!   consensus vector — variable indices are stable across regrounds —
-//!   so the solve converges in a fraction of the cold iteration count.
+//! * [`cms_psl::GroundProgram::solve_warm_dual`] seeds ADMM with the
+//!   previous consensus vector — variable indices are stable across
+//!   regrounds — **and** the previous scaled duals, mapped onto the new
+//!   program with [`cms_psl::GroundProgram::carry_duals`] (spliced terms
+//!   keep their dual state, recomputed terms start cold), so the solve
+//!   converges in a fraction of the cold iteration count.
 //!
 //! The reported value is the LP relaxation of the discrete objective
 //! (`explains` is the capped *sum* of covers rather than the max), i.e. a
@@ -24,8 +27,8 @@ use crate::coverage::CoverageModel;
 use crate::objective::ObjectiveWeights;
 use crate::selectors::SelectError;
 use cms_psl::{
-    AdmmConfig, AtomLin, ConstraintKind, GroundAtom, GroundProgram, PredId, Program, RuleBuilder,
-    Vocabulary,
+    AdmmConfig, AtomLin, ConstraintKind, DualState, GroundAtom, GroundProgram, PredId, Program,
+    RuleBuilder, Vocabulary,
 };
 
 /// Predicate ids of the evaluation program (exposed so tests and benches
@@ -145,6 +148,7 @@ pub struct WarmRelaxation {
     ground: GroundProgram,
     admm: AdmmConfig,
     values: Vec<f64>,
+    duals: Option<DualState>,
     soft_objective: f64,
     /// Flips (value mutations) applied so far.
     pub flips: usize,
@@ -154,6 +158,9 @@ pub struct WarmRelaxation {
     pub terms_recomputed: usize,
     /// Cumulative warm-started ADMM iterations.
     pub admm_iterations: usize,
+    /// Cumulative terms whose scaled duals were carried across a reground
+    /// (each one seeds the next solve instead of starting cold).
+    pub dual_terms_carried: usize,
 }
 
 impl WarmRelaxation {
@@ -167,11 +174,12 @@ impl WarmRelaxation {
         let (mut program, preds) = build_eval_program(model, weights, &[]);
         let ground = program.ground()?;
         let _ = program.db.take_delta(); // the build writes are not a delta
-        let solution = ground.solve(&admm);
+        let (solution, duals) = ground.solve_warm_dual(&admm, &[], None);
         Ok(WarmRelaxation {
             program,
             preds,
             values: solution.admm.values.clone(),
+            duals: Some(duals),
             soft_objective: solution.total_objective(),
             admm_iterations: solution.admm.iterations,
             ground,
@@ -179,6 +187,7 @@ impl WarmRelaxation {
             flips: 0,
             terms_reused: 0,
             terms_recomputed: 0,
+            dual_terms_carried: 0,
         })
     }
 
@@ -232,7 +241,16 @@ impl WarmRelaxation {
         let stats = self.ground.total_stats();
         self.terms_reused += stats.terms_reused;
         self.terms_recomputed += stats.terms_recomputed;
-        let solution = self.ground.solve_warm(&self.admm, &self.values);
+        // Spliced terms keep their ADMM dual state across the reground;
+        // only the recomputed ones start cold.
+        let carried = self.duals.as_ref().and_then(|d| self.ground.carry_duals(d));
+        if let Some(c) = &carried {
+            self.dual_terms_carried += c.seeded_terms();
+        }
+        let (solution, duals) =
+            self.ground
+                .solve_warm_dual(&self.admm, &self.values, carried.as_ref());
+        self.duals = Some(duals);
         self.values.clone_from(&solution.admm.values);
         self.admm_iterations += solution.admm.iterations;
         self.soft_objective = solution.total_objective();

@@ -141,8 +141,14 @@ impl Selector for LocalSearch {
             // Park the relaxation at the winning selection for the report.
             let soft = r.set_selection(&selection.selected)?;
             selection.note = format!(
-                "relaxation: soft_obj={:.3} flips={} terms_reused={} terms_recomputed={} warm_iters={}",
-                soft, r.flips, r.terms_reused, r.terms_recomputed, r.admm_iterations
+                "relaxation: soft_obj={:.3} flips={} terms_reused={} terms_recomputed={} \
+                 warm_iters={} duals_carried={}",
+                soft,
+                r.flips,
+                r.terms_reused,
+                r.terms_recomputed,
+                r.admm_iterations,
+                r.dual_terms_carried
             );
         }
         Ok(selection)

@@ -75,16 +75,18 @@ pub struct PslRun {
 impl PslCollective {
     /// Coarse-then-refine MAP inference: a bounded first pass, then — if
     /// it has not converged — a **warm-started** refinement pass
-    /// ([`GroundProgram::solve_warm`]) seeded with the coarse consensus
-    /// and capped at the *remaining* iteration budget, so the combined
-    /// iteration count never exceeds `self.admm.max_iterations`. Returns
-    /// the final solution and the total iterations across both passes.
+    /// ([`GroundProgram::solve_warm_dual`]) seeded with the coarse
+    /// consensus *and* the coarse dual state (so refinement genuinely
+    /// resumes the interrupted solve instead of re-learning the duals),
+    /// capped at the *remaining* iteration budget so the combined count
+    /// never exceeds `self.admm.max_iterations`. Returns the final
+    /// solution and the total iterations across both passes.
     fn solve_two_stage(&self, ground: &GroundProgram) -> (MapSolution, usize) {
         let coarse_cfg = AdmmConfig {
             max_iterations: self.admm.max_iterations.min(COARSE_BURST),
             ..self.admm.clone()
         };
-        let coarse = ground.solve(&coarse_cfg);
+        let (coarse, duals) = ground.solve_warm_dual(&coarse_cfg, &[], None);
         if coarse.admm.converged || self.admm.max_iterations <= COARSE_BURST {
             let iterations = coarse.admm.iterations;
             return (coarse, iterations);
@@ -93,7 +95,7 @@ impl PslCollective {
             max_iterations: self.admm.max_iterations - coarse.admm.iterations,
             ..self.admm.clone()
         };
-        let refined = ground.solve_warm(&refine_cfg, &coarse.admm.values);
+        let (refined, _) = ground.solve_warm_dual(&refine_cfg, &coarse.admm.values, Some(&duals));
         let iterations = coarse.admm.iterations + refined.admm.iterations;
         (refined, iterations)
     }
