@@ -14,7 +14,7 @@
 //!   deltas through logical *and* arithmetic rules.
 
 use cms::prelude::*;
-use cms_psl::GroundProgram;
+use cms_psl::{DualState, GroundProgram};
 use cms_select::build_eval_program;
 
 fn assert_equivalent(label: &str, incremental: &GroundProgram, fresh: &GroundProgram) {
@@ -90,6 +90,309 @@ fn flip_sequences_on_eval_programs_match_full_grounding() {
             "inv={invocations} seed={seed}: flips never reused a term"
         );
     }
+}
+
+/// Warm-dual reuse: after a value-only reground, every term the splice
+/// left unchanged must keep its scaled-dual vector bit-for-bit, while
+/// recomputed terms start cold — and the resumed solve must land on the
+/// same optimum as a cold solve of the new program.
+#[test]
+fn spliced_terms_retain_duals_across_reground() {
+    let config = ScenarioConfig {
+        rows_per_relation: 10,
+        noise: NoiseConfig::uniform(25.0),
+        seed: 1,
+        ..ScenarioConfig::all_primitives(1)
+    };
+    let scenario = generate(&config);
+    let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
+    let weights = ObjectiveWeights::unweighted();
+    let (mut program, preds) = build_eval_program(&model, &weights, &[]);
+    let prior = program.ground().expect("eval program grounds");
+    let _ = program.db.take_delta();
+    let admm = AdmmConfig::default();
+    let (cold, duals0) = prior.solve_warm_dual(&admm, &[], None);
+    assert!(cold.admm.converged);
+    assert_eq!(duals0.potential_duals().len(), prior.potentials.len());
+    assert_eq!(duals0.constraint_duals().len(), prior.constraints.len());
+
+    // Flip a candidate that actually covers something so the reground has
+    // dirty terms to recompute.
+    let c = (0..model.num_candidates)
+        .find(|&c| !model.covers[c].is_empty())
+        .expect("some candidate covers a target");
+    program.db.observe(
+        cms_psl::GroundAtom::from_strs(preds.in_map, &[&format!("c{c}")]),
+        1.0,
+    );
+    let delta = program.db.take_delta();
+    assert!(!delta.pools_changed(), "flips are value-only deltas");
+    let incremental = program.reground(&prior, &delta).unwrap();
+    let carried = incremental
+        .carry_duals(&duals0)
+        .expect("regrounds carry a term-identity map");
+
+    // The clean `explain-reward` rule is the first segment of the term
+    // pool both before and after the reground, so its potentials sit at
+    // identical indices: their duals must transfer bit-for-bit.
+    let er_terms = incremental
+        .potentials
+        .iter()
+        .take_while(|p| p.origin == "explain-reward")
+        .count();
+    assert!(er_terms > 0, "expected explain-reward potentials up front");
+    for i in 0..er_terms {
+        assert!(
+            !carried.potential_duals()[i].is_empty(),
+            "spliced potential {i} lost its duals"
+        );
+        assert_eq!(
+            carried.potential_duals()[i],
+            duals0.potential_duals()[i],
+            "spliced potential {i} must keep its dual vector exactly"
+        );
+    }
+    // Some terms were recomputed (they touch the flipped atom) and must
+    // start cold; everything else carried over.
+    let total = incremental.potentials.len() + incremental.constraints.len();
+    let seeded = carried.seeded_terms();
+    assert!(seeded > 0, "no duals carried at all");
+    assert!(
+        seeded < total,
+        "the flip must have recomputed at least one term ({seeded} of {total} seeded)"
+    );
+
+    // Resuming from consensus + carried duals reaches the same optimum as
+    // a cold solve of the new program, in no more iterations than the
+    // consensus-only warm start.
+    let consensus_only = incremental.solve_warm(&admm, &cold.admm.values);
+    let (resumed, _) = incremental.solve_warm_dual(&admm, &cold.admm.values, Some(&carried));
+    let fresh = incremental.solve(&admm);
+    assert!(resumed.admm.converged);
+    assert!(
+        (resumed.total_objective() - fresh.total_objective()).abs() < 1e-3,
+        "resumed {} vs cold {}",
+        resumed.total_objective(),
+        fresh.total_objective()
+    );
+    assert!(
+        resumed.admm.iterations <= consensus_only.admm.iterations,
+        "dual-seeded warm solve took {} iterations, consensus-only took {}",
+        resumed.admm.iterations,
+        consensus_only.admm.iterations
+    );
+}
+
+/// Over an `all_primitives(4)` flip sequence, carrying the duals across
+/// every reground must never need more ADMM iterations in total than
+/// consensus-only warm starts, and both must track the same objectives.
+#[test]
+fn warm_dual_flip_sequences_use_no_more_iterations_than_consensus_only() {
+    let config = ScenarioConfig {
+        rows_per_relation: 10,
+        noise: NoiseConfig::uniform(25.0),
+        seed: 3,
+        ..ScenarioConfig::all_primitives(4)
+    };
+    let scenario = generate(&config);
+    let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
+    let weights = ObjectiveWeights::unweighted();
+    let (mut program, preds) = build_eval_program(&model, &weights, &[]);
+    let mut ground = program.ground().expect("eval program grounds");
+    let _ = program.db.take_delta();
+    let admm = AdmmConfig::default();
+    let (cold, mut duals) = ground.solve_warm_dual(&admm, &[], None);
+    let mut values_consensus = cold.admm.values.clone();
+    let mut values_dual = cold.admm.values;
+
+    let mut rng = Lcg(0xF11B5);
+    let mut iters_consensus = 0usize;
+    let mut iters_dual = 0usize;
+    for step in 0..10 {
+        let c = rng.next(model.num_candidates);
+        let on = step % 3 != 2;
+        program.db.observe(
+            cms_psl::GroundAtom::from_strs(preds.in_map, &[&format!("c{c}")]),
+            f64::from(u8::from(on)),
+        );
+        let delta = program.db.take_delta();
+        if delta.is_empty() {
+            continue;
+        }
+        ground = program.reground_owned(ground, &delta).expect("regrounds");
+
+        let consensus_only = ground.solve_warm(&admm, &values_consensus);
+        iters_consensus += consensus_only.admm.iterations;
+        values_consensus.clone_from(&consensus_only.admm.values);
+
+        let carried = ground.carry_duals(&duals).expect("reuse map present");
+        let (resumed, next_duals) = ground.solve_warm_dual(&admm, &values_dual, Some(&carried));
+        iters_dual += resumed.admm.iterations;
+        values_dual.clone_from(&resumed.admm.values);
+        duals = next_duals;
+
+        assert!(
+            (resumed.total_objective() - consensus_only.total_objective()).abs() < 1e-2,
+            "step {step}: dual-warm {} vs consensus-warm {}",
+            resumed.total_objective(),
+            consensus_only.total_objective()
+        );
+    }
+    assert!(iters_dual > 0 && iters_consensus > 0);
+    assert!(
+        iters_dual <= iters_consensus,
+        "dual reuse took {iters_dual} total iterations, consensus-only took {iters_consensus}"
+    );
+}
+
+/// The retraction path: `Removed` deltas shift pool positions, invalidate
+/// the argument-position index, and force per-source regrounds — the
+/// result must still match a fresh grounding, and sources whose predicates
+/// were untouched must still splice.
+#[test]
+fn removed_deltas_invalidate_index_and_match_fresh_ground() {
+    let config = ScenarioConfig {
+        rows_per_relation: 10,
+        noise: NoiseConfig::uniform(25.0),
+        seed: 5,
+        ..ScenarioConfig::all_primitives(1)
+    };
+    let scenario = generate(&config);
+    let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
+    let selector = PslCollective::default();
+    let (mut program, _) =
+        selector.build_declarative_program(&model, &ObjectiveWeights::unweighted());
+    let covers = program.vocab.id_of("covers").expect("covers predicate");
+    let creates = program.vocab.id_of("creates").expect("creates predicate");
+
+    let mut prior = program.ground().expect("declarative program grounds");
+    let _ = program.db.take_delta();
+    let (_, duals) = prior.solve_warm_dual(&AdmmConfig::default(), &[], None);
+
+    // Retract two covers observations: the arith explain-cap rule must
+    // re-ground, the error-link join rule must splice untouched.
+    program.db.ensure_index();
+    assert!(
+        program.db.index_stamp().is_some(),
+        "index built before the retraction"
+    );
+    let pool = program.db.atoms_of(covers).to_vec();
+    assert!(pool.len() >= 2, "scenario must have covers atoms");
+    assert!(program.db.retract(&pool[0]));
+    assert!(program.db.retract(&pool[pool.len() - 1]));
+    assert!(
+        program.db.index_stamp().is_none(),
+        "retraction must invalidate the argument-position index"
+    );
+    let delta = program.db.take_delta();
+    assert!(delta.pools_changed());
+    assert!(delta
+        .entries()
+        .iter()
+        .all(|e| matches!(e.kind, cms_psl::DeltaKind::Removed)));
+    prior = program.reground_owned(prior, &delta).expect("regrounds");
+    let fresh = program.ground().expect("full ground succeeds");
+    assert_equivalent("retract covers ×2", &prior, &fresh);
+    assert_eq!(
+        prior.rule_stats["error-link"].terms_recomputed, 0,
+        "error-link does not depend on covers and must splice"
+    );
+    assert!(
+        prior.rule_stats["explain-cap"].terms_recomputed > 0,
+        "explain-cap depends on covers and must re-ground"
+    );
+    // Even through a pool delta, the clean sources keep dual identity.
+    let carried = prior.carry_duals(&duals).expect("reuse map present");
+    assert!(
+        carried.seeded_terms() > 0,
+        "clean segments must carry duals through a retraction"
+    );
+
+    // Retract a creates edge: now the error-link join rule re-grounds.
+    let pool = program.db.atoms_of(creates).to_vec();
+    assert!(!pool.is_empty(), "scenario must have creates atoms");
+    assert!(program.db.retract(&pool[0]));
+    let delta = program.db.take_delta();
+    prior = program.reground_owned(prior, &delta).expect("regrounds");
+    let fresh = program.ground().expect("full ground succeeds");
+    assert_equivalent("retract creates", &prior, &fresh);
+    assert!(
+        prior.rule_stats["error-link"].terms_reused == 0,
+        "error-link depends on creates and must re-ground"
+    );
+
+    // Mixed delta: re-add one retracted atom and retract another in the
+    // same batch (Added + Removed entries in one DbDelta).
+    let pool = program.db.atoms_of(covers).to_vec();
+    program.db.observe(pool[0].clone(), 0.9); // value change on survivor
+    program
+        .db
+        .observe(cms_psl::GroundAtom::from_strs(covers, &["c0", "t0"]), 0.7);
+    let last = pool[pool.len() - 1].clone();
+    program.db.retract(&last);
+    let delta = program.db.take_delta();
+    assert!(delta.pools_changed());
+    prior = program.reground_owned(prior, &delta).expect("regrounds");
+    let fresh = program.ground().expect("full ground succeeds");
+    assert_equivalent("mixed add/remove/change", &prior, &fresh);
+
+    // A chain of retractions down to (nearly) empty pools stays coherent.
+    for _ in 0..3 {
+        let pool = program.db.atoms_of(covers).to_vec();
+        let Some(atom) = pool.first() else { break };
+        program.db.retract(&atom.clone());
+        let delta = program.db.take_delta();
+        prior = program.reground_owned(prior, &delta).expect("regrounds");
+    }
+    let fresh = program.ground().expect("full ground succeeds");
+    assert_equivalent("retraction chain", &prior, &fresh);
+}
+
+/// Dual state survives use via the high-level selector plumbing too: a
+/// `DualState` round-trips through `carry_duals` as a no-op when nothing
+/// changed (every term maps to itself after an untouched-value write).
+#[test]
+fn dual_state_roundtrips_through_noop_regrounds() {
+    let config = ScenarioConfig {
+        rows_per_relation: 8,
+        noise: NoiseConfig::uniform(25.0),
+        seed: 2,
+        ..ScenarioConfig::all_primitives(1)
+    };
+    let scenario = generate(&config);
+    let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
+    let weights = ObjectiveWeights::unweighted();
+    let (mut program, preds) = build_eval_program(&model, &weights, &[]);
+    let prior = program.ground().expect("grounds");
+    let _ = program.db.take_delta();
+    let (_, duals) = prior.solve_warm_dual(&AdmmConfig::default(), &[], None);
+
+    // Flip a candidate on and back off: the chained reground returns to a
+    // program of identical shape; the carried duals must stay aligned
+    // (same term count) through both steps.
+    let atom = cms_psl::GroundAtom::from_strs(preds.in_map, &["c0"]);
+    program.db.observe(atom.clone(), 1.0);
+    let d1 = program.db.take_delta();
+    let mid = program.reground(&prior, &d1).unwrap();
+    let carried1: DualState = mid.carry_duals(&duals).unwrap();
+    assert_eq!(carried1.potential_duals().len(), mid.potentials.len());
+    assert_eq!(carried1.constraint_duals().len(), mid.constraints.len());
+
+    program.db.observe(atom, 0.0);
+    let d2 = program.db.take_delta();
+    let back = program.reground_owned(mid, &d2).unwrap();
+    let carried2 = back.carry_duals(&carried1).unwrap();
+    assert_eq!(carried2.potential_duals().len(), back.potentials.len());
+    assert_eq!(carried2.constraint_duals().len(), back.constraints.len());
+    let (sol, _) = back.solve_warm_dual(&AdmmConfig::default(), &[], Some(&carried2));
+    assert!(sol.admm.converged);
+    let fresh = back.solve(&AdmmConfig::default());
+    assert!(
+        (sol.total_objective() - fresh.total_objective()).abs() < 1e-3,
+        "warm {} vs cold {}",
+        sol.total_objective(),
+        fresh.total_objective()
+    );
 }
 
 #[test]
