@@ -2,9 +2,27 @@
 //!
 //! Feeds EX6's cost model: the per-candidate chase dominates coverage-model
 //! construction, which in turn dominates everything but ADMM at scale.
+//!
+//! Per `all_primitives` size:
+//!
+//! * `gold-mapping` — the merged chase of the gold tgds (the exchange
+//!   step), naive engine, rows_per_relation = 50;
+//! * `naive-candidates` vs `engine-candidates` — the coverage-model
+//!   workload at rows_per_relation = 100: every candgen-emitted candidate
+//!   chased to its own solution, either by the retained per-tgd
+//!   `chase_one` loop or by the batched [`ChaseEngine`] (shared
+//!   body-prefix trie). Candgen reuses one body per source logical
+//!   relation across many heads, so this is exactly the shared-prefix
+//!   case the engine targets — the checked-in `BENCH_chase_baseline.json`
+//!   records the engine beating the naive loop ≥3× and `bench_gate` holds
+//!   every line;
+//! * `engine-build` — compiling the engine (trie + fire plans) for the
+//!   candidate set. Recorded separately because the engine is built once
+//!   per candidate set and reused across chases; the line keeps compile
+//!   cost visible and regression-gated.
 
 use cms_ibench::{generate, ScenarioConfig};
-use cms_tgd::chase;
+use cms_tgd::{chase, chase_one, ChaseEngine};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_chase(c: &mut Criterion) {
@@ -28,6 +46,50 @@ fn bench_chase(c: &mut Criterion) {
                         std::hint::black_box(&scenario.source),
                         std::hint::black_box(&gold),
                     )
+                });
+            },
+        );
+
+        // The candidate-set chase behind CoverageModel::build: one
+        // solution per candgen-emitted candidate, over a larger source
+        // (the regime where the per-candidate chase dominates selection).
+        let big_config = ScenarioConfig {
+            rows_per_relation: 100,
+            ..config
+        };
+        let big = generate(&big_config);
+        let candidates = big.candidates.clone();
+        let engine = ChaseEngine::new(&candidates).expect("candidates validate");
+        group.throughput(Throughput::Elements(candidates.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("naive-candidates", invocations),
+            &invocations,
+            |b, _| {
+                b.iter(|| {
+                    let source = std::hint::black_box(&big.source);
+                    std::hint::black_box(&candidates)
+                        .iter()
+                        .map(|tgd| chase_one(source, tgd))
+                        .collect::<Vec<_>>()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("engine-candidates", invocations),
+            &invocations,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(&engine).chase_all(std::hint::black_box(&big.source))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("engine-build", invocations),
+            &invocations,
+            |b, _| {
+                b.iter(|| {
+                    ChaseEngine::new(std::hint::black_box(&candidates))
+                        .expect("candidates validate")
                 });
             },
         );

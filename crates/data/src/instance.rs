@@ -4,6 +4,19 @@
 //! is a no-op. Iteration order is insertion order (deterministic given a
 //! deterministic producer — important for reproducible experiments).
 //!
+//! ## Storage layout
+//!
+//! Each relation stores its rows **flat**: one `Vec<Value>` holding every
+//! row back to back plus an offset table ([`Rows`] is the cheap view over
+//! it). Appending a row is a value copy — no per-row heap allocation — and
+//! scans walk contiguous memory. Batch producers (the chase engine) append
+//! whole row blocks via [`Instance::extend_distinct`].
+//!
+//! Set semantics are enforced by a **lazy** membership map
+//! (`row → position`), built on first insert/contains/remove. Bulk appends
+//! of caller-guaranteed-distinct rows skip it entirely when it is not
+//! built.
+//!
 //! Each relation additionally carries a lazy **column index**
 //! `(column, value) → row positions`, built on first probe. The tgd
 //! matcher probes it instead of scanning whole relations once a conjunct
@@ -22,6 +35,7 @@ use crate::schema::RelId;
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::fmt;
+use std::ops::Index;
 use std::sync::{RwLock, RwLockReadGuard};
 
 /// Per-column posting lists of one relation.
@@ -86,11 +100,110 @@ impl ColIndexRef<'_> {
     }
 }
 
-/// Tuples of one relation: an insertion-ordered set.
-#[derive(Debug, Default)]
+/// A cheap, copyable view over one relation's rows (flat storage).
+///
+/// Supports `len`/`is_empty`, indexing (`rows[i]` yields `&[Value]`), and
+/// iteration (`for row in rows`, `rows.iter()`).
+#[derive(Clone, Copy, Debug)]
+pub struct Rows<'a> {
+    flat: &'a [Value],
+    /// `n + 1` boundaries (`row i = flat[offsets[i]..offsets[i+1]]`), or
+    /// empty for a relation with no rows.
+    offsets: &'a [u32],
+}
+
+impl<'a> Rows<'a> {
+    /// The empty view.
+    pub fn empty() -> Rows<'a> {
+        Rows {
+            flat: &[],
+            offsets: &[],
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// True iff there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.len() < 2
+    }
+
+    /// The `i`-th row.
+    pub fn row(&self, i: usize) -> &'a [Value] {
+        &self.flat[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Iterate rows in insertion order.
+    pub fn iter(&self) -> RowsIter<'a> {
+        (*self).into_iter()
+    }
+}
+
+impl Index<usize> for Rows<'_> {
+    type Output = [Value];
+
+    fn index(&self, i: usize) -> &[Value] {
+        self.row(i)
+    }
+}
+
+impl<'a> IntoIterator for Rows<'a> {
+    type Item = &'a [Value];
+    type IntoIter = RowsIter<'a>;
+
+    fn into_iter(self) -> RowsIter<'a> {
+        RowsIter { rows: self, at: 0 }
+    }
+}
+
+impl<'a> IntoIterator for &Rows<'a> {
+    type Item = &'a [Value];
+    type IntoIter = RowsIter<'a>;
+
+    fn into_iter(self) -> RowsIter<'a> {
+        RowsIter { rows: *self, at: 0 }
+    }
+}
+
+/// Iterator over a [`Rows`] view.
+pub struct RowsIter<'a> {
+    rows: Rows<'a>,
+    at: usize,
+}
+
+impl<'a> Iterator for RowsIter<'a> {
+    type Item = &'a [Value];
+
+    fn next(&mut self) -> Option<&'a [Value]> {
+        if self.at < self.rows.len() {
+            let row = self.rows.row(self.at);
+            self.at += 1;
+            Some(row)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.rows.len() - self.at;
+        (rest, Some(rest))
+    }
+}
+
+/// Tuples of one relation: an insertion-ordered set in flat storage.
+#[derive(Debug)]
 pub struct RelationData {
-    rows: Vec<Vec<Value>>,
-    lookup: FxHashMap<Vec<Value>, usize>,
+    /// All rows back to back.
+    flat: Vec<Value>,
+    /// `n + 1` row boundaries into `flat`.
+    offsets: Vec<u32>,
+    /// Lazy row-membership map (`row → position`); `None` until the first
+    /// operation that needs set semantics. Bulk appends of
+    /// caller-guaranteed-distinct rows skip it while unbuilt.
+    lookup: RwLock<Option<FxHashMap<Vec<Value>, usize>>>,
     /// Bumped on every mutation (insert or remove).
     generation: u64,
     /// Lazy column index; `None` until first probe or after a remove.
@@ -98,27 +211,92 @@ pub struct RelationData {
     cols: RwLock<Option<ColumnIndex>>,
 }
 
+impl Default for RelationData {
+    fn default() -> RelationData {
+        RelationData {
+            flat: Vec::new(),
+            offsets: vec![0],
+            lookup: RwLock::new(None),
+            generation: 0,
+            cols: RwLock::new(None),
+        }
+    }
+}
+
 impl Clone for RelationData {
     fn clone(&self) -> RelationData {
         RelationData {
-            rows: self.rows.clone(),
-            lookup: self.lookup.clone(),
+            flat: self.flat.clone(),
+            offsets: self.offsets.clone(),
+            // The clone rebuilds lookup and index lazily.
+            lookup: RwLock::new(None),
             generation: self.generation,
-            // The clone rebuilds its index on first probe.
             cols: RwLock::new(None),
         }
     }
 }
 
 impl RelationData {
+    /// The `i`-th row.
+    fn row(&self, i: usize) -> &[Value] {
+        &self.flat[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Exclusive access to the lookup map, building it from the rows if
+    /// absent.
+    fn lookup_mut(&mut self) -> &mut FxHashMap<Vec<Value>, usize> {
+        let built = self
+            .lookup
+            .get_mut()
+            .expect("lookup lock poisoned")
+            .is_some();
+        if !built {
+            let mut map = FxHashMap::with_capacity_and_hasher(self.len(), Default::default());
+            for i in 0..self.len() {
+                map.insert(self.row(i).to_vec(), i);
+            }
+            *self.lookup.get_mut().expect("lookup lock poisoned") = Some(map);
+        }
+        self.lookup
+            .get_mut()
+            .expect("lookup lock poisoned")
+            .as_mut()
+            .expect("lookup just ensured")
+    }
+
+    /// Build the lookup map if absent (shared-access path). Read-first
+    /// double-checked locking like [`RelationData::col_index`], so
+    /// concurrent readers don't serialize on the write lock once the map
+    /// exists.
+    fn ensure_lookup(&self) {
+        if self.lookup.read().expect("lookup lock poisoned").is_some() {
+            return;
+        }
+        let mut guard = self.lookup.write().expect("lookup lock poisoned");
+        if guard.is_none() {
+            let mut map = FxHashMap::with_capacity_and_hasher(self.len(), Default::default());
+            for i in 0..self.len() {
+                map.insert(self.row(i).to_vec(), i);
+            }
+            *guard = Some(map);
+        }
+    }
+
+    /// Append one row's values to the flat storage.
+    fn push_row(&mut self, row: &[Value]) {
+        self.flat.extend_from_slice(row);
+        let end = u32::try_from(self.flat.len()).expect("relation too large");
+        self.offsets.push(end);
+    }
+
     /// Insert a row; returns `true` if it was new. Appends patch the
     /// column index in place (no rebuild) when it is already built.
     pub fn insert(&mut self, row: Vec<Value>) -> bool {
-        if self.lookup.contains_key(&row) {
+        let pos = self.len();
+        if self.lookup_mut().contains_key(&row) {
             return false;
         }
-        let pos = self.rows.len();
-        self.lookup.insert(row.clone(), pos);
+        self.push_row(&row);
         self.generation += 1;
         if let Some(idx) = self
             .cols
@@ -129,28 +307,138 @@ impl RelationData {
             idx.append(&row, pos as u32);
             idx.stamp = self.generation;
         }
-        self.rows.push(row);
+        self.lookup_mut().insert(row, pos);
+        true
+    }
+
+    /// Append a block of equal-arity rows (`values.len() % arity == 0`,
+    /// `arity > 0`) that the caller guarantees are distinct — from each
+    /// other *and* from every row already present. Skips the membership
+    /// map entirely when it is not built (it stays lazy), making this the
+    /// copy-only fast path of batch producers like the chase engine, whose
+    /// fresh-null tuples are distinct by construction.
+    ///
+    /// Distinctness is verified with a `debug_assert`; violating it in
+    /// release builds breaks the instance's set semantics.
+    pub fn extend_distinct(&mut self, arity: usize, values: &[Value]) {
+        assert!(arity > 0, "extend_distinct requires positive arity");
+        debug_assert_eq!(values.len() % arity, 0, "ragged extend_distinct block");
+        #[cfg(debug_assertions)]
+        {
+            let mut seen: std::collections::HashSet<&[Value]> =
+                (0..self.len()).map(|i| self.row(i)).collect();
+            for row in values.chunks(arity) {
+                debug_assert!(seen.insert(row), "extend_distinct: duplicate row {row:?}");
+            }
+        }
+        if values.is_empty() {
+            return;
+        }
+        let n = values.len() / arity;
+        self.generation += n as u64;
+        let map_built = self
+            .lookup
+            .get_mut()
+            .expect("lookup lock poisoned")
+            .is_some();
+        let cols_built = self
+            .cols
+            .get_mut()
+            .expect("column index lock poisoned")
+            .is_some();
+        if map_built || cols_built {
+            for (k, row) in values.chunks(arity).enumerate() {
+                let pos = self.len() + k;
+                if map_built {
+                    self.lookup
+                        .get_mut()
+                        .expect("lookup lock poisoned")
+                        .as_mut()
+                        .expect("checked above")
+                        .insert(row.to_vec(), pos);
+                }
+                if cols_built {
+                    let idx = self
+                        .cols
+                        .get_mut()
+                        .expect("column index lock poisoned")
+                        .as_mut()
+                        .expect("checked above");
+                    idx.append(row, pos as u32);
+                    idx.stamp = self.generation;
+                }
+            }
+        }
+        self.flat.extend_from_slice(values);
+        let base = *self.offsets.last().expect("offsets never empty") as usize;
+        for k in 1..=n {
+            let end = u32::try_from(base + k * arity).expect("relation too large");
+            self.offsets.push(end);
+        }
+    }
+
+    /// Remove a row; returns `true` if it was present. O(n): row positions
+    /// shift, so positional entries and the column index are rebuilt.
+    pub fn remove(&mut self, row: &[Value]) -> bool {
+        let Some(pos) = self.lookup_mut().remove(row) else {
+            return false;
+        };
+        let start = self.offsets[pos] as usize;
+        let end = self.offsets[pos + 1] as usize;
+        let width = (end - start) as u32;
+        self.flat.drain(start..end);
+        self.offsets.remove(pos + 1);
+        for o in &mut self.offsets[pos + 1..] {
+            *o -= width;
+        }
+        // Re-point the shifted rows' positions.
+        let n = self.len();
+        let lookup = self
+            .lookup
+            .get_mut()
+            .expect("lookup lock poisoned")
+            .as_mut()
+            .expect("lookup ensured by remove");
+        for i in pos..n {
+            let r = &self.flat[self.offsets[i] as usize..self.offsets[i + 1] as usize];
+            *lookup.get_mut(r).expect("index out of sync") = i;
+        }
+        self.generation += 1;
+        self.invalidate();
         true
     }
 
     /// Membership test.
     pub fn contains(&self, row: &[Value]) -> bool {
-        self.lookup.contains_key(row)
+        self.ensure_lookup();
+        self.lookup
+            .read()
+            .expect("lookup lock poisoned")
+            .as_ref()
+            .expect("lookup just ensured")
+            .contains_key(row)
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.offsets.len() - 1
     }
 
     /// True iff no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
     /// Rows in insertion order.
-    pub fn rows(&self) -> &[Vec<Value>] {
-        &self.rows
+    pub fn rows(&self) -> Rows<'_> {
+        if self.is_empty() {
+            Rows::empty()
+        } else {
+            Rows {
+                flat: &self.flat,
+                offsets: &self.offsets,
+            }
+        }
     }
 
     /// Current mutation generation (bumped on every insert/remove).
@@ -183,7 +471,7 @@ impl RelationData {
                 stamp: self.generation,
                 ..ColumnIndex::default()
             };
-            for (i, row) in self.rows.iter().enumerate() {
+            for (i, row) in self.rows().iter().enumerate() {
                 idx.append(row, i as u32);
             }
             *guard = Some(idx);
@@ -230,19 +518,20 @@ impl Instance {
     /// O(n) in the relation size (rebuilds the positional index); removal is
     /// rare (only the noise injector uses it).
     pub fn remove(&mut self, rel: RelId, row: &[Value]) -> bool {
-        let Some(data) = self.rels.get_mut(&rel) else {
-            return false;
-        };
-        let Some(pos) = data.lookup.remove(row) else {
-            return false;
-        };
-        data.rows.remove(pos);
-        for (i, r) in data.rows.iter().enumerate().skip(pos) {
-            *data.lookup.get_mut(r).expect("index out of sync") = i;
+        self.rels.get_mut(&rel).is_some_and(|d| d.remove(row))
+    }
+
+    /// Append a block of equal-arity rows to `rel` which the caller
+    /// guarantees are distinct from each other and from every present
+    /// row — the batch-producer fast path (see
+    /// [`RelationData::extend_distinct`]).
+    pub fn extend_distinct(&mut self, rel: RelId, arity: usize, values: &[Value]) {
+        if !values.is_empty() {
+            self.rels
+                .entry(rel)
+                .or_default()
+                .extend_distinct(arity, values);
         }
-        data.generation += 1;
-        data.invalidate();
-        true
     }
 
     /// Read access to one relation's column index (`None` when the relation
@@ -269,9 +558,11 @@ impl Instance {
         self.contains(t.rel, &t.args)
     }
 
-    /// Rows of one relation (empty slice if the relation has no rows).
-    pub fn rows(&self, rel: RelId) -> &[Vec<Value>] {
-        self.rels.get(&rel).map_or(&[], |d| d.rows())
+    /// Rows of one relation (empty view if the relation has no rows).
+    pub fn rows(&self, rel: RelId) -> Rows<'_> {
+        self.rels
+            .get(&rel)
+            .map_or_else(Rows::empty, RelationData::rows)
     }
 
     /// Total number of tuples across all relations.
@@ -297,7 +588,7 @@ impl Instance {
         let mut rels: Vec<_> = self.rels.iter().collect();
         rels.sort_by_key(|(r, _)| **r);
         rels.into_iter()
-            .flat_map(|(&r, d)| d.rows().iter().map(move |row| (r, row.as_slice())))
+            .flat_map(|(&r, d)| d.rows().into_iter().map(move |row| (r, row)))
     }
 
     /// Collect all tuples into owned [`Tuple`]s (sorted by relation id, then
@@ -373,6 +664,37 @@ mod tests {
     }
 
     #[test]
+    fn rows_view_indexes_and_iterates() {
+        let mut inst = Instance::new();
+        inst.insert_ground(RelId(0), &["a", "b"]);
+        inst.insert_ground(RelId(0), &["c", "d"]);
+        let rows = inst.rows(RelId(0));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1][0], Value::constant("c"));
+        assert_eq!(rows.row(0), &[Value::constant("a"), Value::constant("b")]);
+        let collected: Vec<&[Value]> = rows.iter().collect();
+        assert_eq!(collected.len(), 2);
+        let mut n = 0;
+        for row in rows {
+            assert_eq!(row.len(), 2);
+            n += 1;
+        }
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn mixed_arity_rows_round_trip() {
+        let mut inst = Instance::new();
+        inst.insert_ground(RelId(0), &["a"]);
+        inst.insert_ground(RelId(0), &["b", "c"]);
+        inst.insert_ground(RelId(0), &["d"]);
+        let rows = inst.rows(RelId(0));
+        assert_eq!(rows.row(0).len(), 1);
+        assert_eq!(rows.row(1).len(), 2);
+        assert_eq!(rows.row(2), &[Value::constant("d")]);
+    }
+
+    #[test]
     fn remove_keeps_index_consistent() {
         let mut inst = Instance::new();
         inst.insert_ground(RelId(0), &["a"]);
@@ -386,6 +708,33 @@ mod tests {
         // Re-insert after remove must work (index rebuilt correctly).
         assert!(inst.insert_ground(RelId(0), &["b"]));
         assert_eq!(inst.total_len(), 3);
+    }
+
+    #[test]
+    fn remove_of_wide_row_shifts_offsets() {
+        let mut inst = Instance::new();
+        inst.insert_ground(RelId(0), &["a", "x", "y"]);
+        inst.insert_ground(RelId(0), &["b", "p", "q"]);
+        inst.insert_ground(RelId(0), &["c", "r", "s"]);
+        assert!(inst.remove(
+            RelId(0),
+            &[
+                Value::constant("a"),
+                Value::constant("x"),
+                Value::constant("y")
+            ]
+        ));
+        let rows = inst.rows(RelId(0));
+        assert_eq!(rows.row(0)[0], Value::constant("b"));
+        assert_eq!(rows.row(1)[0], Value::constant("c"));
+        assert!(inst.contains(
+            RelId(0),
+            &[
+                Value::constant("c"),
+                Value::constant("r"),
+                Value::constant("s")
+            ]
+        ));
     }
 
     #[test]
@@ -463,6 +812,44 @@ mod tests {
                 .len(),
             0
         );
+    }
+
+    #[test]
+    fn extend_distinct_appends_and_stays_a_set() {
+        let mut inst = Instance::new();
+        inst.insert_ground(RelId(0), &["a"]);
+        inst.extend_distinct(RelId(0), 1, &[Value::constant("b"), Value::constant("c")]);
+        assert_eq!(inst.total_len(), 3);
+        // Set semantics survive the bulk append: membership and dedup see
+        // the raw-appended rows (the lookup map is rebuilt lazily).
+        assert!(inst.contains(RelId(0), &[Value::constant("b")]));
+        assert!(!inst.insert_ground(RelId(0), &["c"]));
+        assert!(inst.insert_ground(RelId(0), &["d"]));
+        // Bulk append into a relation whose lookup is already built keeps
+        // the map consistent.
+        inst.extend_distinct(RelId(0), 1, &[Value::constant("e")]);
+        assert!(inst.contains(RelId(0), &[Value::constant("e")]));
+        assert!(!inst.insert_ground(RelId(0), &["e"]));
+        assert_eq!(inst.total_len(), 5);
+        // A built column index is patched by the bulk path too.
+        let before = inst
+            .col_index(RelId(0))
+            .unwrap()
+            .postings(0, &Value::constant("f"))
+            .len();
+        assert_eq!(before, 0);
+        inst.extend_distinct(RelId(0), 1, &[Value::constant("f")]);
+        assert_eq!(
+            inst.col_index(RelId(0))
+                .unwrap()
+                .postings(0, &Value::constant("f"))
+                .len(),
+            1
+        );
+        // Empty appends are no-ops.
+        let stamp = inst.index_stamp(RelId(0));
+        inst.extend_distinct(RelId(0), 1, &[]);
+        assert_eq!(inst.index_stamp(RelId(0)), stamp);
     }
 
     #[test]

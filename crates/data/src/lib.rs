@@ -26,7 +26,7 @@ pub use fx::{FxHashMap, FxHashSet};
 pub use homomorphism::{
     apply_assignment, find_homomorphism, hom_equivalent, homomorphic, tuple_match, NullAssignment,
 };
-pub use instance::{ColIndexRef, ColumnIndex, Instance, RelationData};
+pub use instance::{ColIndexRef, ColumnIndex, Instance, RelationData, Rows, RowsIter};
 pub use pattern::{multiset_overlap, pattern_multiset, PatVal, TuplePattern};
 pub use schema::{AttrRef, ForeignKey, RelId, Relation, Schema};
 pub use symbols::Sym;

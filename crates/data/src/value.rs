@@ -112,6 +112,15 @@ impl NullFactory {
         id
     }
 
+    /// Reserve a contiguous block of `n` fresh null ids, returning the
+    /// first. Equivalent to `n` calls to [`NullFactory::fresh`] — used by
+    /// batch firers that assign null ids arithmetically per firing.
+    pub fn reserve(&mut self, n: u32) -> u32 {
+        let start = self.next;
+        self.next = self.next.checked_add(n).expect("null id overflow");
+        start
+    }
+
     /// The id the next call to [`NullFactory::fresh`] will return.
     pub fn peek_next(&self) -> u32 {
         self.next
@@ -151,6 +160,19 @@ mod tests {
         let mut g = NullFactory::starting_at(10);
         assert_eq!(g.fresh(), NullId(10));
         assert_eq!(g.peek_next(), 11);
+    }
+
+    #[test]
+    fn reserve_equals_repeated_fresh() {
+        let mut a = NullFactory::new();
+        let start = a.reserve(3);
+        assert_eq!(start, 0);
+        assert_eq!(a.fresh(), NullId(3));
+        let mut b = NullFactory::new();
+        for i in 0..3 {
+            assert_eq!(b.fresh(), NullId(i));
+        }
+        assert_eq!(a.peek_next(), b.peek_next() + 1);
     }
 
     #[test]

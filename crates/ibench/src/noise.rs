@@ -20,7 +20,7 @@ use cms_data::{
     pattern_multiset, AttrRef, FxHashMap, Instance, NullId, RelId, Schema, Tuple, TuplePattern,
     Value,
 };
-use cms_tgd::{chase_one, StTgd};
+use cms_tgd::{ChaseEngine, StTgd};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::BTreeSet;
@@ -102,12 +102,15 @@ pub fn apply_data_noise(
         return report;
     }
 
-    // Pattern sets of MG's and C−MG's outputs.
+    // Pattern sets of MG's and C−MG's outputs. All candidates are chased
+    // in one batched pass over the shared body-prefix trie; the engine's
+    // null renaming is invisible to the pattern comparison below.
     let mut gold_patterns: BTreeSet<TuplePattern> = BTreeSet::new();
     let mut other_patterns: BTreeSet<TuplePattern> = BTreeSet::new();
     let mut other_instances: Vec<Instance> = Vec::new();
-    for (idx, cand) in candidates.iter().enumerate() {
-        let k = chase_one(i, cand);
+    let engine = ChaseEngine::new(candidates)
+        .unwrap_or_else(|e| panic!("apply_data_noise: invalid candidate tgd: {e}"));
+    for (idx, k) in engine.chase_all(i).into_iter().enumerate() {
         let patterns: Vec<TuplePattern> = pattern_multiset(&k).into_keys().collect();
         if gold_idx.contains(&idx) {
             gold_patterns.extend(patterns);

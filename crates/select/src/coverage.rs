@@ -22,7 +22,7 @@
 //! Eq. (1).
 
 use cms_data::{tuple_match, FxHashMap, Instance, NullId, Tuple, Value};
-use cms_tgd::{chase_one, core_of, StTgd};
+use cms_tgd::{chase_one, core_of, ChaseEngine, ChaseError, ChaseStats, StTgd};
 use std::collections::BTreeMap;
 
 /// Options for coverage-model construction.
@@ -71,12 +71,74 @@ impl CoverageModel {
     }
 
     /// Build with explicit [`CoverageOptions`].
+    ///
+    /// The per-candidate solutions come from one [`ChaseEngine`] pass over
+    /// the shared body-prefix trie rather than a per-candidate
+    /// `chase_one` loop; results are identical to
+    /// [`CoverageModel::build_reference`] (nulls are engine-renamed, which
+    /// covers/creates cannot observe).
+    ///
+    /// Panics — before chasing anything — if a candidate fails chase
+    /// validation; use [`CoverageModel::try_build_with`] for a `Result`.
     pub fn build_with(
         source: &Instance,
         target: &Instance,
         candidates: &[StTgd],
         options: &CoverageOptions,
     ) -> CoverageModel {
+        CoverageModel::try_build_with(source, target, candidates, options)
+            .unwrap_or_else(|e| panic!("CoverageModel: invalid candidate tgd: {e}"))
+    }
+
+    /// Fallible [`CoverageModel::build_with`].
+    pub fn try_build_with(
+        source: &Instance,
+        target: &Instance,
+        candidates: &[StTgd],
+        options: &CoverageOptions,
+    ) -> Result<CoverageModel, ChaseError> {
+        CoverageModel::build_with_stats(source, target, candidates, options).map(|(m, _)| m)
+    }
+
+    /// Reference implementation: per-candidate naive [`chase_one`] loop,
+    /// kept for equivalence testing against the engine-backed build.
+    pub fn build_reference(
+        source: &Instance,
+        target: &Instance,
+        candidates: &[StTgd],
+        options: &CoverageOptions,
+    ) -> CoverageModel {
+        let solutions = candidates
+            .iter()
+            .map(|tgd| chase_one(source, tgd))
+            .collect();
+        CoverageModel::from_solutions(target, candidates, solutions, options)
+    }
+
+    /// Engine-backed build that also reports the batch-chase work counters
+    /// (prefix bindings computed vs reused, firings, trie size).
+    pub fn build_with_stats(
+        source: &Instance,
+        target: &Instance,
+        candidates: &[StTgd],
+        options: &CoverageOptions,
+    ) -> Result<(CoverageModel, ChaseStats), ChaseError> {
+        let engine = ChaseEngine::new(candidates)?;
+        let (solutions, stats) = engine.chase_all_stats(source);
+        Ok((
+            CoverageModel::from_solutions(target, candidates, solutions, options),
+            stats,
+        ))
+    }
+
+    /// Score precomputed per-candidate universal solutions against `target`.
+    fn from_solutions(
+        target: &Instance,
+        candidates: &[StTgd],
+        solutions: Vec<Instance>,
+        options: &CoverageOptions,
+    ) -> CoverageModel {
+        debug_assert_eq!(candidates.len(), solutions.len());
         let targets: Vec<Tuple> = target
             .iter_all()
             .map(|(rel, row)| Tuple::new(rel, row.to_vec()))
@@ -92,9 +154,8 @@ impl CoverageModel {
         let mut null_errors: Vec<ErrorGroup> = Vec::new();
         let mut sizes = Vec::with_capacity(candidates.len());
 
-        for (cand_idx, tgd) in candidates.iter().enumerate() {
+        for (cand_idx, (tgd, mut k)) in candidates.iter().zip(solutions).enumerate() {
             sizes.push(tgd.size());
-            let mut k = chase_one(source, tgd);
             if options.use_core {
                 k = core_of(&k);
             }
@@ -424,6 +485,150 @@ pub(crate) mod tests {
             &CoverageOptions { use_core: true },
         );
         assert_eq!(cored.error_counts, vec![1], "core collapses the duplicate");
+    }
+
+    #[test]
+    fn null_support_spans_multiple_target_relations() {
+        // a(x) -> t(x,n) & u(n) & w(n,x): one null threaded through three
+        // target relations. Support for n ↦ c in any one relation comes
+        // from the *other* relations' matches.
+        let mut src = Schema::new("s");
+        src.add_relation("a", &["x"]);
+        let mut tgt = Schema::new("t");
+        tgt.add_relation("t", &["x", "k"]);
+        tgt.add_relation("u", &["k"]);
+        tgt.add_relation("w", &["k", "x"]);
+        let tgd = parse_tgd("a(x) -> t(x, n) & u(n) & w(n, x)", &src, &tgt).unwrap();
+        let mut i = Instance::new();
+        i.insert_ground(src.rel_id("a").unwrap(), &["v"]);
+
+        // Full corroboration: every relation holds the consistent n ↦ c
+        // image; all three covers are exact.
+        let mut j = Instance::new();
+        j.insert_ground(tgt.rel_id("t").unwrap(), &["v", "c"]);
+        j.insert_ground(tgt.rel_id("u").unwrap(), &["c"]);
+        j.insert_ground(tgt.rel_id("w").unwrap(), &["c", "v"]);
+        let model = CoverageModel::build(&i, &j, std::slice::from_ref(&tgd));
+        for t in 0..model.num_targets() {
+            assert!(
+                (model.cover(0, t) - 1.0).abs() < 1e-12,
+                "target {t}: cross-relation support must make the cover exact"
+            );
+        }
+        assert!(model.errors.is_empty());
+
+        // Drop w from J: t and u still corroborate each other (support
+        // only needs *one* other inducing occurrence), while the w tuple
+        // becomes a null error.
+        let mut j2 = Instance::new();
+        j2.insert_ground(tgt.rel_id("t").unwrap(), &["v", "c"]);
+        j2.insert_ground(tgt.rel_id("u").unwrap(), &["c"]);
+        let model2 = CoverageModel::build(&i, &j2, std::slice::from_ref(&tgd));
+        for t in 0..model2.num_targets() {
+            assert!((model2.cover(0, t) - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(
+            model2.error_counts,
+            vec![1],
+            "unmatched w(n, v) is an error"
+        );
+        assert!(!model2.errors[0].example.is_ground());
+    }
+
+    #[test]
+    fn conflicting_induced_assignments_are_not_support() {
+        // a(x) -> t(x,n) & u(n,x): J induces n ↦ c1 from the t match but
+        // n ↦ c2 from the u match. Conflicting assignments corroborate
+        // nothing — both covers stay at the constant fraction 1/2.
+        let mut src = Schema::new("s");
+        src.add_relation("a", &["x"]);
+        let mut tgt = Schema::new("t");
+        tgt.add_relation("t", &["x", "k"]);
+        tgt.add_relation("u", &["k", "x"]);
+        let tgd = parse_tgd("a(x) -> t(x, n) & u(n, x)", &src, &tgt).unwrap();
+        let mut i = Instance::new();
+        i.insert_ground(src.rel_id("a").unwrap(), &["v"]);
+
+        let mut j = Instance::new();
+        j.insert_ground(tgt.rel_id("t").unwrap(), &["v", "c1"]);
+        j.insert_ground(tgt.rel_id("u").unwrap(), &["c2", "v"]);
+        let model = CoverageModel::build(&i, &j, std::slice::from_ref(&tgd));
+        for t in 0..model.num_targets() {
+            assert!(
+                (model.cover(0, t) - 0.5).abs() < 1e-12,
+                "target {t}: n ↦ c1 vs n ↦ c2 must not count as support"
+            );
+        }
+
+        // Consistent assignments flip both covers to exact.
+        let mut j_ok = Instance::new();
+        j_ok.insert_ground(tgt.rel_id("t").unwrap(), &["v", "c"]);
+        j_ok.insert_ground(tgt.rel_id("u").unwrap(), &["c", "v"]);
+        let model_ok = CoverageModel::build(&i, &j_ok, std::slice::from_ref(&tgd));
+        for t in 0..model_ok.num_targets() {
+            assert!((model_ok.cover(0, t) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn use_core_can_retract_the_partially_covering_null_tuple() {
+        // a(x) -> t(x,x) & t(x,e): the firing produces the ground t(v,v)
+        // and the padded t(v,N); N retracts onto v, so the core drops the
+        // null tuple. Against J = {t(v,w)} only t(v,N) matches (degree
+        // 1/2) — coring therefore *lowers* the cover to 0 while the ground
+        // error stays. The supported-null machinery must follow whichever
+        // instance it is given.
+        let mut src = Schema::new("s");
+        src.add_relation("a", &["x"]);
+        let mut tgt = Schema::new("t");
+        tgt.add_relation("t", &["x", "y"]);
+        let tgd = parse_tgd("a(x) -> t(x, x) & t(x, e)", &src, &tgt).unwrap();
+        let mut i = Instance::new();
+        i.insert_ground(src.rel_id("a").unwrap(), &["v"]);
+        let mut j = Instance::new();
+        j.insert_ground(tgt.rel_id("t").unwrap(), &["v", "w"]);
+
+        let canonical = CoverageModel::build(&i, &j, std::slice::from_ref(&tgd));
+        assert!((canonical.cover(0, 0) - 0.5).abs() < 1e-12);
+        assert_eq!(canonical.error_counts, vec![1], "ground t(v,v) is an error");
+
+        let cored = CoverageModel::build_with(
+            &i,
+            &j,
+            std::slice::from_ref(&tgd),
+            &CoverageOptions { use_core: true },
+        );
+        assert_eq!(cored.cover(0, 0), 0.0, "core dropped the covering tuple");
+        assert_eq!(cored.error_counts, vec![1]);
+
+        // When J matches the ground tuple exactly, coring is lossless:
+        // cover stays exact and nothing becomes an error.
+        let mut j_exact = Instance::new();
+        j_exact.insert_ground(tgt.rel_id("t").unwrap(), &["v", "v"]);
+        for options in [
+            CoverageOptions::default(),
+            CoverageOptions { use_core: true },
+        ] {
+            let model =
+                CoverageModel::build_with(&i, &j_exact, std::slice::from_ref(&tgd), &options);
+            assert!(
+                (model.cover(0, 0) - 1.0).abs() < 1e-12,
+                "use_core={}",
+                options.use_core
+            );
+            assert!(model.errors.is_empty(), "use_core={}", options.use_core);
+        }
+    }
+
+    #[test]
+    fn engine_and_reference_builds_agree_on_running_example() {
+        let (_, _, i, j, cands) = running_example();
+        let engine = CoverageModel::build(&i, &j, &cands);
+        let reference = CoverageModel::build_reference(&i, &j, &cands, &CoverageOptions::default());
+        assert_eq!(engine.covers, reference.covers);
+        assert_eq!(engine.sizes, reference.sizes);
+        assert_eq!(engine.error_counts, reference.error_counts);
+        assert_eq!(engine.errors.len(), reference.errors.len());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!   never be equal verbatim).
 
 use cms_data::{multiset_overlap, pattern_multiset, Instance};
-use cms_tgd::{chase, StTgd};
+use cms_tgd::{ChaseEngine, StTgd};
 
 /// Precision / recall / F1.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -70,10 +70,16 @@ pub fn data_prf(
     selected: &[usize],
     gold: &[usize],
 ) -> Prf {
-    let pick =
-        |idxs: &[usize]| -> Vec<StTgd> { idxs.iter().map(|&i| candidates[i].clone()).collect() };
-    let k_sel = chase(source, &pick(selected));
-    let k_gold = chase(source, &pick(gold));
+    // Exchange through the batched engine (merged solution per selection);
+    // patterns are invariant under its null renaming.
+    let exchange = |idxs: &[usize]| -> Instance {
+        let picked: Vec<StTgd> = idxs.iter().map(|&i| candidates[i].clone()).collect();
+        ChaseEngine::new(&picked)
+            .unwrap_or_else(|e| panic!("data_prf: invalid candidate tgd: {e}"))
+            .chase_merged(source)
+    };
+    let k_sel = exchange(selected);
+    let k_gold = exchange(gold);
     let (ms, mg) = (pattern_multiset(&k_sel), pattern_multiset(&k_gold));
     let overlap = multiset_overlap(&ms, &mg);
     let n_sel: usize = ms.values().sum();

@@ -8,79 +8,425 @@
 //! Because st tgds only ever read the source and write the target, a single
 //! pass terminates — no fixpoint is needed. Firings are deduplicated at the
 //! tuple level by the set semantics of [`Instance`].
+//!
+//! ## Validation and firing plans
+//!
+//! Head instantiation is compiled once per tgd into a [`FirePlan`]: every
+//! head position is classified up front as a constant, a body-bound
+//! variable slot, or a dense existential slot. Classification is the chase's
+//! **validation step** — a malformed tgd is rejected with a structured
+//! [`ChaseError`] *before any tuple is emitted*, never by a panic in the
+//! middle of a chase (same pattern as the grounding engine's up-front arity
+//! validation). The infallible entry points ([`chase`], [`chase_one`],
+//! [`chase_into`]) validate first and panic with the rendered error only if
+//! handed an invalid tgd; the `try_` variants return it.
+//!
+//! Firing via a plan also hoists the per-firing existential-null map into a
+//! per-tgd scratch buffer indexed by dense existential slot — existentials
+//! are a small fixed list per tgd, so no hashing or allocation happens per
+//! firing.
+//!
+//! ## Firing order and null determinism
+//!
+//! [`chase`]/[`chase_one`] fire bindings in matcher enumeration order (an
+//! internal plan order). The `*_canonical` variants instead sort each tgd's
+//! bindings by their universal-variable values before firing, making null
+//! assignment a pure function of the (source, tgd-list) pair: this is the
+//! deterministic firing-order contract the batched
+//! [`crate::engine::ChaseEngine`] is bit-identical to. All variants are
+//! equivalent up to null renaming.
 
 use crate::dependency::StTgd;
 use crate::matcher::{match_conjunction, Binding};
-use crate::term::Term;
-use cms_data::{FxHashMap, Instance, NullFactory, Tuple, Value};
+use crate::term::{Term, VarId};
+use cms_data::{Instance, NullFactory, RelId, Sym, Tuple, Value};
+use std::fmt;
+
+/// Structural chase-validation failures, detected before any firing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChaseError {
+    /// A head variable is neither bound by the body nor listed existential.
+    /// Unreachable for tgds whose `body`/`head` agree with the accessors of
+    /// [`StTgd`] (existentials are *defined* as the head-minus-body
+    /// variables); kept as the structured defense that replaces the old
+    /// mid-chase `expect` panic.
+    UnboundHeadVar {
+        /// Index of the offending atom within the head.
+        atom: usize,
+        /// Term position within that atom.
+        term: usize,
+        /// The unclassifiable variable.
+        var: VarId,
+    },
+}
+
+impl fmt::Display for ChaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseError::UnboundHeadVar { atom, term, var } => write!(
+                f,
+                "head atom {atom}, term {term}: variable ?{} is neither bound by the body nor existential",
+                var.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChaseError {}
+
+/// One head position of a compiled firing plan.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Slot {
+    /// Emit this constant.
+    Const(Sym),
+    /// Copy the i-th universal variable's value (index into
+    /// [`FirePlan::universals`] order).
+    Bound(u32),
+    /// Emit the k-th existential null of the firing (dense slot).
+    Exist(u32),
+}
+
+/// A compiled, validated head-instantiation plan for one tgd.
+///
+/// Constructed once per tgd ([`FirePlan::new`] is the chase's up-front
+/// validation); firing a binding is then a branch-free slot copy with a
+/// reusable existential scratch buffer.
+#[derive(Clone, Debug)]
+pub struct FirePlan {
+    /// Universal (body) variables in ascending id order — the order in
+    /// which [`FirePlan::fire`] expects its `values`.
+    univ: Vec<VarId>,
+    /// Per head atom: target relation and compiled slots.
+    head: Vec<(RelId, Vec<Slot>)>,
+    /// Number of existential variables.
+    n_exist: usize,
+    /// True iff no two head atoms target the same relation — the batch
+    /// firer may then emit atom-major without changing any relation's row
+    /// order versus firing-major.
+    distinct_head_rels: bool,
+    /// Per head atom: (emits an existential null, reads every universal
+    /// variable) — the two per-atom distinctness guarantees.
+    atom_flags: Vec<(bool, bool)>,
+}
+
+impl FirePlan {
+    /// Compile and validate the head of `tgd`. Returns
+    /// [`ChaseError::UnboundHeadVar`] if any head variable cannot be
+    /// classified as body-bound or existential.
+    pub fn new(tgd: &StTgd) -> Result<FirePlan, ChaseError> {
+        // Dense per-variable slot tables (no hashing; variable namespaces
+        // are small).
+        let num_vars = tgd.num_vars();
+        let mut in_body = vec![false; num_vars];
+        for atom in &tgd.body {
+            for v in atom.vars() {
+                in_body[v.index()] = true;
+            }
+        }
+        let mut univ: Vec<VarId> = Vec::new();
+        let mut univ_slot = vec![u32::MAX; num_vars];
+        for (i, &b) in in_body.iter().enumerate() {
+            if b {
+                univ_slot[i] = univ.len() as u32;
+                univ.push(VarId(i as u32));
+            }
+        }
+        // Existential slots in first head-occurrence order (matching
+        // `StTgd::existential_vars`).
+        let mut exist_slot = vec![u32::MAX; num_vars];
+        let mut n_exist: u32 = 0;
+        for atom in &tgd.head {
+            for v in atom.vars() {
+                let i = v.index();
+                if !in_body[i] && exist_slot[i] == u32::MAX {
+                    exist_slot[i] = n_exist;
+                    n_exist += 1;
+                }
+            }
+        }
+
+        let mut head = Vec::with_capacity(tgd.head.len());
+        for (ai, atom) in tgd.head.iter().enumerate() {
+            let mut slots = Vec::with_capacity(atom.terms.len());
+            for (ti, t) in atom.terms.iter().enumerate() {
+                slots.push(match t {
+                    Term::Const(c) => Slot::Const(*c),
+                    Term::Var(v) => {
+                        let i = v.index();
+                        if i < num_vars && univ_slot[i] != u32::MAX {
+                            Slot::Bound(univ_slot[i])
+                        } else if i < num_vars && exist_slot[i] != u32::MAX {
+                            Slot::Exist(exist_slot[i])
+                        } else {
+                            return Err(ChaseError::UnboundHeadVar {
+                                atom: ai,
+                                term: ti,
+                                var: *v,
+                            });
+                        }
+                    }
+                });
+            }
+            head.push((atom.rel, slots));
+        }
+        let mut rels: Vec<RelId> = head.iter().map(|(r, _)| *r).collect();
+        rels.sort_unstable();
+        rels.dedup();
+        let distinct_head_rels = rels.len() == head.len();
+        let atom_flags = head
+            .iter()
+            .map(|(_, slots)| {
+                let emits_exist = slots.iter().any(|s| matches!(s, Slot::Exist(_)));
+                let mut used = vec![false; univ.len()];
+                for s in slots {
+                    if let Slot::Bound(i) = s {
+                        used[*i as usize] = true;
+                    }
+                }
+                (emits_exist, used.iter().all(|&u| u))
+            })
+            .collect();
+        Ok(FirePlan {
+            univ,
+            head,
+            n_exist: n_exist as usize,
+            distinct_head_rels,
+            atom_flags,
+        })
+    }
+
+    /// The universal variables, in the ascending-id order `fire` expects
+    /// its `values` in.
+    pub fn universals(&self) -> &[VarId] {
+        &self.univ
+    }
+
+    /// Number of existential variables (scratch-buffer size).
+    pub fn num_existentials(&self) -> usize {
+        self.n_exist
+    }
+
+    /// Number of head atoms.
+    pub fn num_head_atoms(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Target relation of head atom `atom`.
+    pub fn head_rel(&self, atom: usize) -> RelId {
+        self.head[atom].0
+    }
+
+    /// True iff no two head atoms write the same relation (then atom-major
+    /// emission preserves every relation's firing-major row order).
+    pub fn distinct_head_rels(&self) -> bool {
+        self.distinct_head_rels
+    }
+
+    /// True iff head atom `atom` emits at least one existential null. Such
+    /// tuples are pairwise distinct across firings (each firing's nulls
+    /// are fresh), the guarantee batch firers use to skip set lookups.
+    pub fn atom_emits_existential(&self, atom: usize) -> bool {
+        self.atom_flags[atom].0
+    }
+
+    /// True iff head atom `atom` reads **every** universal variable: its
+    /// tuple then determines the whole firing vector, so distinct firings
+    /// emit distinct tuples — the ground-atom analogue of the fresh-null
+    /// distinctness guarantee.
+    pub fn atom_covers_all_universals(&self, atom: usize) -> bool {
+        self.atom_flags[atom].1
+    }
+
+    /// Arity of head atom `atom`.
+    pub fn head_arity(&self, atom: usize) -> usize {
+        self.head[atom].1.len()
+    }
+
+    /// Instantiate head atom `atom` for the firing whose existential nulls
+    /// start at id `null_base` (existential slot `k` becomes null
+    /// `null_base + k` — exactly the ids [`FirePlan::fire`] would draw
+    /// from a factory positioned at `null_base`).
+    pub fn instantiate(&self, atom: usize, values: &[Value], null_base: u32) -> Vec<Value> {
+        let mut out = Vec::with_capacity(self.head_arity(atom));
+        self.instantiate_into(atom, values, null_base, &mut out);
+        out
+    }
+
+    /// [`FirePlan::instantiate`] into a caller-owned buffer (appends; no
+    /// allocation) — the flat-emission path of the batch firer.
+    pub fn instantiate_into(
+        &self,
+        atom: usize,
+        values: &[Value],
+        null_base: u32,
+        out: &mut Vec<Value>,
+    ) {
+        out.extend(self.head[atom].1.iter().map(|s| match s {
+            Slot::Const(c) => Value::Const(*c),
+            Slot::Bound(i) => values[*i as usize],
+            Slot::Exist(k) => Value::Null(cms_data::NullId(null_base + k)),
+        }));
+    }
+
+    /// Instantiate the head for one firing.
+    ///
+    /// `values` holds the universal variables' values in
+    /// [`FirePlan::universals`] order; `scratch` is a per-tgd buffer reused
+    /// across firings (cleared and refilled with this firing's fresh
+    /// nulls — no per-firing allocation after the first call). Returns the
+    /// number of *new* tuples inserted into `target`.
+    pub fn fire(
+        &self,
+        values: &[Value],
+        target: &mut Instance,
+        nulls: &mut NullFactory,
+        scratch: &mut Vec<Value>,
+    ) -> usize {
+        scratch.clear();
+        scratch.extend((0..self.n_exist).map(|_| Value::Null(nulls.fresh())));
+        let mut added = 0;
+        for (rel, slots) in &self.head {
+            let args: Vec<Value> = slots
+                .iter()
+                .map(|s| match s {
+                    Slot::Const(c) => Value::Const(*c),
+                    Slot::Bound(i) => values[*i as usize],
+                    Slot::Exist(k) => scratch[*k as usize],
+                })
+                .collect();
+            if target.insert(Tuple::new(*rel, args)) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Project one matcher binding onto the universal-variable order,
+    /// appending into `values` (cleared first).
+    fn project(&self, binding: &Binding, values: &mut Vec<Value>) {
+        values.clear();
+        values.extend(self.univ.iter().map(|v| {
+            binding[v.index()].expect("matcher binds every universal variable of a matched body")
+        }));
+    }
+}
+
+/// Compile plans for a whole candidate set, validating every tgd before
+/// any of them fires.
+pub fn prepare_plans(tgds: &[StTgd]) -> Result<Vec<FirePlan>, ChaseError> {
+    tgds.iter().map(FirePlan::new).collect()
+}
 
 /// Chase `source` with a single tgd, appending produced tuples to `target`
 /// and drawing nulls from `nulls`. Returns the number of *new* tuples.
+pub fn try_chase_into(
+    source: &Instance,
+    tgd: &StTgd,
+    target: &mut Instance,
+    nulls: &mut NullFactory,
+) -> Result<usize, ChaseError> {
+    let plan = FirePlan::new(tgd)?;
+    Ok(chase_into_prepared(
+        source, tgd, &plan, target, nulls, false,
+    ))
+}
+
+/// Shared single-tgd driver: enumerate bindings, optionally sort them into
+/// canonical order, fire through the plan.
+fn chase_into_prepared(
+    source: &Instance,
+    tgd: &StTgd,
+    plan: &FirePlan,
+    target: &mut Instance,
+    nulls: &mut NullFactory,
+    canonical: bool,
+) -> usize {
+    let bindings = match_conjunction(&tgd.body, source, tgd.num_vars());
+    let mut scratch = Vec::with_capacity(plan.num_existentials());
+    let mut added = 0;
+    if canonical {
+        let mut firings: Vec<Vec<Value>> = bindings
+            .iter()
+            .map(|b| {
+                let mut values = Vec::with_capacity(plan.univ.len());
+                plan.project(b, &mut values);
+                values
+            })
+            .collect();
+        firings.sort_unstable();
+        for values in &firings {
+            added += plan.fire(values, target, nulls, &mut scratch);
+        }
+    } else {
+        let mut values = Vec::with_capacity(plan.univ.len());
+        for binding in &bindings {
+            plan.project(binding, &mut values);
+            added += plan.fire(&values, target, nulls, &mut scratch);
+        }
+    }
+    added
+}
+
+/// Infallible [`try_chase_into`]: panics — up front, before emitting any
+/// tuple — if `tgd` fails chase validation.
 pub fn chase_into(
     source: &Instance,
     tgd: &StTgd,
     target: &mut Instance,
     nulls: &mut NullFactory,
 ) -> usize {
-    let num_vars = tgd.num_vars();
-    let existentials = tgd.existential_vars();
-    let bindings = match_conjunction(&tgd.body, source, num_vars);
-    let mut added = 0;
-    for binding in bindings {
-        added += fire(tgd, &binding, &existentials, target, nulls);
-    }
-    added
-}
-
-/// Instantiate the head of `tgd` for one body `binding`.
-fn fire(
-    tgd: &StTgd,
-    binding: &Binding,
-    existentials: &[crate::term::VarId],
-    target: &mut Instance,
-    nulls: &mut NullFactory,
-) -> usize {
-    // Fresh nulls for this firing's existential variables.
-    let mut ext: FxHashMap<u32, Value> = FxHashMap::default();
-    for v in existentials {
-        ext.insert(v.0, Value::Null(nulls.fresh()));
-    }
-    let mut added = 0;
-    for atom in &tgd.head {
-        let args: Vec<Value> = atom
-            .terms
-            .iter()
-            .map(|t| match t {
-                Term::Const(c) => Value::Const(*c),
-                Term::Var(v) => match binding[v.index()] {
-                    Some(val) => val,
-                    None => *ext
-                        .get(&v.0)
-                        .expect("head var neither bound nor existential"),
-                },
-            })
-            .collect();
-        if target.insert(Tuple::new(atom.rel, args)) {
-            added += 1;
-        }
-    }
-    added
+    try_chase_into(source, tgd, target, nulls)
+        .unwrap_or_else(|e| panic!("chase_into: invalid tgd: {e}"))
 }
 
 /// Chase `source` with every tgd in `tgds`, returning the canonical
-/// universal solution. Nulls start at id 0.
-pub fn chase(source: &Instance, tgds: &[StTgd]) -> Instance {
+/// universal solution. Nulls start at id 0. Every tgd is validated before
+/// the first one fires.
+pub fn try_chase(source: &Instance, tgds: &[StTgd]) -> Result<Instance, ChaseError> {
+    let plans = prepare_plans(tgds)?;
     let mut nulls = NullFactory::new();
     let mut target = Instance::new();
-    for tgd in tgds {
-        chase_into(source, tgd, &mut target, &mut nulls);
+    for (tgd, plan) in tgds.iter().zip(&plans) {
+        chase_into_prepared(source, tgd, plan, &mut target, &mut nulls, false);
     }
-    target
+    Ok(target)
+}
+
+/// Infallible [`try_chase`]: panics — up front, before emitting any
+/// tuple — if any tgd fails chase validation.
+pub fn chase(source: &Instance, tgds: &[StTgd]) -> Instance {
+    try_chase(source, tgds).unwrap_or_else(|e| panic!("chase: invalid tgd: {e}"))
 }
 
 /// Chase with a single tgd (fresh null namespace).
 pub fn chase_one(source: &Instance, tgd: &StTgd) -> Instance {
     chase(source, std::slice::from_ref(tgd))
+}
+
+/// Fallible [`chase_one`].
+pub fn try_chase_one(source: &Instance, tgd: &StTgd) -> Result<Instance, ChaseError> {
+    try_chase(source, std::slice::from_ref(tgd))
+}
+
+/// [`try_chase`] with the **canonical firing order**: each tgd's bindings
+/// are sorted by their universal-variable values before firing, so null
+/// assignment (and therefore the exact output instance) is a pure function
+/// of `(source, tgds)`. This is the reference the batched
+/// [`crate::engine::ChaseEngine`] is bit-identical to.
+pub fn chase_canonical(source: &Instance, tgds: &[StTgd]) -> Result<Instance, ChaseError> {
+    let plans = prepare_plans(tgds)?;
+    let mut nulls = NullFactory::new();
+    let mut target = Instance::new();
+    for (tgd, plan) in tgds.iter().zip(&plans) {
+        chase_into_prepared(source, tgd, plan, &mut target, &mut nulls, true);
+    }
+    Ok(target)
+}
+
+/// Single-tgd [`chase_canonical`] (fresh null namespace), matching one
+/// element of [`crate::engine::ChaseEngine::chase_all`] bit for bit.
+pub fn chase_one_canonical(source: &Instance, tgd: &StTgd) -> Result<Instance, ChaseError> {
+    chase_canonical(source, std::slice::from_ref(tgd))
 }
 
 #[cfg(test)]
@@ -227,5 +573,75 @@ mod tests {
         j.insert_ground(RelId(0), &["BigData", "Bob", "111"]);
         j.insert_ground(RelId(0), &["ML", "Alice", "222"]);
         assert!(cms_data::homomorphic(&k, &j));
+    }
+
+    #[test]
+    fn fire_plan_classifies_every_head_slot() {
+        let plan = FirePlan::new(&theta3()).unwrap();
+        assert_eq!(plan.universals(), &[VarId(0), VarId(1), VarId(2)]);
+        assert_eq!(plan.num_existentials(), 2);
+        // Validation happens up front for the whole candidate set.
+        assert_eq!(prepare_plans(&[theta1(), theta3()]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn chase_error_renders_the_offending_position() {
+        let e = ChaseError::UnboundHeadVar {
+            atom: 1,
+            term: 2,
+            var: VarId(7),
+        };
+        assert_eq!(
+            e.to_string(),
+            "head atom 1, term 2: variable ?7 is neither bound by the body nor existential"
+        );
+    }
+
+    #[test]
+    fn canonical_chase_is_deterministic_and_renaming_equivalent() {
+        let src = source();
+        let tgds = [theta1(), theta3()];
+        let a = chase_canonical(&src, &tgds).unwrap();
+        let b = chase_canonical(&src, &tgds).unwrap();
+        assert_eq!(a.to_tuples(), b.to_tuples(), "pure function of inputs");
+        // Canonical vs match-order: same patterns, same null-sharing.
+        let naive = chase(&src, &tgds);
+        assert_eq!(
+            cms_data::pattern_multiset(&a),
+            cms_data::pattern_multiset(&naive)
+        );
+        assert!(cms_data::hom_equivalent(&a, &naive));
+    }
+
+    #[test]
+    fn canonical_firing_order_ignores_source_insertion_order() {
+        // The same source built in two insertion orders: the canonical
+        // chase must produce bit-identical outputs (same tuples, same row
+        // order, same null ids), unlike the match-order chase whose null
+        // assignment follows enumeration order.
+        let mut fwd = Instance::new();
+        fwd.insert_ground(RelId(0), &["ML", "9"]);
+        fwd.insert_ground(RelId(0), &["BigData", "7"]);
+        fwd.insert_ground(RelId(1), &["7", "Bob"]);
+        fwd.insert_ground(RelId(1), &["9", "Alice"]);
+        let mut rev = Instance::new();
+        rev.insert_ground(RelId(1), &["9", "Alice"]);
+        rev.insert_ground(RelId(1), &["7", "Bob"]);
+        rev.insert_ground(RelId(0), &["BigData", "7"]);
+        rev.insert_ground(RelId(0), &["ML", "9"]);
+        let a = chase_one_canonical(&fwd, &theta3()).unwrap();
+        let b = chase_one_canonical(&rev, &theta3()).unwrap();
+        assert_eq!(a.to_tuples(), b.to_tuples());
+    }
+
+    #[test]
+    fn empty_body_tgd_fires_exactly_once() {
+        // ∅ -> r1(E): one firing, one fresh null — matcher semantics give
+        // the empty conjunction a single (empty) binding.
+        let t = StTgd::new(vec![], vec![Atom::new(RelId(1), vec![v(0)])], vec![]);
+        let k = chase_one(&source(), &t);
+        assert_eq!(k.total_len(), 1);
+        let canonical = chase_one_canonical(&source(), &t).unwrap();
+        assert_eq!(canonical.total_len(), 1);
     }
 }

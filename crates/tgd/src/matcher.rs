@@ -146,6 +146,31 @@ fn plan_order(
     order
 }
 
+/// Shortest posting list among an atom's bound argument positions, or
+/// `None` when nothing is bound (the caller falls back to a scan). Shared
+/// by this matcher and the trie engine so both pick probes identically;
+/// `value_at(col)` reports the column's bound value, if any. Stops early
+/// on an empty list — nothing can beat it.
+pub(crate) fn shortest_postings<'a>(
+    idx: &'a ColIndexRef<'_>,
+    arity: usize,
+    mut value_at: impl FnMut(usize) -> Option<Value>,
+) -> Option<&'a [u32]> {
+    let mut best: Option<&[u32]> = None;
+    for col in 0..arity {
+        if let Some(value) = value_at(col) {
+            let postings = idx.postings(col, &value);
+            if best.is_none_or(|b: &[u32]| postings.len() < b.len()) {
+                best = Some(postings);
+                if postings.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+    best
+}
+
 /// Immutable execution context threaded through the recursion.
 struct Exec<'a, 'g> {
     atoms: &'a [Atom],
@@ -175,24 +200,12 @@ fn search(
     let idx = exec.guards[exec.rel_slots[&atom.rel]].as_ref();
 
     // Probe: shortest posting list among bound argument positions.
-    let mut best: Option<&[u32]> = None;
-    if let Some(idx) = idx {
-        for (col, t) in atom.terms.iter().enumerate() {
-            let value = match t {
-                Term::Const(c) => Some(Value::Const(*c)),
-                Term::Var(v) => binding[v.index()],
-            };
-            if let Some(value) = value {
-                let p = idx.postings(col, &value);
-                if best.is_none_or(|b: &[u32]| p.len() < b.len()) {
-                    best = Some(p);
-                    if p.is_empty() {
-                        break;
-                    }
-                }
-            }
-        }
-    }
+    let best = idx.and_then(|idx| {
+        shortest_postings(idx, atom.arity(), |col| match &atom.terms[col] {
+            Term::Const(c) => Some(Value::Const(*c)),
+            Term::Var(v) => binding[v.index()],
+        })
+    });
 
     let visit =
         |row: &[Value], binding: &mut Binding, trail: &mut Vec<usize>, out: &mut Vec<Binding>| {
@@ -228,13 +241,21 @@ fn search(
 
 /// Try to unify one atom against one row under the current binding,
 /// recording newly bound variable indices for backtracking.
+///
+/// A row whose arity differs from the atom's never matches. (Historically
+/// this was only a `debug_assert`, so in release builds an arity-mismatched
+/// row would silently unify against a *prefix* of the atom, leaving
+/// trailing variables unbound — the one way a body variable could reach
+/// head instantiation unbound and abort the chase mid-run.)
 fn unify_atom(
     atom: &Atom,
     row: &[Value],
     binding: &mut Binding,
     bound_here: &mut Vec<usize>,
 ) -> bool {
-    debug_assert_eq!(atom.arity(), row.len(), "schema/instance arity mismatch");
+    if atom.arity() != row.len() {
+        return false;
+    }
     for (t, v) in atom.terms.iter().zip(row.iter()) {
         match t {
             Term::Const(c) => {
@@ -413,6 +434,22 @@ mod tests {
         got.sort();
         expected.sort();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn arity_mismatched_rows_never_match() {
+        // An instance whose relation holds rows of mixed arity (nothing
+        // stops callers): an atom only matches rows of its own arity, it
+        // never unifies against a prefix.
+        let mut inst = Instance::new();
+        inst.insert_ground(RelId(0), &["a", "b"]);
+        inst.insert_ground(RelId(0), &["a"]);
+        let unary = vec![Atom::new(RelId(0), vec![v(0)])];
+        let res = match_conjunction(&unary, &inst, 1);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0][0], Some(Value::constant("a")));
+        let binary = vec![Atom::new(RelId(0), vec![v(0), v(1)])];
+        assert_eq!(match_conjunction(&binary, &inst, 2).len(), 1);
     }
 
     #[test]

@@ -1,0 +1,518 @@
+//! Shared body-prefix trie over canonicalized candidate bodies.
+//!
+//! Candidate generation emits dozens of st tgds whose bodies are identical
+//! or near-identical (one body per source logical relation, reused for
+//! every target pairing and every conflicting-correspondence alternative).
+//! Chasing them one at a time re-joins the same conjunction against the
+//! source over and over. The trie removes that duplication structurally:
+//!
+//! 1. every body is **canonicalized** — atoms greedily reordered into a
+//!    deterministic sequence and variables renamed to dense canonical ids
+//!    in first-use order ([`canonical_body`]); structurally equal bodies
+//!    (up to variable renaming and atom permutation) map to the *same*
+//!    canonical sequence, and near-identical bodies share sequence
+//!    prefixes;
+//! 2. canonical sequences are interned into a prefix trie; each node holds
+//!    one canonical atom and the tgds whose body ends there hang off the
+//!    node ([`BodyTrie`]).
+//!
+//! The chase engine (see [`crate::engine`]) then evaluates each trie node's
+//! atom **once** per partial binding, no matter how many tgds share the
+//! prefix below it.
+//!
+//! ## Canonical ordering
+//!
+//! Atom selection is greedy-minimal over provisional canonical forms:
+//! at each step the lexicographically smallest remaining atom is picked,
+//! where constants order before already-canonicalized (bound) variables and
+//! bound variables before fresh ones; ties between structurally identical
+//! atoms (self-joins) are resolved by exploring every tied completion and
+//! keeping the smallest, so the result is the true lexicographic minimum
+//! over all atom orders. This (a) is a pure function of the body's
+//! structure, so equal bodies always share paths, and (b) prefers
+//! join-connected extensions — an atom reusing bound variables beats one
+//! introducing only fresh variables — which keeps trie evaluation from
+//! degenerating into cartesian products.
+
+use crate::atom::Atom;
+use crate::dependency::StTgd;
+use crate::term::Term;
+use cms_data::{RelId, Sym};
+
+/// A term of a canonicalized body atom.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum CanonTerm {
+    /// A ground constant (orders before variables).
+    Const(Sym),
+    /// A canonical variable id, dense per body, assigned in first-use order
+    /// along the canonical atom sequence.
+    Var(u32),
+}
+
+/// A body atom with variables renamed to canonical ids.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct CanonAtom {
+    /// The source relation.
+    pub rel: RelId,
+    /// Canonicalized argument terms.
+    pub terms: Vec<CanonTerm>,
+}
+
+/// Canonicalize `body`: returns the canonical atom sequence, the mapping
+/// from original variable index to canonical id (`None` for variables not
+/// occurring in the body), and the number of canonical variables.
+///
+/// The result is invariant under variable renaming and atom permutation of
+/// `body` — the sequence is the lexicographic minimum over all atom
+/// orders: the greedy-minimal pick is exact when unique, and ties (which
+/// only occur between structurally identical atoms, e.g. self-joins) are
+/// resolved by exploring each tied choice and keeping the smallest full
+/// sequence. Distinct tied choices that yield the same minimal sequence
+/// are body automorphisms, so the binding sets the engine enumerates are
+/// unaffected by which one wins. `num_vars` is the original
+/// variable-namespace size (see [`StTgd::num_vars`]).
+pub fn canonical_body(body: &[Atom], num_vars: usize) -> (Vec<CanonAtom>, Vec<Option<u32>>, u32) {
+    let remaining: Vec<usize> = (0..body.len()).collect();
+    let canon_of: Vec<Option<u32>> = vec![None; num_vars];
+    canonical_rec(body, remaining, canon_of, 0)
+}
+
+/// Provisional canonical form of one atom under the current assignment:
+/// fresh variables are numbered from `next` in position order, so they
+/// compare after every bound variable (bound ids are all < `next`).
+fn provisional(atom: &Atom, canon_of: &[Option<u32>], next: u32) -> CanonAtom {
+    let mut fresh: Vec<(u32, u32)> = Vec::new(); // (orig var, provisional id)
+    let terms = atom
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => CanonTerm::Const(*c),
+            Term::Var(v) => {
+                if let Some(id) = canon_of[v.index()] {
+                    CanonTerm::Var(id)
+                } else if let Some(&(_, id)) = fresh.iter().find(|&&(o, _)| o == v.0) {
+                    CanonTerm::Var(id)
+                } else {
+                    let id = next + fresh.len() as u32;
+                    fresh.push((v.0, id));
+                    CanonTerm::Var(id)
+                }
+            }
+        })
+        .collect();
+    CanonAtom {
+        rel: atom.rel,
+        terms,
+    }
+}
+
+/// Greedy-minimal canonicalization with exhaustive tie exploration.
+/// Iterates in place while the minimal provisional form is unique and
+/// recurses only on ties, so the common (tie-free) case stays linear in
+/// picks; tied branches are bounded by the factorial of the tie width,
+/// and bodies are small.
+fn canonical_rec(
+    body: &[Atom],
+    mut remaining: Vec<usize>,
+    mut canon_of: Vec<Option<u32>>,
+    mut next: u32,
+) -> (Vec<CanonAtom>, Vec<Option<u32>>, u32) {
+    let mut out: Vec<CanonAtom> = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let forms: Vec<CanonAtom> = remaining
+            .iter()
+            .map(|&ai| provisional(&body[ai], &canon_of, next))
+            .collect();
+        let min_form = forms.iter().min().expect("non-empty remaining").clone();
+        let tied: Vec<usize> = (0..remaining.len())
+            .filter(|&s| forms[s] == min_form)
+            .collect();
+        let commit = |slot: usize,
+                      remaining: &[usize],
+                      canon_of: &[Option<u32>],
+                      next: u32|
+         -> (Vec<usize>, Vec<Option<u32>>, u32) {
+            let mut rest = remaining.to_vec();
+            let ai = rest.remove(slot);
+            let mut canon_of = canon_of.to_vec();
+            let mut next = next;
+            for t in &body[ai].terms {
+                if let Term::Var(v) = t {
+                    if canon_of[v.index()].is_none() {
+                        canon_of[v.index()] = Some(next);
+                        next += 1;
+                    }
+                }
+            }
+            (rest, canon_of, next)
+        };
+        if tied.len() == 1 {
+            let (rest, c, n) = commit(tied[0], &remaining, &canon_of, next);
+            remaining = rest;
+            canon_of = c;
+            next = n;
+            out.push(min_form);
+        } else {
+            // Structurally identical candidates: the committed fresh-var
+            // assignment differs per choice, so explore each and keep the
+            // lexicographically smallest completion (first winner on
+            // exact ties — an automorphism, see `canonical_body`).
+            let mut best: Option<(Vec<CanonAtom>, Vec<Option<u32>>, u32)> = None;
+            for &slot in &tied {
+                let (rest, c, n) = commit(slot, &remaining, &canon_of, next);
+                let cand = canonical_rec(body, rest, c, n);
+                if best.as_ref().is_none_or(|b| cand.0 < b.0) {
+                    best = Some(cand);
+                }
+            }
+            let (tail, c, n) = best.expect("tied is non-empty");
+            out.push(min_form);
+            out.extend(tail);
+            return (out, c, n);
+        }
+    }
+    (out, canon_of, next)
+}
+
+/// One tgd attached to a trie node (its canonical body ends there).
+#[derive(Clone, Debug)]
+pub struct TgdEntry {
+    /// Index of the tgd in the candidate slice the trie was built from.
+    pub tgd: usize,
+    /// Canonical ids of the tgd's universal variables, listed in ascending
+    /// *original* variable-id order — the projection used to extract one
+    /// firing vector from a canonical binding (see
+    /// [`crate::chase::FirePlan::universals`], which lists the same
+    /// variables in the same order).
+    pub canon_of_univ: Vec<u32>,
+}
+
+/// One node of the body-prefix trie.
+#[derive(Clone, Debug)]
+pub struct TrieNode {
+    /// The canonical atom matched when entering this node.
+    pub atom: CanonAtom,
+    /// Child node indices, in insertion (candidate) order.
+    pub children: Vec<u32>,
+    /// Tgds whose canonical body ends at this node.
+    pub tgds: Vec<TgdEntry>,
+    /// Number of tgds attached at or below this node — how many naive
+    /// per-tgd chases would re-evaluate this node's prefix.
+    pub subtree_tgds: usize,
+    /// True iff some argument can be bound when this node is entered (a
+    /// constant, or a variable introduced by an ancestor) — only then is a
+    /// column-index probe ever possible; scan-only nodes skip index
+    /// acquisition entirely.
+    pub probeable: bool,
+}
+
+/// A prefix trie over the canonicalized bodies of a candidate set.
+#[derive(Clone, Debug, Default)]
+pub struct BodyTrie {
+    /// All nodes; children always have larger indices than their parent.
+    pub nodes: Vec<TrieNode>,
+    /// Indices of the depth-1 nodes (first canonical atom of each distinct
+    /// body), in insertion order.
+    pub roots: Vec<u32>,
+    /// Tgds with an empty body (they fire once, unconditionally).
+    pub root_tgds: Vec<TgdEntry>,
+    /// Total number of tgds interned.
+    pub num_tgds: usize,
+    /// Size of the shared canonical binding buffer (max canonical variable
+    /// count over all bodies).
+    pub num_canon_vars: usize,
+}
+
+impl BodyTrie {
+    /// Intern every tgd body into a fresh trie. Deterministic: the trie
+    /// shape and all orders are pure functions of the candidate slice.
+    pub fn build(tgds: &[StTgd]) -> BodyTrie {
+        let mut trie = BodyTrie {
+            num_tgds: tgds.len(),
+            ..BodyTrie::default()
+        };
+        // Candgen emits the same body verbatim for many heads — memoize
+        // canonicalization on the exact atom sequence.
+        type Canon = (Vec<CanonAtom>, Vec<Option<u32>>, u32);
+        let mut memo: cms_data::FxHashMap<&[crate::atom::Atom], Canon> =
+            cms_data::FxHashMap::default();
+        for (index, tgd) in tgds.iter().enumerate() {
+            let num_vars = tgd.num_vars();
+            let (atoms, canon_of, n_canon) = memo
+                .entry(&tgd.body)
+                .or_insert_with(|| canonical_body(&tgd.body, num_vars))
+                .clone();
+            trie.num_canon_vars = trie.num_canon_vars.max(n_canon as usize);
+
+            // Universal vars in ascending original id order, mapped to
+            // their canonical ids. (`canon_of` covers the body's variable
+            // range; head-only variables are never universal.)
+            let canon_of_univ: Vec<u32> = canon_of.iter().filter_map(|&c| c).collect();
+            let entry = TgdEntry {
+                tgd: index,
+                canon_of_univ,
+            };
+
+            // Walk/extend the path for this canonical sequence, tracking
+            // how many canonical variables the prefix has introduced so
+            // far (shared prefixes agree on this by construction).
+            let mut at: Option<usize> = None; // None = virtual root
+            let mut bound: u32 = 0;
+            for atom in atoms {
+                let probeable = atom.terms.iter().any(|t| match t {
+                    CanonTerm::Const(_) => true,
+                    CanonTerm::Var(v) => *v < bound,
+                });
+                for t in &atom.terms {
+                    if let CanonTerm::Var(v) = t {
+                        bound = bound.max(v + 1);
+                    }
+                }
+                let siblings: &[u32] = match at {
+                    None => &trie.roots,
+                    Some(p) => &trie.nodes[p].children,
+                };
+                let found = siblings
+                    .iter()
+                    .find(|&&c| trie.nodes[c as usize].atom == atom)
+                    .copied();
+                let node = match found {
+                    Some(c) => c as usize,
+                    None => {
+                        let c = trie.nodes.len();
+                        trie.nodes.push(TrieNode {
+                            atom,
+                            children: Vec::new(),
+                            tgds: Vec::new(),
+                            subtree_tgds: 0,
+                            probeable,
+                        });
+                        match at {
+                            None => trie.roots.push(c as u32),
+                            Some(p) => trie.nodes[p].children.push(c as u32),
+                        }
+                        c
+                    }
+                };
+                at = Some(node);
+            }
+            match at {
+                None => trie.root_tgds.push(entry),
+                Some(n) => trie.nodes[n].tgds.push(entry),
+            }
+        }
+
+        // Children always have larger indices than their parents, so one
+        // reverse sweep accumulates subtree tgd counts bottom-up.
+        for i in (0..trie.nodes.len()).rev() {
+            let kids = std::mem::take(&mut trie.nodes[i].children);
+            let below: usize = kids
+                .iter()
+                .map(|&c| trie.nodes[c as usize].subtree_tgds)
+                .sum();
+            trie.nodes[i].children = kids;
+            trie.nodes[i].subtree_tgds = trie.nodes[i].tgds.len() + below;
+        }
+        trie
+    }
+
+    /// Number of trie nodes (excluding the virtual root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the trie interns no body atoms.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::VarId;
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    fn tgd(body: Vec<Atom>) -> StTgd {
+        // Head is irrelevant to the trie; give every tgd the same one.
+        StTgd::new(body, vec![Atom::new(RelId(9), vec![v(0)])], vec![])
+    }
+
+    #[test]
+    fn canonicalization_invariant_under_renaming_and_permutation() {
+        let a = vec![
+            Atom::new(RelId(0), vec![v(0), v(1)]),
+            Atom::new(RelId(1), vec![v(1), v(2)]),
+        ];
+        let b = vec![
+            Atom::new(RelId(1), vec![v(7), v(3)]),
+            Atom::new(RelId(0), vec![v(5), v(7)]),
+        ];
+        let (ca, _, na) = canonical_body(&a, 3);
+        let (cb, _, nb) = canonical_body(&b, 8);
+        assert_eq!(ca, cb);
+        assert_eq!(na, nb);
+    }
+
+    #[test]
+    fn canonicalization_resolves_self_join_ties_order_invariantly() {
+        // Two structurally identical r0 atoms tie in provisional form; the
+        // tie must be broken by exploring both completions, not by input
+        // position, or the two listings below canonicalize differently.
+        let a = vec![
+            Atom::new(RelId(0), vec![v(0), v(1)]),
+            Atom::new(RelId(0), vec![v(2), v(3)]),
+            Atom::new(RelId(1), vec![v(1), v(2)]),
+        ];
+        let b = vec![
+            Atom::new(RelId(0), vec![v(2), v(3)]),
+            Atom::new(RelId(0), vec![v(0), v(1)]),
+            Atom::new(RelId(1), vec![v(1), v(2)]),
+        ];
+        let (ca, _, na) = canonical_body(&a, 4);
+        let (cb, _, nb) = canonical_body(&b, 4);
+        assert_eq!(ca, cb, "self-join tie must not depend on atom order");
+        assert_eq!(na, nb);
+        // And the two bodies share one trie path.
+        let trie = BodyTrie::build(&[tgd(a), tgd(b)]);
+        assert_eq!(trie.roots.len(), 1);
+        assert_eq!(trie.len(), 3);
+    }
+
+    #[test]
+    fn probeable_marks_joinable_nodes_only() {
+        // proj(x,c) & team(c,e): the root introduces only fresh variables
+        // (scan-only); the join atom reuses c and is probeable. A constant
+        // argument makes even a root probeable.
+        let join = tgd(vec![
+            Atom::new(RelId(0), vec![v(0), v(1)]),
+            Atom::new(RelId(1), vec![v(1), v(2)]),
+        ]);
+        let with_const = tgd(vec![Atom::new(RelId(2), vec![Term::constant("k"), v(0)])]);
+        let trie = BodyTrie::build(&[join, with_const]);
+        let flags: Vec<(RelId, bool)> = trie
+            .nodes
+            .iter()
+            .map(|n| (n.atom.rel, n.probeable))
+            .collect();
+        assert!(flags.contains(&(RelId(0), false)), "{flags:?}");
+        assert!(flags.contains(&(RelId(1), true)), "{flags:?}");
+        assert!(flags.contains(&(RelId(2), true)), "{flags:?}");
+    }
+
+    #[test]
+    fn identical_bodies_share_one_path() {
+        let body = || {
+            vec![
+                Atom::new(RelId(0), vec![v(0), v(1)]),
+                Atom::new(RelId(1), vec![v(1), v(2)]),
+            ]
+        };
+        let tgds = vec![tgd(body()), tgd(body()), tgd(body())];
+        let trie = BodyTrie::build(&tgds);
+        assert_eq!(trie.len(), 2, "one path of two atoms");
+        assert_eq!(trie.roots.len(), 1);
+        let leaf = trie
+            .nodes
+            .iter()
+            .find(|n| !n.tgds.is_empty())
+            .expect("leaf with tgds");
+        assert_eq!(leaf.tgds.len(), 3);
+        assert_eq!(trie.nodes[trie.roots[0] as usize].subtree_tgds, 3);
+    }
+
+    #[test]
+    fn nested_bodies_share_the_common_prefix() {
+        let short = tgd(vec![Atom::new(RelId(0), vec![v(0), v(1)])]);
+        let long = tgd(vec![
+            Atom::new(RelId(0), vec![v(0), v(1)]),
+            Atom::new(RelId(1), vec![v(1), v(2)]),
+        ]);
+        let trie = BodyTrie::build(&[short, long]);
+        assert_eq!(trie.len(), 2, "the r0 atom is shared");
+        assert_eq!(trie.roots.len(), 1);
+        let root = &trie.nodes[trie.roots[0] as usize];
+        assert_eq!(root.tgds.len(), 1, "short body ends at the root atom");
+        assert_eq!(root.subtree_tgds, 2);
+    }
+
+    #[test]
+    fn distinct_bodies_get_distinct_branches() {
+        let a = tgd(vec![Atom::new(RelId(0), vec![v(0), v(1)])]);
+        let b = tgd(vec![Atom::new(RelId(1), vec![v(0), v(1)])]);
+        let trie = BodyTrie::build(&[a, b]);
+        assert_eq!(trie.roots.len(), 2);
+        assert_eq!(trie.len(), 2);
+    }
+
+    #[test]
+    fn repeated_variable_distinguishes_shapes() {
+        let diag = tgd(vec![Atom::new(RelId(0), vec![v(0), v(0)])]);
+        let pair = tgd(vec![Atom::new(RelId(0), vec![v(0), v(1)])]);
+        let trie = BodyTrie::build(&[diag, pair]);
+        assert_eq!(trie.roots.len(), 2, "r0(x,x) and r0(x,y) must not merge");
+    }
+
+    #[test]
+    fn constants_participate_in_canonical_form() {
+        let c1 = tgd(vec![Atom::new(RelId(0), vec![Term::constant("k"), v(0)])]);
+        let c2 = tgd(vec![Atom::new(RelId(0), vec![Term::constant("k"), v(4)])]);
+        let c3 = tgd(vec![Atom::new(RelId(0), vec![Term::constant("z"), v(0)])]);
+        let trie = BodyTrie::build(&[c1, c2, c3]);
+        assert_eq!(trie.roots.len(), 2, "same constant shares, distinct splits");
+    }
+
+    #[test]
+    fn empty_bodies_attach_to_the_virtual_root() {
+        let empty = StTgd::new(vec![], vec![Atom::new(RelId(9), vec![v(0)])], vec![]);
+        let trie = BodyTrie::build(&[empty]);
+        assert!(trie.is_empty());
+        assert_eq!(trie.root_tgds.len(), 1);
+    }
+
+    #[test]
+    fn canonical_ordering_prefers_join_connected_atoms() {
+        // r2(x,y) & r0(z,w) & r1(y,z): the canonical order must start from
+        // the minimal atom (r0, fresh vars) but then extend through the
+        // join graph where possible.
+        let body = vec![
+            Atom::new(RelId(2), vec![v(0), v(1)]),
+            Atom::new(RelId(0), vec![v(2), v(3)]),
+            Atom::new(RelId(1), vec![v(1), v(2)]),
+        ];
+        let (seq, _, n) = canonical_body(&body, 4);
+        assert_eq!(n, 4);
+        assert_eq!(seq[0].rel, RelId(0));
+        // r1 joins on r0's first var; r2 would introduce two fresh vars, so
+        // r1 (bound var at position 1) wins the second slot.
+        assert_eq!(seq[1].rel, RelId(1));
+        assert_eq!(
+            seq[1].terms,
+            vec![CanonTerm::Var(2), CanonTerm::Var(0)],
+            "second atom reuses the bound canonical var 0"
+        );
+        assert_eq!(seq[2].rel, RelId(2));
+    }
+
+    #[test]
+    fn universal_projection_lists_vars_in_original_order() {
+        // body team(c,e) & proj(x,c): canonical order starts at proj (rel 0).
+        let t = tgd(vec![
+            Atom::new(RelId(1), vec![v(2), v(3)]),
+            Atom::new(RelId(0), vec![v(0), v(2)]),
+        ]);
+        let trie = BodyTrie::build(std::slice::from_ref(&t));
+        let entry = trie
+            .nodes
+            .iter()
+            .flat_map(|n| n.tgds.iter())
+            .next()
+            .expect("entry");
+        // Original var order 0,2,3 → canonical ids of x, c, e.
+        // proj(x,c) canonicalizes first: x→0, c→1; then team(c,e): e→2.
+        assert_eq!(entry.canon_of_univ, vec![0, 1, 2]);
+    }
+}

@@ -1,7 +1,10 @@
 //! Property-based tests for dependencies, matching, and the chase.
 
 use cms_data::{Instance, RelId, Schema, Value};
-use cms_tgd::{canonical_key, chase, chase_one, match_conjunction, Atom, StTgd, Term, VarId};
+use cms_tgd::{
+    canonical_key, chase, chase_canonical, chase_one, chase_one_canonical, match_conjunction, Atom,
+    ChaseEngine, FirePlan, StTgd, Term, VarId,
+};
 use proptest::prelude::*;
 
 /// A random source instance over two relations r0/2 and r1/2 with a small
@@ -176,6 +179,74 @@ proptest! {
         let body_vars = tgd.body_vars();
         for v in tgd.existential_vars() {
             prop_assert!(!body_vars.contains(&v));
+        }
+    }
+
+    /// Chase validation accepts every structurally consistent tgd: head
+    /// variables are always classifiable as body-bound or existential, so
+    /// plan compilation (the up-front validation pass) never fails for
+    /// tgds this crate can express.
+    #[test]
+    fn fire_plans_compile_for_all_tgds(tgd in arb_tgd()) {
+        let plan = FirePlan::new(&tgd).expect("classifiable head");
+        prop_assert_eq!(plan.num_existentials(), tgd.existential_vars().len());
+        let mut univ: Vec<VarId> = tgd.body_vars().into_iter().collect();
+        univ.sort();
+        prop_assert_eq!(plan.universals(), &univ[..]);
+    }
+
+    /// The batched chase engine is equivalent to the per-tgd naive chase
+    /// for every candidate — identical tuple-pattern multisets (null
+    /// renaming invariant) — and **bit-identical** to the canonical-order
+    /// reference, both per candidate and merged.
+    #[test]
+    fn engine_equivalent_to_per_tgd_chase(
+        inst in arb_instance(),
+        tgds in prop::collection::vec(arb_tgd(), 1..6),
+    ) {
+        let engine = ChaseEngine::new(&tgds).expect("valid candidates");
+        let (solutions, stats) = engine.chase_all_stats(&inst);
+        prop_assert_eq!(solutions.len(), tgds.len());
+        for (k, tgd) in solutions.iter().zip(&tgds) {
+            let naive = chase_one(&inst, tgd);
+            prop_assert_eq!(
+                cms_data::pattern_multiset(k),
+                cms_data::pattern_multiset(&naive),
+                "per-candidate patterns diverged"
+            );
+            prop_assert_eq!(k.total_len(), naive.total_len());
+            let canonical = chase_one_canonical(&inst, tgd).expect("valid tgd");
+            prop_assert_eq!(k.to_tuples(), canonical.to_tuples(), "not bit-identical");
+        }
+        // Merged solution: bit-identical to the canonical set chase, and
+        // pattern-equivalent to the classic match-order chase.
+        let merged = engine.chase_merged(&inst);
+        let canonical = chase_canonical(&inst, &tgds).expect("valid tgds");
+        prop_assert_eq!(merged.to_tuples(), canonical.to_tuples());
+        prop_assert_eq!(
+            cms_data::pattern_multiset(&merged),
+            cms_data::pattern_multiset(&chase(&inst, &tgds))
+        );
+        // Work accounting: computed + reused covers exactly what the naive
+        // per-tgd chases would compute, so reuse never exceeds the naive
+        // total and firings appear once per binding.
+        prop_assert!(stats.prefix_bindings_computed <= stats.naive_equivalent_bindings());
+        prop_assert_eq!(stats.tgds, tgds.len());
+    }
+
+    /// Duplicated candidates share the whole body path and fire
+    /// independently: solutions of equal candidates are bit-identical.
+    #[test]
+    fn engine_duplicate_candidates_agree(inst in arb_instance(), tgd in arb_tgd()) {
+        let tgds = vec![tgd.clone(), tgd];
+        let engine = ChaseEngine::new(&tgds).expect("valid candidates");
+        let (solutions, stats) = engine.chase_all_stats(&inst);
+        prop_assert_eq!(solutions[0].to_tuples(), solutions[1].to_tuples());
+        if stats.prefix_bindings_computed > 0 {
+            prop_assert!(
+                stats.prefix_bindings_reused >= stats.prefix_bindings_computed,
+                "every shared extension serves both duplicates: {stats:?}"
+            );
         }
     }
 }

@@ -85,5 +85,7 @@ pub mod prelude {
         Objective, ObjectiveWeights, Prf, PslCollective, Selection, SelectionOutcome, Selector,
         SetCoverInstance,
     };
-    pub use cms_tgd::{chase, chase_one, parse_tgd, var, StTgd, TgdBuilder};
+    pub use cms_tgd::{
+        chase, chase_one, parse_tgd, var, ChaseEngine, ChaseError, ChaseStats, StTgd, TgdBuilder,
+    };
 }
