@@ -9,6 +9,19 @@
 //! records both and their ratio; the acceptance bar is a ≥5× speedup on
 //! `all_primitives(4)`. `full+cold-admm` vs `delta+warm-admm` additionally
 //! time the end-to-end move evaluation including the MAP solve.
+//!
+//! The `arith-flip-*` lines exercise the arithmetic splice tables on the
+//! *declarative* collective program (whose `explain-cap` rule is a genuine
+//! summation over `covers(C,T)·inMap(C)`): each iteration re-weights one
+//! `covers` observation — a value-only delta through the summation.
+//! `arith-flip-delta/N` pays `take_delta` + `reground_owned` (the
+//! per-free-binding splice re-folds only the bindings the mutated atom
+//! feeds); `arith-flip-wholesale/N` re-grounds the explain-cap rule from
+//! scratch via `ground_arith_rule` — exactly the per-rule cost the
+//! regrounder paid before splice tables, and a *lower* bound on the old
+//! path's total (which also spliced the rest of the program). The
+//! acceptance bar is delta ≥5× faster than wholesale on
+//! `all_primitives(4)`.
 
 use cms_ibench::{generate, NoiseConfig, ScenarioConfig};
 use cms_select::{build_eval_program, CoverageModel, ObjectiveWeights};
@@ -78,6 +91,87 @@ fn bench_regrounding(c: &mut Criterion) {
                         let reused = next.total_stats().terms_reused;
                         *prior.borrow_mut() = next;
                         std::hint::black_box(reused)
+                    });
+                },
+            );
+        }
+    }
+
+    // Arithmetic-rule flips through the declarative program's explain-cap
+    // summation: per-binding splice vs wholesale arith re-ground.
+    for invocations in [1usize, 4] {
+        let model = scenario_model(invocations);
+        let selector = cms_select::PslCollective::default();
+
+        // A covers re-weight that flips between two values each iteration.
+        let flip = |program: &mut cms_psl::Program, atom: &cms_psl::GroundAtom, on: bool| {
+            let v = if on { 0.65 } else { 0.35 };
+            program.db.observe(atom.clone(), v);
+        };
+
+        // Delta path: take_delta + reground_owned splices every source and
+        // re-folds only the touched explain-cap bindings.
+        {
+            let (mut program, _) = selector.build_declarative_program(&model, &weights);
+            let covers = program.vocab.id_of("covers").expect("covers predicate");
+            let atom = program.db.atoms_of(covers)[0].clone();
+            let prior = RefCell::new(program.ground().expect("grounds"));
+            let _ = program.db.take_delta();
+            let mut on = false;
+            group.bench_with_input(
+                BenchmarkId::new("arith-flip-delta", invocations),
+                &invocations,
+                |b, _| {
+                    b.iter(|| {
+                        on = !on;
+                        flip(&mut program, &atom, on);
+                        let delta = program.db.take_delta();
+                        let next = program
+                            .reground_owned(prior.take(), &delta)
+                            .expect("regrounds");
+                        let spliced = next.total_stats().arith_bindings_spliced;
+                        *prior.borrow_mut() = next;
+                        std::hint::black_box(spliced)
+                    });
+                },
+            );
+        }
+
+        // Wholesale path: re-ground the explain-cap arith rule from
+        // scratch per flip (the pre-splice-table per-rule behavior).
+        {
+            let (mut program, _) = selector.build_declarative_program(&model, &weights);
+            let covers = program.vocab.id_of("covers").expect("covers predicate");
+            let atom = program.db.atoms_of(covers)[0].clone();
+            let ground = program.ground().expect("grounds");
+            let mut registry = cms_psl::VarRegistry::new();
+            for v in 0..ground.num_vars() {
+                registry.intern(ground.atom_of(v));
+            }
+            let rule = program.arith_rules()[0].clone();
+            assert_eq!(rule.name, "explain-cap");
+            let mut pots = Vec::new();
+            let mut cons = Vec::new();
+            let mut on = false;
+            group.bench_with_input(
+                BenchmarkId::new("arith-flip-wholesale", invocations),
+                &invocations,
+                |b, _| {
+                    b.iter(|| {
+                        on = !on;
+                        flip(&mut program, &atom, on);
+                        let _ = program.db.take_delta();
+                        pots.clear();
+                        cons.clear();
+                        let stats = cms_psl::ground_arith_rule(
+                            &rule,
+                            &program.db,
+                            &mut registry,
+                            &mut pots,
+                            &mut cons,
+                        )
+                        .expect("grounds");
+                        std::hint::black_box(stats.groundings)
                     });
                 },
             );

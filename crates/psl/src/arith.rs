@@ -18,10 +18,29 @@
 //! Hard rules ground to [`GroundConstraint`]s; weighted rules to hinge
 //! potentials on the violation (`max(0, lhs)` for `≤`, both directions for
 //! `=`).
+//!
+//! ## Grounding structure
+//!
+//! Grounding factors into three stages shared by the full grounder and the
+//! delta regrounder ([`crate::Program::reground`]):
+//!
+//! 1. [`arith_shape`] validates the rule (summation variables must occur
+//!    in some atom and not be declared twice; weights, coefficients and
+//!    constants must be finite) and derives the free-variable schema plus
+//!    the fixed number of potentials/constraints every grounding emits.
+//! 2. [`enumerate_free_bindings`] joins all atoms over the database pools
+//!    and projects onto the free variables — one binding per grounding, in
+//!    a deterministic enumeration order.
+//! 3. [`fold_free_binding`] expands one binding's summations and emits its
+//!    potential(s) or constraint, optionally reporting every ground atom
+//!    the fold instantiated (the *contributors*) so the caller can build
+//!    the per-binding splice table ([`crate::delta::ArithTable`]) that
+//!    lets `reground` re-fold exactly the bindings a mutation touches.
 
 use crate::atom::GroundAtom;
 use crate::database::{Database, Resolved};
-use crate::grounding::VarRegistry;
+use crate::delta::ArithTable;
+use crate::grounding::{GroundingError, VarRegistry};
 use crate::hinge::{ConstraintKind, GroundConstraint, GroundPotential};
 use crate::linear::LinExpr;
 use crate::rule::{RAtom, RTerm};
@@ -66,20 +85,53 @@ pub struct ArithRule {
     pub sum_vars: Vec<String>,
 }
 
-/// Errors specific to arithmetic-rule grounding.
-#[derive(Clone, PartialEq, Eq, Debug)]
+/// Errors specific to arithmetic rules — raised by
+/// [`ArithRuleBuilder::build`] and again at grounding time (the rule
+/// fields are public, so hand-assembled rules are re-validated).
+#[derive(Clone, PartialEq, Debug)]
 pub enum ArithError {
     /// A term resolved to more than one target atom (nonlinear).
     NonLinear {
         /// The rule's name.
         rule: String,
     },
-    /// A free variable appears in no atom (cannot be anchored).
-    Unanchored {
+    /// A declared summation variable occurs in no atom — almost always a
+    /// misspelled [`ArithRuleBuilder::sum_over`], which would otherwise
+    /// silently turn the intended summation variable into a free one.
+    UnusedSumVar {
         /// The rule's name.
         rule: String,
         /// The variable.
         var: String,
+    },
+    /// The same variable was declared a summation variable twice; the
+    /// second declaration shadows the first and is always a mistake.
+    DuplicateSumVar {
+        /// The rule's name.
+        rule: String,
+        /// The variable.
+        var: String,
+    },
+    /// A rule weight was negative or non-finite.
+    InvalidWeight {
+        /// The rule's name.
+        rule: String,
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A term coefficient was non-finite.
+    InvalidCoefficient {
+        /// The rule's name.
+        rule: String,
+        /// The offending coefficient.
+        coef: f64,
+    },
+    /// The rule constant was non-finite.
+    InvalidConstant {
+        /// The rule's name.
+        rule: String,
+        /// The offending constant.
+        constant: f64,
     },
 }
 
@@ -92,10 +144,34 @@ impl std::fmt::Display for ArithError {
                     "arithmetic rule {rule:?} has a term with two target atoms"
                 )
             }
-            ArithError::Unanchored { rule, var } => {
+            ArithError::UnusedSumVar { rule, var } => {
                 write!(
                     f,
-                    "arithmetic rule {rule:?}: variable {var:?} appears in no atom"
+                    "arithmetic rule {rule:?}: summation variable {var:?} occurs in no atom"
+                )
+            }
+            ArithError::DuplicateSumVar { rule, var } => {
+                write!(
+                    f,
+                    "arithmetic rule {rule:?}: summation variable {var:?} declared twice"
+                )
+            }
+            ArithError::InvalidWeight { rule, weight } => {
+                write!(
+                    f,
+                    "arithmetic rule {rule:?}: weight {weight} must be finite and non-negative"
+                )
+            }
+            ArithError::InvalidCoefficient { rule, coef } => {
+                write!(
+                    f,
+                    "arithmetic rule {rule:?}: coefficient {coef} must be finite"
+                )
+            }
+            ArithError::InvalidConstant { rule, constant } => {
+                write!(
+                    f,
+                    "arithmetic rule {rule:?}: constant {constant} must be finite"
                 )
             }
         }
@@ -163,8 +239,11 @@ impl ArithRuleBuilder {
     }
 
     /// Make the rule weighted.
+    ///
+    /// The weight is validated by [`ArithRuleBuilder::build`] (finite and
+    /// non-negative), not here — a NaN no longer panics mid-builder with a
+    /// misleading message.
     pub fn weight(mut self, w: f64) -> ArithRuleBuilder {
-        assert!(w >= 0.0, "rule weight must be non-negative");
         self.rule.weight = Some(w);
         self
     }
@@ -175,9 +254,13 @@ impl ArithRuleBuilder {
         self
     }
 
-    /// Finish.
-    pub fn build(self) -> ArithRule {
-        self.rule
+    /// Validate and finish the rule. Rejects negative or non-finite
+    /// weights, non-finite coefficients/constants, summation variables
+    /// that occur in no atom, and duplicate summation-variable
+    /// declarations.
+    pub fn build(self) -> Result<ArithRule, ArithError> {
+        arith_shape(&self.rule)?;
+        Ok(self.rule)
     }
 }
 
@@ -192,6 +275,94 @@ pub struct ArithGroundStats {
     pub constraints: usize,
 }
 
+/// The validated shape of an arithmetic rule: its free-variable schema (in
+/// first-occurrence order — the splice-table key layout) and the fixed
+/// number of potentials/constraints every grounding emits.
+#[derive(Clone, Debug)]
+pub(crate) struct ArithShape {
+    /// Free variables, in first-occurrence order.
+    pub(crate) free_vars: Vec<String>,
+    /// Potentials emitted per grounding (0, 1, or 2 — weighted equalities
+    /// emit two hinges).
+    pub(crate) pot_width: usize,
+    /// Constraints emitted per grounding (0 or 1).
+    pub(crate) con_width: usize,
+}
+
+/// Validate `rule` and derive its [`ArithShape`]. This is the single
+/// validation point shared by [`ArithRuleBuilder::build`] and every
+/// grounding path.
+pub(crate) fn arith_shape(rule: &ArithRule) -> Result<ArithShape, ArithError> {
+    if let Some(w) = rule.weight {
+        if !w.is_finite() || w < 0.0 {
+            return Err(ArithError::InvalidWeight {
+                rule: rule.name.clone(),
+                weight: w,
+            });
+        }
+    }
+    if !rule.constant.is_finite() {
+        return Err(ArithError::InvalidConstant {
+            rule: rule.name.clone(),
+            constant: rule.constant,
+        });
+    }
+    for term in &rule.terms {
+        if !term.coef.is_finite() {
+            return Err(ArithError::InvalidCoefficient {
+                rule: rule.name.clone(),
+                coef: term.coef,
+            });
+        }
+    }
+    // Every declared summation variable must actually occur in some atom
+    // (a misspelled `sum_over` would silently change semantics), and no
+    // variable may be declared twice.
+    let mut seen_sum: FxHashSet<&str> = FxHashSet::default();
+    for v in &rule.sum_vars {
+        if !seen_sum.insert(v.as_str()) {
+            return Err(ArithError::DuplicateSumVar {
+                rule: rule.name.clone(),
+                var: v.clone(),
+            });
+        }
+        let occurs = rule
+            .terms
+            .iter()
+            .flat_map(|t| &t.atoms)
+            .any(|a| a.args.iter().any(|t| matches!(t, RTerm::Var(x) if x == v)));
+        if !occurs {
+            return Err(ArithError::UnusedSumVar {
+                rule: rule.name.clone(),
+                var: v.clone(),
+            });
+        }
+    }
+    // Free variables, in first-occurrence order.
+    let mut free_vars: Vec<String> = Vec::new();
+    for term in &rule.terms {
+        for atom in &term.atoms {
+            for t in &atom.args {
+                if let RTerm::Var(v) = t {
+                    if !seen_sum.contains(v.as_str()) && !free_vars.contains(v) {
+                        free_vars.push(v.clone());
+                    }
+                }
+            }
+        }
+    }
+    let (pot_width, con_width) = match (rule.weight, rule.comparison) {
+        (None, _) => (0, 1),
+        (Some(_), Comparison::EqZero) => (2, 0),
+        (Some(_), _) => (1, 0),
+    };
+    Ok(ArithShape {
+        free_vars,
+        pot_width,
+        con_width,
+    })
+}
+
 /// Ground an arithmetic rule, probing the database's argument-position
 /// index to skip candidates that cannot unify (see [`crate::grounding`] for
 /// the strategy). Produces byte-identical output to
@@ -203,10 +374,53 @@ pub fn ground_arith_rule(
     registry: &mut VarRegistry,
     potentials: &mut Vec<GroundPotential>,
     constraints: &mut Vec<GroundConstraint>,
-) -> Result<ArithGroundStats, ArithError> {
+) -> Result<ArithGroundStats, GroundingError> {
     let guard = db.index();
-    let index = guard.as_ref().expect("database index ensured");
-    ground_arith_impl(rule, db, Some(index), registry, potentials, constraints)
+    let index = guard
+        .as_ref()
+        .ok_or_else(|| GroundingError::IndexUnavailable {
+            rule: rule.name.clone(),
+        })?;
+    ground_arith_impl(
+        rule,
+        db,
+        Some(index),
+        registry,
+        potentials,
+        constraints,
+        None,
+    )
+    .map_err(GroundingError::Arith)
+}
+
+/// Like [`ground_arith_rule`], additionally recording the per-free-binding
+/// splice table ([`ArithTable`]) the delta regrounder uses to re-fold only
+/// the bindings a mutation touches.
+pub(crate) fn ground_arith_rule_recorded(
+    rule: &ArithRule,
+    db: &Database,
+    registry: &mut VarRegistry,
+    potentials: &mut Vec<GroundPotential>,
+    constraints: &mut Vec<GroundConstraint>,
+) -> Result<(ArithGroundStats, ArithTable), GroundingError> {
+    let guard = db.index();
+    let index = guard
+        .as_ref()
+        .ok_or_else(|| GroundingError::IndexUnavailable {
+            rule: rule.name.clone(),
+        })?;
+    let mut table = ArithTable::default();
+    let stats = ground_arith_impl(
+        rule,
+        db,
+        Some(index),
+        registry,
+        potentials,
+        constraints,
+        Some(&mut table),
+    )
+    .map_err(GroundingError::Arith)?;
+    Ok((stats, table))
 }
 
 /// Ground an arithmetic rule with pure pool scans — the reference
@@ -217,8 +431,9 @@ pub fn ground_arith_rule_naive(
     registry: &mut VarRegistry,
     potentials: &mut Vec<GroundPotential>,
     constraints: &mut Vec<GroundConstraint>,
-) -> Result<ArithGroundStats, ArithError> {
-    ground_arith_impl(rule, db, None, registry, potentials, constraints)
+) -> Result<ArithGroundStats, GroundingError> {
+    ground_arith_impl(rule, db, None, registry, potentials, constraints, None)
+        .map_err(GroundingError::Arith)
 }
 
 fn ground_arith_impl(
@@ -228,40 +443,53 @@ fn ground_arith_impl(
     registry: &mut VarRegistry,
     potentials: &mut Vec<GroundPotential>,
     constraints: &mut Vec<GroundConstraint>,
+    mut table: Option<&mut ArithTable>,
 ) -> Result<ArithGroundStats, ArithError> {
-    let sum_vars: FxHashSet<&str> = rule.sum_vars.iter().map(String::as_str).collect();
-    // Free variables, in first-occurrence order.
-    let mut free_vars: Vec<String> = Vec::new();
-    for term in &rule.terms {
-        for atom in &term.atoms {
-            for t in &atom.args {
-                if let RTerm::Var(v) = t {
-                    if !sum_vars.contains(v.as_str()) && !free_vars.contains(v) {
-                        free_vars.push(v.clone());
-                    }
-                }
+    let shape = arith_shape(rule)?;
+    if let Some(t) = table.as_deref_mut() {
+        *t = ArithTable::new(shape.free_vars.clone());
+    }
+    let keys = enumerate_free_bindings(rule, &shape, db, index);
+    let mut stats = ArithGroundStats::default();
+    let mut contributors: Vec<GroundAtom> = Vec::new();
+    for key in keys {
+        contributors.clear();
+        fold_free_binding(
+            rule,
+            &shape,
+            &key,
+            db,
+            index,
+            registry,
+            potentials,
+            constraints,
+            table.is_some().then_some(&mut contributors),
+        )?;
+        stats.groundings += 1;
+        stats.potentials += shape.pot_width;
+        stats.constraints += shape.con_width;
+        if let Some(t) = table.as_deref_mut() {
+            let ordinal = t.begin_binding(key);
+            for atom in &contributors {
+                t.record_contributor(ordinal, atom);
             }
         }
     }
-    // Every free variable must be anchorable by some atom.
-    for v in &free_vars {
-        let anchored = rule
-            .terms
-            .iter()
-            .flat_map(|t| &t.atoms)
-            .any(|a| a.args.iter().any(|t| matches!(t, RTerm::Var(x) if x == v)));
-        if !anchored {
-            return Err(ArithError::Unanchored {
-                rule: rule.name.clone(),
-                var: v.clone(),
-            });
-        }
-    }
+    Ok(stats)
+}
 
-    // Enumerate free substitutions: join all atoms over db pools, project
-    // onto the free variables, dedup.
+/// Enumerate the rule's free-variable bindings: join all atoms over the
+/// database pools, project onto the free variables, dedup by first
+/// occurrence. The order is deterministic in pool order, which is what
+/// keeps delta-spliced output byte-identical to a fresh grounding.
+pub(crate) fn enumerate_free_bindings(
+    rule: &ArithRule,
+    shape: &ArithShape,
+    db: &Database,
+    index: Option<&crate::database::AtomIndex>,
+) -> Vec<Vec<Sym>> {
     let all_atoms: Vec<&RAtom> = rule.terms.iter().flat_map(|t| &t.atoms).collect();
-    let mut free_subs: Vec<FxHashMap<String, Sym>> = Vec::new();
+    let mut keys: Vec<Vec<Sym>> = Vec::new();
     let mut seen: FxHashSet<Vec<Sym>> = FxHashSet::default();
     enumerate(
         &all_atoms,
@@ -270,97 +498,118 @@ fn ground_arith_impl(
         index,
         &mut FxHashMap::default(),
         &mut |sub| {
-            let key: Vec<Sym> = free_vars.iter().map(|v| sub[v]).collect();
-            if seen.insert(key) {
-                let projected: FxHashMap<String, Sym> =
-                    free_vars.iter().map(|v| (v.clone(), sub[v])).collect();
-                free_subs.push(projected);
+            let key: Vec<Sym> = shape.free_vars.iter().map(|v| sub[v]).collect();
+            if seen.insert(key.clone()) {
+                keys.push(key);
             }
         },
     );
+    keys
+}
 
-    let mut stats = ArithGroundStats::default();
-    for sub in &free_subs {
-        let mut expr = LinExpr::constant(rule.constant);
-        let mut nonlinear = false;
-        for term in &rule.terms {
-            // Expand the term's own summation bindings.
-            let term_atoms: Vec<&RAtom> = term.atoms.iter().collect();
-            let mut base = sub.clone();
-            enumerate(&term_atoms, 0, db, index, &mut base, &mut |full| {
-                let mut coef = term.coef;
-                let mut target: Option<GroundAtom> = None;
-                for atom in &term.atoms {
-                    let ground = instantiate(atom, full);
-                    match db.resolve(&ground) {
-                        Resolved::Observed(v) => coef *= v,
-                        Resolved::Target => {
-                            if target.replace(ground).is_some() {
-                                nonlinear = true;
-                            }
+/// Expand one free binding's summations and emit its potential(s) or
+/// constraint — exactly [`ArithShape::pot_width`] potentials and
+/// [`ArithShape::con_width`] constraints are appended. When `contributors`
+/// is given, every ground atom the fold instantiates is pushed into it
+/// (the atoms whose observed values or pool membership this grounding
+/// depends on — the splice table's dependency edges).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fold_free_binding(
+    rule: &ArithRule,
+    shape: &ArithShape,
+    key: &[Sym],
+    db: &Database,
+    index: Option<&crate::database::AtomIndex>,
+    registry: &mut VarRegistry,
+    potentials: &mut Vec<GroundPotential>,
+    constraints: &mut Vec<GroundConstraint>,
+    mut contributors: Option<&mut Vec<GroundAtom>>,
+) -> Result<(), ArithError> {
+    let sub: FxHashMap<String, Sym> = shape
+        .free_vars
+        .iter()
+        .cloned()
+        .zip(key.iter().copied())
+        .collect();
+    let mut expr = LinExpr::constant(rule.constant);
+    let mut nonlinear = false;
+    for term in &rule.terms {
+        // Expand the term's own summation bindings.
+        let term_atoms: Vec<&RAtom> = term.atoms.iter().collect();
+        let mut base = sub.clone();
+        enumerate(&term_atoms, 0, db, index, &mut base, &mut |full| {
+            let mut coef = term.coef;
+            let mut target: Option<GroundAtom> = None;
+            for atom in &term.atoms {
+                let ground = instantiate(atom, full);
+                if let Some(c) = contributors.as_deref_mut() {
+                    c.push(ground.clone());
+                }
+                match db.resolve(&ground) {
+                    Resolved::Observed(v) => coef *= v,
+                    Resolved::Target => {
+                        if target.replace(ground).is_some() {
+                            nonlinear = true;
                         }
                     }
                 }
-                if coef == 0.0 {
-                    return;
+            }
+            if coef == 0.0 {
+                return;
+            }
+            match target {
+                Some(atom) => {
+                    let var = registry.intern(&atom);
+                    expr.add_term(var, coef);
                 }
-                match target {
-                    Some(atom) => {
-                        let var = registry.intern(&atom);
-                        expr.add_term(var, coef);
-                    }
-                    None => {
-                        expr.add_constant(coef);
-                    }
+                None => {
+                    expr.add_constant(coef);
                 }
-            });
-        }
-        if nonlinear {
-            return Err(ArithError::NonLinear {
-                rule: rule.name.clone(),
-            });
-        }
-        expr.normalize();
-        stats.groundings += 1;
+            }
+        });
+    }
+    if nonlinear {
+        return Err(ArithError::NonLinear {
+            rule: rule.name.clone(),
+        });
+    }
+    expr.normalize();
 
-        // Normalize the comparison to ≤ 0 (or = 0).
-        let (lhs, kind) = match rule.comparison {
-            Comparison::LeqZero => (expr, ConstraintKind::LeqZero),
-            Comparison::EqZero => (expr, ConstraintKind::EqZero),
-            Comparison::GeqZero => (negate(expr), ConstraintKind::LeqZero),
-        };
-        match rule.weight {
-            None => {
-                constraints.push(GroundConstraint {
-                    expr: lhs,
-                    kind,
+    // Normalize the comparison to ≤ 0 (or = 0).
+    let (lhs, kind) = match rule.comparison {
+        Comparison::LeqZero => (expr, ConstraintKind::LeqZero),
+        Comparison::EqZero => (expr, ConstraintKind::EqZero),
+        Comparison::GeqZero => (negate(expr), ConstraintKind::LeqZero),
+    };
+    match rule.weight {
+        None => {
+            constraints.push(GroundConstraint {
+                expr: lhs,
+                kind,
+                origin: rule.name.clone(),
+            });
+        }
+        Some(w) => {
+            // Weighted: hinge on the violation. Equality uses two
+            // hinges (|lhs| = max(0, lhs) + max(0, −lhs)).
+            let mut emit = |e: LinExpr| {
+                potentials.push(GroundPotential {
+                    expr: e,
+                    weight: w,
+                    squared: rule.squared,
                     origin: rule.name.clone(),
                 });
-                stats.constraints += 1;
-            }
-            Some(w) => {
-                // Weighted: hinge on the violation. Equality uses two
-                // hinges (|lhs| = max(0, lhs) + max(0, −lhs)).
-                let mut emit = |e: LinExpr| {
-                    potentials.push(GroundPotential {
-                        expr: e,
-                        weight: w,
-                        squared: rule.squared,
-                        origin: rule.name.clone(),
-                    });
-                    stats.potentials += 1;
-                };
-                match kind {
-                    ConstraintKind::LeqZero => emit(lhs),
-                    ConstraintKind::EqZero => {
-                        emit(lhs.clone());
-                        emit(negate(lhs));
-                    }
+            };
+            match kind {
+                ConstraintKind::LeqZero => emit(lhs),
+                ConstraintKind::EqZero => {
+                    emit(lhs.clone());
+                    emit(negate(lhs));
                 }
             }
         }
     }
-    Ok(stats)
+    Ok(())
 }
 
 fn negate(mut e: LinExpr) -> LinExpr {
@@ -383,6 +632,48 @@ fn instantiate(pattern: &RAtom, sub: &FxHashMap<String, Sym>) -> GroundAtom {
             })
             .collect(),
     )
+}
+
+/// Unify one rule atom pattern against a ground atom, returning the
+/// assignments it forces on the rule's *free* variables (`(free-var index,
+/// symbol)` pairs, deduplicated) — or `None` if the pattern cannot have
+/// instantiated the atom (constant mismatch, arity mismatch, or an
+/// inconsistent repeated variable). An empty mask means the atom can enter
+/// the summation of *every* free binding.
+///
+/// The delta regrounder uses this to decide which existing bindings a
+/// freshly **added** atom can contribute to: an atom enters a binding's
+/// summation only through a pattern instantiation that agrees with the
+/// binding on every free variable the pattern mentions.
+pub(crate) fn free_var_mask(
+    pattern: &RAtom,
+    atom: &GroundAtom,
+    free_vars: &[String],
+) -> Option<Vec<(usize, Sym)>> {
+    if pattern.pred != atom.pred || pattern.args.len() != atom.args.len() {
+        return None;
+    }
+    let mut local: FxHashMap<&str, Sym> = FxHashMap::default();
+    let mut mask: Vec<(usize, Sym)> = Vec::new();
+    for (t, &sym) in pattern.args.iter().zip(atom.args.iter()) {
+        match t {
+            RTerm::Const(k) => {
+                if *k != sym {
+                    return None;
+                }
+            }
+            RTerm::Var(v) => match local.insert(v.as_str(), sym) {
+                Some(prev) if prev != sym => return None,
+                Some(_) => {}
+                None => {
+                    if let Some(i) = free_vars.iter().position(|f| f == v) {
+                        mask.push((i, sym));
+                    }
+                }
+            },
+        }
+    }
+    Some(mask)
 }
 
 /// Join `atoms` against database pools, extending `sub`; call `f` on every
@@ -534,7 +825,8 @@ mod tests {
                 vec![ratom(covers, &["C", "T"]), ratom(in_map, &["C"])],
             )
             .sum_over("C")
-            .build();
+            .build()
+            .unwrap();
         let mut registry = VarRegistry::new();
         let (mut pots, mut cons) = (Vec::new(), Vec::new());
         let stats = ground_arith_rule(&rule, &db, &mut registry, &mut pots, &mut cons).unwrap();
@@ -589,7 +881,8 @@ mod tests {
             .constant(-0.5)
             .eq()
             .weight(1.0)
-            .build();
+            .build()
+            .unwrap();
         let mut registry = VarRegistry::new();
         let (mut pots, mut cons) = (Vec::new(), Vec::new());
         let stats = ground_arith_rule(&rule, &db, &mut registry, &mut pots, &mut cons).unwrap();
@@ -611,7 +904,8 @@ mod tests {
             .term(1.0, vec![ratom(in_map, &["C"])])
             .constant(-0.2)
             .geq()
-            .build();
+            .build()
+            .unwrap();
         let mut registry = VarRegistry::new();
         let (mut pots, mut cons) = (Vec::new(), Vec::new());
         ground_arith_rule(&rule, &db, &mut registry, &mut pots, &mut cons).unwrap();
@@ -634,11 +928,15 @@ mod tests {
         // inMap(C)·explained(T): two target atoms in one product.
         let rule = ArithRuleBuilder::new("bad")
             .term(1.0, vec![ratom(in_map, &["C"]), ratom(explained, &["T"])])
-            .build();
+            .build()
+            .unwrap();
         let mut registry = VarRegistry::new();
         let (mut pots, mut cons) = (Vec::new(), Vec::new());
         let err = ground_arith_rule(&rule, &db, &mut registry, &mut pots, &mut cons).unwrap_err();
-        assert!(matches!(err, ArithError::NonLinear { .. }));
+        assert!(matches!(
+            err,
+            GroundingError::Arith(ArithError::NonLinear { .. })
+        ));
     }
 
     #[test]
@@ -655,7 +953,8 @@ mod tests {
             )
             .constant(0.25)
             .sum_over("C")
-            .build();
+            .build()
+            .unwrap();
         let mut registry = VarRegistry::new();
         let (mut pots, mut cons) = (Vec::new(), Vec::new());
         ground_arith_rule(&rule, &db, &mut registry, &mut pots, &mut cons).unwrap();
@@ -664,5 +963,128 @@ mod tests {
                 assert!(coef != 0.0);
             }
         }
+    }
+
+    #[test]
+    fn misspelled_sum_var_rejected() {
+        let (vocab, _) = setup();
+        let in_map = vocab.id_of("inMap").unwrap();
+        // sum_over("X") — no atom mentions X; previously this was silently
+        // ignored, leaving C free and changing the rule's semantics.
+        let err = ArithRuleBuilder::new("typo")
+            .term(1.0, vec![ratom(in_map, &["C"])])
+            .sum_over("X")
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ArithError::UnusedSumVar {
+                rule: "typo".into(),
+                var: "X".into()
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_sum_var_rejected() {
+        let (vocab, _) = setup();
+        let in_map = vocab.id_of("inMap").unwrap();
+        let err = ArithRuleBuilder::new("dup")
+            .term(1.0, vec![ratom(in_map, &["C"])])
+            .sum_over("C")
+            .sum_over("C")
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ArithError::DuplicateSumVar {
+                rule: "dup".into(),
+                var: "C".into()
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_weights_and_coefficients_rejected_at_build() {
+        let (vocab, _) = setup();
+        let in_map = vocab.id_of("inMap").unwrap();
+        // Negative weight.
+        let err = ArithRuleBuilder::new("neg")
+            .term(1.0, vec![ratom(in_map, &["C"])])
+            .weight(-1.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ArithError::InvalidWeight { weight, .. } if weight == -1.0));
+        // NaN weight no longer panics with a misleading message.
+        let err = ArithRuleBuilder::new("nan")
+            .term(1.0, vec![ratom(in_map, &["C"])])
+            .weight(f64::NAN)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ArithError::InvalidWeight { weight, .. } if weight.is_nan()));
+        // Non-finite coefficient.
+        let err = ArithRuleBuilder::new("coef")
+            .term(f64::INFINITY, vec![ratom(in_map, &["C"])])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ArithError::InvalidCoefficient { .. }));
+        // Non-finite constant.
+        let err = ArithRuleBuilder::new("const")
+            .term(1.0, vec![ratom(in_map, &["C"])])
+            .constant(f64::NEG_INFINITY)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ArithError::InvalidConstant { .. }));
+    }
+
+    #[test]
+    fn hand_built_rules_revalidated_at_grounding() {
+        let (vocab, db) = setup();
+        let in_map = vocab.id_of("inMap").unwrap();
+        // Bypass the builder: the grounder must reject the same rules.
+        let rule = ArithRule {
+            name: "hand".into(),
+            terms: vec![ArithTerm {
+                coef: 1.0,
+                atoms: vec![ratom(in_map, &["C"])],
+            }],
+            constant: 0.0,
+            comparison: Comparison::LeqZero,
+            weight: Some(f64::NAN),
+            squared: false,
+            sum_vars: Vec::new(),
+        };
+        let mut registry = VarRegistry::new();
+        let (mut pots, mut cons) = (Vec::new(), Vec::new());
+        let err = ground_arith_rule(&rule, &db, &mut registry, &mut pots, &mut cons).unwrap_err();
+        assert!(matches!(
+            err,
+            GroundingError::Arith(ArithError::InvalidWeight { .. })
+        ));
+        assert!(pots.is_empty() && cons.is_empty());
+    }
+
+    #[test]
+    fn free_var_mask_matches_pattern_instantiations() {
+        let (vocab, _) = setup();
+        let covers = vocab.id_of("covers").unwrap();
+        let free = vec!["T".to_owned()];
+        // covers(C,T) against covers(c1,t1): C is a sum var (not free), T
+        // is free position 0.
+        let pattern = ratom(covers, &["C", "T"]);
+        let atom = GroundAtom::from_strs(covers, &["c1", "t1"]);
+        let mask = free_var_mask(&pattern, &atom, &free).unwrap();
+        assert_eq!(mask, vec![(0usize, cms_data::Sym::new("t1"))]);
+        // Repeated variable must bind consistently.
+        let pattern = ratom(covers, &["C", "C"]);
+        assert!(free_var_mask(&pattern, &atom, &free).is_none());
+        let same = GroundAtom::from_strs(covers, &["c1", "c1"]);
+        assert_eq!(free_var_mask(&pattern, &same, &free), Some(vec![]));
+        // Constant mismatch.
+        let pattern = RAtom {
+            pred: covers,
+            args: vec![crate::rule::rconst("c9"), rvar("T")],
+        };
+        assert!(free_var_mask(&pattern, &atom, &free).is_none());
     }
 }

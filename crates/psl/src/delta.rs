@@ -28,6 +28,16 @@
 //! what lets a later reground patch single groundings without re-running
 //! the join.
 //!
+//! **Arithmetic splice tables.** Arithmetic rules fold summations across
+//! bindings, so their splice unit is the *free-variable binding*, not the
+//! join binding: grounding records an [`ArithTable`] holding the binding
+//! keys in emission order plus a dependency map from every ground atom a
+//! binding's summation folds (its *contributors*, captured during the
+//! fold) to the binding ordinals it feeds. Each binding emits a fixed
+//! number of artifacts (`ArithShape`'s widths), so ordinal `b` owns the
+//! segment-relative artifact range `[b·width, (b+1)·width)` and single
+//! bindings can be re-folded in place.
+//!
 //! **Dependency map.** The compiled [`JoinPlan`]s know every predicate a
 //! rule's literals touch (body, negated body, and head — closed-world
 //! resolution means a rule's ground terms depend on *only* those pools and
@@ -46,10 +56,19 @@
 //!   artifacts are looked up in the binding table and removed (including
 //!   constant-loss contributions), and the groundings are re-emitted
 //!   against the new values — pruned ↔ potential ↔ constraint transitions
-//!   included.
-//! * *Pool deltas* (`Added`/`Removed` present): dirty logical and
-//!   arithmetic rules are re-grounded from scratch; clean ones are still
-//!   spliced.
+//!   included. Dirty *arithmetic* rules re-fold exactly the free bindings
+//!   the mutated atoms contribute to ([`ArithTable`] lookup — the binding
+//!   set itself is provably unchanged); untouched bindings splice
+//!   byte-identically and keep their ADMM duals.
+//! * *Pool deltas* (`Added`/`Removed` present): dirty logical rules are
+//!   re-grounded from scratch; clean ones are still spliced. Dirty
+//!   arithmetic rules re-enumerate their free bindings and diff against
+//!   the table: brand-new bindings ground fresh, vanished ones compact
+//!   out, and surviving bindings splice unless a mutated atom touches
+//!   their summation (`Changed`/`Removed` atoms via the contributor map;
+//!   `Added` atoms via pattern unification — an added atom can only enter
+//!   a binding whose key agrees with the free variables the atom's
+//!   pattern binds, see [`crate::arith::free_var_mask`]).
 //! * *Raw terms* are ground atoms, so their dirtiness test is exact atom
 //!   equality against the delta; dirty raw terms are recomputed (they are
 //!   single linear expressions — no joins).
@@ -74,7 +93,10 @@
 //! [`crate::GroundStats::terms_recomputed`] report how much work the
 //! splice saved.
 
-use crate::arith::ground_arith_rule;
+use crate::arith::{
+    arith_shape, enumerate_free_bindings, fold_free_binding, free_var_mask,
+    ground_arith_rule_recorded,
+};
 use crate::atom::GroundAtom;
 use crate::grounding::{emit, ground_rule, GroundSink, GroundStats, GroundingError};
 use crate::hinge::{GroundConstraint, GroundPotential};
@@ -216,13 +238,111 @@ pub(crate) struct RuleSegment {
     pub(crate) stats: GroundStats,
 }
 
-/// An arithmetic rule's contiguous slice of the term pool.
-#[derive(Clone, Copy, Debug)]
-pub(crate) struct SegRange {
+/// Per-free-binding splice table of one arithmetic rule's grounding: the
+/// binding keys in emission order plus the dependency edges from every
+/// ground atom a binding's summation folds to the bindings it feeds.
+/// Contributor atoms are interned so an atom shared by many bindings (the
+/// common case — e.g. `inMap(c)` contributes to every target `c` covers)
+/// is stored once.
+#[derive(Clone, Default, Debug)]
+pub(crate) struct ArithTable {
+    /// Free variables in first-occurrence order (the key schema).
+    pub(crate) free_vars: Vec<String>,
+    /// Binding keys, in emission (enumeration) order.
+    pub(crate) keys: Vec<Vec<Sym>>,
+    /// Key → binding ordinal.
+    key_index: FxHashMap<Vec<Sym>, u32>,
+    /// Interned contributor atoms (id = position).
+    atoms: Vec<GroundAtom>,
+    /// Contributor atom → intern id.
+    atom_ids: FxHashMap<GroundAtom, u32>,
+    /// Atom id → binding ordinals whose summation folds it (ascending).
+    deps: Vec<Vec<u32>>,
+    /// Binding ordinal → contributor atom ids (kept so surviving bindings
+    /// can carry their dependency edges through a pool-delta rebuild).
+    binding_atoms: Vec<Vec<u32>>,
+}
+
+impl ArithTable {
+    /// Empty table over the given free-variable schema.
+    pub(crate) fn new(free_vars: Vec<String>) -> ArithTable {
+        ArithTable {
+            free_vars,
+            ..ArithTable::default()
+        }
+    }
+
+    /// Number of recorded bindings.
+    pub(crate) fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Append the next binding (emission order) and return its ordinal.
+    pub(crate) fn begin_binding(&mut self, key: Vec<Sym>) -> u32 {
+        let ordinal = self.keys.len() as u32;
+        self.key_index.insert(key.clone(), ordinal);
+        self.keys.push(key);
+        self.binding_atoms.push(Vec::new());
+        ordinal
+    }
+
+    /// Record one contributor atom of `ordinal`'s summation. Bindings must
+    /// be recorded in ascending ordinal order (they are — both the full
+    /// grounder and the pool-delta rebuild walk bindings in emission
+    /// order), which keeps the dependency lists sorted and deduplicated.
+    pub(crate) fn record_contributor(&mut self, ordinal: u32, atom: &GroundAtom) {
+        let id = match self.atom_ids.get(atom) {
+            Some(&id) => id,
+            None => {
+                let id = self.atoms.len() as u32;
+                self.atoms.push(atom.clone());
+                self.atom_ids.insert(atom.clone(), id);
+                self.deps.push(Vec::new());
+                id
+            }
+        };
+        let deps = &mut self.deps[id as usize];
+        // Ascending ordinal recording means this atom already belongs to
+        // the current binding iff its last dependency is this ordinal —
+        // one check dedups both lists.
+        if deps.last() != Some(&ordinal) {
+            deps.push(ordinal);
+            self.binding_atoms[ordinal as usize].push(id);
+        }
+    }
+
+    /// Ordinal of a binding key, if recorded.
+    pub(crate) fn ordinal_of(&self, key: &[Sym]) -> Option<u32> {
+        self.key_index.get(key).copied()
+    }
+
+    /// Ordinals of the bindings whose summations fold `atom`.
+    pub(crate) fn bindings_of(&self, atom: &GroundAtom) -> &[u32] {
+        self.atom_ids
+            .get(atom)
+            .map_or(&[], |&id| self.deps[id as usize].as_slice())
+    }
+
+    /// The contributor atoms of one binding.
+    pub(crate) fn contributors_of(&self, ordinal: u32) -> impl Iterator<Item = &GroundAtom> {
+        self.binding_atoms[ordinal as usize]
+            .iter()
+            .map(|&id| &self.atoms[id as usize])
+    }
+}
+
+/// An arithmetic rule's contiguous slice of the term pool plus its
+/// per-free-binding splice table and grounding statistics.
+#[derive(Clone, Debug)]
+pub(crate) struct ArithSegment {
     /// Potentials contributed.
     pub(crate) pots: usize,
     /// Constraints contributed.
     pub(crate) cons: usize,
+    /// The rule's grounding statistics.
+    pub(crate) stats: GroundStats,
+    /// The per-binding splice table.
+    pub(crate) table: ArithTable,
 }
 
 /// What one raw term contributed to the ground program.
@@ -244,8 +364,8 @@ pub(crate) enum RawSlot {
 pub(crate) struct SpliceSupport {
     /// One segment per logical rule, in declaration order.
     pub(crate) rules: Vec<RuleSegment>,
-    /// One range per arithmetic rule, in declaration order.
-    pub(crate) arith: Vec<SegRange>,
+    /// One segment per arithmetic rule, in declaration order.
+    pub(crate) arith: Vec<ArithSegment>,
     /// One slot per raw term, in declaration order.
     pub(crate) raw: Vec<RawSlot>,
 }
@@ -435,7 +555,11 @@ impl Program {
             let mut affected: FxHashSet<Vec<Sym>> = FxHashSet::default();
             {
                 let guard = self.db.index();
-                let idx = guard.as_ref().expect("database index ensured");
+                let idx = guard
+                    .as_ref()
+                    .ok_or_else(|| GroundingError::IndexUnavailable {
+                        rule: rule.name.clone(),
+                    })?;
                 let mut scratch = GroundStats::default();
                 for entry in delta.entries() {
                     for lit_idx in 0..plan.num_emit_literals() {
@@ -569,56 +693,269 @@ impl Program {
             constraints.extend(seg_cons);
         }
 
-        // Arithmetic rules: per-rule granularity (their grounding folds
-        // summations, so there is no per-binding splice table).
+        // Arithmetic rules: per-free-binding granularity. The recorded
+        // ArithTable maps every mutated atom to exactly the bindings whose
+        // summations fold it; only those re-fold — untouched bindings
+        // splice byte-identically and keep their dual identity.
         for (rule, seg) in self.arith_rules.iter().zip(support.arith) {
             let dirty = rule
                 .terms
                 .iter()
                 .flat_map(|t| &t.atoms)
                 .any(|a| delta_preds.contains(&a.pred));
-            let mut stats = GroundStats::default();
-            if dirty {
-                pot_iter.by_ref().take(seg.pots).for_each(drop);
-                con_iter.by_ref().take(seg.cons).for_each(drop);
-                old_pot += seg.pots;
-                old_con += seg.cons;
-                let p0 = potentials.len();
-                let c0 = constraints.len();
-                ground_arith_rule(
-                    rule,
-                    &self.db,
-                    &mut registry,
-                    &mut potentials,
-                    &mut constraints,
-                )
-                .map_err(GroundingError::Arith)?;
-                let range = SegRange {
-                    pots: potentials.len() - p0,
-                    cons: constraints.len() - c0,
-                };
-                DualReuse::fresh(&mut reuse.pots, range.pots);
-                DualReuse::fresh(&mut reuse.cons, range.cons);
-                stats.potentials = range.pots;
-                stats.constraints = range.cons;
-                stats.terms_recomputed = range.pots + range.cons;
-                new_support.arith.push(range);
-            } else {
+            if !dirty {
+                // Clean: splice the whole segment unchanged.
                 potentials.extend(pot_iter.by_ref().take(seg.pots));
                 constraints.extend(con_iter.by_ref().take(seg.cons));
                 DualReuse::splice(&mut reuse.pots, old_pot, seg.pots);
                 DualReuse::splice(&mut reuse.cons, old_con, seg.cons);
                 old_pot += seg.pots;
                 old_con += seg.cons;
+                let mut stats = seg.stats.clone();
+                stats.terms_reused = seg.pots + seg.cons;
+                stats.terms_recomputed = 0;
+                stats.arith_bindings_spliced = seg.table.len();
+                rule_stats
+                    .entry(rule.name.clone())
+                    .or_default()
+                    .absorb(&stats);
+                new_support.arith.push(ArithSegment { stats, ..seg });
+                continue;
+            }
+
+            let start = Instant::now();
+            let shape = arith_shape(rule).map_err(GroundingError::Arith)?;
+            // A consistent table carries the rule's current key schema and
+            // owns exactly `width` artifacts per binding; anything else (a
+            // prior recorded under an older rule shape) falls back to a
+            // wholesale re-ground.
+            let consistent = seg.table.free_vars == shape.free_vars
+                && seg.table.len() * shape.pot_width == seg.pots
+                && seg.table.len() * shape.con_width == seg.cons;
+            if !consistent {
+                pot_iter.by_ref().take(seg.pots).for_each(drop);
+                con_iter.by_ref().take(seg.cons).for_each(drop);
+                old_pot += seg.pots;
+                old_con += seg.cons;
+                let p0 = potentials.len();
+                let c0 = constraints.len();
+                let (astats, table) = ground_arith_rule_recorded(
+                    rule,
+                    &self.db,
+                    &mut registry,
+                    &mut potentials,
+                    &mut constraints,
+                )?;
+                let (pots, cons) = (potentials.len() - p0, constraints.len() - c0);
+                DualReuse::fresh(&mut reuse.pots, pots);
+                DualReuse::fresh(&mut reuse.cons, cons);
+                let mut stats = GroundStats {
+                    substitutions: astats.groundings,
+                    potentials: pots,
+                    constraints: cons,
+                    terms_recomputed: pots + cons,
+                    ..GroundStats::default()
+                };
+                stats.wall = start.elapsed();
+                rule_stats
+                    .entry(rule.name.clone())
+                    .or_default()
+                    .absorb(&stats);
+                new_support.arith.push(ArithSegment {
+                    pots,
+                    cons,
+                    stats,
+                    table,
+                });
+                continue;
+            }
+
+            let (pw, cw) = (shape.pot_width, shape.con_width);
+            let guard = self.db.index();
+            let idx = guard
+                .as_ref()
+                .ok_or_else(|| GroundingError::IndexUnavailable {
+                    rule: rule.name.clone(),
+                })?;
+            let mut stats = GroundStats::default();
+
+            if !pools_changed {
+                // Value-only fast path: the free-binding set is provably
+                // unchanged, so re-fold exactly the bindings the mutated
+                // atoms contribute to, in place.
+                let mut affected: FxHashSet<u32> = FxHashSet::default();
+                for entry in delta.entries() {
+                    affected.extend(seg.table.bindings_of(&entry.atom).iter().copied());
+                }
+                let mut pot_src = pot_iter.by_ref().take(seg.pots);
+                let mut con_src = con_iter.by_ref().take(seg.cons);
+                for b in 0..seg.table.len() as u32 {
+                    if affected.contains(&b) {
+                        for _ in 0..pw {
+                            pot_src.next();
+                        }
+                        for _ in 0..cw {
+                            con_src.next();
+                        }
+                        fold_free_binding(
+                            rule,
+                            &shape,
+                            &seg.table.keys[b as usize],
+                            &self.db,
+                            Some(idx),
+                            &mut registry,
+                            &mut potentials,
+                            &mut constraints,
+                            None,
+                        )
+                        .map_err(GroundingError::Arith)?;
+                        DualReuse::fresh(&mut reuse.pots, pw);
+                        DualReuse::fresh(&mut reuse.cons, cw);
+                        stats.terms_recomputed += pw + cw;
+                    } else {
+                        for k in 0..pw {
+                            potentials.push(pot_src.next().expect("spliced arith potential"));
+                            reuse.pots.push((old_pot + b as usize * pw + k) as u32);
+                        }
+                        for k in 0..cw {
+                            constraints.push(con_src.next().expect("spliced arith constraint"));
+                            reuse.cons.push((old_con + b as usize * cw + k) as u32);
+                        }
+                        stats.terms_reused += pw + cw;
+                        stats.arith_bindings_spliced += 1;
+                    }
+                }
+                old_pot += seg.pots;
+                old_con += seg.cons;
+                stats.substitutions = seg.table.len();
                 stats.potentials = seg.pots;
                 stats.constraints = seg.cons;
-                stats.terms_reused = seg.pots + seg.cons;
-                new_support.arith.push(seg);
+                stats.wall = start.elapsed();
+                rule_stats
+                    .entry(rule.name.clone())
+                    .or_default()
+                    .absorb(&stats);
+                new_support.arith.push(ArithSegment {
+                    pots: seg.pots,
+                    cons: seg.cons,
+                    stats: stats.clone(),
+                    table: seg.table,
+                });
+                continue;
             }
+
+            // Pool delta: re-enumerate the free bindings and diff against
+            // the table. New bindings ground fresh, vanished ones compact
+            // out, surviving ones splice unless a mutated atom touches
+            // their summation.
+            let mut prior_pots: Vec<Option<GroundPotential>> =
+                pot_iter.by_ref().take(seg.pots).map(Some).collect();
+            let mut prior_cons: Vec<Option<GroundConstraint>> =
+                con_iter.by_ref().take(seg.cons).map(Some).collect();
+            let new_keys = enumerate_free_bindings(rule, &shape, &self.db, Some(idx));
+
+            // Which prior bindings did the delta touch? Changed/Removed
+            // atoms were contributors before (exact lookup); an Added atom
+            // can only enter bindings whose keys agree with the free
+            // variables some pattern instantiation of it binds.
+            let mut touched: FxHashSet<u32> = FxHashSet::default();
+            let mut touch_all = false;
+            let mut added_masks: Vec<Vec<(usize, Sym)>> = Vec::new();
+            for entry in delta.entries() {
+                match entry.kind {
+                    DeltaKind::Changed { .. } | DeltaKind::Removed => {
+                        touched.extend(seg.table.bindings_of(&entry.atom).iter().copied());
+                    }
+                    DeltaKind::Added => {
+                        for pattern in rule.terms.iter().flat_map(|t| &t.atoms) {
+                            match free_var_mask(pattern, &entry.atom, &shape.free_vars) {
+                                Some(mask) if mask.is_empty() => touch_all = true,
+                                Some(mask) => added_masks.push(mask),
+                                None => {}
+                            }
+                        }
+                    }
+                }
+            }
+
+            let mut table = ArithTable::new(shape.free_vars.clone());
+            let mut contributors: Vec<GroundAtom> = Vec::new();
+            for key in new_keys {
+                let splice_from = seg.table.ordinal_of(&key).filter(|po| {
+                    !touch_all
+                        && !touched.contains(po)
+                        && !added_masks
+                            .iter()
+                            .any(|m| m.iter().all(|&(i, s)| key[i] == s))
+                });
+                match splice_from {
+                    Some(po) => {
+                        for k in 0..pw {
+                            let src = po as usize * pw + k;
+                            potentials.push(
+                                prior_pots[src]
+                                    .take()
+                                    .expect("arith potential spliced once"),
+                            );
+                            reuse.pots.push((old_pot + src) as u32);
+                        }
+                        for k in 0..cw {
+                            let src = po as usize * cw + k;
+                            constraints.push(
+                                prior_cons[src]
+                                    .take()
+                                    .expect("arith constraint spliced once"),
+                            );
+                            reuse.cons.push((old_con + src) as u32);
+                        }
+                        let ordinal = table.begin_binding(key);
+                        for atom in seg.table.contributors_of(po) {
+                            table.record_contributor(ordinal, atom);
+                        }
+                        stats.terms_reused += pw + cw;
+                        stats.arith_bindings_spliced += 1;
+                    }
+                    None => {
+                        contributors.clear();
+                        fold_free_binding(
+                            rule,
+                            &shape,
+                            &key,
+                            &self.db,
+                            Some(idx),
+                            &mut registry,
+                            &mut potentials,
+                            &mut constraints,
+                            Some(&mut contributors),
+                        )
+                        .map_err(GroundingError::Arith)?;
+                        DualReuse::fresh(&mut reuse.pots, pw);
+                        DualReuse::fresh(&mut reuse.cons, cw);
+                        let ordinal = table.begin_binding(key);
+                        for atom in &contributors {
+                            table.record_contributor(ordinal, atom);
+                        }
+                        stats.terms_recomputed += pw + cw;
+                    }
+                }
+            }
+            old_pot += seg.pots;
+            old_con += seg.cons;
+            let (pots, cons) = (table.len() * pw, table.len() * cw);
+            stats.substitutions = table.len();
+            stats.potentials = pots;
+            stats.constraints = cons;
+            stats.wall = start.elapsed();
             rule_stats
                 .entry(rule.name.clone())
                 .or_default()
                 .absorb(&stats);
+            new_support.arith.push(ArithSegment {
+                pots,
+                cons,
+                stats,
+                table,
+            });
         }
 
         // Raw terms are ground: dirtiness is exact atom equality.
@@ -792,7 +1129,8 @@ mod tests {
                     ],
                 )
                 .sum_over("C")
-                .build(),
+                .build()
+                .expect("explain-cap rule is valid"),
         );
         // A raw constraint that never touches inMap (must always splice).
         let mut lin = AtomLin::new();

@@ -94,7 +94,7 @@ impl VarRegistry {
 }
 
 /// Failures during grounding.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum GroundingError {
     /// A rule has a variable not bound by any positive body literal.
     UnsafeRule {
@@ -108,6 +108,13 @@ pub enum GroundingError {
     },
     /// An arithmetic rule failed to ground.
     Arith(crate::arith::ArithError),
+    /// The database's argument-position index was unavailable on a
+    /// grounding path that requires it (it should have been ensured by the
+    /// caller; propagated instead of panicking).
+    IndexUnavailable {
+        /// The rule being ground when the index was missing.
+        rule: String,
+    },
 }
 
 impl std::fmt::Display for GroundingError {
@@ -118,6 +125,12 @@ impl std::fmt::Display for GroundingError {
                 write!(f, "rule {rule:?} has an atom with wrong arity")
             }
             GroundingError::Arith(e) => write!(f, "{e}"),
+            GroundingError::IndexUnavailable { rule } => {
+                write!(
+                    f,
+                    "argument-position index unavailable while grounding rule {rule:?}"
+                )
+            }
         }
     }
 }
@@ -150,6 +163,11 @@ pub struct GroundStats {
     /// Groundings recomputed by [`crate::Program::reground`] because a
     /// mutated atom touched them (always 0 for a full grounding).
     pub terms_recomputed: usize,
+    /// Arithmetic-rule free bindings whose summation folds were spliced
+    /// unchanged by [`crate::Program::reground`] — the per-binding splice
+    /// table let them skip re-folding entirely (always 0 for a full
+    /// grounding).
+    pub arith_bindings_spliced: usize,
     /// Wall time spent grounding this rule.
     pub wall: Duration,
 }
@@ -166,6 +184,7 @@ impl GroundStats {
         self.candidates_scanned += other.candidates_scanned;
         self.terms_reused += other.terms_reused;
         self.terms_recomputed += other.terms_recomputed;
+        self.arith_bindings_spliced += other.arith_bindings_spliced;
         self.wall += other.wall;
     }
 }
@@ -207,7 +226,11 @@ pub fn ground_rule(
     validate_pool_arities(rule, db)?;
     let plan = JoinPlan::compile(rule, db);
     let guard = db.index();
-    let idx = guard.as_ref().expect("database index ensured");
+    let idx = guard
+        .as_ref()
+        .ok_or_else(|| GroundingError::IndexUnavailable {
+            rule: rule.name.clone(),
+        })?;
     let mut stats = GroundStats::default();
     plan.execute(db, idx, &mut stats, |binding, stats| {
         emit(rule, &plan, db, binding, registry, sink, stats)

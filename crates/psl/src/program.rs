@@ -9,10 +9,10 @@
 //! combination fold into the constant, target atoms become variables.
 
 use crate::admm::{AdmmConfig, AdmmSolution, AdmmSolver, DualState, WarmStart};
-use crate::arith::{ground_arith_rule, ground_arith_rule_naive, ArithRule};
+use crate::arith::{ground_arith_rule_naive, ground_arith_rule_recorded, ArithRule};
 use crate::atom::GroundAtom;
 use crate::database::{Database, Resolved};
-use crate::delta::{DualReuse, RawSlot, RuleSegment, SegRange, SpliceSupport, NO_PRIOR};
+use crate::delta::{ArithSegment, DualReuse, RawSlot, RuleSegment, SpliceSupport, NO_PRIOR};
 use crate::grounding::{
     ground_rule, reference::ground_rule_naive, GroundSink, GroundStats, GroundingError, VarRegistry,
 };
@@ -289,37 +289,57 @@ impl Program {
     /// reference (scan-only) arithmetic grounder for
     /// [`Program::ground_naive`]; `rule_segments` carries the per-rule
     /// splice segmentation of the plan-compiled paths (`None` disables
-    /// splice support on the result).
+    /// splice support on the result). The plan path additionally records
+    /// each arithmetic rule's per-free-binding splice table.
     fn finish_ground(
         &self,
         mut registry: VarRegistry,
         mut sink: GroundSink,
-        stats: FxHashMap<String, GroundStats>,
+        mut stats: FxHashMap<String, GroundStats>,
         mut constant_loss: f64,
         naive_arith: bool,
         rule_segments: Option<Vec<RuleSegment>>,
     ) -> Result<GroundProgram, GroundingError> {
-        let ground_arith = if naive_arith {
-            ground_arith_rule_naive
-        } else {
-            ground_arith_rule
-        };
-        let mut arith_ranges: Vec<SegRange> = Vec::with_capacity(self.arith_rules.len());
+        let mut arith_segments: Vec<ArithSegment> = Vec::with_capacity(self.arith_rules.len());
         for rule in &self.arith_rules {
+            let start = std::time::Instant::now();
             let p0 = sink.potentials.len();
             let c0 = sink.constraints.len();
-            ground_arith(
-                rule,
-                &self.db,
-                &mut registry,
-                &mut sink.potentials,
-                &mut sink.constraints,
-            )
-            .map_err(GroundingError::Arith)?;
-            arith_ranges.push(SegRange {
-                pots: sink.potentials.len() - p0,
-                cons: sink.constraints.len() - c0,
-            });
+            let (astats, table) = if naive_arith {
+                let s = ground_arith_rule_naive(
+                    rule,
+                    &self.db,
+                    &mut registry,
+                    &mut sink.potentials,
+                    &mut sink.constraints,
+                )?;
+                (s, None)
+            } else {
+                let (s, t) = ground_arith_rule_recorded(
+                    rule,
+                    &self.db,
+                    &mut registry,
+                    &mut sink.potentials,
+                    &mut sink.constraints,
+                )?;
+                (s, Some(t))
+            };
+            let mut rstats = GroundStats {
+                substitutions: astats.groundings,
+                potentials: astats.potentials,
+                constraints: astats.constraints,
+                ..GroundStats::default()
+            };
+            rstats.wall = start.elapsed();
+            stats.entry(rule.name.clone()).or_default().absorb(&rstats);
+            if let Some(table) = table {
+                arith_segments.push(ArithSegment {
+                    pots: sink.potentials.len() - p0,
+                    cons: sink.constraints.len() - c0,
+                    stats: rstats,
+                    table,
+                });
+            }
         }
         let mut raw_slots: Vec<RawSlot> = Vec::with_capacity(self.raw.len());
         for raw in &self.raw {
@@ -338,6 +358,14 @@ impl Program {
                 }
             }
         }
+        // Splice support is all-or-nothing: a segment list shorter than
+        // the rule list would make `reground` silently mis-splice the
+        // tail, so the pairing of `rule_segments` with the recording arith
+        // grounder is enforced here rather than assumed.
+        assert!(
+            rule_segments.is_none() || arith_segments.len() == self.arith_rules.len(),
+            "splice support requires one recorded segment per arithmetic rule"
+        );
         Ok(GroundProgram {
             registry,
             potentials: sink.potentials,
@@ -346,7 +374,7 @@ impl Program {
             rule_stats: stats,
             splice: rule_segments.map(|rules| SpliceSupport {
                 rules,
-                arith: arith_ranges,
+                arith: arith_segments,
                 raw: raw_slots,
             }),
             dual_reuse: None,
@@ -395,6 +423,14 @@ impl Program {
     /// The raw terms, in declaration order (for the delta regrounder).
     pub(crate) fn raw_terms(&self) -> &[RawTerm] {
         &self.raw
+    }
+
+    /// The arithmetic rules, in declaration order. Exposed so benches and
+    /// diagnostics can re-ground a single rule in isolation (e.g. to
+    /// compare a wholesale arithmetic re-ground against the delta
+    /// regrounder's per-binding splice).
+    pub fn arith_rules(&self) -> &[ArithRule] {
+        &self.arith_rules
     }
 }
 

@@ -524,4 +524,140 @@ mod grounding_equivalence {
             }
         }
     }
+
+    // -----------------------------------------------------------------
+    // Arithmetic splice tables: random arith rules + mutation sequences.
+    // -----------------------------------------------------------------
+
+    /// A random arithmetic term: a handful of closed-predicate atoms plus
+    /// at most one open-predicate atom, so every product stays linear in
+    /// the MAP variables regardless of the database.
+    fn arb_arith_term() -> impl Strategy<Value = cms_psl::ArithTerm> {
+        use cms_psl::ArithTerm;
+        let closed_atom = (0u32..2, prop::collection::vec((any::<bool>(), 0u32..4), 2));
+        let open_atom = (2u32..4, prop::collection::vec((any::<bool>(), 0u32..4), 2));
+        (
+            -20i32..=20,
+            prop::collection::vec(closed_atom, 0..=2),
+            prop::option::of(open_atom),
+        )
+            .prop_map(|(coef, mut closed, open)| {
+                if closed.is_empty() && open.is_none() {
+                    // A term needs at least one atom; fall back to p0(s0).
+                    closed.push((0, vec![(false, 0), (false, 0)]));
+                }
+                let var_name = |i: u32| format!("V{}", i % 3);
+                let atom = |(p, picks): (u32, Vec<(bool, u32)>)| {
+                    let args: Vec<RTerm> = picks
+                        .into_iter()
+                        .take(ARITIES[p as usize])
+                        .map(|(is_var, x)| {
+                            if is_var {
+                                RTerm::Var(var_name(x))
+                            } else {
+                                cms_psl::rconst(&sym_pool(x % 6))
+                            }
+                        })
+                        .collect();
+                    RAtom {
+                        pred: PredId(p),
+                        args,
+                    }
+                };
+                let atoms: Vec<RAtom> =
+                    closed.into_iter().map(atom).chain(open.map(atom)).collect();
+                ArithTerm {
+                    coef: f64::from(coef) / 10.0,
+                    atoms,
+                }
+            })
+    }
+
+    /// A random, *valid* arithmetic rule: the summation variable (if any)
+    /// is picked from the variables the terms actually use, so the rule
+    /// passes the builder's validation by construction.
+    fn arb_arith_rule() -> impl Strategy<Value = cms_psl::ArithRule> {
+        use cms_psl::{ArithRule, Comparison};
+        (
+            prop::collection::vec(arb_arith_term(), 1..=2),
+            -10i32..=10,                 // constant ×0.1
+            0u32..3,                     // comparison
+            prop::option::of(0u32..=8),  // weight ×0.5
+            any::<bool>(),               // squared
+            prop::option::of(0usize..4), // sum-var pick
+        )
+            .prop_map(|(terms, constant, cmp, weight, squared, sum_pick)| {
+                let used: Vec<String> = {
+                    let mut v: Vec<String> = Vec::new();
+                    for t in terms.iter().flat_map(|t| &t.atoms) {
+                        for a in &t.args {
+                            if let RTerm::Var(name) = a {
+                                if !v.contains(name) {
+                                    v.push(name.clone());
+                                }
+                            }
+                        }
+                    }
+                    v
+                };
+                let sum_vars = match sum_pick {
+                    Some(i) if !used.is_empty() => vec![used[i % used.len()].clone()],
+                    _ => Vec::new(),
+                };
+                ArithRule {
+                    name: "rand-arith".into(),
+                    terms,
+                    constant: f64::from(constant) / 10.0,
+                    comparison: match cmp {
+                        0 => Comparison::LeqZero,
+                        1 => Comparison::EqZero,
+                        _ => Comparison::GeqZero,
+                    },
+                    weight: weight.map(|w| f64::from(w) * 0.5),
+                    squared,
+                    sum_vars,
+                }
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The arithmetic splice tables: regrounding through any mutation
+        /// sequence over programs with random arithmetic rules (value
+        /// re-weights re-fold single bindings, pool mutations diff the
+        /// binding set) stays equivalent to a fresh grounding, chained
+        /// across the whole sequence.
+        #[test]
+        fn arith_reground_equals_full_ground_over_mutation_sequences(
+            db in arb_db(),
+            rule in arb_rule(),
+            arith in prop::collection::vec(arb_arith_rule(), 1..=2),
+            ops in arb_ops(),
+        ) {
+            let mut program = cms_psl::Program::new(vocab_for_arities());
+            program.db = db;
+            program.add_rule(rule);
+            for r in arith {
+                program.add_arith_rule(r);
+            }
+            let mut prior = program.ground().unwrap();
+            let _ = program.db.take_delta();
+            let mut spliced_total = 0usize;
+            for op in ops {
+                apply_op(&mut program, op);
+                let delta = program.db.take_delta();
+                prior = program.reground_owned(prior, &delta).unwrap();
+                let fresh = program.ground().unwrap();
+                prop_assert_eq!(prior.canonical_terms(), fresh.canonical_terms());
+                prop_assert!((prior.constant_loss - fresh.constant_loss).abs() < 1e-9,
+                    "constant loss {} vs {}", prior.constant_loss, fresh.constant_loss);
+                spliced_total += prior.total_stats().arith_bindings_spliced;
+            }
+            // Not every random rule grounds bindings, but the counter must
+            // never be touched by full grounds.
+            prop_assert_eq!(program.ground().unwrap().total_stats().arith_bindings_spliced, 0);
+            let _ = spliced_total;
+        }
+    }
 }

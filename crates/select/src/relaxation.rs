@@ -156,6 +156,9 @@ pub struct WarmRelaxation {
     pub terms_reused: usize,
     /// Cumulative groundings recomputed across regrounds.
     pub terms_recomputed: usize,
+    /// Cumulative arithmetic-rule free bindings spliced without re-folding
+    /// their summations (0 when the program has no arithmetic rules).
+    pub arith_bindings_spliced: usize,
     /// Cumulative warm-started ADMM iterations.
     pub admm_iterations: usize,
     /// Cumulative terms whose scaled duals were carried across a reground
@@ -187,6 +190,7 @@ impl WarmRelaxation {
             flips: 0,
             terms_reused: 0,
             terms_recomputed: 0,
+            arith_bindings_spliced: 0,
             dual_terms_carried: 0,
         })
     }
@@ -241,6 +245,7 @@ impl WarmRelaxation {
         let stats = self.ground.total_stats();
         self.terms_reused += stats.terms_reused;
         self.terms_recomputed += stats.terms_recomputed;
+        self.arith_bindings_spliced += stats.arith_bindings_spliced;
         // Spliced terms keep their ADMM dual state across the reground;
         // only the recomputed ones start cold.
         let carried = self.duals.as_ref().and_then(|d| self.ground.carry_duals(d));

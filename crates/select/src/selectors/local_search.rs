@@ -142,11 +142,12 @@ impl Selector for LocalSearch {
             let soft = r.set_selection(&selection.selected)?;
             selection.note = format!(
                 "relaxation: soft_obj={:.3} flips={} terms_reused={} terms_recomputed={} \
-                 warm_iters={} duals_carried={}",
+                 arith_spliced={} warm_iters={} duals_carried={}",
                 soft,
                 r.flips,
                 r.terms_reused,
                 r.terms_recomputed,
+                r.arith_bindings_spliced,
                 r.admm_iterations,
                 r.dual_terms_carried
             );

@@ -340,7 +340,8 @@ impl PslCollective {
                     vec![ratom(covers_p, &["C", "T"]), ratom(in_map_p, &["C"])],
                 )
                 .sum_over("C")
-                .build(),
+                .build()
+                .expect("explain-cap rule is valid"),
         );
         // (R3)
         program.add_rule(
@@ -366,7 +367,8 @@ impl PslCollective {
                     vec![ratom(size_frac_p, &["C"]), ratom(in_map_p, &["C"])],
                 )
                 .weight(weights.w_size * max_size)
-                .build(),
+                .build()
+                .expect("size-prior rule is valid"),
         );
 
         (program, in_map_p)

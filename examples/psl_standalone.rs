@@ -93,7 +93,8 @@ fn main() {
         ArithRuleBuilder::new("risk-cap")
             .term(1.0, vec![ratom(cancer_risk, "P")])
             .term(-1.0, vec![ratom(smokes, "P")])
-            .build(),
+            .build()
+            .expect("risk-cap rule is valid"),
     );
 
     let ground = program.ground().expect("program grounds");

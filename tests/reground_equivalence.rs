@@ -297,9 +297,17 @@ fn removed_deltas_invalidate_index_and_match_fresh_ground() {
         prior.rule_stats["error-link"].terms_recomputed, 0,
         "error-link does not depend on covers and must splice"
     );
+    // explain-cap depends on covers, but the per-binding splice table
+    // means only the bindings the retracted atoms fed are re-folded (or
+    // compacted out if they vanished) — the rest splice unchanged.
     assert!(
-        prior.rule_stats["explain-cap"].terms_recomputed > 0,
-        "explain-cap depends on covers and must re-ground"
+        prior.rule_stats["explain-cap"].arith_bindings_spliced > 0,
+        "untouched explain-cap bindings must splice through a retraction: {:?}",
+        prior.rule_stats["explain-cap"]
+    );
+    assert!(
+        prior.rule_stats["explain-cap"].terms_reused > 0,
+        "spliced explain-cap bindings must reuse their terms"
     );
     // Even through a pool delta, the clean sources keep dual identity.
     let carried = prior.carry_duals(&duals).expect("reuse map present");
@@ -392,6 +400,125 @@ fn dual_state_roundtrips_through_noop_regrounds() {
         "warm {} vs cold {}",
         sol.total_objective(),
         fresh.total_objective()
+    );
+}
+
+/// The arithmetic splice table: a value-only delta on a
+/// summation-contributing atom must re-fold only the free bindings that
+/// atom feeds — every other binding splices byte-identically and keeps its
+/// ADMM scaled duals bit-for-bit.
+#[test]
+fn arith_value_flips_splice_per_binding_and_retain_duals() {
+    let config = ScenarioConfig {
+        rows_per_relation: 10,
+        noise: NoiseConfig::uniform(25.0),
+        seed: 4,
+        ..ScenarioConfig::all_primitives(1)
+    };
+    let scenario = generate(&config);
+    let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
+    let selector = PslCollective::default();
+    let (mut program, _) =
+        selector.build_declarative_program(&model, &ObjectiveWeights::unweighted());
+    let covers = program.vocab.id_of("covers").expect("covers predicate");
+
+    let prior = program.ground().expect("declarative program grounds");
+    let _ = program.db.take_delta();
+    let cap_bindings = prior.rule_stats["explain-cap"].substitutions;
+    assert!(cap_bindings > 1, "need several explain-cap bindings");
+    let (_, duals0) = prior.solve_warm_dual(&AdmmConfig::default(), &[], None);
+
+    // Re-weight one covers observation: a value-only delta through the
+    // explain-cap summation.
+    let atom = program.db.atoms_of(covers)[0].clone();
+    let old = program.db.observed_value(&atom).expect("covers observed");
+    let new = if old > 0.5 { old - 0.45 } else { old + 0.45 };
+    program.db.observe(atom.clone(), new);
+    let delta = program.db.take_delta();
+    assert_eq!(delta.len(), 1, "the re-weight must log one Changed entry");
+    assert!(!delta.pools_changed(), "re-weights are value-only deltas");
+
+    let incremental = program.reground(&prior, &delta).expect("regrounds");
+    let fresh = program.ground().expect("full ground succeeds");
+    assert_equivalent("covers re-weight", &incremental, &fresh);
+
+    let cap = &incremental.rule_stats["explain-cap"];
+    assert!(
+        cap.terms_recomputed > 0,
+        "the mutated atom's binding must re-fold: {cap:?}"
+    );
+    assert!(
+        cap.arith_bindings_spliced > 0,
+        "untouched bindings must splice: {cap:?}"
+    );
+    assert_eq!(
+        cap.arith_bindings_spliced + cap.terms_recomputed,
+        cap_bindings,
+        "explain-cap is hard (one constraint per binding), so spliced + \
+         re-folded bindings must cover the segment: {cap:?}"
+    );
+    // The size-prior arith rule does not depend on covers: wholesale splice.
+    let sp = &incremental.rule_stats["size-prior"];
+    assert_eq!(sp.terms_recomputed, 0, "size-prior must splice: {sp:?}");
+
+    // Value-only regrounds keep every term's position, so the carried
+    // duals line up index-for-index: spliced terms keep their vectors
+    // bit-for-bit, re-folded ones start cold (empty).
+    assert_eq!(incremental.constraints.len(), prior.constraints.len());
+    assert_eq!(incremental.potentials.len(), prior.potentials.len());
+    let carried = incremental
+        .carry_duals(&duals0)
+        .expect("regrounds carry a term-identity map");
+    let mut kept = 0usize;
+    let mut cold = 0usize;
+    for (i, d) in carried.constraint_duals().iter().enumerate() {
+        if d.is_empty() {
+            cold += 1;
+        } else {
+            assert_eq!(
+                d,
+                &duals0.constraint_duals()[i],
+                "spliced constraint {i} must keep its dual vector exactly"
+            );
+            kept += 1;
+        }
+    }
+    for (i, d) in carried.potential_duals().iter().enumerate() {
+        if !d.is_empty() {
+            assert_eq!(
+                d,
+                &duals0.potential_duals()[i],
+                "spliced potential {i} must keep its dual vector exactly"
+            );
+        }
+    }
+    assert!(kept > 0, "untouched arith bindings must carry duals");
+    assert_eq!(
+        cold, cap.terms_recomputed,
+        "exactly the re-folded bindings start cold"
+    );
+
+    // An added covers atom (pool delta) still splices the untouched
+    // bindings: new bindings ground fresh, surviving unaffected ones keep
+    // their terms.
+    let new_atom = (0..model.num_candidates)
+        .flat_map(|c| (0..model.num_targets()).map(move |t| (c, t)))
+        .map(|(c, t)| cms_psl::GroundAtom::from_strs(covers, &[&format!("c{c}"), &format!("t{t}")]))
+        .find(|a| program.db.observed_value(a).is_none())
+        .expect("some covers pair is unobserved");
+    program.db.observe(new_atom, 0.6);
+    let delta = program.db.take_delta();
+    assert!(delta.pools_changed());
+    let incremental = program
+        .reground_owned(incremental, &delta)
+        .expect("regrounds");
+    let fresh = program.ground().expect("full ground succeeds");
+    assert_equivalent("covers add", &incremental, &fresh);
+    let cap = &incremental.rule_stats["explain-cap"];
+    assert!(
+        cap.arith_bindings_spliced > 0,
+        "a pool delta must still splice the bindings the added atom cannot \
+         reach: {cap:?}"
     );
 }
 
