@@ -222,6 +222,54 @@ fn bench_regrounding(c: &mut Criterion) {
             });
         });
     }
+
+    // Self-healing overhead on the clean path: the same delta + warm-ADMM
+    // flip sequence on `all_primitives(4)`, once with the watchdog fully
+    // disarmed and once with stall detection, a wall-clock budget, and
+    // restarts armed (the delta guard is inherent to `reground_owned` and
+    // runs in both). No fault ever fires, so the pair isolates the pure
+    // bookkeeping cost; CI gates `watchdog/plain ≤ 1.05` via
+    // `bench_gate --ratio`.
+    {
+        let model = scenario_model(4);
+        let configs = [
+            ("warm-flip-plain", cms_psl::AdmmConfig::default()),
+            (
+                "warm-flip-watchdog",
+                cms_psl::AdmmConfig {
+                    stall_window: 1000,
+                    time_budget: Some(std::time::Duration::from_secs(60)),
+                    max_restarts: 2,
+                    ..cms_psl::AdmmConfig::default()
+                },
+            ),
+        ];
+        for (name, cfg) in configs {
+            let (mut program, preds) = build_eval_program(&model, &weights, &[]);
+            let prior = RefCell::new(program.ground().expect("grounds"));
+            let values = RefCell::new(prior.borrow().solve(&cfg).admm.values.clone());
+            let _ = program.db.take_delta();
+            let mut on = false;
+            group.bench_with_input(BenchmarkId::new(name, 4), &4, |b, _| {
+                b.iter(|| {
+                    on = !on;
+                    program.db.observe(
+                        cms_psl::GroundAtom::from_strs(preds.in_map, &["c0"]),
+                        f64::from(u8::from(on)),
+                    );
+                    let delta = program.db.take_delta();
+                    let next = program
+                        .reground_owned(prior.take(), &delta)
+                        .expect("regrounds");
+                    let sol = next.solve_warm(&cfg, &values.borrow());
+                    assert!(sol.admm.health.is_nominal(), "clean path must stay nominal");
+                    values.borrow_mut().clone_from(&sol.admm.values);
+                    *prior.borrow_mut() = next;
+                    std::hint::black_box(sol.total_objective())
+                });
+            });
+        }
+    }
     group.finish();
 }
 

@@ -17,13 +17,27 @@
 //! ```text
 //! bench_gate --baseline BENCH_grounding_baseline.json --log grounding.log \
 //!            --baseline BENCH_regrounding_baseline.json --log regrounding.log \
-//!            [--factor 2.0]
+//!            [--factor 2.0] [--ratio a/x/1:b/y/1<=1.05]...
 //! ```
 //!
-//! Exit code 1 on any regression or on a baseline bench missing from the
-//! logs (bit-rotted bench names should fail CI too).
+//! `--ratio A:B<=L` additionally requires the *current* min of bench `A`
+//! to be at most `L ×` the current min of bench `B` — a same-run
+//! comparison that survives machine changes, used to gate the
+//! self-healing watchdog's clean-path overhead at ≤5%.
+//!
+//! The report is a structured diff, not a panic trace:
+//!
+//! * `FAIL <name>: … regression` — current min exceeded the limit;
+//! * `FAIL <name>: … missing from bench logs` — a baseline bench no log
+//!   reported (bit-rotted bench names must fail CI too);
+//! * `note <name>: … not in any baseline` — a logged bench no baseline
+//!   covers (warning only: new benches land before their baseline does,
+//!   and each log is checked against the union of all baselines);
+//! * unreadable/malformed files and bad arguments report the offending
+//!   path and exit non-zero (exit code 2 for usage errors, 1 for gate
+//!   failures) instead of panicking.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::process::ExitCode;
 
 /// Pull `"field":<number>` out of a JSON-ish line (our own fixed format).
@@ -55,10 +69,11 @@ fn bench_name(line: &str) -> Option<String> {
 }
 
 /// Parse `name -> (mean_ns, min_ns)` from either a bench log or a
-/// baseline snapshot (both carry one bench per line).
-fn parse(path: &str) -> BTreeMap<String, (f64, f64)> {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("bench_gate: cannot read {path}: {e}"));
+/// baseline snapshot (both carry one bench per line). An unreadable file
+/// is an error; a readable file with no bench lines is reported too, so a
+/// truncated log cannot silently pass the gate.
+fn parse(path: &str) -> Result<BTreeMap<String, (f64, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut out = BTreeMap::new();
     for line in text.lines() {
         let (Some(name), Some(mean)) = (bench_name(line), field(line, "mean_ns")) else {
@@ -67,41 +82,77 @@ fn parse(path: &str) -> BTreeMap<String, (f64, f64)> {
         let min = field(line, "min_ns").unwrap_or(mean);
         out.insert(name, (mean, min));
     }
-    out
+    if out.is_empty() {
+        return Err(format!("no benchmark lines found in {path}"));
+    }
+    Ok(out)
 }
 
-fn main() -> ExitCode {
-    let mut baselines: Vec<String> = Vec::new();
-    let mut logs: Vec<String> = Vec::new();
-    let mut factor = 2.0f64;
+struct Args {
+    baselines: Vec<String>,
+    logs: Vec<String>,
+    factor: f64,
+    /// Same-run bounds `(numerator, denominator, limit)` from `--ratio`.
+    ratios: Vec<(String, String, f64)>,
+}
+
+/// Parse one `--ratio` spec of the form `A:B<=L`.
+fn parse_ratio(spec: &str) -> Result<(String, String, f64), String> {
+    let bad = || format!("--ratio must look like bench_a:bench_b<=1.05, got {spec:?}");
+    let (names, limit) = spec.split_once("<=").ok_or_else(bad)?;
+    let (a, b) = names.split_once(':').ok_or_else(bad)?;
+    let limit: f64 = limit.parse().map_err(|_| bad())?;
+    if a.is_empty() || b.is_empty() || !limit.is_finite() || limit <= 0.0 {
+        return Err(bad());
+    }
+    Ok((a.to_owned(), b.to_owned(), limit))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        baselines: Vec::new(),
+        logs: Vec::new(),
+        factor: 2.0,
+        ratios: Vec::new(),
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--baseline" => baselines.push(args.next().expect("--baseline needs a path")),
-            "--log" => logs.push(args.next().expect("--log needs a path")),
+            "--baseline" => parsed
+                .baselines
+                .push(args.next().ok_or("--baseline needs a path")?),
+            "--log" => parsed.logs.push(args.next().ok_or("--log needs a path")?),
+            "--ratio" => parsed
+                .ratios
+                .push(parse_ratio(&args.next().ok_or("--ratio needs a spec")?)?),
             "--factor" => {
-                factor = args
-                    .next()
-                    .expect("--factor needs a value")
+                let raw = args.next().ok_or("--factor needs a value")?;
+                parsed.factor = raw
                     .parse()
-                    .expect("--factor must be a number");
+                    .map_err(|_| format!("--factor must be a number, got {raw:?}"))?;
             }
-            other => panic!("bench_gate: unknown argument {other:?}"),
+            other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    assert!(
-        !baselines.is_empty() && !logs.is_empty(),
-        "usage: bench_gate --baseline <json>... --log <bench output>... [--factor 2.0]"
-    );
+    if parsed.baselines.is_empty() || parsed.logs.is_empty() {
+        return Err(
+            "usage: bench_gate --baseline <json>... --log <bench output>... [--factor 2.0]"
+                .to_owned(),
+        );
+    }
+    Ok(parsed)
+}
 
+fn run(args: &Args) -> Result<usize, String> {
     let mut current: BTreeMap<String, (f64, f64)> = BTreeMap::new();
-    for log in &logs {
-        current.extend(parse(log));
+    for log in &args.logs {
+        current.extend(parse(log)?);
     }
     let mut failures = 0usize;
     let mut checked = 0usize;
-    for baseline_file in &baselines {
-        for (name, (base_mean, _)) in parse(baseline_file) {
+    let mut covered: BTreeSet<String> = BTreeSet::new();
+    for baseline_file in &args.baselines {
+        for (name, (base_mean, _)) in parse(baseline_file)? {
             let Some(&(cur_mean, cur_min)) = current.get(&name) else {
                 println!("FAIL {name}: present in {baseline_file} but missing from bench logs");
                 failures += 1;
@@ -109,21 +160,61 @@ fn main() -> ExitCode {
             };
             checked += 1;
             let ratio = cur_min / base_mean;
-            let verdict = if cur_min > factor * base_mean {
+            let verdict = if cur_min > args.factor * base_mean {
                 failures += 1;
                 "FAIL"
             } else {
                 "ok"
             };
             println!(
-                "{verdict:4} {name}: baseline mean {base_mean:.0} ns, current mean {cur_mean:.0} / min {cur_min:.0} ns (min/baseline = {ratio:.2}x, limit {factor:.1}x)"
+                "{verdict:4} {name}: baseline mean {base_mean:.0} ns, current mean {cur_mean:.0} / min {cur_min:.0} ns (min/baseline = {ratio:.2}x, limit {:.1}x)",
+                args.factor
             );
+            covered.insert(name);
         }
     }
+    for name in current.keys() {
+        if !covered.contains(name) {
+            println!("note {name}: in bench logs but not in any baseline (unguarded)");
+        }
+    }
+    for (a, b, limit) in &args.ratios {
+        let (Some(&(_, min_a)), Some(&(_, min_b))) = (current.get(a), current.get(b)) else {
+            let missing = if current.contains_key(a) { b } else { a };
+            println!("FAIL ratio {a}:{b}: {missing} missing from bench logs");
+            failures += 1;
+            continue;
+        };
+        checked += 1;
+        let ratio = min_a / min_b;
+        let verdict = if ratio > *limit {
+            failures += 1;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "{verdict:4} ratio {a}:{b}: min {min_a:.0} / {min_b:.0} ns = {ratio:.3}x (limit {limit:.2}x)"
+        );
+    }
     println!("bench_gate: {checked} benchmarks checked, {failures} regression(s)");
-    if failures > 0 {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("bench_gate: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("bench_gate: {msg}");
+            ExitCode::from(2)
+        }
     }
 }

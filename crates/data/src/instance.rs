@@ -29,6 +29,16 @@
 //! positions — invalidate it for a lazy rebuild. `built_at`/`stamp`
 //! generations are exposed via [`Instance::index_stamp`] so callers (and
 //! tests) can verify an index survived a batch of appends.
+//!
+//! ## Lock poisoning
+//!
+//! Both lazy structures (membership map, column index) live behind
+//! `RwLock`s whose poisoning is deliberately **recovered**, not
+//! propagated: every writer builds its replacement value completely and
+//! only then assigns it under the guard, so a panic elsewhere can never
+//! leave a half-updated cache visible. Cascading the original panic into
+//! every later reader (the `expect` idiom) would turn one failed worker
+//! into a wedged pipeline for no integrity gain.
 
 use crate::fx::FxHashMap;
 use crate::schema::RelId;
@@ -248,18 +258,21 @@ impl RelationData {
         let built = self
             .lookup
             .get_mut()
-            .expect("lookup lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .is_some();
         if !built {
             let mut map = FxHashMap::with_capacity_and_hasher(self.len(), Default::default());
             for i in 0..self.len() {
                 map.insert(self.row(i).to_vec(), i);
             }
-            *self.lookup.get_mut().expect("lookup lock poisoned") = Some(map);
+            *self
+                .lookup
+                .get_mut()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(map);
         }
         self.lookup
             .get_mut()
-            .expect("lookup lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .as_mut()
             .expect("lookup just ensured")
     }
@@ -269,10 +282,18 @@ impl RelationData {
     /// concurrent readers don't serialize on the write lock once the map
     /// exists.
     fn ensure_lookup(&self) {
-        if self.lookup.read().expect("lookup lock poisoned").is_some() {
+        if self
+            .lookup
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .is_some()
+        {
             return;
         }
-        let mut guard = self.lookup.write().expect("lookup lock poisoned");
+        let mut guard = self
+            .lookup
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if guard.is_none() {
             let mut map = FxHashMap::with_capacity_and_hasher(self.len(), Default::default());
             for i in 0..self.len() {
@@ -285,7 +306,12 @@ impl RelationData {
     /// Append one row's values to the flat storage.
     fn push_row(&mut self, row: &[Value]) {
         self.flat.extend_from_slice(row);
-        let end = u32::try_from(self.flat.len()).expect("relation too large");
+        // Capacity contract: offsets are u32, so one relation holds at
+        // most 2^32 − 1 values (tens of GiB). A genuinely reachable limit,
+        // but an allocation-scale one — panicking with a clear message at
+        // the boundary beats threading a Result through every insert path
+        // for a situation the process cannot continue from anyway.
+        let end = u32::try_from(self.flat.len()).expect("relation exceeds u32 value capacity");
         self.offsets.push(end);
     }
 
@@ -301,7 +327,7 @@ impl RelationData {
         if let Some(idx) = self
             .cols
             .get_mut()
-            .expect("column index lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .as_mut()
         {
             idx.append(&row, pos as u32);
@@ -339,12 +365,12 @@ impl RelationData {
         let map_built = self
             .lookup
             .get_mut()
-            .expect("lookup lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .is_some();
         let cols_built = self
             .cols
             .get_mut()
-            .expect("column index lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .is_some();
         if map_built || cols_built {
             for (k, row) in values.chunks(arity).enumerate() {
@@ -352,7 +378,7 @@ impl RelationData {
                 if map_built {
                     self.lookup
                         .get_mut()
-                        .expect("lookup lock poisoned")
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
                         .as_mut()
                         .expect("checked above")
                         .insert(row.to_vec(), pos);
@@ -361,7 +387,7 @@ impl RelationData {
                     let idx = self
                         .cols
                         .get_mut()
-                        .expect("column index lock poisoned")
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
                         .as_mut()
                         .expect("checked above");
                     idx.append(row, pos as u32);
@@ -370,9 +396,12 @@ impl RelationData {
             }
         }
         self.flat.extend_from_slice(values);
+        // Invariant: `offsets` is constructed with one element and only
+        // ever pushed to, so `last()` cannot be `None`.
         let base = *self.offsets.last().expect("offsets never empty") as usize;
         for k in 1..=n {
-            let end = u32::try_from(base + k * arity).expect("relation too large");
+            // Same u32 capacity contract as `push_row`.
+            let end = u32::try_from(base + k * arity).expect("relation exceeds u32 value capacity");
             self.offsets.push(end);
         }
     }
@@ -396,12 +425,16 @@ impl RelationData {
         let lookup = self
             .lookup
             .get_mut()
-            .expect("lookup lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .as_mut()
+            // Invariant: `lookup_mut` above built the map before the
+            // positional `remove` could succeed.
             .expect("lookup ensured by remove");
         for i in pos..n {
             let r = &self.flat[self.offsets[i] as usize..self.offsets[i + 1] as usize];
-            *lookup.get_mut(r).expect("index out of sync") = i;
+            // Invariant: the map was built from (or kept in sync with)
+            // exactly these rows, so every surviving row has an entry.
+            *lookup.get_mut(r).expect("lookup entry for surviving row") = i;
         }
         self.generation += 1;
         self.invalidate();
@@ -413,7 +446,7 @@ impl RelationData {
         self.ensure_lookup();
         self.lookup
             .read()
-            .expect("lookup lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .as_ref()
             .expect("lookup just ensured")
             .contains_key(row)
@@ -452,19 +485,25 @@ impl RelationData {
     pub fn index_stamp(&self) -> Option<(u64, u64)> {
         self.cols
             .read()
-            .expect("column index lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .as_ref()
             .map(|idx| (idx.built_at, idx.stamp))
     }
 
     /// Drop the column index (only removes need this: row positions shift).
     fn invalidate(&mut self) {
-        *self.cols.get_mut().expect("column index lock poisoned") = None;
+        *self
+            .cols
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
     }
 
     /// Build the column index if absent.
     fn ensure_col_index(&self) {
-        let mut guard = self.cols.write().expect("column index lock poisoned");
+        let mut guard = self
+            .cols
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if guard.is_none() {
             let mut idx = ColumnIndex {
                 built_at: self.generation,
@@ -481,7 +520,10 @@ impl RelationData {
     /// Read access to the column index, building it if needed.
     pub fn col_index(&self) -> ColIndexRef<'_> {
         loop {
-            let guard = self.cols.read().expect("column index lock poisoned");
+            let guard = self
+                .cols
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if guard.is_some() {
                 return ColIndexRef { guard };
             }

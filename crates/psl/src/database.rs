@@ -25,7 +25,14 @@ use crate::atom::GroundAtom;
 use crate::delta::{DbDelta, DeltaEntry, DeltaKind};
 use crate::predicate::{PredId, Vocabulary};
 use cms_data::{FxHashMap, FxHashSet, Sym};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{RwLock, RwLockReadGuard};
+
+/// Process-wide database identity counter. Every [`Database`] — including
+/// clones — gets a distinct id, so a [`DbDelta`] can prove which database
+/// produced it and [`crate::Program::reground`] can reject deltas from a
+/// different one.
+static NEXT_DB_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Posting lists of the argument-position index.
 #[derive(Debug, Default)]
@@ -69,7 +76,7 @@ impl AtomIndex {
 }
 
 /// Observed truths in `[0,1]` plus the set of atoms to infer.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Database {
     observations: FxHashMap<GroundAtom, f64>,
     targets: FxHashSet<GroundAtom>,
@@ -82,6 +89,17 @@ pub struct Database {
     generation: u64,
     /// Mutations since the last [`Database::take_delta`].
     pending: Vec<DeltaEntry>,
+    /// Process-unique identity (fresh for every database, clones included).
+    id: u64,
+    /// Generation at the last [`Database::take_delta`] (or at creation) —
+    /// the base stamp of the next drained delta.
+    delta_base: u64,
+}
+
+impl Default for Database {
+    fn default() -> Database {
+        Database::new()
+    }
 }
 
 impl Clone for Database {
@@ -94,6 +112,10 @@ impl Clone for Database {
             index: RwLock::new(None),
             generation: self.generation,
             pending: self.pending.clone(),
+            // The clone is a *different* database: deltas it drains must
+            // not validate against ground programs of the original.
+            id: NEXT_DB_ID.fetch_add(1, Ordering::Relaxed),
+            delta_base: self.delta_base,
         }
     }
 }
@@ -110,7 +132,23 @@ pub enum Resolved {
 impl Database {
     /// An empty database.
     pub fn new() -> Database {
-        Database::default()
+        Database {
+            observations: FxHashMap::default(),
+            targets: FxHashSet::default(),
+            by_pred: FxHashMap::default(),
+            index: RwLock::new(None),
+            generation: 0,
+            pending: Vec::new(),
+            id: NEXT_DB_ID.fetch_add(1, Ordering::Relaxed),
+            delta_base: 0,
+        }
+    }
+
+    /// Process-unique identity of this database. Clones get fresh ids, so
+    /// a [`DbDelta`] stamped with one database's id never validates
+    /// against a ground program of another.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Record an observation. Values are clamped to `[0,1]`.
@@ -214,8 +252,26 @@ impl Database {
     /// creation). The returned [`DbDelta`] describes exactly the mutations
     /// between two grounding snapshots — feed it to
     /// [`crate::Program::reground`].
+    /// The drained delta is stamped `(base, end, db)` so the reground
+    /// guard can verify it is *the* delta between the prior ground's
+    /// snapshot and this database's current state — every effective
+    /// mutation bumps the generation exactly once and logs exactly one
+    /// entry, so `len == end − base` is an invariant the guard checks.
     pub fn take_delta(&mut self) -> DbDelta {
-        DbDelta::new(std::mem::take(&mut self.pending))
+        let mut entries = std::mem::take(&mut self.pending);
+        // Fault-harness hooks: corrupt the drained log (never the
+        // database) so the delta guard's count invariant must catch it.
+        if crate::fault::take(crate::fault::Fault::DropDeltaEntry) {
+            entries.pop();
+        }
+        if crate::fault::take(crate::fault::Fault::DuplicateDeltaEntry) {
+            if let Some(last) = entries.last().cloned() {
+                entries.push(last);
+            }
+        }
+        let base = self.delta_base;
+        self.delta_base = self.generation;
+        DbDelta::new(entries, base, self.generation, self.id)
     }
 
     /// Current mutation generation (bumped on every effective write).

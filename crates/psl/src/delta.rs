@@ -132,19 +132,56 @@ pub struct DeltaEntry {
 }
 
 /// An ordered batch of database mutations between two grounding snapshots.
+///
+/// Deltas are **stamped** by [`crate::Database::take_delta`] with the
+/// generation span they cover (`base..end`) and the identity of the
+/// database that produced them; [`crate::Program::reground`] refuses — via
+/// [`RegroundError::StateMismatch`] — to splice a delta whose stamps do
+/// not line up with the prior ground program and the current database.
 #[derive(Clone, Default, Debug)]
 pub struct DbDelta {
     entries: Vec<DeltaEntry>,
+    /// Database generation the delta starts from (the generation the prior
+    /// grounding snapshot was taken at).
+    base: u64,
+    /// Database generation after the last logged mutation.
+    end: u64,
+    /// Identity of the producing [`crate::Database`].
+    db: u64,
 }
 
 impl DbDelta {
-    pub(crate) fn new(entries: Vec<DeltaEntry>) -> DbDelta {
-        DbDelta { entries }
+    pub(crate) fn new(entries: Vec<DeltaEntry>, base: u64, end: u64, db: u64) -> DbDelta {
+        DbDelta {
+            entries,
+            base,
+            end,
+            db,
+        }
     }
 
-    /// True iff no mutations were logged.
+    /// Generation this delta starts from.
+    pub fn base_generation(&self) -> u64 {
+        self.base
+    }
+
+    /// Generation this delta ends at.
+    pub fn end_generation(&self) -> u64 {
+        self.end
+    }
+
+    /// Identity ([`crate::Database::id`]) of the producing database.
+    pub fn db_id(&self) -> u64 {
+        self.db
+    }
+
+    /// True iff no mutations were logged **and** the generation span is
+    /// zero. An entry-less delta whose stamps span one or more generations
+    /// is *not* empty — it claims mutations happened but carries no record
+    /// of them (e.g. a tampered log), and skipping it would silently lose
+    /// writes; the reground guard rejects it instead.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.is_empty() && self.end == self.base
     }
 
     /// Number of logged mutations.
@@ -398,6 +435,108 @@ impl DualReuse {
     }
 }
 
+/// Why an incremental reground refused to run (or failed while running).
+///
+/// `StateMismatch` is the **delta guard** speaking: the prior ground
+/// program, the delta, and the current database do not describe one
+/// consistent timeline, so splicing would silently produce a wrong
+/// program. Callers on the degradation ladder respond with a fresh
+/// [`crate::Program::ground`] (see `docs/robustness.md`).
+#[derive(Clone, PartialEq, Debug)]
+pub enum RegroundError {
+    /// The guard rejected the prior/delta pair before any splicing.
+    StateMismatch {
+        /// Which invariant was violated, in human-readable form.
+        reason: String,
+    },
+    /// The underlying (re-)grounding failed.
+    Grounding(GroundingError),
+}
+
+impl std::fmt::Display for RegroundError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegroundError::StateMismatch { reason } => {
+                write!(f, "reground state mismatch: {reason}")
+            }
+            RegroundError::Grounding(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegroundError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegroundError::StateMismatch { .. } => None,
+            RegroundError::Grounding(e) => Some(e),
+        }
+    }
+}
+
+impl From<GroundingError> for RegroundError {
+    fn from(e: GroundingError) -> RegroundError {
+        RegroundError::Grounding(e)
+    }
+}
+
+/// Shape-check a prior's splice support against its term pools before any
+/// splicing: the segments must tile both pools exactly, and every recorded
+/// slot ordinal must lie inside its segment. Returns the violated
+/// invariant on failure.
+fn validate_support(
+    support: &SpliceSupport,
+    num_pots: usize,
+    num_cons: usize,
+) -> Result<(), String> {
+    let mut pots = 0usize;
+    let mut cons = 0usize;
+    for (i, seg) in support.rules.iter().enumerate() {
+        for slot in seg.slots.values() {
+            match *slot {
+                TermSlot::Potential(p) if (p as usize) >= seg.pots => {
+                    return Err(format!(
+                        "rule segment {i}: potential ordinal {p} out of range \
+                         (segment owns {})",
+                        seg.pots
+                    ));
+                }
+                TermSlot::Constraint(c) if (c as usize) >= seg.cons => {
+                    return Err(format!(
+                        "rule segment {i}: constraint ordinal {c} out of range \
+                         (segment owns {})",
+                        seg.cons
+                    ));
+                }
+                _ => {}
+            }
+        }
+        pots += seg.pots;
+        cons += seg.cons;
+    }
+    for seg in &support.arith {
+        pots += seg.pots;
+        cons += seg.cons;
+    }
+    for slot in &support.raw {
+        match slot {
+            RawSlot::Potential => pots += 1,
+            RawSlot::Constraint => cons += 1,
+            RawSlot::ConstLoss(_) => {}
+        }
+    }
+    if pots != num_pots {
+        return Err(format!(
+            "splice segments cover {pots} potentials but the prior holds {num_pots}"
+        ));
+    }
+    if cons != num_cons {
+        return Err(format!(
+            "splice segments cover {cons} constraints but the prior holds {num_cons}"
+        ));
+    }
+    Ok(())
+}
+
 /// Drop `dead` elements from `items`, returning the old → new index map
 /// (entries for dropped elements are `u32::MAX`).
 fn compact<T>(items: &mut Vec<T>, dead: &[bool]) -> Vec<u32> {
@@ -424,15 +563,21 @@ impl Program {
     /// `prior` must be the grounding of this program against the database
     /// state *immediately before* the delta's mutations (i.e. the delta
     /// returned by [`crate::Database::take_delta`] spans exactly the
-    /// writes since `prior` was produced). The result is equivalent to a
-    /// fresh [`Program::ground`] up to term and variable order; if `prior`
-    /// carries no splice support (naive grounding, or the program's rule
-    /// list changed), a full grounding runs instead.
+    /// writes since `prior` was produced). A **delta guard** verifies this
+    /// before any splicing — the delta's generation span must start at the
+    /// prior's snapshot, end at the current database state, come from the
+    /// same database, and carry exactly one entry per generation step —
+    /// and rejects the call with [`RegroundError::StateMismatch`]
+    /// otherwise (a stale, double-drained, foreign, or tampered delta
+    /// would silently splice a wrong program). The result is equivalent to
+    /// a fresh [`Program::ground`] up to term and variable order; if
+    /// `prior` carries no splice support (naive grounding, or the
+    /// program's rule list changed), a full grounding runs instead.
     pub fn reground(
         &self,
         prior: &GroundProgram,
         delta: &DbDelta,
-    ) -> Result<GroundProgram, GroundingError> {
+    ) -> Result<GroundProgram, RegroundError> {
         self.reground_owned(prior.clone(), delta)
     }
 
@@ -443,9 +588,66 @@ impl Program {
         &self,
         mut prior: GroundProgram,
         delta: &DbDelta,
-    ) -> Result<GroundProgram, GroundingError> {
+    ) -> Result<GroundProgram, RegroundError> {
+        // Delta guard, stage 1: the timeline stamps. Runs before the
+        // empty-delta early-out so even a dropped-to-empty delta is caught.
+        if let Some((db_id, generation)) = prior.stamp {
+            let mismatch = |reason: String| Err(RegroundError::StateMismatch { reason });
+            if delta.db_id() != db_id {
+                return mismatch(format!(
+                    "delta from database {} but the prior was grounded against database {db_id}",
+                    delta.db_id()
+                ));
+            }
+            if self.db.id() != db_id {
+                return mismatch(format!(
+                    "prior was grounded against database {db_id} but this program holds \
+                     database {}",
+                    self.db.id()
+                ));
+            }
+            if delta.base_generation() != generation {
+                return mismatch(format!(
+                    "delta starts at generation {} but the prior snapshot is at {generation} \
+                     (stale, re-applied, or double-drained delta)",
+                    delta.base_generation()
+                ));
+            }
+            if delta.end_generation() != self.db.generation() {
+                return mismatch(format!(
+                    "delta ends at generation {} but the database is at {} \
+                     (mutations after take_delta)",
+                    delta.end_generation(),
+                    self.db.generation()
+                ));
+            }
+            if delta.end_generation().checked_sub(delta.base_generation())
+                != Some(delta.len() as u64)
+            {
+                return mismatch(format!(
+                    "delta carries {} entries for a generation span of {} \
+                     (entries dropped or duplicated)",
+                    delta.len(),
+                    delta.end_generation() - delta.base_generation()
+                ));
+            }
+        }
         if delta.is_empty() {
             return Ok(prior);
+        }
+        // Fault-harness hook: corrupt one recorded slot ordinal so the
+        // shape check below must refuse to splice.
+        if crate::fault::take(crate::fault::Fault::CorruptSpliceOrdinal) {
+            if let Some(support) = prior.splice.as_mut() {
+                'corrupt: for seg in support.rules.iter_mut() {
+                    for slot in seg.slots.values_mut() {
+                        if let TermSlot::Potential(p) = slot {
+                            *p = u32::MAX;
+                            break 'corrupt;
+                        }
+                    }
+                }
+            }
         }
         let support = match prior.splice.take() {
             Some(s)
@@ -455,8 +657,28 @@ impl Program {
             {
                 s
             }
-            _ => return self.ground(),
+            _ => return Ok(self.ground()?),
         };
+        // Delta guard, stage 2: the splice tables must tile the prior term
+        // pools with in-range ordinals, and the dual-reuse map (if any)
+        // must align with them, or splicing would index garbage.
+        validate_support(&support, prior.potentials.len(), prior.constraints.len())
+            .map_err(|reason| RegroundError::StateMismatch { reason })?;
+        if let Some(reuse) = &prior.dual_reuse {
+            if reuse.pots.len() != prior.potentials.len()
+                || reuse.cons.len() != prior.constraints.len()
+            {
+                return Err(RegroundError::StateMismatch {
+                    reason: format!(
+                        "dual-reuse map covers {}/{} terms but the prior holds {}/{}",
+                        reuse.pots.len(),
+                        reuse.cons.len(),
+                        prior.potentials.len(),
+                        prior.constraints.len()
+                    ),
+                });
+            }
+        }
         self.validate_rule_arities()?;
         self.db.ensure_index();
 
@@ -557,6 +779,9 @@ impl Program {
                 let guard = self.db.index();
                 let idx = guard
                     .as_ref()
+                    // Fault-harness hook: pretend the index vanished
+                    // mid-reground (a forced invalidation).
+                    .filter(|_| !crate::fault::take(crate::fault::Fault::InvalidateIndex))
                     .ok_or_else(|| GroundingError::IndexUnavailable {
                         rule: rule.name.clone(),
                     })?;
@@ -774,6 +999,8 @@ impl Program {
             let guard = self.db.index();
             let idx = guard
                 .as_ref()
+                // Fault-harness hook: forced mid-reground invalidation.
+                .filter(|_| !crate::fault::take(crate::fault::Fault::InvalidateIndex))
                 .ok_or_else(|| GroundingError::IndexUnavailable {
                     rule: rule.name.clone(),
                 })?;
@@ -1039,6 +1266,9 @@ impl Program {
             rule_stats,
             splice: Some(new_support),
             dual_reuse: Some(reuse),
+            // The guard proved delta.end == db.generation(), so the result
+            // is a snapshot of the current database state.
+            stamp: Some((self.db.id(), self.db.generation())),
         })
     }
 }
@@ -1269,6 +1499,143 @@ mod tests {
         let incremental = program.reground(&prior, &delta).unwrap();
         let fresh = program.ground().unwrap();
         assert_equivalent("naive fallback", &incremental, &fresh);
+    }
+
+    fn flip_in_map(program: &mut Program, cand: &str, value: f64) -> DbDelta {
+        let in_map = program.vocab.id_of("inMap").unwrap();
+        program
+            .db
+            .observe(GroundAtom::from_strs(in_map, &[cand]), value);
+        program.db.take_delta()
+    }
+
+    fn expect_mismatch(result: Result<GroundProgram, RegroundError>, needle: &str) {
+        match result {
+            Err(RegroundError::StateMismatch { reason }) => {
+                assert!(
+                    reason.contains(needle),
+                    "reason {reason:?} lacks {needle:?}"
+                );
+            }
+            Ok(_) => panic!("guard must reject (expected {needle:?})"),
+            Err(other) => panic!("wrong error {other:?} (expected {needle:?})"),
+        }
+    }
+
+    #[test]
+    fn double_drained_delta_is_rejected() {
+        let mut program = eval_program();
+        let prior = program.ground().unwrap();
+        let _ = program.db.take_delta();
+        let real = flip_in_map(&mut program, "c1", 1.0);
+        // The second drain is empty and spans nothing — applying it in
+        // place of the real delta must be refused, not silently spliced.
+        let drained_again = program.db.take_delta();
+        expect_mismatch(program.reground(&prior, &drained_again), "double-drained");
+        // The real delta still applies.
+        let ok = program.reground(&prior, &real).unwrap();
+        assert_equivalent("real delta", &ok, &program.ground().unwrap());
+    }
+
+    #[test]
+    fn reapplied_delta_is_rejected() {
+        let mut program = eval_program();
+        let prior = program.ground().unwrap();
+        let _ = program.db.take_delta();
+        let delta = flip_in_map(&mut program, "c1", 1.0);
+        let next = program.reground(&prior, &delta).unwrap();
+        // Applying the same delta against its own result describes a
+        // timeline that never happened.
+        expect_mismatch(program.reground(&next, &delta), "generation");
+    }
+
+    #[test]
+    fn delta_from_a_different_database_is_rejected() {
+        let mut program = eval_program();
+        let prior = program.ground().unwrap();
+        let _ = program.db.take_delta();
+        // An identically-built program still holds a *different* database
+        // (every `Database` gets a fresh id): its deltas — even with the
+        // same generation numbers — must not validate against the
+        // original's ground program.
+        let mut other = eval_program();
+        let _ = other.ground().unwrap();
+        let _ = other.db.take_delta();
+        let foreign = flip_in_map(&mut other, "c1", 1.0);
+        expect_mismatch(program.reground(&prior, &foreign), "database");
+    }
+
+    #[test]
+    fn mutation_after_take_delta_is_rejected() {
+        let mut program = eval_program();
+        let prior = program.ground().unwrap();
+        let _ = program.db.take_delta();
+        let delta = flip_in_map(&mut program, "c1", 1.0);
+        // Mutate again *after* draining: the delta no longer reaches the
+        // database's current state.
+        let in_map = program.vocab.id_of("inMap").unwrap();
+        program
+            .db
+            .observe(GroundAtom::from_strs(in_map, &["c2"]), 1.0);
+        expect_mismatch(program.reground(&prior, &delta), "mutations after");
+    }
+
+    #[test]
+    fn dropped_and_duplicated_delta_entries_are_rejected() {
+        for fault in [
+            crate::fault::Fault::DropDeltaEntry,
+            crate::fault::Fault::DuplicateDeltaEntry,
+        ] {
+            let mut program = eval_program();
+            let prior = program.ground().unwrap();
+            let _ = program.db.take_delta();
+            crate::fault::arm(fault);
+            let delta = flip_in_map(&mut program, "c1", 1.0);
+            assert_eq!(crate::fault::armed(), None, "{fault:?} consumed");
+            expect_mismatch(program.reground(&prior, &delta), "entries");
+            // Recovery: a fresh ground sees the mutated database directly.
+            let fresh = program.ground().unwrap();
+            let mut clean = eval_program();
+            let in_map = clean.vocab.id_of("inMap").unwrap();
+            clean
+                .db
+                .observe(GroundAtom::from_strs(in_map, &["c1"]), 1.0);
+            assert_equivalent(
+                "fresh ground after tampered delta",
+                &fresh,
+                &clean.ground().unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_splice_ordinal_is_rejected_before_splicing() {
+        let mut program = eval_program();
+        let prior = program.ground().unwrap();
+        let _ = program.db.take_delta();
+        let delta = flip_in_map(&mut program, "c1", 1.0);
+        crate::fault::arm(crate::fault::Fault::CorruptSpliceOrdinal);
+        expect_mismatch(program.reground(&prior, &delta), "out of range");
+        assert_eq!(crate::fault::armed(), None);
+        // One-shot: the retry against the same prior and delta succeeds.
+        let ok = program.reground(&prior, &delta).unwrap();
+        assert_equivalent("retry after corruption", &ok, &program.ground().unwrap());
+    }
+
+    #[test]
+    fn forced_index_invalidation_surfaces_as_grounding_error() {
+        let mut program = eval_program();
+        let prior = program.ground().unwrap();
+        let _ = program.db.take_delta();
+        let delta = flip_in_map(&mut program, "c1", 1.0);
+        crate::fault::arm(crate::fault::Fault::InvalidateIndex);
+        match program.reground(&prior, &delta) {
+            Err(RegroundError::Grounding(GroundingError::IndexUnavailable { .. })) => {}
+            other => panic!("expected IndexUnavailable, got {other:?}"),
+        }
+        // One-shot: recovery (here, the retried reground) runs clean.
+        let ok = program.reground(&prior, &delta).unwrap();
+        assert_equivalent("retry after invalidation", &ok, &program.ground().unwrap());
     }
 
     #[test]

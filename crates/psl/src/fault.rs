@@ -1,0 +1,124 @@
+//! Deterministic fault-injection hooks for the self-healing pipeline.
+//!
+//! The incremental solve path (delta capture → splice reground → dual
+//! carry → warm ADMM) defends itself with guards and watchdogs; this
+//! module lets tests *prove* those defenses work by injecting one fault at
+//! a precisely chosen point and asserting the documented recovery rung
+//! fires. Injection is:
+//!
+//! * **thread-local** — a fault armed on one thread never fires on
+//!   another, so the suite can run faults in parallel tests, and the
+//!   solver's coordinator-side hooks behave identically under
+//!   `ADMM_THREADS > 1` (the residual check always runs on the thread
+//!   that called `solve`);
+//! * **one-shot** — the first injection point whose kind matches consumes
+//!   the armed fault, so a recovery retry of the same operation runs
+//!   clean;
+//! * **zero-cost when disarmed** — each hook is a thread-local `Cell`
+//!   read.
+//!
+//! The `cms-fault` crate builds seeded, whole-pipeline [`FaultPlan`]s on
+//! top of these primitives; see `docs/robustness.md` for the fault → guard
+//! → ladder-rung table.
+//!
+//! [`FaultPlan`]: https://docs.rs/cms-fault
+
+use std::cell::Cell;
+
+/// One injectable fault. Each variant corresponds to exactly one hook in
+/// the pipeline and is detected by a specific guard or watchdog (the
+/// recovery suite asserts the full chain per variant).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// NaN-poison the first non-empty dual vector produced by
+    /// [`crate::GroundProgram::carry_duals`]. Detected by
+    /// [`crate::DualState::all_finite`] (warm-consensus rung) or, failing
+    /// that, by the solver's non-finite watchdog.
+    PoisonDuals,
+    /// Silently drop the last entry from the next
+    /// [`crate::Database::take_delta`]. Detected by the delta guard's
+    /// entry-count invariant (`len == end − base`).
+    DropDeltaEntry,
+    /// Duplicate the last entry of the next
+    /// [`crate::Database::take_delta`]. Detected by the same entry-count
+    /// invariant as [`Fault::DropDeltaEntry`].
+    DuplicateDeltaEntry,
+    /// Corrupt one splice-table slot ordinal to an out-of-range value at
+    /// the start of [`crate::Program::reground`]. Detected by the splice
+    /// shape check before any splicing happens.
+    CorruptSpliceOrdinal,
+    /// Report the database atom index as unavailable mid-reground.
+    /// Surfaces as [`crate::GroundingError::IndexUnavailable`]; the ladder
+    /// falls back to a fresh ground (which, being a later operation,
+    /// re-ensures the index and succeeds).
+    InvalidateIndex,
+    /// Force the solver watchdog to report a stall at the next residual
+    /// check, regardless of actual progress. Exercises
+    /// [`crate::SolveHealth::Stalled`] and the restart policy.
+    SolverStall,
+}
+
+thread_local! {
+    static ARMED: Cell<Option<Fault>> = const { Cell::new(None) };
+}
+
+/// Arm `fault` on the current thread. At most one fault is armed at a
+/// time; arming replaces any previous one. The next matching injection
+/// point consumes it.
+pub fn arm(fault: Fault) {
+    ARMED.with(|a| a.set(Some(fault)));
+}
+
+/// Disarm whatever is armed on the current thread (idempotent). Recovery
+/// tests call this between steps so a fault never leaks across scenarios.
+pub fn disarm() {
+    ARMED.with(|a| a.set(None));
+}
+
+/// The fault currently armed on this thread, if any (not consumed).
+pub fn armed() -> Option<Fault> {
+    ARMED.with(|a| a.get())
+}
+
+/// One-shot hook: if `kind` is armed on this thread, disarm it and return
+/// true (the caller then performs the injection). Called from the
+/// pipeline's injection points only.
+pub(crate) fn take(kind: Fault) -> bool {
+    ARMED.with(|a| {
+        if a.get() == Some(kind) {
+            a.set(None);
+            true
+        } else {
+            false
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_one_shot_and_kind_specific() {
+        disarm();
+        assert!(!take(Fault::SolverStall));
+        arm(Fault::SolverStall);
+        assert_eq!(armed(), Some(Fault::SolverStall));
+        assert!(!take(Fault::PoisonDuals), "wrong kind must not consume");
+        assert!(take(Fault::SolverStall));
+        assert!(!take(Fault::SolverStall), "consumed exactly once");
+        assert_eq!(armed(), None);
+    }
+
+    #[test]
+    fn faults_are_thread_local() {
+        arm(Fault::PoisonDuals);
+        std::thread::spawn(|| {
+            assert_eq!(armed(), None);
+            assert!(!take(Fault::PoisonDuals));
+        })
+        .join()
+        .unwrap();
+        assert!(take(Fault::PoisonDuals));
+    }
+}

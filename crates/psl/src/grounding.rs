@@ -168,6 +168,15 @@ pub struct GroundStats {
     /// table let them skip re-folding entirely (always 0 for a full
     /// grounding).
     pub arith_bindings_spliced: usize,
+    /// Times the self-healing ladder abandoned an incremental reground (or
+    /// an unhealthy solve) and fell back to a fresh
+    /// [`crate::Program::ground`]. Always 0 for a single grounding —
+    /// `cms-select` accumulates it under a synthetic `"self-healing"` rule
+    /// entry.
+    pub fallback_fresh_grounds: usize,
+    /// ADMM watchdog restarts absorbed while solving against this program
+    /// (a pipeline-level counter like `fallback_fresh_grounds`).
+    pub solver_restarts: usize,
     /// Wall time spent grounding this rule.
     pub wall: Duration,
 }
@@ -185,6 +194,8 @@ impl GroundStats {
         self.terms_reused += other.terms_reused;
         self.terms_recomputed += other.terms_recomputed;
         self.arith_bindings_spliced += other.arith_bindings_spliced;
+        self.fallback_fresh_grounds += other.fallback_fresh_grounds;
+        self.solver_restarts += other.solver_restarts;
         self.wall += other.wall;
     }
 }

@@ -44,6 +44,7 @@ pub mod arith;
 pub mod atom;
 pub mod database;
 pub mod delta;
+pub mod fault;
 pub mod grounding;
 pub mod hinge;
 pub mod linear;
@@ -53,14 +54,15 @@ pub mod program;
 pub mod rounding;
 pub mod rule;
 
-pub use admm::{AdmmConfig, AdmmSolution, AdmmSolver, DualState, WarmStart};
+pub use admm::{AdmmConfig, AdmmSolution, AdmmSolver, DualState, SolveHealth, WarmStart};
 pub use arith::{
     ground_arith_rule, ground_arith_rule_naive, ArithError, ArithRule, ArithRuleBuilder, ArithTerm,
     Comparison,
 };
 pub use atom::GroundAtom;
 pub use database::{Database, Resolved};
-pub use delta::{DbDelta, DeltaEntry, DeltaKind, DependencyMap};
+pub use delta::{DbDelta, DeltaEntry, DeltaKind, DependencyMap, RegroundError};
+pub use fault::Fault;
 pub use grounding::{
     ground_rule, reference::ground_rule_naive, GroundSink, GroundStats, GroundingError, VarRegistry,
 };

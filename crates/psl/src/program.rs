@@ -378,6 +378,7 @@ impl Program {
                 raw: raw_slots,
             }),
             dual_reuse: None,
+            stamp: Some((self.db.id(), self.db.generation())),
         })
     }
 
@@ -470,6 +471,12 @@ pub struct GroundProgram {
     /// recorded by [`crate::Program::reground`] (`None` for a fresh
     /// grounding). Consumed by [`GroundProgram::carry_duals`].
     pub(crate) dual_reuse: Option<DualReuse>,
+    /// `(database id, database generation)` at the moment this program was
+    /// grounded. The reground guard checks an incoming delta against this
+    /// stamp before splicing (see [`crate::RegroundError::StateMismatch`]).
+    /// `None` only for hand-assembled programs (e.g. `Default`), which the
+    /// guard treats as unstamped and skips.
+    pub(crate) stamp: Option<(u64, u64)>,
 }
 
 impl GroundProgram {
@@ -609,10 +616,21 @@ impl GroundProgram {
                 })
                 .collect()
         };
-        Some(DualState {
+        let mut out = DualState {
             potentials: map(&reuse.pots, prior.potential_duals()),
             constraints: map(&reuse.cons, prior.constraint_duals()),
-        })
+        };
+        if crate::fault::take(crate::fault::Fault::PoisonDuals) {
+            if let Some(v) = out
+                .potentials
+                .iter_mut()
+                .chain(out.constraints.iter_mut())
+                .find(|v| !v.is_empty())
+            {
+                v[0] = f64::NAN;
+            }
+        }
+        Some(out)
     }
 
     /// Evaluate the soft objective (weighted potentials + constant loss)

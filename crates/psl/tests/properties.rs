@@ -660,4 +660,152 @@ mod grounding_equivalence {
             let _ = spliced_total;
         }
     }
+
+    // -----------------------------------------------------------------
+    // Delta-guard invariants: stale, foreign, and double-drained deltas
+    // are rejected with `StateMismatch`; the documented fallback (a
+    // fresh ground) matches a from-scratch grounding and re-arms the
+    // incremental path.
+    // -----------------------------------------------------------------
+
+    use cms_psl::RegroundError;
+
+    fn guard_program(db: Database, rules: &[LogicalRule]) -> cms_psl::Program {
+        let mut program = cms_psl::Program::new(vocab_for_arities());
+        program.db = db;
+        for rule in rules {
+            program.add_rule(rule.clone());
+        }
+        program
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Applying the same delta twice is a state mismatch the second
+        /// time: the first splice advanced the prior's stamp past the
+        /// delta's base generation.
+        #[test]
+        fn double_drained_delta_is_rejected(
+            db in arb_db(),
+            rules in prop::collection::vec(arb_rule(), 1..4),
+            ops in arb_ops(),
+        ) {
+            let mut program = guard_program(db, &rules);
+            let prior = program.ground().unwrap();
+            let _ = program.db.take_delta();
+            for op in ops {
+                apply_op(&mut program, op);
+            }
+            let delta = program.db.take_delta();
+            if delta.is_empty() {
+                // prop_assume: no generation span to guard (shim has no prop_assume)
+                return;
+            }
+            let next = program.reground_owned(prior, &delta).unwrap();
+            let err = program.reground_owned(next, &delta).unwrap_err();
+            prop_assert!(
+                matches!(err, RegroundError::StateMismatch { .. }),
+                "double-drained delta must be a StateMismatch, got {}", err
+            );
+        }
+
+        /// A delta that starts *past* the prior's stamp (an intermediate
+        /// drain was lost) is rejected instead of spliced over the gap.
+        #[test]
+        fn delta_skipping_a_generation_is_rejected(
+            db in arb_db(),
+            rules in prop::collection::vec(arb_rule(), 1..4),
+            ops in arb_ops(),
+        ) {
+            let mut program = guard_program(db, &rules);
+            let prior = program.ground().unwrap();
+            let _ = program.db.take_delta();
+            for op in ops {
+                apply_op(&mut program, op);
+            }
+            let lost = program.db.take_delta();
+            if lost.is_empty() {
+                // prop_assume: no generation span to guard (shim has no prop_assume)
+                return;
+            }
+            // One more mutation after the lost drain: its delta's base
+            // generation is newer than the prior's stamp.
+            program
+                .db
+                .observe(GroundAtom::from_strs(PredId(0), &["guard-new"]), 0.5);
+            let late = program.db.take_delta();
+            let err = program.reground_owned(prior, &late).unwrap_err();
+            prop_assert!(
+                matches!(err, RegroundError::StateMismatch { .. }),
+                "generation-skipping delta must be a StateMismatch, got {}", err
+            );
+        }
+
+        /// A delta drained from a *different* database — even a clone with
+        /// identical content and generation numbers — is rejected on
+        /// database identity, never spliced.
+        #[test]
+        fn foreign_database_delta_is_rejected(
+            db in arb_db(),
+            rules in prop::collection::vec(arb_rule(), 1..4),
+        ) {
+            let mut program = guard_program(db.clone(), &rules);
+            let prior = program.ground().unwrap();
+            let _ = program.db.take_delta();
+            // An identical twin: same content and generation history, but
+            // cloning mints a fresh database identity.
+            let mut twin = guard_program(db, &rules);
+            let _ = twin.ground().unwrap();
+            let _ = twin.db.take_delta();
+            twin.db
+                .observe(GroundAtom::from_strs(PredId(0), &["twin-only"]), 0.4);
+            let foreign = twin.db.take_delta();
+            let err = program.reground_owned(prior, &foreign).unwrap_err();
+            prop_assert!(
+                matches!(err, RegroundError::StateMismatch { .. }),
+                "foreign delta must be a StateMismatch, got {}", err
+            );
+        }
+
+        /// The ladder's answer to a guard rejection — a fresh ground —
+        /// describes exactly the HL-MRF a from-scratch build describes,
+        /// and its new stamp re-arms the incremental path.
+        #[test]
+        fn fallback_fresh_ground_equals_from_scratch(
+            db in arb_db(),
+            rules in prop::collection::vec(arb_rule(), 1..4),
+            ops in arb_ops(),
+        ) {
+            let mut program = guard_program(db, &rules);
+            let prior = program.ground().unwrap();
+            let _ = program.db.take_delta();
+            for op in ops {
+                apply_op(&mut program, op);
+            }
+            let delta = program.db.take_delta();
+            if delta.is_empty() {
+                // prop_assume: no generation span to guard (shim has no prop_assume)
+                return;
+            }
+            let next = program.reground_owned(prior, &delta).unwrap();
+            // A stale re-apply trips the guard …
+            prop_assert!(program.reground_owned(next, &delta).is_err());
+            // … and the fallback fresh ground equals a from-scratch build
+            // of the same (mutated) database.
+            let fallback = program.ground().unwrap();
+            let reference = guard_program(program.db.clone(), &rules).ground().unwrap();
+            prop_assert_eq!(fallback.canonical_terms(), reference.canonical_terms());
+            prop_assert!(
+                (fallback.constant_loss - reference.constant_loss).abs() < 1e-9,
+                "constant loss {} vs {}", fallback.constant_loss, reference.constant_loss
+            );
+            // The fallback is freshly stamped: the next delta splices.
+            program
+                .db
+                .observe(GroundAtom::from_strs(PredId(0), &["after-fallback"]), 0.7);
+            let tail = program.db.take_delta();
+            prop_assert!(program.reground_owned(fallback, &tail).is_ok());
+        }
+    }
 }

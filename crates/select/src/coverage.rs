@@ -222,6 +222,11 @@ impl CoverageModel {
                         match v {
                             Value::Const(_) => hits += 1,
                             Value::Null(n) => {
+                                // Invariant: `assignment` came from
+                                // `tuple_match(&kt.args, ..)`, which maps
+                                // *every* null position of `kt.args` (the
+                                // slice `n` is drawn from) or returns
+                                // `None` — so the lookup cannot miss.
                                 let c = *assignment.get(n).expect("matched null has assignment");
                                 debug_assert_eq!(c, t.args[pos]);
                                 if is_supported(*n, c, ki, &k_tuples, &null_occurrences) {

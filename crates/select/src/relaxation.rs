@@ -22,13 +22,40 @@
 //! The reported value is the LP relaxation of the discrete objective
 //! (`explains` is the capped *sum* of covers rather than the max), i.e. a
 //! lower bound on `F(M)` for integral selections.
+//!
+//! # Failure semantics
+//!
+//! Every incremental shortcut above is guarded, and every guard failure
+//! degrades one rung down a ladder that ends at the always-correct cold
+//! path (see `docs/robustness.md`):
+//!
+//! 1. **warm duals** — carried duals that fail
+//!    [`cms_psl::DualState::all_finite`] are dropped (the solve still warm
+//!    starts from the consensus vector);
+//! 2. **warm consensus** — a reground rejected by the delta guard
+//!    ([`cms_psl::RegroundError`]) or failing mid-splice falls back to a
+//!    fresh [`Program::ground`] (counted in
+//!    [`WarmRelaxation::fallback_fresh_grounds`]);
+//! 3. **cold solve** — a solve whose [`cms_psl::SolveHealth`] is not
+//!    nominal (stalled/diverged after the solver's own restart policy) is
+//!    redone cold on the same ground program;
+//! 4. **fresh ground + cold solve** — if even the cold solve is unhealthy,
+//!    the ground program itself is rebuilt from scratch and solved cold.
+//!
+//! A [`cms_psl::SolveHealth::TimedOut`] solve is *not* escalated: the time
+//! budget is a wall-clock promise, and a cold retry would break it. The
+//! ladder records every rung taken (`fallback_fresh_grounds`,
+//! `solver_restarts`, `duals_dropped`, `cold_solves`,
+//! [`WarmRelaxation::last_degradation`]) and mirrors the pipeline totals
+//! into a synthetic `"self-healing"` entry of the ground program's
+//! `rule_stats`.
 
 use crate::coverage::CoverageModel;
 use crate::objective::ObjectiveWeights;
 use crate::selectors::SelectError;
 use cms_psl::{
     AdmmConfig, AtomLin, ConstraintKind, DualState, GroundAtom, GroundProgram, PredId, Program,
-    RuleBuilder, Vocabulary,
+    RuleBuilder, SolveHealth, Vocabulary,
 };
 
 /// Predicate ids of the evaluation program (exposed so tests and benches
@@ -164,6 +191,22 @@ pub struct WarmRelaxation {
     /// Cumulative terms whose scaled duals were carried across a reground
     /// (each one seeds the next solve instead of starting cold).
     pub dual_terms_carried: usize,
+    /// Times the ladder abandoned the incremental path and rebuilt the
+    /// ground program from scratch (rungs 2 and 4 of the module docs).
+    pub fallback_fresh_grounds: usize,
+    /// Cumulative ADMM watchdog restarts across all solves.
+    pub solver_restarts: usize,
+    /// Carried dual states dropped because they contained non-finite
+    /// values (rung 1).
+    pub duals_dropped: usize,
+    /// Unhealthy warm solves redone cold on the same ground program
+    /// (rung 3).
+    pub cold_solves: usize,
+    /// Health of the most recent solve.
+    pub last_health: SolveHealth,
+    /// Human-readable reason for the most recent degradation, if any rung
+    /// beyond the nominal warm path fired on the last [`WarmRelaxation::set`].
+    pub last_degradation: Option<String>,
 }
 
 impl WarmRelaxation {
@@ -172,8 +215,17 @@ impl WarmRelaxation {
     pub fn new(
         model: &CoverageModel,
         weights: &ObjectiveWeights,
-        admm: AdmmConfig,
+        mut admm: AdmmConfig,
     ) -> Result<WarmRelaxation, SelectError> {
+        // Arm the solver watchdog unless the caller configured it: a
+        // warm-started solve gone wrong should stall out and restart, not
+        // burn the full iteration cap producing garbage.
+        if admm.stall_window == 0 {
+            admm.stall_window = 1000;
+        }
+        if admm.max_restarts == 0 {
+            admm.max_restarts = 2;
+        }
         let (mut program, preds) = build_eval_program(model, weights, &[]);
         let ground = program.ground()?;
         let _ = program.db.take_delta(); // the build writes are not a delta
@@ -185,6 +237,8 @@ impl WarmRelaxation {
             duals: Some(duals),
             soft_objective: solution.total_objective(),
             admm_iterations: solution.admm.iterations,
+            last_health: solution.admm.health,
+            solver_restarts: solution.admm.restarts,
             ground,
             admm,
             flips: 0,
@@ -192,6 +246,10 @@ impl WarmRelaxation {
             terms_recomputed: 0,
             arith_bindings_spliced: 0,
             dual_terms_carried: 0,
+            fallback_fresh_grounds: 0,
+            duals_dropped: 0,
+            cold_solves: 0,
+            last_degradation: None,
         })
     }
 
@@ -233,33 +291,104 @@ impl WarmRelaxation {
         self.program.db.atoms_of(self.preds.in_map).len()
     }
 
-    /// Drain the delta, reground incrementally, warm-solve.
+    /// Drain the delta, reground incrementally, warm-solve — degrading
+    /// down the ladder in the module docs on any guard or watchdog
+    /// failure.
     fn resolve(&mut self) -> Result<f64, SelectError> {
         let delta = self.program.db.take_delta();
         if delta.is_empty() {
             return Ok(self.soft_objective);
         }
         self.flips += delta.len();
+        self.last_degradation = None;
         let prior = std::mem::take(&mut self.ground);
-        self.ground = self.program.reground_owned(prior, &delta)?;
+        self.ground = match self.program.reground_owned(prior, &delta) {
+            Ok(g) => g,
+            Err(err) => {
+                // Rung 2: the incremental state is not trustworthy; a
+                // fresh grounding owes nothing to it. `dual_reuse` is then
+                // `None`, so the dual carry below degrades with it.
+                self.note_degradation(format!("reground rejected: {err}"));
+                self.fallback_fresh_grounds += 1;
+                self.program.ground()?
+            }
+        };
         let stats = self.ground.total_stats();
         self.terms_reused += stats.terms_reused;
         self.terms_recomputed += stats.terms_recomputed;
         self.arith_bindings_spliced += stats.arith_bindings_spliced;
         // Spliced terms keep their ADMM dual state across the reground;
         // only the recomputed ones start cold.
-        let carried = self.duals.as_ref().and_then(|d| self.ground.carry_duals(d));
+        let carried = match self.duals.as_ref().and_then(|d| self.ground.carry_duals(d)) {
+            // Rung 1: poisoned duals would feed NaN straight into the
+            // first local step — drop them, keep the consensus warm start.
+            Some(c) if !c.all_finite() => {
+                self.note_degradation("carried duals non-finite: dropped".to_owned());
+                self.duals_dropped += 1;
+                None
+            }
+            other => other,
+        };
         if let Some(c) = &carried {
             self.dual_terms_carried += c.seeded_terms();
         }
-        let (solution, duals) =
+        let (mut solution, mut duals) =
             self.ground
                 .solve_warm_dual(&self.admm, &self.values, carried.as_ref());
+        self.solver_restarts += solution.admm.restarts;
+        self.admm_iterations += solution.admm.iterations;
+        // A timed-out solve is deliberately not escalated: the budget is a
+        // wall-clock promise and every further rung would respend it.
+        if !solution.admm.health.is_nominal() && solution.admm.health != SolveHealth::TimedOut {
+            // Rung 3: the warm start itself may be the problem — solve
+            // cold on the same ground program.
+            self.note_degradation(format!("warm solve {}: cold resolve", solution.admm.health));
+            self.cold_solves += 1;
+            (solution, duals) = self.ground.solve_warm_dual(&self.admm, &[], None);
+            self.solver_restarts += solution.admm.restarts;
+            self.admm_iterations += solution.admm.iterations;
+            if !solution.admm.health.is_nominal() && solution.admm.health != SolveHealth::TimedOut {
+                // Rung 4: distrust the spliced ground program entirely.
+                self.note_degradation(format!("cold solve {}: fresh ground", solution.admm.health));
+                self.fallback_fresh_grounds += 1;
+                self.ground = self.program.ground()?;
+                (solution, duals) = self.ground.solve_warm_dual(&self.admm, &[], None);
+                self.solver_restarts += solution.admm.restarts;
+                self.admm_iterations += solution.admm.iterations;
+            }
+        }
+        self.last_health = solution.admm.health;
+        self.record_pipeline_stats();
         self.duals = Some(duals);
         self.values.clone_from(&solution.admm.values);
-        self.admm_iterations += solution.admm.iterations;
         self.soft_objective = solution.total_objective();
         Ok(self.soft_objective)
+    }
+
+    /// Append one degradation reason to [`WarmRelaxation::last_degradation`]
+    /// (several rungs can fire on a single flip).
+    fn note_degradation(&mut self, reason: String) {
+        match &mut self.last_degradation {
+            Some(prev) => {
+                prev.push_str("; ");
+                prev.push_str(&reason);
+            }
+            None => self.last_degradation = Some(reason),
+        }
+    }
+
+    /// Mirror the pipeline-level ladder counters into the ground program's
+    /// `rule_stats` under a synthetic `"self-healing"` entry, so
+    /// [`cms_psl::GroundProgram::total_stats`] reports them alongside the
+    /// per-rule grounding stats.
+    fn record_pipeline_stats(&mut self) {
+        let entry = self
+            .ground
+            .rule_stats
+            .entry("self-healing".to_owned())
+            .or_default();
+        entry.fallback_fresh_grounds = self.fallback_fresh_grounds;
+        entry.solver_restarts = self.solver_restarts;
     }
 }
 

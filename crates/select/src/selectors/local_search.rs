@@ -142,15 +142,22 @@ impl Selector for LocalSearch {
             let soft = r.set_selection(&selection.selected)?;
             selection.note = format!(
                 "relaxation: soft_obj={:.3} flips={} terms_reused={} terms_recomputed={} \
-                 arith_spliced={} warm_iters={} duals_carried={}",
+                 arith_spliced={} warm_iters={} duals_carried={} fallback_grounds={} \
+                 solver_restarts={} health={}",
                 soft,
                 r.flips,
                 r.terms_reused,
                 r.terms_recomputed,
                 r.arith_bindings_spliced,
                 r.admm_iterations,
-                r.dual_terms_carried
+                r.dual_terms_carried,
+                r.fallback_fresh_grounds,
+                r.solver_restarts,
+                r.last_health
             );
+            if let Some(reason) = &r.last_degradation {
+                selection.note.push_str(&format!(" degraded=\"{reason}\""));
+            }
         }
         Ok(selection)
     }

@@ -70,6 +70,10 @@ pub struct PslRun {
     pub soft_objective: f64,
     /// Ground potentials + constraints (model size proxy).
     pub ground_terms: usize,
+    /// Health of the final solve pass (see [`cms_psl::SolveHealth`]).
+    pub health: cms_psl::SolveHealth,
+    /// Watchdog restarts absorbed across both solve passes.
+    pub restarts: usize,
 }
 
 impl PslCollective {
@@ -95,7 +99,14 @@ impl PslCollective {
             max_iterations: self.admm.max_iterations - coarse.admm.iterations,
             ..self.admm.clone()
         };
-        let (refined, _) = ground.solve_warm_dual(&refine_cfg, &coarse.admm.values, Some(&duals));
+        // An unhealthy coarse pass (stalled/diverged/timed out) is not a
+        // trustworthy seed — refinement then starts cold instead of
+        // resuming from a state the watchdog already condemned.
+        let (refined, _) = if coarse.admm.health.is_nominal() {
+            ground.solve_warm_dual(&refine_cfg, &coarse.admm.values, Some(&duals))
+        } else {
+            ground.solve_warm_dual(&refine_cfg, &[], None)
+        };
         let iterations = coarse.admm.iterations + refined.admm.iterations;
         (refined, iterations)
     }
@@ -135,6 +146,8 @@ impl PslCollective {
             converged: solution.admm.converged,
             soft_objective: solution.total_objective(),
             ground_terms: ground.potentials.len() + ground.constraints.len(),
+            health: solution.admm.health,
+            restarts: solution.admm.restarts,
         })
     }
 
@@ -245,6 +258,8 @@ impl PslCollective {
             converged: solution.admm.converged,
             soft_objective: solution.total_objective(),
             ground_terms: ground.potentials.len() + ground.constraints.len(),
+            health: solution.admm.health,
+            restarts: solution.admm.restarts,
         })
     }
 
@@ -418,8 +433,13 @@ impl Selector for PslCollective {
 
         let mut sel = Selection::new(selected, value, evaluations);
         sel.note = format!(
-            "admm_iters={} converged={} ground_terms={} soft_obj={:.3}",
-            run.iterations, run.converged, run.ground_terms, run.soft_objective
+            "admm_iters={} converged={} ground_terms={} soft_obj={:.3} health={} restarts={}",
+            run.iterations,
+            run.converged,
+            run.ground_terms,
+            run.soft_objective,
+            run.health,
+            run.restarts
         );
         Ok(sel)
     }
