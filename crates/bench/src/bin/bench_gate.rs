@@ -20,10 +20,16 @@
 //!            [--factor 2.0] [--ratio a/x/1:b/y/1<=1.05]...
 //! ```
 //!
-//! `--ratio A:B<=L` additionally requires the *current* min of bench `A`
-//! to be at most `L ×` the current min of bench `B` — a same-run
+//! `--ratio A:B<=L` additionally requires the *current* typical cost of
+//! bench `A` to be at most `L ×` that of bench `B` — a same-run
 //! comparison that survives machine changes, used to gate the
-//! self-healing watchdog's clean-path overhead at ≤5%.
+//! self-healing watchdog's and telemetry's clean-path overhead at a few
+//! percent. "Typical cost" is `median_ns` where the log carries it
+//! (emitted by the shim's `bench_interleaved`, whose round-robin
+//! sampling makes the median ratio immune to both slow drift and
+//! sustained noise windows), falling back to `mean_ns`. Minimums are
+//! never used for ratios: they are an extreme statistic whose
+//! run-to-run variance swamps a 2–5% bound.
 //!
 //! The report is a structured diff, not a panic trace:
 //!
@@ -68,11 +74,20 @@ fn bench_name(line: &str) -> Option<String> {
     name.contains('/').then(|| name.to_owned())
 }
 
-/// Parse `name -> (mean_ns, min_ns)` from either a bench log or a
-/// baseline snapshot (both carry one bench per line). An unreadable file
-/// is an error; a readable file with no bench lines is reported too, so a
-/// truncated log cannot silently pass the gate.
-fn parse(path: &str) -> Result<BTreeMap<String, (f64, f64)>, String> {
+/// One parsed benchmark line.
+#[derive(Clone, Copy)]
+struct Bench {
+    mean: f64,
+    min: f64,
+    /// Only present in logs from interleaved measurement.
+    median: Option<f64>,
+}
+
+/// Parse `name -> {mean_ns, min_ns, median_ns?}` from either a bench log
+/// or a baseline snapshot (both carry one bench per line). An unreadable
+/// file is an error; a readable file with no bench lines is reported too,
+/// so a truncated log cannot silently pass the gate.
+fn parse(path: &str) -> Result<BTreeMap<String, Bench>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut out = BTreeMap::new();
     for line in text.lines() {
@@ -80,7 +95,8 @@ fn parse(path: &str) -> Result<BTreeMap<String, (f64, f64)>, String> {
             continue;
         };
         let min = field(line, "min_ns").unwrap_or(mean);
-        out.insert(name, (mean, min));
+        let median = field(line, "median_ns");
+        out.insert(name, Bench { mean, min, median });
     }
     if out.is_empty() {
         return Err(format!("no benchmark lines found in {path}"));
@@ -144,7 +160,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn run(args: &Args) -> Result<usize, String> {
-    let mut current: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+    let mut current: BTreeMap<String, Bench> = BTreeMap::new();
     for log in &args.logs {
         current.extend(parse(log)?);
     }
@@ -152,23 +168,24 @@ fn run(args: &Args) -> Result<usize, String> {
     let mut checked = 0usize;
     let mut covered: BTreeSet<String> = BTreeSet::new();
     for baseline_file in &args.baselines {
-        for (name, (base_mean, _)) in parse(baseline_file)? {
-            let Some(&(cur_mean, cur_min)) = current.get(&name) else {
+        for (name, base) in parse(baseline_file)? {
+            let Some(&cur) = current.get(&name) else {
                 println!("FAIL {name}: present in {baseline_file} but missing from bench logs");
                 failures += 1;
                 continue;
             };
             checked += 1;
-            let ratio = cur_min / base_mean;
-            let verdict = if cur_min > args.factor * base_mean {
+            let base_mean = base.mean;
+            let ratio = cur.min / base_mean;
+            let verdict = if cur.min > args.factor * base_mean {
                 failures += 1;
                 "FAIL"
             } else {
                 "ok"
             };
             println!(
-                "{verdict:4} {name}: baseline mean {base_mean:.0} ns, current mean {cur_mean:.0} / min {cur_min:.0} ns (min/baseline = {ratio:.2}x, limit {:.1}x)",
-                args.factor
+                "{verdict:4} {name}: baseline mean {base_mean:.0} ns, current mean {:.0} / min {:.0} ns (min/baseline = {ratio:.2}x, limit {:.1}x)",
+                cur.mean, cur.min, args.factor
             );
             covered.insert(name);
         }
@@ -179,14 +196,20 @@ fn run(args: &Args) -> Result<usize, String> {
         }
     }
     for (a, b, limit) in &args.ratios {
-        let (Some(&(_, min_a)), Some(&(_, min_b))) = (current.get(a), current.get(b)) else {
+        let (Some(&bench_a), Some(&bench_b)) = (current.get(a), current.get(b)) else {
             let missing = if current.contains_key(a) { b } else { a };
             println!("FAIL ratio {a}:{b}: {missing} missing from bench logs");
             failures += 1;
             continue;
         };
         checked += 1;
-        let ratio = min_a / min_b;
+        // Medians only compare against medians; a median-vs-mean ratio
+        // would mix statistics with different biases.
+        let (stat, cost_a, cost_b) = match (bench_a.median, bench_b.median) {
+            (Some(ma), Some(mb)) => ("median", ma, mb),
+            _ => ("mean", bench_a.mean, bench_b.mean),
+        };
+        let ratio = cost_a / cost_b;
         let verdict = if ratio > *limit {
             failures += 1;
             "FAIL"
@@ -194,7 +217,7 @@ fn run(args: &Args) -> Result<usize, String> {
             "ok"
         };
         println!(
-            "{verdict:4} ratio {a}:{b}: min {min_a:.0} / {min_b:.0} ns = {ratio:.3}x (limit {limit:.2}x)"
+            "{verdict:4} ratio {a}:{b}: {stat} {cost_a:.0} / {cost_b:.0} ns = {ratio:.3}x (limit {limit:.2}x)"
         );
     }
     println!("bench_gate: {checked} benchmarks checked, {failures} regression(s)");

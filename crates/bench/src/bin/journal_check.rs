@@ -1,0 +1,89 @@
+//! Validate an exported telemetry journal against the JSONL event schema.
+//!
+//! Usage: `journal_check <journal.jsonl> [--require <kind,kind,...>]`
+//!
+//! Every line must parse back into a typed [`cms_obs::EventRecord`] (the
+//! parser is the exact inverse of the exporter, so this checks field
+//! names, types, and per-variant shape — not just JSON well-formedness),
+//! sequence numbers must be strictly increasing, and every required event
+//! kind must occur at least once. The default requirement is the full
+//! pipeline: `chase,ground,reground,solve,degradation`.
+//!
+//! Exits 0 and prints a per-kind census on success; prints the first
+//! offending line and exits 1 on failure.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: journal_check <journal.jsonl> [--require <kind,kind,...>]");
+        return ExitCode::FAILURE;
+    };
+    let mut required: Vec<String> = ["chase", "ground", "reground", "solve", "degradation"]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    if args.next().as_deref() == Some("--require") {
+        let kinds = args.next().unwrap_or_default();
+        required = kinds.split(',').map(str::to_owned).collect();
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("journal_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut census: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut last_seq: Option<u64> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = match cms_obs::from_json_line(line) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!(
+                    "journal_check: {path}:{}: line does not match the event schema ({e}):\n  {line}",
+                    lineno + 1
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(prev) = last_seq {
+            if record.seq <= prev {
+                eprintln!(
+                    "journal_check: {path}:{}: seq {} not greater than previous {prev}",
+                    lineno + 1,
+                    record.seq
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        last_seq = Some(record.seq);
+        *census.entry(record.event.kind()).or_default() += 1;
+    }
+
+    let total: usize = census.values().sum();
+    println!("journal_check: {path}: {total} events");
+    for (kind, n) in &census {
+        println!("  {kind}: {n}");
+    }
+    let missing: Vec<&str> = required
+        .iter()
+        .filter(|k| !census.contains_key(k.as_str()))
+        .map(String::as_str)
+        .collect();
+    if !missing.is_empty() {
+        eprintln!(
+            "journal_check: {path}: missing required event kinds: {}",
+            missing.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -8,7 +8,15 @@
 //! iterations per sample so one sample takes ≥ ~5 ms, then `sample_size`
 //! samples are timed and the mean/min ns-per-iteration are reported on
 //! stdout as `bench: <group>/<id> ... <mean> ns/iter (min <min>)` together
-//! with a machine-readable JSON line (`{"bench": ..., "mean_ns": ...}`).
+//! with a machine-readable JSON line (`{"bench": ..., "mean_ns": ...}`)
+//! that also carries the process's peak RSS (`peak_rss_bytes`, from
+//! `VmHWM` in `/proc/self/status`; 0 where unavailable) as observed after
+//! the benchmark ran.
+//!
+//! [`BenchmarkGroup::bench_interleaved`] (a shim extension, not real
+//! criterion API) times several bodies with round-robin bursts and
+//! additionally reports the per-burst `median_ns` — the statistic
+//! `bench_gate --ratio` prefers for same-run overhead comparisons.
 //!
 //! Running with `--test` in the arguments (what `cargo test` passes to
 //! bench targets, and what CI smoke runs use) executes each benchmark body
@@ -128,6 +136,80 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Measure several benchmark bodies with **sample-interleaved**
+    /// timing: every sample round times one burst of each body in turn,
+    /// so a noisy scheduling window is charged to all of them roughly
+    /// equally instead of landing on whichever body happened to be
+    /// running. Use this for same-run ratio comparisons (`bench_gate
+    /// --ratio`), where a few percent of sequential-line jitter would
+    /// otherwise dominate the quantity being gated. Not part of the real
+    /// criterion API — a shim extension.
+    pub fn bench_interleaved(&mut self, mut entries: Vec<(BenchmarkId, Box<dyn FnMut() + '_>)>) {
+        if self.test_mode {
+            for (id, f) in &mut entries {
+                f();
+                println!("bench: {}/{} ... ok (test mode)", self.name, id.id);
+            }
+            return;
+        }
+        // Per-body warm-up: size the burst so one timed burst ≥ ~20 ms —
+        // longer than the sequential path's 5 ms, so each sample averages
+        // enough iterations that per-iteration variance (e.g. workload
+        // phases with different inner-loop counts) stays out of the
+        // per-sample minimum the ratio gates compare.
+        let mut iters: Vec<u64> = Vec::with_capacity(entries.len());
+        for (_, f) in &mut entries {
+            let mut n: u64 = 1;
+            loop {
+                let start = Instant::now();
+                for _ in 0..n {
+                    f();
+                }
+                if start.elapsed() >= Duration::from_millis(20) || n >= 1 << 20 {
+                    break;
+                }
+                n *= 2;
+            }
+            iters.push(n);
+        }
+        let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(self.sample_size); entries.len()];
+        for s in 0..self.sample_size {
+            // Rotate the starting body each round so no body always runs
+            // in the same slot of the round — position-in-round effects
+            // (cache state left by the previous body, periodic external
+            // noise) average out instead of biasing one line.
+            for j in 0..entries.len() {
+                let k = (s + j) % entries.len();
+                let f = &mut entries[k].1;
+                let start = Instant::now();
+                for _ in 0..iters[k] {
+                    f();
+                }
+                samples[k].push(start.elapsed().as_nanos() as f64 / iters[k] as f64);
+            }
+        }
+        for (k, (id, _)) in entries.iter().enumerate() {
+            let s = &mut samples[k];
+            s.sort_by(|a, b| a.total_cmp(b));
+            // The median per-burst time is additionally reported
+            // (`median_ns`): a sustained noise window inflates the mean of
+            // whichever bodies its rounds landed on, while the median only
+            // moves if more than half of all rounds were noisy — which
+            // shifts every interleaved body together, keeping ratios
+            // honest. `bench_gate --ratio` prefers it when present.
+            let median = (s[(s.len() - 1) / 2] + s[s.len() / 2]) / 2.0;
+            let b = Bencher {
+                test_mode: false,
+                sample_size: self.sample_size,
+                mean_ns: s.iter().sum::<f64>() / s.len() as f64,
+                min_ns: s[0],
+                median_ns: Some(median),
+                ran: true,
+            };
+            b.report(&self.name, &id.id);
+        }
+    }
+
     /// End the group.
     pub fn finish(self) {}
 }
@@ -138,6 +220,8 @@ pub struct Bencher {
     sample_size: usize,
     mean_ns: f64,
     min_ns: f64,
+    /// Median per-burst time; recorded by [`BenchmarkGroup::bench_interleaved`] only.
+    median_ns: Option<f64>,
     ran: bool,
 }
 
@@ -148,6 +232,7 @@ impl Bencher {
             sample_size,
             mean_ns: 0.0,
             min_ns: 0.0,
+            median_ns: None,
             ran: false,
         }
     }
@@ -195,15 +280,43 @@ impl Bencher {
             println!("bench: {group}/{id} ... ok (test mode)");
             return;
         }
+        let rss = peak_rss_bytes();
         println!(
-            "bench: {group}/{id} ... {:.0} ns/iter (min {:.0})",
-            self.mean_ns, self.min_ns
+            "bench: {group}/{id} ... {:.0} ns/iter (min {:.0}, peak rss {:.1} MiB)",
+            self.mean_ns,
+            self.min_ns,
+            rss as f64 / (1024.0 * 1024.0)
         );
+        let median = self
+            .median_ns
+            .map(|m| format!(",\"median_ns\":{m:.1}"))
+            .unwrap_or_default();
         println!(
-            "{{\"bench\":\"{group}/{id}\",\"mean_ns\":{:.1},\"min_ns\":{:.1}}}",
+            "{{\"bench\":\"{group}/{id}\",\"mean_ns\":{:.1},\"min_ns\":{:.1}{median},\"peak_rss_bytes\":{rss}}}",
             self.mean_ns, self.min_ns
         );
     }
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where the proc filesystem is unavailable.
+/// Self-contained so the shim stays dependency-free.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
 }
 
 /// Bundle benchmark functions, as in criterion.

@@ -5,7 +5,7 @@ use crate::test_runner::TestRng;
 use rand::Rng;
 use std::ops::{Range, RangeInclusive};
 
-/// Admissible length specifications for [`vec`].
+/// Admissible length specifications for [`vec()`].
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
     lo: usize,
@@ -48,7 +48,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

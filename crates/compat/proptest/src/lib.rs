@@ -1,7 +1,8 @@
 //! Offline shim for the subset of the `proptest` API this workspace uses.
 //!
 //! The build environment cannot fetch crates.io, so this crate provides the
-//! pieces the workspace's property tests need: the [`Strategy`] trait with
+//! pieces the workspace's property tests need: the
+//! [`Strategy`](strategy::Strategy) trait with
 //! `prop_map` / `prop_flat_map`, range and tuple strategies,
 //! `prop::collection::vec`, `prop::option::of`, `prop::sample::select`,
 //! `any::<bool>()`, `prop_oneof!`, and the [`proptest!`] /

@@ -1,0 +1,569 @@
+//! Structured event journal: typed records for chase, ground, reground,
+//! solve, degradation and fault events, exportable as JSONL and as a
+//! human-readable tree.
+//!
+//! Events are only recorded at [`ObsLevel::Journal`]. Each record
+//! carries a process-wide sequence number, a nanosecond timestamp from
+//! the telemetry epoch, and the emitting thread's current span ID so a
+//! journal can be interleaved with the span tree.
+
+use crate::json::{self, escape_str, fmt_f64, Json};
+use crate::level::{enabled, ObsLevel};
+use crate::span::{current_span, now_ns, SpanId, SpanRecord};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The numeric counters of one grounding (a mirror of `GroundStats`
+/// in `cms-psl`, which this crate cannot depend on).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroundCounters {
+    /// Substitutions enumerated.
+    pub substitutions: u64,
+    /// Potentials emitted.
+    pub potentials: u64,
+    /// Hard constraints emitted.
+    pub constraints: u64,
+    /// Groundings pruned as trivially satisfied.
+    pub pruned: u64,
+    /// Objective contribution of constant groundings.
+    pub constant_loss: f64,
+    /// Candidate atoms reached through index probes.
+    pub candidates_probed: u64,
+    /// Candidate atoms reached through full pool scans.
+    pub candidates_scanned: u64,
+    /// Ground terms spliced unchanged by a reground.
+    pub terms_reused: u64,
+    /// Ground terms recomputed by a reground.
+    pub terms_recomputed: u64,
+    /// Arithmetic free bindings spliced without re-folding.
+    pub arith_bindings_spliced: u64,
+    /// Self-healing fresh-ground fallbacks absorbed.
+    pub fallback_fresh_grounds: u64,
+    /// ADMM watchdog restarts absorbed.
+    pub solver_restarts: u64,
+    /// Wall time, nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// One degradation-ladder rung, as a typed record (previously a
+/// `note_degradation` string in `cms-select`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DegradationRung {
+    /// Rung 1: non-finite carried duals were dropped before the warm
+    /// solve.
+    DroppedNonFiniteDuals {
+        /// Dual terms discarded.
+        dropped: u64,
+    },
+    /// Rung 2: the incremental reground was rejected and a fresh ground
+    /// ran instead.
+    FreshGround {
+        /// The reground error that forced the fallback.
+        reason: String,
+    },
+    /// Rung 3: a non-nominal warm solve was retried cold.
+    ColdSolve {
+        /// Health of the abandoned warm solve.
+        health: String,
+    },
+    /// Rung 4: fresh ground *and* cold solve after rung 3 stayed
+    /// non-nominal.
+    FreshGroundColdSolve {
+        /// Health of the abandoned rung-3 solve.
+        health: String,
+    },
+}
+
+impl DegradationRung {
+    /// Ladder position, 1-based.
+    pub fn rung(&self) -> u32 {
+        match self {
+            DegradationRung::DroppedNonFiniteDuals { .. } => 1,
+            DegradationRung::FreshGround { .. } => 2,
+            DegradationRung::ColdSolve { .. } => 3,
+            DegradationRung::FreshGroundColdSolve { .. } => 4,
+        }
+    }
+
+    /// Human-readable rendering of this rung, used in degradation notes.
+    pub fn render(&self) -> String {
+        match self {
+            DegradationRung::DroppedNonFiniteDuals { dropped } => {
+                format!("dropped {dropped} non-finite dual terms")
+            }
+            DegradationRung::FreshGround { reason } => {
+                format!("reground rejected ({reason}); fell back to fresh ground")
+            }
+            DegradationRung::ColdSolve { health } => {
+                format!("warm solve {health}; retried cold")
+            }
+            DegradationRung::FreshGroundColdSolve { health } => {
+                format!("cold solve {health}; fresh ground + cold solve")
+            }
+        }
+    }
+}
+
+/// A typed telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// One chase-engine run (mirrors `ChaseStats` in `cms-tgd`).
+    Chase {
+        /// Candidate tgds chased.
+        tgds: u64,
+        /// Body-prefix trie nodes.
+        trie_nodes: u64,
+        /// Partial-binding extensions evaluated.
+        prefix_bindings_computed: u64,
+        /// Extensions shared through the trie.
+        prefix_bindings_reused: u64,
+        /// Rows reached through index probes.
+        candidates_probed: u64,
+        /// Rows reached through full scans.
+        candidates_scanned: u64,
+        /// Head instantiations.
+        firings: u64,
+        /// New tuples inserted.
+        tuples_emitted: u64,
+        /// Wall time, nanoseconds.
+        wall_ns: u64,
+    },
+    /// One rule grounded from scratch.
+    Ground {
+        /// Rule name (`rule#i` or the arithmetic rule's name).
+        rule: String,
+        /// The rule's counters.
+        counters: GroundCounters,
+    },
+    /// One incremental reground of a whole program.
+    Reground {
+        /// Rules in the program.
+        rules: u64,
+        /// Totals across all rules after the splice.
+        counters: GroundCounters,
+    },
+    /// One ADMM solve (mirrors `AdmmSolution` in `cms-psl`).
+    Solve {
+        /// Iterations executed.
+        iterations: u64,
+        /// True iff residuals dropped below tolerance.
+        converged: bool,
+        /// Watchdog restarts.
+        restarts: u64,
+        /// `SolveHealth` rendering, e.g. `converged` or `stalled@40`.
+        health: String,
+        /// Objective at the solution.
+        objective: f64,
+        /// Largest hard-constraint violation.
+        max_violation: f64,
+        /// Wall time in the local step, nanoseconds.
+        local_ns: u64,
+        /// Wall time in the consensus step, nanoseconds.
+        consensus_ns: u64,
+    },
+    /// One degradation-ladder rung fired.
+    Degradation(DegradationRung),
+    /// One injected fault observed (from the `cms-fault` harness).
+    Fault {
+        /// Fault label, e.g. `poison-duals`.
+        fault: String,
+    },
+}
+
+impl Event {
+    /// The JSONL `type` tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Chase { .. } => "chase",
+            Event::Ground { .. } => "ground",
+            Event::Reground { .. } => "reground",
+            Event::Solve { .. } => "solve",
+            Event::Degradation(_) => "degradation",
+            Event::Fault { .. } => "fault",
+        }
+    }
+}
+
+/// One journal entry: an [`Event`] plus ordering metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Process-wide emission sequence number (strictly increasing).
+    pub seq: u64,
+    /// Nanoseconds since the telemetry epoch.
+    pub t_ns: u64,
+    /// Innermost open span on the emitting thread, 0 for none.
+    pub span: SpanId,
+    /// The event.
+    pub event: Event,
+}
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static EVENTS: Mutex<Vec<EventRecord>> = Mutex::new(Vec::new());
+
+/// Record `event` in the journal (no-op below [`ObsLevel::Journal`]).
+pub fn emit(event: Event) {
+    if !enabled(ObsLevel::Journal) {
+        return;
+    }
+    let record = EventRecord {
+        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        t_ns: now_ns(),
+        span: current_span(),
+        event,
+    };
+    EVENTS.lock().unwrap().push(record);
+}
+
+/// Take every journal record emitted so far, oldest first.
+pub fn drain_journal() -> Vec<EventRecord> {
+    let mut events = std::mem::take(&mut *EVENTS.lock().unwrap());
+    events.sort_by_key(|r| r.seq);
+    events
+}
+
+// ---------------------------------------------------------------------------
+// JSONL export / import
+// ---------------------------------------------------------------------------
+
+fn push_u64(out: &mut String, key: &str, v: u64) {
+    let _ = write!(out, ",\"{key}\":{v}");
+}
+
+fn push_f64(out: &mut String, key: &str, v: f64) {
+    let _ = write!(out, ",\"{key}\":{}", fmt_f64(v));
+}
+
+fn push_str(out: &mut String, key: &str, v: &str) {
+    let _ = write!(out, ",\"{key}\":{}", escape_str(v));
+}
+
+fn push_ground_counters(out: &mut String, c: &GroundCounters) {
+    push_u64(out, "substitutions", c.substitutions);
+    push_u64(out, "potentials", c.potentials);
+    push_u64(out, "constraints", c.constraints);
+    push_u64(out, "pruned", c.pruned);
+    push_f64(out, "constant_loss", c.constant_loss);
+    push_u64(out, "candidates_probed", c.candidates_probed);
+    push_u64(out, "candidates_scanned", c.candidates_scanned);
+    push_u64(out, "terms_reused", c.terms_reused);
+    push_u64(out, "terms_recomputed", c.terms_recomputed);
+    push_u64(out, "arith_bindings_spliced", c.arith_bindings_spliced);
+    push_u64(out, "fallback_fresh_grounds", c.fallback_fresh_grounds);
+    push_u64(out, "solver_restarts", c.solver_restarts);
+    push_u64(out, "wall_ns", c.wall_ns);
+}
+
+/// Serialise one record as a single JSON line (no trailing newline).
+pub fn to_json_line(r: &EventRecord) -> String {
+    let mut out = format!(
+        "{{\"seq\":{},\"t_ns\":{},\"span\":{},\"type\":\"{}\"",
+        r.seq,
+        r.t_ns,
+        r.span.0,
+        r.event.kind()
+    );
+    match &r.event {
+        Event::Chase {
+            tgds,
+            trie_nodes,
+            prefix_bindings_computed,
+            prefix_bindings_reused,
+            candidates_probed,
+            candidates_scanned,
+            firings,
+            tuples_emitted,
+            wall_ns,
+        } => {
+            push_u64(&mut out, "tgds", *tgds);
+            push_u64(&mut out, "trie_nodes", *trie_nodes);
+            push_u64(
+                &mut out,
+                "prefix_bindings_computed",
+                *prefix_bindings_computed,
+            );
+            push_u64(&mut out, "prefix_bindings_reused", *prefix_bindings_reused);
+            push_u64(&mut out, "candidates_probed", *candidates_probed);
+            push_u64(&mut out, "candidates_scanned", *candidates_scanned);
+            push_u64(&mut out, "firings", *firings);
+            push_u64(&mut out, "tuples_emitted", *tuples_emitted);
+            push_u64(&mut out, "wall_ns", *wall_ns);
+        }
+        Event::Ground { rule, counters } => {
+            push_str(&mut out, "rule", rule);
+            push_ground_counters(&mut out, counters);
+        }
+        Event::Reground { rules, counters } => {
+            push_u64(&mut out, "rules", *rules);
+            push_ground_counters(&mut out, counters);
+        }
+        Event::Solve {
+            iterations,
+            converged,
+            restarts,
+            health,
+            objective,
+            max_violation,
+            local_ns,
+            consensus_ns,
+        } => {
+            push_u64(&mut out, "iterations", *iterations);
+            let _ = write!(out, ",\"converged\":{converged}");
+            push_u64(&mut out, "restarts", *restarts);
+            push_str(&mut out, "health", health);
+            push_f64(&mut out, "objective", *objective);
+            push_f64(&mut out, "max_violation", *max_violation);
+            push_u64(&mut out, "local_ns", *local_ns);
+            push_u64(&mut out, "consensus_ns", *consensus_ns);
+        }
+        Event::Degradation(rung) => {
+            push_u64(&mut out, "rung", u64::from(rung.rung()));
+            match rung {
+                DegradationRung::DroppedNonFiniteDuals { dropped } => {
+                    push_u64(&mut out, "dropped", *dropped);
+                }
+                DegradationRung::FreshGround { reason } => {
+                    push_str(&mut out, "reason", reason);
+                }
+                DegradationRung::ColdSolve { health }
+                | DegradationRung::FreshGroundColdSolve { health } => {
+                    push_str(&mut out, "health", health);
+                }
+            }
+        }
+        Event::Fault { fault } => {
+            push_str(&mut out, "fault", fault);
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Serialise records as JSONL (one record per line, trailing newline).
+pub fn export_jsonl(records: &[EventRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&to_json_line(r));
+        out.push('\n');
+    }
+    out
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing/invalid u64 field {key:?}"))
+}
+
+fn req_f64(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing/invalid number field {key:?}"))
+}
+
+fn req_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing/invalid string field {key:?}"))
+}
+
+fn parse_ground_counters(v: &Json) -> Result<GroundCounters, String> {
+    Ok(GroundCounters {
+        substitutions: req_u64(v, "substitutions")?,
+        potentials: req_u64(v, "potentials")?,
+        constraints: req_u64(v, "constraints")?,
+        pruned: req_u64(v, "pruned")?,
+        constant_loss: req_f64(v, "constant_loss")?,
+        candidates_probed: req_u64(v, "candidates_probed")?,
+        candidates_scanned: req_u64(v, "candidates_scanned")?,
+        terms_reused: req_u64(v, "terms_reused")?,
+        terms_recomputed: req_u64(v, "terms_recomputed")?,
+        arith_bindings_spliced: req_u64(v, "arith_bindings_spliced")?,
+        fallback_fresh_grounds: req_u64(v, "fallback_fresh_grounds")?,
+        solver_restarts: req_u64(v, "solver_restarts")?,
+        wall_ns: req_u64(v, "wall_ns")?,
+    })
+}
+
+/// Parse one JSON line back into an [`EventRecord`] — the inverse of
+/// [`to_json_line`], also used by the CI schema validator.
+pub fn from_json_line(line: &str) -> Result<EventRecord, String> {
+    let v = json::parse(line)?;
+    let event = match req_str(&v, "type")?.as_str() {
+        "chase" => Event::Chase {
+            tgds: req_u64(&v, "tgds")?,
+            trie_nodes: req_u64(&v, "trie_nodes")?,
+            prefix_bindings_computed: req_u64(&v, "prefix_bindings_computed")?,
+            prefix_bindings_reused: req_u64(&v, "prefix_bindings_reused")?,
+            candidates_probed: req_u64(&v, "candidates_probed")?,
+            candidates_scanned: req_u64(&v, "candidates_scanned")?,
+            firings: req_u64(&v, "firings")?,
+            tuples_emitted: req_u64(&v, "tuples_emitted")?,
+            wall_ns: req_u64(&v, "wall_ns")?,
+        },
+        "ground" => Event::Ground {
+            rule: req_str(&v, "rule")?,
+            counters: parse_ground_counters(&v)?,
+        },
+        "reground" => Event::Reground {
+            rules: req_u64(&v, "rules")?,
+            counters: parse_ground_counters(&v)?,
+        },
+        "solve" => Event::Solve {
+            iterations: req_u64(&v, "iterations")?,
+            converged: v
+                .get("converged")
+                .and_then(Json::as_bool)
+                .ok_or("missing/invalid bool field \"converged\"")?,
+            restarts: req_u64(&v, "restarts")?,
+            health: req_str(&v, "health")?,
+            objective: req_f64(&v, "objective")?,
+            max_violation: req_f64(&v, "max_violation")?,
+            local_ns: req_u64(&v, "local_ns")?,
+            consensus_ns: req_u64(&v, "consensus_ns")?,
+        },
+        "degradation" => {
+            let rung = match req_u64(&v, "rung")? {
+                1 => DegradationRung::DroppedNonFiniteDuals {
+                    dropped: req_u64(&v, "dropped")?,
+                },
+                2 => DegradationRung::FreshGround {
+                    reason: req_str(&v, "reason")?,
+                },
+                3 => DegradationRung::ColdSolve {
+                    health: req_str(&v, "health")?,
+                },
+                4 => DegradationRung::FreshGroundColdSolve {
+                    health: req_str(&v, "health")?,
+                },
+                n => return Err(format!("unknown degradation rung {n}")),
+            };
+            Event::Degradation(rung)
+        }
+        "fault" => Event::Fault {
+            fault: req_str(&v, "fault")?,
+        },
+        other => return Err(format!("unknown event type {other:?}")),
+    };
+    Ok(EventRecord {
+        seq: req_u64(&v, "seq")?,
+        t_ns: req_u64(&v, "t_ns")?,
+        span: SpanId(req_u64(&v, "span")?),
+        event,
+    })
+}
+
+/// Parse a JSONL export back into records (blank lines skipped).
+pub fn parse_jsonl(text: &str) -> Result<Vec<EventRecord>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| from_json_line(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Human-readable rendering
+// ---------------------------------------------------------------------------
+
+fn event_line(r: &EventRecord) -> String {
+    let t_ms = r.t_ns as f64 / 1e6;
+    let body = match &r.event {
+        Event::Chase {
+            tgds,
+            firings,
+            tuples_emitted,
+            wall_ns,
+            ..
+        } => format!(
+            "chase: {tgds} tgds, {firings} firings, {tuples_emitted} tuples in {:.3}ms",
+            *wall_ns as f64 / 1e6
+        ),
+        Event::Ground { rule, counters } => format!(
+            "ground {rule}: {} potentials, {} constraints, {} substitutions in {:.3}ms",
+            counters.potentials,
+            counters.constraints,
+            counters.substitutions,
+            counters.wall_ns as f64 / 1e6
+        ),
+        Event::Reground { rules, counters } => format!(
+            "reground ({rules} rules): {} reused, {} recomputed, {} arith spliced in {:.3}ms",
+            counters.terms_reused,
+            counters.terms_recomputed,
+            counters.arith_bindings_spliced,
+            counters.wall_ns as f64 / 1e6
+        ),
+        Event::Solve {
+            iterations,
+            health,
+            restarts,
+            objective,
+            ..
+        } => format!(
+            "solve: {iterations} iters, health={health}, restarts={restarts}, obj={objective:.3}"
+        ),
+        Event::Degradation(rung) => {
+            format!("degradation rung {}: {}", rung.rung(), rung.render())
+        }
+        Event::Fault { fault } => format!("fault injected: {fault}"),
+    };
+    format!("[{t_ms:9.3}ms] #{} {}", r.seq, body)
+}
+
+/// Render the journal as a human-readable tree: events nest under the
+/// span tree (when `spans` covers their span ID) and otherwise print
+/// flat in sequence order.
+pub fn render_tree(spans: &[SpanRecord], events: &[EventRecord]) -> String {
+    use std::collections::BTreeMap;
+    let mut by_span: BTreeMap<SpanId, Vec<&EventRecord>> = BTreeMap::new();
+    let known: std::collections::BTreeSet<SpanId> = spans.iter().map(|s| s.id).collect();
+    let mut flat: Vec<&EventRecord> = Vec::new();
+    for e in events {
+        if e.span != SpanId::NONE && known.contains(&e.span) {
+            by_span.entry(e.span).or_default().push(e);
+        } else {
+            flat.push(e);
+        }
+    }
+    let mut children: BTreeMap<SpanId, Vec<&SpanRecord>> = BTreeMap::new();
+    for s in spans {
+        children.entry(s.parent).or_default().push(s);
+    }
+    for v in children.values_mut() {
+        v.sort_by_key(|s| s.start_ns);
+    }
+    fn emit(
+        out: &mut String,
+        children: &BTreeMap<SpanId, Vec<&SpanRecord>>,
+        by_span: &BTreeMap<SpanId, Vec<&EventRecord>>,
+        node: SpanId,
+        depth: usize,
+    ) {
+        if let Some(kids) = children.get(&node) {
+            for s in kids {
+                for _ in 0..depth {
+                    out.push_str("  ");
+                }
+                let _ = writeln!(out, "{} {:.3}ms", s.name, s.wall_ns as f64 / 1e6);
+                if let Some(events) = by_span.get(&s.id) {
+                    for e in events {
+                        for _ in 0..=depth {
+                            out.push_str("  ");
+                        }
+                        out.push_str(&event_line(e));
+                        out.push('\n');
+                    }
+                }
+                emit(out, children, by_span, s.id, depth + 1);
+            }
+        }
+    }
+    let mut out = String::new();
+    emit(&mut out, &children, &by_span, SpanId::NONE, 0);
+    for e in flat {
+        out.push_str(&event_line(e));
+        out.push('\n');
+    }
+    out
+}

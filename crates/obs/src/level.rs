@@ -1,0 +1,149 @@
+//! Telemetry level control: the `CMS_OBS` environment variable and a
+//! programmatic override.
+//!
+//! The level is read from the environment exactly once (warn-once on a
+//! malformed value, mirroring the ADMM env knobs) and cached in a single
+//! atomic byte, so the disabled fast path is one relaxed load and a
+//! compare.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// How much telemetry the process records, in strictly increasing cost.
+///
+/// Each level includes everything below it: `Journal` also records spans
+/// and metrics, `Spans` also records metrics, and so on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum ObsLevel {
+    /// No telemetry. Every recording call is a relaxed atomic load and
+    /// an untaken branch.
+    Off = 0,
+    /// Metrics only: counters, gauges and histograms in the registry.
+    Stats = 1,
+    /// Metrics plus hierarchical wall/CPU-time spans.
+    Spans = 2,
+    /// Everything: metrics, spans and the structured event journal.
+    Journal = 3,
+}
+
+impl ObsLevel {
+    /// Parse a `CMS_OBS` value. Case-insensitive; `None` on anything
+    /// that is not one of the four documented names.
+    pub fn parse(raw: &str) -> Option<ObsLevel> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "off" | "" => Some(ObsLevel::Off),
+            "stats" => Some(ObsLevel::Stats),
+            "spans" => Some(ObsLevel::Spans),
+            "journal" => Some(ObsLevel::Journal),
+            _ => None,
+        }
+    }
+
+    /// The lowercase name this level parses from.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObsLevel::Off => "off",
+            ObsLevel::Stats => "stats",
+            ObsLevel::Spans => "spans",
+            ObsLevel::Journal => "journal",
+        }
+    }
+
+    fn from_u8(v: u8) -> ObsLevel {
+        match v {
+            1 => ObsLevel::Stats,
+            2 => ObsLevel::Spans,
+            3 => ObsLevel::Journal,
+            _ => ObsLevel::Off,
+        }
+    }
+}
+
+/// Sentinel meaning "not yet initialised from the environment".
+const UNSET: u8 = u8::MAX;
+
+static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+static ENV_LEVEL: OnceLock<ObsLevel> = OnceLock::new();
+
+fn env_level() -> ObsLevel {
+    *ENV_LEVEL.get_or_init(|| match std::env::var("CMS_OBS") {
+        Ok(raw) => ObsLevel::parse(&raw).unwrap_or_else(|| {
+            eprintln!("warning: CMS_OBS={raw:?} is not off/stats/spans/journal; telemetry off");
+            ObsLevel::Off
+        }),
+        Err(_) => ObsLevel::Off,
+    })
+}
+
+/// The active telemetry level.
+///
+/// First call resolves `CMS_OBS` (or a prior [`set_level_override`]);
+/// every later call is a single relaxed atomic load.
+#[inline]
+pub fn level() -> ObsLevel {
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v != UNSET {
+        return ObsLevel::from_u8(v);
+    }
+    let resolved = env_level();
+    // Racing initialisers all resolve the same OnceLock value, and an
+    // override that lands in between simply wins the store.
+    let _ = LEVEL.compare_exchange(UNSET, resolved as u8, Ordering::Relaxed, Ordering::Relaxed);
+    ObsLevel::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// True when the active level is at least `want`. The hot-path guard.
+#[inline]
+pub fn enabled(want: ObsLevel) -> bool {
+    level() >= want
+}
+
+/// Programmatically force the level, overriding `CMS_OBS`.
+///
+/// Exists so benches and tests can compare levels within one process
+/// (the environment is only consulted once). Takes effect for all
+/// threads on their next [`level`] call.
+pub fn set_level_override(level: ObsLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Drop a [`set_level_override`] and fall back to the `CMS_OBS`-derived
+/// level.
+pub fn clear_level_override() {
+    LEVEL.store(env_level() as u8, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_documented_names_case_insensitively() {
+        assert_eq!(ObsLevel::parse("off"), Some(ObsLevel::Off));
+        assert_eq!(ObsLevel::parse("STATS"), Some(ObsLevel::Stats));
+        assert_eq!(ObsLevel::parse(" Spans "), Some(ObsLevel::Spans));
+        assert_eq!(ObsLevel::parse("journal"), Some(ObsLevel::Journal));
+        assert_eq!(ObsLevel::parse(""), Some(ObsLevel::Off));
+        assert_eq!(ObsLevel::parse("verbose"), None);
+    }
+
+    #[test]
+    fn levels_are_cumulative() {
+        assert!(ObsLevel::Journal > ObsLevel::Spans);
+        assert!(ObsLevel::Spans > ObsLevel::Stats);
+        assert!(ObsLevel::Stats > ObsLevel::Off);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for l in [
+            ObsLevel::Off,
+            ObsLevel::Stats,
+            ObsLevel::Spans,
+            ObsLevel::Journal,
+        ] {
+            assert_eq!(ObsLevel::parse(l.name()), Some(l));
+        }
+    }
+}

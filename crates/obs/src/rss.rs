@@ -1,0 +1,36 @@
+//! Best-effort peak resident-set size, for bench output.
+
+/// Peak RSS (high-water mark) of the current process, in bytes.
+///
+/// Linux: the `VmHWM` line of `/proc/self/status` (reported in kB).
+/// Other platforms: `None` — callers must treat the value as
+/// best-effort.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        let kb: u64 = line
+            .trim_start_matches("VmHWM:")
+            .trim()
+            .trim_end_matches("kB")
+            .trim()
+            .parse()
+            .ok()?;
+        Some(kb * 1024)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = super::peak_rss_bytes().expect("VmHWM should parse on Linux");
+        assert!(rss > 0);
+    }
+}

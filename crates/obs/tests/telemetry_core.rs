@@ -1,0 +1,242 @@
+//! Integration tests for the telemetry core: span nesting/parenting
+//! under `std::thread::scope` parallelism, snapshot diffing across the
+//! global registry, and a property test that the JSONL export
+//! round-trips every event variant.
+//!
+//! The span sink, journal and level are process-global, so every test
+//! serialises on one mutex and drains shared state before running.
+
+use cms_obs::{
+    drain_journal, drain_spans, emit, export_jsonl, parse_jsonl, render_span_tree, render_tree,
+    set_level_override, span, span_with_parent, DegradationRung, Event, EventRecord,
+    GroundCounters, ObsLevel, SpanId,
+};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+    let guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    drain_spans();
+    drain_journal();
+    guard
+}
+
+#[test]
+fn spans_nest_on_one_thread_and_parent_explicitly_across_scoped_threads() {
+    let _guard = exclusive();
+    set_level_override(ObsLevel::Spans);
+
+    let solve = span("solve");
+    let solve_id = solve.id();
+    assert_ne!(solve_id, SpanId::NONE);
+    {
+        let inner = span("solve/consensus");
+        assert_ne!(inner.id(), solve_id);
+    }
+    // Worker threads have no ambient parent: without an explicit one
+    // they would record as roots, with one they attribute under the
+    // coordinating span.
+    std::thread::scope(|scope| {
+        for worker in 0..3 {
+            scope.spawn(move || {
+                let _w = span_with_parent(format!("solve/worker-{worker}"), solve_id);
+                let _nested = span("solve/worker-local");
+            });
+        }
+    });
+    drop(solve);
+    set_level_override(ObsLevel::Off);
+
+    let records = drain_spans();
+    assert_eq!(records.len(), 8);
+    let by_name = |name: &str| {
+        records
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("span {name} missing"))
+    };
+    assert_eq!(by_name("solve").parent, SpanId::NONE);
+    assert_eq!(by_name("solve/consensus").parent, solve_id);
+    for worker in 0..3 {
+        let w = by_name(&format!("solve/worker-{worker}"));
+        assert_eq!(w.parent, solve_id, "worker spans parent explicitly");
+    }
+    // Each worker-local span nested under that worker's thread-local
+    // current span, not under the coordinator.
+    let worker_ids: Vec<SpanId> = records
+        .iter()
+        .filter(|r| r.name.starts_with("solve/worker-") && r.name != "solve/worker-local")
+        .map(|r| r.id)
+        .collect();
+    let locals: Vec<_> = records
+        .iter()
+        .filter(|r| r.name == "solve/worker-local")
+        .collect();
+    assert_eq!(locals.len(), 3);
+    for local in &locals {
+        assert!(worker_ids.contains(&local.parent));
+    }
+    // All spans observed a monotonic clock and appear in the render.
+    let tree = render_span_tree(&records);
+    assert!(tree.contains("solve"));
+    assert!(tree.contains("solve/worker-1"));
+
+    // Guards are inert below the Spans level.
+    let off = span("ignored");
+    assert_eq!(off.id(), SpanId::NONE);
+    drop(off);
+    assert!(drain_spans().is_empty());
+}
+
+#[test]
+fn journal_records_attach_to_the_emitting_spans() {
+    let _guard = exclusive();
+    set_level_override(ObsLevel::Journal);
+
+    let outer = span("pipeline");
+    let outer_id = outer.id();
+    emit(Event::Fault {
+        fault: "poison-duals".into(),
+    });
+    drop(outer);
+    emit(Event::Degradation(DegradationRung::ColdSolve {
+        health: "stalled@40".into(),
+    }));
+    set_level_override(ObsLevel::Off);
+
+    let spans = drain_spans();
+    let events = drain_journal();
+    assert_eq!(events.len(), 2);
+    assert_eq!(events[0].span, outer_id);
+    assert_eq!(events[1].span, SpanId::NONE);
+    assert!(events[0].seq < events[1].seq);
+    let tree = render_tree(&spans, &events);
+    assert!(tree.contains("pipeline"));
+    assert!(tree.contains("poison-duals"));
+    assert!(tree.contains("degradation rung 3"));
+}
+
+#[test]
+fn journal_is_silent_below_journal_level() {
+    let _guard = exclusive();
+    set_level_override(ObsLevel::Spans);
+    emit(Event::Fault {
+        fault: "ignored".into(),
+    });
+    set_level_override(ObsLevel::Off);
+    assert!(drain_journal().is_empty());
+}
+
+fn tricky_strings() -> Vec<String> {
+    vec![
+        String::new(),
+        "rule#0".into(),
+        "stalled@40".into(),
+        "quote\" slash\\ nl\n tab\t".into(),
+        "unicode — σ \u{1}".into(),
+    ]
+}
+
+fn counters_strategy() -> impl Strategy<Value = GroundCounters> {
+    (
+        (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000, 0u64..1_000),
+        (-1e9f64..1e9, 0u64..1_000_000, 0u64..1_000_000),
+        (0u64..1_000_000, 0u64..1_000_000, 0u64..10_000),
+        (0u64..16, 0u64..16, 0u64..10_000_000_000),
+    )
+        .prop_map(|(a, b, c, d)| GroundCounters {
+            substitutions: a.0,
+            potentials: a.1,
+            constraints: a.2,
+            pruned: a.3,
+            constant_loss: b.0,
+            candidates_probed: b.1,
+            candidates_scanned: b.2,
+            terms_reused: c.0,
+            terms_recomputed: c.1,
+            arith_bindings_spliced: c.2,
+            fallback_fresh_grounds: d.0,
+            solver_restarts: d.1,
+            wall_ns: d.2,
+        })
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    let strings = prop::sample::select(tricky_strings());
+    prop_oneof![
+        (
+            (0u64..100, 0u64..10_000, 0u64..1_000_000, 0u64..1_000_000),
+            (0u64..1_000_000, 0u64..1_000_000),
+            (0u64..100_000, 0u64..100_000, 0u64..10_000_000_000),
+        )
+            .prop_map(|(a, b, c)| Event::Chase {
+                tgds: a.0,
+                trie_nodes: a.1,
+                prefix_bindings_computed: a.2,
+                prefix_bindings_reused: a.3,
+                candidates_probed: b.0,
+                candidates_scanned: b.1,
+                firings: c.0,
+                tuples_emitted: c.1,
+                wall_ns: c.2,
+            }),
+        (prop::sample::select(tricky_strings()), counters_strategy())
+            .prop_map(|(rule, counters)| Event::Ground { rule, counters }),
+        (0u64..64, counters_strategy())
+            .prop_map(|(rules, counters)| Event::Reground { rules, counters }),
+        (
+            (0u64..100_000, any::<bool>(), 0u64..8),
+            prop::sample::select(tricky_strings()),
+            (-1e6f64..1e6, 0f64..10.0),
+            (0u64..10_000_000_000, 0u64..10_000_000_000),
+        )
+            .prop_map(|(a, health, obj, t)| Event::Solve {
+                iterations: a.0,
+                converged: a.1,
+                restarts: a.2,
+                health,
+                objective: obj.0,
+                max_violation: obj.1,
+                local_ns: t.0,
+                consensus_ns: t.1,
+            }),
+        (
+            0u64..1_000,
+            prop::sample::select(tricky_strings()),
+            0usize..4
+        )
+            .prop_map(|(n, s, variant)| Event::Degradation(match variant {
+                0 => DegradationRung::DroppedNonFiniteDuals { dropped: n },
+                1 => DegradationRung::FreshGround { reason: s },
+                2 => DegradationRung::ColdSolve { health: s },
+                _ => DegradationRung::FreshGroundColdSolve { health: s },
+            })),
+        strings.prop_map(|fault| Event::Fault { fault }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn jsonl_export_round_trips_every_event_variant(
+        events in prop::collection::vec(event_strategy(), 1..8),
+        seq0 in 0u64..1_000_000,
+        span in 0u64..1_000,
+    ) {
+        let records: Vec<EventRecord> = events
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| EventRecord {
+                seq: seq0 + i as u64,
+                t_ns: seq0.wrapping_mul(31).wrapping_add(i as u64 * 17) % 10_000_000_000,
+                span: SpanId(span),
+                event,
+            })
+            .collect();
+        let jsonl = export_jsonl(&records);
+        let parsed = parse_jsonl(&jsonl).expect("export must parse");
+        prop_assert_eq!(parsed, records);
+    }
+}

@@ -158,6 +158,18 @@ impl SolveHealth {
     pub fn is_nominal(&self) -> bool {
         matches!(self, SolveHealth::Converged | SolveHealth::Capped)
     }
+
+    /// Stable label without the iteration suffix, for metric names
+    /// (`solve.health.stalled`, not `solve.health.stalled@40`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SolveHealth::Converged => "converged",
+            SolveHealth::Capped => "capped",
+            SolveHealth::Stalled { .. } => "stalled",
+            SolveHealth::Diverged { .. } => "diverged",
+            SolveHealth::TimedOut => "timed-out",
+        }
+    }
 }
 
 impl std::fmt::Display for SolveHealth {
@@ -302,6 +314,64 @@ pub struct AdmmSolution {
     pub health: SolveHealth,
     /// Restarts performed by the recovery policy before this outcome.
     pub restarts: usize,
+}
+
+impl AdmmSolution {
+    /// Mirror this solve into the telemetry layer: `solve.*` registry
+    /// counters at [`cms_obs::ObsLevel::Stats`], synthetic local/
+    /// consensus phase spans under `parent` at
+    /// [`cms_obs::ObsLevel::Spans`], and a typed
+    /// [`cms_obs::Event::Solve`] at [`cms_obs::ObsLevel::Journal`].
+    /// No-op (one atomic load) when telemetry is off.
+    fn publish(&self, parent: cms_obs::SpanId) {
+        if cms_obs::enabled(cms_obs::ObsLevel::Stats) {
+            // Cached handles: `publish` runs once per solve inside the
+            // flip loop the telemetry-overhead gate times.
+            use cms_obs::LazyCounter;
+            static RUNS: LazyCounter = LazyCounter::new("solve.runs");
+            static ITERATIONS: LazyCounter = LazyCounter::new("solve.iterations");
+            static RESTARTS: LazyCounter = LazyCounter::new("solve.restarts");
+            static HEALTH: [LazyCounter; 5] = [
+                LazyCounter::new("solve.health.converged"),
+                LazyCounter::new("solve.health.capped"),
+                LazyCounter::new("solve.health.stalled"),
+                LazyCounter::new("solve.health.diverged"),
+                LazyCounter::new("solve.health.timed-out"),
+            ];
+            RUNS.inc();
+            ITERATIONS.add(self.iterations as u64);
+            RESTARTS.add(self.restarts as u64);
+            let h = match self.health {
+                SolveHealth::Converged => &HEALTH[0],
+                SolveHealth::Capped => &HEALTH[1],
+                SolveHealth::Stalled { .. } => &HEALTH[2],
+                SolveHealth::Diverged { .. } => &HEALTH[3],
+                SolveHealth::TimedOut => &HEALTH[4],
+            };
+            h.inc();
+        }
+        cms_obs::record_span_duration("solve/local", parent, self.local_time.as_nanos() as u64);
+        cms_obs::record_span_duration(
+            "solve/consensus",
+            parent,
+            self.consensus_time.as_nanos() as u64,
+        );
+        // `emit` gates internally, but the event's health string would
+        // allocate before the level check — guard here so the stats-level
+        // hot path never pays it.
+        if cms_obs::enabled(cms_obs::ObsLevel::Journal) {
+            cms_obs::emit(cms_obs::Event::Solve {
+                iterations: self.iterations as u64,
+                converged: self.converged,
+                restarts: self.restarts as u64,
+                health: self.health.to_string(),
+                objective: self.objective,
+                max_violation: self.max_violation,
+                local_ns: self.local_time.as_nanos() as u64,
+                consensus_ns: self.consensus_time.as_nanos() as u64,
+            });
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -607,6 +677,7 @@ impl<'a> AdmmSolver<'a> {
         warm: WarmStart<'_>,
         want_duals: bool,
     ) -> (AdmmSolution, Option<DualState>) {
+        let _span = cms_obs::span("solve");
         let ws = self.build_workspace(config, &warm);
         if ws.total_copies == 0 {
             // No term holds a local copy: every expression is constant.
@@ -617,20 +688,19 @@ impl<'a> AdmmSolver<'a> {
                 .iter()
                 .map(|c| c.violation(&values))
                 .fold(0.0, f64::max);
-            return (
-                AdmmSolution {
-                    values,
-                    iterations: 0,
-                    converged: true,
-                    objective,
-                    max_violation,
-                    local_time: Duration::ZERO,
-                    consensus_time: Duration::ZERO,
-                    health: SolveHealth::Converged,
-                    restarts: 0,
-                },
-                want_duals.then(|| ws.extract_duals()),
-            );
+            let solution = AdmmSolution {
+                values,
+                iterations: 0,
+                converged: true,
+                objective,
+                max_violation,
+                local_time: Duration::ZERO,
+                consensus_time: Duration::ZERO,
+                health: SolveHealth::Converged,
+                restarts: 0,
+            };
+            solution.publish(_span.id());
+            return (solution, want_duals.then(|| ws.extract_duals()));
         }
 
         let threads = config.threads.max(1);
@@ -683,20 +753,19 @@ impl<'a> AdmmSolver<'a> {
             .iter()
             .map(|c| c.violation(&values))
             .fold(0.0, f64::max);
-        (
-            AdmmSolution {
-                values,
-                iterations,
-                converged: outcome.health == SolveHealth::Converged,
-                objective,
-                max_violation,
-                local_time,
-                consensus_time,
-                health: outcome.health,
-                restarts,
-            },
-            want_duals.then(|| ws.extract_duals()),
-        )
+        let solution = AdmmSolution {
+            values,
+            iterations,
+            converged: outcome.health == SolveHealth::Converged,
+            objective,
+            max_violation,
+            local_time,
+            consensus_time,
+            health: outcome.health,
+            restarts,
+        };
+        solution.publish(_span.id());
+        (solution, want_duals.then(|| ws.extract_duals()))
     }
 
     /// Σ weighted potential values under `y`.
@@ -917,12 +986,16 @@ impl<'a> AdmmSolver<'a> {
         let panicked = AtomicBool::new(false);
 
         let mut state = LoopState::new(config, ws, deadline);
+        // Workers parent their spans under the coordinator's open solve
+        // span explicitly — their threads have no ambient span stack.
+        let solve_span = cms_obs::current_span();
         thread::scope(|scope| {
             for w in 0..threads {
                 let terms = term_chunks[w].clone();
                 let my_shards = shard_chunks[w].clone();
                 let (barrier, stop, rho_bits, panicked) = (&barrier, &stop, &rho_bits, &panicked);
                 scope.spawn(move || {
+                    let _span = cms_obs::span_with_parent(format!("solve/worker-{w}"), solve_span);
                     let mut scratch: Vec<f64> = Vec::new();
                     loop {
                         barrier.wait(); // A: iteration gate
@@ -1004,6 +1077,10 @@ struct LoopState {
     stalled_for: usize,
     /// Wall-clock deadline shared across restart attempts.
     deadline: Option<Instant>,
+    /// Telemetry histogram of the combined residual, fetched once per
+    /// solve attempt so the per-iteration cost is a bucket increment.
+    /// `None` below [`cms_obs::ObsLevel::Stats`].
+    residual_hist: Option<&'static cms_obs::Histogram>,
 }
 
 /// What a finished iteration loop reports back.
@@ -1028,6 +1105,13 @@ impl LoopState {
             best_combined: f64::INFINITY,
             stalled_for: 0,
             deadline,
+            residual_hist: cms_obs::enabled(cms_obs::ObsLevel::Stats).then(|| {
+                static RESIDUAL: cms_obs::LazyHistogram = cms_obs::LazyHistogram::new(
+                    "solve.residual",
+                    &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0, 1000.0],
+                );
+                RESIDUAL.handle()
+            }),
         }
     }
 
@@ -1066,6 +1150,10 @@ impl LoopState {
                 at: self.iterations,
             });
             return true;
+        }
+
+        if let Some(hist) = &self.residual_hist {
+            hist.record(primal_sq.sqrt() + self.rho * dual_sq.sqrt());
         }
 
         let m = self.total_copies;

@@ -24,17 +24,17 @@
 //! Grounding factors into three stages shared by the full grounder and the
 //! delta regrounder ([`crate::Program::reground`]):
 //!
-//! 1. [`arith_shape`] validates the rule (summation variables must occur
+//! 1. `arith_shape` validates the rule (summation variables must occur
 //!    in some atom and not be declared twice; weights, coefficients and
 //!    constants must be finite) and derives the free-variable schema plus
 //!    the fixed number of potentials/constraints every grounding emits.
-//! 2. [`enumerate_free_bindings`] joins all atoms over the database pools
+//! 2. `enumerate_free_bindings` joins all atoms over the database pools
 //!    and projects onto the free variables — one binding per grounding, in
 //!    a deterministic enumeration order.
-//! 3. [`fold_free_binding`] expands one binding's summations and emits its
+//! 3. `fold_free_binding` expands one binding's summations and emits its
 //!    potential(s) or constraint, optionally reporting every ground atom
 //!    the fold instantiated (the *contributors*) so the caller can build
-//!    the per-binding splice table ([`crate::delta::ArithTable`]) that
+//!    the per-binding splice table (`crate::delta::ArithTable`) that
 //!    lets `reground` re-fold exactly the bindings a mutation touches.
 
 use crate::atom::GroundAtom;

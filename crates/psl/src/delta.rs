@@ -30,7 +30,7 @@
 //!
 //! **Arithmetic splice tables.** Arithmetic rules fold summations across
 //! bindings, so their splice unit is the *free-variable binding*, not the
-//! join binding: grounding records an [`ArithTable`] holding the binding
+//! join binding: grounding records an `ArithTable` holding the binding
 //! keys in emission order plus a dependency map from every ground atom a
 //! binding's summation folds (its *contributors*, captured during the
 //! fold) to the binding ordinals it feeds. Each binding emits a fixed
@@ -57,7 +57,7 @@
 //!   constant-loss contributions), and the groundings are re-emitted
 //!   against the new values — pruned ↔ potential ↔ constraint transitions
 //!   included. Dirty *arithmetic* rules re-fold exactly the free bindings
-//!   the mutated atoms contribute to ([`ArithTable`] lookup — the binding
+//!   the mutated atoms contribute to (`ArithTable` lookup — the binding
 //!   set itself is provably unchanged); untouched bindings splice
 //!   byte-identically and keep their ADMM duals.
 //! * *Pool deltas* (`Added`/`Removed` present): dirty logical rules are
@@ -68,7 +68,7 @@
 //!   their summation (`Changed`/`Removed` atoms via the contributor map;
 //!   `Added` atoms via pattern unification — an added atom can only enter
 //!   a binding whose key agrees with the free variables the atom's
-//!   pattern binds, see [`crate::arith::free_var_mask`]).
+//!   pattern binds, see `crate::arith::free_var_mask`).
 //! * *Raw terms* are ground atoms, so their dirtiness test is exact atom
 //!   equality against the delta; dirty raw terms are recomputed (they are
 //!   single linear expressions — no joins).
@@ -80,7 +80,7 @@
 //! retain atoms that no longer occur in any term; they simply stay
 //! unconstrained.)
 //!
-//! **Term identity.** Every reground additionally records a [`DualReuse`]
+//! **Term identity.** Every reground additionally records a `DualReuse`
 //! map — new term position → prior term position for spliced terms. It is
 //! what [`crate::GroundProgram::carry_duals`] uses to transplant the
 //! ADMM scaled duals of unchanged terms across a reground, so
@@ -589,6 +589,7 @@ impl Program {
         mut prior: GroundProgram,
         delta: &DbDelta,
     ) -> Result<GroundProgram, RegroundError> {
+        let _span = cms_obs::span("reground");
         // Delta guard, stage 1: the timeline stamps. Runs before the
         // empty-delta early-out so even a dropped-to-empty delta is caught.
         if let Some((db_id, generation)) = prior.stamp {
@@ -717,6 +718,7 @@ impl Program {
         let mut old_pot = 0usize;
         let mut old_con = 0usize;
 
+        let rules_span = cms_obs::span("reground/rules");
         for (i, (rule, seg)) in self.rules.iter().zip(support.rules).enumerate() {
             if !dirty_rules[i] {
                 // Clean: splice the whole segment unchanged.
@@ -918,10 +920,12 @@ impl Program {
             constraints.extend(seg_cons);
         }
 
+        drop(rules_span);
         // Arithmetic rules: per-free-binding granularity. The recorded
         // ArithTable maps every mutated atom to exactly the bindings whose
         // summations fold it; only those re-fold — untouched bindings
         // splice byte-identically and keep their dual identity.
+        let arith_span = cms_obs::span("reground/arith");
         for (rule, seg) in self.arith_rules.iter().zip(support.arith) {
             let dirty = rule
                 .terms
@@ -1185,7 +1189,9 @@ impl Program {
             });
         }
 
+        drop(arith_span);
         // Raw terms are ground: dirtiness is exact atom equality.
+        let _raw_span = cms_obs::span("reground/raw");
         for (raw, slot) in self.raw_terms().iter().zip(support.raw) {
             let mut stats = GroundStats::default();
             let dirty = raw.atoms().any(|a| delta_atoms.contains(a));
@@ -1258,6 +1264,17 @@ impl Program {
         debug_assert_eq!(reuse.pots.len(), potentials.len());
         debug_assert_eq!(reuse.cons.len(), constraints.len());
 
+        if cms_obs::enabled(cms_obs::ObsLevel::Stats) {
+            let mut total = GroundStats::default();
+            for s in rule_stats.values() {
+                total.absorb(s);
+            }
+            total.bump_registry("reground");
+            cms_obs::emit(cms_obs::Event::Reground {
+                rules: (self.rules.len() + self.arith_rules.len()) as u64,
+                counters: total.obs_counters(),
+            });
+        }
         Ok(GroundProgram {
             registry,
             potentials,

@@ -58,6 +58,21 @@ pub enum Fault {
     SolverStall,
 }
 
+impl Fault {
+    /// Stable lowercase label, used by the telemetry journal's
+    /// fault events and the recovery suite's diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fault::PoisonDuals => "poison-duals",
+            Fault::DropDeltaEntry => "drop-delta-entry",
+            Fault::DuplicateDeltaEntry => "duplicate-delta-entry",
+            Fault::CorruptSpliceOrdinal => "corrupt-splice-ordinal",
+            Fault::InvalidateIndex => "invalidate-index",
+            Fault::SolverStall => "solver-stall",
+        }
+    }
+}
+
 thread_local! {
     static ARMED: Cell<Option<Fault>> = const { Cell::new(None) };
 }
@@ -84,14 +99,21 @@ pub fn armed() -> Option<Fault> {
 /// true (the caller then performs the injection). Called from the
 /// pipeline's injection points only.
 pub(crate) fn take(kind: Fault) -> bool {
-    ARMED.with(|a| {
+    let fired = ARMED.with(|a| {
         if a.get() == Some(kind) {
             a.set(None);
             true
         } else {
             false
         }
-    })
+    });
+    if fired {
+        cms_obs::count("fault.injected", 1);
+        cms_obs::emit(cms_obs::Event::Fault {
+            fault: kind.label().to_owned(),
+        });
+    }
+    fired
 }
 
 #[cfg(test)]

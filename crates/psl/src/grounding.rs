@@ -2,7 +2,7 @@
 //!
 //! ## Strategy: compile once, probe indexes, execute a plan
 //!
-//! Each [`LogicalRule`] is compiled to a [`JoinPlan`](crate::plan::JoinPlan)
+//! Each [`LogicalRule`] is compiled to a [`crate::plan::JoinPlan`]
 //! before any candidate atom is touched:
 //!
 //! 1. **Slot interning** — rule variables become dense slot ids; the
@@ -30,7 +30,7 @@
 //! the target variables (`max over the [0,1] box ≤ 0`) are pruned.
 //!
 //! The pre-index nested-loop implementation is retained verbatim in
-//! [`reference`]: equivalence property tests and the grounding benches run
+//! [`mod@reference`]: equivalence property tests and the grounding benches run
 //! both engines on the same inputs and require identical ground programs.
 
 use crate::atom::GroundAtom;
@@ -197,6 +197,128 @@ impl GroundStats {
         self.fallback_fresh_grounds += other.fallback_fresh_grounds;
         self.solver_restarts += other.solver_restarts;
         self.wall += other.wall;
+    }
+
+    /// These counters as the telemetry journal's grounding mirror
+    /// ([`cms_obs::GroundCounters`] — `cms-obs` is dependency-free and
+    /// cannot name this struct itself).
+    pub fn obs_counters(&self) -> cms_obs::GroundCounters {
+        cms_obs::GroundCounters {
+            substitutions: self.substitutions as u64,
+            potentials: self.potentials as u64,
+            constraints: self.constraints as u64,
+            pruned: self.pruned as u64,
+            constant_loss: self.constant_loss,
+            candidates_probed: self.candidates_probed as u64,
+            candidates_scanned: self.candidates_scanned as u64,
+            terms_reused: self.terms_reused as u64,
+            terms_recomputed: self.terms_recomputed as u64,
+            arith_bindings_spliced: self.arith_bindings_spliced as u64,
+            fallback_fresh_grounds: self.fallback_fresh_grounds as u64,
+            solver_restarts: self.solver_restarts as u64,
+            wall_ns: self.wall.as_nanos() as u64,
+        }
+    }
+
+    /// Bump the aggregate `<prefix>.*` registry counters for this stats
+    /// block (`prefix` is `ground` or `reground`). Caller has already
+    /// checked the level.
+    ///
+    /// This runs once per ground/reground inside the flip loop the
+    /// telemetry-overhead gate times, so the two known prefixes go
+    /// through pre-resolved [`cms_obs::LazyCounter`] handles — no name
+    /// formatting, no registry lock after the first call.
+    pub(crate) fn bump_registry(&self, prefix: &str) {
+        static GROUND: StatCounters = StatCounters::new_ground();
+        static REGROUND: StatCounters = StatCounters::new_reground();
+        match prefix {
+            "ground" => GROUND.bump(self),
+            "reground" => REGROUND.bump(self),
+            other => {
+                // Unknown prefix: fall back to by-name lookups.
+                let reg = cms_obs::registry();
+                reg.counter(&format!("{other}.runs")).inc();
+                reg.counter(&format!("{other}.substitutions"))
+                    .add(self.substitutions as u64);
+                reg.counter(&format!("{other}.potentials"))
+                    .add(self.potentials as u64);
+                reg.counter(&format!("{other}.constraints"))
+                    .add(self.constraints as u64);
+                reg.counter(&format!("{other}.pruned"))
+                    .add(self.pruned as u64);
+                reg.counter(&format!("{other}.candidates_probed"))
+                    .add(self.candidates_probed as u64);
+                reg.counter(&format!("{other}.candidates_scanned"))
+                    .add(self.candidates_scanned as u64);
+                reg.counter(&format!("{other}.terms_reused"))
+                    .add(self.terms_reused as u64);
+                reg.counter(&format!("{other}.terms_recomputed"))
+                    .add(self.terms_recomputed as u64);
+                reg.counter(&format!("{other}.arith_bindings_spliced"))
+                    .add(self.arith_bindings_spliced as u64);
+            }
+        }
+    }
+}
+
+/// The ten `<prefix>.*` counters [`GroundStats::bump_registry`] bumps,
+/// as cached handles.
+struct StatCounters {
+    runs: cms_obs::LazyCounter,
+    substitutions: cms_obs::LazyCounter,
+    potentials: cms_obs::LazyCounter,
+    constraints: cms_obs::LazyCounter,
+    pruned: cms_obs::LazyCounter,
+    candidates_probed: cms_obs::LazyCounter,
+    candidates_scanned: cms_obs::LazyCounter,
+    terms_reused: cms_obs::LazyCounter,
+    terms_recomputed: cms_obs::LazyCounter,
+    arith_bindings_spliced: cms_obs::LazyCounter,
+}
+
+impl StatCounters {
+    const fn new_ground() -> StatCounters {
+        StatCounters {
+            runs: cms_obs::LazyCounter::new("ground.runs"),
+            substitutions: cms_obs::LazyCounter::new("ground.substitutions"),
+            potentials: cms_obs::LazyCounter::new("ground.potentials"),
+            constraints: cms_obs::LazyCounter::new("ground.constraints"),
+            pruned: cms_obs::LazyCounter::new("ground.pruned"),
+            candidates_probed: cms_obs::LazyCounter::new("ground.candidates_probed"),
+            candidates_scanned: cms_obs::LazyCounter::new("ground.candidates_scanned"),
+            terms_reused: cms_obs::LazyCounter::new("ground.terms_reused"),
+            terms_recomputed: cms_obs::LazyCounter::new("ground.terms_recomputed"),
+            arith_bindings_spliced: cms_obs::LazyCounter::new("ground.arith_bindings_spliced"),
+        }
+    }
+
+    const fn new_reground() -> StatCounters {
+        StatCounters {
+            runs: cms_obs::LazyCounter::new("reground.runs"),
+            substitutions: cms_obs::LazyCounter::new("reground.substitutions"),
+            potentials: cms_obs::LazyCounter::new("reground.potentials"),
+            constraints: cms_obs::LazyCounter::new("reground.constraints"),
+            pruned: cms_obs::LazyCounter::new("reground.pruned"),
+            candidates_probed: cms_obs::LazyCounter::new("reground.candidates_probed"),
+            candidates_scanned: cms_obs::LazyCounter::new("reground.candidates_scanned"),
+            terms_reused: cms_obs::LazyCounter::new("reground.terms_reused"),
+            terms_recomputed: cms_obs::LazyCounter::new("reground.terms_recomputed"),
+            arith_bindings_spliced: cms_obs::LazyCounter::new("reground.arith_bindings_spliced"),
+        }
+    }
+
+    fn bump(&self, stats: &GroundStats) {
+        self.runs.inc();
+        self.substitutions.add(stats.substitutions as u64);
+        self.potentials.add(stats.potentials as u64);
+        self.constraints.add(stats.constraints as u64);
+        self.pruned.add(stats.pruned as u64);
+        self.candidates_probed.add(stats.candidates_probed as u64);
+        self.candidates_scanned.add(stats.candidates_scanned as u64);
+        self.terms_reused.add(stats.terms_reused as u64);
+        self.terms_recomputed.add(stats.terms_recomputed as u64);
+        self.arith_bindings_spliced
+            .add(stats.arith_bindings_spliced as u64);
     }
 }
 

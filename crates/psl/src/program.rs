@@ -155,6 +155,7 @@ impl Program {
     /// is fixed, the returned program — variable order included — is
     /// identical for every `threads` value.
     pub fn ground_with(&self, threads: usize) -> Result<GroundProgram, GroundingError> {
+        let _span = cms_obs::span("ground");
         self.validate_rule_arities()?;
         let per_rule = self.ground_rules_locally(threads);
 
@@ -202,7 +203,12 @@ impl Program {
     fn ground_rules_locally(&self, threads: usize) -> Vec<Result<RuleGrounding, GroundingError>> {
         let n = self.rules.len();
         let workers = threads.min(n).max(1);
+        // Per-rule spans parent under the caller's open `ground` span
+        // explicitly, so rules grounded on worker threads attribute to
+        // the right program grounding.
+        let parent = cms_obs::current_span();
         let ground_one = |rule: &LogicalRule| {
+            let _span = cms_obs::span_with_parent(format!("ground/rule/{}", rule.name), parent);
             let mut registry = VarRegistry::new();
             let mut sink = GroundSink::default();
             ground_rule(rule, &self.db, &mut registry, &mut sink).map(|stats| RuleGrounding {
@@ -302,6 +308,7 @@ impl Program {
     ) -> Result<GroundProgram, GroundingError> {
         let mut arith_segments: Vec<ArithSegment> = Vec::with_capacity(self.arith_rules.len());
         for rule in &self.arith_rules {
+            let _span = cms_obs::span(format!("ground/arith/{}", rule.name));
             let start = std::time::Instant::now();
             let p0 = sink.potentials.len();
             let c0 = sink.constraints.len();
@@ -366,6 +373,31 @@ impl Program {
             rule_segments.is_none() || arith_segments.len() == self.arith_rules.len(),
             "splice support requires one recorded segment per arithmetic rule"
         );
+        if cms_obs::enabled(cms_obs::ObsLevel::Stats) {
+            let mut total = GroundStats::default();
+            for s in stats.values() {
+                total.absorb(s);
+            }
+            total.bump_registry("ground");
+        }
+        if cms_obs::enabled(cms_obs::ObsLevel::Journal) {
+            // One typed event per rule-stats entry, in declaration order
+            // (entries sharing a rule name were already absorbed into one).
+            let mut seen = std::collections::HashSet::new();
+            let names = self
+                .rules
+                .iter()
+                .map(|r| &r.name)
+                .chain(self.arith_rules.iter().map(|r| &r.name));
+            for name in names {
+                if let (true, Some(s)) = (seen.insert(name.clone()), stats.get(name)) {
+                    cms_obs::emit(cms_obs::Event::Ground {
+                        rule: name.clone(),
+                        counters: s.obs_counters(),
+                    });
+                }
+            }
+        }
         Ok(GroundProgram {
             registry,
             potentials: sink.potentials,

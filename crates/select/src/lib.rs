@@ -7,7 +7,7 @@
 //!
 //! * the graded `covers`/`creates` semantics ([`coverage`]),
 //! * the objective and its weighted generalization ([`objective`]),
-//! * §III-C preprocessing ([`preprocess`]),
+//! * §III-C preprocessing ([`mod@preprocess`]),
 //! * selectors: exhaustive, branch-and-bound (exact), greedy, local
 //!   search, and the paper's **collective PSL** formulation
 //!   ([`selectors`]),
@@ -42,5 +42,5 @@ pub use reduction::{build_reduction, SetCoverInstance};
 pub use relaxation::{build_eval_program, EvalPreds, WarmRelaxation};
 pub use selectors::{
     BranchBound, Exhaustive, FixedSelection, Greedy, IndependentBaseline, LocalSearch,
-    PslCollective, SelectError, Selection, Selector,
+    PslCollective, SelectError, Selection, SelectionTelemetry, Selector,
 };

@@ -38,13 +38,20 @@ pub fn evaluate_scenario(
     selector: &dyn Selector,
     weights: &ObjectiveWeights,
 ) -> Result<SelectionOutcome, SelectError> {
+    let _span = cms_obs::span("pipeline/evaluate");
     let start = Instant::now();
-    let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
+    let model = {
+        let _span = cms_obs::span("pipeline/build-model");
+        CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates)
+    };
     let (reduced, report) = preprocess(&model);
     let constant = weights.w_explain * report.certain_unexplained as f64;
 
     let select_start = Instant::now();
-    let mut selection = selector.select(&reduced, weights)?;
+    let mut selection = {
+        let _span = cms_obs::span(format!("pipeline/select/{}", selector.name()));
+        selector.select(&reduced, weights)?
+    };
     let select_wall = select_start.elapsed();
     selection.objective += constant;
 

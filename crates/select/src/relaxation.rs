@@ -44,11 +44,15 @@
 //!
 //! A [`cms_psl::SolveHealth::TimedOut`] solve is *not* escalated: the time
 //! budget is a wall-clock promise, and a cold retry would break it. The
-//! ladder records every rung taken (`fallback_fresh_grounds`,
-//! `solver_restarts`, `duals_dropped`, `cold_solves`,
-//! [`WarmRelaxation::last_degradation`]) and mirrors the pipeline totals
-//! into a synthetic `"self-healing"` entry of the ground program's
-//! `rule_stats`.
+//! ladder records every rung taken — as typed
+//! [`cms_obs::DegradationRung`] values in
+//! [`WarmRelaxation::last_degradations`] / [`WarmRelaxation::degradations`]
+//! (each one also emitted to the telemetry journal as a
+//! [`cms_obs::Event::Degradation`]), with the counters
+//! (`fallback_fresh_grounds`, `solver_restarts`, `duals_dropped`,
+//! `cold_solves`) and the rendered [`WarmRelaxation::last_degradation`]
+//! string kept alongside — and mirrors the pipeline totals into a
+//! synthetic `"self-healing"` entry of the ground program's `rule_stats`.
 
 use crate::coverage::CoverageModel;
 use crate::objective::ObjectiveWeights;
@@ -206,7 +210,13 @@ pub struct WarmRelaxation {
     pub last_health: SolveHealth,
     /// Human-readable reason for the most recent degradation, if any rung
     /// beyond the nominal warm path fired on the last [`WarmRelaxation::set`].
+    /// Rendered from [`WarmRelaxation::last_degradations`].
     pub last_degradation: Option<String>,
+    /// Typed rungs taken on the last [`WarmRelaxation::set`] /
+    /// [`WarmRelaxation::set_selection`] (several can fire on one flip).
+    pub last_degradations: Vec<cms_obs::DegradationRung>,
+    /// Every rung taken over the relaxation's lifetime, in order.
+    pub degradations: Vec<cms_obs::DegradationRung>,
 }
 
 impl WarmRelaxation {
@@ -250,6 +260,8 @@ impl WarmRelaxation {
             duals_dropped: 0,
             cold_solves: 0,
             last_degradation: None,
+            last_degradations: Vec::new(),
+            degradations: Vec::new(),
         })
     }
 
@@ -301,6 +313,7 @@ impl WarmRelaxation {
         }
         self.flips += delta.len();
         self.last_degradation = None;
+        self.last_degradations.clear();
         let prior = std::mem::take(&mut self.ground);
         self.ground = match self.program.reground_owned(prior, &delta) {
             Ok(g) => g,
@@ -308,7 +321,9 @@ impl WarmRelaxation {
                 // Rung 2: the incremental state is not trustworthy; a
                 // fresh grounding owes nothing to it. `dual_reuse` is then
                 // `None`, so the dual carry below degrades with it.
-                self.note_degradation(format!("reground rejected: {err}"));
+                self.degrade(cms_obs::DegradationRung::FreshGround {
+                    reason: err.to_string(),
+                });
                 self.fallback_fresh_grounds += 1;
                 self.program.ground()?
             }
@@ -323,7 +338,9 @@ impl WarmRelaxation {
             // Rung 1: poisoned duals would feed NaN straight into the
             // first local step — drop them, keep the consensus warm start.
             Some(c) if !c.all_finite() => {
-                self.note_degradation("carried duals non-finite: dropped".to_owned());
+                self.degrade(cms_obs::DegradationRung::DroppedNonFiniteDuals {
+                    dropped: c.seeded_terms() as u64,
+                });
                 self.duals_dropped += 1;
                 None
             }
@@ -342,14 +359,18 @@ impl WarmRelaxation {
         if !solution.admm.health.is_nominal() && solution.admm.health != SolveHealth::TimedOut {
             // Rung 3: the warm start itself may be the problem — solve
             // cold on the same ground program.
-            self.note_degradation(format!("warm solve {}: cold resolve", solution.admm.health));
+            self.degrade(cms_obs::DegradationRung::ColdSolve {
+                health: solution.admm.health.to_string(),
+            });
             self.cold_solves += 1;
             (solution, duals) = self.ground.solve_warm_dual(&self.admm, &[], None);
             self.solver_restarts += solution.admm.restarts;
             self.admm_iterations += solution.admm.iterations;
             if !solution.admm.health.is_nominal() && solution.admm.health != SolveHealth::TimedOut {
                 // Rung 4: distrust the spliced ground program entirely.
-                self.note_degradation(format!("cold solve {}: fresh ground", solution.admm.health));
+                self.degrade(cms_obs::DegradationRung::FreshGroundColdSolve {
+                    health: solution.admm.health.to_string(),
+                });
                 self.fallback_fresh_grounds += 1;
                 self.ground = self.program.ground()?;
                 (solution, duals) = self.ground.solve_warm_dual(&self.admm, &[], None);
@@ -365,9 +386,14 @@ impl WarmRelaxation {
         Ok(self.soft_objective)
     }
 
-    /// Append one degradation reason to [`WarmRelaxation::last_degradation`]
-    /// (several rungs can fire on a single flip).
-    fn note_degradation(&mut self, reason: String) {
+    /// Record one ladder rung: push it onto the typed histories, emit a
+    /// [`cms_obs::Event::Degradation`] to the journal, and append the
+    /// rendered reason to [`WarmRelaxation::last_degradation`] (several
+    /// rungs can fire on a single flip).
+    fn degrade(&mut self, rung: cms_obs::DegradationRung) {
+        cms_obs::count("select.degradations", 1);
+        cms_obs::emit(cms_obs::Event::Degradation(rung.clone()));
+        let reason = rung.render();
         match &mut self.last_degradation {
             Some(prev) => {
                 prev.push_str("; ");
@@ -375,6 +401,8 @@ impl WarmRelaxation {
             }
             None => self.last_degradation = Some(reason),
         }
+        self.last_degradations.push(rung.clone());
+        self.degradations.push(rung);
     }
 
     /// Mirror the pipeline-level ladder counters into the ground program's

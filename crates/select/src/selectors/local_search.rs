@@ -140,24 +140,23 @@ impl Selector for LocalSearch {
         if let Some(r) = relax.as_mut() {
             // Park the relaxation at the winning selection for the report.
             let soft = r.set_selection(&selection.selected)?;
-            selection.note = format!(
-                "relaxation: soft_obj={:.3} flips={} terms_reused={} terms_recomputed={} \
-                 arith_spliced={} warm_iters={} duals_carried={} fallback_grounds={} \
-                 solver_restarts={} health={}",
-                soft,
-                r.flips,
-                r.terms_reused,
-                r.terms_recomputed,
-                r.arith_bindings_spliced,
-                r.admm_iterations,
-                r.dual_terms_carried,
-                r.fallback_fresh_grounds,
-                r.solver_restarts,
-                r.last_health
-            );
-            if let Some(reason) = &r.last_degradation {
-                selection.note.push_str(&format!(" degraded=\"{reason}\""));
-            }
+            selection = selection.with_telemetry(super::SelectionTelemetry {
+                soft_objective: Some(soft),
+                flips: r.flips,
+                terms_reused: r.terms_reused,
+                terms_recomputed: r.terms_recomputed,
+                arith_bindings_spliced: r.arith_bindings_spliced,
+                admm_iterations: r.admm_iterations,
+                dual_terms_carried: r.dual_terms_carried,
+                fallback_fresh_grounds: r.fallback_fresh_grounds,
+                solver_restarts: r.solver_restarts,
+                duals_dropped: r.duals_dropped,
+                cold_solves: r.cold_solves,
+                last_health: Some(r.last_health),
+                degradations: r.degradations.clone(),
+                converged: None,
+                ground_terms: None,
+            });
         }
         Ok(selection)
     }
@@ -207,24 +206,25 @@ mod tests {
         let (model, _) = known_optimum_model();
         let w = ObjectiveWeights::unweighted();
         let sel = LocalSearch::default().select(&model, &w).unwrap();
-        assert!(
-            sel.note.starts_with("relaxation: soft_obj="),
-            "note: {}",
-            sel.note
-        );
-        let soft: f64 = sel.note["relaxation: soft_obj=".len()..]
-            .split_whitespace()
-            .next()
-            .unwrap()
-            .parse()
-            .unwrap();
+        let t = &sel.telemetry;
+        let soft = t
+            .soft_objective
+            .expect("tracked run reports soft objective");
         assert!(
             soft <= sel.objective + 5e-3,
             "soft {soft} vs discrete {}",
             sel.objective
         );
         // The mirror must have gone through the incremental path.
-        assert!(sel.note.contains("terms_reused="));
+        assert!(t.flips > 0);
+        assert!(t.terms_reused > 0, "flips must splice ground terms");
+        assert!(t.admm_iterations > 0);
+        assert!(t.last_health.is_some());
+        // A nominal run takes no ladder rungs.
+        assert!(t.degradations.is_empty(), "{:?}", t.degradations);
+        // The legacy note is rendered from exactly these fields.
+        assert_eq!(sel.note, t.render_note());
+        assert!(sel.note.starts_with("relaxation: soft_obj="));
     }
 
     #[test]

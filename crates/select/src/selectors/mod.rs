@@ -60,6 +60,107 @@ impl From<cms_psl::GroundingError> for SelectError {
     }
 }
 
+/// Structured diagnostics from a selector run.
+///
+/// Selectors that drive the PSL relaxation populate the fields they
+/// track; purely combinatorial selectors leave the default. The legacy
+/// `note` string is rendered from this via
+/// [`render_note`](SelectionTelemetry::render_note), so tests and
+/// tables can read typed fields instead of parsing text.
+#[derive(Clone, Debug, Default)]
+pub struct SelectionTelemetry {
+    /// Final soft (relaxed) objective at the reported selection.
+    pub soft_objective: Option<f64>,
+    /// Accepted flips mirrored through the warm relaxation.
+    pub flips: usize,
+    /// Ground terms spliced (reused byte-identically) across regrounds.
+    pub terms_reused: usize,
+    /// Ground terms recomputed across regrounds.
+    pub terms_recomputed: usize,
+    /// Arithmetic free bindings spliced across regrounds.
+    pub arith_bindings_spliced: usize,
+    /// Total ADMM iterations across all solves.
+    pub admm_iterations: usize,
+    /// Dual variables carried between warm solves.
+    pub dual_terms_carried: usize,
+    /// Regrounds abandoned for a fresh ground (self-healing rungs 2/4).
+    pub fallback_fresh_grounds: usize,
+    /// ADMM restarts taken inside the solver's restart loop.
+    pub solver_restarts: usize,
+    /// Carried dual terms dropped for non-finiteness (rung 1).
+    pub duals_dropped: usize,
+    /// Warm solves escalated to a cold resolve (rung 3).
+    pub cold_solves: usize,
+    /// Health of the last ADMM solve.
+    pub last_health: Option<cms_psl::SolveHealth>,
+    /// Degradation-ladder rungs taken during the run, in order.
+    pub degradations: Vec<cms_obs::DegradationRung>,
+    /// Whether the final solve converged (collective selector only).
+    pub converged: Option<bool>,
+    /// Ground term count of the final program (collective selector only).
+    pub ground_terms: Option<usize>,
+}
+
+impl SelectionTelemetry {
+    /// Render the legacy one-line `note` string for this telemetry.
+    ///
+    /// Reproduces the historical formats byte-for-byte: the collective
+    /// selector's `admm_iters=…` line when
+    /// [`converged`](SelectionTelemetry::converged) is set, the local-search
+    /// `relaxation: …` line when only
+    /// [`soft_objective`](SelectionTelemetry::soft_objective) is set,
+    /// and an empty string otherwise.
+    pub fn render_note(&self) -> String {
+        if let Some(converged) = self.converged {
+            let health = self
+                .last_health
+                .map(|h| h.to_string())
+                .unwrap_or_else(|| "unknown".to_owned());
+            return format!(
+                "admm_iters={} converged={} ground_terms={} soft_obj={:.3} health={} restarts={}",
+                self.admm_iterations,
+                converged,
+                self.ground_terms.unwrap_or(0),
+                self.soft_objective.unwrap_or(f64::NAN),
+                health,
+                self.solver_restarts,
+            );
+        }
+        let Some(soft) = self.soft_objective else {
+            return String::new();
+        };
+        let health = self
+            .last_health
+            .map(|h| h.to_string())
+            .unwrap_or_else(|| "unknown".to_owned());
+        let mut note = format!(
+            "relaxation: soft_obj={:.3} flips={} terms_reused={} terms_recomputed={} \
+             arith_spliced={} warm_iters={} duals_carried={} fallback_grounds={} \
+             solver_restarts={} health={}",
+            soft,
+            self.flips,
+            self.terms_reused,
+            self.terms_recomputed,
+            self.arith_bindings_spliced,
+            self.admm_iterations,
+            self.dual_terms_carried,
+            self.fallback_fresh_grounds,
+            self.solver_restarts,
+            health,
+        );
+        if !self.degradations.is_empty() {
+            let reason = self
+                .degradations
+                .iter()
+                .map(|r| r.render())
+                .collect::<Vec<_>>()
+                .join("; ");
+            note.push_str(&format!(" degraded=\"{reason}\""));
+        }
+        note
+    }
+}
+
 /// The result of running a selector.
 #[derive(Clone, Debug)]
 pub struct Selection {
@@ -69,8 +170,11 @@ pub struct Selection {
     pub objective: f64,
     /// Number of discrete objective evaluations (search effort proxy).
     pub evaluations: usize,
-    /// Selector-specific diagnostics (e.g. ADMM iterations).
+    /// Selector-specific diagnostics (e.g. ADMM iterations), rendered
+    /// from [`Selection::telemetry`] for selectors that track it.
     pub note: String,
+    /// Structured diagnostics; default for purely combinatorial selectors.
+    pub telemetry: SelectionTelemetry,
 }
 
 impl Selection {
@@ -82,7 +186,15 @@ impl Selection {
             objective,
             evaluations,
             note: String::new(),
+            telemetry: SelectionTelemetry::default(),
         }
+    }
+
+    /// Attach telemetry and render the legacy `note` from it.
+    pub(crate) fn with_telemetry(mut self, telemetry: SelectionTelemetry) -> Selection {
+        self.note = telemetry.render_note();
+        self.telemetry = telemetry;
+        self
     }
 }
 

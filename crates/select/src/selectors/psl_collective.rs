@@ -431,15 +431,16 @@ impl Selector for PslCollective {
             (rounded, rounded_value)
         };
 
-        let mut sel = Selection::new(selected, value, evaluations);
-        sel.note = format!(
-            "admm_iters={} converged={} ground_terms={} soft_obj={:.3} health={} restarts={}",
-            run.iterations,
-            run.converged,
-            run.ground_terms,
-            run.soft_objective,
-            run.health,
-            run.restarts
+        let sel = Selection::new(selected, value, evaluations).with_telemetry(
+            super::SelectionTelemetry {
+                soft_objective: Some(run.soft_objective),
+                admm_iterations: run.iterations,
+                solver_restarts: run.restarts,
+                last_health: Some(run.health),
+                converged: Some(run.converged),
+                ground_terms: Some(run.ground_terms),
+                ..Default::default()
+            },
         );
         Ok(sel)
     }
@@ -552,6 +553,16 @@ mod tests {
         }
         .select(&model, &ObjectiveWeights::unweighted())
         .unwrap();
+        // The one note-format check we keep: the legacy string is still
+        // rendered (from the structured telemetry) for tables and logs.
         assert!(!sel.note.is_empty());
+        assert!(sel.note.starts_with("admm_iters="), "note: {}", sel.note);
+        // Everything else reads the typed fields.
+        let t = &sel.telemetry;
+        assert!(t.converged.is_some());
+        assert!(t.ground_terms.unwrap() > 0);
+        assert!(t.soft_objective.unwrap().is_finite());
+        assert!(t.last_health.is_some());
+        assert_eq!(sel.note, t.render_note());
     }
 }

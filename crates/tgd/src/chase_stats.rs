@@ -57,6 +57,40 @@ impl ChaseStats {
     pub fn naive_equivalent_bindings(&self) -> usize {
         self.prefix_bindings_computed + self.prefix_bindings_reused
     }
+
+    /// Mirror this run into the telemetry layer: `chase.*` registry
+    /// counters at [`cms_obs::ObsLevel::Stats`] and a typed
+    /// [`cms_obs::Event::Chase`] at [`cms_obs::ObsLevel::Journal`].
+    /// No-op (one atomic load) when telemetry is off.
+    pub fn publish(&self) {
+        if cms_obs::enabled(cms_obs::ObsLevel::Stats) {
+            let reg = cms_obs::registry();
+            reg.counter("chase.runs").inc();
+            reg.counter("chase.tgds").add(self.tgds as u64);
+            reg.counter("chase.prefix_bindings_computed")
+                .add(self.prefix_bindings_computed as u64);
+            reg.counter("chase.prefix_bindings_reused")
+                .add(self.prefix_bindings_reused as u64);
+            reg.counter("chase.candidates_probed")
+                .add(self.candidates_probed as u64);
+            reg.counter("chase.candidates_scanned")
+                .add(self.candidates_scanned as u64);
+            reg.counter("chase.firings").add(self.firings as u64);
+            reg.counter("chase.tuples_emitted")
+                .add(self.tuples_emitted as u64);
+        }
+        cms_obs::emit(cms_obs::Event::Chase {
+            tgds: self.tgds as u64,
+            trie_nodes: self.trie_nodes as u64,
+            prefix_bindings_computed: self.prefix_bindings_computed as u64,
+            prefix_bindings_reused: self.prefix_bindings_reused as u64,
+            candidates_probed: self.candidates_probed as u64,
+            candidates_scanned: self.candidates_scanned as u64,
+            firings: self.firings as u64,
+            tuples_emitted: self.tuples_emitted as u64,
+            wall_ns: self.wall.as_nanos() as u64,
+        });
+    }
 }
 
 #[cfg(test)]

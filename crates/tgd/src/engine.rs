@@ -78,6 +78,7 @@ impl ChaseEngine {
 
     /// [`ChaseEngine::chase_all`] plus this run's [`ChaseStats`].
     pub fn chase_all_stats(&self, source: &Instance) -> (Vec<Instance>, ChaseStats) {
+        let _span = cms_obs::span("chase/all");
         let start = Instant::now();
         let mut stats = self.fresh_stats();
         let firings = self.collect_firings(source, &mut stats);
@@ -90,6 +91,7 @@ impl ChaseEngine {
             out.push(target);
         }
         stats.wall = start.elapsed();
+        stats.publish();
         (out, stats)
     }
 
@@ -103,6 +105,7 @@ impl ChaseEngine {
 
     /// [`ChaseEngine::chase_merged`] plus this run's [`ChaseStats`].
     pub fn chase_merged_stats(&self, source: &Instance) -> (Instance, ChaseStats) {
+        let _span = cms_obs::span("chase/merged");
         let start = Instant::now();
         let mut stats = self.fresh_stats();
         let firings = self.collect_firings(source, &mut stats);
@@ -113,6 +116,7 @@ impl ChaseEngine {
             fire_tgd(plan, per_tgd, &mut target, &mut nulls, &mut stats, &mut buf);
         }
         stats.wall = start.elapsed();
+        stats.publish();
         (target, stats)
     }
 

@@ -15,6 +15,7 @@
 //!
 //! | module | crate | contents |
 //! |--------|-------|----------|
+//! | [`obs`] | `cms-obs` | telemetry: spans, metrics registry, event journal |
 //! | [`data`] | `cms-data` | schemas, instances, labeled nulls, homomorphisms |
 //! | [`tgd`] | `cms-tgd` | st tgds, conjunctive matching, the chase |
 //! | [`psl`] | `cms-psl` | a full PSL/HL-MRF engine with ADMM MAP inference |
@@ -63,6 +64,7 @@
 pub use cms_candgen as candgen;
 pub use cms_data as data;
 pub use cms_ibench as ibench;
+pub use cms_obs as obs;
 pub use cms_psl as psl;
 pub use cms_select as select;
 pub use cms_tgd as tgd;
