@@ -22,6 +22,13 @@
 //! path's total (which also spliced the rest of the program). The
 //! acceptance bar is delta ≥5× faster than wholesale on
 //! `all_primitives(4)`.
+//!
+//! The `batch-reground/B` vs `seq-reground/B` lines measure batched delta
+//! streams: B effective `inMap` writes served by one coalesced drain and
+//! one reground, against a drain + reground after every write. Both
+//! process B mutations per iteration, so their iteration-time ratio is the
+//! inverse mutations/sec ratio; the bar is batch ≥5× at B=1k (gated as
+//! `batch-reground/1k : seq-reground/1k ≤ 0.2`).
 
 use cms_ibench::{generate, NoiseConfig, ScenarioConfig};
 use cms_select::{build_eval_program, CoverageModel, ObjectiveWeights};
@@ -172,6 +179,85 @@ fn bench_regrounding(c: &mut Criterion) {
                         )
                         .expect("grounds");
                         std::hint::black_box(stats.groundings)
+                    });
+                },
+            );
+        }
+    }
+
+    // Batched delta streams on `all_primitives(4)`: B effective `inMap`
+    // re-weights land round-robin over a working set of candidates, then
+    // drain as ONE coalesced delta served by ONE reground
+    // (`batch-reground/B`); `seq-reground/B` pays the pre-batching cost —
+    // a drain + reground after every single write. Every write flips its
+    // atom's value, so all B raw entries are effective; at B=1k the
+    // round-robin revisits each atom repeatedly and the drain folds the
+    // per-atom chains to one net `Changed` each. The acceptance bar is
+    // batch ≥5× the sequential mutations/sec at B=1k (both lines process
+    // B mutations per iteration, so that is a plain iteration-time ratio;
+    // `bench_gate --ratio` enforces ≤0.2 in CI).
+    {
+        let model = scenario_model(4);
+        let batch_state = |take: usize| {
+            let (mut program, preds) = build_eval_program(&model, &weights, &[]);
+            let atoms: Vec<_> = (0..take.min(model.num_candidates))
+                .map(|c| cms_psl::GroundAtom::from_strs(preds.in_map, &[&format!("c{c}")]))
+                .collect();
+            // Observe the working set up front so the stream is
+            // value-only: each later write logs exactly one raw entry.
+            for a in &atoms {
+                program.db.observe(a.clone(), 0.0);
+            }
+            let prior = RefCell::new(Some(program.ground().expect("grounds")));
+            let _ = program.db.take_delta();
+            let vals = vec![0.0f64; atoms.len()];
+            (program, atoms, vals, prior)
+        };
+        for batch in [1usize, 32, 1000] {
+            let (mut program, atoms, mut vals, prior) = batch_state(batch.min(200));
+            let label = if batch == 1000 { "1k".to_owned() } else { batch.to_string() };
+            group.bench_with_input(
+                BenchmarkId::new("batch-reground", label),
+                &batch,
+                |b, _| {
+                    b.iter(|| {
+                        for i in 0..batch {
+                            let k = i % atoms.len();
+                            vals[k] = 1.0 - vals[k];
+                            program.db.observe(atoms[k].clone(), vals[k]);
+                        }
+                        let delta = program.db.take_delta();
+                        let next = program
+                            .reground_owned(prior.take().expect("prior ground"), &delta)
+                            .expect("regrounds");
+                        let coalesced = next.total_stats().entries_coalesced;
+                        *prior.borrow_mut() = Some(next);
+                        std::hint::black_box(coalesced)
+                    });
+                },
+            );
+        }
+        for batch in [32usize, 1000] {
+            let (mut program, atoms, mut vals, prior) = batch_state(batch.min(200));
+            let label = if batch == 1000 { "1k".to_owned() } else { batch.to_string() };
+            group.bench_with_input(
+                BenchmarkId::new("seq-reground", label),
+                &batch,
+                |b, _| {
+                    b.iter(|| {
+                        let mut reused = 0usize;
+                        for i in 0..batch {
+                            let k = i % atoms.len();
+                            vals[k] = 1.0 - vals[k];
+                            program.db.observe(atoms[k].clone(), vals[k]);
+                            let delta = program.db.take_delta();
+                            let next = program
+                                .reground_owned(prior.take().expect("prior ground"), &delta)
+                                .expect("regrounds");
+                            reused = next.total_stats().terms_reused;
+                            *prior.borrow_mut() = Some(next);
+                        }
+                        std::hint::black_box(reused)
                     });
                 },
             );

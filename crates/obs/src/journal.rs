@@ -42,6 +42,10 @@ pub struct GroundCounters {
     pub fallback_fresh_grounds: u64,
     /// ADMM watchdog restarts absorbed.
     pub solver_restarts: u64,
+    /// Raw delta entries coalesced away before the reground.
+    pub entries_coalesced: u64,
+    /// Batch entries deduplicated into already-scheduled reground work.
+    pub sources_deduped: u64,
     /// Wall time, nanoseconds.
     pub wall_ns: u64,
 }
@@ -251,6 +255,8 @@ fn push_ground_counters(out: &mut String, c: &GroundCounters) {
     push_u64(out, "arith_bindings_spliced", c.arith_bindings_spliced);
     push_u64(out, "fallback_fresh_grounds", c.fallback_fresh_grounds);
     push_u64(out, "solver_restarts", c.solver_restarts);
+    push_u64(out, "entries_coalesced", c.entries_coalesced);
+    push_u64(out, "sources_deduped", c.sources_deduped);
     push_u64(out, "wall_ns", c.wall_ns);
 }
 
@@ -382,6 +388,8 @@ fn parse_ground_counters(v: &Json) -> Result<GroundCounters, String> {
         arith_bindings_spliced: req_u64(v, "arith_bindings_spliced")?,
         fallback_fresh_grounds: req_u64(v, "fallback_fresh_grounds")?,
         solver_restarts: req_u64(v, "solver_restarts")?,
+        entries_coalesced: req_u64(v, "entries_coalesced")?,
+        sources_deduped: req_u64(v, "sources_deduped")?,
         wall_ns: req_u64(v, "wall_ns")?,
     })
 }

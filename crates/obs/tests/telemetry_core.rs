@@ -143,7 +143,7 @@ fn counters_strategy() -> impl Strategy<Value = GroundCounters> {
     (
         (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000, 0u64..1_000),
         (-1e9f64..1e9, 0u64..1_000_000, 0u64..1_000_000),
-        (0u64..1_000_000, 0u64..1_000_000, 0u64..10_000),
+        (0u64..1_000_000, 0u64..1_000_000, 0u64..10_000, 0u64..10_000, 0u64..10_000),
         (0u64..16, 0u64..16, 0u64..10_000_000_000),
     )
         .prop_map(|(a, b, c, d)| GroundCounters {
@@ -157,6 +157,8 @@ fn counters_strategy() -> impl Strategy<Value = GroundCounters> {
             terms_reused: c.0,
             terms_recomputed: c.1,
             arith_bindings_spliced: c.2,
+            entries_coalesced: c.3,
+            sources_deduped: c.4,
             fallback_fresh_grounds: d.0,
             solver_restarts: d.1,
             wall_ns: d.2,

@@ -18,8 +18,20 @@
 //! (no generation bump, no delta entry).
 //!
 //! Mutations are additionally logged as [`DeltaEntry`]s; callers drain the
-//! log with [`Database::take_delta`] and hand the resulting [`DbDelta`] to
-//! [`crate::Program::reground`] (see [`crate::delta`]).
+//! log with [`Database::take_delta`] — which **coalesces** the raw log to
+//! its net per-atom effect while stamping the raw mutation count — and
+//! hand the resulting [`DbDelta`] to [`crate::Program::reground`] (see
+//! [`crate::delta`] and the "Batched deltas" section of
+//! `docs/robustness.md`).
+//!
+//! ## Lock poisoning
+//!
+//! The index `RwLock`'s poisoning is deliberately **recovered**
+//! (`PoisonError::into_inner`), not propagated: every writer builds its
+//! replacement index completely (or patches posting lists append-only)
+//! before it is visible, so a panic elsewhere can never leave a
+//! half-updated index behind — the same writer-invariant pattern as
+//! `cms_data::Instance`.
 
 use crate::atom::GroundAtom;
 use crate::delta::{DbDelta, DeltaEntry, DeltaKind};
@@ -228,15 +240,23 @@ impl Database {
 
     /// Append a new atom to its predicate pool: bump the generation, patch
     /// the index in place (if built), and log the delta entry.
+    ///
+    /// # Panics
+    /// Panics if the pool already holds `u32::MAX` atoms — posting lists
+    /// store pool positions as `u32`, and a silent `as`-truncation here
+    /// would corrupt the index (every position past 2³²−1 would alias a
+    /// low one). The explicit capacity check turns that corruption into a
+    /// loud, immediate failure.
     fn append_to_pool(&mut self, atom: GroundAtom) {
         let pool = self.by_pred.entry(atom.pred).or_default();
         pool.push(atom.clone());
-        let pos = (pool.len() - 1) as u32;
+        let pos = u32::try_from(pool.len() - 1)
+            .expect("predicate pool exceeds u32::MAX atoms (index position capacity)");
         self.generation += 1;
         if let Some(idx) = self
             .index
             .get_mut()
-            .expect("database index lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .as_mut()
         {
             idx.append(&atom, pos);
@@ -249,18 +269,27 @@ impl Database {
     }
 
     /// Drain the mutation log accumulated since the previous call (or since
-    /// creation). The returned [`DbDelta`] describes exactly the mutations
-    /// between two grounding snapshots — feed it to
+    /// creation) and **coalesce it to its net per-atom effect**: an
+    /// in-window add cancelled by a retraction vanishes, chains of value
+    /// writes fold to one `Changed { first old, last new }` (an a→b→a
+    /// round-trip vanishes entirely), and a changed-then-retracted atom
+    /// nets to a single `Removed`. Feed the resulting [`DbDelta`] to
     /// [`crate::Program::reground`].
-    /// The drained delta is stamped `(base, end, db)` so the reground
+    ///
+    /// The drained delta is stamped `(raw, base, end, db)` so the reground
     /// guard can verify it is *the* delta between the prior ground's
     /// snapshot and this database's current state — every effective
-    /// mutation bumps the generation exactly once and logs exactly one
-    /// entry, so `len == end − base` is an invariant the guard checks.
+    /// mutation bumps the generation exactly once and logs exactly one raw
+    /// entry, so `raw_entries() == end − base` is the invariant the guard
+    /// checks (the coalesced net entry list may be shorter, down to empty
+    /// for a batch that cancelled itself out). See the "Batched deltas"
+    /// section of `docs/robustness.md`.
     pub fn take_delta(&mut self) -> DbDelta {
         let mut entries = std::mem::take(&mut self.pending);
         // Fault-harness hooks: corrupt the drained log (never the
         // database) so the delta guard's count invariant must catch it.
+        // They run *before* the raw count is taken, like any real log
+        // corruption would.
         if crate::fault::take(crate::fault::Fault::DropDeltaEntry) {
             entries.pop();
         }
@@ -269,9 +298,16 @@ impl Database {
                 entries.push(last);
             }
         }
+        let raw = entries.len();
         let base = self.delta_base;
         self.delta_base = self.generation;
-        DbDelta::new(entries, base, self.generation, self.id)
+        DbDelta::new(
+            crate::delta::coalesce(entries),
+            raw,
+            base,
+            self.generation,
+            self.id,
+        )
     }
 
     /// Current mutation generation (bumped on every effective write).
@@ -287,19 +323,25 @@ impl Database {
     pub fn index_stamp(&self) -> Option<(u64, u64)> {
         self.index
             .read()
-            .expect("database index lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .as_ref()
             .map(|idx| (idx.built_at, idx.stamp))
     }
 
     /// Drop the argument-position index (only retractions need this).
     fn invalidate_index(&mut self) {
-        *self.index.get_mut().expect("database index lock poisoned") = None;
+        *self
+            .index
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
     }
 
     /// Build the argument-position index if absent.
     pub fn ensure_index(&self) {
-        let mut guard = self.index.write().expect("database index lock poisoned");
+        let mut guard = self
+            .index
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if guard.is_none() {
             let mut idx = AtomIndex {
                 built_at: self.generation,
@@ -319,7 +361,10 @@ impl Database {
     /// The guard must be dropped before any `&mut self` call.
     pub(crate) fn index(&self) -> RwLockReadGuard<'_, Option<AtomIndex>> {
         loop {
-            let guard = self.index.read().expect("database index lock poisoned");
+            let guard = self
+                .index
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if guard.is_some() {
                 return guard;
             }
@@ -521,28 +566,96 @@ mod tests {
     }
 
     #[test]
-    fn take_delta_logs_adds_changes_and_removes() {
+    fn take_delta_coalesces_to_net_effect() {
         use crate::delta::DeltaKind;
         let mut db = Database::new();
         let a = GroundAtom::from_strs(PredId(0), &["a"]);
         let t = GroundAtom::from_strs(PredId(1), &["t"]);
+        // Raw log: Added a, Added t, Changed a, Removed a — four raw
+        // mutations whose net effect is only the target add (a's add,
+        // value write, and retraction cancel out).
         db.observe(a.clone(), 0.2);
         db.target(t.clone());
         db.observe(a.clone(), 0.9);
         assert!(db.retract(&a));
         assert!(!db.retract(&a));
-        let kinds: Vec<_> = db
-            .take_delta()
-            .entries()
-            .iter()
-            .map(|e| std::mem::discriminant(&e.kind))
-            .collect();
-        assert_eq!(kinds.len(), 4);
-        assert_eq!(kinds[0], std::mem::discriminant(&DeltaKind::Added));
-        assert_eq!(kinds[3], std::mem::discriminant(&DeltaKind::Removed));
+        let delta = db.take_delta();
+        assert_eq!(delta.raw_entries(), 4, "raw count survives coalescing");
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta.entries()[0].atom, t);
+        assert!(matches!(delta.entries()[0].kind, DeltaKind::Added));
         assert!(db.observed_value(&a).is_none());
         assert!(db.atoms_of(PredId(0)).is_empty());
         assert_eq!(db.resolve(&t), Resolved::Target);
+    }
+
+    #[test]
+    fn value_round_trip_coalesces_to_net_empty_delta() {
+        let mut db = Database::new();
+        let a = GroundAtom::from_strs(PredId(0), &["x"]);
+        db.observe(a.clone(), 0.25);
+        let _ = db.take_delta();
+        // a→b→a within one un-drained window: two raw Changed entries,
+        // zero net effect.
+        db.observe(a.clone(), 0.8);
+        db.observe(a.clone(), 0.25);
+        let delta = db.take_delta();
+        assert_eq!(delta.raw_entries(), 2);
+        assert!(delta.is_net_empty());
+        assert!(!delta.is_empty(), "the generation span is still real");
+        assert_eq!(delta.end_generation() - delta.base_generation(), 2);
+        // The *next* drain starts from the advanced base.
+        db.observe(a.clone(), 0.5);
+        let next = db.take_delta();
+        assert_eq!(next.base_generation(), delta.end_generation());
+        assert_eq!(next.len(), 1);
+    }
+
+    #[test]
+    fn changed_chains_fold_and_changed_removed_folds_to_removed() {
+        use crate::delta::DeltaKind;
+        let mut db = Database::new();
+        let a = GroundAtom::from_strs(PredId(0), &["a"]);
+        let b = GroundAtom::from_strs(PredId(0), &["b"]);
+        db.observe(a.clone(), 0.1);
+        db.observe(b.clone(), 0.5);
+        let _ = db.take_delta();
+        // a: 0.1→0.3→0.7 folds to one Changed{0.1, 0.7}; b: changed then
+        // retracted folds to Removed.
+        db.observe(a.clone(), 0.3);
+        db.observe(a.clone(), 0.7);
+        db.observe(b.clone(), 0.9);
+        assert!(db.retract(&b));
+        let delta = db.take_delta();
+        assert_eq!(delta.raw_entries(), 4);
+        assert_eq!(delta.len(), 2);
+        assert!(matches!(
+            delta.entries()[0].kind,
+            DeltaKind::Changed { old, new }
+                if (old - 0.1).abs() < 1e-12 && (new - 0.7).abs() < 1e-12
+        ));
+        assert_eq!(delta.entries()[1].atom, b);
+        assert!(matches!(delta.entries()[1].kind, DeltaKind::Removed));
+    }
+
+    #[test]
+    fn retract_then_re_add_stays_a_pool_delta() {
+        use crate::delta::DeltaKind;
+        let mut db = Database::new();
+        let a = GroundAtom::from_strs(PredId(0), &["a"]);
+        db.observe(a.clone(), 0.4);
+        let _ = db.take_delta();
+        // Removed then re-Added cannot fold to a value change: pool
+        // positions shifted, so both entries survive (adjacent, in the
+        // atom's first-appearance slot).
+        assert!(db.retract(&a));
+        db.observe(a.clone(), 0.4);
+        let delta = db.take_delta();
+        assert_eq!(delta.raw_entries(), 2);
+        assert_eq!(delta.len(), 2);
+        assert!(matches!(delta.entries()[0].kind, DeltaKind::Removed));
+        assert!(matches!(delta.entries()[1].kind, DeltaKind::Added));
+        assert!(delta.pools_changed());
     }
 
     #[test]

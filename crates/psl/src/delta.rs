@@ -102,7 +102,7 @@ use crate::grounding::{emit, ground_rule, GroundSink, GroundStats, GroundingErro
 use crate::hinge::{GroundConstraint, GroundPotential};
 use crate::plan::JoinPlan;
 use crate::predicate::PredId;
-use crate::program::{GroundProgram, Program, RawArtifact};
+use crate::program::{remap_expr, GroundProgram, Program, RawArtifact, RuleGrounding};
 use cms_data::{FxHashMap, FxHashSet, Sym};
 use std::time::Instant;
 
@@ -131,16 +131,31 @@ pub struct DeltaEntry {
     pub kind: DeltaKind,
 }
 
-/// An ordered batch of database mutations between two grounding snapshots.
+/// An ordered batch of database mutations between two grounding snapshots,
+/// **coalesced to its net effect**.
 ///
-/// Deltas are **stamped** by [`crate::Database::take_delta`] with the
-/// generation span they cover (`base..end`) and the identity of the
-/// database that produced them; [`crate::Program::reground`] refuses — via
+/// [`crate::Database::take_delta`] drains the raw mutation log and folds it
+/// per atom before stamping: an in-window `Added` cancelled by a later
+/// `Removed` disappears entirely, chains of `Changed` fold to one net
+/// `Changed { old, new }` (dropped outright when `old == new`, i.e. an
+/// a→b→a round-trip), and `Changed` followed by `Removed` folds to
+/// `Removed`. The delta therefore carries **two** sizes: the *raw* count of
+/// logged mutations ([`DbDelta::raw_entries`], which the guard checks
+/// against the generation span) and the *net* entry list
+/// ([`DbDelta::entries`], which the regrounder splices). See the
+/// "Batched deltas" section of `docs/robustness.md`.
+///
+/// Deltas are **stamped** with the generation span they cover (`base..end`)
+/// and the identity of the database that produced them;
+/// [`crate::Program::reground`] refuses — via
 /// [`RegroundError::StateMismatch`] — to splice a delta whose stamps do
 /// not line up with the prior ground program and the current database.
 #[derive(Clone, Default, Debug)]
 pub struct DbDelta {
     entries: Vec<DeltaEntry>,
+    /// Number of raw mutations logged before coalescing — one per
+    /// generation step, which is what the reground guard verifies.
+    raw: usize,
     /// Database generation the delta starts from (the generation the prior
     /// grounding snapshot was taken at).
     base: u64,
@@ -151,9 +166,16 @@ pub struct DbDelta {
 }
 
 impl DbDelta {
-    pub(crate) fn new(entries: Vec<DeltaEntry>, base: u64, end: u64, db: u64) -> DbDelta {
+    pub(crate) fn new(
+        entries: Vec<DeltaEntry>,
+        raw: usize,
+        base: u64,
+        end: u64,
+        db: u64,
+    ) -> DbDelta {
         DbDelta {
             entries,
+            raw,
             base,
             end,
             db,
@@ -177,19 +199,38 @@ impl DbDelta {
 
     /// True iff no mutations were logged **and** the generation span is
     /// zero. An entry-less delta whose stamps span one or more generations
-    /// is *not* empty — it claims mutations happened but carries no record
-    /// of them (e.g. a tampered log), and skipping it would silently lose
-    /// writes; the reground guard rejects it instead.
+    /// is *not* empty: it is either a batch that coalesced to nothing
+    /// (every raw mutation cancelled out — [`DbDelta::is_net_empty`], which
+    /// the regrounder short-circuits after verifying the stamps) or a
+    /// tampered log whose raw count disagrees with the span (which the
+    /// reground guard rejects).
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty() && self.end == self.base
     }
 
-    /// Number of logged mutations.
+    /// True iff the raw mutations coalesced to no net effect (e.g. a value
+    /// flipped a→b→a, or an atom added and retracted within the window).
+    /// The database state then *equals* the snapshot the delta starts from,
+    /// so a reground of a net-empty delta is a provable no-op.
+    pub fn is_net_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of **net** mutations after coalescing.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// The logged mutations, in write order.
+    /// Number of **raw** mutations logged before coalescing. The database
+    /// bumps its generation exactly once per raw mutation, so the reground
+    /// guard checks `raw_entries() == end − base` (the coalesced entry
+    /// list is allowed to be shorter).
+    pub fn raw_entries(&self) -> usize {
+        self.raw
+    }
+
+    /// The net mutations, ordered by each atom's first appearance in the
+    /// raw log.
     pub fn entries(&self) -> &[DeltaEntry] {
         &self.entries
     }
@@ -213,6 +254,115 @@ impl DbDelta {
     pub(crate) fn atom_set(&self) -> FxHashSet<GroundAtom> {
         self.entries.iter().map(|e| e.atom.clone()).collect()
     }
+}
+
+/// Per-atom net effect tracked by [`coalesce`], folded in write order.
+#[derive(Clone, Copy)]
+enum NetEffect {
+    /// The atom entered the pool within the window (later value writes
+    /// fold into the add; the regrounder reads the live value anyway).
+    Added,
+    /// The atom left the database.
+    Removed,
+    /// Value-only: first old value, last new value.
+    Changed { old: f64, new: f64 },
+    /// Retracted and then re-added within the window. Pool positions
+    /// shifted, so this cannot fold to a `Changed`; it emits `Removed`
+    /// followed by `Added`.
+    RemovedAdded,
+    /// An in-window add was retracted again: the atom existed neither at
+    /// the base snapshot nor now, and base-pool positions are restored
+    /// (removals only ever shift atoms appended after the base), so the
+    /// pair vanishes from the net delta entirely.
+    Cancelled,
+}
+
+/// Collapse a drained mutation log to its net per-atom effect.
+///
+/// Folding rules (the only transitions [`crate::Database`]'s write rules
+/// can produce — impossible ones are tolerated by keeping the later kind):
+/// `Added`+`Removed` cancel, `Changed` chains fold to one
+/// `Changed { first old, last new }` (dropped at emission when
+/// `old == new`), `Changed`+`Removed` folds to `Removed`, and
+/// `Removed`+`Added` stays a `Removed`,`Added` pair (pool positions
+/// shifted, so it is still a pool delta). Output entries are ordered by
+/// each atom's first appearance in the raw log.
+pub(crate) fn coalesce(entries: Vec<DeltaEntry>) -> Vec<DeltaEntry> {
+    if entries.len() <= 1 {
+        return entries;
+    }
+    let mut order: Vec<GroundAtom> = Vec::new();
+    let mut state: FxHashMap<GroundAtom, NetEffect> = FxHashMap::default();
+    for e in entries {
+        match state.get_mut(&e.atom) {
+            None => {
+                let net = match e.kind {
+                    DeltaKind::Added => NetEffect::Added,
+                    DeltaKind::Removed => NetEffect::Removed,
+                    DeltaKind::Changed { old, new } => NetEffect::Changed { old, new },
+                };
+                order.push(e.atom.clone());
+                state.insert(e.atom, net);
+            }
+            Some(s) => {
+                *s = match (*s, e.kind) {
+                    (NetEffect::Added, DeltaKind::Changed { .. }) => NetEffect::Added,
+                    (NetEffect::Added, DeltaKind::Removed) => NetEffect::Cancelled,
+                    (NetEffect::Changed { old, .. }, DeltaKind::Changed { new, .. }) => {
+                        NetEffect::Changed { old, new }
+                    }
+                    (NetEffect::Changed { .. }, DeltaKind::Removed) => NetEffect::Removed,
+                    (NetEffect::Removed, DeltaKind::Added) => NetEffect::RemovedAdded,
+                    (NetEffect::RemovedAdded, DeltaKind::Changed { .. }) => NetEffect::RemovedAdded,
+                    (NetEffect::RemovedAdded, DeltaKind::Removed) => NetEffect::Removed,
+                    (NetEffect::Cancelled, DeltaKind::Added) => NetEffect::Added,
+                    // The database's write rules cannot produce these
+                    // (e.g. `Changed` on an atom it just removed); keep
+                    // the later kind so a corrupted log still nets to
+                    // *something* the guard can weigh against its span.
+                    (_, DeltaKind::Added) => NetEffect::Added,
+                    (_, DeltaKind::Removed) => NetEffect::Removed,
+                    (_, DeltaKind::Changed { old, new }) => NetEffect::Changed { old, new },
+                };
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(order.len());
+    for atom in order {
+        let net = state.remove(&atom).expect("every ordered atom has a state");
+        match net {
+            NetEffect::Added => out.push(DeltaEntry {
+                atom,
+                kind: DeltaKind::Added,
+            }),
+            NetEffect::Removed => out.push(DeltaEntry {
+                atom,
+                kind: DeltaKind::Removed,
+            }),
+            NetEffect::Changed { old, new } => {
+                // a→…→a round-trips vanish: the value is back where the
+                // prior grounding saw it.
+                if old != new {
+                    out.push(DeltaEntry {
+                        atom,
+                        kind: DeltaKind::Changed { old, new },
+                    });
+                }
+            }
+            NetEffect::RemovedAdded => {
+                out.push(DeltaEntry {
+                    atom: atom.clone(),
+                    kind: DeltaKind::Removed,
+                });
+                out.push(DeltaEntry {
+                    atom,
+                    kind: DeltaKind::Added,
+                });
+            }
+            NetEffect::Cancelled => {}
+        }
+    }
+    out
 }
 
 /// Predicate → dependent rule indices, derived from compiled join plans.
@@ -566,13 +716,19 @@ impl Program {
     /// writes since `prior` was produced). A **delta guard** verifies this
     /// before any splicing — the delta's generation span must start at the
     /// prior's snapshot, end at the current database state, come from the
-    /// same database, and carry exactly one entry per generation step —
-    /// and rejects the call with [`RegroundError::StateMismatch`]
-    /// otherwise (a stale, double-drained, foreign, or tampered delta
-    /// would silently splice a wrong program). The result is equivalent to
-    /// a fresh [`Program::ground`] up to term and variable order; if
-    /// `prior` carries no splice support (naive grounding, or the
-    /// program's rule list changed), a full grounding runs instead.
+    /// same database, and carry exactly one **raw** entry per generation
+    /// step ([`DbDelta::raw_entries`]; the net entry list may be shorter
+    /// because [`crate::Database::take_delta`] coalesces cancelling
+    /// mutations — see the "Batched deltas" section of
+    /// `docs/robustness.md`) — and rejects the call with
+    /// [`RegroundError::StateMismatch`] otherwise (a stale, double-drained,
+    /// foreign, or tampered delta would silently splice a wrong program).
+    /// A batch whose raw mutations coalesced to nothing
+    /// ([`DbDelta::is_net_empty`]) short-circuits: the prior program is
+    /// returned re-stamped, without touching a single term. The result is
+    /// equivalent to a fresh [`Program::ground`] up to term and variable
+    /// order; if `prior` carries no splice support (naive grounding, or
+    /// the program's rule list changed), a full grounding runs instead.
     pub fn reground(
         &self,
         prior: &GroundProgram,
@@ -584,10 +740,31 @@ impl Program {
     /// Consuming variant of [`Program::reground`]: unchanged segments are
     /// *moved* out of `prior` instead of cloned. This is the hot-path API
     /// for flip loops (no per-term allocation for reused terms).
+    ///
+    /// Pool deltas re-ground every dirty logical rule from scratch; those
+    /// re-grounds are sharded across worker threads the way
+    /// [`Program::ground`] shards a full grounding, with the same
+    /// deterministic declaration-order merge — the result is identical for
+    /// every thread count (see [`Program::reground_owned_with`]).
     pub fn reground_owned(
+        &self,
+        prior: GroundProgram,
+        delta: &DbDelta,
+    ) -> Result<GroundProgram, RegroundError> {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.reground_owned_with(prior, delta, threads)
+    }
+
+    /// [`Program::reground_owned`] with an explicit worker-thread budget
+    /// for the dirty-rule re-grounds of a pool delta. Value-only deltas
+    /// never fan out (the seeded fast path is cheaper than a thread
+    /// spawn), and neither does a pool delta with fewer than two dirty
+    /// rules.
+    pub fn reground_owned_with(
         &self,
         mut prior: GroundProgram,
         delta: &DbDelta,
+        threads: usize,
     ) -> Result<GroundProgram, RegroundError> {
         let _span = cms_obs::span("reground");
         // Delta guard, stage 1: the timeline stamps. Runs before the
@@ -623,17 +800,96 @@ impl Program {
                 ));
             }
             if delta.end_generation().checked_sub(delta.base_generation())
-                != Some(delta.len() as u64)
+                != Some(delta.raw_entries() as u64)
             {
                 return mismatch(format!(
-                    "delta carries {} entries for a generation span of {} \
+                    "delta carries {} raw entries for a generation span of {} \
                      (entries dropped or duplicated)",
-                    delta.len(),
+                    delta.raw_entries(),
                     delta.end_generation() - delta.base_generation()
                 ));
             }
         }
         if delta.is_empty() {
+            return Ok(prior);
+        }
+        if delta.is_net_empty() && prior.stamp.is_some() {
+            // Net-empty batch (every raw mutation cancelled — e.g. a→b→a
+            // flips, add+retract pairs): the guard above proved the raw
+            // count matches the generation span, so the database state is
+            // *identical* to the prior snapshot and the prior program is
+            // the correct grounding of it. Re-stamp it to the current
+            // generation, give it an identity dual-reuse map (its old one
+            // described the reground *before* it and must not leak into
+            // the next dual carry), and normalise its per-rule stats to
+            // "everything spliced, nothing recomputed".
+            for stats in prior.rule_stats.values_mut() {
+                stats.terms_reused = stats.potentials + stats.constraints;
+                stats.terms_recomputed = 0;
+                stats.candidates_probed = 0;
+                stats.candidates_scanned = 0;
+                stats.arith_bindings_spliced = 0;
+                stats.entries_coalesced = 0;
+                stats.sources_deduped = 0;
+                stats.wall = std::time::Duration::ZERO;
+            }
+            if let Some(support) = prior.splice.as_ref() {
+                let spliced: Vec<(String, usize)> = self
+                    .arith_rules
+                    .iter()
+                    .zip(&support.arith)
+                    .map(|(rule, seg)| (rule.name.clone(), seg.table.len()))
+                    .collect();
+                // Raw-term reuse accounting, mirroring the splice path: a
+                // fresh ground records no raw-term stats, so rebuild them
+                // from the recorded slots (every raw artifact reused).
+                let mut raw_stats: FxHashMap<String, GroundStats> = FxHashMap::default();
+                for (raw, slot) in self.raw_terms().iter().zip(&support.raw) {
+                    let entry = raw_stats.entry(raw.origin().to_owned()).or_default();
+                    match slot {
+                        RawSlot::Potential => {
+                            entry.potentials += 1;
+                            entry.terms_reused += 1;
+                        }
+                        RawSlot::Constraint => {
+                            entry.constraints += 1;
+                            entry.terms_reused += 1;
+                        }
+                        RawSlot::ConstLoss(d) => entry.constant_loss += d,
+                    }
+                }
+                for (name, bindings) in spliced {
+                    if let Some(stats) = prior.rule_stats.get_mut(&name) {
+                        stats.arith_bindings_spliced = bindings;
+                    }
+                }
+                for (name, stats) in raw_stats {
+                    prior.rule_stats.insert(name, stats);
+                }
+            }
+            prior.rule_stats.insert(
+                "delta-batch".to_owned(),
+                GroundStats {
+                    entries_coalesced: delta.raw_entries(),
+                    ..GroundStats::default()
+                },
+            );
+            prior.dual_reuse = Some(DualReuse {
+                pots: (0..prior.potentials.len() as u32).collect(),
+                cons: (0..prior.constraints.len() as u32).collect(),
+            });
+            prior.stamp = Some((self.db.id(), self.db.generation()));
+            if cms_obs::enabled(cms_obs::ObsLevel::Stats) {
+                let mut total = GroundStats::default();
+                for s in prior.rule_stats.values() {
+                    total.absorb(s);
+                }
+                total.bump_registry("reground");
+                cms_obs::emit(cms_obs::Event::Reground {
+                    rules: (self.rules.len() + self.arith_rules.len()) as u64,
+                    counters: total.obs_counters(),
+                });
+            }
             return Ok(prior);
         }
         // Fault-harness hook: corrupt one recorded slot ordinal so the
@@ -702,6 +958,28 @@ impl Program {
             }
         }
 
+        // Pool deltas re-ground every dirty logical rule from scratch —
+        // shard those re-grounds across threads (each into a rule-local
+        // registry/sink, exactly like `Program::ground`) and merge them in
+        // declaration order below. Two-phase interning keeps the result
+        // identical to the sequential shared-registry path at any thread
+        // count.
+        let mut preground: Vec<Option<Result<RuleGrounding, GroundingError>>> =
+            (0..self.rules.len()).map(|_| None).collect();
+        if pools_changed && threads >= 2 {
+            let dirty_idx: Vec<usize> =
+                (0..self.rules.len()).filter(|&i| dirty_rules[i]).collect();
+            if dirty_idx.len() >= 2 {
+                for (i, r) in dirty_idx
+                    .iter()
+                    .copied()
+                    .zip(self.ground_rule_set_locally(&dirty_idx, threads))
+                {
+                    preground[i] = Some(r);
+                }
+            }
+        }
+
         let mut registry = std::mem::take(&mut prior.registry);
         let mut pot_iter = prior.potentials.into_iter();
         let mut con_iter = prior.constraints.into_iter();
@@ -731,6 +1009,8 @@ impl Program {
                 let mut stats = seg.stats.clone();
                 stats.terms_reused = seg.pots + seg.cons;
                 stats.terms_recomputed = 0;
+                stats.sources_deduped = 0;
+                stats.entries_coalesced = 0;
                 constant_loss += stats.constant_loss;
                 rule_stats
                     .entry(rule.name.clone())
@@ -742,12 +1022,46 @@ impl Program {
             if pools_changed {
                 // Coarse path: pool membership moved under this rule —
                 // discard its prior terms and re-ground it from scratch.
+                // The re-ground runs once no matter how many batch entries
+                // touched the rule; the extra entries count as deduped.
                 pot_iter.by_ref().take(seg.pots).for_each(drop);
                 con_iter.by_ref().take(seg.cons).for_each(drop);
                 old_pot += seg.pots;
                 old_con += seg.cons;
-                let mut sink = GroundSink::default();
-                let mut stats = ground_rule(rule, &self.db, &mut registry, &mut sink)?;
+                let (sink, mut stats) = match preground[i].take() {
+                    Some(rg) => {
+                        // Parallel pre-ground: intern the rule-local
+                        // registry into the shared one and remap, exactly
+                        // like the `ground_with` merge.
+                        let rg = rg?;
+                        let map: Vec<usize> = rg
+                            .registry
+                            .atoms()
+                            .iter()
+                            .map(|a| registry.intern(a))
+                            .collect();
+                        let mut sink = rg.sink;
+                        for p in &mut sink.potentials {
+                            remap_expr(&mut p.expr, &map);
+                        }
+                        for c in &mut sink.constraints {
+                            remap_expr(&mut c.expr, &map);
+                        }
+                        (sink, rg.stats)
+                    }
+                    None => {
+                        let mut sink = GroundSink::default();
+                        let stats = ground_rule(rule, &self.db, &mut registry, &mut sink)?;
+                        (sink, stats)
+                    }
+                };
+                let emit_preds: FxHashSet<PredId> = plans[i].emit_preds().collect();
+                stats.sources_deduped = delta
+                    .entries()
+                    .iter()
+                    .filter(|e| emit_preds.contains(&e.atom.pred))
+                    .count()
+                    .saturating_sub(1);
                 DualReuse::fresh(&mut reuse.pots, sink.potentials.len());
                 DualReuse::fresh(&mut reuse.cons, sink.constraints.len());
                 stats.terms_recomputed = sink.potentials.len() + sink.constraints.len();
@@ -788,18 +1102,23 @@ impl Program {
                         rule: rule.name.clone(),
                     })?;
                 let mut scratch = GroundStats::default();
+                let mut deduped = 0usize;
                 for entry in delta.entries() {
                     for lit_idx in 0..plan.num_emit_literals() {
                         let Some(seed) = plan.seed_binding(lit_idx, &entry.atom) else {
                             continue;
                         };
                         plan.execute_seeded(&self.db, idx, &seed, &mut scratch, |binding, _| {
-                            affected.insert(
-                                binding
-                                    .iter()
-                                    .map(|s| s.expect("complete binding has no holes"))
-                                    .collect(),
-                            );
+                            let key: Vec<Sym> = binding
+                                .iter()
+                                .map(|s| s.expect("complete binding has no holes"))
+                                .collect();
+                            // A grounding reached by several batch entries
+                            // (or several seed literals) re-emits once; the
+                            // extra hits are the batch's deduped work.
+                            if !affected.insert(key) {
+                                deduped += 1;
+                            }
                             Ok(())
                         })?;
                     }
@@ -810,6 +1129,8 @@ impl Program {
                 // describing the current segment contents instead).
                 stats.candidates_probed = scratch.candidates_probed;
                 stats.candidates_scanned = scratch.candidates_scanned;
+                stats.sources_deduped = deduped;
+                stats.entries_coalesced = 0;
             }
 
             // Remove the affected groundings' prior artifacts.
@@ -944,6 +1265,8 @@ impl Program {
                 stats.terms_reused = seg.pots + seg.cons;
                 stats.terms_recomputed = 0;
                 stats.arith_bindings_spliced = seg.table.len();
+                stats.sources_deduped = 0;
+                stats.entries_coalesced = 0;
                 rule_stats
                     .entry(rule.name.clone())
                     .or_default()
@@ -1016,7 +1339,13 @@ impl Program {
                 // atoms contribute to, in place.
                 let mut affected: FxHashSet<u32> = FxHashSet::default();
                 for entry in delta.entries() {
-                    affected.extend(seg.table.bindings_of(&entry.atom).iter().copied());
+                    for &b in seg.table.bindings_of(&entry.atom) {
+                        // A free binding fed by several batch entries
+                        // re-folds its summation exactly once.
+                        if !affected.insert(b) {
+                            stats.sources_deduped += 1;
+                        }
+                    }
                 }
                 let mut pot_src = pot_iter.by_ref().take(seg.pots);
                 let mut con_src = con_iter.by_ref().take(seg.cons);
@@ -1095,7 +1424,13 @@ impl Program {
             for entry in delta.entries() {
                 match entry.kind {
                     DeltaKind::Changed { .. } | DeltaKind::Removed => {
-                        touched.extend(seg.table.bindings_of(&entry.atom).iter().copied());
+                        for &b in seg.table.bindings_of(&entry.atom) {
+                            // Same dedup as the value-only path: a binding
+                            // touched by N batch entries re-folds once.
+                            if !touched.insert(b) {
+                                stats.sources_deduped += 1;
+                            }
+                        }
                     }
                     DeltaKind::Added => {
                         for pattern in rule.terms.iter().flat_map(|t| &t.atoms) {
@@ -1263,6 +1598,18 @@ impl Program {
         );
         debug_assert_eq!(reuse.pots.len(), potentials.len());
         debug_assert_eq!(reuse.cons.len(), constraints.len());
+
+        // Delta-wide batch accounting under a synthetic rule entry (the
+        // same convention as the self-healing ladder's "self-healing"
+        // entry): how many raw mutations the drain coalesced away before
+        // this reground ever saw them.
+        rule_stats.insert(
+            "delta-batch".to_owned(),
+            GroundStats {
+                entries_coalesced: delta.raw_entries().saturating_sub(delta.len()),
+                ..GroundStats::default()
+            },
+        );
 
         if cms_obs::enabled(cms_obs::ObsLevel::Stats) {
             let mut total = GroundStats::default();
@@ -1653,6 +2000,237 @@ mod tests {
         // One-shot: recovery (here, the retried reground) runs clean.
         let ok = program.reground(&prior, &delta).unwrap();
         assert_equivalent("retry after invalidation", &ok, &program.ground().unwrap());
+    }
+
+    #[test]
+    fn coalesce_folds_to_net_effect_in_first_appearance_order() {
+        let a = GroundAtom::from_strs(PredId(0), &["a"]);
+        let b = GroundAtom::from_strs(PredId(0), &["b"]);
+        let c = GroundAtom::from_strs(PredId(0), &["c"]);
+        let entry = |atom: &GroundAtom, kind| DeltaEntry {
+            atom: atom.clone(),
+            kind,
+        };
+        // a: Added + Changed + Removed cancels entirely; b: a Changed
+        // chain folds old→final; c: Changed + Removed folds to Removed.
+        let raw = vec![
+            entry(&a, DeltaKind::Added),
+            entry(&b, DeltaKind::Changed { old: 0.1, new: 0.2 }),
+            entry(&a, DeltaKind::Changed { old: 0.5, new: 0.9 }),
+            entry(&c, DeltaKind::Changed { old: 0.3, new: 0.4 }),
+            entry(&b, DeltaKind::Changed { old: 0.2, new: 0.7 }),
+            entry(&a, DeltaKind::Removed),
+            entry(&c, DeltaKind::Removed),
+        ];
+        let net = coalesce(raw);
+        assert_eq!(net.len(), 2);
+        // b appeared before c in the raw log, so it emits first.
+        assert_eq!(net[0].atom, b);
+        assert!(matches!(
+            net[0].kind,
+            DeltaKind::Changed { old, new }
+                if (old - 0.1).abs() < 1e-12 && (new - 0.7).abs() < 1e-12
+        ));
+        assert_eq!(net[1].atom, c);
+        assert!(matches!(net[1].kind, DeltaKind::Removed));
+    }
+
+    #[test]
+    fn coalesce_keeps_removed_added_as_a_pool_pair() {
+        let a = GroundAtom::from_strs(PredId(0), &["a"]);
+        let raw = vec![
+            DeltaEntry {
+                atom: a.clone(),
+                kind: DeltaKind::Removed,
+            },
+            DeltaEntry {
+                atom: a.clone(),
+                kind: DeltaKind::Added,
+            },
+            DeltaEntry {
+                atom: a.clone(),
+                kind: DeltaKind::Changed { old: 0.2, new: 0.6 },
+            },
+        ];
+        // Remove + re-add shifted pool positions, so it must stay a pool
+        // delta (two entries); the trailing value write folds into it.
+        let net = coalesce(raw);
+        assert_eq!(net.len(), 2);
+        assert!(matches!(net[0].kind, DeltaKind::Removed));
+        assert!(matches!(net[1].kind, DeltaKind::Added));
+    }
+
+    #[test]
+    fn batched_mutations_reground_in_one_pass() {
+        let mut program = eval_program();
+        let prior = program.ground().unwrap();
+        let _ = program.db.take_delta();
+        let in_map = program.vocab.id_of("inMap").unwrap();
+        let covers = program.vocab.id_of("covers").unwrap();
+
+        // One drained window carrying value flips on two candidates, a
+        // cancelled pair on a third, a new covers atom, and a retraction.
+        program
+            .db
+            .observe(GroundAtom::from_strs(in_map, &["c0"]), 1.0);
+        program
+            .db
+            .observe(GroundAtom::from_strs(in_map, &["c1"]), 1.0);
+        program
+            .db
+            .observe(GroundAtom::from_strs(in_map, &["c2"]), 1.0);
+        program
+            .db
+            .observe(GroundAtom::from_strs(in_map, &["c2"]), 0.0);
+        program
+            .db
+            .observe(GroundAtom::from_strs(covers, &["c2", "t1"]), 0.9);
+        assert!(program
+            .db
+            .retract(&GroundAtom::from_strs(covers, &["c0", "t0"])));
+        let delta = program.db.take_delta();
+        assert_eq!(delta.raw_entries(), 6);
+        assert_eq!(delta.len(), 4, "the c2 round-trip coalesced away");
+        let incremental = program.reground(&prior, &delta).unwrap();
+        let fresh = program.ground().unwrap();
+        assert_equivalent("mixed batch", &incremental, &fresh);
+        let batch = &incremental.rule_stats["delta-batch"];
+        assert_eq!(batch.entries_coalesced, 2);
+    }
+
+    #[test]
+    fn value_batch_dedupes_shared_seeded_work() {
+        let mut program = eval_program();
+        let prior = program.ground().unwrap();
+        let _ = program.db.take_delta();
+        let in_map = program.vocab.id_of("inMap").unwrap();
+        let covers = program.vocab.id_of("covers").unwrap();
+
+        // Two value writes feeding the same join source: the covers edge
+        // and the inMap flip both seed cover-implies groundings for c0,
+        // and the shared (c0,t0) grounding must recompute exactly once.
+        program
+            .db
+            .observe(GroundAtom::from_strs(in_map, &["c0"]), 1.0);
+        program
+            .db
+            .observe(GroundAtom::from_strs(covers, &["c0", "t0"]), 0.8);
+        let delta = program.db.take_delta();
+        assert!(!delta.pools_changed());
+        assert_eq!(delta.len(), 2);
+        let incremental = program.reground(&prior, &delta).unwrap();
+        let fresh = program.ground().unwrap();
+        assert_equivalent("overlapping value batch", &incremental, &fresh);
+        let total = incremental.total_stats();
+        assert!(
+            total.sources_deduped > 0,
+            "overlapping seeds must dedup: {total:?}"
+        );
+    }
+
+    #[test]
+    fn net_empty_batch_short_circuits_to_the_prior() {
+        let mut program = eval_program();
+        let prior = program.ground().unwrap();
+        let _ = program.db.take_delta();
+        let in_map = program.vocab.id_of("inMap").unwrap();
+
+        // a→b→a on one atom plus add+retract of another: net-empty.
+        program
+            .db
+            .observe(GroundAtom::from_strs(in_map, &["c0"]), 1.0);
+        program
+            .db
+            .observe(GroundAtom::from_strs(in_map, &["c0"]), 0.0);
+        let covers = program.vocab.id_of("covers").unwrap();
+        let extra = GroundAtom::from_strs(covers, &["c2", "t3"]);
+        program.db.observe(extra.clone(), 0.9);
+        assert!(program.db.retract(&extra));
+        let delta = program.db.take_delta();
+        assert!(delta.is_net_empty());
+        assert!(!delta.is_empty());
+        assert_eq!(delta.raw_entries(), 4);
+
+        let same = program.reground(&prior, &delta).unwrap();
+        assert_equivalent("net-empty batch", &same, &prior);
+        let total = same.total_stats();
+        assert_eq!(total.terms_recomputed, 0, "{total:?}");
+        assert_eq!(total.entries_coalesced, 4, "{total:?}");
+        assert_eq!(
+            total.terms_reused,
+            prior.potentials.len() + prior.constraints.len(),
+            "every term must be reported as reused"
+        );
+
+        // The short-circuit restamped: the *next* real delta chains.
+        program
+            .db
+            .observe(GroundAtom::from_strs(in_map, &["c1"]), 1.0);
+        let next = program.db.take_delta();
+        let chained = program.reground_owned(same, &next).unwrap();
+        assert_equivalent("chained after no-op", &chained, &program.ground().unwrap());
+    }
+
+    #[test]
+    fn net_empty_short_circuit_preserves_warm_duals() {
+        let mut program = eval_program();
+        let prior = program.ground().unwrap();
+        let (_, duals) = prior.solve_warm_dual(&AdmmConfig::default(), &[], None);
+        let _ = program.db.take_delta();
+        let in_map = program.vocab.id_of("inMap").unwrap();
+        program
+            .db
+            .observe(GroundAtom::from_strs(in_map, &["c0"]), 1.0);
+        program
+            .db
+            .observe(GroundAtom::from_strs(in_map, &["c0"]), 0.0);
+        let delta = program.db.take_delta();
+        assert!(delta.is_net_empty());
+        let same = program.reground(&prior, &delta).unwrap();
+        // The identity dual-reuse map must carry every prior dual through
+        // bit-for-bit.
+        let carried = same
+            .carry_duals(&duals)
+            .expect("net-empty reground records a dual-reuse map");
+        assert_eq!(carried.potential_duals(), duals.potential_duals());
+        assert_eq!(carried.constraint_duals(), duals.constraint_duals());
+    }
+
+    #[test]
+    fn parallel_reground_is_deterministic() {
+        let mut program = eval_program();
+        let prior = program.ground().unwrap();
+        let prior2 = prior.clone();
+        let _ = program.db.take_delta();
+        let covers = program.vocab.id_of("covers").unwrap();
+        let scope = program.vocab.id_of("scope").unwrap();
+        let explained = program.vocab.id_of("explained").unwrap();
+
+        // Pool mutations dirtying several rules at once, so the parallel
+        // shard path actually engages.
+        program
+            .db
+            .observe(GroundAtom::from_strs(covers, &["c2", "t1"]), 0.9);
+        program
+            .db
+            .observe(GroundAtom::from_strs(scope, &["t4"]), 1.0);
+        program.db.target(GroundAtom::from_strs(explained, &["t4"]));
+        let delta = program.db.take_delta();
+        assert!(delta.pools_changed());
+
+        let seq = program.reground_owned_with(prior, &delta, 1).unwrap();
+        let par = program.reground_owned_with(prior2, &delta, 4).unwrap();
+        assert_eq!(
+            format!("{:?}", seq.potentials),
+            format!("{:?}", par.potentials),
+            "parallel merge must be byte-identical to sequential"
+        );
+        assert_eq!(
+            format!("{:?}", seq.constraints),
+            format!("{:?}", par.constraints)
+        );
+        assert!((seq.constant_loss - par.constant_loss).abs() == 0.0);
+        assert_equivalent("parallel vs fresh", &par, &program.ground().unwrap());
     }
 
     #[test]

@@ -177,6 +177,16 @@ pub struct GroundStats {
     /// ADMM watchdog restarts absorbed while solving against this program
     /// (a pipeline-level counter like `fallback_fresh_grounds`).
     pub solver_restarts: usize,
+    /// Raw delta entries the drain coalesced away before
+    /// [`crate::Program::reground`] saw them (cancelling add/remove pairs,
+    /// folded `Changed` chains). Recorded delta-wide under the synthetic
+    /// `"delta-batch"` rule entry; always 0 for a full grounding.
+    pub entries_coalesced: usize,
+    /// Batch entries whose work item (seeded re-grounding, arith free
+    /// binding, or whole-rule re-ground) was already scheduled by an
+    /// earlier entry of the same drained delta, so they cost nothing extra
+    /// (always 0 for a full grounding).
+    pub sources_deduped: usize,
     /// Wall time spent grounding this rule.
     pub wall: Duration,
 }
@@ -196,6 +206,8 @@ impl GroundStats {
         self.arith_bindings_spliced += other.arith_bindings_spliced;
         self.fallback_fresh_grounds += other.fallback_fresh_grounds;
         self.solver_restarts += other.solver_restarts;
+        self.entries_coalesced += other.entries_coalesced;
+        self.sources_deduped += other.sources_deduped;
         self.wall += other.wall;
     }
 
@@ -216,6 +228,8 @@ impl GroundStats {
             arith_bindings_spliced: self.arith_bindings_spliced as u64,
             fallback_fresh_grounds: self.fallback_fresh_grounds as u64,
             solver_restarts: self.solver_restarts as u64,
+            entries_coalesced: self.entries_coalesced as u64,
+            sources_deduped: self.sources_deduped as u64,
             wall_ns: self.wall.as_nanos() as u64,
         }
     }
@@ -256,12 +270,16 @@ impl GroundStats {
                     .add(self.terms_recomputed as u64);
                 reg.counter(&format!("{other}.arith_bindings_spliced"))
                     .add(self.arith_bindings_spliced as u64);
+                reg.counter(&format!("{other}.entries_coalesced"))
+                    .add(self.entries_coalesced as u64);
+                reg.counter(&format!("{other}.sources_deduped"))
+                    .add(self.sources_deduped as u64);
             }
         }
     }
 }
 
-/// The ten `<prefix>.*` counters [`GroundStats::bump_registry`] bumps,
+/// The twelve `<prefix>.*` counters [`GroundStats::bump_registry`] bumps,
 /// as cached handles.
 struct StatCounters {
     runs: cms_obs::LazyCounter,
@@ -274,6 +292,8 @@ struct StatCounters {
     terms_reused: cms_obs::LazyCounter,
     terms_recomputed: cms_obs::LazyCounter,
     arith_bindings_spliced: cms_obs::LazyCounter,
+    entries_coalesced: cms_obs::LazyCounter,
+    sources_deduped: cms_obs::LazyCounter,
 }
 
 impl StatCounters {
@@ -289,6 +309,8 @@ impl StatCounters {
             terms_reused: cms_obs::LazyCounter::new("ground.terms_reused"),
             terms_recomputed: cms_obs::LazyCounter::new("ground.terms_recomputed"),
             arith_bindings_spliced: cms_obs::LazyCounter::new("ground.arith_bindings_spliced"),
+            entries_coalesced: cms_obs::LazyCounter::new("ground.entries_coalesced"),
+            sources_deduped: cms_obs::LazyCounter::new("ground.sources_deduped"),
         }
     }
 
@@ -304,6 +326,8 @@ impl StatCounters {
             terms_reused: cms_obs::LazyCounter::new("reground.terms_reused"),
             terms_recomputed: cms_obs::LazyCounter::new("reground.terms_recomputed"),
             arith_bindings_spliced: cms_obs::LazyCounter::new("reground.arith_bindings_spliced"),
+            entries_coalesced: cms_obs::LazyCounter::new("reground.entries_coalesced"),
+            sources_deduped: cms_obs::LazyCounter::new("reground.sources_deduped"),
         }
     }
 
@@ -319,6 +343,8 @@ impl StatCounters {
         self.terms_recomputed.add(stats.terms_recomputed as u64);
         self.arith_bindings_spliced
             .add(stats.arith_bindings_spliced as u64);
+        self.entries_coalesced.add(stats.entries_coalesced as u64);
+        self.sources_deduped.add(stats.sources_deduped as u64);
     }
 }
 

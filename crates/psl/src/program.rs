@@ -201,7 +201,21 @@ impl Program {
     /// Ground every logical rule into a local registry/sink, possibly in
     /// parallel. Results are positionally aligned with `self.rules`.
     fn ground_rules_locally(&self, threads: usize) -> Vec<Result<RuleGrounding, GroundingError>> {
-        let n = self.rules.len();
+        let all: Vec<usize> = (0..self.rules.len()).collect();
+        self.ground_rule_set_locally(&all, threads)
+    }
+
+    /// Ground a subset of the logical rules (given as indices into
+    /// `self.rules`) into rule-local registries/sinks, sharded across
+    /// `threads` workers. Results are positionally aligned with `indices`.
+    /// Shared by the full grounding and the delta regrounder's pool-delta
+    /// path, which only re-grounds the dirty rules.
+    pub(crate) fn ground_rule_set_locally(
+        &self,
+        indices: &[usize],
+        threads: usize,
+    ) -> Vec<Result<RuleGrounding, GroundingError>> {
+        let n = indices.len();
         let workers = threads.min(n).max(1);
         // Per-rule spans parent under the caller's open `ground` span
         // explicitly, so rules grounded on worker threads attribute to
@@ -218,7 +232,7 @@ impl Program {
             })
         };
         if workers == 1 || n <= 1 {
-            return self.rules.iter().map(ground_one).collect();
+            return indices.iter().map(|&i| ground_one(&self.rules[i])).collect();
         }
         // Build the shared index before fanning out so workers only take
         // read locks.
@@ -237,7 +251,7 @@ impl Program {
                             if i >= n {
                                 break;
                             }
-                            out.push((i, ground_one(&self.rules[i])));
+                            out.push((i, ground_one(&self.rules[indices[i]])));
                         }
                         out
                     })
@@ -467,16 +481,18 @@ impl Program {
     }
 }
 
-/// One rule's grounding into rule-local structures, pre-merge.
-struct RuleGrounding {
-    registry: VarRegistry,
-    sink: GroundSink,
-    stats: GroundStats,
+/// One rule's grounding into rule-local structures, pre-merge. Shared
+/// with the delta regrounder, whose pool-delta path merges parallel
+/// per-rule re-grounds the same way [`Program::ground_with`] does.
+pub(crate) struct RuleGrounding {
+    pub(crate) registry: VarRegistry,
+    pub(crate) sink: GroundSink,
+    pub(crate) stats: GroundStats,
 }
 
 /// Rewrite a ground expression's local variable ids through `map` and
 /// restore the sorted-normalized term order.
-fn remap_expr(expr: &mut LinExpr, map: &[usize]) {
+pub(crate) fn remap_expr(expr: &mut LinExpr, map: &[usize]) {
     for t in &mut expr.terms {
         t.0 = map[t.0];
     }

@@ -525,6 +525,58 @@ mod grounding_equivalence {
         }
     }
 
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// A whole mutation batch drained as ONE coalesced delta (adds,
+        /// changes, retractions — including injected cancelling pairs that
+        /// must net out before the regrounder sees them) regrounds to
+        /// exactly the HL-MRF a fresh `ground()` builds, chained across
+        /// batches over programs with logical *and* arithmetic rules.
+        #[test]
+        fn batched_reground_equals_full_ground_over_mutation_batches(
+            db in arb_db(),
+            rules in prop::collection::vec(arb_rule(), 1..4),
+            arith in arb_arith_rule(),
+            ops in arb_ops(),
+            batch in 2usize..6,
+            cancel in any::<bool>(),
+        ) {
+            let mut program = cms_psl::Program::new(vocab_for_arities());
+            program.db = db;
+            for rule in rules {
+                program.add_rule(rule);
+            }
+            program.add_arith_rule(arith);
+            let mut prior = program.ground().unwrap();
+            let _ = program.db.take_delta();
+            for chunk in ops.chunks(batch) {
+                for &op in chunk {
+                    apply_op(&mut program, op);
+                }
+                if cancel {
+                    // Fold an a→b→a round-trip into the batch: two raw
+                    // entries with zero net effect.
+                    let pool = program.db.atoms_of(PredId(0)).to_vec();
+                    if let Some(atom) = pool.first() {
+                        let old = program.db.observed_value(atom).unwrap();
+                        program.db.observe(atom.clone(), old + 0.05);
+                        program.db.observe(atom.clone(), old);
+                    }
+                }
+                let delta = program.db.take_delta();
+                prop_assert!(delta.len() <= delta.raw_entries(),
+                    "coalescing can only shrink: {} net vs {} raw",
+                    delta.len(), delta.raw_entries());
+                prior = program.reground_owned(prior, &delta).unwrap();
+                let fresh = program.ground().unwrap();
+                prop_assert_eq!(prior.canonical_terms(), fresh.canonical_terms());
+                prop_assert!((prior.constant_loss - fresh.constant_loss).abs() < 1e-9,
+                    "constant loss {} vs {}", prior.constant_loss, fresh.constant_loss);
+            }
+        }
+    }
+
     // -----------------------------------------------------------------
     // Arithmetic splice tables: random arith rules + mutation sequences.
     // -----------------------------------------------------------------

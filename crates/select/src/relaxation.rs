@@ -17,7 +17,13 @@
 //!   regrounds — **and** the previous scaled duals, mapped onto the new
 //!   program with [`cms_psl::GroundProgram::carry_duals`] (spliced terms
 //!   keep their dual state, recomputed terms start cold), so the solve
-//!   converges in a fraction of the cold iteration count.
+//!   converges in a fraction of the cold iteration count;
+//! * moves can be **batched** ([`WarmRelaxation::set_members`],
+//!   [`WarmRelaxation::set_selection`]): all writes land in one drained
+//!   delta, the drain coalesces them to their net effect (cancelling pairs
+//!   vanish, flip chains fold), and the whole batch costs one reground and
+//!   one warm solve — a batch that nets to nothing skips the solve
+//!   entirely.
 //!
 //! The reported value is the LP relaxation of the discrete objective
 //! (`explains` is the capped *sum* of covers rather than the max), i.e. a
@@ -181,8 +187,14 @@ pub struct WarmRelaxation {
     values: Vec<f64>,
     duals: Option<DualState>,
     soft_objective: f64,
-    /// Flips (value mutations) applied so far.
+    /// Flips (raw value mutations, before coalescing) applied so far.
     pub flips: usize,
+    /// Cumulative raw delta entries the drain coalesced away before the
+    /// regrounder saw them (cancelling flip pairs, folded flip chains).
+    pub entries_coalesced: usize,
+    /// Cumulative batch entries deduplicated into reground work an earlier
+    /// entry of the same batch had already scheduled.
+    pub sources_deduped: usize,
     /// Cumulative ground terms spliced unchanged across regrounds.
     pub terms_reused: usize,
     /// Cumulative groundings recomputed across regrounds.
@@ -252,6 +264,8 @@ impl WarmRelaxation {
             ground,
             admm,
             flips: 0,
+            entries_coalesced: 0,
+            sources_deduped: 0,
             terms_reused: 0,
             terms_recomputed: 0,
             arith_bindings_spliced: 0,
@@ -271,6 +285,20 @@ impl WarmRelaxation {
     pub fn set(&mut self, candidate: usize, selected: bool) -> Result<f64, SelectError> {
         let atom = GroundAtom::from_strs(self.preds.in_map, &[&format!("c{candidate}")]);
         self.program.db.observe(atom, f64::from(u8::from(selected)));
+        self.resolve()
+    }
+
+    /// Apply a batch of membership moves in one shot: every write lands in
+    /// a single drained delta, so the whole batch costs one coalesced
+    /// reground and one warm solve. Later moves override earlier ones on
+    /// the same candidate, and moves that cancel out (set then unset
+    /// within the batch) coalesce away before the regrounder sees them —
+    /// a batch that nets to nothing skips the solve entirely.
+    pub fn set_members(&mut self, moves: &[(usize, bool)]) -> Result<f64, SelectError> {
+        for &(candidate, selected) in moves {
+            let atom = GroundAtom::from_strs(self.preds.in_map, &[&format!("c{candidate}")]);
+            self.program.db.observe(atom, f64::from(u8::from(selected)));
+        }
         self.resolve()
     }
 
@@ -311,10 +339,11 @@ impl WarmRelaxation {
         if delta.is_empty() {
             return Ok(self.soft_objective);
         }
-        self.flips += delta.len();
+        self.flips += delta.raw_entries();
         self.last_degradation = None;
         self.last_degradations.clear();
         let prior = std::mem::take(&mut self.ground);
+        let mut incremental = true;
         self.ground = match self.program.reground_owned(prior, &delta) {
             Ok(g) => g,
             Err(err) => {
@@ -325,6 +354,7 @@ impl WarmRelaxation {
                     reason: err.to_string(),
                 });
                 self.fallback_fresh_grounds += 1;
+                incremental = false;
                 self.program.ground()?
             }
         };
@@ -332,6 +362,16 @@ impl WarmRelaxation {
         self.terms_reused += stats.terms_reused;
         self.terms_recomputed += stats.terms_recomputed;
         self.arith_bindings_spliced += stats.arith_bindings_spliced;
+        self.entries_coalesced += stats.entries_coalesced;
+        self.sources_deduped += stats.sources_deduped;
+        if incremental && delta.is_net_empty() {
+            // The batch cancelled out entirely: the ground program, the
+            // consensus values, and the carried duals all still describe
+            // the database exactly, so the cached objective stands and no
+            // solve is needed.
+            self.record_pipeline_stats();
+            return Ok(self.soft_objective);
+        }
         // Spliced terms keep their ADMM dual state across the reground;
         // only the recomputed ones start cold.
         let carried = match self.duals.as_ref().and_then(|d| self.ground.carry_duals(d)) {
@@ -473,6 +513,59 @@ mod tests {
         assert!(warm.terms_reused > 0, "flips must splice ground terms");
         assert!(warm.terms_recomputed > 0);
         assert!(warm.flips >= 5);
+    }
+
+    /// A batch of moves through `set_members` must land on the same soft
+    /// objective as applying the same moves one at a time.
+    #[test]
+    fn batched_moves_match_sequential_flips() {
+        let model = model();
+        let w = ObjectiveWeights::unweighted();
+        let mut seq = WarmRelaxation::new(&model, &w, AdmmConfig::default()).unwrap();
+        let mut batched = WarmRelaxation::new(&model, &w, AdmmConfig::default()).unwrap();
+
+        let moves = [(0usize, true), (2, true), (0, false), (1, true)];
+        let mut seq_soft = 0.0;
+        for &(c, on) in &moves {
+            seq_soft = seq.set(c, on).unwrap();
+        }
+        let batch_soft = batched.set_members(&moves).unwrap();
+        assert!(
+            (seq_soft - batch_soft).abs() < 5e-3,
+            "sequential {seq_soft} vs batched {batch_soft}"
+        );
+        // The batch drains once: four raw flips, but candidate 0's
+        // set+unset pair coalesces away before the reground.
+        assert_eq!(batched.flips, 4);
+        assert_eq!(batched.entries_coalesced, 2);
+        assert!(
+            batched.admm_iterations < seq.admm_iterations,
+            "one warm solve ({}) must beat four ({})",
+            batched.admm_iterations,
+            seq.admm_iterations
+        );
+    }
+
+    /// A batch whose moves cancel out is a provable no-op: the flips are
+    /// counted, but no solve runs.
+    #[test]
+    fn cancelling_batch_skips_the_solve() {
+        let model = model();
+        let w = ObjectiveWeights::unweighted();
+        let mut warm = WarmRelaxation::new(&model, &w, AdmmConfig::default()).unwrap();
+        warm.set_selection(&[1]).unwrap();
+        let iters = warm.admm_iterations;
+        let soft = warm.soft_objective();
+        warm.set_members(&[(2, true), (2, false)]).unwrap();
+        assert_eq!(warm.admm_iterations, iters, "net-empty batch must not solve");
+        assert_eq!(warm.flips, 3, "raw flips are still counted");
+        assert_eq!(warm.entries_coalesced, 2);
+        assert!((warm.soft_objective() - soft).abs() == 0.0);
+        // The relaxation stays live: a real move still works after it.
+        let after = warm.set(2, true).unwrap();
+        let (fresh_prog, _) = build_eval_program(&model, &w, &[1, 2]);
+        let fresh = fresh_prog.ground().unwrap().solve(&AdmmConfig::default());
+        assert!((after - fresh.total_objective()).abs() < 5e-3);
     }
 
     /// Rewriting the current selection is free (no delta, no solve).

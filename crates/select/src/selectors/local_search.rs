@@ -7,12 +7,15 @@
 //! Move selection is driven by the exact discrete objective (incremental
 //! probes, [`crate::incremental::IncrementalObjective`]). When
 //! `track_relaxation` is on (the default), the search additionally sits on
-//! the delta-grounding subsystem: every accepted flip (and every restart
-//! batch) is mirrored into a [`WarmRelaxation`] — one incremental
-//! [`cms_psl::Program::reground`] plus one warm-started ADMM solve per
-//! move instead of a full ground + cold solve — and the final selection
-//! reports the relaxation diagnostics (soft objective, terms
-//! reused/recomputed, warm iterations).
+//! the delta-grounding subsystem: each climb's accepted flips are mirrored
+//! into a [`WarmRelaxation`] as one batch
+//! ([`WarmRelaxation::set_members`]) — the flips land in a single drained
+//! delta that coalesces to its net effect (a candidate flipped on and back
+//! off costs nothing), so a whole climb is one incremental
+//! [`cms_psl::Program::reground`] plus one warm-started ADMM solve — and
+//! the final selection reports the relaxation diagnostics (soft objective,
+//! raw flips vs entries coalesced, terms reused/recomputed, warm
+//! iterations).
 
 use super::greedy::greedy_from;
 use super::{useful_candidates, SelectError, Selection, Selector};
@@ -59,6 +62,10 @@ fn hill_climb(
         r.set_selection(start)?;
     }
     *evaluations += 1;
+    // Accepted flips accumulate here and are mirrored into the relaxation
+    // as ONE batch after the climb settles: the drain coalesces them to
+    // their net effect, so the whole climb costs one reground + one solve.
+    let mut accepted: Vec<(usize, bool)> = Vec::new();
     loop {
         let mut best_delta = -1e-12;
         let mut best_flip = None;
@@ -82,11 +89,14 @@ fn hill_climb(
                 } else {
                     inc.remove(c);
                 }
-                if let Some(r) = relax.as_deref_mut() {
-                    r.set(c, now_selected)?;
-                }
+                accepted.push((c, now_selected));
             }
             None => break,
+        }
+    }
+    if let Some(r) = relax.as_deref_mut() {
+        if !accepted.is_empty() {
+            r.set_members(&accepted)?;
         }
     }
     let selected = inc.selection();
@@ -146,6 +156,8 @@ impl Selector for LocalSearch {
                 terms_reused: r.terms_reused,
                 terms_recomputed: r.terms_recomputed,
                 arith_bindings_spliced: r.arith_bindings_spliced,
+                entries_coalesced: r.entries_coalesced,
+                sources_deduped: r.sources_deduped,
                 admm_iterations: r.admm_iterations,
                 dual_terms_carried: r.dual_terms_carried,
                 fallback_fresh_grounds: r.fallback_fresh_grounds,

@@ -79,6 +79,12 @@ pub struct SelectionTelemetry {
     pub terms_recomputed: usize,
     /// Arithmetic free bindings spliced across regrounds.
     pub arith_bindings_spliced: usize,
+    /// Raw delta entries coalesced away before the regrounder saw them
+    /// (cancelling flip pairs and folded flip chains inside one batch).
+    pub entries_coalesced: usize,
+    /// Batch entries deduplicated into reground work already scheduled by
+    /// an earlier entry of the same drained delta.
+    pub sources_deduped: usize,
     /// Total ADMM iterations across all solves.
     pub admm_iterations: usize,
     /// Dual variables carried between warm solves.
@@ -134,11 +140,13 @@ impl SelectionTelemetry {
             .map(|h| h.to_string())
             .unwrap_or_else(|| "unknown".to_owned());
         let mut note = format!(
-            "relaxation: soft_obj={:.3} flips={} terms_reused={} terms_recomputed={} \
-             arith_spliced={} warm_iters={} duals_carried={} fallback_grounds={} \
-             solver_restarts={} health={}",
+            "relaxation: soft_obj={:.3} flips={} coalesced={} deduped={} terms_reused={} \
+             terms_recomputed={} arith_spliced={} warm_iters={} duals_carried={} \
+             fallback_grounds={} solver_restarts={} health={}",
             soft,
             self.flips,
+            self.entries_coalesced,
+            self.sources_deduped,
             self.terms_reused,
             self.terms_recomputed,
             self.arith_bindings_spliced,

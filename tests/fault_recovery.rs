@@ -135,6 +135,51 @@ fn faults_on_a_retraction_step_recover_too() {
     }
 }
 
+/// Drop/DuplicateDeltaEntry stay detected when the drained delta is a
+/// *coalesced batch*: tampering perturbs the raw entry count, and the
+/// guard checks that count — not the (smaller) net entry list — against
+/// the generation span, so coalescing cannot mask the fault.
+#[test]
+fn tampered_coalesced_batches_are_detected_and_recovered() {
+    let model = model();
+    // Candidate 0 flips on and back off inside the batch, so the drain
+    // genuinely coalesces (4 raw entries, 2 net) before the guard runs.
+    const BATCH: [(usize, bool); 4] = [(0, true), (2, true), (0, false), (1, true)];
+    disarm();
+    let mut clean = warm(&model);
+    let reference = clean.set_members(&BATCH).unwrap();
+    assert_eq!(clean.entries_coalesced, 2, "the batch must coalesce");
+    assert_eq!(clean.fallback_fresh_grounds, 0);
+    for fault in [Fault::DropDeltaEntry, Fault::DuplicateDeltaEntry] {
+        disarm();
+        let mut w = warm(&model);
+        cms_fault::arm(fault);
+        let soft = w.set_members(&BATCH).unwrap();
+        assert_eq!(
+            cms_fault::armed(),
+            None,
+            "{fault:?} was never consumed on the batched drain"
+        );
+        assert_eq!(
+            w.fallback_fresh_grounds, 1,
+            "{fault:?}: tampered batch ⇒ fresh ground"
+        );
+        assert!(
+            (soft - reference).abs() < 5e-3,
+            "{fault:?}: recovered {soft} vs fault-free {reference}"
+        );
+        // The pipeline is re-armed: a follow-up batch splices again.
+        let after = w.set_members(&[(3, true), (0, true), (0, false)]).unwrap();
+        let mut check = warm(&model);
+        let expect = check.set_members(&[(2, true), (1, true), (3, true)]).unwrap();
+        assert!(
+            (after - expect).abs() < 5e-3,
+            "{fault:?}: post-recovery batch {after} vs {expect}"
+        );
+        assert_eq!(w.fallback_fresh_grounds, 1, "{fault:?} must not fire twice");
+    }
+}
+
 /// The seeded whole-plan scenario CI varies by `CMS_FAULT_SEED`: walk the
 /// plan's shuffled fault order, one fault per flip, and require the final
 /// state to match the fault-free run.

@@ -522,6 +522,107 @@ fn arith_value_flips_splice_per_binding_and_retain_duals() {
     );
 }
 
+/// Batch-vs-sequential: applying a mutation stream as coalesced batches
+/// (all writes land in ONE drained delta per batch, one reground serves
+/// them all) must land on exactly the same ground program as draining and
+/// regrounding after every single mutation — on the declarative program,
+/// so the batches mix value re-weights, pool adds, retractions, and an
+/// injected a→b→a round-trip that must coalesce away.
+#[test]
+fn batched_regrounds_match_sequential_regrounds() {
+    let config = ScenarioConfig {
+        rows_per_relation: 10,
+        noise: NoiseConfig::uniform(25.0),
+        seed: 9,
+        ..ScenarioConfig::all_primitives(1)
+    };
+    let scenario = generate(&config);
+    let model = CoverageModel::build(&scenario.source, &scenario.target, &scenario.candidates);
+    let selector = PslCollective::default();
+    let weights = ObjectiveWeights::unweighted();
+    // Two identically-built programs: one regrounds per mutation, the
+    // other per batch. Their databases start equal, so index-based op
+    // picks resolve to the same atoms in both.
+    let (mut seq_prog, _) = selector.build_declarative_program(&model, &weights);
+    let (mut bat_prog, _) = selector.build_declarative_program(&model, &weights);
+    let covers = seq_prog.vocab.id_of("covers").expect("covers predicate");
+    let creates = seq_prog.vocab.id_of("creates").expect("creates predicate");
+    let mut seq = seq_prog.ground().expect("grounds");
+    let mut bat = bat_prog.ground().expect("grounds");
+    let _ = seq_prog.db.take_delta();
+    let _ = bat_prog.db.take_delta();
+
+    // (kind, pick, value) ops; `pick` resolves against the live pool, and
+    // kind 3 writes a→b→a — two raw entries with zero net effect.
+    let apply = |program: &mut cms_psl::Program, (kind, pick, v): (usize, usize, f64)| match kind {
+        0 => {
+            let pool = program.db.atoms_of(covers).to_vec();
+            if !pool.is_empty() {
+                program.db.observe(pool[pick % pool.len()].clone(), v);
+            }
+        }
+        1 => {
+            let atom = cms_psl::GroundAtom::from_strs(
+                creates,
+                &[&format!("c{}", pick % model.num_candidates), "g0"],
+            );
+            program.db.observe(atom, 1.0);
+        }
+        2 => {
+            let pool = program.db.atoms_of(covers).to_vec();
+            if !pool.is_empty() {
+                program.db.retract(&pool[pick % pool.len()].clone());
+            }
+        }
+        _ => {
+            let pool = program.db.atoms_of(covers).to_vec();
+            if let Some(atom) = pool.first() {
+                let old = program.db.observed_value(atom).expect("pooled atom observed");
+                // Bump away from the clamp boundary so the intermediate
+                // write is effective, then restore: two raw entries, zero
+                // net effect.
+                let bump = if old >= 0.5 { old - 0.05 } else { old + 0.05 };
+                program.db.observe(atom.clone(), bump);
+                program.db.observe(atom.clone(), old);
+            }
+        }
+    };
+
+    let mut rng = Lcg(0xBA7C4);
+    let mut coalesced_total = 0usize;
+    for chunk in 0..4 {
+        let mut ops: Vec<(usize, usize, f64)> = (0..4)
+            .map(|_| (rng.next(3), rng.next(1 << 16), 0.1 * rng.next(11) as f64))
+            .collect();
+        // Every chunk carries one a→b→a round-trip so coalescing is
+        // exercised deterministically.
+        ops.push((3, 0, 0.0));
+        for &op in &ops {
+            apply(&mut seq_prog, op);
+            let delta = seq_prog.db.take_delta();
+            seq = seq_prog.reground_owned(seq, &delta).expect("seq regrounds");
+            apply(&mut bat_prog, op);
+        }
+        let delta = bat_prog.db.take_delta();
+        coalesced_total += delta.raw_entries() - delta.len();
+        bat = bat_prog.reground_owned(bat, &delta).expect("batch regrounds");
+        assert_eq!(
+            bat.canonical_terms(),
+            seq.canonical_terms(),
+            "chunk {chunk}: batched reground diverged from sequential"
+        );
+        assert_equivalent(
+            &format!("chunk {chunk} vs fresh"),
+            &bat,
+            &bat_prog.ground().expect("full ground succeeds"),
+        );
+    }
+    assert!(
+        coalesced_total > 0,
+        "the stream must have exercised coalescing"
+    );
+}
+
 #[test]
 fn mutation_sequences_on_declarative_programs_match_full_grounding() {
     let config = ScenarioConfig {
