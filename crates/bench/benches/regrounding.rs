@@ -215,52 +215,52 @@ fn bench_regrounding(c: &mut Criterion) {
         };
         for batch in [1usize, 32, 1000] {
             let (mut program, atoms, mut vals, prior) = batch_state(batch.min(200));
-            let label = if batch == 1000 { "1k".to_owned() } else { batch.to_string() };
-            group.bench_with_input(
-                BenchmarkId::new("batch-reground", label),
-                &batch,
-                |b, _| {
-                    b.iter(|| {
-                        for i in 0..batch {
-                            let k = i % atoms.len();
-                            vals[k] = 1.0 - vals[k];
-                            program.db.observe(atoms[k].clone(), vals[k]);
-                        }
+            let label = if batch == 1000 {
+                "1k".to_owned()
+            } else {
+                batch.to_string()
+            };
+            group.bench_with_input(BenchmarkId::new("batch-reground", label), &batch, |b, _| {
+                b.iter(|| {
+                    for i in 0..batch {
+                        let k = i % atoms.len();
+                        vals[k] = 1.0 - vals[k];
+                        program.db.observe(atoms[k].clone(), vals[k]);
+                    }
+                    let delta = program.db.take_delta();
+                    let next = program
+                        .reground_owned(prior.take().expect("prior ground"), &delta)
+                        .expect("regrounds");
+                    let coalesced = next.total_stats().entries_coalesced;
+                    *prior.borrow_mut() = Some(next);
+                    std::hint::black_box(coalesced)
+                });
+            });
+        }
+        for batch in [32usize, 1000] {
+            let (mut program, atoms, mut vals, prior) = batch_state(batch.min(200));
+            let label = if batch == 1000 {
+                "1k".to_owned()
+            } else {
+                batch.to_string()
+            };
+            group.bench_with_input(BenchmarkId::new("seq-reground", label), &batch, |b, _| {
+                b.iter(|| {
+                    let mut reused = 0usize;
+                    for i in 0..batch {
+                        let k = i % atoms.len();
+                        vals[k] = 1.0 - vals[k];
+                        program.db.observe(atoms[k].clone(), vals[k]);
                         let delta = program.db.take_delta();
                         let next = program
                             .reground_owned(prior.take().expect("prior ground"), &delta)
                             .expect("regrounds");
-                        let coalesced = next.total_stats().entries_coalesced;
+                        reused = next.total_stats().terms_reused;
                         *prior.borrow_mut() = Some(next);
-                        std::hint::black_box(coalesced)
-                    });
-                },
-            );
-        }
-        for batch in [32usize, 1000] {
-            let (mut program, atoms, mut vals, prior) = batch_state(batch.min(200));
-            let label = if batch == 1000 { "1k".to_owned() } else { batch.to_string() };
-            group.bench_with_input(
-                BenchmarkId::new("seq-reground", label),
-                &batch,
-                |b, _| {
-                    b.iter(|| {
-                        let mut reused = 0usize;
-                        for i in 0..batch {
-                            let k = i % atoms.len();
-                            vals[k] = 1.0 - vals[k];
-                            program.db.observe(atoms[k].clone(), vals[k]);
-                            let delta = program.db.take_delta();
-                            let next = program
-                                .reground_owned(prior.take().expect("prior ground"), &delta)
-                                .expect("regrounds");
-                            reused = next.total_stats().terms_reused;
-                            *prior.borrow_mut() = Some(next);
-                        }
-                        std::hint::black_box(reused)
-                    });
-                },
-            );
+                    }
+                    std::hint::black_box(reused)
+                });
+            });
         }
     }
 
@@ -315,15 +315,18 @@ fn bench_regrounding(c: &mut Criterion) {
     // detection, a wall-clock budget, and restarts armed (the delta guard
     // is inherent to `reground_owned` and runs in both), and once with
     // the telemetry level forced to `stats` (registry counters bumped per
-    // ground/reground/solve, residual histogram recorded per iteration).
-    // No fault ever fires, so the trio isolates pure bookkeeping cost; CI
-    // gates `watchdog/plain ≤ 1.05` and `obs-stats/plain ≤ 1.02` via
+    // ground/reground/solve, residual histogram recorded per iteration),
+    // and once as the full flight recorder (`journal` level with a
+    // 4096-slot ring and CPU sampling off — the always-on capture
+    // configuration CI runs). No fault ever fires, so the set isolates
+    // pure bookkeeping cost; CI gates `watchdog/plain ≤ 1.05`,
+    // `obs-stats/plain ≤ 1.02`, and `ring/plain ≤ 1.02` via
     // `bench_gate --ratio`. The ratios compare same-run means at a few
-    // percent of resolution, so the trio is measured with
+    // percent of resolution, so the set is measured with
     // `bench_interleaved`: each sample round times one burst of every
     // config in turn (each body flips its own telemetry override per
     // iteration), so CPU-frequency drift and noisy scheduling windows are
-    // charged to all three lines roughly equally and cancel out of the
+    // charged to all lines roughly equally and cancel out of the
     // mean ratio instead of skewing whichever line happened to be
     // running.
     {
@@ -333,11 +336,13 @@ fn bench_regrounding(c: &mut Criterion) {
             (
                 "warm-flip-plain",
                 cms_obs::ObsLevel::Off,
+                false,
                 cms_psl::AdmmConfig::default(),
             ),
             (
                 "warm-flip-watchdog",
                 cms_obs::ObsLevel::Off,
+                false,
                 cms_psl::AdmmConfig {
                     stall_window: 1000,
                     time_budget: Some(std::time::Duration::from_secs(60)),
@@ -348,10 +353,17 @@ fn bench_regrounding(c: &mut Criterion) {
             (
                 "warm-flip-obs-stats",
                 cms_obs::ObsLevel::Stats,
+                false,
+                cms_psl::AdmmConfig::default(),
+            ),
+            (
+                "warm-flip-ring",
+                cms_obs::ObsLevel::Journal,
+                true,
                 cms_psl::AdmmConfig::default(),
             ),
         ];
-        // All three lines share ONE program/ground/values state — the
+        // All lines share ONE program/ground/values state — the
         // flip sequence simply continues across bodies — so every line
         // times the same allocations, hash layouts, and solver
         // trajectory, and differs only in its `AdmmConfig` and telemetry
@@ -369,12 +381,21 @@ fn bench_regrounding(c: &mut Criterion) {
         let _ = program.db.take_delta();
         let shared = std::rc::Rc::new(RefCell::new((program, Some(prior), values, false)));
         let mut bodies: Vec<(BenchmarkId, Box<dyn FnMut()>)> = Vec::new();
-        for (name, level, cfg) in configs {
+        for (name, level, ring, cfg) in configs {
             let shared = std::rc::Rc::clone(&shared);
             bodies.push((
                 BenchmarkId::new(name, 4),
                 Box::new(move || {
                     cms_obs::set_level_override(level);
+                    if ring {
+                        // The flight-recorder line: journal events and
+                        // spans land in a bounded ring (drop-oldest, so
+                        // memory stays flat across the whole run) with
+                        // the per-span CPU read disabled — the exact CI
+                        // always-on configuration.
+                        cms_obs::set_ring_capacity_override(Some(4096));
+                        cms_obs::set_cpu_sampling_override(false);
+                    }
                     let mut state = shared.borrow_mut();
                     let (program, prior, values, on) = &mut *state;
                     *on = !*on;
@@ -396,6 +417,10 @@ fn bench_regrounding(c: &mut Criterion) {
         }
         group.bench_interleaved(bodies);
         cms_obs::clear_level_override();
+        cms_obs::clear_ring_capacity_override();
+        cms_obs::clear_cpu_sampling_override();
+        let _ = cms_obs::drain_journal_snapshot();
+        let _ = cms_obs::drain_spans();
     }
     group.finish();
 }

@@ -1,17 +1,29 @@
-//! Validate an exported telemetry journal against the JSONL event schema.
+//! Validate an exported telemetry journal against the JSONL event schema
+//! and the flight recorder's drop accounting.
 //!
 //! Usage: `journal_check <journal.jsonl> [--require <kind,kind,...>]`
 //!
 //! Every line must parse back into a typed [`cms_obs::EventRecord`] (the
 //! parser is the exact inverse of the exporter, so this checks field
 //! names, types, and per-variant shape — not just JSON well-formedness),
-//! sequence numbers must be strictly increasing, and every required event
-//! kind must occur at least once. The default requirement is the full
-//! pipeline: `chase,ground,reground,solve,degradation`.
+//! with one optional `journal-header` line carrying the ring's drop
+//! counts. Checks:
 //!
-//! Exits 0 and prints a per-kind census on success; prints the first
-//! offending line and exits 1 on failure.
+//! * sequence numbers strictly increasing in file order;
+//! * **drop accounting is exact**: the gaps in `seq` (events missing
+//!   before the first retained record relative to the header's
+//!   `base_seq`, plus any holes between retained records) must equal the
+//!   header's `events_dropped` — the census notes gaps exactly when
+//!   drops are reported, never otherwise. Headerless exports are held to
+//!   zero internal gaps (pre-ring journals were complete);
+//! * every required event kind occurs at least once. The default
+//!   requirement is the full pipeline:
+//!   `chase,ground,reground,solve,degradation`.
+//!
+//! Exits 0 and prints a per-kind census (plus the drop accounting) on
+//! success; prints the first offending line and exits 1 on failure.
 
+use cms_obs::JournalSnapshot;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
@@ -37,39 +49,85 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let had_header = text.lines().any(|l| l.contains("\"journal-header\""));
+
+    // The snapshot parser enforces the per-line schema (exact inverse of
+    // the exporter) and at-most-one header; a headerless file gets a
+    // synthetic zero-drop header anchored at the first record.
+    let snapshot = match JournalSnapshot::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("journal_check: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let header = &snapshot.header;
+    let records = &snapshot.records;
 
     let mut census: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut internal_gaps: u64 = 0;
     let mut last_seq: Option<u64> = None;
-    for (lineno, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let record = match cms_obs::from_json_line(line) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!(
-                    "journal_check: {path}:{}: line does not match the event schema ({e}):\n  {line}",
-                    lineno + 1
-                );
-                return ExitCode::FAILURE;
-            }
-        };
+    for record in records {
         if let Some(prev) = last_seq {
             if record.seq <= prev {
                 eprintln!(
-                    "journal_check: {path}:{}: seq {} not greater than previous {prev}",
-                    lineno + 1,
+                    "journal_check: {path}: seq {} not greater than previous {prev}",
                     record.seq
                 );
                 return ExitCode::FAILURE;
             }
+            internal_gaps += record.seq - prev - 1;
         }
         last_seq = Some(record.seq);
         *census.entry(record.event.kind()).or_default() += 1;
     }
 
+    // Drop accounting: gaps in seq exactly when drops are reported.
+    if header.events != records.len() as u64 {
+        eprintln!(
+            "journal_check: {path}: header claims {} events but {} records follow",
+            header.events,
+            records.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let leading_gap = match records.first() {
+        Some(first) if had_header => {
+            if first.seq < header.base_seq {
+                eprintln!(
+                    "journal_check: {path}: first seq {} precedes header base_seq {}",
+                    first.seq, header.base_seq
+                );
+                return ExitCode::FAILURE;
+            }
+            first.seq - header.base_seq
+        }
+        // Headerless exports (or an empty window) have no base to gap
+        // against; only internal holes can indicate loss.
+        _ => 0,
+    };
+    let gaps = leading_gap + internal_gaps;
+    if gaps != header.events_dropped {
+        eprintln!(
+            "journal_check: {path}: seq census finds {gaps} missing events \
+             ({leading_gap} before the first retained record, {internal_gaps} internal) \
+             but the header reports events_dropped={}",
+            header.events_dropped
+        );
+        return ExitCode::FAILURE;
+    }
+
     let total: usize = census.values().sum();
     println!("journal_check: {path}: {total} events");
+    if had_header {
+        println!(
+            "  header: base_seq={}, events_dropped={} (lifetime {}), ring_capacity={}",
+            header.base_seq,
+            header.events_dropped,
+            header.events_dropped_total,
+            header.ring_capacity
+        );
+    }
     for (kind, n) in &census {
         println!("  {kind}: {n}");
     }

@@ -6,13 +6,25 @@
 //! carries a process-wide sequence number, a nanosecond timestamp from
 //! the telemetry epoch, and the emitting thread's current span ID so a
 //! journal can be interleaved with the span tree.
+//!
+//! Storage is the bounded flight-recorder ring ([`crate::ring`]): the
+//! journal keeps the **last** `CMS_OBS_RING` events, overwriting the
+//! oldest and counting every eviction in [`events_dropped`], so a
+//! long-running process holds bounded memory and loss stays visible.
+//! [`snapshot_journal`] clones the live window without disturbing
+//! capture; [`drain_journal_snapshot`] takes it together with a
+//! [`JournalHeader`] carrying the exact drop accounting, and
+//! [`dump_on_degradation`] persists the snapshot to `CMS_OBS_DUMP`
+//! whenever the degradation ladder fires rung ≥ 2 — a crash-style
+//! black box of the last N events before things went wrong.
 
 use crate::json::{self, escape_str, fmt_f64, Json};
 use crate::level::{enabled, ObsLevel};
+use crate::ring::{ring_capacity, Ring};
 use crate::span::{current_span, now_ns, SpanId, SpanRecord};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// The numeric counters of one grounding (a mirror of `GroundStats`
 /// in `cms-psl`, which this crate cannot depend on).
@@ -203,27 +215,251 @@ pub struct EventRecord {
 }
 
 static SEQ: AtomicU64 = AtomicU64::new(0);
-static EVENTS: Mutex<Vec<EventRecord>> = Mutex::new(Vec::new());
+static EVENTS: Ring<EventRecord> = Ring::new();
 
 /// Record `event` in the journal (no-op below [`ObsLevel::Journal`]).
+///
+/// The journal is the flight-recorder ring: when the `CMS_OBS_RING`
+/// window is full the oldest event is evicted and counted in
+/// [`events_dropped`].
 pub fn emit(event: Event) {
     if !enabled(ObsLevel::Journal) {
         return;
     }
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
     let record = EventRecord {
-        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        seq,
         t_ns: now_ns(),
         span: current_span(),
         event,
     };
-    EVENTS.lock().unwrap().push(record);
+    EVENTS.push(seq, record, ring_capacity());
 }
 
-/// Take every journal record emitted so far, oldest first.
+/// Take every retained journal record, oldest first, starting a fresh
+/// drop-accounting window. Use [`drain_journal_snapshot`] to also get
+/// the [`JournalHeader`] with the window's drop counts.
 pub fn drain_journal() -> Vec<EventRecord> {
-    let mut events = std::mem::take(&mut *EVENTS.lock().unwrap());
-    events.sort_by_key(|r| r.seq);
-    events
+    drain_journal_snapshot().records
+}
+
+/// Events evicted from the journal ring over the process lifetime
+/// (monotonic; 0 until the ring first overflows).
+pub fn events_dropped() -> u64 {
+    EVENTS.dropped_total()
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots, the export header, and the degradation dump
+// ---------------------------------------------------------------------------
+
+/// Current version of the snapshot header schema.
+pub const JOURNAL_HEADER_VERSION: u64 = 1;
+
+/// Drop-accounting metadata exported as the first line of a journal
+/// snapshot, so a reader can tell exactly how much the flight recorder
+/// overwrote.
+///
+/// Invariant (verified by `journal_check`): when `events > 0`, the
+/// first retained record satisfies `seq == base_seq + events_dropped`,
+/// and the retained sequence numbers are contiguous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Header schema version ([`JOURNAL_HEADER_VERSION`]).
+    pub version: u64,
+    /// Retained records in this snapshot.
+    pub events: u64,
+    /// Sequence number of the first event admitted in this window
+    /// (whether or not it is still retained).
+    pub base_seq: u64,
+    /// Events overwritten (lost) in this window.
+    pub events_dropped: u64,
+    /// Events overwritten over the process lifetime.
+    pub events_dropped_total: u64,
+    /// Ring capacity in effect when the snapshot was taken, `0` for
+    /// unbounded.
+    pub ring_capacity: u64,
+}
+
+impl JournalHeader {
+    /// The JSONL `type` tag that distinguishes a header from events.
+    pub const TYPE: &'static str = "journal-header";
+
+    /// Serialise as a single JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"type\":\"{}\",\"version\":{},\"events\":{},\"base_seq\":{},\
+             \"events_dropped\":{},\"events_dropped_total\":{},\"ring_capacity\":{}}}",
+            Self::TYPE,
+            self.version,
+            self.events,
+            self.base_seq,
+            self.events_dropped,
+            self.events_dropped_total,
+            self.ring_capacity
+        )
+    }
+
+    /// Parse a header line — the inverse of [`JournalHeader::to_json_line`].
+    pub fn from_json_line(line: &str) -> Result<JournalHeader, String> {
+        let v = json::parse(line)?;
+        Self::from_json(&v)
+    }
+
+    fn from_json(v: &Json) -> Result<JournalHeader, String> {
+        if req_str(v, "type")? != Self::TYPE {
+            return Err(format!("not a {:?} line", Self::TYPE));
+        }
+        Ok(JournalHeader {
+            version: req_u64(v, "version")?,
+            events: req_u64(v, "events")?,
+            base_seq: req_u64(v, "base_seq")?,
+            events_dropped: req_u64(v, "events_dropped")?,
+            events_dropped_total: req_u64(v, "events_dropped_total")?,
+            ring_capacity: req_u64(v, "ring_capacity")?,
+        })
+    }
+}
+
+/// A journal window plus its drop accounting: what the flight recorder
+/// retained and exactly how much it lost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalSnapshot {
+    /// Drop accounting for this window.
+    pub header: JournalHeader,
+    /// Retained records, oldest first.
+    pub records: Vec<EventRecord>,
+}
+
+impl JournalSnapshot {
+    /// Serialise as JSONL: one header line, then one line per record.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = self.header.to_json_line();
+        out.push('\n');
+        out.push_str(&export_jsonl(&self.records));
+        out
+    }
+
+    /// Parse a snapshot export back. The header line may appear
+    /// anywhere but is conventionally first; without one, a synthetic
+    /// zero-drop header is derived from the records (so pre-ring
+    /// exports still parse).
+    pub fn parse(text: &str) -> Result<JournalSnapshot, String> {
+        let mut header = None;
+        let mut records = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            if v.get("type").and_then(Json::as_str) == Some(JournalHeader::TYPE) {
+                let h = JournalHeader::from_json(&v).map_err(|e| format!("line {}: {e}", i + 1))?;
+                if header.replace(h).is_some() {
+                    return Err(format!("line {}: duplicate journal header", i + 1));
+                }
+            } else {
+                records.push(record_from_json(&v).map_err(|e| format!("line {}: {e}", i + 1))?);
+            }
+        }
+        let header = header.unwrap_or(JournalHeader {
+            version: JOURNAL_HEADER_VERSION,
+            events: records.len() as u64,
+            base_seq: records.first().map_or(0, |r| r.seq),
+            events_dropped: 0,
+            events_dropped_total: 0,
+            ring_capacity: 0,
+        });
+        Ok(JournalSnapshot { header, records })
+    }
+}
+
+fn snapshot_from(
+    mut records: Vec<EventRecord>,
+    window: crate::ring::RingWindow,
+) -> JournalSnapshot {
+    records.sort_by_key(|r| r.seq);
+    JournalSnapshot {
+        header: JournalHeader {
+            version: JOURNAL_HEADER_VERSION,
+            events: records.len() as u64,
+            // An empty window never admitted an event; anchor the base
+            // at the next sequence number to be assigned.
+            base_seq: window
+                .base_key
+                .unwrap_or_else(|| SEQ.load(Ordering::Relaxed)),
+            events_dropped: window.dropped,
+            events_dropped_total: window.dropped_total,
+            ring_capacity: ring_capacity().unwrap_or(0) as u64,
+        },
+        records,
+    }
+}
+
+/// Clone the retained journal window without disturbing capture — the
+/// live-reader view of the flight recorder.
+pub fn snapshot_journal() -> JournalSnapshot {
+    let (records, window) = EVENTS.snapshot();
+    snapshot_from(records, window)
+}
+
+/// Take the retained journal window and its drop accounting, starting a
+/// fresh window.
+pub fn drain_journal_snapshot() -> JournalSnapshot {
+    let (records, window) = EVENTS.drain();
+    snapshot_from(records, window)
+}
+
+static DUMP_OVERRIDE: Mutex<Option<Option<String>>> = Mutex::new(None);
+
+fn env_dump_path() -> Option<String> {
+    static ENV_DUMP: OnceLock<Option<String>> = OnceLock::new();
+    ENV_DUMP
+        .get_or_init(|| {
+            std::env::var("CMS_OBS_DUMP")
+                .ok()
+                .filter(|p| !p.trim().is_empty())
+        })
+        .clone()
+}
+
+fn dump_path() -> Option<String> {
+    DUMP_OVERRIDE
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+        .unwrap_or_else(env_dump_path)
+}
+
+/// Programmatically set (or, with `None`, suppress) the degradation
+/// dump path, overriding `CMS_OBS_DUMP`. Exists so tests can exercise
+/// the dump hook in-process (the environment is only consulted once).
+pub fn set_dump_path_override(path: Option<&str>) {
+    *DUMP_OVERRIDE.lock().unwrap_or_else(PoisonError::into_inner) = Some(path.map(str::to_owned));
+}
+
+/// Drop a [`set_dump_path_override`] and fall back to `CMS_OBS_DUMP`.
+pub fn clear_dump_path_override() {
+    *DUMP_OVERRIDE.lock().unwrap_or_else(PoisonError::into_inner) = None;
+}
+
+/// Crash-style flight-recorder dump: when the degradation ladder fires
+/// rung ≥ 2 (fresh-ground fallback or worse) and a dump path is
+/// configured (`CMS_OBS_DUMP` or [`set_dump_path_override`]), persist
+/// the current journal snapshot — header line plus the last N retained
+/// events — to that path, overwriting any previous dump so the file
+/// always holds the window before the *latest* serious degradation.
+///
+/// Best-effort by design: IO errors are swallowed (telemetry must never
+/// take the pipeline down). Returns the path written, `None` when the
+/// dump was skipped or failed.
+pub fn dump_on_degradation(rung: u32) -> Option<String> {
+    if rung < 2 || !enabled(ObsLevel::Journal) {
+        return None;
+    }
+    let path = dump_path()?;
+    let snapshot = snapshot_journal();
+    std::fs::write(&path, snapshot.to_jsonl()).ok()?;
+    Some(path)
 }
 
 // ---------------------------------------------------------------------------
@@ -397,78 +633,82 @@ fn parse_ground_counters(v: &Json) -> Result<GroundCounters, String> {
 /// Parse one JSON line back into an [`EventRecord`] — the inverse of
 /// [`to_json_line`], also used by the CI schema validator.
 pub fn from_json_line(line: &str) -> Result<EventRecord, String> {
-    let v = json::parse(line)?;
-    let event = match req_str(&v, "type")?.as_str() {
+    record_from_json(&json::parse(line)?)
+}
+
+/// Parse an already-parsed JSON object into an [`EventRecord`] — shared
+/// by [`from_json_line`] and the trace-export parser, which finds the
+/// same objects nested inside Chrome trace `args`.
+pub(crate) fn record_from_json(v: &Json) -> Result<EventRecord, String> {
+    let event = match req_str(v, "type")?.as_str() {
         "chase" => Event::Chase {
-            tgds: req_u64(&v, "tgds")?,
-            trie_nodes: req_u64(&v, "trie_nodes")?,
-            prefix_bindings_computed: req_u64(&v, "prefix_bindings_computed")?,
-            prefix_bindings_reused: req_u64(&v, "prefix_bindings_reused")?,
-            candidates_probed: req_u64(&v, "candidates_probed")?,
-            candidates_scanned: req_u64(&v, "candidates_scanned")?,
-            firings: req_u64(&v, "firings")?,
-            tuples_emitted: req_u64(&v, "tuples_emitted")?,
-            wall_ns: req_u64(&v, "wall_ns")?,
+            tgds: req_u64(v, "tgds")?,
+            trie_nodes: req_u64(v, "trie_nodes")?,
+            prefix_bindings_computed: req_u64(v, "prefix_bindings_computed")?,
+            prefix_bindings_reused: req_u64(v, "prefix_bindings_reused")?,
+            candidates_probed: req_u64(v, "candidates_probed")?,
+            candidates_scanned: req_u64(v, "candidates_scanned")?,
+            firings: req_u64(v, "firings")?,
+            tuples_emitted: req_u64(v, "tuples_emitted")?,
+            wall_ns: req_u64(v, "wall_ns")?,
         },
         "ground" => Event::Ground {
-            rule: req_str(&v, "rule")?,
-            counters: parse_ground_counters(&v)?,
+            rule: req_str(v, "rule")?,
+            counters: parse_ground_counters(v)?,
         },
         "reground" => Event::Reground {
-            rules: req_u64(&v, "rules")?,
-            counters: parse_ground_counters(&v)?,
+            rules: req_u64(v, "rules")?,
+            counters: parse_ground_counters(v)?,
         },
         "solve" => Event::Solve {
-            iterations: req_u64(&v, "iterations")?,
+            iterations: req_u64(v, "iterations")?,
             converged: v
                 .get("converged")
                 .and_then(Json::as_bool)
                 .ok_or("missing/invalid bool field \"converged\"")?,
-            restarts: req_u64(&v, "restarts")?,
-            health: req_str(&v, "health")?,
-            objective: req_f64(&v, "objective")?,
-            max_violation: req_f64(&v, "max_violation")?,
-            local_ns: req_u64(&v, "local_ns")?,
-            consensus_ns: req_u64(&v, "consensus_ns")?,
+            restarts: req_u64(v, "restarts")?,
+            health: req_str(v, "health")?,
+            objective: req_f64(v, "objective")?,
+            max_violation: req_f64(v, "max_violation")?,
+            local_ns: req_u64(v, "local_ns")?,
+            consensus_ns: req_u64(v, "consensus_ns")?,
         },
         "degradation" => {
-            let rung = match req_u64(&v, "rung")? {
+            let rung = match req_u64(v, "rung")? {
                 1 => DegradationRung::DroppedNonFiniteDuals {
-                    dropped: req_u64(&v, "dropped")?,
+                    dropped: req_u64(v, "dropped")?,
                 },
                 2 => DegradationRung::FreshGround {
-                    reason: req_str(&v, "reason")?,
+                    reason: req_str(v, "reason")?,
                 },
                 3 => DegradationRung::ColdSolve {
-                    health: req_str(&v, "health")?,
+                    health: req_str(v, "health")?,
                 },
                 4 => DegradationRung::FreshGroundColdSolve {
-                    health: req_str(&v, "health")?,
+                    health: req_str(v, "health")?,
                 },
                 n => return Err(format!("unknown degradation rung {n}")),
             };
             Event::Degradation(rung)
         }
         "fault" => Event::Fault {
-            fault: req_str(&v, "fault")?,
+            fault: req_str(v, "fault")?,
         },
         other => return Err(format!("unknown event type {other:?}")),
     };
     Ok(EventRecord {
-        seq: req_u64(&v, "seq")?,
-        t_ns: req_u64(&v, "t_ns")?,
-        span: SpanId(req_u64(&v, "span")?),
+        seq: req_u64(v, "seq")?,
+        t_ns: req_u64(v, "t_ns")?,
+        span: SpanId(req_u64(v, "span")?),
         event,
     })
 }
 
-/// Parse a JSONL export back into records (blank lines skipped).
+/// Parse a JSONL export back into records (blank lines and
+/// [`JournalHeader`] lines skipped — use [`JournalSnapshot::parse`] to
+/// also recover the header).
 pub fn parse_jsonl(text: &str) -> Result<Vec<EventRecord>, String> {
-    text.lines()
-        .enumerate()
-        .filter(|(_, l)| !l.trim().is_empty())
-        .map(|(i, l)| from_json_line(l).map_err(|e| format!("line {}: {e}", i + 1)))
-        .collect()
+    Ok(JournalSnapshot::parse(text)?.records)
 }
 
 // ---------------------------------------------------------------------------

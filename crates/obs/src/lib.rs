@@ -29,23 +29,35 @@ pub mod journal;
 pub mod json;
 pub mod level;
 pub mod metrics;
+pub mod profile;
+pub mod ring;
 pub mod rss;
 pub mod span;
+pub mod trace;
 
 pub use journal::{
-    drain_journal, emit, export_jsonl, from_json_line, parse_jsonl, render_tree, to_json_line,
-    DegradationRung, Event, EventRecord, GroundCounters,
+    clear_dump_path_override, drain_journal, drain_journal_snapshot, dump_on_degradation, emit,
+    events_dropped, export_jsonl, from_json_line, parse_jsonl, render_tree, set_dump_path_override,
+    snapshot_journal, to_json_line, DegradationRung, Event, EventRecord, GroundCounters,
+    JournalHeader, JournalSnapshot,
 };
 pub use level::{clear_level_override, enabled, level, set_level_override, ObsLevel};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, LazyCounter, LazyHistogram, MetricsSnapshot,
     Registry,
 };
+pub use profile::{profile, profile_report, ChildRow, Profile, ProfileEntry};
+pub use ring::{
+    clear_ring_capacity_override, ring_capacity, set_ring_capacity_override, Ring, RingWindow,
+    DEFAULT_RING_CAPACITY,
+};
 pub use rss::peak_rss_bytes;
 pub use span::{
-    current_span, drain_spans, record_span_duration, render_tree as render_span_tree, span,
-    span_with_parent, SpanGuard, SpanId, SpanRecord,
+    clear_cpu_sampling_override, current_span, current_tid, drain_spans, record_span_duration,
+    render_tree as render_span_tree, set_cpu_sampling_override, set_thread_track, snapshot_spans,
+    span, span_with_parent, spans_dropped, thread_track_names, SpanGuard, SpanId, SpanRecord,
 };
+pub use trace::{export_trace_json, parse_trace_json};
 
 use std::sync::OnceLock;
 

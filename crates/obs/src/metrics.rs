@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// A monotonically increasing atomic counter.
 #[derive(Debug, Default)]
@@ -159,7 +159,7 @@ pub struct Registry {
 impl Registry {
     /// Fetch-or-create the counter `name`.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().unwrap();
+        let mut map = self.counters.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(c) = map.get(name) {
             return Arc::clone(c);
         }
@@ -170,7 +170,7 @@ impl Registry {
 
     /// Fetch-or-create the gauge `name`.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock().unwrap();
+        let mut map = self.gauges.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(g) = map.get(name) {
             return Arc::clone(g);
         }
@@ -182,7 +182,10 @@ impl Registry {
     /// Fetch-or-create the histogram `name` with the given bucket upper
     /// bounds (ignored if the name already exists).
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().unwrap();
+        let mut map = self
+            .histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if let Some(h) = map.get(name) {
             return Arc::clone(h);
         }
@@ -197,21 +200,21 @@ impl Registry {
             counters: self
                 .counters
                 .lock()
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             gauges: self
                 .gauges
                 .lock()
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             histograms: self
                 .histograms
                 .lock()
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),

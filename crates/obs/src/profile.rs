@@ -1,0 +1,450 @@
+//! Span self-time attribution: aggregate the recorded span tree into a
+//! per-label performance profile.
+//!
+//! Raw spans answer "what happened on this run"; a profile answers
+//! "where did the time go". For every span label (`ground`, `solve`,
+//! `ground/rule/error-link`, ...) the profile reports:
+//!
+//! * **inclusive** wall/CPU time — the span and everything under it.
+//!   Recursive nesting (a label appearing inside itself) counts only the
+//!   outermost occurrence, so inclusive time never double-counts;
+//! * **self** wall/CPU time — inclusive minus the time spent in direct
+//!   children *recorded on the same thread*. Children on worker threads
+//!   (explicitly parented via [`crate::span_with_parent`]) overlap their
+//!   parent on the wall clock, so subtracting them would push self time
+//!   negative; they are attributed to their own labels instead;
+//! * call counts and a per-child breakdown (direct children aggregated
+//!   by label), so a hot parent can be split into its phases.
+//!
+//! [`profile_report`] snapshots the live span ring without disturbing
+//! capture; [`profile`] aggregates any span slice (e.g. one drained from
+//! a finished run). Profiles serialise to a single JSON document
+//! ([`Profile::to_json`] / [`Profile::parse`]) that `obs_diff` consumes
+//! to attribute a bench regression to the phase that slowed down.
+
+use crate::json::{self, escape_str, Json};
+use crate::span::{snapshot_spans, spans_dropped, SpanId, SpanRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One direct-child row of a [`ProfileEntry`]: where a label's
+/// non-self time went, aggregated by child label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChildRow {
+    /// Child span label.
+    pub label: String,
+    /// Times a span of this label appeared as a direct child.
+    pub count: u64,
+    /// Total wall time of those child spans, nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// Aggregated timing for one span label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// The span label (span name as recorded).
+    pub label: String,
+    /// Spans recorded with this label.
+    pub count: u64,
+    /// Wall time including children, nanoseconds. Recursive occurrences
+    /// (label nested inside itself) count only at the outermost level.
+    pub wall_inclusive_ns: u64,
+    /// Wall time minus same-thread direct-children wall time,
+    /// nanoseconds — the time this label spent in its own code.
+    pub wall_self_ns: u64,
+    /// CPU time including children, when sampled (`CMS_OBS_CPU`).
+    pub cpu_inclusive_ns: Option<u64>,
+    /// CPU time minus same-thread direct-children CPU time, when both
+    /// sides were sampled.
+    pub cpu_self_ns: Option<u64>,
+    /// Direct children aggregated by label, largest wall first.
+    pub children: Vec<ChildRow>,
+}
+
+/// A per-label performance profile aggregated from recorded spans.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Profile {
+    /// Entries sorted by self wall time, largest first.
+    pub entries: Vec<ProfileEntry>,
+    /// Total wall time across root spans, nanoseconds (roots are spans
+    /// whose parent was never recorded — the run's top-level phases).
+    pub total_wall_ns: u64,
+    /// Spans aggregated into this profile.
+    pub spans: u64,
+    /// Spans the flight-recorder ring had already evicted when the
+    /// profile was taken — non-zero means the profile undercounts.
+    pub spans_dropped: u64,
+}
+
+/// Current version of the profile JSON schema.
+pub const PROFILE_VERSION: u64 = 1;
+
+/// Aggregate a span slice into a [`Profile`]. `dropped` is the span
+/// ring's eviction count for the same window (pass 0 for complete
+/// captures).
+pub fn profile(spans: &[SpanRecord], dropped: u64) -> Profile {
+    let by_id: BTreeMap<SpanId, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    let mut children: BTreeMap<SpanId, Vec<&SpanRecord>> = BTreeMap::new();
+    for s in spans {
+        children.entry(s.parent).or_default().push(s);
+    }
+
+    struct Acc {
+        count: u64,
+        wall_incl: u64,
+        wall_self: u64,
+        cpu_incl: Option<u64>,
+        cpu_self: Option<u64>,
+        children: BTreeMap<String, (u64, u64)>,
+    }
+    let mut accs: BTreeMap<&str, Acc> = BTreeMap::new();
+    let mut total_wall = 0u64;
+
+    for s in spans {
+        // A root for totals: its parent was never recorded (top-level
+        // span or drained separately from its parent).
+        if !by_id.contains_key(&s.parent) {
+            total_wall += s.wall_ns;
+        }
+        // Outermost-of-label check: walk ancestors; recursion inside the
+        // same label contributes to counts/self but not inclusive.
+        let mut outermost = true;
+        let mut cursor = s.parent;
+        let mut hops = 0usize;
+        while let Some(p) = by_id.get(&cursor) {
+            if p.name == s.name {
+                outermost = false;
+                break;
+            }
+            cursor = p.parent;
+            hops += 1;
+            if hops > spans.len() {
+                break; // cycle in corrupted input; treat as outermost
+            }
+        }
+
+        let kids = children.get(&s.id);
+        let mut same_thread_child_wall = 0u64;
+        let mut same_thread_child_cpu = 0u64;
+        if let Some(kids) = kids {
+            for k in kids {
+                if k.tid == s.tid {
+                    same_thread_child_wall += k.wall_ns;
+                    same_thread_child_cpu += k.cpu_ns.unwrap_or(0);
+                }
+            }
+        }
+
+        let acc = accs.entry(s.name.as_str()).or_insert_with(|| Acc {
+            count: 0,
+            wall_incl: 0,
+            wall_self: 0,
+            cpu_incl: None,
+            cpu_self: None,
+            children: BTreeMap::new(),
+        });
+        acc.count += 1;
+        if outermost {
+            acc.wall_incl += s.wall_ns;
+            if let Some(cpu) = s.cpu_ns {
+                *acc.cpu_incl.get_or_insert(0) += cpu;
+            }
+        }
+        acc.wall_self += s.wall_ns.saturating_sub(same_thread_child_wall);
+        if let Some(cpu) = s.cpu_ns {
+            *acc.cpu_self.get_or_insert(0) += cpu.saturating_sub(same_thread_child_cpu);
+        }
+        if let Some(kids) = kids {
+            for k in kids {
+                let slot = acc.children.entry(k.name.clone()).or_insert((0, 0));
+                slot.0 += 1;
+                slot.1 += k.wall_ns;
+            }
+        }
+    }
+
+    let mut entries: Vec<ProfileEntry> = accs
+        .into_iter()
+        .map(|(label, acc)| {
+            let mut children: Vec<ChildRow> = acc
+                .children
+                .into_iter()
+                .map(|(label, (count, wall_ns))| ChildRow {
+                    label,
+                    count,
+                    wall_ns,
+                })
+                .collect();
+            children.sort_by(|a, b| b.wall_ns.cmp(&a.wall_ns).then(a.label.cmp(&b.label)));
+            ProfileEntry {
+                label: label.to_owned(),
+                count: acc.count,
+                wall_inclusive_ns: acc.wall_incl,
+                wall_self_ns: acc.wall_self,
+                cpu_inclusive_ns: acc.cpu_incl,
+                cpu_self_ns: acc.cpu_self,
+                children,
+            }
+        })
+        .collect();
+    entries.sort_by(|a, b| {
+        b.wall_self_ns
+            .cmp(&a.wall_self_ns)
+            .then(a.label.cmp(&b.label))
+    });
+    Profile {
+        entries,
+        total_wall_ns: total_wall,
+        spans: spans.len() as u64,
+        spans_dropped: dropped,
+    }
+}
+
+/// Profile the live span ring without disturbing capture: snapshot the
+/// retained window and aggregate it, carrying the ring's lifetime drop
+/// count so an overwritten window is visibly partial.
+pub fn profile_report() -> Profile {
+    profile(&snapshot_spans(), spans_dropped())
+}
+
+impl Profile {
+    /// Look up one entry by label.
+    pub fn entry(&self, label: &str) -> Option<&ProfileEntry> {
+        self.entries.iter().find(|e| e.label == label)
+    }
+
+    /// Render the profile as an aligned table: one row per label sorted
+    /// by self wall time, each followed by its child breakdown. `top`
+    /// limits the entry rows (0 = all).
+    pub fn render(&self, top: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<36} {:>8} {:>12} {:>12} {:>11} {:>11}",
+            "label", "calls", "self ms", "incl ms", "self cpu", "incl cpu"
+        );
+        let shown = if top == 0 { self.entries.len() } else { top };
+        for e in self.entries.iter().take(shown) {
+            let cpu = |v: Option<u64>| match v {
+                Some(ns) => format!("{:.1}", ns as f64 / 1e6),
+                None => "-".to_owned(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<36} {:>8} {:>12.3} {:>12.3} {:>11} {:>11}",
+                e.label,
+                e.count,
+                e.wall_self_ns as f64 / 1e6,
+                e.wall_inclusive_ns as f64 / 1e6,
+                cpu(e.cpu_self_ns),
+                cpu(e.cpu_inclusive_ns),
+            );
+            for c in &e.children {
+                let _ = writeln!(
+                    out,
+                    "  └ {:<32} {:>8} {:>12.3}",
+                    c.label,
+                    c.count,
+                    c.wall_ns as f64 / 1e6
+                );
+            }
+        }
+        if self.entries.len() > shown {
+            let _ = writeln!(out, "... {} more labels", self.entries.len() - shown);
+        }
+        let _ = writeln!(
+            out,
+            "total {:.3}ms across {} spans{}",
+            self.total_wall_ns as f64 / 1e6,
+            self.spans,
+            if self.spans_dropped > 0 {
+                format!(
+                    " ({} spans dropped by the ring — profile is partial)",
+                    self.spans_dropped
+                )
+            } else {
+                String::new()
+            }
+        );
+        out
+    }
+
+    /// Serialise as one JSON document — the format `obs_diff` consumes.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"type\":\"profile\",\"version\":{PROFILE_VERSION},\"total_wall_ns\":{},\
+             \"spans\":{},\"spans_dropped\":{},\"entries\":[",
+            self.total_wall_ns, self.spans, self.spans_dropped
+        );
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"label\":{},\"count\":{},\"wall_inclusive_ns\":{},\"wall_self_ns\":{}",
+                escape_str(&e.label),
+                e.count,
+                e.wall_inclusive_ns,
+                e.wall_self_ns
+            );
+            if let Some(cpu) = e.cpu_inclusive_ns {
+                let _ = write!(out, ",\"cpu_inclusive_ns\":{cpu}");
+            }
+            if let Some(cpu) = e.cpu_self_ns {
+                let _ = write!(out, ",\"cpu_self_ns\":{cpu}");
+            }
+            out.push_str(",\"children\":[");
+            for (j, c) in e.children.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"label\":{},\"count\":{},\"wall_ns\":{}}}",
+                    escape_str(&c.label),
+                    c.count,
+                    c.wall_ns
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parse a profile JSON document — the inverse of [`Profile::to_json`].
+    pub fn parse(text: &str) -> Result<Profile, String> {
+        let v = json::parse(text)?;
+        if v.get("type").and_then(Json::as_str) != Some("profile") {
+            return Err("not a profile document (missing type:\"profile\")".into());
+        }
+        let req = |v: &Json, key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing/invalid u64 field {key:?}"))
+        };
+        let entries_json = match v.get("entries") {
+            Some(Json::Arr(items)) => items,
+            _ => return Err("missing/invalid entries array".into()),
+        };
+        let mut entries = Vec::with_capacity(entries_json.len());
+        for e in entries_json {
+            let label = e
+                .get("label")
+                .and_then(Json::as_str)
+                .ok_or("entry missing label")?
+                .to_owned();
+            let mut children = Vec::new();
+            if let Some(Json::Arr(kids)) = e.get("children") {
+                for c in kids {
+                    children.push(ChildRow {
+                        label: c
+                            .get("label")
+                            .and_then(Json::as_str)
+                            .ok_or("child missing label")?
+                            .to_owned(),
+                        count: req(c, "count")?,
+                        wall_ns: req(c, "wall_ns")?,
+                    });
+                }
+            }
+            entries.push(ProfileEntry {
+                label,
+                count: req(e, "count")?,
+                wall_inclusive_ns: req(e, "wall_inclusive_ns")?,
+                wall_self_ns: req(e, "wall_self_ns")?,
+                cpu_inclusive_ns: e.get("cpu_inclusive_ns").and_then(Json::as_u64),
+                cpu_self_ns: e.get("cpu_self_ns").and_then(Json::as_u64),
+                children,
+            });
+        }
+        Ok(Profile {
+            entries,
+            total_wall_ns: req(&v, "total_wall_ns")?,
+            spans: req(&v, "spans")?,
+            spans_dropped: req(&v, "spans_dropped")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: u64, name: &str, start: u64, wall: u64, tid: u64) -> SpanRecord {
+        SpanRecord {
+            id: SpanId(id),
+            parent: SpanId(parent),
+            name: name.to_owned(),
+            start_ns: start,
+            wall_ns: wall,
+            cpu_ns: Some(wall / 2),
+            tid,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_same_thread_children_only() {
+        let spans = vec![
+            span(1, 0, "solve", 0, 1000, 1),
+            span(2, 1, "solve/local", 0, 300, 1),
+            span(3, 1, "solve/consensus", 300, 200, 1),
+            // Worker overlaps the parent on another thread: attributed to
+            // its own label, NOT subtracted from the parent's self time.
+            span(4, 1, "solve/worker-0", 0, 900, 2),
+        ];
+        let p = profile(&spans, 0);
+        let solve = p.entry("solve").unwrap();
+        assert_eq!(solve.wall_inclusive_ns, 1000);
+        assert_eq!(solve.wall_self_ns, 500); // 1000 - 300 - 200
+        assert_eq!(solve.cpu_self_ns, Some(250)); // 500 - 150 - 100
+        assert_eq!(solve.children.len(), 3);
+        assert_eq!(solve.children[0].label, "solve/worker-0");
+        let worker = p.entry("solve/worker-0").unwrap();
+        assert_eq!(worker.wall_self_ns, 900);
+        assert_eq!(p.total_wall_ns, 1000); // one root
+    }
+
+    #[test]
+    fn recursive_labels_count_inclusive_once() {
+        let spans = vec![
+            span(1, 0, "chase", 0, 1000, 1),
+            span(2, 1, "chase", 100, 600, 1), // recursion: same label
+            span(3, 2, "chase", 200, 100, 1),
+        ];
+        let p = profile(&spans, 0);
+        let chase = p.entry("chase").unwrap();
+        assert_eq!(chase.count, 3);
+        assert_eq!(chase.wall_inclusive_ns, 1000, "outermost only");
+        // Self: 1000-600 + 600-100 + 100 = 1000.
+        assert_eq!(chase.wall_self_ns, 1000);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let spans = vec![
+            span(1, 0, "ground", 0, 500, 1),
+            span(2, 1, "ground/rule/r — σ\"", 0, 200, 1),
+            SpanRecord {
+                cpu_ns: None,
+                ..span(3, 0, "solve", 500, 300, 1)
+            },
+        ];
+        let p = profile(&spans, 7);
+        let back = Profile::parse(&p.to_json()).expect("profile json parses");
+        assert_eq!(back, p);
+        assert_eq!(back.spans_dropped, 7);
+    }
+
+    #[test]
+    fn render_is_sorted_by_self_time_and_notes_drops() {
+        let spans = vec![span(1, 0, "a", 0, 100, 1), span(2, 0, "b", 0, 900, 1)];
+        let p = profile(&spans, 3);
+        let table = p.render(0);
+        let a = table.find("\na ").unwrap();
+        let b = table.find("\nb ").unwrap();
+        assert!(b < a, "larger self time renders first:\n{table}");
+        assert!(table.contains("3 spans dropped"));
+    }
+}

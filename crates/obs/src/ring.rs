@@ -1,0 +1,280 @@
+//! Bounded flight-recorder ring: the overwrite-oldest buffer behind the
+//! event journal and the span sink, plus the shared `CMS_OBS_RING`
+//! capacity knob.
+//!
+//! A long-running process cannot keep an unbounded `Vec` of telemetry
+//! records. [`Ring`] keeps the **last** `capacity` items: when full, a
+//! push evicts the oldest item and bumps a monotonic drop counter, so
+//! loss is always visible rather than silent. Two views exist:
+//! [`Ring::snapshot`] clones the live window for readers that must not
+//! disturb capture (the dump-on-degradation hook), and [`Ring::drain`]
+//! takes the window and starts a fresh drop-accounting *window*.
+//!
+//! Drop accounting is exact per window: each pushed item carries a
+//! monotonic `key` (the journal's `seq`), and the ring remembers the
+//! first key admitted since the last drain (`base_key`) together with
+//! the number of items evicted since then (`dropped`). With contiguous
+//! keys the invariant `first_retained_key == base_key + dropped` holds,
+//! which `journal_check` verifies against exported files.
+//!
+//! The ring is a mutex around a `VecDeque` with a tiny critical section
+//! (push/pop, no allocation in steady state) — honest and adequate for
+//! the gated ≤2% overhead budget; lock poisoning follows the
+//! `PoisonError::into_inner` policy (records are plain data, every
+//! write is complete before the lock drops).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Default ring capacity when `CMS_OBS_RING` is unset: large enough to
+/// hold minutes of steady-state pipeline events, small enough to keep
+/// resident memory bounded.
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// Drop-accounting state of one ring window, reported alongside every
+/// snapshot/drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingWindow {
+    /// Key of the first item admitted since the last drain, `None` when
+    /// nothing was pushed in this window.
+    pub base_key: Option<u64>,
+    /// Items evicted (overwritten) in this window.
+    pub dropped: u64,
+    /// Items evicted over the ring's whole lifetime (monotonic).
+    pub dropped_total: u64,
+}
+
+struct Inner<T> {
+    slots: VecDeque<T>,
+    base_key: Option<u64>,
+    dropped_window: u64,
+}
+
+/// A bounded overwrite-oldest buffer with per-window drop accounting.
+pub struct Ring<T> {
+    inner: Mutex<Inner<T>>,
+    dropped_total: AtomicU64,
+}
+
+impl<T> Ring<T> {
+    /// An empty ring. Capacity is supplied per push so the global env
+    /// knob is resolved lazily by the owner, not here.
+    pub const fn new() -> Ring<T> {
+        Ring {
+            inner: Mutex::new(Inner {
+                slots: VecDeque::new(),
+                base_key: None,
+                dropped_window: 0,
+            }),
+            dropped_total: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Push `item` under monotonic `key`, evicting the oldest item when
+    /// the window already holds `capacity` items (`None` = unbounded).
+    pub fn push(&self, key: u64, item: T, capacity: Option<usize>) {
+        let mut inner = self.lock();
+        if inner.base_key.is_none() {
+            inner.base_key = Some(key);
+        }
+        if let Some(cap) = capacity {
+            if cap == 0 {
+                // A zero-capacity ring admits nothing: the push itself
+                // is the drop.
+                inner.dropped_window += 1;
+                self.dropped_total.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            while inner.slots.len() >= cap {
+                inner.slots.pop_front();
+                inner.dropped_window += 1;
+                self.dropped_total.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.slots.push_back(item);
+    }
+
+    /// Take the retained window (oldest first) and start a new
+    /// drop-accounting window.
+    pub fn drain(&self) -> (Vec<T>, RingWindow) {
+        let mut inner = self.lock();
+        let window = RingWindow {
+            base_key: inner.base_key.take(),
+            dropped: std::mem::take(&mut inner.dropped_window),
+            dropped_total: self.dropped_total.load(Ordering::Relaxed),
+        };
+        (std::mem::take(&mut inner.slots).into(), window)
+    }
+
+    /// Items evicted over the ring's whole lifetime (monotonic).
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_total.load(Ordering::Relaxed)
+    }
+
+    /// Retained items right now.
+    pub fn len(&self) -> usize {
+        self.lock().slots.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Clone> Ring<T> {
+    /// Clone the retained window (oldest first) without disturbing
+    /// capture — the live-reader / crash-dump view.
+    pub fn snapshot(&self) -> (Vec<T>, RingWindow) {
+        let inner = self.lock();
+        let window = RingWindow {
+            base_key: inner.base_key,
+            dropped: inner.dropped_window,
+            dropped_total: self.dropped_total.load(Ordering::Relaxed),
+        };
+        (inner.slots.iter().cloned().collect(), window)
+    }
+}
+
+impl<T> Default for Ring<T> {
+    fn default() -> Ring<T> {
+        Ring::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Capacity configuration (CMS_OBS_RING)
+// ---------------------------------------------------------------------------
+
+/// Sentinel in the override slot meaning "no override installed".
+const CAP_UNSET: usize = usize::MAX;
+
+static CAP_OVERRIDE: AtomicUsize = AtomicUsize::new(CAP_UNSET);
+
+fn env_capacity() -> Option<usize> {
+    static ENV_CAP: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV_CAP.get_or_init(|| match std::env::var("CMS_OBS_RING") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(0) => None,
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!(
+                    "warning: CMS_OBS_RING={raw:?} is not a capacity; \
+                     using default {DEFAULT_RING_CAPACITY}"
+                );
+                Some(DEFAULT_RING_CAPACITY)
+            }
+        },
+        Err(_) => Some(DEFAULT_RING_CAPACITY),
+    })
+}
+
+/// The active flight-recorder capacity: `Some(n)` keeps the last `n`
+/// records, `None` is unbounded.
+///
+/// Resolved from `CMS_OBS_RING` (read once; `0` means unbounded,
+/// malformed values warn once and fall back to
+/// [`DEFAULT_RING_CAPACITY`]) unless a programmatic
+/// [`set_ring_capacity_override`] is in effect.
+pub fn ring_capacity() -> Option<usize> {
+    match CAP_OVERRIDE.load(Ordering::Relaxed) {
+        CAP_UNSET => env_capacity(),
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Programmatically force the ring capacity, overriding `CMS_OBS_RING`
+/// (`None` or `Some(0)` = unbounded). Exists so benches and tests can
+/// vary capacity within one process; affects subsequent pushes only.
+pub fn set_ring_capacity_override(capacity: Option<usize>) {
+    CAP_OVERRIDE.store(capacity.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Drop a [`set_ring_capacity_override`] and fall back to the
+/// `CMS_OBS_RING`-derived capacity.
+pub fn clear_ring_capacity_override() {
+    CAP_OVERRIDE.store(CAP_UNSET, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_ring_retains_everything() {
+        let ring: Ring<u64> = Ring::new();
+        for k in 0..100 {
+            ring.push(k, k, None);
+        }
+        let (items, window) = ring.drain();
+        assert_eq!(items.len(), 100);
+        assert_eq!(window.base_key, Some(0));
+        assert_eq!(window.dropped, 0);
+        assert_eq!(ring.dropped_total(), 0);
+    }
+
+    #[test]
+    fn full_ring_overwrites_oldest_and_counts_drops() {
+        let ring: Ring<u64> = Ring::new();
+        for k in 0..10 {
+            ring.push(k, k, Some(4));
+        }
+        assert_eq!(ring.len(), 4);
+        let (items, window) = ring.snapshot();
+        assert_eq!(items, vec![6, 7, 8, 9]);
+        assert_eq!(window.base_key, Some(0));
+        assert_eq!(window.dropped, 6);
+        assert_eq!(window.dropped_total, 6);
+        // The retained window starts exactly `dropped` past the base.
+        assert_eq!(items[0], window.base_key.unwrap() + window.dropped);
+    }
+
+    #[test]
+    fn drain_starts_a_fresh_window_but_total_is_monotonic() {
+        let ring: Ring<u64> = Ring::new();
+        for k in 0..6 {
+            ring.push(k, k, Some(4));
+        }
+        let (_, first) = ring.drain();
+        assert_eq!(first.dropped, 2);
+        for k in 6..8 {
+            ring.push(k, k, Some(4));
+        }
+        let (items, second) = ring.snapshot();
+        assert_eq!(items, vec![6, 7]);
+        assert_eq!(second.base_key, Some(6));
+        assert_eq!(second.dropped, 0);
+        assert_eq!(second.dropped_total, 2);
+        assert_eq!(ring.dropped_total(), 2);
+    }
+
+    #[test]
+    fn snapshot_does_not_disturb_capture() {
+        let ring: Ring<u64> = Ring::new();
+        ring.push(0, 0, Some(8));
+        let (before, _) = ring.snapshot();
+        ring.push(1, 1, Some(8));
+        let (after, window) = ring.snapshot();
+        assert_eq!(before, vec![0]);
+        assert_eq!(after, vec![0, 1]);
+        assert_eq!(window.base_key, Some(0));
+    }
+
+    #[test]
+    fn zero_capacity_drops_every_push() {
+        let ring: Ring<u64> = Ring::new();
+        for k in 0..3 {
+            ring.push(k, k, Some(0));
+        }
+        let (items, window) = ring.drain();
+        assert!(items.is_empty());
+        assert_eq!(window.dropped, 3);
+        assert_eq!(window.base_key, Some(0));
+    }
+}

@@ -7,11 +7,12 @@
 //! serialises on one mutex and drains shared state before running.
 
 use cms_obs::{
-    drain_journal, drain_spans, emit, export_jsonl, parse_jsonl, render_span_tree, render_tree,
-    set_level_override, span, span_with_parent, DegradationRung, Event, EventRecord,
-    GroundCounters, ObsLevel, SpanId,
+    drain_journal, drain_spans, emit, export_jsonl, export_trace_json, parse_jsonl,
+    parse_trace_json, render_span_tree, render_tree, set_level_override, span, span_with_parent,
+    DegradationRung, Event, EventRecord, GroundCounters, ObsLevel, SpanId, SpanRecord,
 };
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 static SERIAL: Mutex<()> = Mutex::new(());
@@ -143,7 +144,13 @@ fn counters_strategy() -> impl Strategy<Value = GroundCounters> {
     (
         (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000, 0u64..1_000),
         (-1e9f64..1e9, 0u64..1_000_000, 0u64..1_000_000),
-        (0u64..1_000_000, 0u64..1_000_000, 0u64..10_000, 0u64..10_000, 0u64..10_000),
+        (
+            0u64..1_000_000,
+            0u64..1_000_000,
+            0u64..10_000,
+            0u64..10_000,
+            0u64..10_000,
+        ),
         (0u64..16, 0u64..16, 0u64..10_000_000_000),
     )
         .prop_map(|(a, b, c, d)| GroundCounters {
@@ -240,5 +247,106 @@ proptest! {
         let jsonl = export_jsonl(&records);
         let parsed = parse_jsonl(&jsonl).expect("export must parse");
         prop_assert_eq!(parsed, records);
+    }
+}
+
+fn span_strategy() -> impl Strategy<Value = SpanRecord> {
+    (
+        (1u64..1_000, 0u64..1_000),
+        prop::sample::select(tricky_strings()),
+        (0u64..10_000_000_000, 0u64..10_000_000_000),
+        prop::option::of(0u64..10_000_000_000),
+        // tid 0 is reserved for the journal instants track.
+        1u64..8,
+    )
+        .prop_map(|(ids, name, t, cpu_ns, tid)| SpanRecord {
+            id: SpanId(ids.0),
+            parent: SpanId(ids.1),
+            name,
+            start_ns: t.0,
+            wall_ns: t.1,
+            cpu_ns,
+            tid,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn trace_export_is_perfetto_valid_and_lossless(
+        spans in prop::collection::vec(span_strategy(), 0..8),
+        events in prop::collection::vec(event_strategy(), 0..8),
+        named in prop::collection::vec(any::<bool>(), 8),
+    ) {
+        let records: Vec<EventRecord> = events
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| EventRecord {
+                seq: i as u64 * 3,
+                t_ns: i as u64 * 1_000_003,
+                span: SpanId(i as u64 % 5),
+                event,
+            })
+            .collect();
+        // Name an arbitrary subset of the span tracks; unnamed tids must
+        // come back as "thread-<tid>".
+        let mut tracks = BTreeMap::new();
+        for s in &spans {
+            if named[s.tid as usize] {
+                tracks.insert(s.tid, format!("worker-{}", s.tid));
+            }
+        }
+
+        let doc = export_trace_json(&spans, &records, &tracks);
+
+        // Perfetto structural invariants: the document is one JSON object
+        // whose traceEvents all carry a known phase, pid/tid, and the
+        // shape that phase requires (ts/dur on complete events, thread
+        // scope on instants, thread_name args on metadata).
+        let parsed_json = cms_obs::json::parse(&doc).expect("trace is valid JSON");
+        let items = match parsed_json.get("traceEvents") {
+            Some(cms_obs::json::Json::Arr(items)) => items,
+            other => panic!("traceEvents missing: {other:?}"),
+        };
+        for item in items {
+            let ph = item.get("ph").and_then(cms_obs::json::Json::as_str).unwrap_or("?");
+            prop_assert!(matches!(ph, "X" | "i" | "M"), "unexpected ph {}", ph);
+            prop_assert!(item.get("pid").and_then(cms_obs::json::Json::as_u64).is_some());
+            prop_assert!(item.get("tid").and_then(cms_obs::json::Json::as_u64).is_some());
+            match ph {
+                "X" => {
+                    prop_assert!(item.get("name").and_then(cms_obs::json::Json::as_str).is_some());
+                    prop_assert!(item.get("ts").and_then(cms_obs::json::Json::as_f64).unwrap() >= 0.0);
+                    prop_assert!(item.get("dur").and_then(cms_obs::json::Json::as_f64).unwrap() >= 0.0);
+                }
+                "i" => {
+                    prop_assert_eq!(item.get("s").and_then(cms_obs::json::Json::as_str), Some("t"));
+                    prop_assert!(item.get("args").is_some());
+                }
+                _ => {
+                    prop_assert!(item
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(cms_obs::json::Json::as_str)
+                        .is_some());
+                }
+            }
+        }
+
+        // export ∘ parse is the identity on spans and events, and every
+        // track that appears gets the registered (or fallback) label.
+        let trace = parse_trace_json(&doc).expect("trace parses back");
+        prop_assert_eq!(&trace.spans, &spans);
+        prop_assert_eq!(&trace.events, &records);
+        for s in &spans {
+            let expect = tracks
+                .get(&s.tid)
+                .cloned()
+                .unwrap_or_else(|| format!("thread-{}", s.tid));
+            prop_assert_eq!(trace.track_names.get(&s.tid), Some(&expect));
+        }
+        if !records.is_empty() {
+            prop_assert_eq!(trace.track_names.get(&0).map(String::as_str), Some("journal"));
+        }
     }
 }

@@ -995,6 +995,9 @@ impl<'a> AdmmSolver<'a> {
                 let my_shards = shard_chunks[w].clone();
                 let (barrier, stop, rho_bits, panicked) = (&barrier, &stop, &rho_bits, &panicked);
                 scope.spawn(move || {
+                    // Label the worker's trace track so the Perfetto
+                    // export lays it out as a named thread.
+                    cms_obs::set_thread_track(format!("admm-worker-{w}"));
                     let _span = cms_obs::span_with_parent(format!("solve/worker-{w}"), solve_span);
                     let mut scratch: Vec<f64> = Vec::new();
                     loop {

@@ -967,8 +967,7 @@ impl Program {
         let mut preground: Vec<Option<Result<RuleGrounding, GroundingError>>> =
             (0..self.rules.len()).map(|_| None).collect();
         if pools_changed && threads >= 2 {
-            let dirty_idx: Vec<usize> =
-                (0..self.rules.len()).filter(|&i| dirty_rules[i]).collect();
+            let dirty_idx: Vec<usize> = (0..self.rules.len()).filter(|&i| dirty_rules[i]).collect();
             if dirty_idx.len() >= 2 {
                 for (i, r) in dirty_idx
                     .iter()

@@ -232,7 +232,10 @@ impl Program {
             })
         };
         if workers == 1 || n <= 1 {
-            return indices.iter().map(|&i| ground_one(&self.rules[i])).collect();
+            return indices
+                .iter()
+                .map(|&i| ground_one(&self.rules[i]))
+                .collect();
         }
         // Build the shared index before fanning out so workers only take
         // read locks.
@@ -242,8 +245,11 @@ impl Program {
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
+                .map(|w| {
+                    let (next, ground_one) = (&next, &ground_one);
+                    scope.spawn(move || {
+                        // Named trace track for the Perfetto export.
+                        cms_obs::set_thread_track(format!("ground-worker-{w}"));
                         let mut out: Vec<(usize, Result<RuleGrounding, GroundingError>)> =
                             Vec::new();
                         loop {

@@ -433,6 +433,11 @@ impl WarmRelaxation {
     fn degrade(&mut self, rung: cms_obs::DegradationRung) {
         cms_obs::count("select.degradations", 1);
         cms_obs::emit(cms_obs::Event::Degradation(rung.clone()));
+        // Flight-recorder black box: a serious rung (fresh-ground
+        // fallback or worse) persists the last ring window to
+        // `CMS_OBS_DUMP` so the events leading up to the degradation
+        // survive even if the process dies next.
+        cms_obs::dump_on_degradation(rung.rung());
         let reason = rung.render();
         match &mut self.last_degradation {
             Some(prev) => {
@@ -557,7 +562,10 @@ mod tests {
         let iters = warm.admm_iterations;
         let soft = warm.soft_objective();
         warm.set_members(&[(2, true), (2, false)]).unwrap();
-        assert_eq!(warm.admm_iterations, iters, "net-empty batch must not solve");
+        assert_eq!(
+            warm.admm_iterations, iters,
+            "net-empty batch must not solve"
+        );
         assert_eq!(warm.flips, 3, "raw flips are still counted");
         assert_eq!(warm.entries_coalesced, 2);
         assert!((warm.soft_objective() - soft).abs() == 0.0);

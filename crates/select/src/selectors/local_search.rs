@@ -94,7 +94,7 @@ fn hill_climb(
             None => break,
         }
     }
-    if let Some(r) = relax.as_deref_mut() {
+    if let Some(r) = relax {
         if !accepted.is_empty() {
             r.set_members(&accepted)?;
         }

@@ -66,8 +66,10 @@ fn main() {
         }
     }
 
-    // Journal + spans: export and render.
-    let events = obs::drain_journal();
+    // Journal + spans: export the ring's window (header line first, so
+    // the drop accounting travels with the records) and render.
+    let snapshot = obs::drain_journal_snapshot();
+    let events = snapshot.records.clone();
     let spans = obs::drain_spans();
     if events.is_empty() {
         println!("\nno journal events (set CMS_OBS=journal); nothing written");
@@ -77,12 +79,13 @@ fn main() {
     kinds.sort_unstable();
     kinds.dedup();
     println!(
-        "\njournal: {} events ({}) across {} spans",
+        "\njournal: {} events ({}) across {} spans, {} dropped by the ring",
         events.len(),
         kinds.join(", "),
-        spans.len()
+        spans.len(),
+        snapshot.header.events_dropped
     );
-    std::fs::write(&out_path, obs::export_jsonl(&events)).expect("journal written");
+    std::fs::write(&out_path, snapshot.to_jsonl()).expect("journal written");
     println!("JSONL journal written to {out_path}");
     if !spans.is_empty() {
         println!(

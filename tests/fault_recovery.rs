@@ -171,7 +171,9 @@ fn tampered_coalesced_batches_are_detected_and_recovered() {
         // The pipeline is re-armed: a follow-up batch splices again.
         let after = w.set_members(&[(3, true), (0, true), (0, false)]).unwrap();
         let mut check = warm(&model);
-        let expect = check.set_members(&[(2, true), (1, true), (3, true)]).unwrap();
+        let expect = check
+            .set_members(&[(2, true), (1, true), (3, true)])
+            .unwrap();
         assert!(
             (after - expect).abs() < 5e-3,
             "{fault:?}: post-recovery batch {after} vs {expect}"

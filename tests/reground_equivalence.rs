@@ -577,7 +577,10 @@ fn batched_regrounds_match_sequential_regrounds() {
         _ => {
             let pool = program.db.atoms_of(covers).to_vec();
             if let Some(atom) = pool.first() {
-                let old = program.db.observed_value(atom).expect("pooled atom observed");
+                let old = program
+                    .db
+                    .observed_value(atom)
+                    .expect("pooled atom observed");
                 // Bump away from the clamp boundary so the intermediate
                 // write is effective, then restore: two raw entries, zero
                 // net effect.
@@ -605,7 +608,9 @@ fn batched_regrounds_match_sequential_regrounds() {
         }
         let delta = bat_prog.db.take_delta();
         coalesced_total += delta.raw_entries() - delta.len();
-        bat = bat_prog.reground_owned(bat, &delta).expect("batch regrounds");
+        bat = bat_prog
+            .reground_owned(bat, &delta)
+            .expect("batch regrounds");
         assert_eq!(
             bat.canonical_terms(),
             seq.canonical_terms(),
